@@ -1,0 +1,56 @@
+// xnfserver serves the CO wire protocol over TCP (the database-server half
+// of the paper's workstation/server architecture, Fig. 7).
+//
+//	xnfserver -addr :7070 -load org
+//
+// Clients connect with xnf.Dial and extract CO views with QueryCO.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"xnf"
+	"xnf/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	load := flag.String("load", "org", "workload to preload: org, parts, oo1, none")
+	depts := flag.Int("depts", 20, "org: number of departments")
+	parts := flag.Int("parts", 20000, "oo1/parts: number of parts")
+	flag.Parse()
+
+	db := xnf.Open()
+	var err error
+	switch *load {
+	case "none":
+	case "org":
+		p := workload.DefaultOrg()
+		p.Depts = *depts
+		err = workload.LoadOrg(db.Engine(), p)
+	case "parts":
+		err = workload.LoadParts(db.Engine(), workload.PartsParams{Parts: *parts, FanOut: 2, Roots: 5, Seed: 1})
+	case "oo1":
+		err = workload.LoadOO1(db.Engine(), workload.OO1Params{Parts: *parts, Conns: 3, Seed: 7})
+	default:
+		err = fmt.Errorf("unknown workload %q", *load)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("xnfserver: %s workload, listening on %s\n", *load, l.Addr())
+	if err := db.NewServer().Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

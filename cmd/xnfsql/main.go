@@ -1,0 +1,171 @@
+// xnfsql is an interactive SQL/XNF shell over an in-memory database.
+//
+//	xnfsql            — empty database
+//	xnfsql -load org  — pre-loaded Fig. 1 organization workload
+//
+// Besides SQL and XNF statements it understands:
+//
+//	\d               list tables and views
+//	\co VIEW         extract a CO view and summarize the cache
+//	\explain SELECT  show the physical plan
+//	\table1 VIEW     derivation-cost analysis (paper Table 1)
+//	\q               quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xnf"
+	"xnf/internal/workload"
+)
+
+func main() {
+	load := flag.String("load", "", "preload a workload: org, parts, oo1")
+	flag.Parse()
+
+	db := xnf.Open()
+	switch *load {
+	case "":
+	case "org":
+		check(workload.LoadOrg(db.Engine(), workload.DefaultOrg()))
+		fmt.Println("loaded organization workload (deps_ARC view defined)")
+	case "parts":
+		check(workload.LoadParts(db.Engine(), workload.PartsParams{Parts: 200, FanOut: 2, Roots: 3, Seed: 1}))
+		fmt.Println("loaded parts workload (parts_explosion view defined)")
+	case "oo1":
+		check(workload.LoadOO1(db.Engine(), workload.OO1Params{Parts: 2000, Conns: 3, Seed: 7}))
+		fmt.Println("loaded OO1 workload (part_graph view defined)")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *load)
+		os.Exit(1)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("xnf> ")
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !command(db, trimmed) {
+				return
+			}
+			fmt.Print("xnf> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.HasSuffix(trimmed, ";") {
+			fmt.Print("...> ")
+			continue
+		}
+		stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+		buf.Reset()
+		run(db, stmt)
+		fmt.Print("xnf> ")
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(db *xnf.DB, stmt string) {
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	switch {
+	case strings.HasPrefix(upper, "SELECT"):
+		res, err := db.Query(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		names := make([]string, len(res.Cols))
+		for i, c := range res.Cols {
+			names[i] = c.Name
+		}
+		fmt.Println(strings.Join(names, " | "))
+		for _, r := range res.Rows {
+			fmt.Println(strings.ReplaceAll(r.String(), "|", " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	case strings.HasPrefix(upper, "OUT"):
+		summarizeCO(db, stmt)
+	default:
+		n, err := db.Exec(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("ok (%d rows affected)\n", n)
+	}
+}
+
+func command(db *xnf.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\q`:
+		return false
+	case `\d`:
+		for _, t := range db.Engine().Catalog().Tables() {
+			fmt.Printf("table %-16s %d rows, %d columns\n", t.Name, t.Stats.RowCount, len(t.Columns))
+		}
+		for _, v := range db.Engine().Catalog().Views() {
+			kind := "view"
+			if v.IsXNF {
+				kind = "CO view"
+			}
+			fmt.Printf("%-7s %s\n", kind, v.Name)
+		}
+	case `\co`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\co VIEW")
+			return true
+		}
+		summarizeCO(db, fields[1])
+	case `\explain`:
+		sql := strings.TrimSpace(strings.TrimPrefix(cmd, `\explain`))
+		plan, err := db.Explain(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(plan)
+	case `\table1`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\table1 VIEW")
+			return true
+		}
+		t, err := db.AnalyzeTable1(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(t.Format())
+	default:
+		fmt.Println(`commands: \d  \co VIEW  \explain SELECT…  \table1 VIEW  \q`)
+	}
+	return true
+}
+
+func summarizeCO(db *xnf.DB, query string) {
+	cache, err := db.QueryCO(query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, comp := range cache.Components() {
+		fmt.Printf("component %-14s %5d objects (%s)\n", comp.Name, comp.Len(), strings.Join(comp.ColNames, ", "))
+	}
+	for _, rel := range cache.Relationships() {
+		fmt.Printf("relationship %-11s %5d connections (%s -> %s)\n",
+			rel.Name, rel.Connections(), rel.Parent, strings.Join(rel.Children, "+"))
+	}
+}

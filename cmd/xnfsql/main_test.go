@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"xnf"
+	"xnf/internal/workload"
+)
+
+func replDB(t *testing.T) *xnf.DB {
+	t.Helper()
+	db := xnf.Open()
+	if err := workload.LoadOrg(db.Engine(), workload.DefaultOrg()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// The REPL helpers must not panic and must handle both statement kinds and
+// the meta commands (output goes to stdout; we only verify control flow).
+func TestRunStatements(t *testing.T) {
+	db := replDB(t)
+	run(db, "SELECT COUNT(*) FROM EMP")
+	run(db, "INSERT INTO SKILLS VALUES (999, 'extra')")
+	run(db, "OUT OF d AS DEPT TAKE *")
+	run(db, "SELECT * FROM nosuch") // error path must not panic
+	run(db, "garbage statement")
+}
+
+func TestCommands(t *testing.T) {
+	db := replDB(t)
+	cases := []string{
+		`\d`,
+		`\co deps_ARC`,
+		`\co nosuch`,
+		`\explain SELECT * FROM EMP WHERE eno = 1`,
+		`\table1 deps_ARC`,
+		`\table1`,
+		`\co`,
+		`\unknown`,
+	}
+	for _, c := range cases {
+		if !command(db, c) {
+			t.Errorf("command %q requested exit", c)
+		}
+	}
+	if command(db, `\q`) {
+		t.Error(`\q must exit`)
+	}
+}

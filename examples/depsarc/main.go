@@ -1,0 +1,76 @@
+// depsarc reproduces the paper's running example end to end: the Fig. 1
+// deps_ARC composite object (departments at ARC with employees, projects
+// and the skills either possesses or needs), including the reachability
+// semantics (skill s2 is excluded) and object sharing (s3 is one object
+// with parents on both sides), plus the Table 1 derivation-cost analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xnf"
+	"xnf/internal/workload"
+)
+
+func main() {
+	db := xnf.Open()
+	// The exact instance of Fig. 1 (plus a non-ARC department that must be
+	// filtered out together with everything only it references).
+	if err := db.ExecScript(workload.OrgSchema + `
+INSERT INTO DEPT VALUES (1, 'd1', 'ARC'), (2, 'd2', 'ARC'), (3, 'd3', 'HQ');
+INSERT INTO EMP VALUES (1, 'e1', 1, 100), (2, 'e2', 1, 200), (3, 'e3', 2, 300), (9, 'e9', 3, 900);
+INSERT INTO PROJ VALUES (1, 'p1', 1, 10), (2, 'p2', 2, 20), (9, 'p9', 3, 90);
+INSERT INTO SKILLS VALUES (1, 's1'), (2, 's2'), (3, 's3'), (4, 's4'), (5, 's5');
+INSERT INTO EMPSKILLS VALUES (1, 1), (2, 3), (3, 3), (3, 4), (9, 2);
+INSERT INTO PROJSKILLS VALUES (1, 3), (2, 4), (2, 5), (9, 2);
+` + workload.DepsARC + ";"); err != nil {
+		log.Fatal(err)
+	}
+
+	cache, err := db.QueryCO("deps_ARC")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("deps_ARC instance graphs (paper Fig. 1):")
+	deps, _ := cache.Component("xdept")
+	for _, d := range deps.Objects() {
+		fmt.Printf("%s\n", d.MustGet("dname").S)
+		for _, e := range d.Children("employment") {
+			fmt.Printf("  EMPLOYS %s\n", e.MustGet("ename").S)
+			for _, s := range e.Children("empproperty") {
+				fmt.Printf("    POSSESSES %s\n", s.MustGet("sname").S)
+			}
+		}
+		for _, p := range d.Children("ownership") {
+			fmt.Printf("  HAS %s\n", p.MustGet("pname").S)
+			for _, s := range p.Children("projproperty") {
+				fmt.Printf("    NEEDS %s\n", s.MustGet("sname").S)
+			}
+		}
+	}
+
+	skills, _ := cache.Component("xskills")
+	fmt.Printf("\nskills in the CO (s2 excluded by reachability): ")
+	for _, s := range skills.Objects() {
+		fmt.Printf("%s ", s.MustGet("sname").S)
+	}
+	fmt.Println()
+
+	// Object sharing: s3 exists once, connected from both sides.
+	s3, _ := skills.Lookup(xnf.NewInt(3))
+	fmt.Printf("s3 shared: %d employee parents, %d project parents\n",
+		len(s3.Parents("empproperty")), len(s3.Parents("projproperty")))
+
+	// Path expressions (Sect. 2).
+	viaEmp, _ := cache.PathString("xdept.xemp.xskills")
+	fmt.Printf("xdept.xemp.xskills reaches %d skills\n", len(viaEmp))
+
+	// Table 1: XNF derivation vs single-component SQL derivation.
+	table, err := db.AnalyzeTable1("deps_ARC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTable 1 — common-subexpression comparison:\n%s", table.Format())
+}

@@ -1,0 +1,119 @@
+// gateway demonstrates the paper's Sect. 6 "Object/SQL Gateway" idea and
+// the seamless language binding of Sect. 5.2: a client connects to an XNF
+// server over TCP, extracts a composite object, and materializes it as
+// ordinary Go structs with direct pointer fields — the Go analog of the
+// paper's C++ classes with pointer data members — then pushes an update
+// back through the wire.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"xnf"
+	"xnf/internal/workload"
+)
+
+// Dept and Emp are the application's own types: plain structs, no
+// database types anywhere. The gateway fills them from the cache.
+type Dept struct {
+	Dno       int64
+	Name, Loc string
+	Employees []*Emp
+}
+
+// Emp is an employee with a back pointer to its department.
+type Emp struct {
+	Eno  int64
+	Name string
+	Sal  float64
+	Dept *Dept
+}
+
+func main() {
+	// Server side: an XNF database listening on a socket.
+	db := xnf.Open()
+	if err := workload.LoadOrg(db.Engine(), workload.DefaultOrg()); err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go db.NewServer().Serve(l)
+
+	// Client side: fetch the CO and bind it to the application structs.
+	client, err := xnf.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	cache, err := client.QueryCO("deps_ARC", xnf.ShipWhole())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	depts := bindDepts(cache)
+	fmt.Printf("bound %d departments into Go structs\n", len(depts))
+	for _, d := range depts[:min(3, len(depts))] {
+		fmt.Printf("  %s (%s): %d employees", d.Name, d.Loc, len(d.Employees))
+		if len(d.Employees) > 0 {
+			e := d.Employees[0]
+			fmt.Printf("; first: %s, back pointer → %s", e.Name, e.Dept.Name)
+		}
+		fmt.Println()
+	}
+
+	// Updates flow back through the same gateway: raise one salary.
+	xemp, _ := cache.Component("xemp")
+	obj := xemp.Objects()[0]
+	if err := cache.Set(obj, "sal", xnf.NewFloat(obj.MustGet("sal").F+1000)); err != nil {
+		log.Fatal(err)
+	}
+	if err := cache.SaveChanges(func(sql string) error {
+		_, err := client.Exec(sql)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("salary update written back through the gateway")
+}
+
+// bindDepts converts the cached CO into the application object model. The
+// mapping is mechanical: one struct per component object, pointer fields
+// per relationship (what the paper's C++ binding generated).
+func bindDepts(cache *xnf.Cache) []*Dept {
+	comp, _ := cache.Component("xdept")
+	emps := make(map[string]*Emp)
+	var out []*Dept
+	for _, d := range comp.Objects() {
+		dept := &Dept{
+			Dno:  d.MustGet("dno").I,
+			Name: d.MustGet("dname").S,
+			Loc:  d.MustGet("loc").S,
+		}
+		for _, e := range d.Children("employment") {
+			emp, ok := emps[e.Key()]
+			if !ok {
+				emp = &Emp{
+					Eno:  e.MustGet("eno").I,
+					Name: e.MustGet("ename").S,
+					Sal:  e.MustGet("sal").F,
+				}
+				emps[e.Key()] = emp
+			}
+			emp.Dept = dept
+			dept.Employees = append(dept.Employees, emp)
+		}
+		out = append(out, dept)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+// Quickstart: define a schema, load a few rows, declare a composite-object
+// view, extract it into the client cache, navigate it through pointers,
+// and write an update back — the end-to-end loop of the paper in ~80
+// lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xnf"
+)
+
+func main() {
+	db := xnf.Open()
+
+	// Plain relational DDL and DML — XNF is strictly an extension, so the
+	// tabular world works unchanged (upward compatibility, Sect. 1).
+	if err := db.ExecScript(`
+CREATE TABLE DEPT (dno INT NOT NULL, dname VARCHAR, loc VARCHAR, PRIMARY KEY (dno));
+CREATE TABLE EMP  (eno INT NOT NULL, ename VARCHAR, edno INT, sal FLOAT, PRIMARY KEY (eno));
+INSERT INTO DEPT VALUES (1, 'database', 'ARC'), (2, 'os', 'ARC'), (3, 'sales', 'HQ');
+INSERT INTO EMP  VALUES (10, 'alice', 1, 120000), (11, 'bob', 1, 95000),
+                        (12, 'carol', 2, 110000), (13, 'dan', 3, 80000);
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// A composite-object view: ARC departments with their employees.
+	cache, err := db.QueryCO(`
+OUT OF d AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+       e AS EMP,
+       employs AS (RELATE d VIA EMPLOYS, e WHERE d.dno = e.edno)
+TAKE *`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Navigate: connections are main-memory pointers, no SQL involved.
+	deps, _ := cache.Component("d")
+	fmt.Println("ARC departments and their employees:")
+	for _, dept := range deps.Objects() {
+		fmt.Printf("  %s:\n", dept.MustGet("dname").S)
+		for _, emp := range dept.Children("employs") {
+			fmt.Printf("    %-8s $%.0f\n", emp.MustGet("ename").S, emp.MustGet("sal").F)
+		}
+	}
+
+	// Cursors are the paper's API shape: independent over a component,
+	// dependent from parent to children.
+	cur, _ := cache.OpenCursor("e")
+	count := 0
+	for o := cur.Next(); o != nil; o = cur.Next() {
+		count++
+		_ = o
+	}
+	fmt.Printf("independent cursor visited %d employees\n", count)
+
+	// Local update + write-back: the cache turns it into an UPDATE against
+	// the base table.
+	emps, _ := cache.Component("e")
+	alice, _ := emps.Lookup(xnf.NewInt(10))
+	if err := cache.Set(alice, "sal", xnf.NewFloat(130000)); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.SaveChanges(cache); err != nil {
+		log.Fatal(err)
+	}
+	res, _ := db.Query("SELECT sal FROM EMP WHERE eno = 10")
+	fmt.Printf("alice's salary after write-back: %s\n", res.Rows[0])
+}

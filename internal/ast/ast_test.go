@@ -1,0 +1,121 @@
+package ast
+
+import (
+	"testing"
+
+	"xnf/internal/types"
+)
+
+func TestAndOrHelpers(t *testing.T) {
+	a := &ColumnRef{Name: "a"}
+	b := &ColumnRef{Name: "b"}
+	if And(nil, a) != Expr(a) || And(a, nil) != Expr(a) {
+		t.Error("And with nil")
+	}
+	if Or(nil, b) != Expr(b) || Or(b, nil) != Expr(b) {
+		t.Error("Or with nil")
+	}
+	conj := And(a, And(b, a))
+	if got := Conjuncts(conj); len(got) != 3 {
+		t.Errorf("conjuncts = %d", len(got))
+	}
+	if got := Conjuncts(nil); got != nil {
+		t.Error("conjuncts of nil")
+	}
+	or := Or(a, b).(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Error("Or op")
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	e := &BinaryExpr{Op: "AND",
+		L: &InExpr{X: &ColumnRef{Name: "a"}, List: []Expr{&Literal{Value: types.NewInt(1)}}},
+		R: &CaseExpr{
+			Whens: []WhenClause{{Cond: &IsNullExpr{X: &ColumnRef{Name: "b"}}, Result: &Literal{Value: types.NewInt(2)}}},
+			Else:  &FuncCall{Name: "ABS", Args: []Expr{&UnaryExpr{Op: "-", X: &ColumnRef{Name: "c"}}}},
+		},
+	}
+	var kinds []string
+	Walk(e, func(x Expr) {
+		switch x.(type) {
+		case *ColumnRef:
+			kinds = append(kinds, "col")
+		case *Literal:
+			kinds = append(kinds, "lit")
+		}
+	})
+	cols, lits := 0, 0
+	for _, k := range kinds {
+		if k == "col" {
+			cols++
+		} else {
+			lits++
+		}
+	}
+	if cols != 3 || lits != 2 {
+		t.Errorf("walk saw %d cols, %d lits", cols, lits)
+	}
+	// Walk of BETWEEN and LIKE.
+	n := 0
+	Walk(&BetweenExpr{X: &ColumnRef{Name: "x"}, Lo: &Literal{}, Hi: &Literal{}}, func(Expr) { n++ })
+	if n != 4 {
+		t.Errorf("between walk = %d", n)
+	}
+	n = 0
+	Walk(&LikeExpr{X: &ColumnRef{Name: "x"}, Pattern: &Literal{Value: types.NewString("%")}}, func(Expr) { n++ })
+	if n != 3 {
+		t.Errorf("like walk = %d", n)
+	}
+}
+
+func TestTableRefName(t *testing.T) {
+	if (TableRef{Table: "T"}).Name() != "T" {
+		t.Error("bare name")
+	}
+	if (TableRef{Table: "T", Alias: "a"}).Name() != "a" {
+		t.Error("alias wins")
+	}
+}
+
+func TestDeparseStatements(t *testing.T) {
+	stmts := []Statement{
+		&DropStmt{Kind: "TABLE", Name: "t"},
+		&CreateIndexStmt{Name: "i", Table: "t", Columns: []string{"a"}, Unique: true, Ordered: true},
+		&DeleteStmt{Table: "t", Alias: "x", Where: &ColumnRef{Name: "b"}},
+		&UpdateStmt{Table: "t", Set: []SetClause{{Column: "a", Value: &Literal{Value: types.NewInt(1)}}}},
+		&InsertStmt{Table: "t", Select: &SelectStmt{Items: []SelectItem{{Star: true}}, From: []TableRef{{Table: "u"}}, Limit: -1}},
+	}
+	want := []string{
+		"DROP TABLE t",
+		"CREATE UNIQUE ORDERED INDEX i ON t (a)",
+		"DELETE FROM t x WHERE b",
+		"UPDATE t SET a = 1",
+		"INSERT INTO t SELECT * FROM u",
+	}
+	for i, s := range stmts {
+		if s.String() != want[i] {
+			t.Errorf("deparse = %q, want %q", s.String(), want[i])
+		}
+	}
+}
+
+func TestDeparseRelateAliases(t *testing.T) {
+	r := &RelateClause{
+		Parent: "p", Role: "R",
+		Children: []string{"p"}, ChildAliases: []string{"sub"},
+		Where: &BinaryExpr{Op: "=", L: &ColumnRef{Qualifier: "p", Name: "x"}, R: &ColumnRef{Qualifier: "sub", Name: "y"}},
+	}
+	got := r.String()
+	want := "RELATE p VIA R, p AS sub WHERE p.x = sub.y"
+	if got != want {
+		t.Errorf("deparse = %q, want %q", got, want)
+	}
+}
+
+func TestPathExprString(t *testing.T) {
+	p := &PathExpr{Steps: []string{"v", "a", "b"}}
+	if p.String() != "v.a.b" {
+		t.Errorf("path = %q", p.String())
+	}
+}

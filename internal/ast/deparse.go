@@ -1,0 +1,397 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The String methods below deparse every node to parsable SQL/XNF text.
+// parse(node.String()) must reproduce an equivalent tree; the parser test
+// suite checks this property on generated trees.
+
+func (s *CreateTableStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", quoteIdent(s.Name))
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", quoteIdent(c.Name), c.Type)
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	if len(s.PrimaryKey) > 0 {
+		fmt.Fprintf(&b, ", PRIMARY KEY (%s)", identList(s.PrimaryKey))
+	}
+	for _, fk := range s.ForeignKeys {
+		fmt.Fprintf(&b, ", FOREIGN KEY (%s) REFERENCES %s (%s)",
+			identList(fk.Columns), quoteIdent(fk.RefTable), identList(fk.RefColumns))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func (s *CreateIndexStmt) String() string {
+	var b strings.Builder
+	b.WriteString("CREATE ")
+	if s.Unique {
+		b.WriteString("UNIQUE ")
+	}
+	if s.Ordered {
+		b.WriteString("ORDERED ")
+	}
+	fmt.Fprintf(&b, "INDEX %s ON %s (%s)", quoteIdent(s.Name), quoteIdent(s.Table), identList(s.Columns))
+	return b.String()
+}
+
+func (s *CreateViewStmt) String() string {
+	if s.XNF != nil {
+		return fmt.Sprintf("CREATE VIEW %s AS %s", quoteIdent(s.Name), s.XNF.String())
+	}
+	return fmt.Sprintf("CREATE VIEW %s AS %s", quoteIdent(s.Name), s.Select.String())
+}
+
+func (s *DropStmt) String() string {
+	return fmt.Sprintf("DROP %s %s", s.Kind, quoteIdent(s.Name))
+}
+
+func (s *InsertStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s", quoteIdent(s.Table))
+	if len(s.Columns) > 0 {
+		fmt.Fprintf(&b, " (%s)", identList(s.Columns))
+	}
+	if s.Select != nil {
+		b.WriteString(" ")
+		b.WriteString(s.Select.String())
+		return b.String()
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func (s *UpdateStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "UPDATE %s", quoteIdent(s.Table))
+	if s.Alias != "" {
+		fmt.Fprintf(&b, " %s", s.Alias)
+	}
+	b.WriteString(" SET ")
+	for i, set := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s = %s", quoteIdent(set.Column), set.Value.String())
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where.String())
+	}
+	return b.String()
+}
+
+func (s *DeleteStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DELETE FROM %s", quoteIdent(s.Table))
+	if s.Alias != "" {
+		fmt.Fprintf(&b, " %s", s.Alias)
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where.String())
+	}
+	return b.String()
+}
+
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, item := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(item.String())
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, tr := range s.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(tr.String())
+		}
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+	}
+	if s.Having != nil {
+		fmt.Fprintf(&b, " HAVING %s", s.Having.String())
+	}
+	if s.Union != nil {
+		b.WriteString(" UNION ")
+		if s.Union.All {
+			b.WriteString("ALL ")
+		}
+		b.WriteString(s.Union.Right.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+func (i SelectItem) String() string {
+	if i.Star {
+		if i.Qualifier != "" {
+			return i.Qualifier + ".*"
+		}
+		return "*"
+	}
+	s := i.Expr.String()
+	if i.Alias != "" {
+		s += " AS " + i.Alias
+	}
+	return s
+}
+
+func (t TableRef) String() string {
+	if t.Subquery != nil {
+		s := "(" + t.Subquery.String() + ")"
+		if t.Alias != "" {
+			s += " " + t.Alias
+		}
+		return s
+	}
+	s := quoteIdent(t.Table)
+	if t.Alias != "" {
+		s += " " + t.Alias
+	}
+	return s
+}
+
+func (q *XNFQuery) String() string {
+	var b strings.Builder
+	b.WriteString("OUT OF ")
+	for i, c := range q.Components {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteString(" TAKE ")
+	for i, t := range q.Take {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+func (c XNFComponent) String() string {
+	if c.Relate != nil {
+		return fmt.Sprintf("%s AS (%s)", quoteIdent(c.Name), c.Relate.String())
+	}
+	return fmt.Sprintf("%s AS (%s)", quoteIdent(c.Name), c.Select.String())
+}
+
+func (r *RelateClause) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RELATE %s", quoteIdent(r.Parent))
+	if r.Role != "" {
+		fmt.Fprintf(&b, " VIA %s", quoteIdent(r.Role))
+	}
+	for i, ch := range r.Children {
+		fmt.Fprintf(&b, ", %s", quoteIdent(ch))
+		if i < len(r.ChildAliases) && r.ChildAliases[i] != "" {
+			fmt.Fprintf(&b, " AS %s", r.ChildAliases[i])
+		}
+	}
+	if len(r.Using) > 0 {
+		b.WriteString(" USING ")
+		for i, u := range r.Using {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(u.String())
+		}
+	}
+	if r.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", r.Where.String())
+	}
+	return b.String()
+}
+
+func (t TakeItem) String() string {
+	if t.Star {
+		return "*"
+	}
+	if len(t.Columns) > 0 {
+		return fmt.Sprintf("%s (%s)", quoteIdent(t.Name), identList(t.Columns))
+	}
+	return quoteIdent(t.Name)
+}
+
+// --- expressions ---
+
+func (e *Literal) String() string { return e.Value.SQLLiteral() }
+
+func (e *ColumnRef) String() string {
+	if e.Qualifier != "" {
+		return e.Qualifier + "." + e.Name
+	}
+	return e.Name
+}
+
+// binding powers for parenthesization during deparse; must agree with the
+// parser's precedence table.
+func prec(op string) int {
+	switch op {
+	case "OR":
+		return 1
+	case "AND":
+		return 2
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		return 4
+	case "+", "-", "||":
+		return 5
+	case "*", "/", "%":
+		return 6
+	default:
+		return 7
+	}
+}
+
+func (e *BinaryExpr) String() string {
+	l := e.L.String()
+	r := e.R.String()
+	if lb, ok := e.L.(*BinaryExpr); ok && prec(lb.Op) < prec(e.Op) {
+		l = "(" + l + ")"
+	}
+	// Right side parenthesized on <= to preserve left associativity.
+	if rb, ok := e.R.(*BinaryExpr); ok && prec(rb.Op) <= prec(e.Op) {
+		r = "(" + r + ")"
+	}
+	return fmt.Sprintf("%s %s %s", l, e.Op, r)
+}
+
+func (e *UnaryExpr) String() string {
+	if e.Op == "NOT" {
+		return "NOT (" + e.X.String() + ")"
+	}
+	return e.Op + "(" + e.X.String() + ")"
+}
+
+func (e *FuncCall) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", e.Name, d, strings.Join(args, ", "))
+}
+
+func (e *SubqueryExpr) String() string {
+	if e.Exists {
+		if e.Not {
+			return "NOT EXISTS (" + e.Select.String() + ")"
+		}
+		return "EXISTS (" + e.Select.String() + ")"
+	}
+	return "(" + e.Select.String() + ")"
+}
+
+func (e *InExpr) String() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	if e.Sub != nil {
+		return fmt.Sprintf("%s %sIN (%s)", e.X.String(), not, e.Sub.String())
+	}
+	items := make([]string, len(e.List))
+	for i, it := range e.List {
+		items[i] = it.String()
+	}
+	return fmt.Sprintf("%s %sIN (%s)", e.X.String(), not, strings.Join(items, ", "))
+}
+
+func (e *BetweenExpr) String() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sBETWEEN %s AND %s", e.X.String(), not, e.Lo.String(), e.Hi.String())
+}
+
+func (e *IsNullExpr) String() string {
+	if e.Not {
+		return e.X.String() + " IS NOT NULL"
+	}
+	return e.X.String() + " IS NULL"
+}
+
+func (e *LikeExpr) String() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sLIKE %s", e.X.String(), not, e.Pattern.String())
+}
+
+func (e *CaseExpr) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range e.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.Cond.String(), w.Result.String())
+	}
+	if e.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", e.Else.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+func (e *PathExpr) String() string { return strings.Join(e.Steps, ".") }

@@ -1,0 +1,455 @@
+// Package bench is the experiment harness behind cmd/xnfbench and the
+// root bench_test.go: one function per table/figure/claim of the paper,
+// each returning a report struct the callers time and print. Keeping the
+// harness here guarantees the go-test benchmarks and the CLI regenerate
+// the same numbers.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"time"
+
+	"xnf/internal/ast"
+	"xnf/internal/cocache"
+	"xnf/internal/core"
+	"xnf/internal/engine"
+	"xnf/internal/exec"
+	"xnf/internal/opt"
+	"xnf/internal/rewrite"
+	"xnf/internal/types"
+	"xnf/internal/wire"
+	"xnf/internal/workload"
+)
+
+// --- Experiment: Table 1 (derivation-cost comparison) ---
+
+// Table1 regenerates the paper's Table 1 on a deps_ARC database.
+func Table1() (*core.Table1, error) {
+	db := engine.Open()
+	if err := workload.LoadOrg(db, workload.DefaultOrg()); err != nil {
+		return nil, err
+	}
+	v, _ := db.Catalog().View("deps_ARC")
+	stmt, err := core.ParseViewText(v.Text)
+	if err != nil {
+		return nil, err
+	}
+	return core.AnalyzeTable1(db.Catalog(), stmt, rewrite.DefaultOptions())
+}
+
+// CompileDepsARC compiles the stored deps_ARC view of an org database.
+func CompileDepsARC(db *engine.Database) (*core.Compiled, error) {
+	return core.CompileView(db.Catalog(), "deps_ARC", db.RewriteOptions)
+}
+
+// BuildCache builds the client workspace from an extracted CO.
+func BuildCache(res *core.COResult) (*cocache.Cache, error) { return cocache.Build(res) }
+
+// StandaloneComponents performs the Table-1 strawman at runtime: derive
+// every deps_ARC component with its own standalone query (no shared
+// derivation). Used to measure the work ratio Table 1 predicts.
+func StandaloneComponents(db *engine.Database) error {
+	v, ok := db.Catalog().View("deps_ARC")
+	if !ok {
+		return fmt.Errorf("bench: deps_ARC not defined")
+	}
+	xq, err := core.ParseViewText(v.Text)
+	if err != nil {
+		return err
+	}
+	for _, comp := range xq.Components {
+		sub := *xq
+		sub.Take = nil
+		sub.Take = append(sub.Take, astTake(comp.Name))
+		compiled, err := core.Compile(db.Catalog(), &sub, rewrite.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if _, err := compiled.Execute(db.Store(), opt.DefaultOptions()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func astTake(name string) ast.TakeItem { return ast.TakeItem{Name: name} }
+
+// --- Experiment: Fig. 3 (existential subquery → join rewrite) ---
+
+// Fig3Result compares the naive correlated execution of the paper's Fig. 3
+// query against the rewritten join at one scale.
+type Fig3Result struct {
+	Emps, Depts  int
+	NaiveTime    time.Duration
+	RewireTime   time.Duration
+	NaiveRuns    int64 // per-row subquery executions
+	RewriteScans int64
+	Speedup      float64
+}
+
+// Fig3DB builds the EMP/DEPT database for one scale.
+func Fig3DB(depts, empsPerDept int) (*engine.Database, error) {
+	db := engine.Open()
+	err := workload.LoadOrg(db, workload.OrgParams{
+		Depts: depts, EmpsPerDept: empsPerDept, ProjsPerDept: 1,
+		Skills: 10, SkillsPerEmp: 1, SkillsPerProj: 1,
+		ArcFraction: 0.1, Seed: 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Fig3Query is the paper's Fig. 3 example.
+const Fig3Query = `SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE d.loc = 'ARC' AND d.dno = e.edno)`
+
+// RunFig3Once executes the query in the given mode, returning the row
+// count and the execution counters.
+func RunFig3Once(db *engine.Database, naive bool) (int, exec.Counters, error) {
+	savedOpt, savedRw := db.OptOptions, db.RewriteOptions
+	defer func() { db.OptOptions, db.RewriteOptions = savedOpt, savedRw }()
+	if naive {
+		db.OptOptions = opt.NaiveOptions()
+		db.RewriteOptions = rewrite.NoRewrite()
+	} else {
+		db.OptOptions = opt.DefaultOptions()
+		db.RewriteOptions = rewrite.DefaultOptions()
+	}
+	res, err := db.Query(Fig3Query)
+	if err != nil {
+		return 0, exec.Counters{}, err
+	}
+	return len(res.Rows), res.Counters, nil
+}
+
+// Fig3 measures both modes at one scale.
+func Fig3(depts, empsPerDept int) (*Fig3Result, error) {
+	db, err := Fig3DB(depts, empsPerDept)
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig3Result{Emps: depts * empsPerDept, Depts: depts}
+
+	start := time.Now()
+	nNaive, cNaive, err := RunFig3Once(db, true)
+	if err != nil {
+		return nil, err
+	}
+	r.NaiveTime = time.Since(start)
+	r.NaiveRuns = cNaive.SubplanRuns
+
+	start = time.Now()
+	nFull, cFull, err := RunFig3Once(db, false)
+	if err != nil {
+		return nil, err
+	}
+	r.RewireTime = time.Since(start)
+	r.RewriteScans = cFull.RowsScanned
+	if nNaive != nFull {
+		return nil, fmt.Errorf("bench: fig3 modes disagree: %d vs %d rows", nNaive, nFull)
+	}
+	if r.RewireTime > 0 {
+		r.Speedup = float64(r.NaiveTime) / float64(r.RewireTime)
+	}
+	return r, nil
+}
+
+// --- Experiment: set-oriented vs fragmented extraction (Sect. 1) ---
+
+// ExtractionResult compares one-query CO extraction against per-parent
+// navigation at one scale over a real client/server connection.
+type ExtractionResult struct {
+	Depts, Tuples    int
+	SetOriented      time.Duration
+	SetRoundTrips    int
+	Fragmented       time.Duration
+	FragRoundTrips   int
+	FragQueries      int
+	Speedup          float64
+	SimulatedLatency time.Duration
+	SetModeledTime   time.Duration
+	FragModeledTime  time.Duration
+	ModeledSpeedup   float64
+}
+
+// StartServer boots a TCP server over a fresh org database at the given
+// scale and returns its address plus a closer.
+func StartServer(p workload.OrgParams) (string, func(), error) {
+	db := engine.Open()
+	if err := workload.LoadOrg(db, p); err != nil {
+		return "", nil, err
+	}
+	srv := wire.NewServer(db)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.Serve(l)
+	return l.Addr().String(), func() { srv.Close() }, nil
+}
+
+// FragmentedExtract performs the paper's strawman: follow parent/child
+// relationships with one query per instance ("the process of data
+// extraction is broken into fragmented queries where the number of
+// fragments is in the order of number of instances", Sect. 1). It returns
+// the number of tuples fetched and queries issued.
+func FragmentedExtract(c *wire.Client) (tuples, queries int, err error) {
+	q := func(sql string) ([]types.Row, error) {
+		queries++
+		return c.Query(sql)
+	}
+	depts, err := q("SELECT dno, dname, loc FROM DEPT WHERE loc = 'ARC'")
+	if err != nil {
+		return 0, queries, err
+	}
+	tuples += len(depts)
+	seenSkill := make(map[int64]bool)
+	for _, d := range depts {
+		emps, err := q(fmt.Sprintf("SELECT eno, ename, edno, sal FROM EMP WHERE edno = %d", d[0].I))
+		if err != nil {
+			return 0, queries, err
+		}
+		tuples += len(emps)
+		for _, e := range emps {
+			skills, err := q(fmt.Sprintf(
+				"SELECT s.sno, s.sname FROM SKILLS s, EMPSKILLS es WHERE es.eseno = %d AND es.essno = s.sno", e[0].I))
+			if err != nil {
+				return 0, queries, err
+			}
+			for _, s := range skills {
+				if !seenSkill[s[0].I] {
+					seenSkill[s[0].I] = true
+					tuples++
+				}
+			}
+		}
+		projs, err := q(fmt.Sprintf("SELECT pno, pname, pdno, budget FROM PROJ WHERE pdno = %d", d[0].I))
+		if err != nil {
+			return 0, queries, err
+		}
+		tuples += len(projs)
+		for _, p := range projs {
+			skills, err := q(fmt.Sprintf(
+				"SELECT s.sno, s.sname FROM SKILLS s, PROJSKILLS ps WHERE ps.pspno = %d AND ps.pssno = s.sno", p[0].I))
+			if err != nil {
+				return 0, queries, err
+			}
+			for _, s := range skills {
+				if !seenSkill[s[0].I] {
+					seenSkill[s[0].I] = true
+					tuples++
+				}
+			}
+		}
+	}
+	return tuples, queries, nil
+}
+
+// Extraction runs both extraction strategies against a server at the given
+// scale with the given injected per-round-trip latency.
+func Extraction(p workload.OrgParams, latency time.Duration) (*ExtractionResult, error) {
+	addr, closer, err := StartServer(p)
+	if err != nil {
+		return nil, err
+	}
+	defer closer()
+
+	r := &ExtractionResult{Depts: p.Depts, SimulatedLatency: latency}
+
+	set, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer set.Close()
+	set.Latency = latency
+	start := time.Now()
+	cache, err := set.QueryCO("deps_ARC", wire.ShipWhole())
+	if err != nil {
+		return nil, err
+	}
+	r.SetOriented = time.Since(start)
+	r.SetRoundTrips = set.Stats.RoundTrips
+	for _, comp := range cache.Components() {
+		r.Tuples += comp.Len()
+	}
+
+	frag, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer frag.Close()
+	frag.Latency = latency
+	start = time.Now()
+	fragTuples, queries, err := FragmentedExtract(frag)
+	if err != nil {
+		return nil, err
+	}
+	r.Fragmented = time.Since(start)
+	r.FragRoundTrips = frag.Stats.RoundTrips
+	r.FragQueries = queries
+	if fragTuples != r.Tuples {
+		return nil, fmt.Errorf("bench: extraction strategies disagree: %d vs %d tuples", fragTuples, r.Tuples)
+	}
+	if r.SetOriented > 0 {
+		r.Speedup = float64(r.Fragmented) / float64(r.SetOriented)
+	}
+	// Modeled times for an arbitrary target latency (1ms WAN-ish RPC):
+	// measured compute + roundTrips × target.
+	const target = time.Millisecond
+	r.SetModeledTime = r.SetOriented - time.Duration(r.SetRoundTrips)*latency + time.Duration(r.SetRoundTrips)*target
+	r.FragModeledTime = r.Fragmented - time.Duration(r.FragRoundTrips)*latency + time.Duration(r.FragRoundTrips)*target
+	if r.SetModeledTime > 0 {
+		r.ModeledSpeedup = float64(r.FragModeledTime) / float64(r.SetModeledTime)
+	}
+	return r, nil
+}
+
+// --- Experiment: cache traversal rate (Sect. 5.2, Cattell OO1) ---
+
+// TraversalResult reports the cache navigation rate.
+type TraversalResult struct {
+	Parts, Connections int
+	LoadTime           time.Duration
+	Visited            int
+	Elapsed            time.Duration
+	TuplesPerSecond    float64
+}
+
+// BuildOO1Cache loads the OO1 database and ships it into a cache.
+func BuildOO1Cache(p workload.OO1Params) (*cocache.Cache, time.Duration, error) {
+	db := engine.Open()
+	if err := workload.LoadOO1(db, p); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	compiled, err := core.CompileView(db.Catalog(), "part_graph", rewrite.DefaultOptions())
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := compiled.Execute(db.Store(), opt.DefaultOptions())
+	if err != nil {
+		return nil, 0, err
+	}
+	cache, err := cocache.Build(res)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cache, time.Since(start), nil
+}
+
+// RunTraversal performs iters random depth-limited traversals and returns
+// the visit count.
+func RunTraversal(cache *cocache.Cache, iters, depth int, seed int64) int {
+	comp, _ := cache.Component("xpart")
+	objs := comp.Objects()
+	r := rand.New(rand.NewSource(seed))
+	total := 0
+	for i := 0; i < iters; i++ {
+		total += cache.Traverse(objs[r.Intn(len(objs))], "connected", depth, nil)
+	}
+	return total
+}
+
+// Traversal measures the OO1 traversal rate.
+func Traversal(p workload.OO1Params, iters, depth int) (*TraversalResult, error) {
+	cache, load, err := BuildOO1Cache(p)
+	if err != nil {
+		return nil, err
+	}
+	comp, _ := cache.Component("xpart")
+	rel, _ := cache.Relationship("connected")
+	r := &TraversalResult{Parts: comp.Len(), Connections: rel.Connections(), LoadTime: load}
+	start := time.Now()
+	r.Visited = RunTraversal(cache, iters, depth, 42)
+	r.Elapsed = time.Since(start)
+	if r.Elapsed > 0 {
+		r.TuplesPerSecond = float64(r.Visited) / r.Elapsed.Seconds()
+	}
+	return r, nil
+}
+
+// --- Experiment: shipping modes (Sect. 5.1/5.3) ---
+
+// ShippingRow is one shipping strategy's cost.
+type ShippingRow struct {
+	Mode       string
+	Time       time.Duration
+	RoundTrips int
+	Messages   int
+	BytesRecv  int
+	Tuples     int
+}
+
+// Shipping compares whole-CO, block and tuple-at-a-time shipping, plus a
+// projected variant (TAKE with column subsets — the "ship only requested
+// attributes" point of Sect. 5.3).
+func Shipping(p workload.OrgParams, latency time.Duration) ([]ShippingRow, error) {
+	db := engine.Open()
+	if err := workload.LoadOrg(db, p); err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec(`CREATE VIEW deps_slim AS
+OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+       xemp AS EMP,
+       employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
+TAKE xdept (dname), xemp (ename), employment`); err != nil {
+		return nil, err
+	}
+	srv := wire.NewServer(db)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	run := func(label, view string, mode wire.ShipMode) (ShippingRow, error) {
+		c, err := wire.Dial(l.Addr().String())
+		if err != nil {
+			return ShippingRow{}, err
+		}
+		defer c.Close()
+		c.Latency = latency
+		start := time.Now()
+		if _, err := c.QueryCO(view, mode); err != nil {
+			return ShippingRow{}, err
+		}
+		return ShippingRow{
+			Mode: label, Time: time.Since(start),
+			RoundTrips: c.Stats.RoundTrips, Messages: c.Stats.Messages,
+			BytesRecv: c.Stats.BytesRecv, Tuples: c.Stats.TuplesRecv,
+		}, nil
+	}
+	var rows []ShippingRow
+	for _, cfg := range []struct {
+		label, view string
+		mode        wire.ShipMode
+	}{
+		{"whole-CO", "deps_ARC", wire.ShipWhole()},
+		{"block-100", "deps_ARC", wire.ShipBlocks(100)},
+		{"block-10", "deps_ARC", wire.ShipBlocks(10)},
+		{"tuple-at-a-time", "deps_ARC", wire.ShipTupleAtATime()},
+		{"projected (TAKE cols)", "deps_slim", wire.ShipWhole()},
+	} {
+		row, err := run(cfg.label, cfg.view, cfg.mode)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatShipping renders the shipping table.
+func FormatShipping(rows []ShippingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %12s %11s %9s %10s %7s\n", "mode", "time", "roundtrips", "messages", "bytes", "tuples")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %12v %11d %9d %10d %7d\n", r.Mode, r.Time.Round(time.Microsecond), r.RoundTrips, r.Messages, r.BytesRecv, r.Tuples)
+	}
+	return b.String()
+}

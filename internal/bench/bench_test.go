@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"xnf/internal/workload"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tbl, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.SQLTotal != 23 || tbl.ReplicatedTotal != 16 || tbl.XNFTotal != 7 {
+		t.Errorf("Table 1 = %d/%d/%d, paper reports 23/16/7",
+			tbl.SQLTotal, tbl.ReplicatedTotal, tbl.XNFTotal)
+	}
+}
+
+func TestFig3ShapeHolds(t *testing.T) {
+	r, err := Fig3(50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NaiveRuns != int64(r.Emps) {
+		t.Errorf("naive mode ran the subquery %d times for %d employees", r.NaiveRuns, r.Emps)
+	}
+	if r.Speedup < 1 {
+		t.Errorf("rewritten plan slower than naive (%.2fx)", r.Speedup)
+	}
+}
+
+func TestExtractionShapeHolds(t *testing.T) {
+	p := workload.OrgParams{
+		Depts: 20, EmpsPerDept: 5, ProjsPerDept: 2,
+		Skills: 50, SkillsPerEmp: 2, SkillsPerProj: 1,
+		ArcFraction: 0.5, Seed: 4,
+	}
+	r, err := Extraction(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SetRoundTrips >= r.FragRoundTrips {
+		t.Errorf("set-oriented round trips (%d) must be far below fragmented (%d)",
+			r.SetRoundTrips, r.FragRoundTrips)
+	}
+	// One query per parent instance: queries grow with the extracted
+	// instances (1 + emps + projs + per-emp + per-proj fragments).
+	if r.FragQueries < r.Depts {
+		t.Errorf("fragmented issued only %d queries for %d parents", r.FragQueries, r.Depts)
+	}
+}
+
+func TestTraversalAboveClaim(t *testing.T) {
+	r, err := Traversal(workload.OO1Params{Parts: 2000, Conns: 3, Seed: 7}, 20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TuplesPerSecond < 100000 {
+		t.Errorf("traversal rate %.0f below the paper's 100k tuples/s claim", r.TuplesPerSecond)
+	}
+}
+
+func TestShippingShapeHolds(t *testing.T) {
+	p := workload.OrgParams{
+		Depts: 10, EmpsPerDept: 5, ProjsPerDept: 2,
+		Skills: 40, SkillsPerEmp: 2, SkillsPerProj: 1,
+		ArcFraction: 0.5, Seed: 4,
+	}
+	rows, err := Shipping(p, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]ShippingRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	whole := byMode["whole-CO"]
+	tuple := byMode["tuple-at-a-time"]
+	slim := byMode["projected (TAKE cols)"]
+	if whole.RoundTrips >= tuple.RoundTrips {
+		t.Errorf("whole (%d) vs tuple (%d) round trips", whole.RoundTrips, tuple.RoundTrips)
+	}
+	if tuple.RoundTrips < tuple.Tuples {
+		t.Errorf("tuple-at-a-time: %d round trips for %d tuples", tuple.RoundTrips, tuple.Tuples)
+	}
+	if slim.BytesRecv >= whole.BytesRecv {
+		t.Errorf("projection should ship fewer bytes: %d vs %d", slim.BytesRecv, whole.BytesRecv)
+	}
+}
+
+func TestStandaloneComponents(t *testing.T) {
+	db, err := Fig3DB(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := StandaloneComponents(db); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,321 @@
+// Package catalog holds the database schema: table and column definitions,
+// keys, index metadata, view texts and optimizer statistics. It corresponds
+// to the catalog component of an RDBMS; the storage engine and the query
+// compiler both consult it.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"xnf/internal/types"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name    string
+	Type    types.Type
+	NotNull bool
+}
+
+// ForeignKey records that Columns of this table reference the primary key
+// columns of RefTable. The XNF layer uses foreign keys to decide which
+// relationship connect/disconnect operations are updatable.
+type ForeignKey struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// IndexKind distinguishes the physical index structures the storage engine
+// provides.
+type IndexKind uint8
+
+// The index kinds.
+const (
+	HashIndex IndexKind = iota
+	OrderedIndex
+)
+
+// Index is the catalog entry for an index.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string
+	Kind    IndexKind
+	Unique  bool
+}
+
+// Table is the catalog entry for a base table.
+type Table struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+	Indexes     []*Index
+
+	// Stats are maintained by the storage engine and read by the optimizer.
+	Stats Stats
+}
+
+// Stats carries the optimizer statistics for a table.
+type Stats struct {
+	RowCount int64
+	// ColCard maps column name to its number of distinct values.
+	ColCard map[string]int64
+}
+
+// View is a named stored query; Text is re-parsed on use. IsXNF marks
+// composite-object views defined with OUT OF ... TAKE.
+type View struct {
+	Name  string
+	Text  string
+	IsXNF bool
+}
+
+// Catalog is the set of tables and views of one database. It is safe for
+// concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*View
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
+	}
+}
+
+// norm gives the case-insensitive lookup key for SQL identifiers.
+func norm(name string) string { return strings.ToUpper(name) }
+
+// CreateTable registers a table definition. Column names must be unique and
+// primary-key columns must exist.
+func (c *Catalog) CreateTable(t *Table) error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog: table must have a name")
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("catalog: table %s must have at least one column", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, col := range t.Columns {
+		k := norm(col.Name)
+		if seen[k] {
+			return fmt.Errorf("catalog: duplicate column %s in table %s", col.Name, t.Name)
+		}
+		seen[k] = true
+	}
+	for _, pk := range t.PrimaryKey {
+		if !seen[norm(pk)] {
+			return fmt.Errorf("catalog: primary key column %s not in table %s", pk, t.Name)
+		}
+	}
+	for _, fk := range t.ForeignKeys {
+		for _, fc := range fk.Columns {
+			if !seen[norm(fc)] {
+				return fmt.Errorf("catalog: foreign key column %s not in table %s", fc, t.Name)
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := norm(t.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("catalog: table %s already exists", t.Name)
+	}
+	if _, ok := c.views[k]; ok {
+		return fmt.Errorf("catalog: a view named %s already exists", t.Name)
+	}
+	if t.Stats.ColCard == nil {
+		t.Stats.ColCard = make(map[string]int64)
+	}
+	c.tables[k] = t
+	return nil
+}
+
+// DropTable removes a table definition.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := norm(name)
+	if _, ok := c.tables[k]; !ok {
+		return fmt.Errorf("catalog: table %s does not exist", name)
+	}
+	delete(c.tables, k)
+	return nil
+}
+
+// Table looks up a table definition by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[norm(name)]
+	return t, ok
+}
+
+// Tables returns all table definitions sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreateView registers a view; it shadows no table.
+func (c *Catalog) CreateView(v *View) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := norm(v.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("catalog: a table named %s already exists", v.Name)
+	}
+	if _, ok := c.views[k]; ok {
+		return fmt.Errorf("catalog: view %s already exists", v.Name)
+	}
+	c.views[k] = v
+	return nil
+}
+
+// DropView removes a view.
+func (c *Catalog) DropView(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := norm(name)
+	if _, ok := c.views[k]; !ok {
+		return fmt.Errorf("catalog: view %s does not exist", name)
+	}
+	delete(c.views, k)
+	return nil
+}
+
+// View looks up a view by name.
+func (c *Catalog) View(name string) (*View, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[norm(name)]
+	return v, ok
+}
+
+// Views returns all views sorted by name.
+func (c *Catalog) Views() []*View {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*View, 0, len(c.views))
+	for _, v := range c.views {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AddIndex attaches index metadata to its table.
+func (c *Catalog) AddIndex(idx *Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[norm(idx.Table)]
+	if !ok {
+		return fmt.Errorf("catalog: table %s does not exist", idx.Table)
+	}
+	for _, existing := range t.Indexes {
+		if norm(existing.Name) == norm(idx.Name) {
+			return fmt.Errorf("catalog: index %s already exists", idx.Name)
+		}
+	}
+	for _, col := range idx.Columns {
+		if _, ok := t.ColumnIndex(col); !ok {
+			return fmt.Errorf("catalog: index column %s not in table %s", col, idx.Table)
+		}
+	}
+	t.Indexes = append(t.Indexes, idx)
+	return nil
+}
+
+// ColumnIndex returns the ordinal position of a column (case-insensitive).
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	for i, col := range t.Columns {
+		if strings.EqualFold(col.Name, name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ColumnNames returns the column names in table order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Columns))
+	for i, col := range t.Columns {
+		names[i] = col.Name
+	}
+	return names
+}
+
+// PKOrdinals resolves the primary key to column ordinals.
+func (t *Table) PKOrdinals() []int {
+	out := make([]int, 0, len(t.PrimaryKey))
+	for _, pk := range t.PrimaryKey {
+		if i, ok := t.ColumnIndex(pk); ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IndexOn returns an index whose leading columns cover exactly the given
+// column list prefix, preferring unique then ordered indexes.
+func (t *Table) IndexOn(cols []string) *Index {
+	var best *Index
+	for _, idx := range t.Indexes {
+		if len(idx.Columns) < len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if !strings.EqualFold(idx.Columns[i], c) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if best == nil || (idx.Unique && !best.Unique) {
+			best = idx
+		}
+	}
+	return best
+}
+
+// Cardinality returns the distinct-value estimate for a column, defaulting
+// to a tenth of the row count when no statistic is recorded.
+func (t *Table) Cardinality(col string) int64 {
+	if t.Stats.ColCard != nil {
+		if card, ok := t.Stats.ColCard[norm(col)]; ok && card > 0 {
+			return card
+		}
+	}
+	if t.Stats.RowCount > 10 {
+		return t.Stats.RowCount / 10
+	}
+	if t.Stats.RowCount > 0 {
+		return t.Stats.RowCount
+	}
+	return 1
+}
+
+// SetColCard records a distinct-value statistic.
+func (t *Table) SetColCard(col string, card int64) {
+	if t.Stats.ColCard == nil {
+		t.Stats.ColCard = make(map[string]int64)
+	}
+	t.Stats.ColCard[norm(col)] = card
+}

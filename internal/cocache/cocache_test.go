@@ -1,0 +1,418 @@
+package cocache
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"xnf/internal/core"
+	"xnf/internal/engine"
+	"xnf/internal/opt"
+	"xnf/internal/rewrite"
+	"xnf/internal/types"
+	"xnf/internal/workload"
+)
+
+func fig1DB(t testing.TB) *engine.Database {
+	t.Helper()
+	db := engine.Open()
+	script := workload.OrgSchema + `
+INSERT INTO DEPT VALUES (1, 'd1', 'ARC'), (2, 'd2', 'ARC'), (3, 'd3', 'HQ');
+INSERT INTO EMP VALUES (1, 'e1', 1, 100), (2, 'e2', 1, 200), (3, 'e3', 2, 300), (9, 'e9', 3, 900);
+INSERT INTO PROJ VALUES (1, 'p1', 1, 10), (2, 'p2', 2, 20), (9, 'p9', 3, 90);
+INSERT INTO SKILLS VALUES (1, 's1'), (2, 's2'), (3, 's3'), (4, 's4'), (5, 's5');
+INSERT INTO EMPSKILLS VALUES (1, 1), (2, 3), (3, 3), (3, 4), (9, 2);
+INSERT INTO PROJSKILLS VALUES (1, 3), (2, 4), (2, 5), (9, 2);
+` + workload.DepsARC + ";"
+	if err := db.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func buildCache(t testing.TB, db *engine.Database) *Cache {
+	t.Helper()
+	c, err := core.CompileView(db.Catalog(), "deps_ARC", rewrite.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(db.Store(), opt.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cache
+}
+
+func TestBuildComponents(t *testing.T) {
+	cache := buildCache(t, fig1DB(t))
+	want := map[string]int{"xdept": 2, "xemp": 3, "xproj": 2, "xskills": 4}
+	for name, n := range want {
+		comp, ok := cache.Component(name)
+		if !ok {
+			t.Fatalf("missing component %s", name)
+		}
+		if comp.Len() != n {
+			t.Errorf("%s has %d objects, want %d", name, comp.Len(), n)
+		}
+	}
+	if len(cache.Relationships()) != 4 {
+		t.Errorf("relationships = %d", len(cache.Relationships()))
+	}
+}
+
+func TestSwizzledNavigation(t *testing.T) {
+	cache := buildCache(t, fig1DB(t))
+	xdept, _ := cache.Component("xdept")
+	d1, ok := xdept.Lookup(types.NewInt(1))
+	if !ok {
+		t.Fatal("d1 not found")
+	}
+	emps := d1.Children("employment")
+	if len(emps) != 2 {
+		t.Fatalf("d1 employs %d, want 2", len(emps))
+	}
+	var names []string
+	for _, e := range emps {
+		names = append(names, e.MustGet("ename").S)
+	}
+	sort.Strings(names)
+	if fmt.Sprint(names) != "[e1 e2]" {
+		t.Errorf("d1 employees = %v", names)
+	}
+	// Upward navigation.
+	if len(emps[0].Parents("employment")) != 1 {
+		t.Error("child → parent pointer missing")
+	}
+	// Shared skill s3 has two parent employees.
+	xskills, _ := cache.Component("xskills")
+	s3, _ := xskills.Lookup(types.NewInt(3))
+	if len(s3.Parents("empproperty")) != 2 {
+		t.Errorf("s3 emp parents = %d, want 2 (e2 and e3)", len(s3.Parents("empproperty")))
+	}
+	if len(s3.Parents("projproperty")) != 1 {
+		t.Errorf("s3 proj parents = %d, want 1 (p1)", len(s3.Parents("projproperty")))
+	}
+}
+
+func TestIndependentAndDependentCursors(t *testing.T) {
+	cache := buildCache(t, fig1DB(t))
+	cur, err := cache.OpenCursor("xemp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for o := cur.Next(); o != nil; o = cur.Next() {
+		n++
+		_ = o.MustGet("eno")
+	}
+	if n != 3 {
+		t.Errorf("independent cursor saw %d", n)
+	}
+	cur.Reset()
+	if cur.Next() == nil {
+		t.Error("reset cursor should restart")
+	}
+
+	xdept, _ := cache.Component("xdept")
+	d2, _ := xdept.Lookup(types.NewInt(2))
+	dep, err := cache.OpenDependentCursor(d2, "employment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kids []string
+	for o := dep.Next(); o != nil; o = dep.Next() {
+		kids = append(kids, o.MustGet("ename").S)
+	}
+	if fmt.Sprint(kids) != "[e3]" {
+		t.Errorf("d2 children = %v", kids)
+	}
+	if _, err := cache.OpenCursor("ghost"); err == nil {
+		t.Error("unknown component should fail")
+	}
+	if _, err := cache.OpenDependentCursor(d2, "ghost"); err == nil {
+		t.Error("unknown relationship should fail")
+	}
+}
+
+func TestPathExpressions(t *testing.T) {
+	cache := buildCache(t, fig1DB(t))
+	// The paper's path expressions denote reachable target tuples.
+	skills, err := cache.PathString("xdept.xemp.xskills")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, s := range skills {
+		got = append(got, s.MustGet("sno").String())
+	}
+	sort.Strings(got)
+	if fmt.Sprint(got) != "[1 3 4]" {
+		t.Errorf("xdept.xemp.xskills = %v", got)
+	}
+	// Explicit relationship steps.
+	skills2, err := cache.Path("xdept", "ownership", "projproperty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	for _, s := range skills2 {
+		got = append(got, s.MustGet("sno").String())
+	}
+	sort.Strings(got)
+	if fmt.Sprint(got) != "[3 4 5]" {
+		t.Errorf("ownership.projproperty = %v", got)
+	}
+	// Deduplication: s3 reachable from two employees appears once.
+	seen := map[string]int{}
+	for _, s := range skills {
+		seen[s.Key()]++
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("path result duplicates %s ×%d", k, n)
+		}
+	}
+	if _, err := cache.PathString("xemp.xdept"); err == nil {
+		t.Error("path against relationship direction should fail")
+	}
+	if _, err := cache.PathString("nosuch.xemp"); err == nil {
+		t.Error("unknown start should fail")
+	}
+}
+
+func TestUpdateWriteBack(t *testing.T) {
+	db := fig1DB(t)
+	cache := buildCache(t, db)
+	xemp, _ := cache.Component("xemp")
+	e1, _ := xemp.Lookup(types.NewInt(1))
+	if err := cache.Set(e1, "sal", types.NewFloat(150)); err != nil {
+		t.Fatal(err)
+	}
+	if e1.MustGet("sal").F != 150 {
+		t.Error("local update not applied")
+	}
+	if err := cache.SaveChanges(func(sql string) error {
+		_, err := db.Exec(sql)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT sal FROM EMP WHERE eno = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].F != 150 {
+		t.Errorf("server sal = %v", res.Rows[0][0])
+	}
+	if len(cache.Pending()) != 0 {
+		t.Error("log should be clear after SaveChanges")
+	}
+}
+
+func TestInsertDeleteWriteBack(t *testing.T) {
+	db := fig1DB(t)
+	cache := buildCache(t, db)
+	_, err := cache.Insert("xemp", types.Row{
+		types.NewInt(50), types.NewString("e50"), types.NewInt(1), types.NewFloat(500),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xemp, _ := cache.Component("xemp")
+	if xemp.Len() != 4 {
+		t.Errorf("len after insert = %d", xemp.Len())
+	}
+	e3, _ := xemp.Lookup(types.NewInt(3))
+	if err := cache.Delete(e3); err != nil {
+		t.Fatal(err)
+	}
+	if xemp.Len() != 3 {
+		t.Errorf("len after delete = %d", xemp.Len())
+	}
+	// d2's employment children must no longer include e3.
+	xdept, _ := cache.Component("xdept")
+	d2, _ := xdept.Lookup(types.NewInt(2))
+	if len(d2.Children("employment")) != 0 {
+		t.Error("deleted object still connected")
+	}
+	if err := cache.SaveChanges(func(sql string) error {
+		_, err := db.Exec(sql)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("SELECT COUNT(*) FROM EMP WHERE eno = 50")
+	if res.Rows[0][0].I != 1 {
+		t.Error("insert not written back")
+	}
+	res, _ = db.Query("SELECT COUNT(*) FROM EMP WHERE eno = 3")
+	if res.Rows[0][0].I != 0 {
+		t.Error("delete not written back")
+	}
+}
+
+func TestConnectDisconnectFK(t *testing.T) {
+	db := fig1DB(t)
+	cache := buildCache(t, db)
+	xdept, _ := cache.Component("xdept")
+	xemp, _ := cache.Component("xemp")
+	d2, _ := xdept.Lookup(types.NewInt(2))
+	e1, _ := xemp.Lookup(types.NewInt(1))
+	d1, _ := xdept.Lookup(types.NewInt(1))
+
+	// Move e1 from d1 to d2: disconnect + connect translate to FK updates.
+	if err := cache.Disconnect("employment", d1, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Connect("employment", d2, e1); err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Children("employment")) != 2 {
+		t.Errorf("d2 children = %d", len(d2.Children("employment")))
+	}
+	if err := cache.SaveChanges(func(sql string) error {
+		_, err := db.Exec(sql)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("SELECT edno FROM EMP WHERE eno = 1")
+	if res.Rows[0][0].I != 2 {
+		t.Errorf("server edno = %v (FK update lost)", res.Rows[0][0])
+	}
+}
+
+func TestConnectDisconnectConnectTable(t *testing.T) {
+	db := fig1DB(t)
+	cache := buildCache(t, db)
+	xemp, _ := cache.Component("xemp")
+	xskills, _ := cache.Component("xskills")
+	e1, _ := xemp.Lookup(types.NewInt(1))
+	s4, _ := xskills.Lookup(types.NewInt(4))
+
+	if err := cache.Connect("empproperty", e1, s4); err != nil {
+		t.Fatal(err)
+	}
+	if len(e1.Children("empproperty")) != 2 {
+		t.Errorf("e1 skills = %d", len(e1.Children("empproperty")))
+	}
+	s1, _ := xskills.Lookup(types.NewInt(1))
+	if err := cache.Disconnect("empproperty", e1, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.SaveChanges(func(sql string) error {
+		_, err := db.Exec(sql)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("SELECT essno FROM EMPSKILLS WHERE eseno = 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 4 {
+		t.Errorf("connect table rows = %v", res.Rows)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cache := buildCache(t, fig1DB(t))
+	var buf bytes.Buffer
+	if err := cache.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range cache.Components() {
+		lc, ok := loaded.Component(comp.Name)
+		if !ok || lc.Len() != comp.Len() {
+			t.Errorf("component %s lost in round trip", comp.Name)
+		}
+	}
+	for _, rel := range cache.Relationships() {
+		lr, ok := loaded.Relationship(rel.Name)
+		if !ok || lr.Connections() != rel.Connections() {
+			t.Errorf("relationship %s: %d connections, want %d", rel.Name, lr.Connections(), rel.Connections())
+		}
+	}
+	// Navigation still works after re-swizzling.
+	skills, err := loaded.PathString("xdept.xemp.xskills")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skills) != 3 {
+		t.Errorf("path over loaded cache = %d objects", len(skills))
+	}
+}
+
+// Reachability invariant: every cached non-root object has at least one
+// parent pointer; no connection points at a missing object.
+func TestReachabilityInvariant(t *testing.T) {
+	cache := buildCache(t, fig1DB(t))
+	roots := map[string]bool{"XDEPT": true}
+	for _, comp := range cache.Components() {
+		for _, o := range comp.Objects() {
+			if roots[strings.ToUpper(comp.Name)] {
+				continue
+			}
+			total := 0
+			for _, rel := range cache.Relationships() {
+				total += len(o.Parents(rel.Name))
+			}
+			if total == 0 {
+				t.Errorf("object %s of %s is unreachable in the cache", o.Key(), comp.Name)
+			}
+		}
+	}
+	if cache.Stats.Dangling != 0 {
+		t.Errorf("dangling connections = %d", cache.Stats.Dangling)
+	}
+}
+
+func TestTraverse(t *testing.T) {
+	cache := buildCache(t, fig1DB(t))
+	xdept, _ := cache.Component("xdept")
+	d1, _ := xdept.Lookup(types.NewInt(1))
+	visited := 0
+	n := cache.Traverse(d1, "employment", 1, func(o *Object, depth int) { visited++ })
+	if n != 3 || visited != 3 { // d1 + e1 + e2
+		t.Errorf("traverse visited %d/%d", visited, n)
+	}
+}
+
+func TestRichViewNotUpdatable(t *testing.T) {
+	db := fig1DB(t)
+	if _, err := db.Exec(`CREATE VIEW agg_co AS
+		OUT OF xdept AS (SELECT loc, COUNT(*) AS n FROM DEPT GROUP BY loc)
+		TAKE *`); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.CompileView(db.Catalog(), "agg_co", rewrite.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(db.Store(), opt.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := cache.Component("xdept")
+	objs := comp.Objects()
+	if len(objs) == 0 {
+		t.Fatal("no rows")
+	}
+	if err := cache.Set(objs[0], "n", types.NewInt(99)); err == nil {
+		t.Error("aggregated component must be read-only")
+	}
+	if _, err := cache.Insert("xdept", objs[0].Row); err == nil {
+		t.Error("insert into rich view must fail")
+	}
+}

@@ -1,0 +1,141 @@
+package cocache
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cursor is the XNF API's navigation primitive (Sect. 2): an iterator over
+// objects. Independent cursors browse a whole component table; dependent
+// cursors browse the children of a parent object along one relationship.
+// Both are plain in-memory walks over swizzled pointers.
+type Cursor struct {
+	objs []*Object
+	pos  int
+}
+
+// Next returns the next live object or nil at the end.
+func (c *Cursor) Next() *Object {
+	for c.pos < len(c.objs) {
+		o := c.objs[c.pos]
+		c.pos++
+		if !o.deleted {
+			return o
+		}
+	}
+	return nil
+}
+
+// Reset rewinds the cursor.
+func (c *Cursor) Reset() { c.pos = 0 }
+
+// Len returns the number of objects the cursor ranges over (including any
+// that are skipped as deleted during iteration).
+func (c *Cursor) Len() int { return len(c.objs) }
+
+// OpenCursor opens an independent cursor over a component table.
+func (c *Cache) OpenCursor(component string) (*Cursor, error) {
+	comp, ok := c.Component(component)
+	if !ok {
+		return nil, fmt.Errorf("cocache: unknown component %s", component)
+	}
+	return &Cursor{objs: comp.objs}, nil
+}
+
+// OpenDependentCursor opens a cursor over the children of parent along the
+// named relationship.
+func (c *Cache) OpenDependentCursor(parent *Object, rel string) (*Cursor, error) {
+	if _, ok := c.Relationship(rel); !ok {
+		return nil, fmt.Errorf("cocache: unknown relationship %s", rel)
+	}
+	return &Cursor{objs: parent.Children(rel)}, nil
+}
+
+// Path evaluates an XNF path expression over the cached CO: a sequence of
+// component names (optionally interleaved with relationship names) starting
+// at a component. It returns the set of objects of the final step reachable
+// from some object of the first step — deduplicated, because shared objects
+// are reachable along several paths (Sect. 2). Steps may name either the
+// next component (any relationship connecting the two is followed) or an
+// explicit relationship.
+func (c *Cache) Path(steps ...string) ([]*Object, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("cocache: empty path expression")
+	}
+	first, ok := c.Component(steps[0])
+	if !ok {
+		return nil, fmt.Errorf("cocache: path must start at a component, %s is unknown", steps[0])
+	}
+	cur := first.Objects()
+	curComp := first
+	for _, step := range steps[1:] {
+		var relNames []string
+		var nextComp *Component
+		if rel, ok := c.Relationship(step); ok {
+			if !strings.EqualFold(rel.Parent, curComp.Name) {
+				return nil, fmt.Errorf("cocache: relationship %s does not start at %s", step, curComp.Name)
+			}
+			relNames = []string{rel.Name}
+			if len(rel.Children) != 1 {
+				return nil, fmt.Errorf("cocache: path step %s is n-ary; name the target component instead", step)
+			}
+			nextComp, _ = c.Component(rel.Children[0])
+		} else if comp, ok := c.Component(step); ok {
+			nextComp = comp
+			for _, r := range c.rels {
+				if strings.EqualFold(r.Parent, curComp.Name) {
+					for _, ch := range r.Children {
+						if strings.EqualFold(ch, comp.Name) {
+							relNames = append(relNames, r.Name)
+						}
+					}
+				}
+			}
+			if len(relNames) == 0 {
+				return nil, fmt.Errorf("cocache: no relationship connects %s to %s", curComp.Name, step)
+			}
+		} else {
+			return nil, fmt.Errorf("cocache: unknown path step %s", step)
+		}
+		seen := make(map[*Object]bool)
+		var next []*Object
+		for _, o := range cur {
+			for _, rn := range relNames {
+				for _, k := range o.Children(rn) {
+					if !k.deleted && !seen[k] {
+						seen[k] = true
+						next = append(next, k)
+					}
+				}
+			}
+		}
+		cur = next
+		curComp = nextComp
+	}
+	return cur, nil
+}
+
+// PathString evaluates a dotted path expression, e.g.
+// "xdept.xemp.xskills".
+func (c *Cache) PathString(path string) ([]*Object, error) {
+	return c.Path(strings.Split(path, ".")...)
+}
+
+// Traverse performs a depth-first traversal from an object along a
+// relationship, visiting each connection once per occurrence (the OO1
+// traversal shape of Sect. 5.2), down to the given depth. The visit
+// callback receives the object and its depth; traversal counts and returns
+// the number of objects visited (connections traversed + 1).
+func (c *Cache) Traverse(from *Object, rel string, depth int, visit func(o *Object, depth int)) int {
+	count := 1
+	if visit != nil {
+		visit(from, depth)
+	}
+	if depth == 0 {
+		return count
+	}
+	for _, k := range from.Children(rel) {
+		count += c.Traverse(k, rel, depth-1, visit)
+	}
+	return count
+}

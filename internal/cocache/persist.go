@@ -1,0 +1,177 @@
+package cocache
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"xnf/internal/types"
+)
+
+// The disk format for long transactions (Sect. 5: "XNF allows the cache to
+// be stored on disk and retrieved later, thereby protecting the cache from
+// client machine's failure"). Connections are serialized as object-index
+// pairs and re-swizzled into pointers on load.
+
+type diskCache struct {
+	Components []diskComponent
+	Rels       []diskRel
+	Pending    []string
+}
+
+type diskComponent struct {
+	Name      string
+	ColNames  []string
+	ColTypes  []types.Type
+	KeyCols   []int
+	BaseTable string
+	BaseCols  []string
+	Rows      []types.Row
+}
+
+type diskRel struct {
+	Name     string
+	Parent   string
+	Children []string
+	Role     string
+
+	FKChildCols       []string
+	ConnectTable      string
+	ConnectParentCols []string
+	ConnectChildCols  []string
+
+	// Edges are (parent object index, child component ordinal within
+	// Children... flattened: one edge per parent-child pointer).
+	ParentIdx []int
+	ChildComp []int
+	ChildIdx  []int
+}
+
+// Save writes the cache (including pending write-back operations) to w.
+func (c *Cache) Save(w io.Writer) error {
+	d := diskCache{Pending: c.Pending()}
+	objIndex := make(map[*Object]int)
+	for _, comp := range c.comps {
+		dc := diskComponent{
+			Name: comp.Name, ColNames: comp.ColNames, ColTypes: comp.ColTypes,
+			KeyCols: comp.KeyCols, BaseTable: comp.BaseTable, BaseCols: comp.BaseCols,
+		}
+		for _, o := range comp.Objects() {
+			objIndex[o] = len(dc.Rows)
+			dc.Rows = append(dc.Rows, o.Row)
+		}
+		d.Components = append(d.Components, dc)
+	}
+	compOrd := make(map[string]int)
+	for i, comp := range c.comps {
+		compOrd[comp.Name] = i
+	}
+	for _, r := range c.rels {
+		dr := diskRel{
+			Name: r.Name, Parent: r.Parent, Children: r.Children, Role: r.Role,
+			FKChildCols: r.FKChildCols, ConnectTable: r.ConnectTable,
+			ConnectParentCols: r.ConnectParentCols, ConnectChildCols: r.ConnectChildCols,
+		}
+		parent, _ := c.Component(r.Parent)
+		childOrd := make(map[string]int)
+		for _, ch := range r.Children {
+			comp, _ := c.Component(ch)
+			childOrd[comp.Name] = compOrd[comp.Name]
+		}
+		for _, p := range parent.Objects() {
+			for _, k := range p.Children(r.Name) {
+				if k.deleted {
+					continue
+				}
+				dr.ParentIdx = append(dr.ParentIdx, objIndex[p])
+				dr.ChildComp = append(dr.ChildComp, compOrd[k.comp.Name])
+				dr.ChildIdx = append(dr.ChildIdx, objIndex[k])
+			}
+		}
+		d.Rels = append(d.Rels, dr)
+	}
+	return gob.NewEncoder(w).Encode(&d)
+}
+
+// Load reads a cache previously written with Save, re-swizzling the
+// connections into pointers.
+func Load(r io.Reader) (*Cache, error) {
+	var d diskCache
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("cocache: load: %w", err)
+	}
+	c := &Cache{
+		compByKey: make(map[string]*Component),
+		relByKey:  make(map[string]*Relationship),
+	}
+	byOrd := make([]*Component, len(d.Components))
+	for i, dc := range d.Components {
+		comp := &Component{
+			Name: dc.Name, ColNames: dc.ColNames, ColTypes: dc.ColTypes,
+			KeyCols: dc.KeyCols, BaseTable: dc.BaseTable, BaseCols: dc.BaseCols,
+			byKey: make(map[string]*Object),
+			cols:  make(map[string]int),
+		}
+		for ord, name := range dc.ColNames {
+			if _, dup := comp.cols[upper(name)]; !dup {
+				comp.cols[upper(name)] = ord
+			}
+		}
+		for _, row := range dc.Rows {
+			obj := &Object{
+				comp: comp, Row: row,
+				children: make(map[string][]*Object),
+				parents:  make(map[string][]*Object),
+			}
+			comp.objs = append(comp.objs, obj)
+			comp.byKey[row.Key(comp.KeyCols)] = obj
+			c.Stats.Objects++
+		}
+		byOrd[i] = comp
+		c.comps = append(c.comps, comp)
+		c.compByKey[upper(dc.Name)] = comp
+	}
+	for _, dr := range d.Rels {
+		rel := &Relationship{
+			Name: dr.Name, Parent: dr.Parent, Children: dr.Children, Role: dr.Role,
+			FKChildCols: dr.FKChildCols, ConnectTable: dr.ConnectTable,
+			ConnectParentCols: dr.ConnectParentCols, ConnectChildCols: dr.ConnectChildCols,
+		}
+		parent, ok := c.compByKey[upper(dr.Parent)]
+		if !ok {
+			return nil, fmt.Errorf("cocache: load: relationship %s references unknown parent %s", dr.Name, dr.Parent)
+		}
+		relKey := upper(dr.Name)
+		for i := range dr.ParentIdx {
+			if dr.ParentIdx[i] >= len(parent.objs) || dr.ChildComp[i] >= len(byOrd) {
+				return nil, fmt.Errorf("cocache: load: relationship %s has out-of-range edge", dr.Name)
+			}
+			p := parent.objs[dr.ParentIdx[i]]
+			cc := byOrd[dr.ChildComp[i]]
+			if dr.ChildIdx[i] >= len(cc.objs) {
+				return nil, fmt.Errorf("cocache: load: relationship %s has out-of-range child", dr.Name)
+			}
+			k := cc.objs[dr.ChildIdx[i]]
+			p.children[relKey] = append(p.children[relKey], k)
+			k.parents[relKey] = append(k.parents[relKey], p)
+			rel.connections++
+			c.Stats.Connections++
+		}
+		c.rels = append(c.rels, rel)
+		c.relByKey[relKey] = rel
+	}
+	for _, sql := range d.Pending {
+		c.log = append(c.log, writeOp{sql: sql})
+	}
+	return c, nil
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if 'a' <= b[i] && b[i] <= 'z' {
+			b[i] -= 'a' - 'A'
+		}
+	}
+	return string(b)
+}

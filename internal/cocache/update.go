@@ -1,0 +1,268 @@
+package cocache
+
+import (
+	"fmt"
+	"strings"
+
+	"xnf/internal/types"
+)
+
+// writeOp is one pending write-back operation, recorded in arrival order
+// so SaveChanges replays user intent faithfully.
+type writeOp struct {
+	sql string
+}
+
+// The update operators of Sect. 2. Updates are applied locally (the cache
+// is on the client) and recorded; SaveChanges ships them back to the
+// server as SQL DML — node updates become base-table updates, connect and
+// disconnect become foreign-key updates or connect-table inserts/deletes.
+
+// Set updates a column of a cached object locally and queues the
+// corresponding base-table UPDATE. The component must be updatable (a
+// selection/projection of a single base table whose key is its primary
+// key).
+func (c *Cache) Set(o *Object, col string, v types.Value) error {
+	comp := o.comp
+	ord, ok := comp.colIndex(col)
+	if !ok {
+		return fmt.Errorf("cocache: component %s has no column %s", comp.Name, col)
+	}
+	if comp.BaseTable == "" || ord >= len(comp.BaseCols) || comp.BaseCols[ord] == "" {
+		return fmt.Errorf("cocache: component %s is not updatable on %s (rich view)", comp.Name, col)
+	}
+	if !o.dirty {
+		o.origRow = o.Row.Clone()
+		o.dirty = true
+	}
+	newRow := o.Row.Clone()
+	newRow[ord] = v
+	oldKey := o.Key()
+	o.Row = newRow
+	if o.Key() != oldKey {
+		// Identity columns may be updated; keep the key index coherent.
+		delete(comp.byKey, oldKey)
+		comp.byKey[o.Key()] = o
+	}
+	c.log = append(c.log, writeOp{sql: fmt.Sprintf(
+		"UPDATE %s SET %s = %s WHERE %s",
+		comp.BaseTable, comp.BaseCols[ord], v.SQLLiteral(), keyPredicate(comp, o.origRow),
+	)})
+	return nil
+}
+
+// Insert adds a new object to a component locally and queues the INSERT.
+// The row must supply every shipped column.
+func (c *Cache) Insert(component string, row types.Row) (*Object, error) {
+	comp, ok := c.Component(component)
+	if !ok {
+		return nil, fmt.Errorf("cocache: unknown component %s", component)
+	}
+	if comp.BaseTable == "" {
+		return nil, fmt.Errorf("cocache: component %s is not updatable (rich view)", comp.Name)
+	}
+	if len(row) != len(comp.ColNames) {
+		return nil, fmt.Errorf("cocache: component %s expects %d columns, got %d", comp.Name, len(comp.ColNames), len(row))
+	}
+	key := row.Key(comp.KeyCols)
+	if _, dup := comp.byKey[key]; dup {
+		return nil, fmt.Errorf("cocache: component %s already holds an object with key %s", comp.Name, key)
+	}
+	obj := &Object{
+		comp: comp, Row: row.Clone(),
+		children: make(map[string][]*Object),
+		parents:  make(map[string][]*Object),
+		created:  true,
+	}
+	comp.objs = append(comp.objs, obj)
+	comp.byKey[key] = obj
+
+	var cols, vals []string
+	for ord, base := range comp.BaseCols {
+		if base == "" {
+			continue
+		}
+		cols = append(cols, base)
+		vals = append(vals, row[ord].SQLLiteral())
+	}
+	c.log = append(c.log, writeOp{sql: fmt.Sprintf(
+		"INSERT INTO %s (%s) VALUES (%s)",
+		comp.BaseTable, strings.Join(cols, ", "), strings.Join(vals, ", "),
+	)})
+	return obj, nil
+}
+
+// Delete removes an object locally (and its connections) and queues the
+// DELETE.
+func (c *Cache) Delete(o *Object) error {
+	comp := o.comp
+	if comp.BaseTable == "" {
+		return fmt.Errorf("cocache: component %s is not updatable (rich view)", comp.Name)
+	}
+	if o.deleted {
+		return fmt.Errorf("cocache: object already deleted")
+	}
+	o.deleted = true
+	delete(comp.byKey, o.Key())
+	for rel, kids := range o.children {
+		for _, k := range kids {
+			k.parents[rel] = removeObj(k.parents[rel], o)
+		}
+	}
+	for rel, ps := range o.parents {
+		for _, p := range ps {
+			p.children[rel] = removeObj(p.children[rel], o)
+		}
+	}
+	c.log = append(c.log, writeOp{sql: fmt.Sprintf(
+		"DELETE FROM %s WHERE %s", comp.BaseTable, keyPredicate(comp, o.Row),
+	)})
+	return nil
+}
+
+func removeObj(list []*Object, o *Object) []*Object {
+	out := list[:0]
+	for _, x := range list {
+		if x != o {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Connect links child under parent through the named relationship locally
+// and queues the write-back: a foreign-key update for FK relationships, a
+// connect-table insert for USING relationships.
+func (c *Cache) Connect(rel string, parent, child *Object) error {
+	r, ok := c.Relationship(rel)
+	if !ok {
+		return fmt.Errorf("cocache: unknown relationship %s", rel)
+	}
+	relKey := strings.ToUpper(r.Name)
+	switch {
+	case len(r.FKChildCols) > 0:
+		// Update the child's FK columns to the parent key.
+		pkey := parentKeyValues(parent)
+		for i, col := range r.FKChildCols {
+			if err := c.Set(child, col, pkey[i]); err != nil {
+				return err
+			}
+		}
+	case r.ConnectTable != "":
+		pkey := parentKeyValues(parent)
+		ckey := parentKeyValues(child)
+		var cols, vals []string
+		for i, col := range r.ConnectParentCols {
+			cols = append(cols, col)
+			vals = append(vals, pkey[i].SQLLiteral())
+		}
+		for i, col := range r.ConnectChildCols {
+			cols = append(cols, col)
+			vals = append(vals, ckey[i].SQLLiteral())
+		}
+		c.log = append(c.log, writeOp{sql: fmt.Sprintf(
+			"INSERT INTO %s (%s) VALUES (%s)",
+			r.ConnectTable, strings.Join(cols, ", "), strings.Join(vals, ", "),
+		)})
+	default:
+		return fmt.Errorf("cocache: relationship %s is not updatable (predicate-defined)", r.Name)
+	}
+	parent.children[relKey] = append(parent.children[relKey], child)
+	child.parents[relKey] = append(child.parents[relKey], parent)
+	r.connections++
+	return nil
+}
+
+// Disconnect removes the connection between parent and child locally and
+// queues the write-back (FK set to NULL, or connect-table delete).
+func (c *Cache) Disconnect(rel string, parent, child *Object) error {
+	r, ok := c.Relationship(rel)
+	if !ok {
+		return fmt.Errorf("cocache: unknown relationship %s", rel)
+	}
+	relKey := strings.ToUpper(r.Name)
+	connected := false
+	for _, k := range parent.children[relKey] {
+		if k == child {
+			connected = true
+		}
+	}
+	if !connected {
+		return fmt.Errorf("cocache: objects are not connected through %s", r.Name)
+	}
+	switch {
+	case len(r.FKChildCols) > 0:
+		for _, col := range r.FKChildCols {
+			if err := c.Set(child, col, types.Null); err != nil {
+				return err
+			}
+		}
+	case r.ConnectTable != "":
+		pkey := parentKeyValues(parent)
+		ckey := parentKeyValues(child)
+		var preds []string
+		for i, col := range r.ConnectParentCols {
+			preds = append(preds, fmt.Sprintf("%s = %s", col, pkey[i].SQLLiteral()))
+		}
+		for i, col := range r.ConnectChildCols {
+			preds = append(preds, fmt.Sprintf("%s = %s", col, ckey[i].SQLLiteral()))
+		}
+		c.log = append(c.log, writeOp{sql: fmt.Sprintf(
+			"DELETE FROM %s WHERE %s", r.ConnectTable, strings.Join(preds, " AND "),
+		)})
+	default:
+		return fmt.Errorf("cocache: relationship %s is not updatable (predicate-defined)", r.Name)
+	}
+	parent.children[relKey] = removeObj(parent.children[relKey], child)
+	child.parents[relKey] = removeObj(child.parents[relKey], parent)
+	r.connections--
+	return nil
+}
+
+// Pending returns the queued write-back statements.
+func (c *Cache) Pending() []string {
+	out := make([]string, len(c.log))
+	for i, op := range c.log {
+		out[i] = op.sql
+	}
+	return out
+}
+
+// SaveChanges ships the queued operations through apply (typically the
+// server's Exec) and clears the log on full success.
+func (c *Cache) SaveChanges(apply func(sql string) error) error {
+	for i, op := range c.log {
+		if err := apply(op.sql); err != nil {
+			c.log = c.log[i:]
+			return fmt.Errorf("cocache: write-back failed at %q: %w", op.sql, err)
+		}
+	}
+	c.log = nil
+	for _, comp := range c.comps {
+		for _, o := range comp.objs {
+			o.dirty = false
+			o.created = false
+			o.origRow = nil
+		}
+	}
+	return nil
+}
+
+// keyPredicate renders the identity predicate of a row against the base
+// table (using the pre-update image for dirty objects).
+func keyPredicate(comp *Component, row types.Row) string {
+	var preds []string
+	for _, ord := range comp.KeyCols {
+		preds = append(preds, fmt.Sprintf("%s = %s", comp.BaseCols[ord], row[ord].SQLLiteral()))
+	}
+	return strings.Join(preds, " AND ")
+}
+
+// parentKeyValues extracts an object's key values.
+func parentKeyValues(o *Object) types.Row {
+	out := make(types.Row, len(o.comp.KeyCols))
+	for i, ord := range o.comp.KeyCols {
+		out[i] = o.Row[ord]
+	}
+	return out
+}

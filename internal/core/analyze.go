@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"xnf/internal/ast"
+	"xnf/internal/catalog"
+	"xnf/internal/qgm"
+	"xnf/internal/rewrite"
+)
+
+// Table1Row is one line of the paper's Table 1 for one CO component: the
+// operation count of deriving it with a standalone SQL query, how many of
+// those operations replicate work other components also perform, and the
+// operations attributable to it inside the shared XNF derivation DAG.
+type Table1Row struct {
+	Component  string
+	SQLOps     int
+	Replicated int
+	XNFOps     int
+}
+
+// Table1 is the regenerated Table 1.
+type Table1 struct {
+	Rows []Table1Row
+	// Summary row.
+	SQLTotal, ReplicatedTotal, XNFTotal int
+}
+
+// AnalyzeTable1 regenerates the paper's Table 1 for an arbitrary
+// (non-recursive) XNF query:
+//
+//   - the "XNF Derivation" column attributes each operation of the shared
+//     compiled DAG to the first component (in definition order) whose
+//     output needs it, so shared subexpressions are counted exactly once;
+//   - the "SQL Derivation" column compiles, for every component, the
+//     standalone query a relational application would run — the component's
+//     ancestor closure with only that component taken (Fig. 6) — and counts
+//     its operations with no cross-query sharing;
+//   - "Replicated" is their difference: the work the single-query CO
+//     derivation saves.
+//
+// The operation-counting convention (joins per extra quantifier, one per
+// existential, one selection per restricted single-input box) is
+// implemented by qgm.CountBoxOps; see EXPERIMENTS.md for the reconciliation
+// with the paper's hand-tallied per-row numbers.
+func AnalyzeTable1(cat *catalog.Catalog, xq *ast.XNFQuery, rwOpts rewrite.Options) (*Table1, error) {
+	full, err := Compile(cat, takeAll(xq), rwOpts)
+	if err != nil {
+		return nil, err
+	}
+	if full.Recursive {
+		return nil, fmt.Errorf("core: Table 1 analysis applies to non-recursive COs")
+	}
+
+	t := &Table1{}
+	counted := make(map[int]bool)
+	xnfOps := make(map[string]int)
+	for _, out := range full.Outputs {
+		ops := 0
+		if out.Box != nil {
+			for _, b := range qgm.ReachableFrom(out.Box) {
+				if counted[b.ID] {
+					continue
+				}
+				counted[b.ID] = true
+				j, s := qgm.CountBoxOps(b)
+				ops += j + s
+			}
+		}
+		xnfOps[up(out.Name)] = ops
+	}
+
+	for _, comp := range xq.Components {
+		standalone := &ast.XNFQuery{
+			Components: closureComponents(xq, comp.Name),
+			Take:       []ast.TakeItem{{Name: comp.Name}},
+		}
+		sc, err := Compile(cat, standalone, rwOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: standalone derivation of %s: %w", comp.Name, err)
+		}
+		ops := 0
+		for _, o := range sc.Outputs {
+			if o.Box != nil {
+				ops += countTreeOps(o.Box, 0)
+			}
+		}
+		row := Table1Row{
+			Component: comp.Name,
+			SQLOps:    ops,
+			XNFOps:    xnfOps[up(comp.Name)],
+		}
+		row.Replicated = row.SQLOps - row.XNFOps
+		t.Rows = append(t.Rows, row)
+		t.SQLTotal += row.SQLOps
+		t.ReplicatedTotal += row.Replicated
+		t.XNFTotal += row.XNFOps
+	}
+	return t, nil
+}
+
+// countTreeOps counts the operations of a derivation as a 1994 SQL engine
+// would evaluate it: every reference to a derived table (view) is expanded
+// and computed independently, so a box shared in our DAG is counted once
+// per consuming path. This models the "single component retrieval" column
+// of Table 1, where the same dept_arc selection runs inside every query
+// that mentions it. The depth guard only protects against malformed
+// graphs; compiled DAGs are acyclic.
+func countTreeOps(box *qgm.Box, depth int) int {
+	if box == nil || depth > 64 {
+		return 0
+	}
+	j, s := qgm.CountBoxOps(box)
+	ops := j + s
+	for _, q := range box.Quants {
+		ops += countTreeOps(q.Input, depth+1)
+	}
+	for _, p := range box.Preds {
+		qgm.WalkExpr(p, func(x qgm.Expr) {
+			if sr, ok := x.(*qgm.SubqueryRef); ok {
+				ops += countTreeOps(sr.Quant.Input, depth+1)
+			}
+		})
+	}
+	return ops
+}
+
+// takeAll rewrites the query to TAKE * so every component contributes an
+// output to attribute against.
+func takeAll(xq *ast.XNFQuery) *ast.XNFQuery {
+	out := *xq
+	out.Take = []ast.TakeItem{{Star: true}}
+	return &out
+}
+
+// closureComponents returns the original components restricted to the
+// derivation closure of the named component, preserving definition order:
+// a node needs every incoming relationship's closure; a relationship needs
+// its parent's closure plus its children as bare components.
+func closureComponents(xq *ast.XNFQuery, name string) []ast.XNFComponent {
+	incoming := make(map[string][]*ast.XNFComponent)
+	byName := make(map[string]*ast.XNFComponent)
+	for i := range xq.Components {
+		c := &xq.Components[i]
+		byName[up(c.Name)] = c
+		if c.Relate != nil {
+			for _, ch := range c.Relate.Children {
+				incoming[up(ch)] = append(incoming[up(ch)], c)
+			}
+		}
+	}
+	need := make(map[string]bool)
+	var visit func(n string)
+	visit = func(n string) {
+		if need[n] {
+			return
+		}
+		need[n] = true
+		c := byName[n]
+		if c == nil {
+			return
+		}
+		if c.Relate != nil {
+			visit(up(c.Relate.Parent))
+			for _, ch := range c.Relate.Children {
+				need[up(ch)] = true
+				// Children join the closure as bare components; their own
+				// reachability inside this standalone query comes only
+				// from this relationship.
+			}
+			return
+		}
+		for _, rel := range incoming[n] {
+			visit(up(rel.Name))
+		}
+	}
+	visit(up(name))
+	var out []ast.XNFComponent
+	for _, c := range xq.Components {
+		if need[up(c.Name)] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Format renders the table in the paper's layout.
+func (t *Table1) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %15s %17s %15s\n", "Component", "SQL Derivation", "Replicated Query", "XNF Derivation")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s %15d %17d %15d\n", r.Component, r.SQLOps, r.Replicated, r.XNFOps)
+	}
+	fmt.Fprintf(&b, "%-14s %15d %17d %15d\n", "Summary", t.SQLTotal, t.ReplicatedTotal, t.XNFTotal)
+	return b.String()
+}

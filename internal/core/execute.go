@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"xnf/internal/exec"
+	"xnf/internal/opt"
+	"xnf/internal/storage"
+	"xnf/internal/types"
+)
+
+// COResult is a fully extracted composite object: one row set per TAKEn
+// output, in component order. Derived relationship outputs have a nil row
+// set (the cache reconstructs their connections from the child rows).
+type COResult struct {
+	Outputs  []Output
+	Rows     [][]types.Row
+	Counters exec.Counters
+}
+
+// Execute materializes the CO set-oriented: every component table and
+// every shipped connection table is produced by one multi-output plan over
+// a single execution context, so boxes shared in the QGM DAG (parents used
+// by their own output, by child reachability and by connections) are
+// evaluated exactly once (Sect. 5.1's multiple-query optimization).
+func (c *Compiled) Execute(store *storage.Store, opts opt.Options) (*COResult, error) {
+	if c.Recursive {
+		return c.Rec.execute(store, opts)
+	}
+	comp := opt.NewCompiler(store, c.Graph, opts)
+	ctx := exec.NewCtx(store)
+	res := &COResult{Outputs: c.Outputs, Rows: make([][]types.Row, len(c.Outputs))}
+	for i, out := range c.Outputs {
+		if out.Box == nil {
+			continue // derived relationship: nothing shipped
+		}
+		plan, _, err := comp.CompileBox(out.Box, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling output %s: %w", out.Name, err)
+		}
+		rows, err := exec.Collect(ctx, plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: executing output %s: %w", out.Name, err)
+		}
+		res.Rows[i] = rows
+	}
+	res.Counters = ctx.Counters
+	return res, nil
+}
+
+// ExecuteParallel materializes the CO with one goroutine per output — the
+// intra-query parallelism the paper's outlook (Sect. 6) names as the next
+// extension that "becomes automatically available to XNF". Shared boxes
+// are spooled exactly once (the execution context synchronizes the spool),
+// so the parallel run does the same total work as the serial one with the
+// independent outputs overlapped.
+func (c *Compiled) ExecuteParallel(store *storage.Store, opts opt.Options) (*COResult, error) {
+	if c.Recursive {
+		return c.Rec.execute(store, opts)
+	}
+	comp := opt.NewCompiler(store, c.Graph, opts)
+	ctx := exec.NewCtx(store)
+	res := &COResult{Outputs: c.Outputs, Rows: make([][]types.Row, len(c.Outputs))}
+	// Plans are compiled serially (the compiler is not concurrent), then
+	// driven in parallel.
+	plans := make([]exec.Plan, len(c.Outputs))
+	for i, out := range c.Outputs {
+		if out.Box == nil {
+			continue
+		}
+		plan, _, err := comp.CompileBox(out.Box, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling output %s: %w", out.Name, err)
+		}
+		plans[i] = plan
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.Outputs))
+	for i := range c.Outputs {
+		if plans[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows, err := exec.Collect(ctx, plans[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("core: executing output %s: %w", c.Outputs[i].Name, err)
+				return
+			}
+			res.Rows[i] = rows
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Counters = ctx.Counters
+	return res, nil
+}
+
+// Stream delivers the CO as the heterogeneous tuple stream of Sect. 3:
+// every tuple tagged with its component number. The wire layer sits on
+// top of this.
+func (c *Compiled) Stream(store *storage.Store, opts opt.Options, fn func(compID int, row types.Row) error) (*COResult, error) {
+	res, err := c.Execute(store, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, rows := range res.Rows {
+		for _, r := range rows {
+			if err := fn(res.Outputs[i].CompID, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"xnf/internal/qgm"
+)
+
+// fillOutputMeta populates the shipped-row description and updatability
+// metadata of the compiled outputs. Nodes are processed first so derived
+// relationships can map their parent-key ordinals through the child's
+// base-column mapping.
+func fillOutputMeta(outs []Output, rels []*relInfo) {
+	byName := make(map[string]*Output, len(outs))
+	for i := range outs {
+		byName[up(outs[i].Name)] = &outs[i]
+	}
+	for i := range outs {
+		o := &outs[i]
+		if o.Box != nil {
+			o.ColNames = o.Box.HeadNames()
+			o.ColTypes = o.Box.HeadTypes()
+		}
+		if !o.IsRel {
+			o.BaseTable, o.BaseCols = traceBase(o.Box)
+		}
+	}
+	for i := range outs {
+		o := &outs[i]
+		if !o.IsRel {
+			continue
+		}
+		if o.DerivedFrom != "" {
+			if child, ok := byName[up(o.DerivedFrom)]; ok && child.BaseTable != "" {
+				cols := make([]string, len(o.DerivedParentOrds))
+				valid := true
+				for j, ord := range o.DerivedParentOrds {
+					if ord >= len(child.BaseCols) || child.BaseCols[ord] == "" {
+						valid = false
+						break
+					}
+					cols[j] = child.BaseCols[ord]
+				}
+				if valid {
+					o.FKChildCols = cols
+				}
+			}
+			continue
+		}
+		// USING-based relationships: recover the connect table when the
+		// connection head maps straight onto one base table's columns.
+		for _, ri := range rels {
+			if up(ri.out.Name) != up(o.Name) || len(ri.usingQs) != 1 {
+				continue
+			}
+			fillConnectMeta(o, ri)
+		}
+	}
+}
+
+// traceBase follows a single-quantifier Select chain down to a base table
+// and maps each head column to its base column name. It returns ("", nil)
+// when the component is not a plain projection/restriction of one table
+// (join, aggregate, union — the paper's non-updatable rich views).
+func traceBase(box *qgm.Box) (string, []string) {
+	if box == nil {
+		return "", nil
+	}
+	if box.Kind == qgm.BaseTable {
+		return box.Table, box.HeadNames()
+	}
+	if box.Kind != qgm.Select || len(box.Quants) != 1 || box.Quants[0].Type != qgm.ForEach {
+		return "", nil
+	}
+	innerTable, innerCols := traceBase(box.Quants[0].Input)
+	if innerTable == "" {
+		return "", nil
+	}
+	cols := make([]string, len(box.Head))
+	for i, h := range box.Head {
+		if cr, ok := h.Expr.(*qgm.ColRef); ok && cr.Q == box.Quants[0] && cr.Ord < len(innerCols) {
+			cols[i] = innerCols[cr.Ord]
+		}
+	}
+	return innerTable, cols
+}
+
+// fillConnectMeta extracts the connect-table mapping of a (b)-form USING
+// relationship: the connection row's parent-key and child-key columns must
+// each trace to a column of the single USING base table or be joined to it
+// by the parent-side predicates.
+func fillConnectMeta(o *Output, ri *relInfo) {
+	if o.Box == nil || len(ri.sideBoxes) == 0 || o.Box != ri.sideBoxes[0] {
+		return
+	}
+	side := ri.sideBoxes[0]
+	uq := findUsingQuant(side, ri)
+	if uq == nil || uq.Input.Kind != qgm.BaseTable {
+		return
+	}
+	colOf := func(headOrd int) string {
+		if headOrd >= len(side.Head) {
+			return ""
+		}
+		cr, ok := side.Head[headOrd].Expr.(*qgm.ColRef)
+		if !ok {
+			return ""
+		}
+		if cr.Q == uq {
+			return uq.Input.Head[cr.Ord].Name
+		}
+		// A parent-key head column: find a side predicate equating it to a
+		// USING column.
+		for _, p := range side.Preds {
+			eq, ok := p.(*qgm.BinOp)
+			if !ok || eq.Op != "=" {
+				continue
+			}
+			l, lok := eq.L.(*qgm.ColRef)
+			r, rok := eq.R.(*qgm.ColRef)
+			if !lok || !rok {
+				continue
+			}
+			if l.Q == cr.Q && l.Ord == cr.Ord && r.Q == uq {
+				return uq.Input.Head[r.Ord].Name
+			}
+			if r.Q == cr.Q && r.Ord == cr.Ord && l.Q == uq {
+				return uq.Input.Head[l.Ord].Name
+			}
+		}
+		return ""
+	}
+	parentCols := make([]string, len(o.ParentKeyOrds))
+	for i, ord := range o.ParentKeyOrds {
+		if parentCols[i] = colOf(ord); parentCols[i] == "" {
+			return
+		}
+	}
+	if len(o.ChildKeyOrds) != 1 {
+		return
+	}
+	childCols := make([]string, len(o.ChildKeyOrds[0]))
+	for i, ord := range o.ChildKeyOrds[0] {
+		if childCols[i] = colOf(ord); childCols[i] == "" {
+			return
+		}
+	}
+	o.ConnectTable = uq.Input.Table
+	o.ConnectParentCols = parentCols
+	o.ConnectChildCols = childCols
+}
+
+// findUsingQuant locates the side-box quantifier ranging over the USING
+// table (the one whose input matches the relationship's USING input).
+func findUsingQuant(side *qgm.Box, ri *relInfo) *qgm.Quantifier {
+	if len(ri.usingQs) != 1 {
+		return nil
+	}
+	target := ri.usingQs[0].Input
+	for _, q := range side.Quants {
+		if q.Input == target {
+			return q
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"xnf/internal/ast"
+	"xnf/internal/parser"
+	"xnf/internal/qgm"
+)
+
+// buildRelOutput constructs the Top output for one TAKEn relationship,
+// applying the paper's output optimizations in order of preference:
+//
+//	(a) derived: a binary relationship whose predicate equates the parent
+//	    key with child columns ships nothing — the connection is read off
+//	    the child's own rows (the footnote optimization of Sect. 4.2);
+//	(b) parent-side: when every child key is equated to a parent/USING
+//	    column, the shared S_R box doubles as the connection table (no
+//	    extra operations — this is what makes empproperty cost 0 in
+//	    Table 1);
+//	(c) full join: the semantic-phase relationship box joins all partners
+//	    and ships explicit key pairs.
+func buildRelOutput(g *qgm.Graph, top *qgm.Box, ri *relInfo,
+	effective func(string) *qgm.Box, nodeKey map[string][]int,
+	takenNode map[string]bool, compID int) (*Output, error) {
+
+	if ri == nil {
+		return nil, fmt.Errorf("core: internal: relationship info missing")
+	}
+	parentKeys := nodeKey[up(ri.out.Parent)]
+
+	// (a) derived form.
+	if len(ri.childQs) == 1 && len(ri.usingQs) == 0 && takenNode[up(ri.out.Children[0])] {
+		if childOrds := derivedParentOrds(ri, parentKeys); childOrds != nil {
+			return &Output{
+				Name: ri.out.Name, CompID: compID, IsRel: true,
+				Parent: ri.out.Parent, Children: ri.out.Children, Role: ri.out.Role,
+				DerivedFrom:       ri.out.Children[0],
+				DerivedParentOrds: childOrds,
+			}, nil
+		}
+	}
+
+	// (a') the same condition but with the child not shipped in full: the
+	// connection is a pure projection of the child's (reachable) rows — no
+	// join work at all.
+	if len(ri.childQs) == 1 && len(ri.usingQs) == 0 {
+		if childOrds := derivedParentOrds(ri, parentKeys); childOrds != nil {
+			childBox := effective(ri.out.Children[0])
+			childKeys := nodeKey[up(ri.out.Children[0])]
+			proj := g.NewBox(qgm.Select, ri.out.Name+"_conn")
+			cq := g.NewQuant(proj, qgm.ForEach, ri.out.Children[0], childBox)
+			add := func(ord int) int {
+				ho := len(proj.Head)
+				h := childBox.Head[ord]
+				proj.Head = append(proj.Head, qgm.HeadColumn{Name: h.Name, Type: h.Type, Expr: &qgm.ColRef{Q: cq, Ord: ord}})
+				return ho
+			}
+			pk := make([]int, len(childOrds))
+			for i, co := range childOrds {
+				pk[i] = add(co)
+			}
+			ck := make([]int, len(childKeys))
+			for i, kc := range childKeys {
+				ck[i] = add(kc)
+			}
+			proj.Distinct = true
+			q := g.NewQuant(top, qgm.ForEach, ri.out.Name, proj)
+			out := &Output{
+				Name: ri.out.Name, CompID: compID, IsRel: true,
+				Parent: ri.out.Parent, Children: ri.out.Children, Role: ri.out.Role,
+				Box: proj, ParentKeyOrds: pk, ChildKeyOrds: [][]int{ck},
+			}
+			top.Outputs = append(top.Outputs, qgm.TopOutput{
+				Name: ri.out.Name, CompID: compID, Quant: q, IsRel: true,
+				Parent: ri.out.Parent, Children: ri.out.Children, Role: ri.out.Role,
+				ParentKeyCols: pk, ChildKeyCols: [][]int{ck},
+			})
+			return out, nil
+		}
+	}
+
+	// (b) parent-side form (binary relationships).
+	if len(ri.childQs) == 1 {
+		childKeys := nodeKey[up(ri.out.Children[0])]
+		if childOrds := parentSideChildKeyOrds(ri, 0, childKeys); childOrds != nil {
+			side := ri.sideBoxes[0]
+			side.Distinct = true // connections are a set
+			q := g.NewQuant(top, qgm.ForEach, ri.out.Name, side)
+			pk := make([]int, len(parentKeys))
+			for i := range parentKeys {
+				pk[i] = i // buildParentSide exposes parent keys first
+			}
+			out := &Output{
+				Name: ri.out.Name, CompID: compID, IsRel: true,
+				Parent: ri.out.Parent, Children: ri.out.Children, Role: ri.out.Role,
+				Box: side, ParentKeyOrds: pk, ChildKeyOrds: [][]int{childOrds},
+			}
+			top.Outputs = append(top.Outputs, qgm.TopOutput{
+				Name: ri.out.Name, CompID: compID, Quant: q, IsRel: true,
+				Parent: ri.out.Parent, Children: ri.out.Children, Role: ri.out.Role,
+				ParentKeyCols: pk, ChildKeyCols: [][]int{childOrds},
+			})
+			return out, nil
+		}
+	}
+
+	// (c) full-join form: the semantic relationship box already carries
+	// parent keys then child keys in its head.
+	box := ri.box
+	pk := make([]int, len(parentKeys))
+	for i := range parentKeys {
+		pk[i] = i
+	}
+	var childOrds [][]int
+	at := len(parentKeys)
+	for _, ch := range ri.out.Children {
+		ck := nodeKey[up(ch)]
+		ords := make([]int, len(ck))
+		for i := range ck {
+			ords[i] = at
+			at++
+		}
+		childOrds = append(childOrds, ords)
+	}
+	if at != len(box.Head) {
+		return nil, fmt.Errorf("core: relationship %s: connection head has %d columns, expected %d", ri.out.Name, len(box.Head), at)
+	}
+	q := g.NewQuant(top, qgm.ForEach, ri.out.Name, box)
+	out := &Output{
+		Name: ri.out.Name, CompID: compID, IsRel: true,
+		Parent: ri.out.Parent, Children: ri.out.Children, Role: ri.out.Role,
+		Box: box, ParentKeyOrds: pk, ChildKeyOrds: childOrds,
+	}
+	top.Outputs = append(top.Outputs, qgm.TopOutput{
+		Name: ri.out.Name, CompID: compID, Quant: q, IsRel: true,
+		Parent: ri.out.Parent, Children: ri.out.Children, Role: ri.out.Role,
+		ParentKeyCols: pk, ChildKeyCols: childOrds,
+	})
+	return out, nil
+}
+
+// derivedParentOrds checks the (a)-form condition: every relationship
+// predicate is an equality between a parent column and a child column, and
+// those parent columns cover the parent key exactly. It returns, per
+// parent-key ordinal, the child-head ordinal carrying the parent key.
+func derivedParentOrds(ri *relInfo, parentKeys []int) []int {
+	cq := ri.childQs[0]
+	pq := ri.parentQ
+	byParentOrd := make(map[int]int)
+	for _, p := range ri.box.Preds {
+		eq, ok := p.(*qgm.BinOp)
+		if !ok || eq.Op != "=" {
+			return nil
+		}
+		l, lok := eq.L.(*qgm.ColRef)
+		r, rok := eq.R.(*qgm.ColRef)
+		if !lok || !rok {
+			return nil
+		}
+		switch {
+		case l.Q == pq && r.Q == cq:
+			byParentOrd[l.Ord] = r.Ord
+		case r.Q == pq && l.Q == cq:
+			byParentOrd[r.Ord] = l.Ord
+		default:
+			return nil
+		}
+	}
+	out := make([]int, len(parentKeys))
+	for i, pk := range parentKeys {
+		co, ok := byParentOrd[pk]
+		if !ok {
+			return nil
+		}
+		out[i] = co
+	}
+	return out
+}
+
+// parentSideChildKeyOrds checks the (b)-form condition for one child: each
+// of its key columns is equated (by a link predicate) to a column exposed
+// on the parent-side box's head. It returns the S_R head ordinals carrying
+// the child key, in key order.
+func parentSideChildKeyOrds(ri *relInfo, ci int, childKeys []int) []int {
+	wq := ri.childWQs[ci]
+	eq := ri.sideEqs[ci]
+	byChildOrd := make(map[int]int)
+	for _, l := range ri.sideLinks[ci] {
+		b, ok := l.(*qgm.BinOp)
+		if !ok || b.Op != "=" {
+			return nil
+		}
+		lc, lok := b.L.(*qgm.ColRef)
+		rc, rok := b.R.(*qgm.ColRef)
+		if !lok || !rok {
+			return nil
+		}
+		switch {
+		case lc.Q == eq && rc.Q == wq:
+			byChildOrd[rc.Ord] = lc.Ord
+		case rc.Q == eq && lc.Q == wq:
+			byChildOrd[lc.Ord] = rc.Ord
+		default:
+			return nil
+		}
+	}
+	out := make([]int, len(childKeys))
+	for i, ck := range childKeys {
+		ho, ok := byChildOrd[ck]
+		if !ok {
+			return nil
+		}
+		out[i] = ho
+	}
+	return out
+}
+
+// ParseViewText re-parses a stored XNF view's text into its query.
+func ParseViewText(text string) (*ast.XNFQuery, error) { return parseView(text) }
+
+// parseView re-parses a stored XNF view's text.
+func parseView(text string) (*ast.XNFQuery, error) {
+	stmt, err := parser.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	cv, ok := stmt.(*ast.CreateViewStmt)
+	if !ok || cv.XNF == nil {
+		return nil, fmt.Errorf("core: stored view is not an XNF view")
+	}
+	return cv.XNF, nil
+}

@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"fmt"
+
+	"xnf/internal/ast"
+	"xnf/internal/exec"
+	"xnf/internal/opt"
+	"xnf/internal/semantics"
+	"xnf/internal/storage"
+	"xnf/internal/types"
+)
+
+func (db *Database) execInsert(s *ast.InsertStmt) (int64, error) {
+	t, ok := db.cat.Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown table %s", s.Table)
+	}
+	// Column-subset mapping: target ordinal for each supplied value.
+	target := make([]int, 0, len(t.Columns))
+	if len(s.Columns) == 0 {
+		for i := range t.Columns {
+			target = append(target, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			ord, ok := t.ColumnIndex(name)
+			if !ok {
+				return 0, fmt.Errorf("engine: table %s has no column %s", s.Table, name)
+			}
+			target = append(target, ord)
+		}
+	}
+
+	var sourceRows []types.Row
+	if s.Select != nil {
+		res, err := db.QueryStmt(s.Select)
+		if err != nil {
+			return 0, err
+		}
+		sourceRows = res.Rows
+	} else {
+		ctx := exec.NewCtx(db.store)
+		env := exec.Env{Ctx: ctx}
+		for _, exprRow := range s.Rows {
+			row := make(types.Row, len(exprRow))
+			for i, e := range exprRow {
+				ce, err := db.compileConstExpr(e)
+				if err != nil {
+					return 0, err
+				}
+				v, err := ce.Eval(&env)
+				if err != nil {
+					return 0, err
+				}
+				row[i] = v
+			}
+			sourceRows = append(sourceRows, row)
+		}
+	}
+
+	tx := db.store.Begin()
+	var n int64
+	for _, src := range sourceRows {
+		if len(src) != len(target) {
+			tx.Rollback()
+			return 0, fmt.Errorf("engine: INSERT expects %d values, got %d", len(target), len(src))
+		}
+		full := make(types.Row, len(t.Columns))
+		for i := range full {
+			full[i] = types.Null
+		}
+		for i, ord := range target {
+			full[ord] = src[i]
+		}
+		if _, err := tx.Insert(s.Table, full); err != nil {
+			tx.Rollback()
+			return 0, err
+		}
+		n++
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// compileConstExpr compiles an expression with no table context (INSERT
+// VALUES items; scalar subqueries are allowed).
+func (db *Database) compileConstExpr(e ast.Expr) (exec.Expr, error) {
+	rc, err := semantics.NewRowContextEmpty(db.cat)
+	if err != nil {
+		return nil, err
+	}
+	qe, err := rc.Build(e)
+	if err != nil {
+		return nil, err
+	}
+	comp := opt.NewCompiler(db.store, rc.Graph(), db.OptOptions)
+	return comp.CompileRowExpr(rc.Quant(), qe)
+}
+
+// mutationTargets evaluates a WHERE predicate over a table and returns the
+// matching RIDs and row images.
+func (db *Database) mutationTargets(table, alias string, where ast.Expr) ([]storage.RID, []types.Row, *semantics.RowContext, *opt.Compiler, error) {
+	rc, err := semantics.NewRowContext(db.cat, table, alias)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	comp := opt.NewCompiler(db.store, rc.Graph(), db.OptOptions)
+	var pred exec.Expr
+	if where != nil {
+		qe, err := rc.Build(where)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		pred, err = comp.CompileRowExpr(rc.Quant(), qe)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	td, err := db.store.Table(table)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	ctx := exec.NewCtx(db.store)
+	env := exec.Env{Ctx: ctx}
+	var rids []storage.RID
+	var rows []types.Row
+	var scanErr error
+	td.Scan(func(rid storage.RID, row types.Row) bool {
+		env.Row = row
+		ok, err := exec.EvalPred(pred, &env)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			rids = append(rids, rid)
+			rows = append(rows, row)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, nil, nil, nil, scanErr
+	}
+	return rids, rows, rc, comp, nil
+}
+
+func (db *Database) execUpdate(s *ast.UpdateStmt) (int64, error) {
+	t, ok := db.cat.Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown table %s", s.Table)
+	}
+	rids, rows, rc, comp, err := db.mutationTargets(s.Table, s.Alias, s.Where)
+	if err != nil {
+		return 0, err
+	}
+	type setc struct {
+		ord  int
+		expr exec.Expr
+	}
+	sets := make([]setc, 0, len(s.Set))
+	for _, sc := range s.Set {
+		ord, ok := t.ColumnIndex(sc.Column)
+		if !ok {
+			return 0, fmt.Errorf("engine: table %s has no column %s", s.Table, sc.Column)
+		}
+		qe, err := rc.Build(sc.Value)
+		if err != nil {
+			return 0, err
+		}
+		ce, err := comp.CompileRowExpr(rc.Quant(), qe)
+		if err != nil {
+			return 0, err
+		}
+		sets = append(sets, setc{ord: ord, expr: ce})
+	}
+
+	ctx := exec.NewCtx(db.store)
+	env := exec.Env{Ctx: ctx}
+	tx := db.store.Begin()
+	for i, rid := range rids {
+		old := rows[i]
+		env.Row = old
+		updated := old.Clone()
+		for _, sc := range sets {
+			v, err := sc.expr.Eval(&env)
+			if err != nil {
+				tx.Rollback()
+				return 0, err
+			}
+			updated[sc.ord] = v
+		}
+		if err := tx.Update(s.Table, rid, updated); err != nil {
+			tx.Rollback()
+			return 0, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return int64(len(rids)), nil
+}
+
+func (db *Database) execDelete(s *ast.DeleteStmt) (int64, error) {
+	rids, _, _, _, err := db.mutationTargets(s.Table, s.Alias, s.Where)
+	if err != nil {
+		return 0, err
+	}
+	tx := db.store.Begin()
+	for _, rid := range rids {
+		if err := tx.Delete(s.Table, rid); err != nil {
+			tx.Rollback()
+			return 0, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return int64(len(rids)), nil
+}

@@ -1,0 +1,218 @@
+// Package engine is the database façade: it owns the catalog and the
+// storage engine and drives the full compilation pipeline of Fig. 2
+// (parse → semantic checking → rewrite → plan optimization → execution)
+// for SQL statements. XNF queries are delegated to internal/core.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"xnf/internal/ast"
+	"xnf/internal/catalog"
+	"xnf/internal/exec"
+	"xnf/internal/opt"
+	"xnf/internal/parser"
+	"xnf/internal/rewrite"
+	"xnf/internal/semantics"
+	"xnf/internal/storage"
+	"xnf/internal/types"
+)
+
+// Database is one in-memory database instance.
+type Database struct {
+	cat   *catalog.Catalog
+	store *storage.Store
+
+	// OptOptions and RewriteOptions control the optimizer; the benchmark
+	// harness overrides them to produce the naive baselines.
+	OptOptions     opt.Options
+	RewriteOptions rewrite.Options
+}
+
+// Open creates an empty database.
+func Open() *Database {
+	cat := catalog.New()
+	return &Database{
+		cat:            cat,
+		store:          storage.NewStore(cat),
+		OptOptions:     opt.DefaultOptions(),
+		RewriteOptions: rewrite.DefaultOptions(),
+	}
+}
+
+// Catalog exposes the catalog (read-mostly).
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Store exposes the storage engine.
+func (db *Database) Store() *storage.Store { return db.store }
+
+// Result is a fully materialized query result.
+type Result struct {
+	Cols []exec.Column
+	Rows []types.Row
+	// Counters from the execution context (rows scanned etc.).
+	Counters exec.Counters
+}
+
+// Exec runs any statement; for queries it returns no rows (use Query).
+// The int result is the number of rows affected by DML.
+func (db *Database) Exec(sql string) (int64, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecStmt runs a parsed statement.
+func (db *Database) ExecStmt(stmt ast.Statement) (int64, error) {
+	switch s := stmt.(type) {
+	case *ast.CreateTableStmt:
+		return 0, db.createTable(s)
+	case *ast.CreateIndexStmt:
+		kind := catalog.HashIndex
+		if s.Ordered {
+			kind = catalog.OrderedIndex
+		}
+		return 0, db.store.CreateIndex(&catalog.Index{
+			Name: s.Name, Table: s.Table, Columns: s.Columns, Kind: kind, Unique: s.Unique,
+		})
+	case *ast.CreateViewStmt:
+		return 0, db.createView(s)
+	case *ast.DropStmt:
+		if s.Kind == "TABLE" {
+			return 0, db.store.DropTable(s.Name)
+		}
+		return 0, db.cat.DropView(s.Name)
+	case *ast.InsertStmt:
+		return db.execInsert(s)
+	case *ast.UpdateStmt:
+		return db.execUpdate(s)
+	case *ast.DeleteStmt:
+		return db.execDelete(s)
+	case *ast.SelectStmt:
+		return 0, fmt.Errorf("engine: use Query for SELECT statements")
+	case *ast.XNFQuery:
+		return 0, fmt.Errorf("engine: use the CO API for XNF queries")
+	default:
+		return 0, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// ExecScript runs a semicolon-separated script (DDL + DML).
+func (db *Database) ExecScript(sql string) error {
+	stmts, err := parser.ParseScript(sql)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if sel, ok := stmt.(*ast.SelectStmt); ok {
+			if _, err := db.QueryStmt(sel); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := db.ExecStmt(stmt); err != nil {
+			return fmt.Errorf("engine: %s: %w", firstWords(stmt.String(), 6), err)
+		}
+	}
+	return nil
+}
+
+func firstWords(s string, n int) string {
+	parts := strings.Fields(s)
+	if len(parts) > n {
+		parts = parts[:n]
+	}
+	return strings.Join(parts, " ")
+}
+
+// Query compiles and runs a SELECT, returning the materialized result.
+func (db *Database) Query(sql string) (*Result, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*ast.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: Query requires a SELECT statement")
+	}
+	return db.QueryStmt(sel)
+}
+
+// QueryStmt compiles and runs a parsed SELECT.
+func (db *Database) QueryStmt(sel *ast.SelectStmt) (*Result, error) {
+	plan, err := db.CompileSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewCtx(db.store)
+	rows, err := exec.Collect(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: plan.Columns(), Rows: rows, Counters: ctx.Counters}, nil
+}
+
+// CompileSelect runs the full compile pipeline for a SELECT and returns
+// the physical plan.
+func (db *Database) CompileSelect(sel *ast.SelectStmt) (exec.Plan, error) {
+	g, err := semantics.BuildSelect(db.cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	rewrite.Apply(g, db.RewriteOptions)
+	if errs := g.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("engine: invalid QGM after rewrite: %s", strings.Join(errs, "; "))
+	}
+	comp := opt.NewCompiler(db.store, g, db.OptOptions)
+	return comp.CompileTop()
+}
+
+// Explain returns the physical plan text for a SELECT.
+func (db *Database) Explain(sql string) (string, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*ast.SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("engine: EXPLAIN requires a SELECT statement")
+	}
+	plan, err := db.CompileSelect(sel)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(0), nil
+}
+
+func (db *Database) createTable(s *ast.CreateTableStmt) error {
+	t := &catalog.Table{Name: s.Name, PrimaryKey: s.PrimaryKey}
+	for _, c := range s.Columns {
+		t.Columns = append(t.Columns, catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
+	}
+	for _, fk := range s.ForeignKeys {
+		t.ForeignKeys = append(t.ForeignKeys, catalog.ForeignKey{
+			Columns: fk.Columns, RefTable: fk.RefTable, RefColumns: fk.RefColumns,
+		})
+	}
+	return db.store.CreateTable(t)
+}
+
+func (db *Database) createView(s *ast.CreateViewStmt) error {
+	// Validate the view body compiles before storing its text.
+	if s.XNF != nil {
+		if _, err := semantics.BuildXNF(db.cat, s.XNF); err != nil {
+			return err
+		}
+		return db.cat.CreateView(&catalog.View{Name: s.Name, Text: s.String(), IsXNF: true})
+	}
+	if _, err := semantics.BuildSelect(db.cat, s.Select); err != nil {
+		return err
+	}
+	return db.cat.CreateView(&catalog.View{Name: s.Name, Text: s.String()})
+}
+
+// Analyze refreshes optimizer statistics for all tables.
+func (db *Database) Analyze() error { return db.store.AnalyzeAll() }

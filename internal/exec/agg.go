@@ -1,0 +1,227 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"xnf/internal/types"
+)
+
+// AggSpec describes one aggregate computed by an AggPlan.
+type AggSpec struct {
+	Name     string // COUNT, SUM, AVG, MIN, MAX
+	Star     bool   // COUNT(*)
+	Distinct bool
+	Arg      Expr // nil for COUNT(*)
+}
+
+// AggPlan is a hash aggregation: it groups its input on the group
+// expressions and computes the aggregate specs per group. With no group
+// expressions it is a global aggregate producing exactly one row even for
+// empty input (SQL semantics).
+type AggPlan struct {
+	Child  Plan
+	Groups []Expr
+	Aggs   []AggSpec
+	Cols   []Column
+
+	out []types.Row
+	pos int
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	spec    *AggSpec
+	count   int64
+	sum     types.Value
+	min     types.Value
+	max     types.Value
+	started bool
+	seen    map[uint64][]types.Value // for DISTINCT
+}
+
+func (s *aggState) add(v types.Value) {
+	if s.spec.Star {
+		s.count++
+		return
+	}
+	if v.IsNull() {
+		return // aggregates ignore NULLs
+	}
+	if s.spec.Distinct {
+		h := v.Hash()
+		for _, prev := range s.seen[h] {
+			if types.Equal(prev, v) {
+				return
+			}
+		}
+		s.seen[h] = append(s.seen[h], v)
+	}
+	s.count++
+	if !s.started {
+		s.sum, s.min, s.max = v, v, v
+		s.started = true
+		return
+	}
+	if sum, err := types.Arith("+", s.sum, v); err == nil {
+		s.sum = sum
+	}
+	if types.Compare(v, s.min) < 0 {
+		s.min = v
+	}
+	if types.Compare(v, s.max) > 0 {
+		s.max = v
+	}
+}
+
+func (s *aggState) result() types.Value {
+	switch strings.ToUpper(s.spec.Name) {
+	case "COUNT":
+		return types.NewInt(s.count)
+	case "SUM":
+		if !s.started {
+			return types.Null
+		}
+		return s.sum
+	case "AVG":
+		if !s.started || s.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat(s.sum.Float() / float64(s.count))
+	case "MIN":
+		if !s.started {
+			return types.Null
+		}
+		return s.min
+	case "MAX":
+		if !s.started {
+			return types.Null
+		}
+		return s.max
+	default:
+		return types.Null
+	}
+}
+
+// Open implements Plan; the aggregation is computed eagerly.
+func (a *AggPlan) Open(ctx *Ctx, params types.Row) error {
+	if err := a.Child.Open(ctx, params); err != nil {
+		return err
+	}
+	env := Env{Params: params, Ctx: ctx}
+	type group struct {
+		key    types.Row
+		states []*aggState
+	}
+	groups := make(map[uint64][]*group)
+	var order []*group // deterministic output order: first appearance
+	newStates := func() []*aggState {
+		states := make([]*aggState, len(a.Aggs))
+		for i := range a.Aggs {
+			states[i] = &aggState{spec: &a.Aggs[i]}
+			if a.Aggs[i].Distinct {
+				states[i].seen = make(map[uint64][]types.Value)
+			}
+		}
+		return states
+	}
+	for {
+		row, err := a.Child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		env.Row = row
+		key := make(types.Row, len(a.Groups))
+		for i, g := range a.Groups {
+			v, err := g.Eval(&env)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		h := hashKey(key)
+		var grp *group
+		for _, g := range groups[h] {
+			if types.EqualRows(g.key, key) {
+				grp = g
+				break
+			}
+		}
+		if grp == nil {
+			grp = &group{key: key, states: newStates()}
+			groups[h] = append(groups[h], grp)
+			order = append(order, grp)
+		}
+		for i, spec := range a.Aggs {
+			var v types.Value
+			if !spec.Star {
+				val, err := spec.Arg.Eval(&env)
+				if err != nil {
+					return err
+				}
+				v = val
+			}
+			grp.states[i].add(v)
+		}
+	}
+	if err := a.Child.Close(ctx); err != nil {
+		return err
+	}
+	if len(order) == 0 && len(a.Groups) == 0 {
+		// Global aggregate over empty input yields one row.
+		order = append(order, &group{states: newStates()})
+	}
+	a.out = a.out[:0]
+	for _, g := range order {
+		row := make(types.Row, 0, len(g.key)+len(g.states))
+		row = append(row, g.key...)
+		for _, st := range g.states {
+			row = append(row, st.result())
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+// Next implements Plan.
+func (a *AggPlan) Next(*Ctx) (types.Row, error) {
+	if a.pos >= len(a.out) {
+		return nil, nil
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, nil
+}
+
+// Close implements Plan.
+func (a *AggPlan) Close(*Ctx) error {
+	a.out = nil
+	return nil
+}
+
+// Columns implements Plan.
+func (a *AggPlan) Columns() []Column { return a.Cols }
+
+// Explain implements Plan.
+func (a *AggPlan) Explain(indent int) string {
+	gs := make([]string, len(a.Groups))
+	for i, g := range a.Groups {
+		gs[i] = g.String()
+	}
+	as := make([]string, len(a.Aggs))
+	for i, s := range a.Aggs {
+		if s.Star {
+			as[i] = s.Name + "(*)"
+		} else if s.Distinct {
+			as[i] = fmt.Sprintf("%s(DISTINCT %s)", s.Name, s.Arg.String())
+		} else {
+			as[i] = fmt.Sprintf("%s(%s)", s.Name, s.Arg.String())
+		}
+	}
+	return fmt.Sprintf("%sAgg groups=(%s) aggs=(%s)\n%s", pad(indent),
+		strings.Join(gs, ", "), strings.Join(as, ", "), a.Child.Explain(indent+1))
+}

@@ -1,0 +1,280 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"xnf/internal/types"
+)
+
+// NLJoinPlan is a nested-loop join. For every left row it re-opens the
+// right subtree with the left row appended to the parameter frame, which
+// is how correlated access paths (index lookups keyed by the outer row)
+// receive their bindings.
+type NLJoinPlan struct {
+	Left, Right Plan
+	Pred        Expr // evaluated over the concatenated row
+	// RightParams, when non-nil, are evaluated against the current left
+	// row and passed as the right subtree's parameter frame (appended to
+	// the incoming frame). When nil the right side is re-opened with the
+	// incoming frame unchanged.
+	RightParams []Expr
+
+	params  types.Row
+	curLeft types.Row
+	opened  bool
+}
+
+// Open implements Plan.
+func (j *NLJoinPlan) Open(ctx *Ctx, params types.Row) error {
+	j.params = params
+	j.curLeft = nil
+	j.opened = false
+	return j.Left.Open(ctx, params)
+}
+
+// Next implements Plan.
+func (j *NLJoinPlan) Next(ctx *Ctx) (types.Row, error) {
+	env := Env{Params: j.params, Ctx: ctx}
+	for {
+		if j.curLeft == nil {
+			left, err := j.Left.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if left == nil {
+				return nil, nil
+			}
+			j.curLeft = left
+			rp := j.params
+			if j.RightParams != nil {
+				env.Row = left
+				frame := make(types.Row, 0, len(j.params)+len(j.RightParams))
+				frame = append(frame, j.params...)
+				for _, e := range j.RightParams {
+					v, err := e.Eval(&env)
+					if err != nil {
+						return nil, err
+					}
+					frame = append(frame, v)
+				}
+				rp = frame
+			}
+			if j.opened {
+				if err := j.Right.Close(ctx); err != nil {
+					return nil, err
+				}
+			}
+			if err := j.Right.Open(ctx, rp); err != nil {
+				return nil, err
+			}
+			j.opened = true
+		}
+		right, err := j.Right.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if right == nil {
+			j.curLeft = nil
+			continue
+		}
+		joined := j.curLeft.Concat(right)
+		env.Row = joined
+		ok, err := EvalPred(j.Pred, &env)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return joined, nil
+		}
+	}
+}
+
+// Close implements Plan.
+func (j *NLJoinPlan) Close(ctx *Ctx) error {
+	var first error
+	if err := j.Left.Close(ctx); err != nil {
+		first = err
+	}
+	if j.opened {
+		if err := j.Right.Close(ctx); err != nil && first == nil {
+			first = err
+		}
+		j.opened = false
+	}
+	return first
+}
+
+// Columns implements Plan.
+func (j *NLJoinPlan) Columns() []Column {
+	return append(append([]Column{}, j.Left.Columns()...), j.Right.Columns()...)
+}
+
+// Explain implements Plan.
+func (j *NLJoinPlan) Explain(indent int) string {
+	p := ""
+	if j.Pred != nil {
+		p = " on " + j.Pred.String()
+	}
+	rebind := ""
+	if j.RightParams != nil {
+		keys := make([]string, len(j.RightParams))
+		for i, e := range j.RightParams {
+			keys[i] = e.String()
+		}
+		rebind = fmt.Sprintf(" rebind=(%s)", strings.Join(keys, ", "))
+	}
+	return fmt.Sprintf("%sNLJoin%s%s\n%s%s", pad(indent), p, rebind,
+		j.Left.Explain(indent+1), j.Right.Explain(indent+1))
+}
+
+// HashJoinPlan is an equi-join: the right (build) side is hashed on its
+// keys, the left (probe) side streams.
+type HashJoinPlan struct {
+	Left, Right Plan
+	LeftKeys    []Expr // over left rows
+	RightKeys   []Expr // over right rows
+	Residual    Expr   // over concatenated rows
+
+	params  types.Row
+	table   map[uint64][]types.Row
+	curLeft types.Row
+	curKey  types.Row
+	bucket  []types.Row
+	bpos    int
+}
+
+// Open implements Plan.
+func (j *HashJoinPlan) Open(ctx *Ctx, params types.Row) error {
+	j.params = params
+	j.curLeft = nil
+	j.bucket = nil
+	j.table = make(map[uint64][]types.Row)
+	if err := j.Right.Open(ctx, params); err != nil {
+		return err
+	}
+	env := Env{Params: params, Ctx: ctx}
+	for {
+		row, err := j.Right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		env.Row = row
+		key := make(types.Row, len(j.RightKeys))
+		null := false
+		for i, k := range j.RightKeys {
+			v, err := k.Eval(&env)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				null = true
+			}
+			key[i] = v
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		h := hashKey(key)
+		j.table[h] = append(j.table[h], append(key, row...))
+	}
+	add(&ctx.Counters.HashBuilds, 1)
+	if err := j.Right.Close(ctx); err != nil {
+		return err
+	}
+	return j.Left.Open(ctx, params)
+}
+
+func hashKey(key types.Row) uint64 {
+	ords := make([]int, len(key))
+	for i := range ords {
+		ords[i] = i
+	}
+	return key.Hash(ords)
+}
+
+// Next implements Plan.
+func (j *HashJoinPlan) Next(ctx *Ctx) (types.Row, error) {
+	env := Env{Params: j.params, Ctx: ctx}
+	nkeys := len(j.RightKeys)
+	for {
+		for j.bpos < len(j.bucket) {
+			entry := j.bucket[j.bpos]
+			j.bpos++
+			ekey, erow := entry[:nkeys], entry[nkeys:]
+			if !types.EqualRows(ekey, j.curKey) {
+				continue
+			}
+			joined := j.curLeft.Concat(erow)
+			env.Row = joined
+			ok, err := EvalPred(j.Residual, &env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return joined, nil
+			}
+		}
+		left, err := j.Left.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if left == nil {
+			return nil, nil
+		}
+		env.Row = left
+		key := make(types.Row, len(j.LeftKeys))
+		null := false
+		for i, k := range j.LeftKeys {
+			v, err := k.Eval(&env)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+			}
+			key[i] = v
+		}
+		if null {
+			continue
+		}
+		j.curLeft = left
+		j.curKey = key
+		j.bucket = j.table[hashKey(key)]
+		j.bpos = 0
+	}
+}
+
+// Close implements Plan.
+func (j *HashJoinPlan) Close(ctx *Ctx) error {
+	j.table = nil
+	j.bucket = nil
+	return j.Left.Close(ctx)
+}
+
+// Columns implements Plan.
+func (j *HashJoinPlan) Columns() []Column {
+	return append(append([]Column{}, j.Left.Columns()...), j.Right.Columns()...)
+}
+
+// Explain implements Plan.
+func (j *HashJoinPlan) Explain(indent int) string {
+	lk := make([]string, len(j.LeftKeys))
+	for i, k := range j.LeftKeys {
+		lk[i] = k.String()
+	}
+	rk := make([]string, len(j.RightKeys))
+	for i, k := range j.RightKeys {
+		rk[i] = k.String()
+	}
+	res := ""
+	if j.Residual != nil {
+		res = " residual=" + j.Residual.String()
+	}
+	return fmt.Sprintf("%sHashJoin (%s)=(%s)%s\n%s%s", pad(indent),
+		strings.Join(lk, ", "), strings.Join(rk, ", "), res,
+		j.Left.Explain(indent+1), j.Right.Explain(indent+1))
+}

@@ -1,0 +1,201 @@
+package opt
+
+import (
+	"sort"
+
+	"xnf/internal/qgm"
+)
+
+// chooseOrder picks a join order for a Select box's quantifiers: greedy
+// smallest-effective-cardinality first, preferring quantifiers connected
+// to the bound set by an equality predicate — the classic avoid-cross-
+// products heuristic. With JoinOrdering disabled the syntactic order is
+// kept (the naive baseline).
+func (c *Compiler) chooseOrder(quants []*qgm.Quantifier, preds []qgm.Expr) []*qgm.Quantifier {
+	if !c.opts.JoinOrdering || len(quants) <= 1 {
+		return quants
+	}
+	eff := make(map[*qgm.Quantifier]float64, len(quants))
+	for _, q := range quants {
+		card := float64(c.estimateBox(q.Input))
+		for _, p := range preds {
+			if containsSubquery(p) {
+				continue
+			}
+			refs := qgm.QuantsIn(p)
+			if len(refs) == 1 && refs[q] {
+				card *= c.selectivity(p)
+			}
+		}
+		if card < 1 {
+			card = 1
+		}
+		eff[q] = card
+	}
+	connected := func(q *qgm.Quantifier, bound map[*qgm.Quantifier]bool) bool {
+		for _, p := range preds {
+			if containsSubquery(p) {
+				continue
+			}
+			refs := qgm.QuantsIn(p)
+			if !refs[q] {
+				continue
+			}
+			for r := range refs {
+				if r != q && bound[r] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	remaining := append([]*qgm.Quantifier{}, quants...)
+	sort.SliceStable(remaining, func(i, j int) bool { return eff[remaining[i]] < eff[remaining[j]] })
+	var order []*qgm.Quantifier
+	bound := make(map[*qgm.Quantifier]bool)
+	for len(remaining) > 0 {
+		pick := -1
+		for i, q := range remaining {
+			if len(order) == 0 || connected(q, bound) {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0 // forced cross product: take the smallest
+		}
+		q := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		order = append(order, q)
+		bound[q] = true
+	}
+	return order
+}
+
+// estimateBox returns a rough output-cardinality estimate for a box, used
+// only for ordering decisions.
+func (c *Compiler) estimateBox(box *qgm.Box) int64 {
+	return c.estimateBoxDepth(box, 0)
+}
+
+func (c *Compiler) estimateBoxDepth(box *qgm.Box, depth int) int64 {
+	if depth > 16 {
+		return 1000
+	}
+	switch box.Kind {
+	case qgm.BaseTable:
+		if box.RowEst > 0 {
+			return box.RowEst
+		}
+		return 1000
+	case qgm.Select:
+		est := 1.0
+		for _, q := range box.Quants {
+			est *= float64(c.estimateBoxDepth(q.Input, depth+1))
+		}
+		for _, p := range box.Preds {
+			if !containsSubquery(p) {
+				est *= c.selectivity(p)
+			} else {
+				est *= 0.5
+			}
+		}
+		if est < 1 {
+			return 1
+		}
+		return int64(est)
+	case qgm.GroupBy:
+		in := c.estimateBoxDepth(box.Quants[0].Input, depth+1)
+		if len(box.GroupExprs) == 0 {
+			return 1
+		}
+		est := in / 2
+		if est < 1 {
+			return 1
+		}
+		return est
+	case qgm.Union:
+		var sum int64
+		for _, q := range box.Quants {
+			sum += c.estimateBoxDepth(q.Input, depth+1)
+		}
+		return sum
+	default:
+		return 1000
+	}
+}
+
+// selectivity estimates the fraction of rows a predicate retains.
+func (c *Compiler) selectivity(p qgm.Expr) float64 {
+	bo, ok := p.(*qgm.BinOp)
+	if !ok {
+		return 0.5
+	}
+	switch bo.Op {
+	case "=":
+		card := int64(1)
+		if cr, ok := bo.L.(*qgm.ColRef); ok {
+			if cc := colCard(cr); cc > card {
+				card = cc
+			}
+		}
+		if cr, ok := bo.R.(*qgm.ColRef); ok {
+			if cc := colCard(cr); cc > card {
+				card = cc
+			}
+		}
+		if card <= 1 {
+			return 0.1
+		}
+		return 1.0 / float64(card)
+	case "<", "<=", ">", ">=":
+		return 0.3
+	case "<>":
+		return 0.9
+	case "LIKE":
+		return 0.25
+	case "AND":
+		return c.selectivity(bo.L) * c.selectivity(bo.R)
+	case "OR":
+		s := c.selectivity(bo.L) + c.selectivity(bo.R)
+		if s > 1 {
+			return 1
+		}
+		return s
+	default:
+		return 0.5
+	}
+}
+
+// colCard returns the distinct-value estimate of a column reference when
+// it bottoms out at a base table.
+func colCard(cr *qgm.ColRef) int64 {
+	if cr.Q == nil || cr.Q.Input == nil {
+		return 0
+	}
+	box := cr.Q.Input
+	ord := cr.Ord
+	for depth := 0; depth < 16; depth++ {
+		switch box.Kind {
+		case qgm.BaseTable:
+			if ord < len(box.ColCard) {
+				return box.ColCard[ord]
+			}
+			return 0
+		case qgm.Select:
+			if ord >= len(box.Head) || box.Head[ord].Expr == nil {
+				return 0
+			}
+			inner, ok := box.Head[ord].Expr.(*qgm.ColRef)
+			if !ok {
+				return 0
+			}
+			box = inner.Q.Input
+			ord = inner.Ord
+		default:
+			return 0
+		}
+	}
+	return 0
+}

@@ -1,0 +1,1186 @@
+// Package parser implements a recursive-descent parser for the engine's SQL
+// subset and the XNF composite-object constructor (OUT OF … RELATE … TAKE,
+// Sect. 2 of the paper). It produces ast trees; semantic analysis happens
+// later in internal/semantics.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"xnf/internal/ast"
+	"xnf/internal/lexer"
+	"xnf/internal/types"
+)
+
+// Parser holds the token stream position.
+type Parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+// New prepares a parser over the given text.
+func New(input string) (*Parser, error) {
+	toks, err := lexer.Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks}, nil
+}
+
+// Parse parses a single statement and requires the input to be exhausted.
+func Parse(input string) (ast.Statement, error) {
+	p, err := New(input)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(lexer.Symbol, ";")
+	if !p.at(lexer.EOF, "") {
+		return nil, p.errf("unexpected input after statement: %q", p.cur().Text)
+	}
+	return stmt, nil
+}
+
+// ParseScript parses a sequence of semicolon-separated statements.
+func ParseScript(input string) ([]ast.Statement, error) {
+	p, err := New(input)
+	if err != nil {
+		return nil, err
+	}
+	var out []ast.Statement
+	for {
+		for p.accept(lexer.Symbol, ";") {
+		}
+		if p.at(lexer.EOF, "") {
+			return out, nil
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt)
+		if !p.accept(lexer.Symbol, ";") && !p.at(lexer.EOF, "") {
+			return nil, p.errf("expected ';' between statements, got %q", p.cur().Text)
+		}
+	}
+}
+
+// ParseExpr parses a standalone expression (used by tests and by the cache
+// layer's restriction predicates).
+func ParseExpr(input string) (ast.Expr, error) {
+	p, err := New(input)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(lexer.EOF, "") {
+		return nil, p.errf("unexpected input after expression: %q", p.cur().Text)
+	}
+	return e, nil
+}
+
+// --- token helpers ---
+
+func (p *Parser) cur() lexer.Token { return p.toks[p.pos] }
+
+func (p *Parser) peek(n int) lexer.Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) at(kind lexer.Kind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) atKeyword(kw string) bool { return p.at(lexer.Keyword, kw) }
+
+func (p *Parser) accept(kind lexer.Kind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptKeyword(kw string) bool { return p.accept(lexer.Keyword, kw) }
+
+func (p *Parser) expect(kind lexer.Kind, text string) (lexer.Token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, p.errf("expected %s, got %q", want, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	_, err := p.expect(lexer.Keyword, kw)
+	return err
+}
+
+// ident accepts an identifier; a handful of non-reserved keywords are also
+// allowed as identifiers where unambiguous (none currently).
+func (p *Parser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind != lexer.Ident {
+		return "", p.errf("expected identifier, got %q", t.Text)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("parser: line %d: %s", t.Line, fmt.Sprintf(format, args...))
+}
+
+// --- statements ---
+
+func (p *Parser) parseStatement() (ast.Statement, error) {
+	switch {
+	case p.atKeyword("SELECT"):
+		return p.parseSelect()
+	case p.atKeyword("OUT"):
+		return p.parseXNFQuery()
+	case p.atKeyword("CREATE"):
+		return p.parseCreate()
+	case p.atKeyword("DROP"):
+		return p.parseDrop()
+	case p.atKeyword("INSERT"):
+		return p.parseInsert()
+	case p.atKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.atKeyword("DELETE"):
+		return p.parseDelete()
+	default:
+		return nil, p.errf("expected a statement, got %q", p.cur().Text)
+	}
+}
+
+func (p *Parser) parseCreate() (ast.Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.atKeyword("TABLE"):
+		return p.parseCreateTable()
+	case p.atKeyword("VIEW"):
+		return p.parseCreateView()
+	case p.atKeyword("INDEX") || p.atKeyword("UNIQUE") || p.atKeyword("ORDERED"):
+		return p.parseCreateIndex()
+	default:
+		return nil, p.errf("expected TABLE, VIEW or INDEX after CREATE")
+	}
+}
+
+func (p *Parser) parseCreateTable() (ast.Statement, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Symbol, "("); err != nil {
+		return nil, err
+	}
+	stmt := &ast.CreateTableStmt{Name: name}
+	for {
+		switch {
+		case p.atKeyword("PRIMARY"):
+			p.pos++
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parenIdentList()
+			if err != nil {
+				return nil, err
+			}
+			stmt.PrimaryKey = cols
+		case p.atKeyword("FOREIGN"):
+			p.pos++
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parenIdentList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("REFERENCES"); err != nil {
+				return nil, err
+			}
+			ref, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			refCols, err := p.parenIdentList()
+			if err != nil {
+				return nil, err
+			}
+			stmt.ForeignKeys = append(stmt.ForeignKeys, ast.FKDef{Columns: cols, RefTable: ref, RefColumns: refCols})
+		default:
+			colName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typeTok := p.cur()
+			if typeTok.Kind != lexer.Ident && typeTok.Kind != lexer.Keyword {
+				return nil, p.errf("expected a type name for column %s", colName)
+			}
+			p.pos++
+			typ, err := types.ParseType(typeTok.Text)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			col := ast.ColumnDef{Name: colName, Type: typ}
+			if p.acceptKeyword("NOT") {
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+				col.NotNull = true
+			}
+			stmt.Columns = append(stmt.Columns, col)
+		}
+		if p.accept(lexer.Symbol, ",") {
+			continue
+		}
+		if _, err := p.expect(lexer.Symbol, ")"); err != nil {
+			return nil, err
+		}
+		return stmt, nil
+	}
+}
+
+func (p *Parser) parenIdentList() ([]string, error) {
+	if _, err := p.expect(lexer.Symbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if p.accept(lexer.Symbol, ",") {
+			continue
+		}
+		if _, err := p.expect(lexer.Symbol, ")"); err != nil {
+			return nil, err
+		}
+		return cols, nil
+	}
+}
+
+func (p *Parser) parseCreateIndex() (ast.Statement, error) {
+	stmt := &ast.CreateIndexStmt{}
+	if p.acceptKeyword("UNIQUE") {
+		stmt.Unique = true
+	}
+	if p.acceptKeyword("ORDERED") {
+		stmt.Ordered = true
+	}
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = name
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = table
+	cols, err := p.parenIdentList()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Columns = cols
+	return stmt, nil
+}
+
+func (p *Parser) parseCreateView() (ast.Statement, error) {
+	if err := p.expectKeyword("VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("OUT") {
+		q, err := p.parseXNFQuery()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.CreateViewStmt{Name: name, XNF: q}, nil
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.CreateViewStmt{Name: name, Select: sel}, nil
+}
+
+func (p *Parser) parseDrop() (ast.Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	var kind string
+	switch {
+	case p.acceptKeyword("TABLE"):
+		kind = "TABLE"
+	case p.acceptKeyword("VIEW"):
+		kind = "VIEW"
+	default:
+		return nil, p.errf("expected TABLE or VIEW after DROP")
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.DropStmt{Kind: kind, Name: name}, nil
+}
+
+func (p *Parser) parseInsert() (ast.Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &ast.InsertStmt{Table: table}
+	if p.at(lexer.Symbol, "(") {
+		cols, err := p.parenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = cols
+	}
+	if p.atKeyword("SELECT") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = sel
+		return stmt, nil
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(lexer.Symbol, "("); err != nil {
+			return nil, err
+		}
+		var row []ast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(lexer.Symbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(lexer.Symbol, ")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(lexer.Symbol, ",") {
+			return stmt, nil
+		}
+	}
+}
+
+func (p *Parser) parseUpdate() (ast.Statement, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &ast.UpdateStmt{Table: table}
+	if p.at(lexer.Ident, "") {
+		alias, _ := p.ident()
+		stmt.Alias = alias
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Symbol, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, ast.SetClause{Column: col, Value: val})
+		if !p.accept(lexer.Symbol, ",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseDelete() (ast.Statement, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &ast.DeleteStmt{Table: table}
+	if p.at(lexer.Ident, "") {
+		alias, _ := p.ident()
+		stmt.Alias = alias
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
+// --- SELECT ---
+
+func (p *Parser) parseSelect() (*ast.SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &ast.SelectStmt{Limit: -1}
+	if p.acceptKeyword("DISTINCT") {
+		stmt.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(lexer.Symbol, ",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, tr)
+			// Desugar [INNER] JOIN … ON … into cross product + WHERE.
+			for p.atKeyword("JOIN") || p.atKeyword("INNER") {
+				p.acceptKeyword("INNER")
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+				right, err := p.parseTableRef()
+				if err != nil {
+					return nil, err
+				}
+				stmt.From = append(stmt.From, right)
+				if err := p.expectKeyword("ON"); err != nil {
+					return nil, err
+				}
+				cond, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				stmt.Where = ast.And(stmt.Where, cond)
+			}
+			if !p.accept(lexer.Symbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = ast.And(w, stmt.Where)
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(lexer.Symbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	if p.acceptKeyword("UNION") {
+		u := &ast.UnionClause{All: p.acceptKeyword("ALL")}
+		right, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		u.Right = right
+		stmt.Union = u
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := ast.OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(lexer.Symbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t, err := p.expect(lexer.Int, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return nil, p.errf("bad LIMIT: %v", err)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseSelectItem() (ast.SelectItem, error) {
+	if p.accept(lexer.Symbol, "*") {
+		return ast.SelectItem{Star: true}, nil
+	}
+	// qualified star: ident . *
+	if p.at(lexer.Ident, "") && p.peek(1).Kind == lexer.Symbol && p.peek(1).Text == "." &&
+		p.peek(2).Kind == lexer.Symbol && p.peek(2).Text == "*" {
+		q, _ := p.ident()
+		p.pos += 2
+		return ast.SelectItem{Star: true, Qualifier: q}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return ast.SelectItem{}, err
+	}
+	item := ast.SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return item, err
+		}
+		item.Alias = alias
+	} else if p.at(lexer.Ident, "") {
+		alias, _ := p.ident()
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableRef() (ast.TableRef, error) {
+	if p.accept(lexer.Symbol, "(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return ast.TableRef{}, err
+		}
+		if _, err := p.expect(lexer.Symbol, ")"); err != nil {
+			return ast.TableRef{}, err
+		}
+		tr := ast.TableRef{Subquery: sub}
+		p.acceptKeyword("AS")
+		if p.at(lexer.Ident, "") {
+			alias, _ := p.ident()
+			tr.Alias = alias
+		} else {
+			return tr, p.errf("derived table requires an alias")
+		}
+		return tr, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return ast.TableRef{}, err
+	}
+	tr := ast.TableRef{Table: name}
+	if p.acceptKeyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return tr, err
+		}
+		tr.Alias = alias
+	} else if p.at(lexer.Ident, "") {
+		alias, _ := p.ident()
+		tr.Alias = alias
+	}
+	return tr, nil
+}
+
+// --- XNF ---
+
+func (p *Parser) parseXNFQuery() (*ast.XNFQuery, error) {
+	if err := p.expectKeyword("OUT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("OF"); err != nil {
+		return nil, err
+	}
+	q := &ast.XNFQuery{}
+	for {
+		comp, err := p.parseXNFComponent()
+		if err != nil {
+			return nil, err
+		}
+		q.Components = append(q.Components, comp)
+		if !p.accept(lexer.Symbol, ",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("TAKE"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept(lexer.Symbol, "*") {
+			q.Take = append(q.Take, ast.TakeItem{Star: true})
+		} else {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			item := ast.TakeItem{Name: name}
+			if p.at(lexer.Symbol, "(") {
+				cols, err := p.parenIdentList()
+				if err != nil {
+					return nil, err
+				}
+				item.Columns = cols
+			}
+			q.Take = append(q.Take, item)
+		}
+		if !p.accept(lexer.Symbol, ",") {
+			break
+		}
+	}
+	return q, nil
+}
+
+func (p *Parser) parseXNFComponent() (ast.XNFComponent, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ast.XNFComponent{}, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return ast.XNFComponent{}, err
+	}
+	comp := ast.XNFComponent{Name: name}
+	if p.accept(lexer.Symbol, "(") {
+		switch {
+		case p.atKeyword("SELECT"):
+			sel, err := p.parseSelect()
+			if err != nil {
+				return comp, err
+			}
+			comp.Select = sel
+		case p.atKeyword("RELATE"):
+			rel, err := p.parseRelate()
+			if err != nil {
+				return comp, err
+			}
+			comp.Relate = rel
+		default:
+			return comp, p.errf("expected SELECT or RELATE in XNF component %s", name)
+		}
+		if _, err := p.expect(lexer.Symbol, ")"); err != nil {
+			return comp, err
+		}
+		return comp, nil
+	}
+	// Bare-table shortcut: `xemp AS EMP` means SELECT * FROM EMP (Fig. 1).
+	table, err := p.ident()
+	if err != nil {
+		return comp, p.errf("expected a table expression or table name in XNF component %s", name)
+	}
+	comp.Select = &ast.SelectStmt{
+		Items: []ast.SelectItem{{Star: true}},
+		From:  []ast.TableRef{{Table: table}},
+		Limit: -1,
+	}
+	return comp, nil
+}
+
+func (p *Parser) parseRelate() (*ast.RelateClause, error) {
+	if err := p.expectKeyword("RELATE"); err != nil {
+		return nil, err
+	}
+	parent, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	rel := &ast.RelateClause{Parent: parent}
+	if p.acceptKeyword("VIA") {
+		role, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		rel.Role = role
+	}
+	for p.accept(lexer.Symbol, ",") {
+		child, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		alias := ""
+		if p.acceptKeyword("AS") {
+			alias, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+		} else if p.at(lexer.Ident, "") {
+			alias, _ = p.ident()
+		}
+		rel.Children = append(rel.Children, child)
+		rel.ChildAliases = append(rel.ChildAliases, alias)
+	}
+	if len(rel.Children) == 0 {
+		return nil, p.errf("RELATE requires at least one child component")
+	}
+	if p.acceptKeyword("USING") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			rel.Using = append(rel.Using, tr)
+			if !p.accept(lexer.Symbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		rel.Where = w
+	}
+	return rel, nil
+}
+
+// --- expressions ---
+
+func (p *Parser) parseExpr() (ast.Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (ast.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+// parsePredicate handles comparisons and the IS/IN/BETWEEN/LIKE suffixes.
+func (p *Parser) parsePredicate() (ast.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(lexer.Symbol, "="), p.at(lexer.Symbol, "<>"), p.at(lexer.Symbol, "!="),
+			p.at(lexer.Symbol, "<"), p.at(lexer.Symbol, "<="), p.at(lexer.Symbol, ">"),
+			p.at(lexer.Symbol, ">="):
+			op := p.cur().Text
+			p.pos++
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &ast.BinaryExpr{Op: op, L: l, R: r}
+		case p.atKeyword("IS"):
+			p.pos++
+			not := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			l = &ast.IsNullExpr{X: l, Not: not}
+		case p.atKeyword("IN"), p.atKeyword("NOT") && p.peek(1).Kind == lexer.Keyword && (p.peek(1).Text == "IN" || p.peek(1).Text == "BETWEEN" || p.peek(1).Text == "LIKE"):
+			not := p.acceptKeyword("NOT")
+			switch {
+			case p.acceptKeyword("IN"):
+				if _, err := p.expect(lexer.Symbol, "("); err != nil {
+					return nil, err
+				}
+				in := &ast.InExpr{X: l, Not: not}
+				if p.atKeyword("SELECT") {
+					sub, err := p.parseSelect()
+					if err != nil {
+						return nil, err
+					}
+					in.Sub = sub
+				} else {
+					for {
+						e, err := p.parseExpr()
+						if err != nil {
+							return nil, err
+						}
+						in.List = append(in.List, e)
+						if !p.accept(lexer.Symbol, ",") {
+							break
+						}
+					}
+				}
+				if _, err := p.expect(lexer.Symbol, ")"); err != nil {
+					return nil, err
+				}
+				l = in
+			case p.acceptKeyword("BETWEEN"):
+				lo, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				l = &ast.BetweenExpr{X: l, Not: not, Lo: lo, Hi: hi}
+			case p.acceptKeyword("LIKE"):
+				pat, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				l = &ast.LikeExpr{X: l, Not: not, Pattern: pat}
+			default:
+				return nil, p.errf("expected IN, BETWEEN or LIKE after NOT")
+			}
+		case p.atKeyword("BETWEEN"):
+			p.pos++
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &ast.BetweenExpr{X: l, Lo: lo, Hi: hi}
+		case p.atKeyword("LIKE"):
+			p.pos++
+			pat, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &ast.LikeExpr{X: l, Pattern: pat}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseAdditive() (ast.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.Symbol, "+") || p.at(lexer.Symbol, "-") || p.at(lexer.Symbol, "||") {
+		op := p.cur().Text
+		p.pos++
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMultiplicative() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.Symbol, "*") || p.at(lexer.Symbol, "/") || p.at(lexer.Symbol, "%") {
+		op := p.cur().Text
+		p.pos++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (ast.Expr, error) {
+	if p.accept(lexer.Symbol, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold a negated literal directly; keeps deparse round-trips exact.
+		if lit, ok := x.(*ast.Literal); ok && lit.Value.IsNumeric() {
+			v, err := types.Neg(lit.Value)
+			if err == nil {
+				return &ast.Literal{Value: v}, nil
+			}
+		}
+		return &ast.UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == lexer.Int:
+		p.pos++
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q: %v", t.Text, err)
+		}
+		return &ast.Literal{Value: types.NewInt(n)}, nil
+	case t.Kind == lexer.Float:
+		p.pos++
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q: %v", t.Text, err)
+		}
+		return &ast.Literal{Value: types.NewFloat(f)}, nil
+	case t.Kind == lexer.String:
+		p.pos++
+		return &ast.Literal{Value: types.NewString(t.Text)}, nil
+	case p.atKeyword("NULL"):
+		p.pos++
+		return &ast.Literal{Value: types.Null}, nil
+	case p.atKeyword("TRUE"):
+		p.pos++
+		return &ast.Literal{Value: types.NewBool(true)}, nil
+	case p.atKeyword("FALSE"):
+		p.pos++
+		return &ast.Literal{Value: types.NewBool(false)}, nil
+	case p.atKeyword("EXISTS"):
+		p.pos++
+		if _, err := p.expect(lexer.Symbol, "("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Symbol, ")"); err != nil {
+			return nil, err
+		}
+		return &ast.SubqueryExpr{Exists: true, Select: sub}, nil
+	case p.atKeyword("CASE"):
+		return p.parseCase()
+	case t.Kind == lexer.Symbol && t.Text == "(":
+		p.pos++
+		if p.atKeyword("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(lexer.Symbol, ")"); err != nil {
+				return nil, err
+			}
+			return &ast.SubqueryExpr{Select: sub}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Symbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == lexer.Ident:
+		name, _ := p.ident()
+		// function call?
+		if p.at(lexer.Symbol, "(") {
+			p.pos++
+			fc := &ast.FuncCall{Name: name}
+			if p.accept(lexer.Symbol, "*") {
+				fc.Star = true
+				if _, err := p.expect(lexer.Symbol, ")"); err != nil {
+					return nil, err
+				}
+				return fc, nil
+			}
+			if p.acceptKeyword("DISTINCT") {
+				fc.Distinct = true
+			}
+			if !p.at(lexer.Symbol, ")") {
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, e)
+					if !p.accept(lexer.Symbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(lexer.Symbol, ")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// qualified reference: a.b, or a longer XNF path a.b.c…
+		if p.at(lexer.Symbol, ".") {
+			steps := []string{name}
+			for p.accept(lexer.Symbol, ".") {
+				next, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				steps = append(steps, next)
+			}
+			if len(steps) == 2 {
+				return &ast.ColumnRef{Qualifier: steps[0], Name: steps[1]}, nil
+			}
+			return &ast.PathExpr{Steps: steps}, nil
+		}
+		return &ast.ColumnRef{Name: name}, nil
+	default:
+		return nil, p.errf("unexpected token %q in expression", t.Text)
+	}
+}
+
+func (p *Parser) parseCase() (ast.Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &ast.CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.WhenClause{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN arm")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

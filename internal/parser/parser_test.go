@@ -1,0 +1,409 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"xnf/internal/ast"
+	"xnf/internal/types"
+)
+
+func mustParse(t *testing.T, sql string) ast.Statement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+// roundTrip checks the deparse property: parsing the deparsed text yields
+// the same deparsed text again.
+func roundTrip(t *testing.T, sql string) {
+	t.Helper()
+	s1 := mustParse(t, sql).String()
+	s2 := mustParse(t, s1).String()
+	if s1 != s2 {
+		t.Errorf("round trip unstable:\n  first:  %s\n  second: %s", s1, s2)
+	}
+}
+
+func TestSelectBasic(t *testing.T) {
+	stmt := mustParse(t, "SELECT eno, name AS n FROM emp e WHERE sal > 100")
+	sel := stmt.(*ast.SelectStmt)
+	if len(sel.Items) != 2 || sel.Items[1].Alias != "n" {
+		t.Errorf("items: %+v", sel.Items)
+	}
+	if len(sel.From) != 1 || sel.From[0].Name() != "e" || sel.From[0].Table != "emp" {
+		t.Errorf("from: %+v", sel.From)
+	}
+	cmp, ok := sel.Where.(*ast.BinaryExpr)
+	if !ok || cmp.Op != ">" {
+		t.Errorf("where: %+v", sel.Where)
+	}
+}
+
+func TestSelectStarAndQualifiedStar(t *testing.T) {
+	sel := mustParse(t, "SELECT *, e.* FROM emp e").(*ast.SelectStmt)
+	if !sel.Items[0].Star || sel.Items[0].Qualifier != "" {
+		t.Errorf("item 0: %+v", sel.Items[0])
+	}
+	if !sel.Items[1].Star || sel.Items[1].Qualifier != "e" {
+		t.Errorf("item 1: %+v", sel.Items[1])
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT 1 WHERE a OR b AND c = 1 + 2 * 3").(*ast.SelectStmt)
+	or := sel.Where.(*ast.BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top op = %s", or.Op)
+	}
+	and := or.R.(*ast.BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("right of OR = %s", and.Op)
+	}
+	cmp := and.R.(*ast.BinaryExpr)
+	if cmp.Op != "=" {
+		t.Fatalf("cmp = %s", cmp.Op)
+	}
+	plus := cmp.R.(*ast.BinaryExpr)
+	if plus.Op != "+" {
+		t.Fatalf("plus = %s", plus.Op)
+	}
+	times := plus.R.(*ast.BinaryExpr)
+	if times.Op != "*" {
+		t.Fatalf("times = %s", times.Op)
+	}
+}
+
+func TestParens(t *testing.T) {
+	sel := mustParse(t, "SELECT 1 WHERE (a OR b) AND c").(*ast.SelectStmt)
+	and := sel.Where.(*ast.BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("top = %s", and.Op)
+	}
+	if or := and.L.(*ast.BinaryExpr); or.Op != "OR" {
+		t.Fatalf("left = %s", or.Op)
+	}
+}
+
+func TestSubqueriesAndPredicates(t *testing.T) {
+	sel := mustParse(t, `SELECT * FROM emp e WHERE EXISTS (SELECT 1 FROM dept d WHERE d.dno = e.edno) AND e.sal BETWEEN 1 AND 10 AND e.name LIKE 'a%' AND e.dno IN (1, 2, 3) AND e.x IS NOT NULL`).(*ast.SelectStmt)
+	conj := ast.Conjuncts(sel.Where)
+	if len(conj) != 5 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if sub, ok := conj[0].(*ast.SubqueryExpr); !ok || !sub.Exists {
+		t.Errorf("conj 0: %T", conj[0])
+	}
+	if _, ok := conj[1].(*ast.BetweenExpr); !ok {
+		t.Errorf("conj 1: %T", conj[1])
+	}
+	if _, ok := conj[2].(*ast.LikeExpr); !ok {
+		t.Errorf("conj 2: %T", conj[2])
+	}
+	if in, ok := conj[3].(*ast.InExpr); !ok || len(in.List) != 3 {
+		t.Errorf("conj 3: %T", conj[3])
+	}
+	if isn, ok := conj[4].(*ast.IsNullExpr); !ok || !isn.Not {
+		t.Errorf("conj 4: %T", conj[4])
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM emp WHERE edno IN (SELECT dno FROM dept)").(*ast.SelectStmt)
+	in := sel.Where.(*ast.InExpr)
+	if in.Sub == nil {
+		t.Fatal("expected IN subquery")
+	}
+}
+
+func TestNotVariants(t *testing.T) {
+	sel := mustParse(t, "SELECT 1 WHERE x NOT IN (1) AND y NOT LIKE 'a' AND z NOT BETWEEN 1 AND 2 AND NOT EXISTS (SELECT 1)").(*ast.SelectStmt)
+	conj := ast.Conjuncts(sel.Where)
+	if in := conj[0].(*ast.InExpr); !in.Not {
+		t.Error("NOT IN lost")
+	}
+	if lk := conj[1].(*ast.LikeExpr); !lk.Not {
+		t.Error("NOT LIKE lost")
+	}
+	if bt := conj[2].(*ast.BetweenExpr); !bt.Not {
+		t.Error("NOT BETWEEN lost")
+	}
+	if not := conj[3].(*ast.UnaryExpr); not.Op != "NOT" {
+		t.Error("NOT EXISTS should parse as NOT(EXISTS)")
+	}
+}
+
+func TestGroupByHavingOrderLimit(t *testing.T) {
+	sel := mustParse(t, "SELECT edno, COUNT(*) FROM emp GROUP BY edno HAVING COUNT(*) > 2 ORDER BY edno DESC LIMIT 5").(*ast.SelectStmt)
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("group/having lost")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Error("order lost")
+	}
+	if sel.Limit != 5 {
+		t.Error("limit lost")
+	}
+	fc := sel.Items[1].Expr.(*ast.FuncCall)
+	if !fc.Star || fc.Name != "COUNT" {
+		t.Error("COUNT(*) lost")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t UNION ALL SELECT a FROM u UNION SELECT a FROM v").(*ast.SelectStmt)
+	if sel.Union == nil || !sel.Union.All {
+		t.Fatal("first union lost")
+	}
+	if sel.Union.Right.Union == nil || sel.Union.Right.Union.All {
+		t.Fatal("second union lost")
+	}
+}
+
+func TestJoinDesugar(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM a JOIN b ON a.x = b.x INNER JOIN c ON b.y = c.y").(*ast.SelectStmt)
+	if len(sel.From) != 3 {
+		t.Fatalf("from = %d", len(sel.From))
+	}
+	if len(ast.Conjuncts(sel.Where)) != 2 {
+		t.Fatalf("where = %v", sel.Where)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM (SELECT a FROM t) s WHERE s.a = 1").(*ast.SelectStmt)
+	if sel.From[0].Subquery == nil || sel.From[0].Alias != "s" {
+		t.Fatalf("derived table: %+v", sel.From[0])
+	}
+	if _, err := Parse("SELECT * FROM (SELECT a FROM t)"); err == nil {
+		t.Error("derived table without alias should fail")
+	}
+}
+
+func TestCreateTable(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE emp (eno INT NOT NULL, name VARCHAR, sal FLOAT, PRIMARY KEY (eno), FOREIGN KEY (edno) REFERENCES dept (dno))`)
+	ct := stmt.(*ast.CreateTableStmt)
+	if len(ct.Columns) != 3 || !ct.Columns[0].NotNull {
+		t.Errorf("columns: %+v", ct.Columns)
+	}
+	if len(ct.PrimaryKey) != 1 || ct.PrimaryKey[0] != "eno" {
+		t.Errorf("pk: %v", ct.PrimaryKey)
+	}
+	if len(ct.ForeignKeys) != 1 || ct.ForeignKeys[0].RefTable != "dept" {
+		t.Errorf("fk: %+v", ct.ForeignKeys)
+	}
+}
+
+func TestCreateIndex(t *testing.T) {
+	ci := mustParse(t, "CREATE UNIQUE ORDERED INDEX i ON t (a, b)").(*ast.CreateIndexStmt)
+	if !ci.Unique || !ci.Ordered || len(ci.Columns) != 2 {
+		t.Errorf("%+v", ci)
+	}
+}
+
+func TestInsertForms(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").(*ast.InsertStmt)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 2 {
+		t.Errorf("%+v", ins)
+	}
+	ins2 := mustParse(t, "INSERT INTO t SELECT * FROM u").(*ast.InsertStmt)
+	if ins2.Select == nil {
+		t.Error("insert-select lost")
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	up := mustParse(t, "UPDATE emp e SET sal = sal * 1.1, name = 'x' WHERE eno = 1").(*ast.UpdateStmt)
+	if up.Alias != "e" || len(up.Set) != 2 || up.Where == nil {
+		t.Errorf("%+v", up)
+	}
+	del := mustParse(t, "DELETE FROM emp WHERE eno = 1").(*ast.DeleteStmt)
+	if del.Where == nil {
+		t.Errorf("%+v", del)
+	}
+}
+
+func TestCase(t *testing.T) {
+	sel := mustParse(t, "SELECT CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END FROM t").(*ast.SelectStmt)
+	c := sel.Items[0].Expr.(*ast.CaseExpr)
+	if len(c.Whens) != 2 || c.Else == nil {
+		t.Errorf("%+v", c)
+	}
+}
+
+// The paper's Fig. 1 query, verbatim modulo our grammar.
+const depsARC = `CREATE VIEW deps_ARC AS
+OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+       xemp AS EMP,
+       xproj AS PROJ,
+       xskills AS SKILLS,
+       employment AS (RELATE xdept VIA EMPLOYS, xemp
+                      WHERE xdept.dno = xemp.edno),
+       ownership AS (RELATE xdept VIA HAS, xproj
+                     WHERE xdept.dno = xproj.pdno),
+       empproperty AS (RELATE xemp VIA POSSESSES, xskills
+                       USING EMPSKILLS es
+                       WHERE xemp.eno = es.eseno AND es.essno = xskills.sno),
+       projproperty AS (RELATE xproj VIA NEEDS, xskills
+                        USING PROJSKILLS ps
+                        WHERE xproj.pno = ps.pspno AND ps.pssno = xskills.sno)
+TAKE *`
+
+func TestXNFDepsARC(t *testing.T) {
+	cv := mustParse(t, depsARC).(*ast.CreateViewStmt)
+	if cv.XNF == nil {
+		t.Fatal("expected XNF view")
+	}
+	q := cv.XNF
+	if len(q.Components) != 8 {
+		t.Fatalf("components = %d", len(q.Components))
+	}
+	names := []string{"xdept", "xemp", "xproj", "xskills", "employment", "ownership", "empproperty", "projproperty"}
+	for i, n := range names {
+		if q.Components[i].Name != n {
+			t.Errorf("component %d = %s, want %s", i, q.Components[i].Name, n)
+		}
+	}
+	// Bare-table shortcut expands to SELECT *.
+	if q.Components[1].Select == nil || q.Components[1].Select.From[0].Table != "EMP" {
+		t.Errorf("shortcut: %+v", q.Components[1])
+	}
+	emp := q.Components[4].Relate
+	if emp == nil || emp.Parent != "xdept" || emp.Role != "EMPLOYS" || emp.Children[0] != "xemp" {
+		t.Errorf("employment: %+v", emp)
+	}
+	ep := q.Components[6].Relate
+	if len(ep.Using) != 1 || ep.Using[0].Table != "EMPSKILLS" || ep.Using[0].Alias != "es" {
+		t.Errorf("empproperty USING: %+v", ep.Using)
+	}
+	if len(q.Take) != 1 || !q.Take[0].Star {
+		t.Errorf("take: %+v", q.Take)
+	}
+	roundTrip(t, depsARC)
+}
+
+func TestXNFDirectQueryAndProjection(t *testing.T) {
+	q := mustParse(t, `OUT OF a AS T1, b AS T2, r AS (RELATE a, b WHERE a.x = b.y) TAKE a (c1, c2), r`).(*ast.XNFQuery)
+	if len(q.Components) != 3 {
+		t.Fatalf("components = %d", len(q.Components))
+	}
+	if q.Components[2].Relate.Role != "" {
+		t.Error("VIA should be optional")
+	}
+	if len(q.Take) != 2 || q.Take[0].Columns[1] != "c2" {
+		t.Errorf("take: %+v", q.Take)
+	}
+}
+
+func TestXNFNaryRelate(t *testing.T) {
+	q := mustParse(t, `OUT OF a AS T1, b AS T2, c AS T3, r AS (RELATE a VIA ROLE_X, b, c WHERE a.x = b.y AND b.y = c.z) TAKE *`).(*ast.XNFQuery)
+	rel := q.Components[3].Relate
+	if len(rel.Children) != 2 {
+		t.Fatalf("n-ary children = %d", len(rel.Children))
+	}
+}
+
+func TestPathExpr(t *testing.T) {
+	e, err := ParseExpr("deps_ARC.xdept.xemp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := e.(*ast.PathExpr)
+	if len(pe.Steps) != 3 {
+		t.Errorf("%+v", pe)
+	}
+	e2, _ := ParseExpr("a.b")
+	if _, ok := e2.(*ast.ColumnRef); !ok {
+		t.Errorf("two-step should be a column ref: %T", e2)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a BLOB)",
+		"INSERT INTO t VALUES",
+		"OUT OF TAKE *",
+		"OUT OF a AS T TAKE",
+		"OUT OF r AS (RELATE a) TAKE *", // no children
+		"SELECT * FROM t extra garbage ,",
+		"SELECT 1 WHERE CASE END",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	sel := mustParse(t, "SELECT 1, 2.5, 'str', NULL, TRUE, FALSE, -3").(*ast.SelectStmt)
+	vals := []types.Value{
+		types.NewInt(1), types.NewFloat(2.5), types.NewString("str"),
+		types.Null, types.NewBool(true), types.NewBool(false), types.NewInt(-3),
+	}
+	for i, want := range vals {
+		lit := sel.Items[i].Expr.(*ast.Literal)
+		if lit.Value.T != want.T || !types.Equal(lit.Value, want) {
+			t.Errorf("literal %d = %v, want %v", i, lit.Value, want)
+		}
+	}
+}
+
+func TestRoundTripCorpus(t *testing.T) {
+	corpus := []string{
+		"SELECT * FROM t",
+		"SELECT DISTINCT a, b AS c FROM t u WHERE a = 1 AND b < 2 OR NOT (c IS NULL)",
+		"SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 3",
+		"SELECT a FROM t WHERE a IN (SELECT b FROM u) UNION SELECT c FROM v",
+		"SELECT (SELECT MAX(b) FROM u) FROM t",
+		"SELECT a + b * c - d / e % f FROM t",
+		"SELECT a || 'x' FROM t WHERE b LIKE '%y%' AND c BETWEEN 1 AND 2",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)",
+		"UPDATE t SET a = a + 1 WHERE b = 'z'",
+		"DELETE FROM t WHERE a IN (1, 2)",
+		"CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR, PRIMARY KEY (a))",
+		"CREATE UNIQUE INDEX i ON t (a)",
+		"CREATE VIEW v AS SELECT a FROM t",
+		"DROP TABLE t",
+		"DROP VIEW v",
+		"SELECT CASE WHEN a = 1 THEN 2 ELSE 3 END FROM t",
+		"OUT OF a AS (SELECT * FROM T1), r AS (RELATE a VIA R, b USING M m WHERE a.x = m.y) TAKE a, r (x, y)",
+		depsARC,
+	}
+	for _, sql := range corpus {
+		roundTrip(t, sql)
+	}
+}
+
+func TestDeparseParenthesization(t *testing.T) {
+	// (a + b) * c must keep its parens through deparse.
+	sel := mustParse(t, "SELECT (a + b) * c FROM t").(*ast.SelectStmt)
+	s := sel.String()
+	if !strings.Contains(s, "(a + b) * c") {
+		t.Errorf("deparse lost parens: %s", s)
+	}
+	// a - (b - c) is not the same as a - b - c.
+	sel2 := mustParse(t, "SELECT a - (b - c) FROM t").(*ast.SelectStmt)
+	s2 := sel2.String()
+	if !strings.Contains(s2, "a - (b - c)") {
+		t.Errorf("right-assoc parens lost: %s", s2)
+	}
+}

@@ -1,0 +1,253 @@
+package qgm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dump renders the reachable part of the graph as indented text, one box
+// per stanza, in a stable order. EXPLAIN and the golden-structure tests in
+// internal/core use it.
+func (g *Graph) Dump() string {
+	boxes := g.Reachable()
+	sort.Slice(boxes, func(i, j int) bool { return boxes[i].ID < boxes[j].ID })
+	var b strings.Builder
+	for _, box := range boxes {
+		b.WriteString(box.describe())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (box *Box) describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "box%d %s", box.ID, box.Kind)
+	if box.Name != "" {
+		fmt.Fprintf(&b, " %q", box.Name)
+	}
+	if box.Distinct {
+		b.WriteString(" DISTINCT")
+	}
+	if box.Kind == BaseTable {
+		fmt.Fprintf(&b, " table=%s", box.Table)
+	}
+	b.WriteString("\n")
+	if len(box.Head) > 0 {
+		b.WriteString("  head:")
+		for _, h := range box.Head {
+			if h.Expr != nil {
+				fmt.Fprintf(&b, " %s=%s", h.Name, h.Expr.String())
+			} else {
+				fmt.Fprintf(&b, " %s", h.Name)
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, q := range box.Quants {
+		in := "-"
+		if q.Input != nil {
+			in = fmt.Sprintf("box%d", q.Input.ID)
+		}
+		fmt.Fprintf(&b, "  quant q%d(%s) %s over %s\n", q.ID, q.Type, q.Name, in)
+	}
+	for _, p := range box.Preds {
+		fmt.Fprintf(&b, "  pred %s\n", p.String())
+	}
+	for _, ge := range box.GroupExprs {
+		fmt.Fprintf(&b, "  group %s\n", ge.String())
+	}
+	for _, o := range box.XNFOutputs {
+		kind := "node"
+		if o.IsRel {
+			kind = fmt.Sprintf("rel parent=%s children=%s role=%s", o.Parent, strings.Join(o.Children, "+"), o.Role)
+		}
+		r := ""
+		if o.Reachable {
+			r = " R"
+		}
+		fmt.Fprintf(&b, "  xnf-out %s (%s) box%d%s\n", o.Name, kind, o.Box.ID, r)
+	}
+	for _, o := range box.Outputs {
+		in := "-"
+		if o.Quant != nil && o.Quant.Input != nil {
+			in = fmt.Sprintf("box%d", o.Quant.Input.ID)
+		}
+		rel := ""
+		if o.IsRel {
+			rel = fmt.Sprintf(" rel parent=%s children=%s role=%s", o.Parent, strings.Join(o.Children, "+"), o.Role)
+		}
+		fmt.Fprintf(&b, "  out #%d %s over %s%s\n", o.CompID, o.Name, in, rel)
+	}
+	return b.String()
+}
+
+// Validate checks structural invariants of the graph and returns the list
+// of violations; tests assert it is empty after every compilation stage.
+func (g *Graph) Validate() []string {
+	var errs []string
+	boxes := g.Reachable()
+	boxSet := make(map[int]*Box, len(boxes))
+	for _, b := range boxes {
+		boxSet[b.ID] = b
+	}
+	// Every quantifier visible from a box must belong to some reachable box
+	// (its own or an ancestor — correlation); its input must be reachable.
+	owner := make(map[*Quantifier]*Box)
+	for _, b := range boxes {
+		for _, q := range b.Quants {
+			owner[q] = b
+		}
+		for _, o := range b.Outputs {
+			if o.Quant != nil {
+				owner[o.Quant] = b
+			}
+		}
+		for _, e := range allExprs(b) {
+			WalkExpr(e, func(x Expr) {
+				if sq, ok := x.(*SubqueryRef); ok {
+					owner[sq.Quant] = b
+				}
+			})
+		}
+	}
+	for _, b := range boxes {
+		for _, e := range allExprs(b) {
+			WalkExpr(e, func(x Expr) {
+				if c, ok := x.(*ColRef); ok {
+					if c.Q == nil {
+						errs = append(errs, fmt.Sprintf("box%d: nil quantifier in %s", b.ID, e.String()))
+						return
+					}
+					if _, ok := owner[c.Q]; !ok {
+						errs = append(errs, fmt.Sprintf("box%d: reference to unowned quantifier q%d", b.ID, c.Q.ID))
+					}
+					if c.Q.Input != nil && c.Ord >= len(c.Q.Input.Head) {
+						errs = append(errs, fmt.Sprintf("box%d: ordinal %d out of range for box%d", b.ID, c.Ord, c.Q.Input.ID))
+					}
+				}
+			})
+		}
+		for _, q := range b.Quants {
+			if q.Input == nil {
+				errs = append(errs, fmt.Sprintf("box%d: quantifier q%d has no input", b.ID, q.ID))
+			} else if _, ok := boxSet[q.Input.ID]; !ok {
+				errs = append(errs, fmt.Sprintf("box%d: quantifier q%d ranges over unreachable box%d", b.ID, q.ID, q.Input.ID))
+			}
+		}
+		switch b.Kind {
+		case BaseTable:
+			if b.Table == "" {
+				errs = append(errs, fmt.Sprintf("box%d: base table without a table name", b.ID))
+			}
+			if len(b.Quants) != 0 {
+				errs = append(errs, fmt.Sprintf("box%d: base table with quantifiers", b.ID))
+			}
+		case GroupBy:
+			n := 0
+			for _, q := range b.Quants {
+				if q.Type == ForEach {
+					n++
+				}
+			}
+			if n != 1 {
+				errs = append(errs, fmt.Sprintf("box%d: GroupBy needs exactly one F quantifier, has %d", b.ID, n))
+			}
+		case Union:
+			if len(b.Quants) < 2 {
+				errs = append(errs, fmt.Sprintf("box%d: Union with %d branches", b.ID, len(b.Quants)))
+			}
+		case Top:
+			// Before XNF semantic rewrite a Top legitimately has no
+			// outputs yet: it ranges over the XNF operator box.
+			overXNF := false
+			for _, q := range b.Quants {
+				if q.Input != nil && q.Input.Kind == XNFOp {
+					overXNF = true
+				}
+			}
+			if len(b.Outputs) == 0 && !overXNF {
+				errs = append(errs, fmt.Sprintf("box%d: Top without outputs", b.ID))
+			}
+		}
+	}
+	if g.TopBox == nil {
+		errs = append(errs, "graph has no top box")
+	} else if g.TopBox.Kind != Top {
+		errs = append(errs, "top box is not a Top operator")
+	}
+	return errs
+}
+
+// CountBoxOps tallies one box's relational operations in the units of the
+// paper's Table 1: a Select box with n F-quantifiers contributes n-1
+// joins, every existential quantifier (reachability subquery) counts as
+// one join, and a single-input box with local predicates counts one
+// selection. Base tables, pure projections and Top boxes cost nothing.
+func CountBoxOps(b *Box) (joins, selections int) {
+	if b.Kind != Select && b.Kind != GroupBy {
+		return 0, 0
+	}
+	f := 0
+	subq := 0
+	for _, q := range b.Quants {
+		switch q.Type {
+		case ForEach:
+			f++
+		case Exist, AntiExist:
+			subq++
+		}
+	}
+	for _, e := range allExprs(b) {
+		WalkExpr(e, func(x Expr) {
+			if _, ok := x.(*SubqueryRef); ok {
+				subq++
+			}
+		})
+	}
+	if f > 1 {
+		joins += f - 1
+	}
+	joins += subq
+	if f <= 1 && subq == 0 && len(b.Preds) > 0 {
+		selections++
+	}
+	return joins, selections
+}
+
+// CountOps sums CountBoxOps over the reachable graph.
+func (g *Graph) CountOps() (joins, selections int) {
+	for _, b := range g.Reachable() {
+		j, s := CountBoxOps(b)
+		joins += j
+		selections += s
+	}
+	return joins, selections
+}
+
+// ReachableFrom returns the boxes reachable from a starting box through
+// quantifiers and subquery references, in DFS pre-order.
+func ReachableFrom(start *Box) []*Box {
+	seen := make(map[int]bool)
+	var out []*Box
+	var visit func(b *Box)
+	visit = func(b *Box) {
+		if b == nil || seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		out = append(out, b)
+		for _, q := range b.Quants {
+			visit(q.Input)
+		}
+		for _, e := range allExprs(b) {
+			WalkExpr(e, func(x Expr) {
+				if sq, ok := x.(*SubqueryRef); ok {
+					visit(sq.Quant.Input)
+				}
+			})
+		}
+	}
+	visit(start)
+	return out
+}

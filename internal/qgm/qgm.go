@@ -1,0 +1,376 @@
+// Package qgm implements the Query Graph Model, the internal semantic
+// network Starburst uses to represent queries during all compilation stages
+// (Sect. 3.2 of the paper). Queries are a DAG of boxes — high-level table
+// operators — connected by quantifiers that range over other boxes' outputs.
+// The XNF extension adds one new operator kind (XNFOp) and multi-output
+// tops; everything else is the standard NF model, which is exactly the
+// reuse story the paper tells.
+package qgm
+
+import (
+	"fmt"
+
+	"xnf/internal/types"
+)
+
+// BoxKind enumerates the QGM operators.
+type BoxKind uint8
+
+// The box kinds. BaseTable boxes are leaves over stored tables; Select is
+// the select-project-join operator; GroupBy groups one input; Union merges
+// branches; XNFOp is the paper's new multi-output composite-object
+// constructor; Top is the query/application interface operator.
+const (
+	BaseTable BoxKind = iota
+	Select
+	GroupBy
+	Union
+	XNFOp
+	Top
+)
+
+func (k BoxKind) String() string {
+	switch k {
+	case BaseTable:
+		return "BaseTable"
+	case Select:
+		return "Select"
+	case GroupBy:
+		return "GroupBy"
+	case Union:
+		return "Union"
+	case XNFOp:
+		return "XNF"
+	case Top:
+		return "Top"
+	default:
+		return fmt.Sprintf("BoxKind(%d)", uint8(k))
+	}
+}
+
+// QuantType classifies quantifiers. F ("for each") is the range quantifier
+// of ordinary joins; E is existential (EXISTS / IN subqueries); AntiE is
+// the complement (NOT EXISTS / NOT IN); Scalar binds a single-row subquery
+// value.
+type QuantType uint8
+
+// The quantifier types.
+const (
+	ForEach QuantType = iota
+	Exist
+	AntiExist
+	Scalar
+)
+
+func (t QuantType) String() string {
+	switch t {
+	case ForEach:
+		return "F"
+	case Exist:
+		return "E"
+	case AntiExist:
+		return "¬E"
+	case Scalar:
+		return "S"
+	default:
+		return "?"
+	}
+}
+
+// Quantifier ranges over the output of Input inside the body of one box.
+type Quantifier struct {
+	ID    int
+	Type  QuantType
+	Name  string // correlation name, for diagnostics
+	Input *Box
+	// NullAware marks AntiExist quantifiers generated from NOT IN, whose
+	// three-valued NULL semantics differ from NOT EXISTS.
+	NullAware bool
+}
+
+// HeadColumn is one output column of a box.
+type HeadColumn struct {
+	Name string
+	Type types.Type
+	Expr Expr
+}
+
+// OrderSpec is one ORDER BY element attached to a Top box.
+type OrderSpec struct {
+	Expr Expr
+	Desc bool
+}
+
+// TopOutput is one output table of a Top box. Plain SQL queries have one;
+// XNF queries have one per TAKEn component, each tagged with a component
+// number so the runtime can emit the heterogeneous stream (Sect. 4.1).
+type TopOutput struct {
+	Name   string
+	CompID int
+	Quant  *Quantifier
+	// Relationship metadata (nil semantics for plain nodes): for an XNF
+	// relationship output, Parent and Children name the partner components
+	// and Role is the VIA name.
+	IsRel    bool
+	Parent   string
+	Children []string
+	Role     string
+	// KeyCols are the head-column ordinals of Quant's input that identify a
+	// tuple of this component (used by the cache to build connections).
+	KeyCols []int
+	// For relationships: the ordinals in the connection tuple that carry
+	// the parent key and each child key.
+	ParentKeyCols []int
+	ChildKeyCols  [][]int
+}
+
+// XNFOutput is one named output of the XNF operator (before semantic
+// rewrite replaces the operator with plain NF boxes).
+type XNFOutput struct {
+	Name  string
+	IsRel bool
+	Box   *Box
+	// Relationship structure.
+	Parent   string
+	Children []string
+	Role     string
+	// Reachable marks components that must be restricted to tuples
+	// reachable from a root (the 'R' marker in Fig. 4).
+	Reachable bool
+}
+
+// Box is one QGM operator: a head (output description) and a body
+// (quantifiers plus predicates showing how the output derives from the
+// inputs).
+type Box struct {
+	ID   int
+	Kind BoxKind
+	Name string
+
+	Head     []HeadColumn
+	Distinct bool
+
+	Quants []*Quantifier
+	Preds  []Expr
+
+	// GroupBy: grouping expressions (over the single F quantifier).
+	GroupExprs []Expr
+
+	// Union: true for UNION ALL.
+	UnionAll bool
+
+	// BaseTable: the stored table's catalog name and key ordinals.
+	Table   string
+	PKOrds  []int
+	RowEst  int64 // optimizer estimate, filled from stats
+	ColCard []int64
+
+	// XNFOp: the composite object's outputs.
+	XNFOutputs []XNFOutput
+
+	// Top: the query's outputs plus result ordering. HiddenCols counts
+	// trailing head columns of the output that exist only for sorting and
+	// are stripped from the delivered rows.
+	Outputs    []TopOutput
+	OrderBy    []OrderSpec
+	Limit      int // -1 = none
+	HiddenCols int
+}
+
+// Graph owns the boxes of one query.
+type Graph struct {
+	TopBox *Box
+	boxes  []*Box
+	nextID int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// NewBox allocates a box registered with the graph.
+func (g *Graph) NewBox(kind BoxKind, name string) *Box {
+	b := &Box{ID: g.nextID, Kind: kind, Name: name, Limit: -1}
+	g.nextID++
+	g.boxes = append(g.boxes, b)
+	return b
+}
+
+// NewQuant allocates a quantifier over input and attaches it to box.
+func (g *Graph) NewQuant(box *Box, typ QuantType, name string, input *Box) *Quantifier {
+	q := g.NewDetachedQuant(typ, name, input)
+	box.Quants = append(box.Quants, q)
+	return q
+}
+
+// NewDetachedQuant allocates a quantifier owned by an expression
+// (subquery quantifiers) rather than a box body.
+func (g *Graph) NewDetachedQuant(typ QuantType, name string, input *Box) *Quantifier {
+	q := &Quantifier{ID: g.nextID, Type: typ, Name: name, Input: input}
+	g.nextID++
+	return q
+}
+
+// Boxes returns all registered boxes (including dead ones until GC).
+func (g *Graph) Boxes() []*Box { return g.boxes }
+
+// Reachable returns the boxes reachable from the top in a deterministic
+// (DFS pre-order) order.
+func (g *Graph) Reachable() []*Box {
+	seen := make(map[int]bool)
+	var out []*Box
+	var visit func(b *Box)
+	visit = func(b *Box) {
+		if b == nil || seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		out = append(out, b)
+		for _, q := range b.Quants {
+			visit(q.Input)
+		}
+		for _, o := range b.XNFOutputs {
+			visit(o.Box)
+		}
+		for _, o := range b.Outputs {
+			if o.Quant != nil {
+				visit(o.Quant.Input)
+			}
+		}
+		// Correlated subquery boxes and scalar quantifier inputs are
+		// reached through expressions too.
+		for _, e := range allExprs(b) {
+			WalkExpr(e, func(x Expr) {
+				if sq, ok := x.(*SubqueryRef); ok {
+					visit(sq.Quant.Input)
+				}
+			})
+		}
+	}
+	visit(g.TopBox)
+	return out
+}
+
+// GC drops boxes not reachable from the top (the paper's "removal of
+// unused boxes" clean-up rule, Sect. 4.4).
+func (g *Graph) GC() int {
+	live := make(map[int]bool)
+	for _, b := range g.Reachable() {
+		live[b.ID] = true
+	}
+	kept := g.boxes[:0]
+	removed := 0
+	for _, b := range g.boxes {
+		if live[b.ID] {
+			kept = append(kept, b)
+		} else {
+			removed++
+		}
+	}
+	g.boxes = kept
+	return removed
+}
+
+// Consumers counts how many quantifiers (and top outputs) range over each
+// box; boxes with more than one consumer are shared common subexpressions.
+func (g *Graph) Consumers() map[int]int {
+	counts := make(map[int]int)
+	for _, b := range g.Reachable() {
+		for _, q := range b.Quants {
+			if q.Input != nil {
+				counts[q.Input.ID]++
+			}
+		}
+		for _, e := range allExprs(b) {
+			WalkExpr(e, func(x Expr) {
+				if sq, ok := x.(*SubqueryRef); ok && sq.Quant.Input != nil {
+					counts[sq.Quant.Input.ID]++
+				}
+			})
+		}
+	}
+	return counts
+}
+
+// allExprs lists every expression held by a box (preds, head, group exprs,
+// order specs).
+func allExprs(b *Box) []Expr {
+	var out []Expr
+	out = append(out, b.Preds...)
+	for _, h := range b.Head {
+		if h.Expr != nil {
+			out = append(out, h.Expr)
+		}
+	}
+	out = append(out, b.GroupExprs...)
+	for _, o := range b.OrderBy {
+		out = append(out, o.Expr)
+	}
+	return out
+}
+
+// QuantByID finds a quantifier attached to the box by ID.
+func (b *Box) QuantByID(id int) *Quantifier {
+	for _, q := range b.Quants {
+		if q.ID == id {
+			return q
+		}
+	}
+	return nil
+}
+
+// RemoveQuant detaches a quantifier from the box.
+func (b *Box) RemoveQuant(q *Quantifier) {
+	for i, x := range b.Quants {
+		if x == q {
+			b.Quants = append(b.Quants[:i], b.Quants[i+1:]...)
+			return
+		}
+	}
+}
+
+// HeadIndex returns the ordinal of the named head column.
+func (b *Box) HeadIndex(name string) (int, bool) {
+	for i, h := range b.Head {
+		if equalFold(h.Name, name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// HeadNames returns the output column names.
+func (b *Box) HeadNames() []string {
+	out := make([]string, len(b.Head))
+	for i, h := range b.Head {
+		out[i] = h.Name
+	}
+	return out
+}
+
+// HeadTypes returns the output column types.
+func (b *Box) HeadTypes() []types.Type {
+	out := make([]types.Type, len(b.Head))
+	for i, h := range b.Head {
+		out[i] = h.Type
+	}
+	return out
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'a' <= ca && ca <= 'z' {
+			ca -= 'a' - 'A'
+		}
+		if 'a' <= cb && cb <= 'z' {
+			cb -= 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,236 @@
+package qgm
+
+import (
+	"strings"
+	"testing"
+
+	"xnf/internal/types"
+)
+
+// tinyGraph builds: Top → Select A {F over BaseTable T, pred t.a = 1}.
+func tinyGraph() (*Graph, *Box, *Box) {
+	g := NewGraph()
+	base := g.NewBox(BaseTable, "T")
+	base.Table = "T"
+	base.Head = []HeadColumn{{Name: "a", Type: types.IntType}, {Name: "b", Type: types.StringType}}
+	sel := g.NewBox(Select, "A")
+	q := g.NewQuant(sel, ForEach, "t", base)
+	sel.Preds = append(sel.Preds, &BinOp{Op: "=", L: &ColRef{Q: q, Ord: 0}, R: &Const{V: types.NewInt(1)}})
+	sel.Head = []HeadColumn{{Name: "a", Type: types.IntType, Expr: &ColRef{Q: q, Ord: 0}}}
+	top := g.NewBox(Top, "")
+	tq := g.NewQuant(top, ForEach, "out", sel)
+	top.Outputs = []TopOutput{{Name: "out", Quant: tq}}
+	g.TopBox = top
+	return g, sel, base
+}
+
+func TestReachableAndGC(t *testing.T) {
+	g, sel, base := tinyGraph()
+	dead := g.NewBox(Select, "dead")
+	_ = dead
+	boxes := g.Reachable()
+	if len(boxes) != 3 {
+		t.Fatalf("reachable = %d", len(boxes))
+	}
+	removed := g.GC()
+	if removed != 1 {
+		t.Errorf("GC removed %d", removed)
+	}
+	_ = sel
+	_ = base
+}
+
+func TestConsumers(t *testing.T) {
+	g, sel, base := tinyGraph()
+	// A second consumer of base: shared common subexpression.
+	sel2 := g.NewBox(Select, "B")
+	q2 := g.NewQuant(sel2, ForEach, "t2", base)
+	sel2.Head = []HeadColumn{{Name: "b", Expr: &ColRef{Q: q2, Ord: 1}}}
+	g.NewQuant(g.TopBox, ForEach, "out2", sel2)
+	g.TopBox.Outputs = append(g.TopBox.Outputs, TopOutput{Name: "out2", Quant: g.TopBox.Quants[1]})
+	consumers := g.Consumers()
+	if consumers[base.ID] != 2 {
+		t.Errorf("base consumers = %d", consumers[base.ID])
+	}
+	if consumers[sel.ID] != 1 {
+		t.Errorf("sel consumers = %d", consumers[sel.ID])
+	}
+}
+
+func TestValidateCatchesBrokenRefs(t *testing.T) {
+	g, sel, _ := tinyGraph()
+	if errs := g.Validate(); len(errs) != 0 {
+		t.Fatalf("valid graph rejected: %v", errs)
+	}
+	// Out-of-range ordinal.
+	sel.Preds = append(sel.Preds, &ColRef{Q: sel.Quants[0], Ord: 99})
+	if errs := g.Validate(); len(errs) == 0 {
+		t.Error("out-of-range ordinal not caught")
+	}
+	sel.Preds = sel.Preds[:1]
+	// Reference to a quantifier owned by nobody.
+	ghost := &Quantifier{ID: 999, Input: sel}
+	sel.Preds = append(sel.Preds, &ColRef{Q: ghost, Ord: 0})
+	if errs := g.Validate(); len(errs) == 0 {
+		t.Error("unowned quantifier not caught")
+	}
+}
+
+func TestExprHelpers(t *testing.T) {
+	g, sel, _ := tinyGraph()
+	q := sel.Quants[0]
+	e := &BinOp{Op: "AND",
+		L: &BinOp{Op: "=", L: &ColRef{Q: q, Ord: 0}, R: &Const{V: types.NewInt(1)}},
+		R: &UnOp{Op: "NOT", X: &ColRef{Q: q, Ord: 1}},
+	}
+	quants := QuantsIn(e)
+	if len(quants) != 1 || !quants[q] {
+		t.Errorf("QuantsIn = %v", quants)
+	}
+	if !RefersOnlyTo(e, map[*Quantifier]bool{q: true}) {
+		t.Error("RefersOnlyTo false negative")
+	}
+	if RefersOnlyTo(e, map[*Quantifier]bool{}) {
+		t.Error("RefersOnlyTo false positive")
+	}
+	if !EqualExpr(e, e) {
+		t.Error("EqualExpr self")
+	}
+	e2 := &BinOp{Op: "AND", L: e.L, R: e.R}
+	if !EqualExpr(e, e2) {
+		t.Error("EqualExpr structural")
+	}
+	if EqualExpr(e, e.L) {
+		t.Error("EqualExpr different shapes")
+	}
+	_ = g
+}
+
+func TestRewriteAndSubstitute(t *testing.T) {
+	_, sel, base := tinyGraph()
+	q := sel.Quants[0]
+	// Substitute q's refs onto a new quantifier with shifted ordinals.
+	q2 := &Quantifier{ID: 100, Name: "n", Input: base}
+	e := &BinOp{Op: "=", L: &ColRef{Q: q, Ord: 0}, R: &ColRef{Q: q, Ord: 1}}
+	sub := SubstituteQuant(e, q, q2, map[int]int{0: 1, 1: 0})
+	b := sub.(*BinOp)
+	if b.L.(*ColRef).Q != q2 || b.L.(*ColRef).Ord != 1 {
+		t.Errorf("substitute wrong: %s", sub.String())
+	}
+	// Inline through head exprs.
+	w := &Quantifier{ID: 500, Name: "w", Input: sel}
+	inlined := InlineExpr(&ColRef{Q: w, Ord: 0}, w)
+	if cr, ok := inlined.(*ColRef); !ok || cr.Q != q {
+		t.Errorf("inline wrong: %s", inlined.String())
+	}
+}
+
+func TestExprType(t *testing.T) {
+	_, sel, _ := tinyGraph()
+	q := sel.Quants[0]
+	cases := []struct {
+		e    Expr
+		want types.Type
+	}{
+		{&Const{V: types.NewInt(1)}, types.IntType},
+		{&ColRef{Q: q, Ord: 1}, types.StringType},
+		{&BinOp{Op: "=", L: &Const{V: types.NewInt(1)}, R: &Const{V: types.NewInt(2)}}, types.BoolType},
+		{&BinOp{Op: "+", L: &Const{V: types.NewInt(1)}, R: &Const{V: types.NewFloat(2)}}, types.FloatType},
+		{&BinOp{Op: "+", L: &Const{V: types.NewInt(1)}, R: &Const{V: types.NewInt(2)}}, types.IntType},
+		{&Func{Name: "COUNT", Star: true}, types.IntType},
+		{&Func{Name: "AVG", Args: []Expr{&ColRef{Q: q, Ord: 0}}}, types.FloatType},
+		{&Func{Name: "UPPER", Args: []Expr{&ColRef{Q: q, Ord: 1}}}, types.StringType},
+		{&UnOp{Op: "ISNULL", X: &ColRef{Q: q, Ord: 0}}, types.BoolType},
+	}
+	for _, c := range cases {
+		if got := ExprType(c.e); got != c.want {
+			t.Errorf("ExprType(%s) = %v, want %v", c.e.String(), got, c.want)
+		}
+	}
+}
+
+func TestIsAggregate(t *testing.T) {
+	if !IsAggregate(&Func{Name: "sum", Args: []Expr{&Const{V: types.NewInt(1)}}}) {
+		t.Error("sum is aggregate")
+	}
+	if IsAggregate(&Func{Name: "UPPER", Args: []Expr{&Const{V: types.NewString("x")}}}) {
+		t.Error("UPPER is not aggregate")
+	}
+	if !IsAggregate(&BinOp{Op: "+", L: &Func{Name: "MAX", Args: []Expr{&Const{V: types.NewInt(1)}}}, R: &Const{V: types.NewInt(1)}}) {
+		t.Error("nested aggregate missed")
+	}
+}
+
+func TestCountBoxOps(t *testing.T) {
+	g := NewGraph()
+	base := g.NewBox(BaseTable, "T")
+	base.Table = "T"
+	base.Head = []HeadColumn{{Name: "a"}}
+	// Selection box: 1 selection.
+	sel := g.NewBox(Select, "")
+	q := g.NewQuant(sel, ForEach, "t", base)
+	sel.Preds = []Expr{&BinOp{Op: "=", L: &ColRef{Q: q, Ord: 0}, R: &Const{V: types.NewInt(1)}}}
+	if j, s := CountBoxOps(sel); j != 0 || s != 1 {
+		t.Errorf("selection box = %d joins, %d sels", j, s)
+	}
+	// Join box: 2 quants = 1 join, no selection even with preds.
+	join := g.NewBox(Select, "")
+	q1 := g.NewQuant(join, ForEach, "x", base)
+	q2 := g.NewQuant(join, ForEach, "y", base)
+	join.Preds = []Expr{&BinOp{Op: "=", L: &ColRef{Q: q1, Ord: 0}, R: &ColRef{Q: q2, Ord: 0}}}
+	if j, s := CountBoxOps(join); j != 1 || s != 0 {
+		t.Errorf("join box = %d joins, %d sels", j, s)
+	}
+	// Subquery counts as a join, even inside OR.
+	subq := g.NewDetachedQuant(Exist, "e", base)
+	orBox := g.NewBox(Select, "")
+	g.NewQuant(orBox, ForEach, "t", base)
+	orBox.Preds = []Expr{&BinOp{Op: "OR",
+		L: &SubqueryRef{Quant: subq},
+		R: &SubqueryRef{Quant: g.NewDetachedQuant(Exist, "e2", base)},
+	}}
+	if j, _ := CountBoxOps(orBox); j != 2 {
+		t.Errorf("or-of-exists box = %d joins, want 2", j)
+	}
+	// Pure projection: 0 ops.
+	proj := g.NewBox(Select, "")
+	g.NewQuant(proj, ForEach, "t", base)
+	if j, s := CountBoxOps(proj); j != 0 || s != 0 {
+		t.Errorf("projection = %d/%d", j, s)
+	}
+	// Base tables cost nothing.
+	if j, s := CountBoxOps(base); j != 0 || s != 0 {
+		t.Errorf("base = %d/%d", j, s)
+	}
+}
+
+func TestDump(t *testing.T) {
+	g, _, _ := tinyGraph()
+	d := g.Dump()
+	for _, want := range []string{"BaseTable", "Select", "Top", "pred", "quant"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestHeadHelpers(t *testing.T) {
+	_, sel, _ := tinyGraph()
+	if i, ok := sel.HeadIndex("A"); !ok || i != 0 {
+		t.Error("HeadIndex case-insensitive")
+	}
+	if _, ok := sel.HeadIndex("zz"); ok {
+		t.Error("missing head col found")
+	}
+	if sel.HeadNames()[0] != "a" {
+		t.Error("HeadNames")
+	}
+	if sel.HeadTypes()[0] != types.IntType {
+		t.Error("HeadTypes")
+	}
+	q := sel.Quants[0]
+	sel.RemoveQuant(q)
+	if len(sel.Quants) != 0 {
+		t.Error("RemoveQuant")
+	}
+}

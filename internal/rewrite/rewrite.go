@@ -1,0 +1,367 @@
+// Package rewrite is the NF query-rewrite stage (Sect. 3.2 and [39] of the
+// paper): a small rule engine applying QGM-to-QGM transformations until a
+// fixed point. The two load-bearing rules are exactly the ones the paper
+// walks through in Fig. 3:
+//
+//   - E→F quantifier conversion (ExistsToJoin): an existential subquery
+//     whose linking predicates hit a unique key of the subquery — or whose
+//     consumer eliminates duplicates anyway — becomes a join;
+//   - SELECT merge: a Select box consumed by exactly one other Select box
+//     is inlined into its consumer.
+//
+// Both the XNF semantic rewrite (internal/core) and the plain SQL path
+// share this component, which is the reuse story of Sect. 4.3.
+package rewrite
+
+import (
+	"fmt"
+
+	"xnf/internal/qgm"
+)
+
+// Rule is one rewrite transformation. Apply returns whether it changed the
+// graph (the engine loops until no rule fires).
+type Rule struct {
+	Name  string
+	Apply func(g *qgm.Graph) bool
+}
+
+// Stats records rule firings for EXPLAIN and the experiment harness.
+type Stats struct {
+	Fired map[string]int
+	Iters int
+}
+
+// Options selects which rules run.
+type Options struct {
+	ExistsToJoin bool
+	SelectMerge  bool
+}
+
+// DefaultOptions enables all rules.
+func DefaultOptions() Options { return Options{ExistsToJoin: true, SelectMerge: true} }
+
+// NoRewrite disables everything (the naive baseline of Fig. 3a).
+func NoRewrite() Options { return Options{} }
+
+// Apply runs the enabled rules to a fixed point and garbage-collects
+// unreferenced boxes.
+func Apply(g *qgm.Graph, opts Options) Stats {
+	stats := Stats{Fired: make(map[string]int)}
+	var rules []Rule
+	if opts.ExistsToJoin {
+		rules = append(rules, Rule{Name: "E2F", Apply: existsToJoin})
+	}
+	if opts.SelectMerge {
+		rules = append(rules, Rule{Name: "SelectMerge", Apply: selectMerge})
+	}
+	for iter := 0; iter < 100; iter++ {
+		stats.Iters = iter + 1
+		changed := false
+		for _, r := range rules {
+			if r.Apply(g) {
+				stats.Fired[r.Name]++
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	g.GC()
+	return stats
+}
+
+// --- E→F quantifier conversion ---
+
+// existsToJoin finds one applicable existential predicate and converts it
+// to a join, returning true if it fired.
+func existsToJoin(g *qgm.Graph) bool {
+	consumers := g.Consumers()
+	for _, box := range g.Reachable() {
+		if box.Kind != qgm.Select {
+			continue
+		}
+		for i, p := range box.Preds {
+			sr, ok := p.(*qgm.SubqueryRef)
+			if !ok || sr.Quant.Type != qgm.Exist {
+				continue
+			}
+			if applyE2F(g, box, i, sr, consumers) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func applyE2F(g *qgm.Graph, box *qgm.Box, predIdx int, sr *qgm.SubqueryRef, consumers map[int]int) bool {
+	sub := sr.Quant.Input
+	if sub.Kind != qgm.Select {
+		return false
+	}
+	// Split the subquery's own predicates into correlated equalities
+	// (outer = local) and the rest.
+	local := make(map[*qgm.Quantifier]bool)
+	for _, q := range sub.Quants {
+		local[q] = true
+	}
+	type corr struct {
+		outerSide qgm.Expr
+		localSide qgm.Expr
+	}
+	var corrs []corr
+	var keepInside []qgm.Expr
+	internallyCorrelated := false
+	for _, sp := range sub.Preds {
+		if eq, ok := sp.(*qgm.BinOp); ok && eq.Op == "=" {
+			switch {
+			case sideIs(eq.L, local, false) && sideIs(eq.R, local, true):
+				corrs = append(corrs, corr{outerSide: eq.L, localSide: eq.R})
+				continue
+			case sideIs(eq.R, local, false) && sideIs(eq.L, local, true):
+				corrs = append(corrs, corr{outerSide: eq.R, localSide: eq.L})
+				continue
+			}
+		}
+		keepInside = append(keepInside, sp)
+		for q := range qgm.QuantsIn(sp) {
+			if !local[q] {
+				internallyCorrelated = true
+			}
+		}
+	}
+	if internallyCorrelated {
+		return false // residual correlation cannot be pulled up
+	}
+	// Mutating the subquery box (head extension, predicate removal) is
+	// only sound when we are its sole consumer.
+	mutates := len(corrs) > 0
+	if mutates && consumers[sub.ID] > 1 {
+		return false
+	}
+
+	// Link predicates carried on the SubqueryRef (IN-style): outer = sub
+	// head column.
+	type headLink struct {
+		outerSide qgm.Expr
+		ord       int
+	}
+	var links []headLink
+	for _, lp := range sr.Preds {
+		if eq, ok := lp.(*qgm.BinOp); ok && eq.Op == "=" {
+			if cr, ok := eq.R.(*qgm.ColRef); ok && cr.Q == sr.Quant && avoidsQuant(eq.L, sr.Quant) {
+				links = append(links, headLink{outerSide: eq.L, ord: cr.Ord})
+				continue
+			}
+			if cr, ok := eq.L.(*qgm.ColRef); ok && cr.Q == sr.Quant && avoidsQuant(eq.R, sr.Quant) {
+				links = append(links, headLink{outerSide: eq.R, ord: cr.Ord})
+				continue
+			}
+		}
+		return false // non-equality link: leave as a semijoin
+	}
+
+	// Collect the head ordinals the join keys will use; extend the head
+	// for correlation local sides when needed.
+	keyOrds := make([]int, 0, len(corrs)+len(links))
+	for _, l := range links {
+		keyOrds = append(keyOrds, l.ord)
+	}
+	pendingHead := make([]qgm.HeadColumn, 0, len(corrs))
+	corrOrds := make([]int, len(corrs))
+	for i, c := range corrs {
+		ord := -1
+		for hi, h := range sub.Head {
+			if qgm.EqualExpr(h.Expr, c.localSide) {
+				ord = hi
+				break
+			}
+		}
+		if ord < 0 {
+			ord = len(sub.Head) + len(pendingHead)
+			pendingHead = append(pendingHead, qgm.HeadColumn{
+				Name: fmt.Sprintf("jk%d", i+1),
+				Type: qgm.ExprType(c.localSide),
+				Expr: c.localSide,
+			})
+		}
+		corrOrds[i] = ord
+		keyOrds = append(keyOrds, ord)
+	}
+
+	// Safety: the conversion must not change multiplicities, so either the
+	// join keys cover a unique key of the subquery or the consumer is a
+	// set (DISTINCT) anyway.
+	if !uniqueOnHead(sub, pendingHead, keyOrds) && !box.Distinct {
+		return false
+	}
+
+	// Fire: extend head, strip correlations from the subquery, attach an F
+	// quantifier, replace the predicate with the join equalities.
+	sub.Head = append(sub.Head, pendingHead...)
+	sub.Preds = keepInside
+	jq := g.NewQuant(box, qgm.ForEach, "j_"+sub.Name, sub)
+	var newPreds []qgm.Expr
+	for _, l := range links {
+		newPreds = append(newPreds, &qgm.BinOp{Op: "=", L: l.outerSide, R: &qgm.ColRef{Q: jq, Ord: l.ord}})
+	}
+	for i, c := range corrs {
+		newPreds = append(newPreds, &qgm.BinOp{Op: "=", L: c.outerSide, R: &qgm.ColRef{Q: jq, Ord: corrOrds[i]}})
+	}
+	box.Preds = append(box.Preds[:predIdx], box.Preds[predIdx+1:]...)
+	box.Preds = append(box.Preds, newPreds...)
+	return true
+}
+
+// sideIs reports whether e references at least one quantifier and all its
+// quantifier references are local (wantLocal) or all non-local.
+func sideIs(e qgm.Expr, local map[*qgm.Quantifier]bool, wantLocal bool) bool {
+	any := false
+	ok := true
+	qgm.WalkExpr(e, func(x qgm.Expr) {
+		if cr, isCR := x.(*qgm.ColRef); isCR {
+			any = true
+			if local[cr.Q] != wantLocal {
+				ok = false
+			}
+		}
+		if _, isSub := x.(*qgm.SubqueryRef); isSub {
+			ok = false
+		}
+	})
+	return any && ok
+}
+
+func avoidsQuant(e qgm.Expr, q *qgm.Quantifier) bool {
+	ok := true
+	qgm.WalkExpr(e, func(x qgm.Expr) {
+		if cr, isCR := x.(*qgm.ColRef); isCR && cr.Q == q {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// uniqueOnHead reports whether the given head ordinals (over sub.Head ++
+// pending) cover a primary key traced through the box to a base table, or
+// the box is DISTINCT with every head column among the keys.
+func uniqueOnHead(sub *qgm.Box, pending []qgm.HeadColumn, ords []int) bool {
+	full := append(append([]qgm.HeadColumn{}, sub.Head...), pending...)
+	if sub.Distinct && len(ords) >= len(full) {
+		return true
+	}
+	if len(sub.Quants) != 1 || sub.Quants[0].Type != qgm.ForEach {
+		return false
+	}
+	inner := sub.Quants[0].Input
+	pk := tracePK(inner)
+	if pk == nil {
+		return false
+	}
+	covered := make(map[int]bool)
+	for _, o := range ords {
+		if o >= len(full) {
+			return false
+		}
+		if cr, ok := full[o].Expr.(*qgm.ColRef); ok && cr.Q == sub.Quants[0] {
+			covered[cr.Ord] = true
+		}
+	}
+	for _, need := range pk {
+		if !covered[need] {
+			return false
+		}
+	}
+	return true
+}
+
+// tracePK returns the head ordinals forming a unique key of the box, when
+// provable: base-table primary keys traced through single-input Selects.
+func tracePK(box *qgm.Box) []int {
+	switch box.Kind {
+	case qgm.BaseTable:
+		if len(box.PKOrds) == 0 {
+			return nil
+		}
+		return box.PKOrds
+	case qgm.Select:
+		if len(box.Quants) != 1 || box.Quants[0].Type != qgm.ForEach {
+			return nil
+		}
+		inner := tracePK(box.Quants[0].Input)
+		if inner == nil {
+			return nil
+		}
+		var out []int
+		for _, need := range inner {
+			found := -1
+			for i, h := range box.Head {
+				if cr, ok := h.Expr.(*qgm.ColRef); ok && cr.Q == box.Quants[0] && cr.Ord == need {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return nil
+			}
+			out = append(out, found)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// --- SELECT merge ---
+
+// selectMerge inlines one single-consumer Select box into its consuming
+// Select box (the box-merge clean-up of Sect. 4.4), returning true if it
+// fired.
+func selectMerge(g *qgm.Graph) bool {
+	consumers := g.Consumers()
+	for _, box := range g.Reachable() {
+		if box.Kind != qgm.Select {
+			continue
+		}
+		for _, q := range box.Quants {
+			sub := q.Input
+			if q.Type != qgm.ForEach || sub.Kind != qgm.Select || sub.Distinct {
+				continue
+			}
+			if consumers[sub.ID] != 1 {
+				continue
+			}
+			// Preserve single-box shape assumptions: do not merge a box
+			// that would bring correlated subquery structure ambiguity —
+			// all shapes here are safe because predicates and head
+			// expressions move verbatim with their quantifiers.
+			mergeInto(box, q)
+			return true
+		}
+	}
+	return false
+}
+
+// mergeInto inlines quantifier q's input box into box.
+func mergeInto(box *qgm.Box, q *qgm.Quantifier) {
+	sub := q.Input
+	// Replace references to q in the consumer with the sub's head
+	// expressions.
+	inline := func(e qgm.Expr) qgm.Expr { return qgm.InlineExpr(e, q) }
+	for i, p := range box.Preds {
+		box.Preds[i] = inline(p)
+	}
+	for i := range box.Head {
+		if box.Head[i].Expr != nil {
+			box.Head[i].Expr = inline(box.Head[i].Expr)
+		}
+	}
+	for i := range box.GroupExprs {
+		box.GroupExprs[i] = inline(box.GroupExprs[i])
+	}
+	// Adopt the sub's quantifiers and predicates.
+	box.RemoveQuant(q)
+	box.Quants = append(box.Quants, sub.Quants...)
+	box.Preds = append(box.Preds, sub.Preds...)
+}

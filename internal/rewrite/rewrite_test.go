@@ -1,0 +1,215 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"xnf/internal/ast"
+	"xnf/internal/catalog"
+	"xnf/internal/parser"
+	"xnf/internal/qgm"
+	"xnf/internal/semantics"
+	"xnf/internal/types"
+)
+
+func cat(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.CreateTable(&catalog.Table{
+		Name: "DEPT",
+		Columns: []catalog.Column{
+			{Name: "dno", Type: types.IntType}, {Name: "loc", Type: types.StringType},
+		},
+		PrimaryKey: []string{"dno"},
+	}))
+	must(c.CreateTable(&catalog.Table{
+		Name: "EMP",
+		Columns: []catalog.Column{
+			{Name: "eno", Type: types.IntType}, {Name: "edno", Type: types.IntType},
+		},
+		PrimaryKey: []string{"eno"},
+	}))
+	must(c.CreateTable(&catalog.Table{
+		Name: "LOG", // no primary key: uniqueness unprovable
+		Columns: []catalog.Column{
+			{Name: "what", Type: types.IntType},
+		},
+	}))
+	return c
+}
+
+func build(t *testing.T, c *catalog.Catalog, sql string) *qgm.Graph {
+	t.Helper()
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := semantics.BuildSelect(c, stmt.(*ast.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// countSubqueryRefs counts SubqueryRef predicates in the reachable graph.
+func countSubqueryRefs(g *qgm.Graph) int {
+	n := 0
+	for _, b := range g.Reachable() {
+		for _, p := range b.Preds {
+			qgm.WalkExpr(p, func(x qgm.Expr) {
+				if _, ok := x.(*qgm.SubqueryRef); ok {
+					n++
+				}
+			})
+		}
+	}
+	return n
+}
+
+// The paper's Fig. 3 sequence: existential subquery → join (3b), then
+// SELECT merge (3c) — the final graph is a single two-quantifier join box.
+func TestFig3Sequence(t *testing.T) {
+	c := cat(t)
+	g := build(t, c, `SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE d.loc = 'ARC' AND d.dno = e.edno)`)
+	stats := Apply(g, DefaultOptions())
+	if stats.Fired["E2F"] != 1 {
+		t.Errorf("E2F fired %d times", stats.Fired["E2F"])
+	}
+	if stats.Fired["SelectMerge"] < 1 {
+		t.Errorf("SelectMerge fired %d times", stats.Fired["SelectMerge"])
+	}
+	if countSubqueryRefs(g) != 0 {
+		t.Error("existential subquery not converted")
+	}
+	// Find the main select box: must have two F quantifiers (EMP ⋈ DEPT).
+	var mainBox *qgm.Box
+	for _, b := range g.Reachable() {
+		if b.Kind == qgm.Select && len(b.Quants) == 2 {
+			mainBox = b
+		}
+	}
+	if mainBox == nil {
+		t.Fatalf("no two-quantifier join box after rewrite:\n%s", g.Dump())
+	}
+	if errs := g.Validate(); len(errs) > 0 {
+		t.Fatalf("invalid graph after rewrite: %v", errs)
+	}
+}
+
+// Without a provable unique key on the subquery side the conversion would
+// change multiplicities and must not fire.
+func TestE2FRequiresUniqueness(t *testing.T) {
+	c := cat(t)
+	g := build(t, c, `SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM LOG l WHERE l.what = e.eno)`)
+	stats := Apply(g, DefaultOptions())
+	if stats.Fired["E2F"] != 0 {
+		t.Error("E2F fired despite non-unique subquery")
+	}
+	if countSubqueryRefs(g) != 1 {
+		t.Error("subquery should remain")
+	}
+}
+
+// NOT EXISTS must never convert (anti-join is not a join).
+func TestAntiExistsNotConverted(t *testing.T) {
+	c := cat(t)
+	g := build(t, c, `SELECT * FROM EMP e WHERE NOT EXISTS (SELECT 1 FROM DEPT d WHERE d.dno = e.edno)`)
+	stats := Apply(g, DefaultOptions())
+	if stats.Fired["E2F"] != 0 {
+		t.Error("E2F fired on NOT EXISTS")
+	}
+}
+
+// An EXISTS inside OR is not a conjunct and must not convert.
+func TestDisjunctiveExistsNotConverted(t *testing.T) {
+	c := cat(t)
+	g := build(t, c, `SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE d.dno = e.edno) OR e.eno = 1`)
+	stats := Apply(g, DefaultOptions())
+	if stats.Fired["E2F"] != 0 {
+		t.Error("E2F fired on disjunctive EXISTS")
+	}
+}
+
+// IN subqueries carry their link predicate on the SubqueryRef; conversion
+// must produce the same join.
+func TestInSubqueryConverted(t *testing.T) {
+	c := cat(t)
+	g := build(t, c, `SELECT * FROM EMP WHERE edno IN (SELECT dno FROM DEPT WHERE loc = 'ARC')`)
+	stats := Apply(g, DefaultOptions())
+	if stats.Fired["E2F"] != 1 {
+		t.Errorf("E2F fired %d times for IN", stats.Fired["E2F"])
+	}
+	if countSubqueryRefs(g) != 0 {
+		t.Error("IN subquery not converted")
+	}
+}
+
+// DISTINCT consumers allow conversion even without provable uniqueness.
+func TestDistinctEnablesE2F(t *testing.T) {
+	c := cat(t)
+	g := build(t, c, `SELECT DISTINCT eno FROM EMP e WHERE EXISTS (SELECT 1 FROM LOG l WHERE l.what = e.eno)`)
+	stats := Apply(g, DefaultOptions())
+	if stats.Fired["E2F"] != 1 {
+		t.Errorf("E2F under DISTINCT fired %d times", stats.Fired["E2F"])
+	}
+}
+
+// Merge must not fire for shared or DISTINCT subboxes.
+func TestMergeGuards(t *testing.T) {
+	c := cat(t)
+	g := build(t, c, `SELECT * FROM (SELECT DISTINCT dno FROM DEPT) d, EMP e WHERE d.dno = e.edno`)
+	before := len(g.Reachable())
+	Apply(g, DefaultOptions())
+	after := len(g.Reachable())
+	// The DISTINCT derived table must survive.
+	found := false
+	for _, b := range g.Reachable() {
+		if b.Kind == qgm.Select && b.Distinct {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("DISTINCT box merged away (boxes %d→%d):\n%s", before, after, g.Dump())
+	}
+}
+
+func TestNoRewriteOptions(t *testing.T) {
+	c := cat(t)
+	g := build(t, c, `SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE d.dno = e.edno)`)
+	stats := Apply(g, NoRewrite())
+	if len(stats.Fired) != 0 {
+		t.Errorf("rules fired with rewriting disabled: %v", stats.Fired)
+	}
+	if countSubqueryRefs(g) != 1 {
+		t.Error("graph changed without rules")
+	}
+}
+
+// Rewrite always terminates and leaves a valid graph on a corpus.
+func TestRewriteTerminatesAndValidates(t *testing.T) {
+	corpus := []string{
+		"SELECT * FROM EMP",
+		"SELECT e.eno FROM EMP e, DEPT d WHERE e.edno = d.dno AND d.loc = 'x'",
+		"SELECT * FROM EMP WHERE edno IN (SELECT dno FROM DEPT) AND eno > 1",
+		"SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE d.dno = e.edno AND EXISTS (SELECT 1 FROM LOG l WHERE l.what = d.dno))",
+		"SELECT (SELECT MAX(dno) FROM DEPT) FROM EMP",
+		"SELECT eno FROM EMP UNION SELECT dno FROM DEPT",
+		"SELECT edno, COUNT(*) FROM EMP GROUP BY edno HAVING COUNT(*) > 1",
+	}
+	c := cat(t)
+	for _, sql := range corpus {
+		g := build(t, c, sql)
+		stats := Apply(g, DefaultOptions())
+		if stats.Iters >= 100 {
+			t.Errorf("rewrite did not converge for %q", sql)
+		}
+		if errs := g.Validate(); len(errs) > 0 {
+			t.Errorf("invalid graph for %q: %s", sql, strings.Join(errs, "; "))
+		}
+	}
+}

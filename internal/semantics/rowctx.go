@@ -1,0 +1,67 @@
+package semantics
+
+import (
+	"fmt"
+
+	"xnf/internal/ast"
+	"xnf/internal/catalog"
+	"xnf/internal/qgm"
+)
+
+// RowContext resolves expressions against the row of a single base table —
+// the name scope of UPDATE/DELETE statements. Subqueries in the expression
+// may correlate with the table's row.
+type RowContext struct {
+	b     *Builder
+	quant *qgm.Quantifier
+	sc    *scope
+}
+
+// NewRowContext prepares resolution against table (exposed as alias when
+// non-empty).
+func NewRowContext(cat *catalog.Catalog, table, alias string) (*RowContext, error) {
+	b := NewBuilder(cat)
+	t, ok := cat.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("semantics: unknown table %s", table)
+	}
+	base := b.baseTableBox(t)
+	holder := b.g.NewBox(qgm.Select, "rowctx")
+	name := alias
+	if name == "" {
+		name = table
+	}
+	q := b.g.NewQuant(holder, qgm.ForEach, name, base)
+	sc := newScope(nil)
+	if err := sc.add(name, q); err != nil {
+		return nil, err
+	}
+	return &RowContext{b: b, quant: q, sc: sc}, nil
+}
+
+// NewRowContextEmpty prepares resolution with no table in scope (INSERT
+// VALUES expressions, which may still contain subqueries).
+func NewRowContextEmpty(cat *catalog.Catalog) (*RowContext, error) {
+	b := NewBuilder(cat)
+	holder := b.g.NewBox(qgm.Select, "rowctx")
+	q := b.g.NewQuant(holder, qgm.ForEach, "empty", holder) // placeholder, never referenced
+	return &RowContext{b: b, quant: q, sc: newScope(nil)}, nil
+}
+
+// Quant returns the quantifier bound to the table row.
+func (rc *RowContext) Quant() *qgm.Quantifier { return rc.quant }
+
+// Graph returns the underlying graph (needed to construct a compiler).
+func (rc *RowContext) Graph() *qgm.Graph { return rc.b.Graph() }
+
+// Build resolves one expression in the row scope.
+func (rc *RowContext) Build(e ast.Expr) (qgm.Expr, error) {
+	out, err := rc.b.buildExpr(e, rc.sc)
+	if err != nil {
+		return nil, err
+	}
+	if containsAggregate(out) {
+		return nil, fmt.Errorf("semantics: aggregates are not allowed here")
+	}
+	return out, nil
+}

@@ -1,0 +1,602 @@
+// Package semantics performs name resolution and type checking and builds
+// the QGM representation of a query (the parse/semantic-checking stage of
+// Fig. 2). Plain SELECTs become NF QGM; XNF queries become an XNF QGM graph
+// whose XNF operator box carries the composite object's components exactly
+// as in Fig. 4 of the paper. The XNF operator is compiled away later by
+// internal/core (XNF semantic rewrite).
+package semantics
+
+import (
+	"fmt"
+	"strings"
+
+	"xnf/internal/ast"
+	"xnf/internal/catalog"
+	"xnf/internal/parser"
+	"xnf/internal/qgm"
+	"xnf/internal/types"
+)
+
+// maxViewDepth bounds view expansion to catch cyclic view definitions.
+const maxViewDepth = 32
+
+// Builder compiles AST statements to QGM graphs against a catalog.
+type Builder struct {
+	cat       *catalog.Catalog
+	g         *qgm.Graph
+	baseBoxes map[string]*qgm.Box
+	viewDepth int
+}
+
+// NewBuilder returns a Builder for one compilation.
+func NewBuilder(cat *catalog.Catalog) *Builder {
+	return &Builder{cat: cat, g: qgm.NewGraph(), baseBoxes: make(map[string]*qgm.Box)}
+}
+
+// Graph exposes the graph under construction.
+func (b *Builder) Graph() *qgm.Graph { return b.g }
+
+// BuildSelect compiles a SELECT statement into a complete NF QGM graph with
+// a Top box.
+func BuildSelect(cat *catalog.Catalog, sel *ast.SelectStmt) (*qgm.Graph, error) {
+	b := NewBuilder(cat)
+	sel, hidden := addHiddenSortColumns(sel)
+	body, err := b.buildSelect(sel, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	top := b.g.NewBox(qgm.Top, "")
+	q := b.g.NewQuant(top, qgm.ForEach, "result", body)
+	top.Outputs = []qgm.TopOutput{{Name: "result", CompID: 0, Quant: q}}
+	top.HiddenCols = hidden
+	if err := b.attachOrderLimit(top, body, q, sel); err != nil {
+		return nil, err
+	}
+	b.g.TopBox = top
+	b.g.GC()
+	return b.g, nil
+}
+
+// addHiddenSortColumns rewrites a top-level SELECT so that every ORDER BY
+// expression that is neither an output-column name nor an ordinal becomes a
+// trailing hidden select item; the Top box strips them after sorting. The
+// input statement is not mutated.
+func addHiddenSortColumns(sel *ast.SelectStmt) (*ast.SelectStmt, int) {
+	if len(sel.OrderBy) == 0 || sel.Union != nil || len(sel.GroupBy) > 0 || sel.Having != nil || sel.Distinct {
+		// With DISTINCT/GROUP BY/UNION, ORDER BY must target output
+		// columns anyway (hidden columns would change semantics).
+		return sel, 0
+	}
+	aggregated := false
+	for _, item := range sel.Items {
+		if !item.Star && containsAggregate(item.Expr) {
+			aggregated = true
+		}
+	}
+	if aggregated {
+		return sel, 0
+	}
+	outputName := func(name string) bool {
+		for _, item := range sel.Items {
+			if item.Star {
+				continue
+			}
+			if strings.EqualFold(item.Alias, name) {
+				return true
+			}
+			if cr, ok := item.Expr.(*ast.ColumnRef); ok && item.Alias == "" && strings.EqualFold(cr.Name, name) {
+				return true
+			}
+		}
+		return false
+	}
+	hasStar := false
+	for _, item := range sel.Items {
+		if item.Star {
+			hasStar = true
+		}
+	}
+	copied := *sel
+	copied.Items = append([]ast.SelectItem{}, sel.Items...)
+	copied.OrderBy = append([]ast.OrderItem{}, sel.OrderBy...)
+	hidden := 0
+	for i, o := range copied.OrderBy {
+		if lit, ok := o.Expr.(*ast.Literal); ok && lit.Value.T == types.IntType {
+			continue // ordinal
+		}
+		if cr, ok := o.Expr.(*ast.ColumnRef); ok && cr.Qualifier == "" {
+			if outputName(cr.Name) {
+				continue
+			}
+			if hasStar {
+				// A bare star exposes every column, so the name resolves
+				// against the head directly.
+				continue
+			}
+		}
+		alias := fmt.Sprintf("__sort%d", hidden+1)
+		copied.Items = append(copied.Items, ast.SelectItem{Expr: o.Expr, Alias: alias})
+		copied.OrderBy[i] = ast.OrderItem{Expr: &ast.ColumnRef{Name: alias}, Desc: o.Desc}
+		hidden++
+	}
+	if hidden == 0 {
+		return sel, 0
+	}
+	return &copied, hidden
+}
+
+// attachOrderLimit resolves top-level ORDER BY / LIMIT onto the Top box.
+// ORDER BY expressions may name output columns (by alias) or be arbitrary
+// expressions over the output row.
+func (b *Builder) attachOrderLimit(top, body *qgm.Box, q *qgm.Quantifier, sel *ast.SelectStmt) error {
+	for _, o := range sel.OrderBy {
+		// An ORDER BY item that is a bare output-column name resolves
+		// against the head; otherwise it must still resolve to a head
+		// column by structural match after building in an output scope.
+		var resolved qgm.Expr
+		if cr, ok := o.Expr.(*ast.ColumnRef); ok && cr.Qualifier == "" {
+			if ord, ok := body.HeadIndex(cr.Name); ok {
+				resolved = &qgm.ColRef{Q: q, Ord: ord}
+			}
+		}
+		if resolved == nil {
+			// Allow ORDER BY <ordinal>.
+			if lit, ok := o.Expr.(*ast.Literal); ok && lit.Value.T == types.IntType {
+				ord := int(lit.Value.I) - 1
+				if ord < 0 || ord >= len(body.Head) {
+					return fmt.Errorf("semantics: ORDER BY position %d out of range", lit.Value.I)
+				}
+				resolved = &qgm.ColRef{Q: q, Ord: ord}
+			}
+		}
+		if resolved == nil {
+			return fmt.Errorf("semantics: ORDER BY expression %s must name an output column", o.Expr.String())
+		}
+		top.OrderBy = append(top.OrderBy, qgm.OrderSpec{Expr: resolved, Desc: o.Desc})
+	}
+	top.Limit = sel.Limit
+	return nil
+}
+
+// scope is the name-resolution environment: quantifiers visible at the
+// current query block, chained to enclosing blocks for correlation.
+type scope struct {
+	parent *scope
+	quants []*qgm.Quantifier
+	names  map[string]*qgm.Quantifier
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, names: make(map[string]*qgm.Quantifier)}
+}
+
+func (s *scope) add(name string, q *qgm.Quantifier) error {
+	k := strings.ToUpper(name)
+	if _, dup := s.names[k]; dup {
+		return fmt.Errorf("semantics: duplicate correlation name %s", name)
+	}
+	s.names[k] = q
+	s.quants = append(s.quants, q)
+	return nil
+}
+
+func (s *scope) lookupQualifier(name string) *qgm.Quantifier {
+	for sc := s; sc != nil; sc = sc.parent {
+		if q, ok := sc.names[strings.ToUpper(name)]; ok {
+			return q
+		}
+	}
+	return nil
+}
+
+// lookupColumn resolves an unqualified column name: the innermost scope
+// level containing a match wins; two matches at one level are ambiguous.
+func (s *scope) lookupColumn(name string) (*qgm.Quantifier, int, error) {
+	for sc := s; sc != nil; sc = sc.parent {
+		var found *qgm.Quantifier
+		ord := -1
+		for _, q := range sc.quants {
+			if q.Input == nil {
+				continue
+			}
+			if i, ok := q.Input.HeadIndex(name); ok {
+				if found != nil {
+					return nil, 0, fmt.Errorf("semantics: ambiguous column %s", name)
+				}
+				found = q
+				ord = i
+			}
+		}
+		if found != nil {
+			return found, ord, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("semantics: unknown column %s", name)
+}
+
+// buildSelect compiles a SELECT (with a possible UNION suffix).
+// nested reports whether the statement appears in a subquery or derived
+// table, where ORDER BY/LIMIT are rejected.
+func (b *Builder) buildSelect(sel *ast.SelectStmt, outer *scope, nested bool) (*qgm.Box, error) {
+	if nested && (len(sel.OrderBy) > 0 || sel.Limit >= 0) {
+		return nil, fmt.Errorf("semantics: ORDER BY/LIMIT are only supported at the top level")
+	}
+	if sel.Union == nil {
+		return b.buildSelectCore(sel, outer)
+	}
+	// Collect the UNION chain.
+	var branches []*ast.SelectStmt
+	all := true
+	for cur := sel; cur != nil; {
+		branches = append(branches, cur)
+		u := cur.Union
+		cur.Union = nil // detach while building; restored below
+		if u == nil {
+			break
+		}
+		if !u.All {
+			all = false
+		}
+		cur = u.Right
+		defer func(c *ast.SelectStmt, uc *ast.UnionClause) { c.Union = uc }(branches[len(branches)-1], u)
+	}
+	union := b.g.NewBox(qgm.Union, "")
+	union.UnionAll = all
+	union.Distinct = !all
+	var first *qgm.Box
+	for i, br := range branches {
+		bx, err := b.buildSelectCore(br, outer)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			first = bx
+		} else if len(bx.Head) != len(first.Head) {
+			return nil, fmt.Errorf("semantics: UNION branches have %d and %d columns", len(first.Head), len(bx.Head))
+		}
+		b.g.NewQuant(union, qgm.ForEach, fmt.Sprintf("u%d", i), bx)
+	}
+	union.Head = make([]qgm.HeadColumn, len(first.Head))
+	for i, h := range first.Head {
+		union.Head[i] = qgm.HeadColumn{Name: h.Name, Type: h.Type}
+	}
+	return union, nil
+}
+
+// buildSelectCore compiles one query block without UNION handling.
+func (b *Builder) buildSelectCore(sel *ast.SelectStmt, outer *scope) (*qgm.Box, error) {
+	box := b.g.NewBox(qgm.Select, "")
+	sc := newScope(outer)
+	for _, tr := range sel.From {
+		child, err := b.buildTableRef(tr)
+		if err != nil {
+			return nil, err
+		}
+		q := b.g.NewQuant(box, qgm.ForEach, tr.Name(), child)
+		if err := sc.add(tr.Name(), q); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Where != nil {
+		pred, err := b.buildExpr(sel.Where, sc)
+		if err != nil {
+			return nil, err
+		}
+		box.Preds = append(box.Preds, splitConjuncts(pred)...)
+	}
+
+	hasAgg := len(sel.GroupBy) > 0 || sel.Having != nil
+	if !hasAgg {
+		for _, item := range sel.Items {
+			if !item.Star && containsAggregate(item.Expr) {
+				hasAgg = true
+				break
+			}
+		}
+	}
+	if hasAgg {
+		return b.buildAggregate(sel, box, sc)
+	}
+
+	head, err := b.buildHead(sel.Items, sc)
+	if err != nil {
+		return nil, err
+	}
+	box.Head = head
+	box.Distinct = sel.Distinct
+	return box, nil
+}
+
+// buildHead resolves the select list into head columns, expanding stars.
+func (b *Builder) buildHead(items []ast.SelectItem, sc *scope) ([]qgm.HeadColumn, error) {
+	var head []qgm.HeadColumn
+	for _, item := range items {
+		if item.Star {
+			quants := sc.quants
+			if item.Qualifier != "" {
+				q := sc.lookupQualifier(item.Qualifier)
+				if q == nil {
+					return nil, fmt.Errorf("semantics: unknown table %s in %s.*", item.Qualifier, item.Qualifier)
+				}
+				quants = []*qgm.Quantifier{q}
+			}
+			if len(quants) == 0 {
+				return nil, fmt.Errorf("semantics: SELECT * requires a FROM clause")
+			}
+			for _, q := range quants {
+				for i, h := range q.Input.Head {
+					head = append(head, qgm.HeadColumn{
+						Name: h.Name, Type: h.Type, Expr: &qgm.ColRef{Q: q, Ord: i},
+					})
+				}
+			}
+			continue
+		}
+		e, err := b.buildExpr(item.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		if containsAggregate(e) {
+			return nil, fmt.Errorf("semantics: aggregate in select list requires GROUP BY context")
+		}
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*ast.ColumnRef); ok {
+				name = cr.Name
+			} else {
+				name = fmt.Sprintf("c%d", len(head)+1)
+			}
+		}
+		head = append(head, qgm.HeadColumn{Name: name, Type: qgm.ExprType(e), Expr: e})
+	}
+	return head, nil
+}
+
+// buildAggregate lowers a grouped query block into the three-box pattern
+// join → GroupBy → residual Select (having + final projection).
+func (b *Builder) buildAggregate(sel *ast.SelectStmt, join *qgm.Box, sc *scope) (*qgm.Box, error) {
+	// Resolve grouping expressions in the join scope.
+	var groupExprs []qgm.Expr
+	for _, ge := range sel.GroupBy {
+		e, err := b.buildExpr(ge, sc)
+		if err != nil {
+			return nil, err
+		}
+		if containsAggregate(e) {
+			return nil, fmt.Errorf("semantics: aggregates are not allowed in GROUP BY")
+		}
+		groupExprs = append(groupExprs, e)
+	}
+	// Resolve output and having expressions; collect aggregate calls.
+	type pending struct {
+		expr qgm.Expr
+		name string
+	}
+	var outs []pending
+	for i, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("semantics: SELECT * cannot be combined with GROUP BY")
+		}
+		e, err := b.buildExpr(item.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*ast.ColumnRef); ok {
+				name = cr.Name
+			} else {
+				name = fmt.Sprintf("c%d", i+1)
+			}
+		}
+		outs = append(outs, pending{expr: e, name: name})
+	}
+	var having qgm.Expr
+	if sel.Having != nil {
+		h, err := b.buildExpr(sel.Having, sc)
+		if err != nil {
+			return nil, err
+		}
+		having = h
+	}
+
+	var aggs []*qgm.Func
+	collect := func(e qgm.Expr) {
+		qgm.WalkExpr(e, func(x qgm.Expr) {
+			if f, ok := x.(*qgm.Func); ok && isAggName(f.Name) {
+				for _, a := range aggs {
+					if qgm.EqualExpr(a, f) {
+						return
+					}
+				}
+				aggs = append(aggs, f)
+			}
+		})
+	}
+	for _, o := range outs {
+		collect(o.expr)
+	}
+	collect(having)
+
+	// The join box's head feeds the GroupBy: group expressions first, then
+	// each aggregate's argument.
+	join.Head = nil
+	for i, ge := range groupExprs {
+		join.Head = append(join.Head, qgm.HeadColumn{
+			Name: fmt.Sprintf("g%d", i+1), Type: qgm.ExprType(ge), Expr: ge,
+		})
+	}
+	argOrd := make([]int, len(aggs)) // head ordinal of each aggregate's arg in join box
+	for i, f := range aggs {
+		if f.Star {
+			argOrd[i] = -1
+			continue
+		}
+		if len(f.Args) != 1 {
+			return nil, fmt.Errorf("semantics: aggregate %s takes exactly one argument", f.Name)
+		}
+		argOrd[i] = len(join.Head)
+		join.Head = append(join.Head, qgm.HeadColumn{
+			Name: fmt.Sprintf("a%d", i+1), Type: qgm.ExprType(f.Args[0]), Expr: f.Args[0],
+		})
+	}
+
+	gb := b.g.NewBox(qgm.GroupBy, "")
+	gq := b.g.NewQuant(gb, qgm.ForEach, "grp", join)
+	for i := range groupExprs {
+		gb.GroupExprs = append(gb.GroupExprs, &qgm.ColRef{Q: gq, Ord: i})
+		gb.Head = append(gb.Head, qgm.HeadColumn{
+			Name: join.Head[i].Name, Type: join.Head[i].Type, Expr: &qgm.ColRef{Q: gq, Ord: i},
+		})
+	}
+	aggHeadOrd := make([]int, len(aggs))
+	for i, f := range aggs {
+		nf := &qgm.Func{Name: strings.ToUpper(f.Name), Distinct: f.Distinct, Star: f.Star}
+		if argOrd[i] >= 0 {
+			nf.Args = []qgm.Expr{&qgm.ColRef{Q: gq, Ord: argOrd[i]}}
+		}
+		aggHeadOrd[i] = len(gb.Head)
+		gb.Head = append(gb.Head, qgm.HeadColumn{
+			Name: fmt.Sprintf("agg%d", i+1), Type: qgm.ExprType(nf), Expr: nf,
+		})
+	}
+
+	// Residual box: rewrite outputs/having over the GroupBy head. Group
+	// expressions and aggregate calls are replaced by column references;
+	// anything else referencing the join scope is an error.
+	res := b.g.NewBox(qgm.Select, "")
+	rq := b.g.NewQuant(res, qgm.ForEach, "res", gb)
+	lift := func(e qgm.Expr) (qgm.Expr, error) {
+		lifted := qgm.RewriteExpr(e, func(x qgm.Expr) qgm.Expr {
+			for i, ge := range groupExprs {
+				if qgm.EqualExpr(x, ge) {
+					return &qgm.ColRef{Q: rq, Ord: i}
+				}
+			}
+			if f, ok := x.(*qgm.Func); ok && isAggName(f.Name) {
+				for i, a := range aggs {
+					if qgm.EqualExpr(a, f) {
+						return &qgm.ColRef{Q: rq, Ord: aggHeadOrd[i]}
+					}
+				}
+			}
+			return x
+		})
+		var bad error
+		qgm.WalkExpr(lifted, func(x qgm.Expr) {
+			if c, ok := x.(*qgm.ColRef); ok && c.Q != rq {
+				// References to enclosing query blocks (correlation) are
+				// legal; references to this block's join are not.
+				for _, q := range sc.quants {
+					if c.Q == q {
+						bad = fmt.Errorf("semantics: column %s must appear in GROUP BY or inside an aggregate", x.String())
+					}
+				}
+			}
+		})
+		return lifted, bad
+	}
+	for _, o := range outs {
+		le, err := lift(o.expr)
+		if err != nil {
+			return nil, err
+		}
+		res.Head = append(res.Head, qgm.HeadColumn{Name: o.name, Type: qgm.ExprType(le), Expr: le})
+	}
+	if having != nil {
+		lh, err := lift(having)
+		if err != nil {
+			return nil, err
+		}
+		res.Preds = append(res.Preds, splitConjuncts(lh)...)
+	}
+	res.Distinct = sel.Distinct
+	return res, nil
+}
+
+func isAggName(name string) bool {
+	switch strings.ToUpper(name) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+func containsAggregate(e any) bool {
+	switch x := e.(type) {
+	case ast.Expr:
+		found := false
+		ast.Walk(x, func(n ast.Expr) {
+			if f, ok := n.(*ast.FuncCall); ok && isAggName(f.Name) {
+				found = true
+			}
+		})
+		return found
+	case qgm.Expr:
+		return qgm.IsAggregate(x)
+	}
+	return false
+}
+
+// buildTableRef compiles one FROM element to its input box.
+func (b *Builder) buildTableRef(tr ast.TableRef) (*qgm.Box, error) {
+	if tr.Subquery != nil {
+		return b.buildSelect(tr.Subquery, nil, true)
+	}
+	if t, ok := b.cat.Table(tr.Table); ok {
+		return b.baseTableBox(t), nil
+	}
+	if v, ok := b.cat.View(tr.Table); ok {
+		if v.IsXNF {
+			return nil, fmt.Errorf("semantics: XNF view %s cannot be used as a table; query it with OUT OF or the CO API", v.Name)
+		}
+		if b.viewDepth >= maxViewDepth {
+			return nil, fmt.Errorf("semantics: view nesting too deep expanding %s (cycle?)", v.Name)
+		}
+		stmt, err := parser.Parse(v.Text)
+		if err != nil {
+			return nil, fmt.Errorf("semantics: stored view %s: %v", v.Name, err)
+		}
+		cv, ok := stmt.(*ast.CreateViewStmt)
+		if !ok || cv.Select == nil {
+			return nil, fmt.Errorf("semantics: stored view %s has unexpected form", v.Name)
+		}
+		b.viewDepth++
+		box, err := b.buildSelect(cv.Select, nil, true)
+		b.viewDepth--
+		if err != nil {
+			return nil, err
+		}
+		box.Name = v.Name
+		return box, nil
+	}
+	return nil, fmt.Errorf("semantics: unknown table or view %s", tr.Table)
+}
+
+// baseTableBox returns the (shared) leaf box for a base table. One box per
+// table per graph: quantifiers ranging over the same table share it, which
+// is what makes common subexpressions visible to the XNF rewrite.
+func (b *Builder) baseTableBox(t *catalog.Table) *qgm.Box {
+	key := strings.ToUpper(t.Name)
+	if box, ok := b.baseBoxes[key]; ok {
+		return box
+	}
+	box := b.g.NewBox(qgm.BaseTable, t.Name)
+	box.Table = t.Name
+	box.PKOrds = t.PKOrdinals()
+	box.RowEst = t.Stats.RowCount
+	for _, col := range t.Columns {
+		box.Head = append(box.Head, qgm.HeadColumn{Name: col.Name, Type: col.Type})
+		box.ColCard = append(box.ColCard, t.Cardinality(col.Name))
+	}
+	b.baseBoxes[key] = box
+	return box
+}
+
+// splitConjuncts flattens AND trees into a predicate list.
+func splitConjuncts(e qgm.Expr) []qgm.Expr {
+	if bo, ok := e.(*qgm.BinOp); ok && bo.Op == "AND" {
+		return append(splitConjuncts(bo.L), splitConjuncts(bo.R)...)
+	}
+	return []qgm.Expr{e}
+}

@@ -1,0 +1,284 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+
+	"xnf/internal/ast"
+	"xnf/internal/catalog"
+	"xnf/internal/parser"
+	"xnf/internal/qgm"
+	"xnf/internal/types"
+)
+
+func orgCat(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	add := func(name string, pk []string, cols ...catalog.Column) {
+		if err := c.CreateTable(&catalog.Table{Name: name, Columns: cols, PrimaryKey: pk}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("DEPT", []string{"dno"},
+		catalog.Column{Name: "dno", Type: types.IntType},
+		catalog.Column{Name: "dname", Type: types.StringType},
+		catalog.Column{Name: "loc", Type: types.StringType})
+	add("EMP", []string{"eno"},
+		catalog.Column{Name: "eno", Type: types.IntType},
+		catalog.Column{Name: "ename", Type: types.StringType},
+		catalog.Column{Name: "edno", Type: types.IntType},
+		catalog.Column{Name: "sal", Type: types.FloatType})
+	add("EMPSKILLS", nil,
+		catalog.Column{Name: "eseno", Type: types.IntType},
+		catalog.Column{Name: "essno", Type: types.IntType})
+	add("SKILLS", []string{"sno"},
+		catalog.Column{Name: "sno", Type: types.IntType},
+		catalog.Column{Name: "sname", Type: types.StringType})
+	return c
+}
+
+func buildSel(t *testing.T, c *catalog.Catalog, sql string) *qgm.Graph {
+	t.Helper()
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildSelect(c, stmt.(*ast.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := g.Validate(); len(errs) > 0 {
+		t.Fatalf("invalid graph for %q: %v", sql, errs)
+	}
+	return g
+}
+
+func mustFail(t *testing.T, c *catalog.Catalog, sql, wantSubstr string) {
+	t.Helper()
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse(%q): %v", sql, err)
+	}
+	switch s := stmt.(type) {
+	case *ast.SelectStmt:
+		_, err = BuildSelect(c, s)
+	case *ast.XNFQuery:
+		_, err = BuildXNF(c, s)
+	default:
+		t.Fatalf("unexpected statement %T", stmt)
+	}
+	if err == nil {
+		t.Fatalf("BuildSelect(%q) should fail", sql)
+	}
+	if wantSubstr != "" && !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSubstr)
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	c := orgCat(t)
+	g := buildSel(t, c, "SELECT * FROM EMP e, DEPT d")
+	body := g.TopBox.Outputs[0].Quant.Input
+	if len(body.Head) != 7 {
+		t.Errorf("star head = %d cols", len(body.Head))
+	}
+	g = buildSel(t, c, "SELECT d.* FROM EMP e, DEPT d")
+	body = g.TopBox.Outputs[0].Quant.Input
+	if len(body.Head) != 3 || body.Head[0].Name != "dno" {
+		t.Errorf("qualified star head = %v", body.HeadNames())
+	}
+}
+
+func TestNameResolution(t *testing.T) {
+	c := orgCat(t)
+	// Unambiguous unqualified name across two tables.
+	buildSel(t, c, "SELECT ename, dname FROM EMP, DEPT")
+	mustFail(t, c, "SELECT nosuch FROM EMP", "unknown column")
+	mustFail(t, c, "SELECT x.eno FROM EMP e", "unknown table")
+	mustFail(t, c, "SELECT eno FROM EMP e, EMP e", "duplicate correlation")
+	// dno is unambiguous; eno vs eseno fine; but a column in both scopes:
+	c2 := orgCat(t)
+	c2.CreateTable(&catalog.Table{Name: "D2", Columns: []catalog.Column{{Name: "dno", Type: types.IntType}}})
+	mustFail(t, c2, "SELECT dno FROM DEPT, D2", "ambiguous")
+}
+
+func TestCorrelationResolvesThroughScopes(t *testing.T) {
+	c := orgCat(t)
+	g := buildSel(t, c, `SELECT ename FROM EMP e WHERE EXISTS (
+		SELECT 1 FROM DEPT d WHERE d.dno = e.edno AND EXISTS (
+			SELECT 1 FROM SKILLS s WHERE s.sno = e.eno AND s.sno = d.dno))`)
+	// Deeply nested correlation must reference the outer quantifiers.
+	subqs := 0
+	for _, b := range g.Reachable() {
+		for _, p := range b.Preds {
+			qgm.WalkExpr(p, func(x qgm.Expr) {
+				if _, ok := x.(*qgm.SubqueryRef); ok {
+					subqs++
+				}
+			})
+		}
+	}
+	if subqs != 2 {
+		t.Errorf("nested subqueries = %d", subqs)
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	c := orgCat(t)
+	mustFail(t, c, "SELECT * FROM EMP WHERE ename = 1", "compare")
+	mustFail(t, c, "SELECT * FROM EMP WHERE ename + 1 > 2", "numeric")
+	mustFail(t, c, "SELECT * FROM EMP WHERE eno LIKE 'x'", "LIKE")
+	mustFail(t, c, "SELECT * FROM EMP WHERE eno OR TRUE", "boolean")
+	buildSel(t, c, "SELECT * FROM EMP WHERE sal > eno") // cross-numeric ok
+}
+
+func TestAggregateRules(t *testing.T) {
+	c := orgCat(t)
+	buildSel(t, c, "SELECT edno, COUNT(*) FROM EMP GROUP BY edno")
+	buildSel(t, c, "SELECT edno + 1, MAX(sal) FROM EMP GROUP BY edno + 1")
+	mustFail(t, c, "SELECT ename FROM EMP GROUP BY edno", "GROUP BY")
+	mustFail(t, c, "SELECT edno FROM EMP GROUP BY edno HAVING ename > 'x'", "GROUP BY")
+	mustFail(t, c, "SELECT MAX(COUNT(*)) FROM EMP GROUP BY edno", "")
+	mustFail(t, c, "SELECT * FROM EMP GROUP BY edno", "")
+	// Aggregates build the join → GroupBy → residual chain.
+	g := buildSel(t, c, "SELECT edno, COUNT(*) FROM EMP WHERE sal > 0 GROUP BY edno HAVING COUNT(*) > 1")
+	kinds := map[qgm.BoxKind]int{}
+	for _, b := range g.Reachable() {
+		kinds[b.Kind]++
+	}
+	if kinds[qgm.GroupBy] != 1 {
+		t.Errorf("GroupBy boxes = %d", kinds[qgm.GroupBy])
+	}
+}
+
+func TestSubqueryArityChecks(t *testing.T) {
+	c := orgCat(t)
+	mustFail(t, c, "SELECT * FROM EMP WHERE edno IN (SELECT dno, dname FROM DEPT)", "one column")
+	mustFail(t, c, "SELECT (SELECT dno, dname FROM DEPT) FROM EMP", "one column")
+	mustFail(t, c, "SELECT * FROM EMP WHERE edno IN (SELECT * FROM DEPT ORDER BY dno)", "top level")
+}
+
+func TestUnionChecks(t *testing.T) {
+	c := orgCat(t)
+	buildSel(t, c, "SELECT eno FROM EMP UNION SELECT dno FROM DEPT")
+	mustFail(t, c, "SELECT eno FROM EMP UNION SELECT dno, dname FROM DEPT", "columns")
+}
+
+func TestBaseTableBoxSharing(t *testing.T) {
+	c := orgCat(t)
+	g := buildSel(t, c, "SELECT e1.eno FROM EMP e1, EMP e2 WHERE e1.eno = e2.edno")
+	bases := 0
+	for _, b := range g.Reachable() {
+		if b.Kind == qgm.BaseTable {
+			bases++
+		}
+	}
+	if bases != 1 {
+		t.Errorf("base table boxes = %d, want 1 shared box", bases)
+	}
+}
+
+func TestXNFSemanticChecks(t *testing.T) {
+	c := orgCat(t)
+	mustFail(t, c, "OUT OF a AS EMP, a AS DEPT TAKE *", "duplicate")
+	mustFail(t, c, "OUT OF r AS (RELATE x, y WHERE 1 = 1) TAKE *", "component table")
+	mustFail(t, c, "OUT OF a AS EMP, r AS (RELATE ghost, a WHERE 1 = 1) TAKE *", "unknown parent")
+	mustFail(t, c, "OUT OF a AS EMP, r AS (RELATE a, ghost WHERE 1 = 1) TAKE *", "unknown child")
+	mustFail(t, c, "OUT OF a AS EMP TAKE ghost", "unknown component")
+	mustFail(t, c, "OUT OF a AS EMP TAKE a (ghost)", "no column")
+	mustFail(t, c, "OUT OF a AS NOSUCHTABLE TAKE *", "unknown table")
+}
+
+func TestXNFGraphShape(t *testing.T) {
+	c := orgCat(t)
+	stmt, err := parser.Parse(`OUT OF d AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+		e AS EMP,
+		emp AS (RELATE d VIA EMPLOYS, e WHERE d.dno = e.edno)
+		TAKE *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildXNF(c, stmt.(*ast.XNFQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xnfBox := g.TopBox.Quants[0].Input
+	if xnfBox.Kind != qgm.XNFOp {
+		t.Fatalf("top input = %v", xnfBox.Kind)
+	}
+	if len(xnfBox.XNFOutputs) != 3 {
+		t.Fatalf("xnf outputs = %d", len(xnfBox.XNFOutputs))
+	}
+	// d is root (not reachable-marked), e is marked R (Fig. 4).
+	for _, o := range xnfBox.XNFOutputs {
+		switch o.Name {
+		case "d":
+			if o.Reachable {
+				t.Error("root d must not be marked reachable")
+			}
+		case "e":
+			if !o.Reachable {
+				t.Error("child e must be marked reachable")
+			}
+		case "emp":
+			if !o.IsRel || o.Parent != "d" || o.Children[0] != "e" {
+				t.Errorf("rel output wrong: %+v", o)
+			}
+		}
+	}
+	// Dump shows the XNF operator box.
+	if !strings.Contains(g.Dump(), "XNF") {
+		t.Error("dump missing XNF box")
+	}
+}
+
+func TestComponentKeyOrds(t *testing.T) {
+	c := orgCat(t)
+	stmt, _ := parser.Parse(`OUT OF e AS (SELECT ename, eno FROM EMP) TAKE *`)
+	g, err := BuildXNF(c, stmt.(*ast.XNFQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := g.TopBox.Quants[0].Input.XNFOutputs[0].Box
+	keys := ComponentKeyOrds(box)
+	// eno is at position 1 of the projection and is the PK.
+	if len(keys) != 1 || keys[0] != 1 {
+		t.Errorf("key ords = %v", keys)
+	}
+	// A computed component falls back to full-row identity.
+	stmt2, _ := parser.Parse(`OUT OF e AS (SELECT ename FROM EMP) TAKE *`)
+	g2, err := BuildXNF(c, stmt2.(*ast.XNFQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	box2 := g2.TopBox.Quants[0].Input.XNFOutputs[0].Box
+	if keys := ComponentKeyOrds(box2); len(keys) != 1 || keys[0] != 0 {
+		t.Errorf("fallback key ords = %v", keys)
+	}
+}
+
+func TestRowContext(t *testing.T) {
+	c := orgCat(t)
+	rc, err := NewRowContext(c, "EMP", "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr, err := parser.ParseExpr("e.sal * 2 + eno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe, err := rc.Build(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qgm.ExprType(qe) != types.FloatType {
+		t.Errorf("type = %v", qgm.ExprType(qe))
+	}
+	if _, err := NewRowContext(c, "NOSUCH", ""); err == nil {
+		t.Error("unknown table should fail")
+	}
+	aggExpr, _ := parser.ParseExpr("MAX(sal)")
+	if _, err := rc.Build(aggExpr); err == nil {
+		t.Error("aggregate in row context should fail")
+	}
+}

@@ -1,0 +1,294 @@
+package semantics
+
+import (
+	"fmt"
+	"strings"
+
+	"xnf/internal/ast"
+	"xnf/internal/catalog"
+	"xnf/internal/qgm"
+)
+
+// BuildXNF compiles an XNF query (the CO constructor) into an XNF QGM graph
+// faithful to Fig. 4 of the paper: a Top box over an XNF operator box whose
+// body holds one derived-table box per component table and per relationship.
+// Non-root node components carry the reachability marker 'R'. The TAKE
+// projection is recorded on the XNF box for the semantic-rewrite stage.
+func BuildXNF(cat *catalog.Catalog, xq *ast.XNFQuery) (*qgm.Graph, error) {
+	b := NewBuilder(cat)
+	g := b.g
+
+	// Pass 0: validate the component list and split nodes from relationships.
+	nodeDefs := make(map[string]*ast.XNFComponent)
+	relDefs := make(map[string]*ast.XNFComponent)
+	var order []string
+	for i := range xq.Components {
+		c := &xq.Components[i]
+		key := strings.ToUpper(c.Name)
+		if _, dup := nodeDefs[key]; dup {
+			return nil, fmt.Errorf("semantics: duplicate XNF component %s", c.Name)
+		}
+		if _, dup := relDefs[key]; dup {
+			return nil, fmt.Errorf("semantics: duplicate XNF component %s", c.Name)
+		}
+		if c.Relate != nil {
+			relDefs[key] = c
+		} else {
+			nodeDefs[key] = c
+		}
+		order = append(order, c.Name)
+	}
+	if len(nodeDefs) == 0 {
+		return nil, fmt.Errorf("semantics: XNF query needs at least one component table")
+	}
+
+	xnfBox := g.NewBox(qgm.XNFOp, "")
+
+	// Pass 1: derive the component tables (paper's phase 1). Component
+	// tables are sets — a shared tuple exists once in the view — so each
+	// node box eliminates duplicates.
+	nodeBoxes := make(map[string]*qgm.Box)
+	for _, c := range xq.Components {
+		if c.Relate != nil {
+			continue
+		}
+		box, err := b.buildSelect(c.Select, nil, true)
+		if err != nil {
+			return nil, fmt.Errorf("semantics: component %s: %v", c.Name, err)
+		}
+		box.Name = c.Name
+		box.Distinct = true
+		nodeBoxes[strings.ToUpper(c.Name)] = box
+	}
+
+	// Pass 2: derive the relationship tables. A relationship box ranges
+	// over its partner component boxes plus any USING tables and carries
+	// the relationship predicate (phase 1 for relationships, Fig. 4).
+	childOf := make(map[string][]string) // child comp → relationship names
+	relBoxes := make(map[string]*qgm.Box)
+	for _, c := range xq.Components {
+		if c.Relate == nil {
+			continue
+		}
+		rel := c.Relate
+		parentBox, ok := nodeBoxes[strings.ToUpper(rel.Parent)]
+		if !ok {
+			return nil, fmt.Errorf("semantics: relationship %s: unknown parent component %s", c.Name, rel.Parent)
+		}
+		box := g.NewBox(qgm.Select, c.Name)
+		sc := newScope(nil)
+		pq := g.NewQuant(box, qgm.ForEach, rel.Parent, parentBox)
+		if err := sc.add(rel.Parent, pq); err != nil {
+			return nil, err
+		}
+		var childQs []*qgm.Quantifier
+		for ci, childName := range rel.Children {
+			childBox, ok := nodeBoxes[strings.ToUpper(childName)]
+			if !ok {
+				return nil, fmt.Errorf("semantics: relationship %s: unknown child component %s", c.Name, childName)
+			}
+			exposed := childName
+			if ci < len(rel.ChildAliases) && rel.ChildAliases[ci] != "" {
+				exposed = rel.ChildAliases[ci]
+			}
+			if strings.EqualFold(exposed, rel.Parent) {
+				// A self-relationship must rename the child occurrence so
+				// the predicate can tell the two apart.
+				return nil, fmt.Errorf("semantics: relationship %s relates %s to itself; alias the child occurrence (e.g. %s AS sub)", c.Name, childName, childName)
+			}
+			cq := g.NewQuant(box, qgm.ForEach, exposed, childBox)
+			if err := sc.add(exposed, cq); err != nil {
+				return nil, err
+			}
+			childQs = append(childQs, cq)
+			childOf[strings.ToUpper(childName)] = append(childOf[strings.ToUpper(childName)], c.Name)
+		}
+		for _, u := range rel.Using {
+			ubox, err := b.buildTableRef(u)
+			if err != nil {
+				return nil, fmt.Errorf("semantics: relationship %s USING: %v", c.Name, err)
+			}
+			uq := g.NewQuant(box, qgm.ForEach, u.Name(), ubox)
+			if err := sc.add(u.Name(), uq); err != nil {
+				return nil, err
+			}
+		}
+		if rel.Where != nil {
+			pred, err := b.buildExpr(rel.Where, sc)
+			if err != nil {
+				return nil, fmt.Errorf("semantics: relationship %s: %v", c.Name, err)
+			}
+			box.Preds = append(box.Preds, splitConjuncts(pred)...)
+		}
+		// The connection head carries the partner keys: parent key columns
+		// first, then each child's key columns.
+		appendKeys := func(q *qgm.Quantifier, prefix string) {
+			for _, ord := range ComponentKeyOrds(q.Input) {
+				box.Head = append(box.Head, qgm.HeadColumn{
+					Name: fmt.Sprintf("%s_%s", prefix, q.Input.Head[ord].Name),
+					Type: q.Input.Head[ord].Type,
+					Expr: &qgm.ColRef{Q: q, Ord: ord},
+				})
+			}
+		}
+		appendKeys(pq, rel.Parent)
+		for i, cq := range childQs {
+			appendKeys(cq, rel.Children[i])
+		}
+		box.Distinct = true
+		relBoxes[strings.ToUpper(c.Name)] = box
+	}
+
+	// Pass 3: assemble the XNF operator's outputs. Roots are node
+	// components that are nobody's child; every other node is marked
+	// reachable (the default reachability of Sect. 2).
+	for _, name := range order {
+		key := strings.ToUpper(name)
+		if def, ok := nodeDefs[key]; ok {
+			box := nodeBoxes[key]
+			out := qgm.XNFOutput{Name: def.Name, Box: box}
+			if len(childOf[key]) > 0 {
+				out.Reachable = true
+			}
+			xnfBox.XNFOutputs = append(xnfBox.XNFOutputs, out)
+			continue
+		}
+		def := relDefs[key]
+		xnfBox.XNFOutputs = append(xnfBox.XNFOutputs, qgm.XNFOutput{
+			Name:     def.Name,
+			IsRel:    true,
+			Box:      relBoxes[key],
+			Parent:   def.Relate.Parent,
+			Children: def.Relate.Children,
+			Role:     def.Relate.Role,
+		})
+	}
+	if err := checkTake(xq, xnfBox); err != nil {
+		return nil, err
+	}
+
+	// Phase 0/3 of the paper: the Top box is installed over the XNF
+	// operator; output shaping happens during XNF semantic rewrite.
+	top := g.NewBox(qgm.Top, "")
+	g.NewQuant(top, qgm.ForEach, "co", xnfBox)
+	g.TopBox = top
+	g.GC()
+	if errs := g.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("semantics: internal XNF QGM validation: %s", strings.Join(errs, "; "))
+	}
+	return g, nil
+}
+
+// TakeFor resolves which XNF outputs the TAKE clause projects, in component
+// order, together with any column projections. It is used by the XNF
+// semantic rewrite stage.
+func TakeFor(xq *ast.XNFQuery, xnfBox *qgm.Box) ([]TakeSpec, error) {
+	star := false
+	byName := make(map[string]ast.TakeItem)
+	for _, t := range xq.Take {
+		if t.Star {
+			star = true
+			continue
+		}
+		byName[strings.ToUpper(t.Name)] = t
+	}
+	var out []TakeSpec
+	for _, o := range xnfBox.XNFOutputs {
+		item, named := byName[strings.ToUpper(o.Name)]
+		if !star && !named {
+			continue
+		}
+		spec := TakeSpec{Output: o}
+		if named && len(item.Columns) > 0 {
+			if o.IsRel {
+				return nil, fmt.Errorf("semantics: TAKE column projection is not supported on relationship %s", o.Name)
+			}
+			for _, col := range item.Columns {
+				ord, ok := o.Box.HeadIndex(col)
+				if !ok {
+					return nil, fmt.Errorf("semantics: TAKE: component %s has no column %s", o.Name, col)
+				}
+				spec.Columns = append(spec.Columns, ord)
+			}
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// TakeSpec pairs an XNF output with an optional column projection.
+type TakeSpec struct {
+	Output  qgm.XNFOutput
+	Columns []int // nil = all columns
+}
+
+// checkTake validates TAKE names against the component list.
+func checkTake(xq *ast.XNFQuery, xnfBox *qgm.Box) error {
+	known := make(map[string]bool)
+	for _, o := range xnfBox.XNFOutputs {
+		known[strings.ToUpper(o.Name)] = true
+	}
+	for _, t := range xq.Take {
+		if t.Star {
+			continue
+		}
+		if !known[strings.ToUpper(t.Name)] {
+			return fmt.Errorf("semantics: TAKE references unknown component %s", t.Name)
+		}
+	}
+	_, err := TakeFor(xq, xnfBox)
+	return err
+}
+
+// ComponentKeyOrds picks the head ordinals that identify a tuple of a node
+// component: if the component's head exposes the full primary key of the
+// single base table it derives from, those columns; otherwise the whole
+// row (set semantics make full-row identity sound).
+func ComponentKeyOrds(box *qgm.Box) []int {
+	if ords := pkThroughBox(box); ords != nil {
+		return ords
+	}
+	all := make([]int, len(box.Head))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// pkThroughBox traces each head column of a single-input Select box to the
+// base table beneath it and reports the head ordinals that cover the base
+// table's primary key.
+func pkThroughBox(box *qgm.Box) []int {
+	switch box.Kind {
+	case qgm.BaseTable:
+		if len(box.PKOrds) == 0 {
+			return nil
+		}
+		return append([]int(nil), box.PKOrds...)
+	case qgm.Select:
+		if len(box.Quants) != 1 || box.Quants[0].Type != qgm.ForEach {
+			return nil
+		}
+		inner := pkThroughBox(box.Quants[0].Input)
+		if inner == nil {
+			return nil
+		}
+		var out []int
+		for _, need := range inner {
+			found := -1
+			for i, h := range box.Head {
+				if cr, ok := h.Expr.(*qgm.ColRef); ok && cr.Q == box.Quants[0] && cr.Ord == need {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return nil
+			}
+			out = append(out, found)
+		}
+		return out
+	default:
+		return nil
+	}
+}

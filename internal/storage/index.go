@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"sort"
+
+	"xnf/internal/types"
+)
+
+// index is the common interface of the physical index structures.
+type index interface {
+	insert(row types.Row, rid RID)
+	remove(row types.Row, rid RID)
+	// lookup returns candidate RIDs for an exact key match. Hash indexes
+	// may return hash-collision false positives; callers re-check.
+	lookup(key types.Row) []RID
+}
+
+// hashIndex buckets RIDs by the hash of the key columns.
+type hashIndex struct {
+	ords    []int
+	buckets map[uint64][]RID
+}
+
+func newHashIndex(ords []int) *hashIndex {
+	return &hashIndex{ords: ords, buckets: make(map[uint64][]RID)}
+}
+
+func (h *hashIndex) keyHash(row types.Row) uint64 { return row.Hash(h.ords) }
+
+func (h *hashIndex) insert(row types.Row, rid RID) {
+	k := h.keyHash(row)
+	h.buckets[k] = append(h.buckets[k], rid)
+}
+
+func (h *hashIndex) remove(row types.Row, rid RID) {
+	k := h.keyHash(row)
+	bucket := h.buckets[k]
+	for i, r := range bucket {
+		if r == rid {
+			bucket[i] = bucket[len(bucket)-1]
+			h.buckets[k] = bucket[:len(bucket)-1]
+			return
+		}
+	}
+}
+
+func (h *hashIndex) lookup(key types.Row) []RID {
+	ords := make([]int, len(key))
+	for i := range key {
+		ords[i] = i
+	}
+	return h.buckets[key.Hash(ords)]
+}
+
+// orderedIndex keeps (key, rid) entries sorted; maintenance is lazy — bulk
+// loads append and the structure re-sorts on the first read after a write,
+// which keeps index builds linear-ish instead of quadratic.
+type orderedIndex struct {
+	ords    []int
+	entries []orderedEntry
+	dirty   bool
+}
+
+type orderedEntry struct {
+	key types.Row
+	rid RID
+}
+
+func newOrderedIndex(ords []int) *orderedIndex { return &orderedIndex{ords: ords} }
+
+func (o *orderedIndex) keyOf(row types.Row) types.Row {
+	k := make(types.Row, len(o.ords))
+	for i, ord := range o.ords {
+		k[i] = row[ord]
+	}
+	return k
+}
+
+func (o *orderedIndex) insert(row types.Row, rid RID) {
+	o.entries = append(o.entries, orderedEntry{key: o.keyOf(row), rid: rid})
+	o.dirty = true
+}
+
+func (o *orderedIndex) remove(row types.Row, rid RID) {
+	for i := range o.entries {
+		if o.entries[i].rid == rid {
+			o.entries = append(o.entries[:i], o.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+func (o *orderedIndex) ensureSorted() {
+	if !o.dirty {
+		return
+	}
+	all := make([]int, len(o.ords))
+	for i := range all {
+		all[i] = i
+	}
+	sort.SliceStable(o.entries, func(i, j int) bool {
+		return types.CompareRows(o.entries[i].key, o.entries[j].key, all, nil) < 0
+	})
+	o.dirty = false
+}
+
+func (o *orderedIndex) lookup(key types.Row) []RID {
+	o.ensureSorted()
+	all := make([]int, len(key))
+	for i := range all {
+		all[i] = i
+	}
+	lo := sort.Search(len(o.entries), func(i int) bool {
+		return types.CompareRows(o.entries[i].key, key, all, nil) >= 0
+	})
+	var out []RID
+	for i := lo; i < len(o.entries); i++ {
+		if types.CompareRows(o.entries[i].key, key, all, nil) != 0 {
+			break
+		}
+		out = append(out, o.entries[i].rid)
+	}
+	return out
+}
+
+// rangeLookup returns RIDs whose leading key column is within [lo, hi];
+// a NULL bound means unbounded on that side.
+func (o *orderedIndex) rangeLookup(lo, hi types.Value) []RID {
+	o.ensureSorted()
+	start := 0
+	if !lo.IsNull() {
+		start = sort.Search(len(o.entries), func(i int) bool {
+			return types.Compare(o.entries[i].key[0], lo) >= 0
+		})
+	}
+	var out []RID
+	for i := start; i < len(o.entries); i++ {
+		if !hi.IsNull() && types.Compare(o.entries[i].key[0], hi) > 0 {
+			break
+		}
+		out = append(out, o.entries[i].rid)
+	}
+	return out
+}

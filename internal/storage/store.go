@@ -1,0 +1,135 @@
+// Package storage is the data manager (the paper's CORE analog): in-memory
+// heap tables addressed by row identifiers, hash and ordered secondary
+// indexes, statistics maintenance, and transactions with an undo log.
+// The query compiler never touches storage directly; the executor reads
+// through table handles obtained here.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"xnf/internal/catalog"
+)
+
+// RID identifies a row within its table (slot number in the heap).
+type RID int64
+
+// Store owns the physical data for every table in one database.
+type Store struct {
+	mu     sync.RWMutex
+	cat    *catalog.Catalog
+	tables map[string]*TableData
+}
+
+// NewStore creates an empty store bound to a catalog.
+func NewStore(cat *catalog.Catalog) *Store {
+	return &Store{cat: cat, tables: make(map[string]*TableData)}
+}
+
+// Catalog returns the catalog the store is bound to.
+func (s *Store) Catalog() *catalog.Catalog { return s.cat }
+
+// CreateTable registers the definition in the catalog and allocates the heap.
+func (s *Store) CreateTable(def *catalog.Table) error {
+	if err := s.cat.CreateTable(def); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	td := newTableData(def)
+	// A primary key implies a unique hash index for constraint checking
+	// and optimizer use.
+	if len(def.PrimaryKey) > 0 {
+		idx := &catalog.Index{
+			Name:    def.Name + "_PK",
+			Table:   def.Name,
+			Columns: def.PrimaryKey,
+			Kind:    catalog.HashIndex,
+			Unique:  true,
+		}
+		def.Indexes = append(def.Indexes, idx)
+		td.buildIndex(idx)
+	}
+	s.tables[key(def.Name)] = td
+	return nil
+}
+
+// DropTable removes a table and its data.
+func (s *Store) DropTable(name string) error {
+	if err := s.cat.DropTable(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tables, key(name))
+	return nil
+}
+
+// Table returns the physical table handle.
+func (s *Store) Table(name string) (*TableData, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	td, ok := s.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %s does not exist", name)
+	}
+	return td, nil
+}
+
+// CreateIndex builds a secondary index over existing data.
+func (s *Store) CreateIndex(idx *catalog.Index) error {
+	td, err := s.Table(idx.Table)
+	if err != nil {
+		return err
+	}
+	if err := s.cat.AddIndex(idx); err != nil {
+		return err
+	}
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	return td.buildIndex(idx)
+}
+
+// Analyze recomputes the distinct-value statistics for a table's columns.
+func (s *Store) Analyze(name string) error {
+	td, err := s.Table(name)
+	if err != nil {
+		return err
+	}
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	for i, col := range td.def.Columns {
+		seen := make(map[uint64]struct{})
+		for _, r := range td.rows {
+			if r != nil {
+				seen[r[i].Hash()] = struct{}{}
+			}
+		}
+		td.def.SetColCard(col.Name, int64(len(seen)))
+	}
+	return nil
+}
+
+// AnalyzeAll runs Analyze over every table.
+func (s *Store) AnalyzeAll() error {
+	for _, t := range s.cat.Tables() {
+		if err := s.Analyze(t.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func key(name string) string {
+	// Identifier lookup is case-insensitive throughout the engine.
+	b := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		b[i] = c
+	}
+	return string(b)
+}

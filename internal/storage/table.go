@@ -1,0 +1,284 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"xnf/internal/catalog"
+	"xnf/internal/types"
+)
+
+// TableData is the heap for one table: a slot array of rows where deleted
+// slots are nil. Slot order is insertion order, which gives deterministic
+// scans for tests and reproducible benchmarks.
+type TableData struct {
+	mu      sync.RWMutex
+	def     *catalog.Table
+	rows    []types.Row
+	live    int64
+	indexes map[string]index
+}
+
+func newTableData(def *catalog.Table) *TableData {
+	return &TableData{def: def, indexes: make(map[string]index)}
+}
+
+// Def returns the catalog definition.
+func (t *TableData) Def() *catalog.Table { return t.def }
+
+// RowCount returns the number of live rows.
+func (t *TableData) RowCount() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Insert validates the row against the schema (arity, types, NOT NULL,
+// primary-key uniqueness), appends it and maintains indexes and stats.
+func (t *TableData) Insert(row types.Row) (RID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertLocked(row)
+}
+
+func (t *TableData) insertLocked(row types.Row) (RID, error) {
+	if len(row) != len(t.def.Columns) {
+		return 0, fmt.Errorf("storage: table %s expects %d columns, got %d",
+			t.def.Name, len(t.def.Columns), len(row))
+	}
+	coerced := make(types.Row, len(row))
+	for i, col := range t.def.Columns {
+		v, err := types.Coerce(row[i], col.Type)
+		if err != nil {
+			return 0, fmt.Errorf("storage: column %s.%s: %v", t.def.Name, col.Name, err)
+		}
+		if v.IsNull() && col.NotNull {
+			return 0, fmt.Errorf("storage: column %s.%s is NOT NULL", t.def.Name, col.Name)
+		}
+		coerced[i] = v
+	}
+	if pk := t.def.PKOrdinals(); len(pk) > 0 {
+		if rid, ok := t.lookupUniqueLocked(t.def.PrimaryKey, coerced, pk); ok {
+			return 0, fmt.Errorf("storage: duplicate primary key %v in table %s (existing rid %d)",
+				coerced.Key(pk), t.def.Name, rid)
+		}
+	}
+	rid := RID(len(t.rows))
+	t.rows = append(t.rows, coerced)
+	t.live++
+	t.def.Stats.RowCount = t.live
+	for _, idx := range t.indexes {
+		idx.insert(coerced, rid)
+	}
+	return rid, nil
+}
+
+func (t *TableData) lookupUniqueLocked(cols []string, row types.Row, ords []int) (RID, bool) {
+	if idx := t.def.IndexOn(cols); idx != nil {
+		if in, ok := t.indexes[key(idx.Name)]; ok {
+			keyVals := make(types.Row, len(ords))
+			for i, o := range ords {
+				keyVals[i] = row[o]
+			}
+			for _, rid := range in.lookup(keyVals) {
+				if t.rows[rid] != nil && t.rows[rid].EqualOn(row, ords) {
+					return rid, true
+				}
+			}
+			return 0, false
+		}
+	}
+	for rid, r := range t.rows {
+		if r != nil && r.EqualOn(row, ords) {
+			return RID(rid), true
+		}
+	}
+	return 0, false
+}
+
+// Get fetches a row by RID. Returned rows must not be mutated.
+func (t *TableData) Get(rid RID) (types.Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if rid < 0 || int(rid) >= len(t.rows) || t.rows[rid] == nil {
+		return nil, false
+	}
+	return t.rows[rid], true
+}
+
+// Update replaces the row at rid, re-validating constraints and maintaining
+// indexes. It returns the old row for undo logging.
+func (t *TableData) Update(rid RID, row types.Row) (types.Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rid < 0 || int(rid) >= len(t.rows) || t.rows[rid] == nil {
+		return nil, fmt.Errorf("storage: rid %d not found in table %s", rid, t.def.Name)
+	}
+	if len(row) != len(t.def.Columns) {
+		return nil, fmt.Errorf("storage: table %s expects %d columns, got %d",
+			t.def.Name, len(t.def.Columns), len(row))
+	}
+	coerced := make(types.Row, len(row))
+	for i, col := range t.def.Columns {
+		v, err := types.Coerce(row[i], col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("storage: column %s.%s: %v", t.def.Name, col.Name, err)
+		}
+		if v.IsNull() && col.NotNull {
+			return nil, fmt.Errorf("storage: column %s.%s is NOT NULL", t.def.Name, col.Name)
+		}
+		coerced[i] = v
+	}
+	old := t.rows[rid]
+	if pk := t.def.PKOrdinals(); len(pk) > 0 && !old.EqualOn(coerced, pk) {
+		if other, ok := t.lookupUniqueLocked(t.def.PrimaryKey, coerced, pk); ok && other != rid {
+			return nil, fmt.Errorf("storage: duplicate primary key %v in table %s", coerced.Key(pk), t.def.Name)
+		}
+	}
+	for _, idx := range t.indexes {
+		idx.remove(old, rid)
+	}
+	t.rows[rid] = coerced
+	for _, idx := range t.indexes {
+		idx.insert(coerced, rid)
+	}
+	return old, nil
+}
+
+// Delete removes the row at rid and returns it for undo logging.
+func (t *TableData) Delete(rid RID) (types.Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rid < 0 || int(rid) >= len(t.rows) || t.rows[rid] == nil {
+		return nil, fmt.Errorf("storage: rid %d not found in table %s", rid, t.def.Name)
+	}
+	old := t.rows[rid]
+	for _, idx := range t.indexes {
+		idx.remove(old, rid)
+	}
+	t.rows[rid] = nil
+	t.live--
+	t.def.Stats.RowCount = t.live
+	return old, nil
+}
+
+// insertAt restores a row into a specific slot; used only by transaction
+// rollback to undo a delete.
+func (t *TableData) insertAt(rid RID, row types.Row) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for int(rid) >= len(t.rows) {
+		t.rows = append(t.rows, nil)
+	}
+	t.rows[rid] = row
+	t.live++
+	t.def.Stats.RowCount = t.live
+	for _, idx := range t.indexes {
+		idx.insert(row, rid)
+	}
+}
+
+// Scan calls fn for every live row in slot order; returning false stops the
+// scan. The table lock is held in read mode for the duration.
+func (t *TableData) Scan(fn func(rid RID, row types.Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		if !fn(RID(i), r) {
+			return
+		}
+	}
+}
+
+// Snapshot returns all live rows as a slice; operators that need stable
+// input (e.g. while the same table is being updated) use it.
+func (t *TableData) Snapshot() []types.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]types.Row, 0, t.live)
+	for _, r := range t.rows {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SnapshotRIDs returns the RIDs of all live rows in slot order.
+func (t *TableData) SnapshotRIDs() []RID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]RID, 0, t.live)
+	for i, r := range t.rows {
+		if r != nil {
+			out = append(out, RID(i))
+		}
+	}
+	return out
+}
+
+func (t *TableData) buildIndex(def *catalog.Index) error {
+	ords := make([]int, len(def.Columns))
+	for i, col := range def.Columns {
+		o, ok := t.def.ColumnIndex(col)
+		if !ok {
+			return fmt.Errorf("storage: index column %s not in table %s", col, t.def.Name)
+		}
+		ords[i] = o
+	}
+	var idx index
+	switch def.Kind {
+	case catalog.HashIndex:
+		idx = newHashIndex(ords)
+	case catalog.OrderedIndex:
+		idx = newOrderedIndex(ords)
+	default:
+		return fmt.Errorf("storage: unknown index kind %d", def.Kind)
+	}
+	for rid, r := range t.rows {
+		if r != nil {
+			idx.insert(r, RID(rid))
+		}
+	}
+	t.indexes[key(def.Name)] = idx
+	return nil
+}
+
+// IndexLookup returns the RIDs whose index key equals keyVals, using the
+// named index.
+func (t *TableData) IndexLookup(indexName string, keyVals types.Row) ([]RID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[key(indexName)]
+	if !ok {
+		return nil, fmt.Errorf("storage: index %s not built on table %s", indexName, t.def.Name)
+	}
+	rids := idx.lookup(keyVals)
+	out := make([]RID, 0, len(rids))
+	for _, rid := range rids {
+		if t.rows[rid] != nil {
+			out = append(out, rid)
+		}
+	}
+	return out, nil
+}
+
+// IndexRange returns the RIDs whose leading index column lies in [lo, hi]
+// (either bound may be the NULL value meaning unbounded). Only ordered
+// indexes support ranges.
+func (t *TableData) IndexRange(indexName string, lo, hi types.Value) ([]RID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[key(indexName)]
+	if !ok {
+		return nil, fmt.Errorf("storage: index %s not built on table %s", indexName, t.def.Name)
+	}
+	oi, ok := idx.(*orderedIndex)
+	if !ok {
+		return nil, fmt.Errorf("storage: index %s is not an ordered index", indexName)
+	}
+	return oi.rangeLookup(lo, hi), nil
+}

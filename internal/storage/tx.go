@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"fmt"
+
+	"xnf/internal/types"
+)
+
+// Tx is a transaction over the store. The engine logs every DML operation
+// and can roll the store back to the state at Begin. The paper leaves
+// transaction management entirely to the unchanged relational substrate;
+// this undo-log design mirrors that: the XNF layer never sees it.
+type Tx struct {
+	store *Store
+	undo  []undoRec
+	done  bool
+}
+
+type undoKind uint8
+
+const (
+	undoInsert undoKind = iota // compensate by delete
+	undoDelete                 // compensate by insert-at
+	undoUpdate                 // compensate by restoring the old image
+)
+
+type undoRec struct {
+	kind  undoKind
+	table string
+	rid   RID
+	row   types.Row // old image for delete/update
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Tx { return &Tx{store: s} }
+
+// Insert inserts through the transaction, logging the compensation.
+func (tx *Tx) Insert(table string, row types.Row) (RID, error) {
+	if tx.done {
+		return 0, fmt.Errorf("storage: transaction already finished")
+	}
+	td, err := tx.store.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	rid, err := td.Insert(row)
+	if err != nil {
+		return 0, err
+	}
+	tx.undo = append(tx.undo, undoRec{kind: undoInsert, table: table, rid: rid})
+	return rid, nil
+}
+
+// Update updates through the transaction.
+func (tx *Tx) Update(table string, rid RID, row types.Row) error {
+	if tx.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	td, err := tx.store.Table(table)
+	if err != nil {
+		return err
+	}
+	old, err := td.Update(rid, row)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRec{kind: undoUpdate, table: table, rid: rid, row: old})
+	return nil
+}
+
+// Delete deletes through the transaction.
+func (tx *Tx) Delete(table string, rid RID) error {
+	if tx.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	td, err := tx.store.Table(table)
+	if err != nil {
+		return err
+	}
+	old, err := td.Delete(rid)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRec{kind: undoDelete, table: table, rid: rid, row: old})
+	return nil
+}
+
+// Commit makes the transaction's effects permanent.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	tx.done = true
+	tx.undo = nil
+	return nil
+}
+
+// Rollback undoes every logged operation in reverse order.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	tx.done = true
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		rec := tx.undo[i]
+		td, err := tx.store.Table(rec.table)
+		if err != nil {
+			return fmt.Errorf("storage: rollback: %v", err)
+		}
+		switch rec.kind {
+		case undoInsert:
+			if _, err := td.Delete(rec.rid); err != nil {
+				return fmt.Errorf("storage: rollback insert: %v", err)
+			}
+		case undoDelete:
+			td.insertAt(rec.rid, rec.row)
+		case undoUpdate:
+			if _, err := td.Update(rec.rid, rec.row); err != nil {
+				return fmt.Errorf("storage: rollback update: %v", err)
+			}
+		}
+	}
+	tx.undo = nil
+	return nil
+}

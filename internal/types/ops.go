@@ -1,0 +1,318 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TriBool is SQL three-valued logic: predicates over NULL yield Unknown.
+type TriBool uint8
+
+// The three truth values.
+const (
+	False TriBool = iota
+	True
+	Unknown
+)
+
+// String returns the SQL spelling of the truth value.
+func (t TriBool) String() string {
+	switch t {
+	case False:
+		return "FALSE"
+	case True:
+		return "TRUE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Tri converts a Go bool to a TriBool.
+func Tri(b bool) TriBool {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And implements three-valued conjunction.
+func (t TriBool) And(o TriBool) TriBool {
+	if t == False || o == False {
+		return False
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return True
+}
+
+// Or implements three-valued disjunction.
+func (t TriBool) Or(o TriBool) TriBool {
+	if t == True || o == True {
+		return True
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return False
+}
+
+// Not implements three-valued negation.
+func (t TriBool) Not() TriBool {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// ToValue converts the truth value to a SQL BOOLEAN (Unknown becomes NULL).
+func (t TriBool) ToValue() Value {
+	switch t {
+	case True:
+		return NewBool(true)
+	case False:
+		return NewBool(false)
+	default:
+		return Null
+	}
+}
+
+// TruthOf interprets a value as a predicate result: NULL is Unknown,
+// BOOLEAN maps directly, and non-zero numerics count as true.
+func TruthOf(v Value) TriBool {
+	switch v.T {
+	case NullType:
+		return Unknown
+	case BoolType:
+		return Tri(v.I != 0)
+	case IntType:
+		return Tri(v.I != 0)
+	case FloatType:
+		return Tri(v.F != 0)
+	default:
+		return Unknown
+	}
+}
+
+// CompareTri applies a comparison operator under three-valued logic.
+// op is one of "=", "<>", "<", "<=", ">", ">=".
+func CompareTri(op string, a, b Value) (TriBool, error) {
+	if a.IsNull() || b.IsNull() {
+		return Unknown, nil
+	}
+	if !comparable(a, b) {
+		return Unknown, fmt.Errorf("types: cannot compare %s with %s", a.T, b.T)
+	}
+	c := Compare(a, b)
+	switch op {
+	case "=":
+		return Tri(c == 0), nil
+	case "<>", "!=":
+		return Tri(c != 0), nil
+	case "<":
+		return Tri(c < 0), nil
+	case "<=":
+		return Tri(c <= 0), nil
+	case ">":
+		return Tri(c > 0), nil
+	case ">=":
+		return Tri(c >= 0), nil
+	default:
+		return Unknown, fmt.Errorf("types: unknown comparison operator %q", op)
+	}
+}
+
+func comparable(a, b Value) bool {
+	if a.T == b.T {
+		return true
+	}
+	return a.IsNumeric() && b.IsNumeric()
+}
+
+// Arith applies a binary arithmetic operator (+ - * / %). NULL operands
+// yield NULL; division by zero is an error, matching strict SQL engines.
+func Arith(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if op == "||" || (op == "+" && a.T == StringType && b.T == StringType) {
+		if a.T == StringType && b.T == StringType {
+			return NewString(a.S + b.S), nil
+		}
+		return Null, fmt.Errorf("types: || requires strings, got %s and %s", a.T, b.T)
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null, fmt.Errorf("types: arithmetic %q requires numeric operands, got %s and %s", op, a.T, b.T)
+	}
+	if a.T == IntType && b.T == IntType {
+		switch op {
+		case "+":
+			return NewInt(a.I + b.I), nil
+		case "-":
+			return NewInt(a.I - b.I), nil
+		case "*":
+			return NewInt(a.I * b.I), nil
+		case "/":
+			if b.I == 0 {
+				return Null, fmt.Errorf("types: division by zero")
+			}
+			return NewInt(a.I / b.I), nil
+		case "%":
+			if b.I == 0 {
+				return Null, fmt.Errorf("types: division by zero")
+			}
+			return NewInt(a.I % b.I), nil
+		}
+	}
+	af, bf := a.Float(), b.Float()
+	switch op {
+	case "+":
+		return NewFloat(af + bf), nil
+	case "-":
+		return NewFloat(af - bf), nil
+	case "*":
+		return NewFloat(af * bf), nil
+	case "/":
+		if bf == 0 {
+			return Null, fmt.Errorf("types: division by zero")
+		}
+		return NewFloat(af / bf), nil
+	case "%":
+		return Null, fmt.Errorf("types: %% requires integer operands")
+	}
+	return Null, fmt.Errorf("types: unknown arithmetic operator %q", op)
+}
+
+// Neg negates a numeric value.
+func Neg(v Value) (Value, error) {
+	switch v.T {
+	case NullType:
+		return Null, nil
+	case IntType:
+		return NewInt(-v.I), nil
+	case FloatType:
+		return NewFloat(-v.F), nil
+	default:
+		return Null, fmt.Errorf("types: cannot negate %s", v.T)
+	}
+}
+
+// Like evaluates the SQL LIKE predicate with % and _ wildcards.
+func Like(s, pattern Value) (TriBool, error) {
+	if s.IsNull() || pattern.IsNull() {
+		return Unknown, nil
+	}
+	if s.T != StringType || pattern.T != StringType {
+		return Unknown, fmt.Errorf("types: LIKE requires strings")
+	}
+	return Tri(likeMatch(s.S, pattern.S)), nil
+}
+
+// likeMatch matches s against a SQL LIKE pattern using an iterative
+// backtracking scan (the standard greedy-%, rewind-on-mismatch algorithm).
+func likeMatch(s, p string) bool {
+	si, pi := 0, 0
+	star, sBack := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			sBack = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			sBack++
+			si = sBack
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// Coerce converts v to the target type when a lossless or standard SQL
+// conversion exists (int↔float, anything→string for display is NOT included;
+// this is assignment coercion used by INSERT).
+func Coerce(v Value, to Type) (Value, error) {
+	if v.IsNull() || v.T == to {
+		return v, nil
+	}
+	switch to {
+	case FloatType:
+		if v.T == IntType {
+			return NewFloat(float64(v.I)), nil
+		}
+	case IntType:
+		if v.T == FloatType && v.F == float64(int64(v.F)) {
+			return NewInt(int64(v.F)), nil
+		}
+	case StringType:
+		// No implicit conversion to string.
+	case BoolType:
+		// No implicit conversion to bool.
+	}
+	return Null, fmt.Errorf("types: cannot coerce %s value %s to %s", v.T, v, to)
+}
+
+// Upper returns the upper-cased string value (SQL UPPER function).
+func Upper(v Value) (Value, error) {
+	if v.IsNull() {
+		return Null, nil
+	}
+	if v.T != StringType {
+		return Null, fmt.Errorf("types: UPPER requires a string")
+	}
+	return NewString(strings.ToUpper(v.S)), nil
+}
+
+// Lower returns the lower-cased string value (SQL LOWER function).
+func Lower(v Value) (Value, error) {
+	if v.IsNull() {
+		return Null, nil
+	}
+	if v.T != StringType {
+		return Null, fmt.Errorf("types: LOWER requires a string")
+	}
+	return NewString(strings.ToLower(v.S)), nil
+}
+
+// Length returns the character length of a string value.
+func Length(v Value) (Value, error) {
+	if v.IsNull() {
+		return Null, nil
+	}
+	if v.T != StringType {
+		return Null, fmt.Errorf("types: LENGTH requires a string")
+	}
+	return NewInt(int64(len(v.S))), nil
+}
+
+// Abs returns the absolute value of a numeric value.
+func Abs(v Value) (Value, error) {
+	switch v.T {
+	case NullType:
+		return Null, nil
+	case IntType:
+		if v.I < 0 {
+			return NewInt(-v.I), nil
+		}
+		return v, nil
+	case FloatType:
+		if v.F < 0 {
+			return NewFloat(-v.F), nil
+		}
+		return v, nil
+	default:
+		return Null, fmt.Errorf("types: ABS requires a numeric")
+	}
+}

@@ -1,0 +1,231 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"xnf/internal/cocache"
+	"xnf/internal/core"
+	"xnf/internal/types"
+)
+
+// ShipMode selects how the CO result crosses the client/server boundary
+// (Sect. 5.1/5.3): one call per tuple (the traditional cursor interface),
+// fixed-size blocks, or the whole CO in one request.
+type ShipMode struct {
+	// BlockSize tuples per FETCH round trip; <= 0 means ship everything
+	// after a single FETCH.
+	BlockSize int
+}
+
+// ShipWhole ships the complete CO with one fetch round trip.
+func ShipWhole() ShipMode { return ShipMode{BlockSize: -1} }
+
+// ShipBlocks ships n tuples per round trip.
+func ShipBlocks(n int) ShipMode { return ShipMode{BlockSize: n} }
+
+// ShipTupleAtATime is the one-call-per-tuple baseline.
+func ShipTupleAtATime() ShipMode { return ShipMode{BlockSize: 1} }
+
+// ClientStats counts protocol traffic.
+type ClientStats struct {
+	Messages   int // frames in either direction
+	RoundTrips int // request/response exchanges
+	BytesSent  int
+	BytesRecv  int
+	TuplesRecv int
+}
+
+// Client talks to a Server. Latency, when non-zero, is added per round
+// trip to model the network/process-boundary cost the paper discusses.
+type Client struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	Latency time.Duration
+	Stats   ClientStats
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// Close says goodbye and closes the connection.
+func (c *Client) Close() error {
+	writeFrame(c.w, FrameClose, nil)
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+func (c *Client) send(t FrameType, payload []byte) error {
+	n, err := writeFrame(c.w, t, payload)
+	if err != nil {
+		return err
+	}
+	c.Stats.Messages++
+	c.Stats.BytesSent += n
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	c.Stats.RoundTrips++
+	if c.Latency > 0 {
+		time.Sleep(c.Latency)
+	}
+	return nil
+}
+
+func (c *Client) recv() (FrameType, []byte, error) {
+	t, payload, n, err := readFrame(c.r)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.Stats.Messages++
+	c.Stats.BytesRecv += n
+	if t == FrameError {
+		return t, nil, fmt.Errorf("wire: server: %s", string(payload))
+	}
+	return t, payload, nil
+}
+
+// QueryCO extracts a CO view into a client-side cache using the given ship
+// mode. This is the end-to-end data path of Fig. 7: compile and extract on
+// the server, ship the heterogeneous stream, swizzle into the workspace.
+func (c *Client) QueryCO(view string, mode ShipMode) (*cocache.Cache, error) {
+	res, err := c.FetchCO(view, mode)
+	if err != nil {
+		return nil, err
+	}
+	return cocache.Build(res)
+}
+
+// FetchCO ships the CO result without building the cache (benchmarks
+// separate shipping cost from swizzling cost).
+func (c *Client) FetchCO(view string, mode ShipMode) (*core.COResult, error) {
+	if err := c.send(FrameQueryCO, []byte(view)); err != nil {
+		return nil, err
+	}
+	t, payload, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	if t != FrameSchema {
+		return nil, fmt.Errorf("wire: expected schema frame, got %d", t)
+	}
+	var metas []OutputMeta
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&metas); err != nil {
+		return nil, err
+	}
+	res := &core.COResult{}
+	hasRows := make(map[int]bool)
+	for _, m := range metas {
+		res.Outputs = append(res.Outputs, m.ToOutput())
+		hasRows[m.CompID] = m.HasRows
+	}
+	res.Rows = make([][]types.Row, len(res.Outputs))
+
+	fetchSize := int64(-1)
+	if mode.BlockSize > 0 {
+		fetchSize = int64(mode.BlockSize)
+	}
+	done := false
+	for !done {
+		if err := c.send(FrameFetch, binary.AppendVarint(nil, fetchSize)); err != nil {
+			return nil, err
+		}
+		// Read row frames until the terminating More/Done.
+	batch:
+		for {
+			t, payload, err := c.recv()
+			if err != nil {
+				return nil, err
+			}
+			switch t {
+			case FrameDone:
+				done = true
+				break batch
+			case FrameMore:
+				break batch
+			case FrameRows:
+				rows, err := decodeRows(payload)
+				if err != nil {
+					return nil, err
+				}
+				for _, tr := range rows {
+					if tr.CompID < len(res.Rows) {
+						res.Rows[tr.CompID] = append(res.Rows[tr.CompID], tr.Row)
+						c.Stats.TuplesRecv++
+					}
+				}
+			default:
+				return nil, fmt.Errorf("wire: unexpected frame %d during fetch", t)
+			}
+		}
+	}
+	// Derived outputs shipped nothing by design; leave their row sets nil.
+	for i, out := range res.Outputs {
+		if !hasRows[out.CompID] {
+			res.Rows[i] = nil
+		}
+	}
+	return res, nil
+}
+
+// Query runs a plain SQL SELECT on the server.
+func (c *Client) Query(sql string) ([]types.Row, error) {
+	if err := c.send(FrameSQL, []byte(sql)); err != nil {
+		return nil, err
+	}
+	var out []types.Row
+	for {
+		t, payload, err := c.recv()
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case FrameRows:
+			rows, err := decodeRows(payload)
+			if err != nil {
+				return nil, err
+			}
+			for _, tr := range rows {
+				out = append(out, tr.Row)
+				c.Stats.TuplesRecv++
+			}
+		case FrameDone:
+			return out, nil
+		default:
+			return nil, fmt.Errorf("wire: unexpected frame %d", t)
+		}
+	}
+}
+
+// Exec runs DML/DDL on the server (the cache's write-back path).
+func (c *Client) Exec(sql string) (int64, error) {
+	if err := c.send(FrameExec, []byte(sql)); err != nil {
+		return 0, err
+	}
+	t, payload, err := c.recv()
+	if err != nil {
+		return 0, err
+	}
+	if t != FrameDone {
+		return 0, fmt.Errorf("wire: unexpected frame %d", t)
+	}
+	n, _ := binary.Varint(payload)
+	return n, nil
+}

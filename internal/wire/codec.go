@@ -1,0 +1,192 @@
+// Package wire implements the workstation/server protocol of Sect. 5: the
+// client sends an XNF query, the server extracts the CO and ships the
+// heterogeneous tuple stream back. Frames are length-prefixed; rows use a
+// compact binary codec so the experiments can account bytes on the wire.
+// The client counts messages and round trips and can inject a per-round-
+// trip latency, which is how the benchmarks reproduce the paper's
+// process-boundary-crossing arguments (one call per tuple vs few calls per
+// CO).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"xnf/internal/types"
+)
+
+// FrameType tags a protocol frame.
+type FrameType byte
+
+// The frame types.
+const (
+	FrameQueryCO FrameType = iota + 1 // client → server: CO view name
+	FrameSQL                          // client → server: SQL query text
+	FrameExec                         // client → server: SQL DML/DDL
+	FrameFetch                        // client → server: demand n tuples (-1 = all)
+	FrameSchema                       // server → client: gob-encoded output metadata
+	FrameRows                         // server → client: batch of tagged rows
+	FrameDone                         // server → client: end of stream (+ rowcount for exec)
+	FrameMore                         // server → client: batch complete, stream continues
+	FrameError                        // server → client: error text
+	FrameClose                        // client → server: goodbye
+)
+
+// maxFrame bounds a frame payload (defense against corrupt streams).
+const maxFrame = 64 << 20
+
+// writeFrame emits [len u32][type u8][payload].
+func writeFrame(w io.Writer, t FrameType, payload []byte) (int, error) {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return len(payload) + 5, nil
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (FrameType, []byte, int, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, err
+	}
+	return FrameType(hdr[4]), payload, int(n) + 5, nil
+}
+
+// --- value/row codec ---
+
+const (
+	tagNull   = 0
+	tagInt    = 1
+	tagFloat  = 2
+	tagString = 3
+	tagBoolT  = 4
+	tagBoolF  = 5
+)
+
+func appendValue(buf []byte, v types.Value) []byte {
+	switch v.T {
+	case types.NullType:
+		return append(buf, tagNull)
+	case types.IntType:
+		buf = append(buf, tagInt)
+		return binary.AppendVarint(buf, v.I)
+	case types.FloatType:
+		buf = append(buf, tagFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	case types.StringType:
+		buf = append(buf, tagString)
+		buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+		return append(buf, v.S...)
+	case types.BoolType:
+		if v.I != 0 {
+			return append(buf, tagBoolT)
+		}
+		return append(buf, tagBoolF)
+	default:
+		return append(buf, tagNull)
+	}
+}
+
+func decodeValue(buf []byte) (types.Value, []byte, error) {
+	if len(buf) == 0 {
+		return types.Null, nil, io.ErrUnexpectedEOF
+	}
+	tag := buf[0]
+	buf = buf[1:]
+	switch tag {
+	case tagNull:
+		return types.Null, buf, nil
+	case tagInt:
+		i, n := binary.Varint(buf)
+		if n <= 0 {
+			return types.Null, nil, fmt.Errorf("wire: bad varint")
+		}
+		return types.NewInt(i), buf[n:], nil
+	case tagFloat:
+		if len(buf) < 8 {
+			return types.Null, nil, io.ErrUnexpectedEOF
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+		return types.NewFloat(f), buf[8:], nil
+	case tagString:
+		n, k := binary.Uvarint(buf)
+		if k <= 0 || uint64(len(buf[k:])) < n {
+			return types.Null, nil, fmt.Errorf("wire: bad string length")
+		}
+		s := string(buf[k : k+int(n)])
+		return types.NewString(s), buf[k+int(n):], nil
+	case tagBoolT:
+		return types.NewBool(true), buf, nil
+	case tagBoolF:
+		return types.NewBool(false), buf, nil
+	default:
+		return types.Null, nil, fmt.Errorf("wire: unknown value tag %d", tag)
+	}
+}
+
+// TaggedRow is one tuple of the heterogeneous stream.
+type TaggedRow struct {
+	CompID int
+	Row    types.Row
+}
+
+// encodeRows packs tagged rows into one FrameRows payload.
+func encodeRows(rows []TaggedRow) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(rows)))
+	for _, tr := range rows {
+		buf = binary.AppendUvarint(buf, uint64(tr.CompID))
+		buf = binary.AppendUvarint(buf, uint64(len(tr.Row)))
+		for _, v := range tr.Row {
+			buf = appendValue(buf, v)
+		}
+	}
+	return buf
+}
+
+// decodeRows unpacks a FrameRows payload.
+func decodeRows(buf []byte) ([]TaggedRow, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, fmt.Errorf("wire: bad row count")
+	}
+	buf = buf[k:]
+	out := make([]TaggedRow, 0, n)
+	for i := uint64(0); i < n; i++ {
+		comp, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, fmt.Errorf("wire: bad component id")
+		}
+		buf = buf[k:]
+		width, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, fmt.Errorf("wire: bad row width")
+		}
+		buf = buf[k:]
+		row := make(types.Row, width)
+		var err error
+		for j := uint64(0); j < width; j++ {
+			row[j], buf, err = decodeValue(buf)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, TaggedRow{CompID: int(comp), Row: row})
+	}
+	return out, nil
+}

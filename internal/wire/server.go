@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"xnf/internal/core"
+	"xnf/internal/engine"
+	"xnf/internal/opt"
+	"xnf/internal/types"
+)
+
+// OutputMeta is the wire form of core.Output (the schema frame). The cache
+// layer rebuilds core.Output values from it.
+type OutputMeta struct {
+	Name     string
+	CompID   int
+	IsRel    bool
+	Parent   string
+	Children []string
+	Role     string
+
+	KeyCols       []int
+	ParentKeyOrds []int
+	ChildKeyOrds  [][]int
+
+	DerivedFrom       string
+	DerivedParentOrds []int
+
+	ColNames []string
+	ColTypes []types.Type
+
+	BaseTable         string
+	BaseCols          []string
+	FKChildCols       []string
+	ConnectTable      string
+	ConnectParentCols []string
+	ConnectChildCols  []string
+
+	HasRows bool
+}
+
+// MetaFromOutput converts a compiled output for shipment.
+func MetaFromOutput(o core.Output, hasRows bool) OutputMeta {
+	return OutputMeta{
+		Name: o.Name, CompID: o.CompID, IsRel: o.IsRel,
+		Parent: o.Parent, Children: o.Children, Role: o.Role,
+		KeyCols: o.KeyCols, ParentKeyOrds: o.ParentKeyOrds, ChildKeyOrds: o.ChildKeyOrds,
+		DerivedFrom: o.DerivedFrom, DerivedParentOrds: o.DerivedParentOrds,
+		ColNames: o.ColNames, ColTypes: o.ColTypes,
+		BaseTable: o.BaseTable, BaseCols: o.BaseCols,
+		FKChildCols: o.FKChildCols, ConnectTable: o.ConnectTable,
+		ConnectParentCols: o.ConnectParentCols, ConnectChildCols: o.ConnectChildCols,
+		HasRows: hasRows,
+	}
+}
+
+// ToOutput converts back on the client side.
+func (m OutputMeta) ToOutput() core.Output {
+	return core.Output{
+		Name: m.Name, CompID: m.CompID, IsRel: m.IsRel,
+		Parent: m.Parent, Children: m.Children, Role: m.Role,
+		KeyCols: m.KeyCols, ParentKeyOrds: m.ParentKeyOrds, ChildKeyOrds: m.ChildKeyOrds,
+		DerivedFrom: m.DerivedFrom, DerivedParentOrds: m.DerivedParentOrds,
+		ColNames: m.ColNames, ColTypes: m.ColTypes,
+		BaseTable: m.BaseTable, BaseCols: m.BaseCols,
+		FKChildCols: m.FKChildCols, ConnectTable: m.ConnectTable,
+		ConnectParentCols: m.ConnectParentCols, ConnectChildCols: m.ConnectChildCols,
+	}
+}
+
+// Server serves the CO protocol over a listener. One goroutine per
+// connection; the engine's storage layer is already concurrency-safe.
+type Server struct {
+	DB *engine.Database
+	// Opts control the extraction plans (benchmarks flip them).
+	Opts opt.Options
+
+	mu       sync.Mutex
+	listener net.Listener
+}
+
+// NewServer wraps a database.
+func NewServer(db *engine.Database) *Server {
+	return &Server{DB: db, Opts: opt.DefaultOptions()}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		return s.listener.Close()
+	}
+	return nil
+}
+
+// session is the per-connection state: a pending CO stream being fetched.
+type session struct {
+	pending []TaggedRow
+	pos     int
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	sess := &session{}
+	for {
+		t, payload, _, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		switch t {
+		case FrameClose:
+			return
+		case FrameQueryCO:
+			err = s.handleQueryCO(w, sess, string(payload))
+		case FrameSQL:
+			err = s.handleSQL(w, string(payload))
+		case FrameExec:
+			err = s.handleExec(w, string(payload))
+		case FrameFetch:
+			n, _ := binary.Varint(payload)
+			err = s.handleFetch(w, sess, int(n))
+		default:
+			err = s.sendError(w, fmt.Sprintf("unexpected frame %d", t))
+		}
+		if err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) sendError(w *bufio.Writer, msg string) error {
+	_, err := writeFrame(w, FrameError, []byte(msg))
+	return err
+}
+
+// handleQueryCO compiles and extracts the CO set-oriented, sends the
+// schema frame and keeps the tuple stream for subsequent FETCHes.
+func (s *Server) handleQueryCO(w *bufio.Writer, sess *session, view string) error {
+	compiled, err := core.CompileView(s.DB.Catalog(), view, s.DB.RewriteOptions)
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	res, err := compiled.Execute(s.DB.Store(), s.Opts)
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	metas := make([]OutputMeta, len(res.Outputs))
+	sess.pending = sess.pending[:0]
+	sess.pos = 0
+	for i, out := range res.Outputs {
+		metas[i] = MetaFromOutput(out, res.Rows[i] != nil)
+		for _, row := range res.Rows[i] {
+			sess.pending = append(sess.pending, TaggedRow{CompID: out.CompID, Row: row})
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(metas); err != nil {
+		return s.sendError(w, err.Error())
+	}
+	_, err = writeFrame(w, FrameSchema, buf.Bytes())
+	return err
+}
+
+// handleFetch ships up to n pending tuples (n < 0 = everything, chunked).
+// Every response ends with FrameMore (stream continues — issue another
+// FETCH) or FrameDone (exhausted), so the exchange is deterministic.
+func (s *Server) handleFetch(w *bufio.Writer, sess *session, n int) error {
+	const chunk = 1024
+	remaining := len(sess.pending) - sess.pos
+	want := n
+	if n < 0 || want > remaining {
+		want = remaining
+	}
+	for want > 0 {
+		batch := want
+		if batch > chunk {
+			batch = chunk
+		}
+		rows := sess.pending[sess.pos : sess.pos+batch]
+		if _, err := writeFrame(w, FrameRows, encodeRows(rows)); err != nil {
+			return err
+		}
+		sess.pos += batch
+		want -= batch
+	}
+	if sess.pos >= len(sess.pending) {
+		_, err := writeFrame(w, FrameDone, binary.AppendVarint(nil, int64(len(sess.pending))))
+		return err
+	}
+	_, err := writeFrame(w, FrameMore, nil)
+	return err
+}
+
+// handleSQL runs a plain SELECT and ships the rows (component 0).
+func (s *Server) handleSQL(w *bufio.Writer, sql string) error {
+	res, err := s.DB.Query(sql)
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	rows := make([]TaggedRow, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = TaggedRow{CompID: 0, Row: r}
+	}
+	if _, err := writeFrame(w, FrameRows, encodeRows(rows)); err != nil {
+		return err
+	}
+	_, err = writeFrame(w, FrameDone, binary.AppendVarint(nil, int64(len(rows))))
+	return err
+}
+
+// handleExec runs DML/DDL and returns the affected-row count.
+func (s *Server) handleExec(w *bufio.Writer, sql string) error {
+	n, err := s.DB.Exec(sql)
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	_, err = writeFrame(w, FrameDone, binary.AppendVarint(nil, n))
+	return err
+}

@@ -1,0 +1,368 @@
+// Package workload generates the synthetic databases used by the tests,
+// examples and benchmark harness: the paper's Fig. 1 organization schema
+// at configurable scale, a parts-explosion database for recursive COs, and
+// an OO1/Cattell-style part graph for the cache-traversal experiment
+// (Sect. 5.2). Generation is deterministic given the seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xnf/internal/engine"
+	"xnf/internal/types"
+)
+
+// OrgParams scales the organization database of Fig. 1.
+type OrgParams struct {
+	Depts         int
+	EmpsPerDept   int
+	ProjsPerDept  int
+	Skills        int
+	SkillsPerEmp  int
+	SkillsPerProj int
+	// ArcFraction is the fraction of departments located at 'ARC' (the
+	// root restriction of the deps_ARC view); the rest are spread over
+	// other locations.
+	ArcFraction float64
+	Seed        int64
+}
+
+// DefaultOrg returns a small default scale.
+func DefaultOrg() OrgParams {
+	return OrgParams{
+		Depts: 20, EmpsPerDept: 10, ProjsPerDept: 3,
+		Skills: 50, SkillsPerEmp: 3, SkillsPerProj: 2,
+		ArcFraction: 0.25, Seed: 1,
+	}
+}
+
+// OrgSchema is the DDL for the Fig. 1 schema.
+const OrgSchema = `
+CREATE TABLE DEPT (dno INT NOT NULL, dname VARCHAR, loc VARCHAR, PRIMARY KEY (dno));
+CREATE TABLE EMP (eno INT NOT NULL, ename VARCHAR, edno INT, sal FLOAT, PRIMARY KEY (eno),
+                  FOREIGN KEY (edno) REFERENCES DEPT (dno));
+CREATE TABLE PROJ (pno INT NOT NULL, pname VARCHAR, pdno INT, budget FLOAT, PRIMARY KEY (pno),
+                   FOREIGN KEY (pdno) REFERENCES DEPT (dno));
+CREATE TABLE SKILLS (sno INT NOT NULL, sname VARCHAR, PRIMARY KEY (sno));
+CREATE TABLE EMPSKILLS (eseno INT NOT NULL, essno INT NOT NULL,
+                        FOREIGN KEY (eseno) REFERENCES EMP (eno),
+                        FOREIGN KEY (essno) REFERENCES SKILLS (sno));
+CREATE TABLE PROJSKILLS (pspno INT NOT NULL, pssno INT NOT NULL,
+                         FOREIGN KEY (pspno) REFERENCES PROJ (pno),
+                         FOREIGN KEY (pssno) REFERENCES SKILLS (sno));
+`
+
+// DepsARC is the paper's Fig. 1 composite-object view, verbatim modulo
+// grammar details.
+const DepsARC = `CREATE VIEW deps_ARC AS
+OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+       xemp AS EMP,
+       xproj AS PROJ,
+       xskills AS SKILLS,
+       employment AS (RELATE xdept VIA EMPLOYS, xemp
+                      WHERE xdept.dno = xemp.edno),
+       ownership AS (RELATE xdept VIA HAS, xproj
+                     WHERE xdept.dno = xproj.pdno),
+       empproperty AS (RELATE xemp VIA POSSESSES, xskills
+                       USING EMPSKILLS es
+                       WHERE xemp.eno = es.eseno AND es.essno = xskills.sno),
+       projproperty AS (RELATE xproj VIA NEEDS, xskills
+                        USING PROJSKILLS ps
+                        WHERE xproj.pno = ps.pspno AND ps.pssno = xskills.sno)
+TAKE *`
+
+var locations = []string{"ARC", "HQ", "LAB", "EAST", "WEST"}
+
+// LoadOrg populates db with the organization schema and data and defines
+// the deps_ARC view. It returns the database for chaining.
+func LoadOrg(db *engine.Database, p OrgParams) error {
+	if err := db.ExecScript(OrgSchema); err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	ins := func(table string, rows []types.Row) error {
+		td, err := db.Store().Table(table)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			if _, err := td.Insert(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	arc := int(float64(p.Depts) * p.ArcFraction)
+	var depts []types.Row
+	for d := 1; d <= p.Depts; d++ {
+		loc := locations[1+r.Intn(len(locations)-1)]
+		if d <= arc {
+			loc = "ARC"
+		}
+		depts = append(depts, types.Row{
+			types.NewInt(int64(d)), types.NewString(fmt.Sprintf("dept%d", d)), types.NewString(loc),
+		})
+	}
+	if err := ins("DEPT", depts); err != nil {
+		return err
+	}
+	var emps, empskills []types.Row
+	eno := 0
+	for d := 1; d <= p.Depts; d++ {
+		for i := 0; i < p.EmpsPerDept; i++ {
+			eno++
+			emps = append(emps, types.Row{
+				types.NewInt(int64(eno)), types.NewString(fmt.Sprintf("emp%d", eno)),
+				types.NewInt(int64(d)), types.NewFloat(30000 + float64(r.Intn(70000))),
+			})
+			seen := make(map[int]bool)
+			for s := 0; s < p.SkillsPerEmp; s++ {
+				sk := 1 + r.Intn(p.Skills)
+				if seen[sk] {
+					continue
+				}
+				seen[sk] = true
+				empskills = append(empskills, types.Row{types.NewInt(int64(eno)), types.NewInt(int64(sk))})
+			}
+		}
+	}
+	if err := ins("EMP", emps); err != nil {
+		return err
+	}
+	if err := ins("EMPSKILLS", empskills); err != nil {
+		return err
+	}
+	var projs, projskills []types.Row
+	pno := 0
+	for d := 1; d <= p.Depts; d++ {
+		for i := 0; i < p.ProjsPerDept; i++ {
+			pno++
+			projs = append(projs, types.Row{
+				types.NewInt(int64(pno)), types.NewString(fmt.Sprintf("proj%d", pno)),
+				types.NewInt(int64(d)), types.NewFloat(1000 + float64(r.Intn(100000))),
+			})
+			seen := make(map[int]bool)
+			for s := 0; s < p.SkillsPerProj; s++ {
+				sk := 1 + r.Intn(p.Skills)
+				if seen[sk] {
+					continue
+				}
+				seen[sk] = true
+				projskills = append(projskills, types.Row{types.NewInt(int64(pno)), types.NewInt(int64(sk))})
+			}
+		}
+	}
+	if err := ins("PROJ", projs); err != nil {
+		return err
+	}
+	if err := ins("PROJSKILLS", projskills); err != nil {
+		return err
+	}
+	var skills []types.Row
+	for s := 1; s <= p.Skills; s++ {
+		skills = append(skills, types.Row{types.NewInt(int64(s)), types.NewString(fmt.Sprintf("skill%d", s))})
+	}
+	if err := ins("SKILLS", skills); err != nil {
+		return err
+	}
+	if _, err := db.Exec(DepsARC); err != nil {
+		return err
+	}
+	return db.Analyze()
+}
+
+// NewOrgDB creates a database loaded with the organization workload.
+func NewOrgDB(p OrgParams) (*engine.Database, error) {
+	db := engine.Open()
+	if err := LoadOrg(db, p); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// PartsParams scales the parts-explosion database (recursive CO).
+type PartsParams struct {
+	Parts int
+	// FanOut children per non-leaf part; the assembly graph is a forest of
+	// component DAGs rooted at part 1..Roots.
+	FanOut int
+	Roots  int
+	Seed   int64
+}
+
+// PartsSchema is the parts-explosion DDL.
+const PartsSchema = `
+CREATE TABLE PART (pno INT NOT NULL, pname VARCHAR, ptype VARCHAR, PRIMARY KEY (pno));
+CREATE TABLE ASSEMBLY (super INT NOT NULL, sub INT NOT NULL,
+                       FOREIGN KEY (super) REFERENCES PART (pno),
+                       FOREIGN KEY (sub) REFERENCES PART (pno));
+`
+
+// PartsExplosion is a recursive CO: the parts reachable from root
+// assemblies through the self-relationship CONTAINS.
+const PartsExplosion = `CREATE VIEW parts_explosion AS
+OUT OF xroot AS (SELECT * FROM PART WHERE ptype = 'root'),
+       xpart AS PART,
+       toplevel AS (RELATE xroot VIA TOP_CONTAINS, xpart
+                    USING ASSEMBLY a
+                    WHERE xroot.pno = a.super AND a.sub = xpart.pno),
+       contains AS (RELATE xpart VIA CONTAINS, xpart AS sub
+                    USING ASSEMBLY a
+                    WHERE xpart.pno = a.super AND a.sub = sub.pno)
+TAKE *`
+
+// LoadParts populates db with a parts database whose assembly edges form a
+// layered DAG: each part at depth d links to FanOut parts at depth d+1,
+// with some sharing (diamond shapes) to exercise object sharing.
+func LoadParts(db *engine.Database, p PartsParams) error {
+	if err := db.ExecScript(PartsSchema); err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	part, err := db.Store().Table("PART")
+	if err != nil {
+		return err
+	}
+	asm, err := db.Store().Table("ASSEMBLY")
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= p.Parts; i++ {
+		ptype := "comp"
+		if i <= p.Roots {
+			ptype = "root"
+		}
+		if _, err := part.Insert(types.Row{
+			types.NewInt(int64(i)), types.NewString(fmt.Sprintf("part%d", i)), types.NewString(ptype),
+		}); err != nil {
+			return err
+		}
+	}
+	// Layered edges: a part at index i links forward to parts in
+	// (i, i+window]; occasional long edges create shared sub-assemblies.
+	for i := 1; i <= p.Parts; i++ {
+		for f := 0; f < p.FanOut; f++ {
+			lo := i + 1
+			if lo > p.Parts {
+				break
+			}
+			window := 10 * p.FanOut
+			hi := i + window
+			if hi > p.Parts {
+				hi = p.Parts
+			}
+			sub := lo + r.Intn(hi-lo+1)
+			if _, err := asm.Insert(types.Row{types.NewInt(int64(i)), types.NewInt(int64(sub))}); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := db.Exec(PartsExplosion); err != nil {
+		return err
+	}
+	return db.Analyze()
+}
+
+// NewPartsDB creates a database loaded with the parts workload.
+func NewPartsDB(p PartsParams) (*engine.Database, error) {
+	db := engine.Open()
+	if err := LoadParts(db, p); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// OO1Params scales the Cattell OO1-style part graph of Sect. 5.2: N parts,
+// each connected to exactly Conns other parts, 90% of the connections
+// landing near the source part (locality, as in the original benchmark).
+type OO1Params struct {
+	Parts int
+	Conns int
+	Seed  int64
+}
+
+// DefaultOO1 matches the classic small OO1 database.
+func DefaultOO1() OO1Params { return OO1Params{Parts: 20000, Conns: 3, Seed: 7} }
+
+// OO1Schema is the OO1 part/connection DDL.
+const OO1Schema = `
+CREATE TABLE OPART (id INT NOT NULL, ptype VARCHAR, x INT, y INT, build INT, PRIMARY KEY (id));
+CREATE TABLE CONNECTION (frm INT NOT NULL, t INT NOT NULL, ctype VARCHAR, clen INT,
+                         FOREIGN KEY (frm) REFERENCES OPART (id),
+                         FOREIGN KEY (t) REFERENCES OPART (id));
+`
+
+// OO1View is the CO view shipping the whole part graph to the cache: all
+// parts with their connection relationship.
+const OO1View = `CREATE VIEW part_graph AS
+OUT OF xpart AS OPART,
+       connected AS (RELATE xpart VIA CONNECTS, xpart AS t
+                     USING CONNECTION c
+                     WHERE xpart.id = c.frm AND c.t = t.id)
+TAKE *`
+
+// LoadOO1 populates db with the OO1 part graph.
+func LoadOO1(db *engine.Database, p OO1Params) error {
+	if err := db.ExecScript(OO1Schema); err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	part, err := db.Store().Table("OPART")
+	if err != nil {
+		return err
+	}
+	conn, err := db.Store().Table("CONNECTION")
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= p.Parts; i++ {
+		if _, err := part.Insert(types.Row{
+			types.NewInt(int64(i)), types.NewString("part"),
+			types.NewInt(int64(r.Intn(100000))), types.NewInt(int64(r.Intn(100000))),
+			types.NewInt(int64(r.Intn(10))),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= p.Parts; i++ {
+		for cidx := 0; cidx < p.Conns; cidx++ {
+			// 90% locality within ±1% of the id space, as in OO1.
+			var to int
+			if r.Float64() < 0.9 {
+				span := p.Parts / 100
+				if span < 1 {
+					span = 1
+				}
+				to = i - span + r.Intn(2*span+1)
+			} else {
+				to = 1 + r.Intn(p.Parts)
+			}
+			if to < 1 {
+				to = 1
+			}
+			if to > p.Parts {
+				to = p.Parts
+			}
+			if _, err := conn.Insert(types.Row{
+				types.NewInt(int64(i)), types.NewInt(int64(to)),
+				types.NewString("link"), types.NewInt(int64(r.Intn(1000))),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := db.Exec(OO1View); err != nil {
+		return err
+	}
+	return db.Analyze()
+}
+
+// NewOO1DB creates a database loaded with the OO1 workload.
+func NewOO1DB(p OO1Params) (*engine.Database, error) {
+	db := engine.Open()
+	if err := LoadOO1(db, p); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

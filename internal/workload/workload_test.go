@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+
+	"xnf/internal/engine"
+)
+
+func TestLoadOrg(t *testing.T) {
+	db := engine.Open()
+	p := OrgParams{
+		Depts: 10, EmpsPerDept: 4, ProjsPerDept: 2,
+		Skills: 30, SkillsPerEmp: 2, SkillsPerProj: 1,
+		ArcFraction: 0.3, Seed: 1,
+	}
+	if err := LoadOrg(db, p); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{"DEPT": 10, "EMP": 40, "PROJ": 20, "SKILLS": 30}
+	for table, want := range counts {
+		res, err := db.Query("SELECT COUNT(*) FROM " + table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].I != want {
+			t.Errorf("%s count = %v, want %d", table, res.Rows[0][0], want)
+		}
+	}
+	res, _ := db.Query("SELECT COUNT(*) FROM DEPT WHERE loc = 'ARC'")
+	if res.Rows[0][0].I != 3 {
+		t.Errorf("ARC depts = %v", res.Rows[0][0])
+	}
+	// The deps_ARC view is defined.
+	if v, ok := db.Catalog().View("deps_ARC"); !ok || !v.IsXNF {
+		t.Error("deps_ARC view missing")
+	}
+	// FK integrity: every EMP references an existing DEPT.
+	res, _ = db.Query("SELECT COUNT(*) FROM EMP e WHERE NOT EXISTS (SELECT 1 FROM DEPT d WHERE d.dno = e.edno)")
+	if res.Rows[0][0].I != 0 {
+		t.Errorf("dangling employees = %v", res.Rows[0][0])
+	}
+}
+
+func TestLoadOrgDeterministic(t *testing.T) {
+	p := DefaultOrg()
+	db1 := engine.Open()
+	db2 := engine.Open()
+	if err := LoadOrg(db1, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadOrg(db2, p); err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT SUM(sal) FROM EMP"
+	r1, _ := db1.Query(q)
+	r2, _ := db2.Query(q)
+	if r1.Rows[0][0].F != r2.Rows[0][0].F {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestLoadParts(t *testing.T) {
+	db := engine.Open()
+	if err := LoadParts(db, PartsParams{Parts: 50, FanOut: 2, Roots: 2, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("SELECT COUNT(*) FROM PART WHERE ptype = 'root'")
+	if res.Rows[0][0].I != 2 {
+		t.Errorf("roots = %v", res.Rows[0][0])
+	}
+	res, _ = db.Query("SELECT COUNT(*) FROM ASSEMBLY WHERE sub <= super")
+	if res.Rows[0][0].I != 0 {
+		t.Errorf("non-forward edges = %v (layered DAG expected)", res.Rows[0][0])
+	}
+	if _, ok := db.Catalog().View("parts_explosion"); !ok {
+		t.Error("parts_explosion view missing")
+	}
+}
+
+func TestLoadOO1(t *testing.T) {
+	db := engine.Open()
+	if err := LoadOO1(db, OO1Params{Parts: 500, Conns: 3, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("SELECT COUNT(*) FROM OPART")
+	if res.Rows[0][0].I != 500 {
+		t.Errorf("parts = %v", res.Rows[0][0])
+	}
+	res, _ = db.Query("SELECT COUNT(*) FROM CONNECTION")
+	if res.Rows[0][0].I != 1500 {
+		t.Errorf("connections = %v", res.Rows[0][0])
+	}
+	// Locality: most connections stay close (±1% of 500 = ±5 → widened by
+	// clamping; just check a majority are within 5% of the source).
+	res, _ = db.Query("SELECT COUNT(*) FROM CONNECTION WHERE ABS(frm - t) <= 25")
+	if res.Rows[0][0].I < 1200 {
+		t.Errorf("local connections = %v, expected >= 80%%", res.Rows[0][0])
+	}
+}

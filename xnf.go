@@ -1,0 +1,225 @@
+// Package xnf is a Go reproduction of "Composite-Object Views in
+// Relational DBMS: An Implementation Perspective" (Pirahesh, Mitschang,
+// Südkamp, Lindsay — Information Systems 19(1), 1994): an in-memory
+// relational engine with the SQL/XNF composite-object extension.
+//
+// A composite object (CO) is defined as a view over relational data with
+// the OUT OF … TAKE constructor: component tables (ordinary derived
+// tables) plus relationships (RELATE parent VIA role, child [USING t]
+// WHERE pred). Querying a CO view extracts every component and connection
+// set-oriented in one multi-output query and builds a client-side cache in
+// which connections are Go pointers, navigated through cursors and path
+// expressions at main-memory speed.
+//
+// Quick start:
+//
+//	db := xnf.Open()
+//	db.MustExec(`CREATE TABLE DEPT (dno INT NOT NULL, loc VARCHAR, PRIMARY KEY (dno))`)
+//	db.MustExec(`CREATE TABLE EMP (eno INT NOT NULL, edno INT, PRIMARY KEY (eno))`)
+//	// … insert data …
+//	cache, err := db.QueryCO(`OUT OF d AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+//	                                 e AS EMP,
+//	                                 employs AS (RELATE d, e WHERE d.dno = e.edno)
+//	                          TAKE *`)
+//	deps, _ := cache.Component("d")
+//	for _, dept := range deps.Objects() {
+//	    for _, emp := range dept.Children("employs") { … }
+//	}
+package xnf
+
+import (
+	"fmt"
+
+	"xnf/internal/ast"
+	"xnf/internal/cocache"
+	"xnf/internal/core"
+	"xnf/internal/engine"
+	"xnf/internal/exec"
+	"xnf/internal/opt"
+	"xnf/internal/parser"
+	"xnf/internal/rewrite"
+	"xnf/internal/types"
+	"xnf/internal/wire"
+)
+
+// Re-exported building blocks. The concrete types live in internal
+// packages; these aliases are the public surface.
+type (
+	// Value is a SQL scalar value.
+	Value = types.Value
+	// Row is a tuple of values.
+	Row = types.Row
+	// Cache is a client-side composite-object workspace.
+	Cache = cocache.Cache
+	// Object is one component tuple in a Cache, navigable via pointers.
+	Object = cocache.Object
+	// Component is one component table of a cached CO.
+	Component = cocache.Component
+	// Cursor iterates objects (independent or dependent).
+	Cursor = cocache.Cursor
+	// Result is a materialized SQL query result.
+	Result = engine.Result
+	// COResult is a materialized composite object before caching.
+	COResult = core.COResult
+	// Table1 is the regenerated derivation-cost comparison of the paper.
+	Table1 = core.Table1
+	// Client is a remote connection to a Server.
+	Client = wire.Client
+	// Server serves the CO protocol over TCP.
+	Server = wire.Server
+	// ShipMode selects tuple/block/whole-CO shipping.
+	ShipMode = wire.ShipMode
+)
+
+// Value constructors, re-exported.
+var (
+	NewInt    = types.NewInt
+	NewFloat  = types.NewFloat
+	NewString = types.NewString
+	NewBool   = types.NewBool
+	Null      = types.Null
+)
+
+// Ship-mode constructors, re-exported.
+var (
+	ShipWhole       = wire.ShipWhole
+	ShipBlocks      = wire.ShipBlocks
+	ShipTupleAtTime = wire.ShipTupleAtATime
+)
+
+// DB is one in-memory XNF database.
+type DB struct {
+	eng *engine.Database
+}
+
+// Open creates an empty database.
+func Open() *DB { return &DB{eng: engine.Open()} }
+
+// Engine exposes the underlying engine for advanced use (optimizer
+// options, direct storage access).
+func (db *DB) Engine() *engine.Database { return db.eng }
+
+// Exec runs DDL or DML and returns the number of affected rows.
+func (db *DB) Exec(sql string) (int64, error) { return db.eng.Exec(sql) }
+
+// MustExec is Exec that panics on error (setup code, examples).
+func (db *DB) MustExec(sql string) int64 {
+	n, err := db.eng.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ExecScript runs a semicolon-separated statement list.
+func (db *DB) ExecScript(sql string) error { return db.eng.ExecScript(sql) }
+
+// Query runs a SELECT and returns the materialized result.
+func (db *DB) Query(sql string) (*Result, error) { return db.eng.Query(sql) }
+
+// Explain returns the physical plan of a SELECT.
+func (db *DB) Explain(sql string) (string, error) { return db.eng.Explain(sql) }
+
+// Analyze refreshes optimizer statistics.
+func (db *DB) Analyze() error { return db.eng.Analyze() }
+
+// CompileCO compiles an XNF query — either the name of a stored CO view or
+// inline `OUT OF … TAKE …` text — without executing it.
+func (db *DB) CompileCO(query string) (*core.Compiled, error) {
+	if v, ok := db.eng.Catalog().View(query); ok && v.IsXNF {
+		return core.CompileView(db.eng.Catalog(), query, db.eng.RewriteOptions)
+	}
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	xq, ok := stmt.(*ast.XNFQuery)
+	if !ok {
+		return nil, fmt.Errorf("xnf: CompileCO requires an XNF query or CO view name")
+	}
+	return core.Compile(db.eng.Catalog(), xq, db.eng.RewriteOptions)
+}
+
+// QueryCO extracts a composite object (by stored view name or inline
+// query) and builds the pointer-linked cache.
+func (db *DB) QueryCO(query string) (*Cache, error) {
+	res, err := db.ExtractCO(query)
+	if err != nil {
+		return nil, err
+	}
+	return cocache.Build(res)
+}
+
+// ExtractCO runs the set-oriented extraction without building the cache.
+func (db *DB) ExtractCO(query string) (*COResult, error) {
+	compiled, err := db.CompileCO(query)
+	if err != nil {
+		return nil, err
+	}
+	return compiled.Execute(db.eng.Store(), db.eng.OptOptions)
+}
+
+// ExtractCOParallel extracts with one goroutine per CO output (the
+// parallelism extension of the paper's Sect. 6 outlook); results are
+// identical to ExtractCO.
+func (db *DB) ExtractCOParallel(query string) (*COResult, error) {
+	compiled, err := db.CompileCO(query)
+	if err != nil {
+		return nil, err
+	}
+	return compiled.ExecuteParallel(db.eng.Store(), db.eng.OptOptions)
+}
+
+// SaveChanges applies a cache's pending write-back operations to this
+// database.
+func (db *DB) SaveChanges(c *Cache) error {
+	return c.SaveChanges(func(sql string) error {
+		_, err := db.eng.Exec(sql)
+		return err
+	})
+}
+
+// AnalyzeTable1 regenerates the paper's Table 1 derivation-cost comparison
+// for an XNF query or stored CO view.
+func (db *DB) AnalyzeTable1(query string) (*Table1, error) {
+	if v, ok := db.eng.Catalog().View(query); ok && v.IsXNF {
+		stmt, err := parser.Parse(v.Text)
+		if err != nil {
+			return nil, err
+		}
+		return core.AnalyzeTable1(db.eng.Catalog(), stmt.(*ast.CreateViewStmt).XNF, db.eng.RewriteOptions)
+	}
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	xq, ok := stmt.(*ast.XNFQuery)
+	if !ok {
+		return nil, fmt.Errorf("xnf: AnalyzeTable1 requires an XNF query or CO view name")
+	}
+	return core.AnalyzeTable1(db.eng.Catalog(), xq, db.eng.RewriteOptions)
+}
+
+// NewServer wraps the database in a CO protocol server; use Serve with a
+// net.Listener or the cmd/xnfserver binary.
+func (db *DB) NewServer() *Server { return wire.NewServer(db.eng) }
+
+// Dial connects to a remote XNF server.
+func Dial(addr string) (*Client, error) { return wire.Dial(addr) }
+
+// Counters re-exports the execution counters type.
+type Counters = exec.Counters
+
+// Optimizer mode helpers for experiments: Naive disables every
+// optimization (syntax-order nested-loop joins, re-executed subqueries, no
+// rewrite); Full restores the defaults.
+func (db *DB) Naive() {
+	db.eng.OptOptions = opt.NaiveOptions()
+	db.eng.RewriteOptions = rewrite.NoRewrite()
+}
+
+// Full enables the complete optimizer (default).
+func (db *DB) Full() {
+	db.eng.OptOptions = opt.DefaultOptions()
+	db.eng.RewriteOptions = rewrite.DefaultOptions()
+}
