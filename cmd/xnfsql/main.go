@@ -9,6 +9,9 @@
 //	\co VIEW         extract a CO view and summarize the cache
 //	\explain SELECT  show the physical plan
 //	\table1 VIEW     derivation-cost analysis (paper Table 1)
+//	\prepare N SQL   prepare a statement (use ? placeholders) under name N
+//	\run N ARG…      execute prepared statement N with bound arguments
+//	\cache           plan-cache and compile statistics
 //	\q               quit
 package main
 
@@ -17,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"xnf"
@@ -44,6 +48,8 @@ func main() {
 		os.Exit(1)
 	}
 
+	prepared := make(map[string]*xnf.Stmt)
+
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -52,7 +58,7 @@ func main() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !command(db, trimmed) {
+			if !command(db, prepared, trimmed) {
 				return
 			}
 			fmt.Print("xnf> ")
@@ -108,14 +114,45 @@ func run(db *xnf.DB, stmt string) {
 	}
 }
 
-func command(db *xnf.DB, cmd string) bool {
+func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case `\q`:
 		return false
+	case `\prepare`:
+		if len(fields) < 3 {
+			fmt.Println("usage: \\prepare NAME SQL…")
+			return true
+		}
+		name := fields[1]
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, `\prepare`))
+		sql := strings.TrimSpace(strings.TrimPrefix(rest, name))
+		stmt, err := db.Prepare(strings.TrimSuffix(sql, ";"))
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		prepared[name] = stmt
+		fmt.Printf("prepared %s (%d parameter(s))\n", name, stmt.NumParams())
+	case `\run`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\run NAME ARG…")
+			return true
+		}
+		stmt, ok := prepared[fields[1]]
+		if !ok {
+			fmt.Printf("no prepared statement %q (use \\prepare)\n", fields[1])
+			return true
+		}
+		runPrepared(stmt, parseArgs(fields[2:]))
+	case `\cache`:
+		m := &db.Engine().Metrics
+		fmt.Printf("plan cache: %d cached, %d hits, %d misses, %d compiles\n",
+			db.Engine().PlanCacheLen(), m.CacheHits.Load(), m.CacheMisses.Load(), m.Compiles.Load())
+		fmt.Printf("CO views:   %d compiles, %d hits\n", m.COCompiles.Load(), m.COCacheHits.Load())
 	case `\d`:
 		for _, t := range db.Engine().Catalog().Tables() {
-			fmt.Printf("table %-16s %d rows, %d columns\n", t.Name, t.Stats.RowCount, len(t.Columns))
+			fmt.Printf("table %-16s %d rows, %d columns\n", t.Name, t.RowCount(), len(t.Columns))
 		}
 		for _, v := range db.Engine().Catalog().Views() {
 			kind := "view"
@@ -150,9 +187,61 @@ func command(db *xnf.DB, cmd string) bool {
 		}
 		fmt.Print(t.Format())
 	default:
-		fmt.Println(`commands: \d  \co VIEW  \explain SELECT…  \table1 VIEW  \q`)
+		fmt.Println(`commands: \d  \co VIEW  \explain SELECT…  \table1 VIEW  \prepare NAME SQL…  \run NAME ARG…  \cache  \q`)
 	}
 	return true
+}
+
+// parseArgs converts shell words to SQL values: integers, floats, NULL,
+// TRUE/FALSE, 'quoted strings' (single words) and bare strings. Every word
+// maps to some value, so there is no error case.
+func parseArgs(words []string) []xnf.Value {
+	out := make([]xnf.Value, 0, len(words))
+	for _, w := range words {
+		switch {
+		case strings.EqualFold(w, "NULL"):
+			out = append(out, xnf.Null)
+		case strings.EqualFold(w, "TRUE"), strings.EqualFold(w, "FALSE"):
+			out = append(out, xnf.NewBool(strings.EqualFold(w, "TRUE")))
+		case strings.HasPrefix(w, "'") && strings.HasSuffix(w, "'") && len(w) >= 2:
+			out = append(out, xnf.NewString(strings.ReplaceAll(w[1:len(w)-1], "''", "'")))
+		default:
+			if n, err := strconv.ParseInt(w, 10, 64); err == nil {
+				out = append(out, xnf.NewInt(n))
+			} else if f, err := strconv.ParseFloat(w, 64); err == nil {
+				out = append(out, xnf.NewFloat(f))
+			} else {
+				out = append(out, xnf.NewString(w))
+			}
+		}
+	}
+	return out
+}
+
+func runPrepared(stmt *xnf.Stmt, args []xnf.Value) {
+	if stmt.IsQuery() {
+		res, err := stmt.Query(args...)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		names := make([]string, len(res.Cols))
+		for i, c := range res.Cols {
+			names[i] = c.Name
+		}
+		fmt.Println(strings.Join(names, " | "))
+		for _, r := range res.Rows {
+			fmt.Println(strings.ReplaceAll(r.String(), "|", " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	n, err := stmt.Exec(args...)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows affected)\n", n)
 }
 
 func summarizeCO(db *xnf.DB, query string) {

@@ -29,6 +29,7 @@ func TestRunStatements(t *testing.T) {
 
 func TestCommands(t *testing.T) {
 	db := replDB(t)
+	prepared := make(map[string]*xnf.Stmt)
 	cases := []string{
 		`\d`,
 		`\co deps_ARC`,
@@ -37,14 +38,25 @@ func TestCommands(t *testing.T) {
 		`\table1 deps_ARC`,
 		`\table1`,
 		`\co`,
+		`\cache`,
+		`\prepare emps SELECT ename FROM EMP WHERE edno = ?`,
+		`\run emps 1`,
+		`\run emps`,     // arg-count mismatch: error path, no panic
+		`\run nosuch 1`, // unknown name
+		`\prepare bad SELECT nocol FROM EMP`,
+		`\prepare`,
+		`\run`,
 		`\unknown`,
 	}
 	for _, c := range cases {
-		if !command(db, c) {
+		if !command(db, prepared, c) {
 			t.Errorf("command %q requested exit", c)
 		}
 	}
-	if command(db, `\q`) {
+	if prepared["emps"] == nil {
+		t.Error(`\prepare did not register the statement`)
+	}
+	if command(db, prepared, `\q`) {
 		t.Error(`\q must exit`)
 	}
 }

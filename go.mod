@@ -1,0 +1,3 @@
+module xnf
+
+go 1.24

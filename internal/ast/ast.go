@@ -274,6 +274,13 @@ type WhenClause struct {
 	Result Expr
 }
 
+// Placeholder is a `?` parameter marker. Idx is the 0-based occurrence
+// order assigned by the parser; at execution the value comes from slot Idx
+// of the statement's argument frame (prepared-statement binding).
+type Placeholder struct {
+	Idx int
+}
+
 // PathExpr is an XNF path expression over a CO view's schema graph, e.g.
 // deps_ARC.xdept.xemp — it denotes the xemp tuples reachable from xdept
 // roots (Sect. 2 of the paper). Only valid where the compiler can see the
@@ -293,6 +300,7 @@ func (*BetweenExpr) exprNode()  {}
 func (*IsNullExpr) exprNode()   {}
 func (*LikeExpr) exprNode()     {}
 func (*CaseExpr) exprNode()     {}
+func (*Placeholder) exprNode()  {}
 func (*PathExpr) exprNode()     {}
 
 // And conjoins two expressions, tolerating nils.
@@ -367,6 +375,111 @@ func Walk(e Expr, visit func(Expr)) {
 		}
 		Walk(n.Else, visit)
 	}
+}
+
+// NumPlaceholders returns the number of `?` parameter markers in the
+// statement (max index + 1 — the parser numbers them in occurrence order).
+// It descends into subqueries, derived tables and every clause of every
+// statement form, unlike Walk.
+func NumPlaceholders(stmt Statement) int {
+	n := 0
+	note := func(e Expr) {
+		WalkDeep(e, func(x Expr) {
+			if p, ok := x.(*Placeholder); ok && p.Idx+1 > n {
+				n = p.Idx + 1
+			}
+		})
+	}
+	// Select bodies reuse WalkDeep's clause traversal via a synthetic
+	// subquery node, so the two walkers cannot drift apart.
+	sel := func(s *SelectStmt) {
+		if s != nil {
+			note(&SubqueryExpr{Select: s})
+		}
+	}
+	switch st := stmt.(type) {
+	case *SelectStmt:
+		sel(st)
+	case *InsertStmt:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				note(e)
+			}
+		}
+		sel(st.Select)
+	case *UpdateStmt:
+		for _, sc := range st.Set {
+			note(sc.Value)
+		}
+		note(st.Where)
+	case *DeleteStmt:
+		note(st.Where)
+	case *CreateViewStmt:
+		sel(st.Select)
+		if st.XNF != nil {
+			for _, c := range st.XNF.Components {
+				sel(c.Select)
+				if c.Relate != nil {
+					note(c.Relate.Where)
+					for _, tr := range c.Relate.Using {
+						sel(tr.Subquery)
+					}
+				}
+			}
+		}
+	case *XNFQuery:
+		for _, c := range st.Components {
+			sel(c.Select)
+			if c.Relate != nil {
+				note(c.Relate.Where)
+				for _, tr := range c.Relate.Using {
+					sel(tr.Subquery)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// WalkDeep is Walk extended to descend into subquery select bodies (their
+// WHERE/HAVING/items/FROM chains), so placeholder discovery sees every
+// expression of the tree.
+func WalkDeep(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	var sel func(*SelectStmt)
+	sel = func(s *SelectStmt) {
+		if s == nil {
+			return
+		}
+		for _, it := range s.Items {
+			WalkDeep(it.Expr, visit)
+		}
+		for _, tr := range s.From {
+			sel(tr.Subquery)
+		}
+		WalkDeep(s.Where, visit)
+		for _, g := range s.GroupBy {
+			WalkDeep(g, visit)
+		}
+		WalkDeep(s.Having, visit)
+		for _, o := range s.OrderBy {
+			WalkDeep(o.Expr, visit)
+		}
+		if s.Union != nil {
+			sel(s.Union.Right)
+		}
+	}
+	Walk(e, func(x Expr) {
+		visit(x)
+		switch n := x.(type) {
+		case *SubqueryExpr:
+			sel(n.Select)
+		case *InExpr:
+			sel(n.Sub)
+		}
+	})
 }
 
 // quoteIdent renders an identifier; plain identifiers pass through.

@@ -395,3 +395,5 @@ func (e *CaseExpr) String() string {
 }
 
 func (e *PathExpr) String() string { return strings.Join(e.Steps, ".") }
+
+func (e *Placeholder) String() string { return "?" }

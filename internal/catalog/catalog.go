@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"xnf/internal/types"
 )
@@ -56,8 +57,26 @@ type Table struct {
 	ForeignKeys []ForeignKey
 	Indexes     []*Index
 
-	// Stats are maintained by the storage engine and read by the optimizer.
-	Stats Stats
+	// Stats are maintained by the storage engine and read by the
+	// optimizer; statsMu synchronizes them (DML and ANALYZE update
+	// statistics while concurrent compilations read them). Access goes
+	// through RowCount/SetRowCount/Cardinality/SetColCard.
+	statsMu sync.RWMutex
+	Stats   Stats
+}
+
+// RowCount returns the table's current row-count statistic.
+func (t *Table) RowCount() int64 {
+	t.statsMu.RLock()
+	defer t.statsMu.RUnlock()
+	return t.Stats.RowCount
+}
+
+// SetRowCount records the row-count statistic (storage engine only).
+func (t *Table) SetRowCount(n int64) {
+	t.statsMu.Lock()
+	t.Stats.RowCount = n
+	t.statsMu.Unlock()
 }
 
 // Stats carries the optimizer statistics for a table.
@@ -81,7 +100,20 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	views  map[string]*View
+
+	// version counts schema- and statistics-changing events (DDL, index
+	// creation, ANALYZE). Compiled plans are valid for exactly one version;
+	// the plan cache compares it to decide whether a cached plan is stale.
+	version atomic.Uint64
 }
+
+// Version returns the current schema/statistics version.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// BumpVersion invalidates every plan compiled against the current version.
+// DDL entry points call it internally; the storage engine calls it when
+// ANALYZE refreshes optimizer statistics.
+func (c *Catalog) BumpVersion() { c.version.Add(1) }
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -136,6 +168,7 @@ func (c *Catalog) CreateTable(t *Table) error {
 		t.Stats.ColCard = make(map[string]int64)
 	}
 	c.tables[k] = t
+	c.version.Add(1)
 	return nil
 }
 
@@ -148,6 +181,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: table %s does not exist", name)
 	}
 	delete(c.tables, k)
+	c.version.Add(1)
 	return nil
 }
 
@@ -183,6 +217,7 @@ func (c *Catalog) CreateView(v *View) error {
 		return fmt.Errorf("catalog: view %s already exists", v.Name)
 	}
 	c.views[k] = v
+	c.version.Add(1)
 	return nil
 }
 
@@ -195,6 +230,7 @@ func (c *Catalog) DropView(name string) error {
 		return fmt.Errorf("catalog: view %s does not exist", name)
 	}
 	delete(c.views, k)
+	c.version.Add(1)
 	return nil
 }
 
@@ -237,6 +273,7 @@ func (c *Catalog) AddIndex(idx *Index) error {
 		}
 	}
 	t.Indexes = append(t.Indexes, idx)
+	c.version.Add(1)
 	return nil
 }
 
@@ -298,6 +335,8 @@ func (t *Table) IndexOn(cols []string) *Index {
 // Cardinality returns the distinct-value estimate for a column, defaulting
 // to a tenth of the row count when no statistic is recorded.
 func (t *Table) Cardinality(col string) int64 {
+	t.statsMu.RLock()
+	defer t.statsMu.RUnlock()
 	if t.Stats.ColCard != nil {
 		if card, ok := t.Stats.ColCard[norm(col)]; ok && card > 0 {
 			return card
@@ -314,6 +353,8 @@ func (t *Table) Cardinality(col string) int64 {
 
 // SetColCard records a distinct-value statistic.
 func (t *Table) SetColCard(col string, card int64) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
 	if t.Stats.ColCard == nil {
 		t.Stats.ColCard = make(map[string]int64)
 	}

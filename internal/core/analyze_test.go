@@ -1,8 +1,10 @@
-package core
+package core_test
 
 import (
 	"strings"
 	"testing"
+
+	. "xnf/internal/core"
 
 	"xnf/internal/ast"
 	"xnf/internal/parser"

@@ -1,10 +1,12 @@
-package core
+package core_test
 
 import (
 	"fmt"
 	"sort"
 	"strings"
 	"testing"
+
+	. "xnf/internal/core"
 
 	"xnf/internal/ast"
 	"xnf/internal/engine"

@@ -11,7 +11,13 @@ import (
 	"xnf/internal/types"
 )
 
-func (db *Database) execInsert(s *ast.InsertStmt) (int64, error) {
+func (db *Database) execInsert(s *ast.InsertStmt, args types.Row) (int64, error) {
+	return db.execInsertWith(s, args, nil)
+}
+
+// execInsertWith runs an INSERT; plan, when non-nil, is the prepared
+// compiled template of s.Select and is cloned instead of recompiled.
+func (db *Database) execInsertWith(s *ast.InsertStmt, args types.Row, plan exec.Plan) (int64, error) {
 	t, ok := db.cat.Table(s.Table)
 	if !ok {
 		return 0, fmt.Errorf("engine: unknown table %s", s.Table)
@@ -34,14 +40,23 @@ func (db *Database) execInsert(s *ast.InsertStmt) (int64, error) {
 
 	var sourceRows []types.Row
 	if s.Select != nil {
-		res, err := db.QueryStmt(s.Select)
+		if plan == nil {
+			compiled, err := db.CompileSelect(s.Select)
+			if err != nil {
+				return 0, err
+			}
+			plan = compiled
+		} else {
+			plan = exec.ClonePlan(plan)
+		}
+		rows, err := exec.CollectWith(exec.NewCtx(db.store), plan, args)
 		if err != nil {
 			return 0, err
 		}
-		sourceRows = res.Rows
+		sourceRows = rows
 	} else {
 		ctx := exec.NewCtx(db.store)
-		env := exec.Env{Ctx: ctx}
+		env := exec.Env{Ctx: ctx, Params: args}
 		for _, exprRow := range s.Rows {
 			row := make(types.Row, len(exprRow))
 			for i, e := range exprRow {
@@ -102,7 +117,7 @@ func (db *Database) compileConstExpr(e ast.Expr) (exec.Expr, error) {
 
 // mutationTargets evaluates a WHERE predicate over a table and returns the
 // matching RIDs and row images.
-func (db *Database) mutationTargets(table, alias string, where ast.Expr) ([]storage.RID, []types.Row, *semantics.RowContext, *opt.Compiler, error) {
+func (db *Database) mutationTargets(table, alias string, where ast.Expr, args types.Row) ([]storage.RID, []types.Row, *semantics.RowContext, *opt.Compiler, error) {
 	rc, err := semantics.NewRowContext(db.cat, table, alias)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -124,7 +139,7 @@ func (db *Database) mutationTargets(table, alias string, where ast.Expr) ([]stor
 		return nil, nil, nil, nil, err
 	}
 	ctx := exec.NewCtx(db.store)
-	env := exec.Env{Ctx: ctx}
+	env := exec.Env{Ctx: ctx, Params: args}
 	var rids []storage.RID
 	var rows []types.Row
 	var scanErr error
@@ -147,12 +162,12 @@ func (db *Database) mutationTargets(table, alias string, where ast.Expr) ([]stor
 	return rids, rows, rc, comp, nil
 }
 
-func (db *Database) execUpdate(s *ast.UpdateStmt) (int64, error) {
+func (db *Database) execUpdate(s *ast.UpdateStmt, args types.Row) (int64, error) {
 	t, ok := db.cat.Table(s.Table)
 	if !ok {
 		return 0, fmt.Errorf("engine: unknown table %s", s.Table)
 	}
-	rids, rows, rc, comp, err := db.mutationTargets(s.Table, s.Alias, s.Where)
+	rids, rows, rc, comp, err := db.mutationTargets(s.Table, s.Alias, s.Where, args)
 	if err != nil {
 		return 0, err
 	}
@@ -178,7 +193,7 @@ func (db *Database) execUpdate(s *ast.UpdateStmt) (int64, error) {
 	}
 
 	ctx := exec.NewCtx(db.store)
-	env := exec.Env{Ctx: ctx}
+	env := exec.Env{Ctx: ctx, Params: args}
 	tx := db.store.Begin()
 	for i, rid := range rids {
 		old := rows[i]
@@ -203,8 +218,8 @@ func (db *Database) execUpdate(s *ast.UpdateStmt) (int64, error) {
 	return int64(len(rids)), nil
 }
 
-func (db *Database) execDelete(s *ast.DeleteStmt) (int64, error) {
-	rids, _, _, _, err := db.mutationTargets(s.Table, s.Alias, s.Where)
+func (db *Database) execDelete(s *ast.DeleteStmt, args types.Row) (int64, error) {
+	rids, _, _, _, err := db.mutationTargets(s.Table, s.Alias, s.Where, args)
 	if err != nil {
 		return 0, err
 	}

@@ -7,6 +7,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"xnf/internal/ast"
 	"xnf/internal/catalog"
@@ -25,9 +26,22 @@ type Database struct {
 	store *storage.Store
 
 	// OptOptions and RewriteOptions control the optimizer; the benchmark
-	// harness overrides them to produce the naive baselines.
+	// harness overrides them to produce the naive baselines. They are
+	// configuration, not runtime state: set them before serving traffic
+	// (or between single-threaded benchmark phases) — flipping them while
+	// other goroutines execute statements is not synchronized.
 	OptOptions     opt.Options
 	RewriteOptions rewrite.Options
+
+	// Metrics counts compiles and plan-cache traffic.
+	Metrics Metrics
+
+	// plans caches prepared statements keyed by normalized SQL; coViews
+	// caches compiled CO views by name. Both are validated against the
+	// catalog version (DDL and ANALYZE invalidate by bumping it).
+	plans   *planCache
+	coMu    sync.Mutex
+	coViews map[string]*coEntry
 }
 
 // Open creates an empty database.
@@ -38,6 +52,8 @@ func Open() *Database {
 		store:          storage.NewStore(cat),
 		OptOptions:     opt.DefaultOptions(),
 		RewriteOptions: rewrite.DefaultOptions(),
+		plans:          newPlanCache(defaultPlanCacheCap),
+		coViews:        make(map[string]*coEntry),
 	}
 }
 
@@ -56,13 +72,16 @@ type Result struct {
 }
 
 // Exec runs any statement; for queries it returns no rows (use Query).
-// The int result is the number of rows affected by DML.
-func (db *Database) Exec(sql string) (int64, error) {
-	stmt, err := parser.Parse(sql)
+// The int result is the number of rows affected by DML. Args bind `?`
+// placeholders; parameterized DML is parse-cached (and INSERT … SELECT
+// keeps its compiled source plan), so repeated Exec of the same text
+// skips that work. Literal one-shot DML is deliberately not cached.
+func (db *Database) Exec(sql string, args ...types.Value) (int64, error) {
+	stmt, err := db.Prepare(sql)
 	if err != nil {
 		return 0, err
 	}
-	return db.ExecStmt(stmt)
+	return stmt.Exec(args...)
 }
 
 // ExecStmt runs a parsed statement.
@@ -86,11 +105,11 @@ func (db *Database) ExecStmt(stmt ast.Statement) (int64, error) {
 		}
 		return 0, db.cat.DropView(s.Name)
 	case *ast.InsertStmt:
-		return db.execInsert(s)
+		return db.execInsert(s, nil)
 	case *ast.UpdateStmt:
-		return db.execUpdate(s)
+		return db.execUpdate(s, nil)
 	case *ast.DeleteStmt:
-		return db.execDelete(s)
+		return db.execDelete(s, nil)
 	case *ast.SelectStmt:
 		return 0, fmt.Errorf("engine: use Query for SELECT statements")
 	case *ast.XNFQuery:
@@ -129,16 +148,15 @@ func firstWords(s string, n int) string {
 }
 
 // Query compiles and runs a SELECT, returning the materialized result.
-func (db *Database) Query(sql string) (*Result, error) {
-	stmt, err := parser.Parse(sql)
+// Args bind `?` placeholders. Plans are served from the shared plan cache:
+// the first execution of a statement text compiles it, later executions
+// (from any goroutine) clone the cached plan and run immediately.
+func (db *Database) Query(sql string, args ...types.Value) (*Result, error) {
+	stmt, err := db.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := stmt.(*ast.SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("engine: Query requires a SELECT statement")
-	}
-	return db.QueryStmt(sel)
+	return stmt.Query(args...)
 }
 
 // QueryStmt compiles and runs a parsed SELECT.
@@ -158,6 +176,7 @@ func (db *Database) QueryStmt(sel *ast.SelectStmt) (*Result, error) {
 // CompileSelect runs the full compile pipeline for a SELECT and returns
 // the physical plan.
 func (db *Database) CompileSelect(sel *ast.SelectStmt) (exec.Plan, error) {
+	db.Metrics.Compiles.Add(1)
 	g, err := semantics.BuildSelect(db.cat, sel)
 	if err != nil {
 		return nil, err
@@ -201,6 +220,9 @@ func (db *Database) createTable(s *ast.CreateTableStmt) error {
 }
 
 func (db *Database) createView(s *ast.CreateViewStmt) error {
+	if ast.NumPlaceholders(s) > 0 {
+		return fmt.Errorf("engine: placeholders are not allowed in view definitions")
+	}
 	// Validate the view body compiles before storing its text.
 	if s.XNF != nil {
 		if _, err := semantics.BuildXNF(db.cat, s.XNF); err != nil {

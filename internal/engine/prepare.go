@@ -1,0 +1,366 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"xnf/internal/ast"
+	"xnf/internal/core"
+	"xnf/internal/exec"
+	"xnf/internal/lexer"
+	"xnf/internal/opt"
+	"xnf/internal/parser"
+	"xnf/internal/rewrite"
+	"xnf/internal/types"
+)
+
+// Metrics counts compilation and cache activity. The prepared-statement
+// tests and the bench harness read them to verify that repeated executions
+// of a cached statement skip the compile pipeline entirely.
+type Metrics struct {
+	// Compiles counts full SELECT compile-pipeline runs
+	// (parse → semantics → rewrite → opt).
+	Compiles atomic.Int64
+	// CacheHits / CacheMisses count plan-cache lookups.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// COCompiles / COCacheHits count CO view compilations and reuses.
+	COCompiles  atomic.Int64
+	COCacheHits atomic.Int64
+}
+
+// Stmt is a prepared statement: SQL text compiled once and executed many
+// times with `?` placeholder arguments — the compile-once/navigate-many
+// economics of the paper applied to the SQL request path. A Stmt is
+// immutable after Prepare and safe for concurrent use; every execution
+// runs a private clone of the compiled plan.
+type Stmt struct {
+	db        *Database
+	text      string // original SQL
+	norm      string // normalized cache key
+	nparams   int
+	version   uint64
+	optOpts   opt.Options
+	rwOpts    rewrite.Options
+	sel       *ast.SelectStmt // non-nil for SELECT
+	plan      exec.Plan       // compiled template (SELECT only)
+	cols      []exec.Column
+	other     ast.Statement // non-nil for everything else
+	cacheable bool
+}
+
+// NumParams returns the number of `?` placeholders the statement binds.
+func (s *Stmt) NumParams() int { return s.nparams }
+
+// IsQuery reports whether the statement is a SELECT (use Query) rather
+// than DML/DDL (use Exec).
+func (s *Stmt) IsQuery() bool { return s.sel != nil }
+
+// SQL returns the original statement text.
+func (s *Stmt) SQL() string { return s.text }
+
+// Columns describes the output of a prepared SELECT (nil otherwise).
+func (s *Stmt) Columns() []exec.Column { return s.cols }
+
+// Query executes a prepared SELECT with the given placeholder arguments.
+// The statement revalidates itself against the catalog version first (a
+// few atomic loads while nothing changed), so a handle retained across
+// DDL/ANALYZE re-prepares instead of silently running a stale plan.
+func (s *Stmt) Query(args ...types.Value) (*Result, error) {
+	s, err := s.Revalidate()
+	if err != nil {
+		return nil, err
+	}
+	if s.sel == nil {
+		return nil, fmt.Errorf("engine: Query requires a SELECT statement")
+	}
+	if len(args) != s.nparams {
+		return nil, fmt.Errorf("engine: statement wants %d arguments, got %d", s.nparams, len(args))
+	}
+	plan := exec.ClonePlan(s.plan)
+	ctx := exec.NewCtx(s.db.store)
+	rows, err := exec.CollectWith(ctx, plan, types.Row(args))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: s.cols, Rows: rows, Counters: ctx.Counters}, nil
+}
+
+// Exec executes a prepared DML or DDL statement with the given placeholder
+// arguments, returning the number of affected rows. Like Query, it
+// revalidates the statement against the catalog version first.
+func (s *Stmt) Exec(args ...types.Value) (int64, error) {
+	s, err := s.Revalidate()
+	if err != nil {
+		return 0, err
+	}
+	if s.sel != nil {
+		return 0, fmt.Errorf("engine: use Query for SELECT statements")
+	}
+	if len(args) != s.nparams {
+		return 0, fmt.Errorf("engine: statement wants %d arguments, got %d", s.nparams, len(args))
+	}
+	switch st := s.other.(type) {
+	case *ast.InsertStmt:
+		return s.db.execInsertWith(st, types.Row(args), s.plan)
+	case *ast.UpdateStmt:
+		return s.db.execUpdate(st, types.Row(args))
+	case *ast.DeleteStmt:
+		return s.db.execDelete(st, types.Row(args))
+	default:
+		// DDL never carries placeholders (Prepare rejects it); run as-is.
+		return s.db.ExecStmt(s.other)
+	}
+}
+
+// Revalidate returns a statement that is fresh against the current catalog
+// version and optimizer options: the receiver itself while still valid
+// (a few atomic loads — the hot path), or a re-Prepare of its text after
+// DDL/ANALYZE/option changes. Query and Exec call it automatically; the
+// wire server also calls it to refresh its session statement tables.
+func (s *Stmt) Revalidate() (*Stmt, error) {
+	if s.version == s.db.cat.Version() && s.optOpts == s.db.OptOptions && s.rwOpts == s.db.RewriteOptions {
+		return s, nil
+	}
+	return s.db.Prepare(s.text)
+}
+
+// Prepare compiles a statement against the current catalog, consulting and
+// populating the database's plan cache. Two textually different but
+// token-equivalent SQL strings (whitespace, keyword/identifier case) share
+// one cache entry. The returned Stmt stays valid across DDL: every
+// Query/Exec revalidates it against the catalog version and transparently
+// re-prepares when stale.
+func (db *Database) Prepare(sql string) (*Stmt, error) {
+	norm, err := normalizeSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	if st := db.plans.get(norm, db.cat.Version(), db.OptOptions, db.RewriteOptions); st != nil {
+		db.Metrics.CacheHits.Add(1)
+		return st, nil
+	}
+	db.Metrics.CacheMisses.Add(1)
+	return db.prepareMiss(sql, norm)
+}
+
+func (db *Database) prepareMiss(sql, norm string) (*Stmt, error) {
+	parsed, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{
+		db:      db,
+		text:    sql,
+		norm:    norm,
+		nparams: ast.NumPlaceholders(parsed),
+		version: db.cat.Version(),
+		optOpts: db.OptOptions,
+		rwOpts:  db.RewriteOptions,
+	}
+	switch s := parsed.(type) {
+	case *ast.SelectStmt:
+		plan, err := db.CompileSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		st.sel = s
+		st.plan = plan
+		st.cols = plan.Columns()
+		st.cacheable = true
+	case *ast.InsertStmt:
+		// INSERT … SELECT precompiles the source query (the expensive
+		// pipeline); plain VALUES binding happens per execution. Like
+		// UPDATE/DELETE, unparameterized VALUES inserts are not admitted
+		// to the cache (see below).
+		if s.Select != nil {
+			plan, err := db.CompileSelect(s.Select)
+			if err != nil {
+				return nil, err
+			}
+			st.plan = plan
+		}
+		st.other = parsed
+		st.cacheable = st.nparams > 0 || s.Select != nil
+	case *ast.UpdateStmt, *ast.DeleteStmt:
+		// UPDATE/DELETE cache the parse; predicate/assignment binding
+		// re-resolves against the live schema per execution, which is
+		// cheap next to the SELECT pipeline. Unparameterized DML is not
+		// admitted at all: caching only a parse is near-worthless, and a
+		// bulk load of distinct literal statements would flush every hot
+		// compiled SELECT out of the LRU.
+		st.other = parsed
+		st.cacheable = st.nparams > 0
+	default:
+		if st.nparams > 0 {
+			return nil, fmt.Errorf("engine: placeholders are only allowed in SELECT, INSERT, UPDATE and DELETE statements")
+		}
+		// DDL is never cached: it self-invalidates by bumping the catalog
+		// version, so caching it would only churn the LRU.
+		st.other = parsed
+	}
+	if st.cacheable {
+		db.plans.put(st)
+	}
+	return st, nil
+}
+
+// normalizeSQL renders the token stream back to a canonical string: one
+// space between tokens, keywords and identifiers upper-cased (the engine
+// resolves identifiers case-insensitively), string literals re-quoted.
+// Used only as the plan-cache key; the original text is what gets parsed.
+func normalizeSQL(sql string) (string, error) {
+	toks, err := lexer.Lex(sql)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.Grow(len(sql))
+	for _, t := range toks {
+		if t.Kind == lexer.EOF {
+			break
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.Kind {
+		case lexer.Ident:
+			b.WriteString(strings.ToUpper(t.Text))
+		case lexer.String:
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.Text, "'", "''"))
+			b.WriteByte('\'')
+		default:
+			b.WriteString(t.Text)
+		}
+	}
+	return b.String(), nil
+}
+
+// --- plan cache ---
+
+// defaultPlanCacheCap bounds the number of cached statements per database.
+const defaultPlanCacheCap = 256
+
+// planCache is a concurrent LRU of prepared statements keyed by normalized
+// SQL. Entries are validated against the catalog version and the optimizer
+// options they were compiled under; a stale entry is evicted on lookup
+// (DDL and ANALYZE invalidate by bumping the version).
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // of *Stmt, front = most recently used
+	byKey map[string]*list.Element
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, lru: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (pc *planCache) get(key string, version uint64, optOpts opt.Options, rwOpts rewrite.Options) *Stmt {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.byKey[key]
+	if !ok {
+		return nil
+	}
+	st := el.Value.(*Stmt)
+	if st.version != version || st.optOpts != optOpts || st.rwOpts != rwOpts {
+		pc.lru.Remove(el)
+		delete(pc.byKey, key)
+		return nil
+	}
+	pc.lru.MoveToFront(el)
+	return st
+}
+
+func (pc *planCache) put(st *Stmt) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.cap <= 0 {
+		return
+	}
+	if el, ok := pc.byKey[st.norm]; ok {
+		el.Value = st
+		pc.lru.MoveToFront(el)
+		return
+	}
+	pc.byKey[st.norm] = pc.lru.PushFront(st)
+	for pc.lru.Len() > pc.cap {
+		oldest := pc.lru.Back()
+		pc.lru.Remove(oldest)
+		delete(pc.byKey, oldest.Value.(*Stmt).norm)
+	}
+}
+
+func (pc *planCache) reset(capacity int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.cap = capacity
+	pc.lru.Init()
+	pc.byKey = make(map[string]*list.Element)
+}
+
+func (pc *planCache) len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.lru.Len()
+}
+
+// SetPlanCacheCapacity resizes the plan cache, dropping every cached plan.
+// Capacity 0 disables caching (every Query/Exec/Prepare recompiles) — the
+// bench harness uses that as the per-call baseline.
+func (db *Database) SetPlanCacheCapacity(n int) { db.plans.reset(n) }
+
+// PlanCacheLen reports the number of cached statements.
+func (db *Database) PlanCacheLen() int { return db.plans.len() }
+
+// --- compiled CO view cache ---
+
+// coEntry is one cached CO view compilation.
+type coEntry struct {
+	compiled *core.Compiled
+	version  uint64
+	rwOpts   rewrite.Options
+}
+
+// CompileCOView returns the compiled form of a stored CO view, reusing the
+// cached compilation while the catalog version is unchanged. core.Compiled
+// is read-only after compilation (Execute builds fresh plans per run), so
+// one compilation serves concurrent QueryCO/ExtractCOParallel callers.
+func (db *Database) CompileCOView(name string) (*core.Compiled, error) {
+	key := strings.ToUpper(name)
+	ver := db.cat.Version()
+	db.coMu.Lock()
+	if e, ok := db.coViews[key]; ok && e.version == ver && e.rwOpts == db.RewriteOptions {
+		db.coMu.Unlock()
+		db.Metrics.COCacheHits.Add(1)
+		return e.compiled, nil
+	}
+	db.coMu.Unlock()
+	db.Metrics.COCompiles.Add(1)
+	compiled, err := core.CompileView(db.cat, name, db.RewriteOptions)
+	if err != nil {
+		return nil, err
+	}
+	db.coMu.Lock()
+	// Dropped or superseded views leave stale entries behind; sweep them
+	// on insert so create/query/drop churn cannot grow the map unboundedly.
+	// Both the sweep and the admission use the version re-read under the
+	// lock: entries fresher than this compilation must survive, and a
+	// compilation overtaken by DDL mid-flight is not admitted at all.
+	cur := db.cat.Version()
+	for k, e := range db.coViews {
+		if e.version != cur {
+			delete(db.coViews, k)
+		}
+	}
+	if ver == cur {
+		db.coViews[key] = &coEntry{compiled: compiled, version: ver, rwOpts: db.RewriteOptions}
+	}
+	db.coMu.Unlock()
+	return compiled, nil
+}

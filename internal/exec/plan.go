@@ -98,7 +98,13 @@ func colNames(cols []Column) string {
 
 // Collect drains a plan into a slice (convenience for callers and tests).
 func Collect(ctx *Ctx, p Plan) ([]types.Row, error) {
-	if err := p.Open(ctx, nil); err != nil {
+	return CollectWith(ctx, p, nil)
+}
+
+// CollectWith drains a plan opened with an explicit top-level parameter
+// frame — the statement arguments of a prepared-statement execution.
+func CollectWith(ctx *Ctx, p Plan, params types.Row) ([]types.Row, error) {
+	if err := p.Open(ctx, params); err != nil {
 		return nil, err
 	}
 	defer p.Close(ctx)

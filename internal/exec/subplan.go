@@ -225,7 +225,15 @@ func (s *Subplan) table(env *Env) (*subplanTable, error) {
 	env.Ctx.mu.Unlock()
 	entry.once.Do(func() {
 		tbl := &subplanTable{buckets: make(map[uint64][]types.Row), nkeys: len(s.Build)}
-		if err := s.Plan.Open(env.Ctx, nil); err != nil {
+		// Hashed subplans are uncorrelated per-row, but may carry statement
+		// placeholders: the frame is execution-constant, so evaluating it
+		// from the first caller is correct for every consumer of the entry.
+		frame, err := s.evalFrame(env)
+		if err != nil {
+			entry.err = err
+			return
+		}
+		if err := s.Plan.Open(env.Ctx, frame); err != nil {
 			entry.err = err
 			return
 		}
@@ -240,7 +248,7 @@ func (s *Subplan) table(env *Env) (*subplanTable, error) {
 				break
 			}
 			tbl.total++
-			key, keyNull, err := s.evalKeys(s.Build, &Env{Row: row, Ctx: env.Ctx})
+			key, keyNull, err := s.evalKeys(s.Build, &Env{Row: row, Params: frame, Ctx: env.Ctx})
 			if err != nil {
 				entry.err = err
 				return

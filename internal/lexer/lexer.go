@@ -148,7 +148,7 @@ func Lex(input string) ([]Token, error) {
 				continue
 			}
 			switch c {
-			case '(', ')', ',', '.', '*', '+', '-', '/', '%', '=', '<', '>', ';':
+			case '(', ')', ',', '.', '*', '+', '-', '/', '%', '=', '<', '>', ';', '?':
 				toks = append(toks, Token{Kind: Symbol, Text: string(c), Pos: i, Line: line})
 				i++
 			default:

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"fmt"
+	"strings"
 
 	"xnf/internal/exec"
 	"xnf/internal/qgm"
@@ -54,11 +55,38 @@ func (pc *paramCollector) paramFor(cr *qgm.ColRef) (exec.Expr, error) {
 	return &exec.Param{Idx: idx, Name: cr.String()}, nil
 }
 
+// placeholderFor routes a statement parameter through a subquery frame:
+// like an outer column it claims one slot of the subplan's parameter frame,
+// with the caller side re-compiled in the caller's environment (which
+// recurses outward until the statement frame is reached).
+func (pc *paramCollector) placeholderFor(ph *qgm.Placeholder) (exec.Expr, error) {
+	key := fmt.Sprintf("ph.%d", ph.Idx)
+	if idx, ok := pc.index[key]; ok {
+		return &exec.Param{Idx: idx, Name: ph.String()}, nil
+	}
+	callerSide, err := pc.compiler.compileExpr(ph, pc.callerEnv)
+	if err != nil {
+		return nil, err
+	}
+	idx := len(pc.params)
+	pc.params = append(pc.params, callerSide)
+	pc.keys = append(pc.keys, key)
+	pc.index[key] = idx
+	return &exec.Param{Idx: idx, Name: ph.String()}, nil
+}
+
 // compileExpr lowers a QGM expression to a runtime expression under env.
 func (c *Compiler) compileExpr(e qgm.Expr, env *colEnv) (exec.Expr, error) {
 	switch n := e.(type) {
 	case *qgm.Const:
 		return &exec.Const{V: n.V}, nil
+	case *qgm.Placeholder:
+		if env.outer == nil {
+			// Top-level compilation: the statement arguments are the plan's
+			// parameter frame (exec.CollectWith).
+			return &exec.Param{Idx: n.Idx, Name: n.String()}, nil
+		}
+		return env.outer.placeholderFor(n)
 	case *qgm.ColRef:
 		if base, ok := env.slots[n.Q]; ok {
 			name := ""
@@ -199,8 +227,12 @@ func (c *Compiler) compileSubquery(sr *qgm.SubqueryRef, env *colEnv) (exec.Expr,
 		if err != nil {
 			return nil, err
 		}
-		if len(pc.params) == 0 && len(residual) == 0 {
-			sp := &exec.Subplan{ID: c.newID(), Mode: mode, Plan: plan, InStyle: inStyle, Hashed: true}
+		if onlyPlaceholderParams(pc) && len(residual) == 0 {
+			// Statement placeholders are constant for the whole execution,
+			// so a subquery whose only "correlation" is placeholders still
+			// materializes+hashes once per context — a prepared query must
+			// not lose the hashed strategy its literal form would get.
+			sp := &exec.Subplan{ID: c.newID(), Mode: mode, Plan: plan, InStyle: inStyle, Hashed: true, Params: pc.params}
 			for _, l := range links {
 				probe, err := c.compileExpr(l.callerSide, env)
 				if err != nil {
@@ -326,6 +358,18 @@ func (c *Compiler) extractCorrelation(sub *qgm.Box, env *colEnv) ([]extracted, [
 		remainder = append(remainder, p)
 	}
 	return exts, remainder
+}
+
+// onlyPlaceholderParams reports whether every outer reference the subquery
+// compilation collected is a statement placeholder (key "ph.N") — i.e. the
+// subplan frame is execution-constant, never per-row.
+func onlyPlaceholderParams(pc *paramCollector) bool {
+	for _, k := range pc.keys {
+		if !strings.HasPrefix(k, "ph.") {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Compiler) newID() int {

@@ -13,10 +13,12 @@ import (
 	"xnf/internal/types"
 )
 
-// Parser holds the token stream position.
+// Parser holds the token stream position. nparams counts the `?`
+// placeholder markers seen so far; each occurrence is numbered in order.
 type Parser struct {
-	toks []lexer.Token
-	pos  int
+	toks    []lexer.Token
+	pos     int
+	nparams int
 }
 
 // New prepares a parser over the given text.
@@ -1061,6 +1063,11 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 	case p.atKeyword("FALSE"):
 		p.pos++
 		return &ast.Literal{Value: types.NewBool(false)}, nil
+	case t.Kind == lexer.Symbol && t.Text == "?":
+		p.pos++
+		ph := &ast.Placeholder{Idx: p.nparams}
+		p.nparams++
+		return ph, nil
 	case p.atKeyword("EXISTS"):
 		p.pos++
 		if _, err := p.expect(lexer.Symbol, "("); err != nil {

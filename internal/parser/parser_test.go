@@ -407,3 +407,27 @@ func TestDeparseParenthesization(t *testing.T) {
 		t.Errorf("right-assoc parens lost: %s", s2)
 	}
 }
+
+func TestPlaceholders(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM emp WHERE edno = ? AND sal > ?").(*ast.SelectStmt)
+	and := sel.Where.(*ast.BinaryExpr)
+	p0 := and.L.(*ast.BinaryExpr).R.(*ast.Placeholder)
+	p1 := and.R.(*ast.BinaryExpr).R.(*ast.Placeholder)
+	if p0.Idx != 0 || p1.Idx != 1 {
+		t.Errorf("placeholder indexes = %d, %d; want 0, 1", p0.Idx, p1.Idx)
+	}
+	if n := ast.NumPlaceholders(sel); n != 2 {
+		t.Errorf("NumPlaceholders = %d, want 2", n)
+	}
+	roundTrip(t, "SELECT * FROM emp WHERE edno = ? AND sal > ?")
+	roundTrip(t, "INSERT INTO skills VALUES (?, ?)")
+	roundTrip(t, "UPDATE emp SET sal = ? WHERE eno = ?")
+	roundTrip(t, "DELETE FROM emp WHERE eno = ?")
+
+	// Placeholders inside subqueries are numbered in occurrence order and
+	// found by the deep walker.
+	nested := mustParse(t, "SELECT * FROM emp WHERE sal > ? AND edno IN (SELECT dno FROM dept WHERE loc = ?)")
+	if n := ast.NumPlaceholders(nested); n != 2 {
+		t.Errorf("nested NumPlaceholders = %d, want 2", n)
+	}
+}

@@ -20,6 +20,15 @@ type Const struct {
 	V types.Value
 }
 
+// Placeholder is a statement parameter (`?` marker): slot Idx of the
+// argument frame the caller supplies at execution. It is a leaf like Const,
+// but its value is bound at Open time rather than compile time, which is
+// what lets one compiled plan serve every execution of a prepared
+// statement.
+type Placeholder struct {
+	Idx int
+}
+
 // ColRef reads column Ord of the row bound to quantifier Q.
 type ColRef struct {
 	Q   *Quantifier
@@ -70,6 +79,7 @@ type SubqueryRef struct {
 }
 
 func (*Const) exprNode()       {}
+func (*Placeholder) exprNode() {}
 func (*ColRef) exprNode()      {}
 func (*BinOp) exprNode()       {}
 func (*UnOp) exprNode()        {}
@@ -78,6 +88,8 @@ func (*Case) exprNode()        {}
 func (*SubqueryRef) exprNode() {}
 
 func (e *Const) String() string { return e.V.SQLLiteral() }
+
+func (e *Placeholder) String() string { return fmt.Sprintf("?%d", e.Idx+1) }
 
 func (e *ColRef) String() string {
 	if e.Q == nil {
@@ -359,6 +371,9 @@ func EqualExpr(a, b Expr) bool {
 	case *Const:
 		y, ok := b.(*Const)
 		return ok && types.Equal(x.V, y.V) && x.V.T == y.V.T
+	case *Placeholder:
+		y, ok := b.(*Placeholder)
+		return ok && x.Idx == y.Idx
 	case *ColRef:
 		y, ok := b.(*ColRef)
 		return ok && x.Q == y.Q && x.Ord == y.Ord

@@ -17,6 +17,11 @@ func (b *Builder) buildExpr(e ast.Expr, sc *scope) (qgm.Expr, error) {
 	case *ast.Literal:
 		return &qgm.Const{V: n.Value}, nil
 
+	case *ast.Placeholder:
+		// The placeholder's type is unknown until binding; it compares
+		// freely like a NULL literal (checkBinOpTypes).
+		return &qgm.Placeholder{Idx: n.Idx}, nil
+
 	case *ast.ColumnRef:
 		if n.Qualifier != "" {
 			q := sc.lookupQualifier(n.Qualifier)

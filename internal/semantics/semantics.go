@@ -584,7 +584,7 @@ func (b *Builder) baseTableBox(t *catalog.Table) *qgm.Box {
 	box := b.g.NewBox(qgm.BaseTable, t.Name)
 	box.Table = t.Name
 	box.PKOrds = t.PKOrdinals()
-	box.RowEst = t.Stats.RowCount
+	box.RowEst = t.RowCount()
 	for _, col := range t.Columns {
 		box.Head = append(box.Head, qgm.HeadColumn{Name: col.Name, Type: col.Type})
 		box.ColCard = append(box.ColCard, t.Cardinality(col.Name))

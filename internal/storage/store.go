@@ -108,13 +108,21 @@ func (s *Store) Analyze(name string) error {
 		}
 		td.def.SetColCard(col.Name, int64(len(seen)))
 	}
+	// Fresh statistics can change plan choices; stale compiled plans must
+	// not outlive them.
+	s.cat.BumpVersion()
 	return nil
 }
 
-// AnalyzeAll runs Analyze over every table.
+// AnalyzeAll runs Analyze over every table. A table dropped concurrently
+// between the catalog snapshot and the walk is skipped, not an error — a
+// whole-database ANALYZE racing DDL analyzes whatever still exists.
 func (s *Store) AnalyzeAll() error {
 	for _, t := range s.cat.Tables() {
 		if err := s.Analyze(t.Name); err != nil {
+			if _, stillThere := s.cat.Table(t.Name); !stillThere {
+				continue
+			}
 			return err
 		}
 	}

@@ -66,7 +66,7 @@ func (t *TableData) insertLocked(row types.Row) (RID, error) {
 	rid := RID(len(t.rows))
 	t.rows = append(t.rows, coerced)
 	t.live++
-	t.def.Stats.RowCount = t.live
+	t.def.SetRowCount(t.live)
 	for _, idx := range t.indexes {
 		idx.insert(coerced, rid)
 	}
@@ -158,7 +158,7 @@ func (t *TableData) Delete(rid RID) (types.Row, error) {
 	}
 	t.rows[rid] = nil
 	t.live--
-	t.def.Stats.RowCount = t.live
+	t.def.SetRowCount(t.live)
 	return old, nil
 }
 
@@ -172,7 +172,7 @@ func (t *TableData) insertAt(rid RID, row types.Row) {
 	}
 	t.rows[rid] = row
 	t.live++
-	t.def.Stats.RowCount = t.live
+	t.def.SetRowCount(t.live)
 	for _, idx := range t.indexes {
 		idx.insert(row, rid)
 	}

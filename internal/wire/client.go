@@ -214,6 +214,125 @@ func (c *Client) Query(sql string) ([]types.Row, error) {
 	}
 }
 
+// ClientStmt is a server-side prepared statement bound to one connection.
+// The server keeps the compiled plan in its shared plan cache; the client
+// only holds the session-scoped id, so Execute round trips carry the id
+// and the bound arguments instead of SQL text.
+type ClientStmt struct {
+	c *Client
+	// ID is the session-scoped statement id.
+	ID uint64
+	// NumParams is the number of `?` placeholders to bind.
+	NumParams int
+	// Cols are the output column names of a prepared SELECT (nil for DML).
+	Cols []string
+
+	closed bool
+}
+
+// Prepare compiles a statement on the server and returns a handle for
+// repeated execution over this connection.
+func (c *Client) Prepare(sql string) (*ClientStmt, error) {
+	if err := c.send(FramePrepare, []byte(sql)); err != nil {
+		return nil, err
+	}
+	t, payload, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	if t != FramePrepared {
+		return nil, fmt.Errorf("wire: expected prepared frame, got %d", t)
+	}
+	id, nparams, cols, err := decodePrepared(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientStmt{c: c, ID: id, NumParams: nparams, Cols: cols}, nil
+}
+
+// Query executes a prepared SELECT with the given arguments.
+func (st *ClientStmt) Query(args ...types.Value) ([]types.Row, error) {
+	if st.closed {
+		return nil, fmt.Errorf("wire: statement is closed")
+	}
+	c := st.c
+	if err := c.send(FrameExecute, encodeExecute(st.ID, args)); err != nil {
+		return nil, err
+	}
+	var out []types.Row
+	for {
+		t, payload, err := c.recv()
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case FrameRows:
+			rows, err := decodeRows(payload)
+			if err != nil {
+				return nil, err
+			}
+			for _, tr := range rows {
+				out = append(out, tr.Row)
+				c.Stats.TuplesRecv++
+			}
+		case FrameDone:
+			return out, nil
+		default:
+			return nil, fmt.Errorf("wire: unexpected frame %d", t)
+		}
+	}
+}
+
+// Exec executes prepared DML/DDL with the given arguments, returning the
+// number of affected rows.
+func (st *ClientStmt) Exec(args ...types.Value) (int64, error) {
+	if st.closed {
+		return 0, fmt.Errorf("wire: statement is closed")
+	}
+	c := st.c
+	if err := c.send(FrameExecute, encodeExecute(st.ID, args)); err != nil {
+		return 0, err
+	}
+	// Drain to FrameDone: executing a prepared SELECT through Exec ships
+	// row frames first, and leaving them unread would desynchronize every
+	// later exchange on the connection.
+	for {
+		t, payload, err := c.recv()
+		if err != nil {
+			return 0, err
+		}
+		switch t {
+		case FrameRows:
+			continue
+		case FrameDone:
+			n, _ := binary.Varint(payload)
+			return n, nil
+		default:
+			return 0, fmt.Errorf("wire: unexpected frame %d", t)
+		}
+	}
+}
+
+// Close releases the server-side statement entry.
+func (st *ClientStmt) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	c := st.c
+	if err := c.send(FrameCloseStmt, binary.AppendUvarint(nil, st.ID)); err != nil {
+		return err
+	}
+	t, _, err := c.recv()
+	if err != nil {
+		return err
+	}
+	if t != FrameDone {
+		return fmt.Errorf("wire: unexpected frame %d", t)
+	}
+	return nil
+}
+
 // Exec runs DML/DDL on the server (the cache's write-back path).
 func (c *Client) Exec(sql string) (int64, error) {
 	if err := c.send(FrameExec, []byte(sql)); err != nil {

@@ -22,20 +22,35 @@ type FrameType byte
 
 // The frame types.
 const (
-	FrameQueryCO FrameType = iota + 1 // client → server: CO view name
-	FrameSQL                          // client → server: SQL query text
-	FrameExec                         // client → server: SQL DML/DDL
-	FrameFetch                        // client → server: demand n tuples (-1 = all)
-	FrameSchema                       // server → client: gob-encoded output metadata
-	FrameRows                         // server → client: batch of tagged rows
-	FrameDone                         // server → client: end of stream (+ rowcount for exec)
-	FrameMore                         // server → client: batch complete, stream continues
-	FrameError                        // server → client: error text
-	FrameClose                        // client → server: goodbye
+	FrameQueryCO   FrameType = iota + 1 // client → server: CO view name
+	FrameSQL                            // client → server: SQL query text
+	FrameExec                           // client → server: SQL DML/DDL
+	FrameFetch                          // client → server: demand n tuples (-1 = all)
+	FrameSchema                         // server → client: gob-encoded output metadata
+	FrameRows                           // server → client: batch of tagged rows
+	FrameDone                           // server → client: end of stream (+ rowcount for exec)
+	FrameMore                           // server → client: batch complete, stream continues
+	FrameError                          // server → client: error text
+	FrameClose                          // client → server: goodbye
+	FramePrepare                        // client → server: SQL text to prepare
+	FramePrepared                       // server → client: statement id + metadata
+	FrameExecute                        // client → server: statement id + bound args
+	FrameCloseStmt                      // client → server: forget a prepared statement
 )
 
-// maxFrame bounds a frame payload (defense against corrupt streams).
+// maxFrame bounds a frame payload (defense against corrupt or hostile
+// streams: the length prefix is attacker-controlled, so it is validated
+// before any allocation and the payload buffer grows only as bytes
+// actually arrive).
 const maxFrame = 64 << 20
+
+// frameAllocChunk caps how much payload buffer is allocated ahead of the
+// bytes actually read, so a peer claiming a huge (but legal) frame length
+// cannot make the server commit the whole allocation up front.
+const frameAllocChunk = 1 << 20
+
+// maxStmtArgs bounds the bound-argument count of one FrameExecute.
+const maxStmtArgs = 1 << 16
 
 // writeFrame emits [len u32][type u8][payload].
 func writeFrame(w io.Writer, t FrameType, payload []byte) (int, error) {
@@ -59,11 +74,18 @@ func readFrame(r io.Reader) (FrameType, []byte, int, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxFrame {
-		return 0, nil, 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+		return 0, nil, 0, fmt.Errorf("wire: protocol error: frame of %d bytes exceeds %d-byte limit", n, maxFrame)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, 0, err
+	// Read in bounded chunks: allocation tracks delivery, so a peer that
+	// claims a large frame and hangs up costs one chunk, not the claim.
+	payload := make([]byte, 0, min(int(n), frameAllocChunk))
+	for len(payload) < int(n) {
+		chunk := min(int(n)-len(payload), frameAllocChunk)
+		start := len(payload)
+		payload = append(payload, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return 0, nil, 0, err
+		}
 	}
 	return FrameType(hdr[4]), payload, int(n) + 5, nil
 }
@@ -138,6 +160,93 @@ func decodeValue(buf []byte) (types.Value, []byte, error) {
 	default:
 		return types.Null, nil, fmt.Errorf("wire: unknown value tag %d", tag)
 	}
+}
+
+// --- prepared-statement codec ---
+
+// encodeExecute packs a FrameExecute payload: statement id + bound args.
+func encodeExecute(id uint64, args []types.Value) []byte {
+	buf := binary.AppendUvarint(nil, id)
+	buf = binary.AppendUvarint(buf, uint64(len(args)))
+	for _, v := range args {
+		buf = appendValue(buf, v)
+	}
+	return buf
+}
+
+// decodeExecute unpacks a FrameExecute payload.
+func decodeExecute(buf []byte) (uint64, []types.Value, error) {
+	id, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("wire: bad statement id")
+	}
+	buf = buf[k:]
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("wire: bad argument count")
+	}
+	buf = buf[k:]
+	// Bound before allocating: the count is peer-controlled, and each
+	// types.Value costs ~40 bytes — far more than the 1 payload byte a
+	// claimed arg needs — so a length-only check would still allow large
+	// allocation amplification.
+	if n > maxStmtArgs || n > uint64(len(buf)) {
+		return 0, nil, fmt.Errorf("wire: argument count %d exceeds limit", n)
+	}
+	args := make([]types.Value, n)
+	var err error
+	for i := range args {
+		args[i], buf, err = decodeValue(buf)
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	return id, args, nil
+}
+
+// encodePrepared packs a FramePrepared payload: id, parameter count and
+// the output columns of a prepared SELECT (empty for DML/DDL).
+func encodePrepared(id uint64, nparams int, cols []string) []byte {
+	buf := binary.AppendUvarint(nil, id)
+	buf = binary.AppendUvarint(buf, uint64(nparams))
+	buf = binary.AppendUvarint(buf, uint64(len(cols)))
+	for _, c := range cols {
+		buf = binary.AppendUvarint(buf, uint64(len(c)))
+		buf = append(buf, c...)
+	}
+	return buf
+}
+
+// decodePrepared unpacks a FramePrepared payload.
+func decodePrepared(buf []byte) (uint64, int, []string, error) {
+	id, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, 0, nil, fmt.Errorf("wire: bad statement id")
+	}
+	buf = buf[k:]
+	np, k := binary.Uvarint(buf)
+	if k <= 0 || np > maxStmtArgs {
+		return 0, 0, nil, fmt.Errorf("wire: bad parameter count")
+	}
+	buf = buf[k:]
+	// Like decodeExecute's arg cap: the count is peer-controlled and each
+	// string header costs far more than the 1 payload byte a claimed
+	// column needs, so bound it before allocating.
+	nc, k := binary.Uvarint(buf)
+	if k <= 0 || nc > maxStmtArgs || nc > uint64(len(buf)) {
+		return 0, 0, nil, fmt.Errorf("wire: bad column count")
+	}
+	buf = buf[k:]
+	cols := make([]string, nc)
+	for i := range cols {
+		n, k := binary.Uvarint(buf)
+		if k <= 0 || n > uint64(len(buf[k:])) {
+			return 0, 0, nil, fmt.Errorf("wire: bad column name length")
+		}
+		cols[i] = string(buf[k : k+int(n)])
+		buf = buf[k+int(n):]
+	}
+	return id, int(np), cols, nil
 }
 
 // TaggedRow is one tuple of the heterogeneous stream.

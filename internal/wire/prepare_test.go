@@ -1,0 +1,233 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"xnf/internal/types"
+)
+
+func TestPreparedStatementsOverWire(t *testing.T) {
+	_, addr := testServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	stmt, err := client.Prepare("SELECT dno, dname FROM DEPT WHERE loc = ? ORDER BY dno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams != 1 {
+		t.Fatalf("NumParams = %d, want 1", stmt.NumParams)
+	}
+	if len(stmt.Cols) != 2 || stmt.Cols[0] != "dno" {
+		t.Fatalf("Cols = %v", stmt.Cols)
+	}
+	rows, err := stmt.Query(types.NewString("ARC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("ARC depts = %d, want 4", len(rows))
+	}
+	// Rebind without re-preparing: non-ARC locations cover the rest.
+	rows, err = stmt.Query(types.NewString("ZRH"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc, err := stmt.Query(types.NewString("ARC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arc) != 4 || len(rows) >= len(arc)+4 {
+		t.Fatalf("rebinding broken: ARC=%d other=%d", len(arc), len(rows))
+	}
+
+	// Prepared DML with placeholders.
+	upd, err := client.Prepare("UPDATE EMP SET sal = sal + ? WHERE eno = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := upd.Exec(types.NewFloat(5), types.NewInt(1))
+	if err != nil || n != 1 {
+		t.Fatalf("prepared update: n=%d err=%v", n, err)
+	}
+
+	// Closing releases the server-side entry; the id stops resolving.
+	if err := stmt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stmt.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+	if _, err := (&ClientStmt{c: client, ID: stmt.ID, NumParams: 1}).Query(types.NewString("ARC")); err == nil {
+		t.Fatal("closed statement id still resolves")
+	}
+
+	// Errors surface per-execute and leave the connection usable.
+	bad, err := client.Prepare("SELECT * FROM DEPT WHERE dno = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Query(); err == nil {
+		t.Fatal("arg-count mismatch should fail")
+	}
+	if _, err := bad.Query(types.NewInt(1)); err != nil {
+		t.Fatalf("connection unusable after execute error: %v", err)
+	}
+	if _, err := client.Prepare("SELECT nocol FROM DEPT"); err == nil {
+		t.Fatal("bad SQL should fail to prepare")
+	}
+}
+
+// TestPreparedStatementsConcurrentSessions runs several connections in
+// parallel, each with its own session-scoped statements over the shared
+// server plan cache. Statement ids must not leak between sessions.
+func TestPreparedStatementsConcurrentSessions(t *testing.T) {
+	srv, addr := testServer(t)
+	const conns = 6
+	const iters = 40
+	var wg sync.WaitGroup
+	errc := make(chan error, conns)
+	for cI := 0; cI < conns; cI++ {
+		wg.Add(1)
+		go func(cI int) {
+			defer wg.Done()
+			client, err := Dial(addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer client.Close()
+			shared, err := client.Prepare("SELECT COUNT(*) FROM EMP WHERE edno = ?")
+			if err != nil {
+				errc <- err
+				return
+			}
+			own, err := client.Prepare(fmt.Sprintf("SELECT dno FROM DEPT WHERE dno > ? AND dno < %d", 100+cI))
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i := 0; i < iters; i++ {
+				rows, err := shared.Query(types.NewInt(int64(i%8 + 1)))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(rows) != 1 || len(rows[0]) != 1 {
+					errc <- fmt.Errorf("conn %d: COUNT shape %v", cI, rows)
+					return
+				}
+				if _, err := own.Query(types.NewInt(int64(i % 5))); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(cI)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	// The shared statement text was prepared on every connection but the
+	// engine should have compiled it once.
+	hits := srv.DB.Metrics.CacheHits.Load()
+	if hits < conns-1 {
+		t.Fatalf("expected cross-session plan-cache hits, got %d", hits)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	// A peer claiming an over-limit frame gets a protocol error instead of
+	// a 4-GiB allocation.
+	buf := make([]byte, 5)
+	buf[0], buf[1], buf[2], buf[3] = 0xff, 0xff, 0xff, 0xff
+	buf[4] = byte(FrameSQL)
+	_, _, _, err := readFrame(bytes.NewReader(buf))
+	if err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestSessionStatementsRevalidateAfterDDL(t *testing.T) {
+	_, addr := testServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.Exec("CREATE TABLE ztab (a INT NOT NULL, b VARCHAR, PRIMARY KEY (a))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Exec("INSERT INTO ztab VALUES (1, 'x')"); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := client.Prepare("SELECT * FROM ztab WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := stmt.Query(types.NewInt(1))
+	if err != nil || len(rows) != 1 || len(rows[0]) != 2 {
+		t.Fatalf("before DDL: %v, %v", rows, err)
+	}
+
+	// Concurrent DDL changes the table shape; the session statement must
+	// not run the stale plan against the new schema.
+	if _, err := client.Exec("DROP TABLE ztab"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Exec("CREATE TABLE ztab (a INT NOT NULL, b VARCHAR, c INT, PRIMARY KEY (a))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Exec("INSERT INTO ztab VALUES (1, 'x', 7)"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = stmt.Query(types.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0]) != 3 {
+		t.Fatalf("stale plan after DDL: rows=%v", rows)
+	}
+
+	// Dropping the table outright surfaces a clean per-execute error and
+	// keeps the connection usable.
+	if _, err := client.Exec("DROP TABLE ztab"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Query(types.NewInt(1)); err == nil {
+		t.Fatal("execute against dropped table should fail")
+	}
+	if _, err := client.Query("SELECT COUNT(*) FROM EMP"); err != nil {
+		t.Fatalf("connection desynchronized: %v", err)
+	}
+}
+
+func TestExecOnPreparedSelectKeepsConnectionInSync(t *testing.T) {
+	_, addr := testServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	stmt, err := client.Prepare("SELECT dno FROM DEPT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong method for the statement kind: the row frames must be drained
+	// so the next exchange still lines up.
+	if _, err := stmt.Exec(); err != nil {
+		t.Fatalf("Exec on prepared SELECT: %v", err)
+	}
+	rows, err := client.Query("SELECT COUNT(*) FROM DEPT")
+	if err != nil || len(rows) != 1 || rows[0][0].I != 8 {
+		t.Fatalf("connection out of sync after Exec-on-SELECT: %v, %v", rows, err)
+	}
+}

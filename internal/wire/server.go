@@ -114,11 +114,22 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// session is the per-connection state: a pending CO stream being fetched.
+// session is the per-connection state: a pending CO stream being fetched
+// and the connection's prepared statements. Statement ids are
+// session-scoped — two connections never see each other's ids — while the
+// compiled plans behind them live in the engine's shared plan cache, so
+// the same SQL prepared on many connections is compiled once.
 type session struct {
 	pending []TaggedRow
 	pos     int
+
+	stmts  map[uint64]*engine.Stmt
+	nextID uint64
 }
+
+// maxSessionStmts bounds the per-connection statement table (defense
+// against a client leaking statements).
+const maxSessionStmts = 1024
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
@@ -142,6 +153,12 @@ func (s *Server) handle(conn net.Conn) {
 		case FrameFetch:
 			n, _ := binary.Varint(payload)
 			err = s.handleFetch(w, sess, int(n))
+		case FramePrepare:
+			err = s.handlePrepare(w, sess, string(payload))
+		case FrameExecute:
+			err = s.handleExecute(w, sess, payload)
+		case FrameCloseStmt:
+			err = s.handleCloseStmt(w, sess, payload)
 		default:
 			err = s.sendError(w, fmt.Sprintf("unexpected frame %d", t))
 		}
@@ -160,9 +177,11 @@ func (s *Server) sendError(w *bufio.Writer, msg string) error {
 }
 
 // handleQueryCO compiles and extracts the CO set-oriented, sends the
-// schema frame and keeps the tuple stream for subsequent FETCHes.
+// schema frame and keeps the tuple stream for subsequent FETCHes. The
+// compilation comes from the engine's CO view cache, so only the first
+// request for a view (per catalog version) pays the XNF rewrite.
 func (s *Server) handleQueryCO(w *bufio.Writer, sess *session, view string) error {
-	compiled, err := core.CompileView(s.DB.Catalog(), view, s.DB.RewriteOptions)
+	compiled, err := s.DB.CompileCOView(view)
 	if err != nil {
 		return s.sendError(w, err.Error())
 	}
@@ -214,6 +233,83 @@ func (s *Server) handleFetch(w *bufio.Writer, sess *session, n int) error {
 		return err
 	}
 	_, err := writeFrame(w, FrameMore, nil)
+	return err
+}
+
+// handlePrepare compiles (or fetches from the shared plan cache) a
+// statement and registers it in the session's statement table.
+func (s *Server) handlePrepare(w *bufio.Writer, sess *session, sql string) error {
+	if sess.stmts == nil {
+		sess.stmts = make(map[uint64]*engine.Stmt)
+	}
+	if len(sess.stmts) >= maxSessionStmts {
+		return s.sendError(w, fmt.Sprintf("too many prepared statements (limit %d)", maxSessionStmts))
+	}
+	st, err := s.DB.Prepare(sql)
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	sess.nextID++
+	id := sess.nextID
+	sess.stmts[id] = st
+	var cols []string
+	for _, c := range st.Columns() {
+		cols = append(cols, c.Name)
+	}
+	_, err = writeFrame(w, FramePrepared, encodePrepared(id, st.NumParams(), cols))
+	return err
+}
+
+// handleExecute runs a session statement with bound arguments: SELECTs
+// ship rows + Done(count), DML ships Done(affected).
+func (s *Server) handleExecute(w *bufio.Writer, sess *session, payload []byte) error {
+	id, args, err := decodeExecute(payload)
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	st, ok := sess.stmts[id]
+	if !ok {
+		return s.sendError(w, fmt.Sprintf("unknown statement id %d", id))
+	}
+	// Revalidate against the live catalog: a no-op while nothing changed,
+	// a recompile (or a clean error) after concurrent DDL/ANALYZE — the
+	// session must never run a stale plan against a changed schema.
+	st, err = st.Revalidate()
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	sess.stmts[id] = st
+	if st.IsQuery() {
+		res, err := st.Query(args...)
+		if err != nil {
+			return s.sendError(w, err.Error())
+		}
+		rows := make([]TaggedRow, len(res.Rows))
+		for i, r := range res.Rows {
+			rows[i] = TaggedRow{CompID: 0, Row: r}
+		}
+		if _, err := writeFrame(w, FrameRows, encodeRows(rows)); err != nil {
+			return err
+		}
+		_, err = writeFrame(w, FrameDone, binary.AppendVarint(nil, int64(len(rows))))
+		return err
+	}
+	n, err := st.Exec(args...)
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	_, err = writeFrame(w, FrameDone, binary.AppendVarint(nil, n))
+	return err
+}
+
+// handleCloseStmt drops a statement from the session table.
+func (s *Server) handleCloseStmt(w *bufio.Writer, sess *session, payload []byte) error {
+	id, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return s.sendError(w, "bad statement id")
+	}
+	delete(sess.stmts, id)
+	_, err := writeFrame(w, FrameDone, binary.AppendVarint(nil, 0))
 	return err
 }
 

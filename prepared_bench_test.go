@@ -1,0 +1,114 @@
+package xnf
+
+import (
+	"testing"
+
+	"xnf/internal/bench"
+	"xnf/internal/core"
+	"xnf/internal/engine"
+	"xnf/internal/types"
+)
+
+// BenchmarkPreparedAmortization measures the compile-once/execute-many
+// economics of the prepared-statement path on the paper's Fig. 3 query:
+// per-call compilation (plan cache disabled) vs the cached-plan paths.
+// The ratio per-call/prepared is the per-request compile overhead the plan
+// cache removes.
+func BenchmarkPreparedAmortization(b *testing.B) {
+	mkdb := func(b *testing.B) *engine.Database {
+		db, err := bench.Fig3DB(40, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+
+	b.Run("fig3-per-call-uncached", func(b *testing.B) {
+		db := mkdb(b)
+		db.SetPlanCacheCapacity(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(bench.Fig3Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("fig3-query-cached", func(b *testing.B) {
+		db := mkdb(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(bench.Fig3Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("fig3-prepared", func(b *testing.B) {
+		db := mkdb(b)
+		stmt, err := db.Prepare("SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE d.loc = ? AND d.dno = e.edno)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		arc := types.NewString("ARC")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Query(arc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// A small point lookup is where compile overhead dominates hardest.
+	b.Run("point-per-call-uncached", func(b *testing.B) {
+		db := mkdb(b)
+		db.SetPlanCacheCapacity(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query("SELECT * FROM EMP WHERE eno = 17"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("point-prepared", func(b *testing.B) {
+		db := mkdb(b)
+		stmt, err := db.Prepare("SELECT * FROM EMP WHERE eno = ?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Query(types.NewInt(17)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCOViewAmortization compares per-call CO view compilation with
+// the engine's compiled-view cache on the paper's deps_ARC extraction.
+func BenchmarkCOViewAmortization(b *testing.B) {
+	db := exampleDB(b)
+	eng := db.Engine()
+
+	b.Run("compile-per-call", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compiled, err := core.CompileView(eng.Catalog(), "deps_ARC", eng.RewriteOptions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := compiled.Execute(eng.Store(), eng.OptOptions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.ExtractCO("deps_ARC"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -17,6 +17,23 @@
 //	db.MustExec(`CREATE TABLE DEPT (dno INT NOT NULL, loc VARCHAR, PRIMARY KEY (dno))`)
 //	db.MustExec(`CREATE TABLE EMP (eno INT NOT NULL, edno INT, PRIMARY KEY (eno))`)
 //	// … insert data …
+//
+// SQL statements take `?` placeholders, bound per execution. Prepare
+// compiles a statement once into the database's plan cache; executing the
+// prepared statement (or re-running the same SQL text through Query/Exec)
+// skips the parse → semantics → rewrite → optimize pipeline and goes
+// straight to plan execution:
+//
+//	stmt, _ := db.Prepare(`SELECT * FROM EMP WHERE edno = ?`)
+//	for _, dno := range deptNos {
+//	    res, _ := stmt.Query(xnf.NewInt(dno)) // bind-and-run, no recompile
+//	    // … use res.Rows …
+//	}
+//
+// Plans are invalidated automatically by DDL and ANALYZE (the catalog
+// version is part of cache validity). Compiled CO views are cached the
+// same way, so repeated QueryCO of a stored view skips the XNF rewrite:
+//
 //	cache, err := db.QueryCO(`OUT OF d AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
 //	                                 e AS EMP,
 //	                                 employs AS (RELATE d, e WHERE d.dno = e.edno)
@@ -59,6 +76,8 @@ type (
 	Cursor = cocache.Cursor
 	// Result is a materialized SQL query result.
 	Result = engine.Result
+	// Stmt is a prepared statement (compile once, execute many).
+	Stmt = engine.Stmt
 	// COResult is a materialized composite object before caching.
 	COResult = core.COResult
 	// Table1 is the regenerated derivation-cost comparison of the paper.
@@ -99,23 +118,30 @@ func Open() *DB { return &DB{eng: engine.Open()} }
 // options, direct storage access).
 func (db *DB) Engine() *engine.Database { return db.eng }
 
-// Exec runs DDL or DML and returns the number of affected rows.
-func (db *DB) Exec(sql string) (int64, error) { return db.eng.Exec(sql) }
+// Exec runs DDL or DML and returns the number of affected rows. Args bind
+// `?` placeholders.
+func (db *DB) Exec(sql string, args ...Value) (int64, error) { return db.eng.Exec(sql, args...) }
 
 // MustExec is Exec that panics on error (setup code, examples).
-func (db *DB) MustExec(sql string) int64 {
-	n, err := db.eng.Exec(sql)
+func (db *DB) MustExec(sql string, args ...Value) int64 {
+	n, err := db.eng.Exec(sql, args...)
 	if err != nil {
 		panic(err)
 	}
 	return n
 }
 
+// Prepare compiles a statement once for repeated execution. The compiled
+// plan also lands in the database's shared plan cache, so identical SQL
+// through Query/Exec reuses it too.
+func (db *DB) Prepare(sql string) (*Stmt, error) { return db.eng.Prepare(sql) }
+
 // ExecScript runs a semicolon-separated statement list.
 func (db *DB) ExecScript(sql string) error { return db.eng.ExecScript(sql) }
 
-// Query runs a SELECT and returns the materialized result.
-func (db *DB) Query(sql string) (*Result, error) { return db.eng.Query(sql) }
+// Query runs a SELECT and returns the materialized result. Args bind `?`
+// placeholders; plans come from the shared plan cache.
+func (db *DB) Query(sql string, args ...Value) (*Result, error) { return db.eng.Query(sql, args...) }
 
 // Explain returns the physical plan of a SELECT.
 func (db *DB) Explain(sql string) (string, error) { return db.eng.Explain(sql) }
@@ -127,7 +153,7 @@ func (db *DB) Analyze() error { return db.eng.Analyze() }
 // inline `OUT OF … TAKE …` text — without executing it.
 func (db *DB) CompileCO(query string) (*core.Compiled, error) {
 	if v, ok := db.eng.Catalog().View(query); ok && v.IsXNF {
-		return core.CompileView(db.eng.Catalog(), query, db.eng.RewriteOptions)
+		return db.eng.CompileCOView(query)
 	}
 	stmt, err := parser.Parse(query)
 	if err != nil {

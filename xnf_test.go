@@ -125,3 +125,52 @@ func TestNaiveVsFullAgree(t *testing.T) {
 		}
 	}
 }
+
+func TestPublicPreparedStatements(t *testing.T) {
+	db := exampleDB(t)
+	stmt, err := db.Prepare("SELECT ename FROM EMP WHERE edno = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dno := int64(1); dno <= 3; dno++ {
+		res, err := stmt.Query(NewInt(dno))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			t.Fatalf("dept %d: %d employees, want 5", dno, len(res.Rows))
+		}
+	}
+	// Exactly one compile for the statement, however many executions.
+	if c := db.Engine().Metrics.Compiles.Load(); c != 1 {
+		t.Errorf("compiles = %d, want 1", c)
+	}
+}
+
+func TestCOViewCompilationCached(t *testing.T) {
+	db := exampleDB(t)
+	for i := 0; i < 3; i++ {
+		if _, err := db.QueryCO("deps_ARC"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := &db.Engine().Metrics
+	if m.COCompiles.Load() != 1 || m.COCacheHits.Load() != 2 {
+		t.Errorf("CO compiles=%d hits=%d, want 1/2", m.COCompiles.Load(), m.COCacheHits.Load())
+	}
+	// DDL invalidates the compiled view.
+	db.MustExec("CREATE TABLE extra (a INT NOT NULL, PRIMARY KEY (a))")
+	if _, err := db.QueryCO("deps_ARC"); err != nil {
+		t.Fatal(err)
+	}
+	if m.COCompiles.Load() != 2 {
+		t.Errorf("CO view not recompiled after DDL: %d", m.COCompiles.Load())
+	}
+	// Parallel extraction shares the cached compilation.
+	if _, err := db.ExtractCOParallel("deps_ARC"); err != nil {
+		t.Fatal(err)
+	}
+	if m.COCompiles.Load() != 2 {
+		t.Errorf("parallel extraction recompiled: %d", m.COCompiles.Load())
+	}
+}
