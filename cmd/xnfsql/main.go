@@ -149,7 +149,19 @@ func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 		m := &db.Engine().Metrics
 		fmt.Printf("plan cache: %d cached, %d hits, %d misses, %d compiles\n",
 			db.Engine().PlanCacheLen(), m.CacheHits.Load(), m.CacheMisses.Load(), m.Compiles.Load())
-		fmt.Printf("CO views:   %d compiles, %d hits\n", m.COCompiles.Load(), m.COCacheHits.Load())
+		fmt.Printf("CO views:   %d compiles, %d hits; plans: %d compiles, %d hits\n",
+			m.COCompiles.Load(), m.COCacheHits.Load(), m.COPlanCompiles.Load(), m.COPlanCacheHits.Load())
+		for i, e := range db.Engine().CacheStats() {
+			if i >= 10 {
+				fmt.Println("  …")
+				break
+			}
+			sql := e.SQL
+			if len(sql) > 64 {
+				sql = sql[:61] + "..."
+			}
+			fmt.Printf("  %6d hit(s)  %s\n", e.Hits, sql)
+		}
 	case `\d`:
 		for _, t := range db.Engine().Catalog().Tables() {
 			fmt.Printf("table %-16s %d rows, %d columns\n", t.Name, t.RowCount(), len(t.Columns))

@@ -62,6 +62,13 @@ type DropStmt struct {
 	Name string
 }
 
+// AnalyzeStmt is ANALYZE [table]: refresh optimizer statistics for one
+// table, or for every table when Table is empty. Like DDL it bumps the
+// catalog version, invalidating cached plans compiled under stale stats.
+type AnalyzeStmt struct {
+	Table string
+}
+
 // InsertStmt is INSERT INTO … VALUES / SELECT.
 type InsertStmt struct {
 	Table   string
@@ -182,6 +189,7 @@ func (*CreateTableStmt) stmtNode() {}
 func (*CreateIndexStmt) stmtNode() {}
 func (*CreateViewStmt) stmtNode()  {}
 func (*DropStmt) stmtNode()        {}
+func (*AnalyzeStmt) stmtNode()     {}
 func (*InsertStmt) stmtNode()      {}
 func (*UpdateStmt) stmtNode()      {}
 func (*DeleteStmt) stmtNode()      {}

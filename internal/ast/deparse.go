@@ -56,6 +56,13 @@ func (s *DropStmt) String() string {
 	return fmt.Sprintf("DROP %s %s", s.Kind, quoteIdent(s.Name))
 }
 
+func (s *AnalyzeStmt) String() string {
+	if s.Table == "" {
+		return "ANALYZE"
+	}
+	return "ANALYZE " + quoteIdent(s.Table)
+}
+
 func (s *InsertStmt) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "INSERT INTO %s", quoteIdent(s.Table))

@@ -12,12 +12,32 @@ import (
 )
 
 func (db *Database) execInsert(s *ast.InsertStmt, args types.Row) (int64, error) {
-	return db.execInsertWith(s, args, nil)
+	return db.execInsertWith(s, args, nil, nil)
+}
+
+// compileInsertRows compiles the VALUES expressions of an INSERT once; the
+// prepared-statement path caches the result so repeated executions skip
+// per-row semantic analysis.
+func (db *Database) compileInsertRows(s *ast.InsertStmt) ([][]exec.Expr, error) {
+	rows := make([][]exec.Expr, len(s.Rows))
+	for ri, exprRow := range s.Rows {
+		row := make([]exec.Expr, len(exprRow))
+		for i, e := range exprRow {
+			ce, err := db.compileConstExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = ce
+		}
+		rows[ri] = row
+	}
+	return rows, nil
 }
 
 // execInsertWith runs an INSERT; plan, when non-nil, is the prepared
-// compiled template of s.Select and is cloned instead of recompiled.
-func (db *Database) execInsertWith(s *ast.InsertStmt, args types.Row, plan exec.Plan) (int64, error) {
+// compiled template of s.Select and is cloned instead of recompiled;
+// valueRows, when non-nil, are the precompiled VALUES expressions.
+func (db *Database) execInsertWith(s *ast.InsertStmt, args types.Row, plan exec.Plan, valueRows [][]exec.Expr) (int64, error) {
 	t, ok := db.cat.Table(s.Table)
 	if !ok {
 		return 0, fmt.Errorf("engine: unknown table %s", s.Table)
@@ -55,16 +75,19 @@ func (db *Database) execInsertWith(s *ast.InsertStmt, args types.Row, plan exec.
 		}
 		sourceRows = rows
 	} else {
+		if valueRows == nil {
+			compiled, err := db.compileInsertRows(s)
+			if err != nil {
+				return 0, err
+			}
+			valueRows = compiled
+		}
 		ctx := exec.NewCtx(db.store)
 		env := exec.Env{Ctx: ctx, Params: args}
-		for _, exprRow := range s.Rows {
+		for _, exprRow := range valueRows {
 			row := make(types.Row, len(exprRow))
-			for i, e := range exprRow {
-				ce, err := db.compileConstExpr(e)
-				if err != nil {
-					return 0, err
-				}
-				v, err := ce.Eval(&env)
+			for i, ce := range exprRow {
+				v, err := exec.CloneExpr(ce).Eval(&env)
 				if err != nil {
 					return 0, err
 				}
@@ -115,28 +138,73 @@ func (db *Database) compileConstExpr(e ast.Expr) (exec.Expr, error) {
 	return comp.CompileRowExpr(rc.Quant(), qe)
 }
 
-// mutationTargets evaluates a WHERE predicate over a table and returns the
-// matching RIDs and row images.
-func (db *Database) mutationTargets(table, alias string, where ast.Expr, args types.Row) ([]storage.RID, []types.Row, *semantics.RowContext, *opt.Compiler, error) {
+// compiledMutation is the compiled form of an UPDATE/DELETE: the WHERE
+// predicate and SET assignments bound against the schema once. Prepared
+// statements cache one per catalog version (Revalidate recompiles after
+// DDL/ANALYZE), so repeated executions skip semantic analysis entirely —
+// the mutation analog of the SELECT plan cache. The expressions are
+// immutable except for embedded subplans, which CloneExpr rebuilds per
+// execution.
+type compiledMutation struct {
+	pred exec.Expr // nil = every row qualifies
+	sets []compiledSet
+}
+
+// compiledSet is one compiled UPDATE assignment.
+type compiledSet struct {
+	ord  int
+	expr exec.Expr
+}
+
+// compileMutation binds the WHERE predicate and optional SET clauses of a
+// mutation against the target table's current schema.
+func (db *Database) compileMutation(table, alias string, where ast.Expr, set []ast.SetClause) (*compiledMutation, error) {
 	rc, err := semantics.NewRowContext(db.cat, table, alias)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, err
 	}
 	comp := opt.NewCompiler(db.store, rc.Graph(), db.OptOptions)
-	var pred exec.Expr
+	mut := &compiledMutation{}
 	if where != nil {
 		qe, err := rc.Build(where)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, err
 		}
-		pred, err = comp.CompileRowExpr(rc.Quant(), qe)
+		mut.pred, err = comp.CompileRowExpr(rc.Quant(), qe)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, err
 		}
 	}
+	if len(set) > 0 {
+		t, ok := db.cat.Table(table)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown table %s", table)
+		}
+		for _, sc := range set {
+			ord, ok := t.ColumnIndex(sc.Column)
+			if !ok {
+				return nil, fmt.Errorf("engine: table %s has no column %s", table, sc.Column)
+			}
+			qe, err := rc.Build(sc.Value)
+			if err != nil {
+				return nil, err
+			}
+			ce, err := comp.CompileRowExpr(rc.Quant(), qe)
+			if err != nil {
+				return nil, err
+			}
+			mut.sets = append(mut.sets, compiledSet{ord: ord, expr: ce})
+		}
+	}
+	return mut, nil
+}
+
+// mutationTargets evaluates a compiled predicate over a table and returns
+// the matching RIDs and row images.
+func (db *Database) mutationTargets(table string, pred exec.Expr, args types.Row) ([]storage.RID, []types.Row, error) {
 	td, err := db.store.Table(table)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
 	ctx := exec.NewCtx(db.store)
 	env := exec.Env{Ctx: ctx, Params: args}
@@ -157,41 +225,30 @@ func (db *Database) mutationTargets(table, alias string, where ast.Expr, args ty
 		return true
 	})
 	if scanErr != nil {
-		return nil, nil, nil, nil, scanErr
+		return nil, nil, scanErr
 	}
-	return rids, rows, rc, comp, nil
+	return rids, rows, nil
 }
 
 func (db *Database) execUpdate(s *ast.UpdateStmt, args types.Row) (int64, error) {
-	t, ok := db.cat.Table(s.Table)
-	if !ok {
-		return 0, fmt.Errorf("engine: unknown table %s", s.Table)
-	}
-	rids, rows, rc, comp, err := db.mutationTargets(s.Table, s.Alias, s.Where, args)
+	mut, err := db.compileMutation(s.Table, s.Alias, s.Where, s.Set)
 	if err != nil {
 		return 0, err
 	}
-	type setc struct {
-		ord  int
-		expr exec.Expr
-	}
-	sets := make([]setc, 0, len(s.Set))
-	for _, sc := range s.Set {
-		ord, ok := t.ColumnIndex(sc.Column)
-		if !ok {
-			return 0, fmt.Errorf("engine: table %s has no column %s", s.Table, sc.Column)
-		}
-		qe, err := rc.Build(sc.Value)
-		if err != nil {
-			return 0, err
-		}
-		ce, err := comp.CompileRowExpr(rc.Quant(), qe)
-		if err != nil {
-			return 0, err
-		}
-		sets = append(sets, setc{ord: ord, expr: ce})
-	}
+	return db.runUpdate(s, mut, args)
+}
 
+// runUpdate applies a compiled UPDATE. Predicate and assignments are
+// cloned per run so a cached mutation stays safe under concurrency.
+func (db *Database) runUpdate(s *ast.UpdateStmt, mut *compiledMutation, args types.Row) (int64, error) {
+	rids, rows, err := db.mutationTargets(s.Table, exec.CloneExpr(mut.pred), args)
+	if err != nil {
+		return 0, err
+	}
+	sets := make([]compiledSet, len(mut.sets))
+	for i, sc := range mut.sets {
+		sets[i] = compiledSet{ord: sc.ord, expr: exec.CloneExpr(sc.expr)}
+	}
 	ctx := exec.NewCtx(db.store)
 	env := exec.Env{Ctx: ctx, Params: args}
 	tx := db.store.Begin()
@@ -219,7 +276,16 @@ func (db *Database) execUpdate(s *ast.UpdateStmt, args types.Row) (int64, error)
 }
 
 func (db *Database) execDelete(s *ast.DeleteStmt, args types.Row) (int64, error) {
-	rids, _, _, _, err := db.mutationTargets(s.Table, s.Alias, s.Where, args)
+	mut, err := db.compileMutation(s.Table, s.Alias, s.Where, nil)
+	if err != nil {
+		return 0, err
+	}
+	return db.runDelete(s, mut, args)
+}
+
+// runDelete applies a compiled DELETE.
+func (db *Database) runDelete(s *ast.DeleteStmt, mut *compiledMutation, args types.Row) (int64, error) {
+	rids, _, err := db.mutationTargets(s.Table, exec.CloneExpr(mut.pred), args)
 	if err != nil {
 		return 0, err
 	}

@@ -104,6 +104,13 @@ func (db *Database) ExecStmt(stmt ast.Statement) (int64, error) {
 			return 0, db.store.DropTable(s.Name)
 		}
 		return 0, db.cat.DropView(s.Name)
+	case *ast.AnalyzeStmt:
+		// Statistics refresh bumps the catalog version inside the store,
+		// exactly like the Go API Database.Analyze.
+		if s.Table == "" {
+			return 0, db.store.AnalyzeAll()
+		}
+		return 0, db.store.Analyze(s.Table)
 	case *ast.InsertStmt:
 		return db.execInsert(s, nil)
 	case *ast.UpdateStmt:

@@ -30,6 +30,10 @@ type Metrics struct {
 	// COCompiles / COCacheHits count CO view compilations and reuses.
 	COCompiles  atomic.Int64
 	COCacheHits atomic.Int64
+	// COPlanCompiles / COPlanCacheHits count per-output physical plan
+	// template compilations for CO views and their reuses.
+	COPlanCompiles  atomic.Int64
+	COPlanCacheHits atomic.Int64
 }
 
 // Stmt is a prepared statement: SQL text compiled once and executed many
@@ -38,18 +42,23 @@ type Metrics struct {
 // immutable after Prepare and safe for concurrent use; every execution
 // runs a private clone of the compiled plan.
 type Stmt struct {
-	db        *Database
-	text      string // original SQL
-	norm      string // normalized cache key
-	nparams   int
-	version   uint64
-	optOpts   opt.Options
-	rwOpts    rewrite.Options
-	sel       *ast.SelectStmt // non-nil for SELECT
-	plan      exec.Plan       // compiled template (SELECT only)
-	cols      []exec.Column
-	other     ast.Statement // non-nil for everything else
-	cacheable bool
+	db         *Database
+	text       string // original SQL
+	norm       string // normalized cache key
+	nparams    int
+	version    uint64
+	optOpts    opt.Options
+	rwOpts     rewrite.Options
+	sel        *ast.SelectStmt // non-nil for SELECT
+	plan       exec.Plan       // compiled template (SELECT only)
+	cols       []exec.Column
+	other      ast.Statement     // non-nil for everything else
+	mut        *compiledMutation // compiled UPDATE/DELETE predicate+assignments
+	insertRows [][]exec.Expr     // compiled INSERT VALUES expressions
+	cacheable  bool
+
+	// hits counts cache servings of this entry (CacheStats observability).
+	hits atomic.Int64
 }
 
 // NumParams returns the number of `?` placeholders the statement binds.
@@ -105,11 +114,13 @@ func (s *Stmt) Exec(args ...types.Value) (int64, error) {
 	}
 	switch st := s.other.(type) {
 	case *ast.InsertStmt:
-		return s.db.execInsertWith(st, types.Row(args), s.plan)
+		return s.db.execInsertWith(st, types.Row(args), s.plan, s.insertRows)
 	case *ast.UpdateStmt:
-		return s.db.execUpdate(st, types.Row(args))
+		// The mutation was compiled at Prepare; Revalidate guarantees it
+		// matches the current catalog version.
+		return s.db.runUpdate(st, s.mut, types.Row(args))
 	case *ast.DeleteStmt:
-		return s.db.execDelete(st, types.Row(args))
+		return s.db.runDelete(st, s.mut, types.Row(args))
 	default:
 		// DDL never carries placeholders (Prepare rejects it); run as-is.
 		return s.db.ExecStmt(s.other)
@@ -173,25 +184,44 @@ func (db *Database) prepareMiss(sql, norm string) (*Stmt, error) {
 		st.cacheable = true
 	case *ast.InsertStmt:
 		// INSERT … SELECT precompiles the source query (the expensive
-		// pipeline); plain VALUES binding happens per execution. Like
-		// UPDATE/DELETE, unparameterized VALUES inserts are not admitted
-		// to the cache (see below).
+		// pipeline) and plain VALUES precompiles its expressions; only
+		// value evaluation and constraint checking remain per execution.
+		// Like UPDATE/DELETE, unparameterized VALUES inserts are not
+		// admitted to the cache (see below).
 		if s.Select != nil {
 			plan, err := db.CompileSelect(s.Select)
 			if err != nil {
 				return nil, err
 			}
 			st.plan = plan
+		} else {
+			rows, err := db.compileInsertRows(s)
+			if err != nil {
+				return nil, err
+			}
+			st.insertRows = rows
 		}
 		st.other = parsed
 		st.cacheable = st.nparams > 0 || s.Select != nil
-	case *ast.UpdateStmt, *ast.DeleteStmt:
-		// UPDATE/DELETE cache the parse; predicate/assignment binding
-		// re-resolves against the live schema per execution, which is
-		// cheap next to the SELECT pipeline. Unparameterized DML is not
-		// admitted at all: caching only a parse is near-worthless, and a
-		// bulk load of distinct literal statements would flush every hot
-		// compiled SELECT out of the LRU.
+	case *ast.UpdateStmt:
+		// UPDATE/DELETE compile the predicate and assignments once per
+		// catalog version — repeated executions skip semantic analysis
+		// entirely. Unparameterized DML is still not admitted to the
+		// cache: a bulk load of distinct literal statements would flush
+		// every hot compiled SELECT out of the LRU.
+		mut, err := db.compileMutation(s.Table, s.Alias, s.Where, s.Set)
+		if err != nil {
+			return nil, err
+		}
+		st.mut = mut
+		st.other = parsed
+		st.cacheable = st.nparams > 0
+	case *ast.DeleteStmt:
+		mut, err := db.compileMutation(s.Table, s.Alias, s.Where, nil)
+		if err != nil {
+			return nil, err
+		}
+		st.mut = mut
 		st.other = parsed
 		st.cacheable = st.nparams > 0
 	default:
@@ -274,7 +304,20 @@ func (pc *planCache) get(key string, version uint64, optOpts opt.Options, rwOpts
 		return nil
 	}
 	pc.lru.MoveToFront(el)
+	st.hits.Add(1)
 	return st
+}
+
+// stats snapshots the per-entry hit counters in MRU order.
+func (pc *planCache) stats() []CacheEntryStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	out := make([]CacheEntryStats, 0, pc.lru.Len())
+	for el := pc.lru.Front(); el != nil; el = el.Next() {
+		st := el.Value.(*Stmt)
+		out = append(out, CacheEntryStats{SQL: st.norm, Hits: st.hits.Load()})
+	}
+	return out
 }
 
 func (pc *planCache) put(st *Stmt) {
@@ -318,13 +361,32 @@ func (db *Database) SetPlanCacheCapacity(n int) { db.plans.reset(n) }
 // PlanCacheLen reports the number of cached statements.
 func (db *Database) PlanCacheLen() int { return db.plans.len() }
 
+// CacheEntryStats describes one cached plan for observability: the
+// normalized statement text and how many executions it has served. The
+// hit distribution is the input eviction tuning needs — a future weighted
+// policy (compile cost × recency) reads the same counters.
+type CacheEntryStats struct {
+	SQL  string
+	Hits int64
+}
+
+// CacheStats snapshots the plan cache's per-entry hit counters, most
+// recently used first. The xnfsql shell surfaces it through \cache.
+func (db *Database) CacheStats() []CacheEntryStats { return db.plans.stats() }
+
 // --- compiled CO view cache ---
 
-// coEntry is one cached CO view compilation.
+// coEntry is one cached CO view compilation, together with the lazily
+// compiled per-output physical plan templates (the CO analog of the SQL
+// plan cache: Execute used to re-run opt per call; now it clones the
+// cached templates via exec.ClonePlan).
 type coEntry struct {
 	compiled *core.Compiled
 	version  uint64
 	rwOpts   rewrite.Options
+
+	plans    []exec.Plan
+	planOpts opt.Options
 }
 
 // CompileCOView returns the compiled form of a stored CO view, reusing the
@@ -363,4 +425,55 @@ func (db *Database) CompileCOView(name string) (*core.Compiled, error) {
 	}
 	db.coMu.Unlock()
 	return compiled, nil
+}
+
+// ExtractCOView extracts a stored CO view through cached per-output plan
+// templates: the first extraction per catalog version (and optimizer
+// options) runs opt once per output, later ones clone the templates and go
+// straight to execution — completing the compile-once story for the CO
+// path (QueryCO, ExtractCOParallel and the wire server all route here).
+// Recursive COs run the fixpoint executor, which has no reusable plans.
+func (db *Database) ExtractCOView(name string, parallel bool) (*core.COResult, error) {
+	compiled, err := db.CompileCOView(name)
+	if err != nil {
+		return nil, err
+	}
+	if compiled.Recursive {
+		return compiled.Execute(db.store, db.OptOptions)
+	}
+	plans, err := db.coPlanTemplates(name, compiled)
+	if err != nil {
+		return nil, err
+	}
+	return compiled.ExecuteTemplates(db.store, plans, parallel)
+}
+
+// coPlanTemplates returns the cached plan templates for a compiled CO
+// view, compiling them on first use. compiled must be the entry's own
+// compilation (identity-checked), so templates never mix catalog versions.
+func (db *Database) coPlanTemplates(name string, compiled *core.Compiled) ([]exec.Plan, error) {
+	key := strings.ToUpper(name)
+	// One snapshot serves the cache check, the compile and the store, so
+	// plans are never filed under options they were not compiled with.
+	opts := db.OptOptions
+	db.coMu.Lock()
+	if e, ok := db.coViews[key]; ok && e.compiled == compiled && e.plans != nil && e.planOpts == opts {
+		plans := e.plans
+		db.coMu.Unlock()
+		db.Metrics.COPlanCacheHits.Add(1)
+		return plans, nil
+	}
+	db.coMu.Unlock()
+	db.Metrics.COPlanCompiles.Add(1)
+	plans, err := compiled.PlanTemplates(db.store, opts)
+	if err != nil {
+		return nil, err
+	}
+	db.coMu.Lock()
+	if e, ok := db.coViews[key]; ok && e.compiled == compiled {
+		e.plans = plans
+		e.planOpts = opts
+	}
+	db.coMu.Unlock()
+	return plans, nil
 }

@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"xnf/internal/types"
+)
+
+// equivCorpus is the golden row-vs-batch query corpus: every query runs
+// through both executors and the results must agree exactly. It leans on
+// the shapes the lowering pass touches — scans, filters (including NULL
+// three-valued logic and selection-vector edge cases), projections,
+// aggregates, limits — plus shapes that must fall back (joins, sorts,
+// subqueries, unions, functions) so bridge boundaries are exercised too.
+var equivCorpus = []string{
+	// Plain scans and projections.
+	"SELECT * FROM EMP",
+	"SELECT ename, sal FROM EMP",
+	"SELECT eno * 10 + 1, sal / 2 FROM EMP",
+	"SELECT eno, -eno, eno - sal FROM EMP",
+	// Filters: comparisons, boolean connectives, NULL semantics.
+	"SELECT ename FROM EMP WHERE sal > 250",
+	"SELECT ename FROM EMP WHERE sal >= 300 AND eno < 5",
+	"SELECT ename FROM EMP WHERE edno = 1 OR edno = 3",
+	"SELECT ename FROM EMP WHERE NOT (sal > 250)",
+	"SELECT ename FROM EMP WHERE edno IS NULL",
+	"SELECT ename FROM EMP WHERE edno IS NOT NULL AND sal < 450",
+	"SELECT ename FROM EMP WHERE ename LIKE 'e%'",
+	"SELECT ename FROM EMP WHERE ename LIKE '%3'",
+	"SELECT ename FROM EMP WHERE sal BETWEEN 200 AND 400",
+	// Selection-vector edge cases: nothing passes, everything passes.
+	"SELECT ename FROM EMP WHERE sal > 10000",
+	"SELECT ename FROM EMP WHERE sal > 0",
+	"SELECT ename FROM EMP WHERE eno <> eno",
+	// NULL propagation through expressions and predicates.
+	"SELECT edno + 1 FROM EMP",
+	"SELECT ename FROM EMP WHERE edno + 1 > 1",
+	"SELECT ename FROM EMP WHERE edno > 0 OR sal > 450",
+	// Index lookups (PK) with residual filters.
+	"SELECT ename FROM EMP WHERE eno = 3",
+	"SELECT ename FROM EMP WHERE eno = 3 AND sal > 1000",
+	"SELECT ename FROM EMP WHERE eno = 99",
+	// Aggregates: global, grouped, empty input, DISTINCT, NULL skipping.
+	"SELECT COUNT(*) FROM EMP",
+	"SELECT COUNT(edno) FROM EMP",
+	"SELECT COUNT(*), SUM(sal), MIN(sal), MAX(sal), AVG(sal) FROM EMP",
+	"SELECT COUNT(*) FROM EMP WHERE sal > 10000",
+	"SELECT SUM(sal) FROM EMP WHERE sal > 10000",
+	"SELECT edno, COUNT(*), SUM(sal) FROM EMP GROUP BY edno",
+	"SELECT edno, AVG(sal) FROM EMP WHERE eno < 5 GROUP BY edno",
+	"SELECT COUNT(DISTINCT edno) FROM EMP",
+	"SELECT edno, COUNT(DISTINCT ename) FROM EMP GROUP BY edno",
+	"SELECT edno, COUNT(*) FROM EMP GROUP BY edno HAVING COUNT(*) > 1",
+	// LIMIT with and without ORDER BY (both paths preserve scan order).
+	"SELECT ename FROM EMP LIMIT 2",
+	"SELECT ename FROM EMP WHERE sal > 150 LIMIT 2",
+	"SELECT ename FROM EMP ORDER BY sal DESC LIMIT 3",
+	"SELECT ename FROM EMP LIMIT 0",
+	// DISTINCT, ORDER BY (row fallbacks above batched scans).
+	"SELECT DISTINCT edno FROM EMP",
+	"SELECT ename FROM EMP ORDER BY ename DESC",
+	// Joins and derived tables: batch legs under row join operators.
+	"SELECT e.ename, d.dname FROM EMP e, DEPT d WHERE e.edno = d.dno",
+	"SELECT e.ename FROM EMP e, DEPT d WHERE e.edno = d.dno AND d.loc = 'ARC'",
+	"SELECT d.dname, COUNT(*) FROM EMP e, DEPT d WHERE e.edno = d.dno GROUP BY d.dname",
+	"SELECT a.dno FROM (SELECT dno FROM DEPT WHERE loc = 'ARC') a, (SELECT dno FROM DEPT WHERE loc = 'ARC') b WHERE a.dno = b.dno",
+	// Subqueries (row path with batched inner fragments).
+	"SELECT ename FROM EMP WHERE EXISTS (SELECT 1 FROM DEPT d WHERE d.dno = EMP.edno AND d.loc = 'ARC')",
+	"SELECT ename FROM EMP WHERE edno IN (SELECT dno FROM DEPT WHERE loc = 'ARC')",
+	"SELECT ename FROM EMP WHERE edno NOT IN (SELECT dno FROM DEPT WHERE loc = 'HQ')",
+	"SELECT ename FROM EMP WHERE sal > (SELECT AVG(sal) FROM EMP)",
+	// Unions.
+	"SELECT ename FROM EMP WHERE sal < 200 UNION SELECT ename FROM EMP WHERE sal > 400",
+	"SELECT edno FROM EMP UNION ALL SELECT dno FROM DEPT",
+	// Scalar functions and CASE stay on the row path but sit above scans.
+	"SELECT UPPER(ename), LENGTH(ename) FROM EMP WHERE sal > 100",
+	"SELECT CASE WHEN sal > 300 THEN 'hi' ELSE 'lo' END FROM EMP",
+}
+
+// runBoth executes one query under the row executor and the batch engine
+// and returns both result sets rendered as strings.
+func runBoth(t *testing.T, db *Database, q string, args ...types.Value) (rowRes, batchRes []string, ordered bool) {
+	t.Helper()
+	prev := db.OptOptions
+	defer func() { db.OptOptions = prev }()
+
+	db.OptOptions.Vectorize = false
+	r1, err := db.Query(q, args...)
+	if err != nil {
+		t.Fatalf("row executor %q: %v", q, err)
+	}
+	db.OptOptions.Vectorize = true
+	r2, err := db.Query(q, args...)
+	if err != nil {
+		t.Fatalf("batch executor %q: %v", q, err)
+	}
+	for _, r := range r1.Rows {
+		rowRes = append(rowRes, r.String())
+	}
+	for _, r := range r2.Rows {
+		batchRes = append(batchRes, r.String())
+	}
+	up := strings.ToUpper(q)
+	ordered = strings.Contains(up, "ORDER BY") || strings.Contains(up, "LIMIT")
+	return rowRes, batchRes, ordered
+}
+
+// TestRowBatchEquivalence runs the corpus through both executors and
+// diffs the results. ORDER BY / LIMIT queries compare position by
+// position; the rest compare as multisets (join and hash orders are not
+// part of the contract).
+func TestRowBatchEquivalence(t *testing.T) {
+	db := orgDB(t)
+	for _, q := range equivCorpus {
+		rowRes, batchRes, ordered := runBoth(t, db, q)
+		if ordered {
+			if len(rowRes) != len(batchRes) {
+				t.Errorf("%q: row executor returned %d rows, batch %d", q, len(rowRes), len(batchRes))
+				continue
+			}
+			for i := range rowRes {
+				if rowRes[i] != batchRes[i] {
+					t.Errorf("%q: row %d differs: row executor %q, batch %q", q, i, rowRes[i], batchRes[i])
+					break
+				}
+			}
+			continue
+		}
+		sortedEqual(t, batchRes, rowRes)
+	}
+}
+
+// TestRowBatchEquivalencePrepared repeats the parameterized shapes through
+// prepared statements, so the batch path is exercised with parameter
+// frames and cloned cached plans.
+func TestRowBatchEquivalencePrepared(t *testing.T) {
+	db := orgDB(t)
+	cases := []struct {
+		q    string
+		args [][]types.Value
+	}{
+		{"SELECT ename FROM EMP WHERE sal > ?", [][]types.Value{
+			{types.NewFloat(250)}, {types.NewFloat(0)}, {types.NewFloat(1e6)},
+		}},
+		{"SELECT edno, COUNT(*) FROM EMP WHERE sal >= ? GROUP BY edno", [][]types.Value{
+			{types.NewFloat(100)}, {types.NewFloat(400)},
+		}},
+		{"SELECT ename FROM EMP WHERE eno = ?", [][]types.Value{
+			{types.NewInt(3)}, {types.NewInt(42)},
+		}},
+	}
+	for _, c := range cases {
+		for _, args := range c.args {
+			rowRes, batchRes, _ := runBoth(t, db, c.q, args...)
+			sortedEqual(t, batchRes, rowRes)
+		}
+	}
+}
+
+// TestRowBatchEquivalenceBigTable pushes both executors past several batch
+// boundaries (multiple 1024-row chunks, partially selected tail batch) and
+// checks a grouped aggregate and a limit suffix.
+func TestRowBatchEquivalenceBigTable(t *testing.T) {
+	db := Open()
+	if err := db.ExecScript("CREATE TABLE BIG (id INT NOT NULL, g INT, v FLOAT, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	td, err := db.Store().Table("BIG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		g := types.NewInt(int64(i % 7))
+		v := types.NewFloat(float64(i % 100))
+		if i%31 == 0 {
+			g = types.Null // NULL group keys must aggregate identically
+		}
+		if _, err := td.Insert(types.Row{types.NewInt(int64(i)), g, v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range []string{
+		"SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM BIG GROUP BY g",
+		"SELECT COUNT(*) FROM BIG WHERE v > 50",
+		"SELECT id FROM BIG WHERE v = 99 AND g = 3",
+		"SELECT id FROM BIG WHERE v > 97 LIMIT 2000",
+		"SELECT id FROM BIG LIMIT 1500",
+	} {
+		rowRes, batchRes, ordered := runBoth(t, db, q)
+		if ordered {
+			if fmt.Sprint(rowRes) != fmt.Sprint(batchRes) {
+				t.Errorf("%q: ordered results differ (%d vs %d rows)", q, len(rowRes), len(batchRes))
+			}
+			continue
+		}
+		sortedEqual(t, batchRes, rowRes)
+	}
+}
+
+// TestRowBatchErrorParity pins down evaluation-order parity for errors:
+// AND evaluates its right side wherever the left is not false — including
+// NULL (unknown) left operands — so a query whose right side errors on
+// such a row must fail identically on both executors.
+func TestRowBatchErrorParity(t *testing.T) {
+	db := orgDB(t) // EMP row e5 has edno NULL
+	const q = "SELECT ename FROM EMP WHERE edno > 99 AND sal / (sal - sal) > 0"
+	prev := db.OptOptions
+	defer func() { db.OptOptions = prev }()
+	db.OptOptions.Vectorize = false
+	_, rowErr := db.Query(q)
+	db.OptOptions.Vectorize = true
+	_, batchErr := db.Query(q)
+	if rowErr == nil || batchErr == nil {
+		t.Fatalf("expected division-by-zero on both paths: row=%v batch=%v", rowErr, batchErr)
+	}
+	// And the guarded form must succeed on both.
+	const guarded = "SELECT ename FROM EMP WHERE sal - sal <> 0 AND sal / (sal - sal) > 0"
+	db.OptOptions.Vectorize = false
+	if _, err := db.Query(guarded); err != nil {
+		t.Fatalf("row executor evaluated a guarded division: %v", err)
+	}
+	db.OptOptions.Vectorize = true
+	if _, err := db.Query(guarded); err != nil {
+		t.Fatalf("batch executor evaluated a guarded division: %v", err)
+	}
+}
+
+// TestRowBatchLimitLaziness pins down that LIMIT keeps projection
+// expressions lazy on the batch path: an error in a projected expression
+// of a row beyond the limit must not surface (the limit is pushed beneath
+// the projection during lowering).
+func TestRowBatchLimitLaziness(t *testing.T) {
+	db := Open()
+	if err := db.ExecScript("CREATE TABLE LZ (x INT); INSERT INTO LZ VALUES (5), (0);"); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT 10 / x FROM LZ LIMIT 1"
+	prev := db.OptOptions
+	defer func() { db.OptOptions = prev }()
+	for _, vec := range []bool{false, true} {
+		db.OptOptions.Vectorize = vec
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("vectorize=%v: %v (limit did not stay lazy)", vec, err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].I != 2 {
+			t.Fatalf("vectorize=%v: rows = %v, want [2]", vec, res.Rows)
+		}
+	}
+}
+
+// TestVexecRaceConcurrentExecutions runs many concurrent executions of one
+// cached batched plan (and one cached CO view) to prove the clone-per-
+// execution story under the race detector: templates are shared, iterator
+// state is private.
+func TestVexecRaceConcurrentExecutions(t *testing.T) {
+	db := orgDB(t)
+	stmt, err := db.Prepare("SELECT edno, COUNT(*), SUM(sal) FROM EMP WHERE sal > ? GROUP BY edno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := stmt.Query(types.NewFloat(float64(50 * (g % 4))))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) == 0 {
+					errs <- fmt.Errorf("goroutine %d: empty aggregate result", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

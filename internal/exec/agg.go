@@ -29,26 +29,41 @@ type AggPlan struct {
 	pos int
 }
 
-// aggState accumulates one aggregate for one group.
-type aggState struct {
-	spec    *AggSpec
-	count   int64
-	sum     types.Value
-	min     types.Value
-	max     types.Value
-	started bool
-	seen    map[uint64][]types.Value // for DISTINCT
+// AggState accumulates one aggregate for one group: the SQL folding rules
+// (NULL skipping, DISTINCT dedup, AVG as SUM/COUNT) in one place. Both the
+// row executor's AggPlan and the batch engine's HashAggBatch fold through
+// it, so the two executors cannot drift.
+type AggState struct {
+	name     string
+	star     bool
+	distinct bool
+	count    int64
+	sum      types.Value
+	min      types.Value
+	max      types.Value
+	started  bool
+	seen     map[uint64][]types.Value // for DISTINCT
 }
 
-func (s *aggState) add(v types.Value) {
-	if s.spec.Star {
+// NewAggState returns a fresh accumulator for one aggregate function.
+func NewAggState(name string, star, distinct bool) *AggState {
+	s := &AggState{name: strings.ToUpper(name), star: star, distinct: distinct}
+	if distinct {
+		s.seen = make(map[uint64][]types.Value)
+	}
+	return s
+}
+
+// Add folds one input value (ignored for COUNT(*), which counts rows).
+func (s *AggState) Add(v types.Value) {
+	if s.star {
 		s.count++
 		return
 	}
 	if v.IsNull() {
 		return // aggregates ignore NULLs
 	}
-	if s.spec.Distinct {
+	if s.distinct {
 		h := v.Hash()
 		for _, prev := range s.seen[h] {
 			if types.Equal(prev, v) {
@@ -74,8 +89,9 @@ func (s *aggState) add(v types.Value) {
 	}
 }
 
-func (s *aggState) result() types.Value {
-	switch strings.ToUpper(s.spec.Name) {
+// Result finalizes the aggregate.
+func (s *AggState) Result() types.Value {
+	switch s.name {
 	case "COUNT":
 		return types.NewInt(s.count)
 	case "SUM":
@@ -111,17 +127,14 @@ func (a *AggPlan) Open(ctx *Ctx, params types.Row) error {
 	env := Env{Params: params, Ctx: ctx}
 	type group struct {
 		key    types.Row
-		states []*aggState
+		states []*AggState
 	}
 	groups := make(map[uint64][]*group)
 	var order []*group // deterministic output order: first appearance
-	newStates := func() []*aggState {
-		states := make([]*aggState, len(a.Aggs))
+	newStates := func() []*AggState {
+		states := make([]*AggState, len(a.Aggs))
 		for i := range a.Aggs {
-			states[i] = &aggState{spec: &a.Aggs[i]}
-			if a.Aggs[i].Distinct {
-				states[i].seen = make(map[uint64][]types.Value)
-			}
+			states[i] = NewAggState(a.Aggs[i].Name, a.Aggs[i].Star, a.Aggs[i].Distinct)
 		}
 		return states
 	}
@@ -164,7 +177,7 @@ func (a *AggPlan) Open(ctx *Ctx, params types.Row) error {
 				}
 				v = val
 			}
-			grp.states[i].add(v)
+			grp.states[i].Add(v)
 		}
 	}
 	if err := a.Child.Close(ctx); err != nil {
@@ -179,7 +192,7 @@ func (a *AggPlan) Open(ctx *Ctx, params types.Row) error {
 		row := make(types.Row, 0, len(g.key)+len(g.states))
 		row = append(row, g.key...)
 		for _, st := range g.states {
-			row = append(row, st.result())
+			row = append(row, st.Result())
 		}
 		a.out = append(a.out, row)
 	}

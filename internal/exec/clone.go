@@ -17,6 +17,29 @@ func ClonePlan(p Plan) Plan {
 	return (&cloner{plans: make(map[Plan]Plan)}).plan(p)
 }
 
+// SelfCloner lets plan nodes defined outside this package (the vexec
+// batch-pipeline operators) participate in ClonePlan: the node deep-copies
+// itself, using cloneChild for any embedded row plans so DAG sharing and
+// memoization stay intact.
+type SelfCloner interface {
+	Plan
+	CloneWith(cloneChild func(Plan) Plan) Plan
+}
+
+// CloneExpr deep-copies an expression for an independent execution. Only
+// Subplan-carrying trees are rebuilt (a Subplan embeds a stateful nested
+// plan); pure expression trees are returned as-is, so the call is free for
+// the common case. The prepared-DML path uses it to reuse compiled
+// predicates and assignments across executions.
+func CloneExpr(e Expr) Expr {
+	return (&cloner{plans: make(map[Plan]Plan)}).expr(e)
+}
+
+// ExprHasSubplan reports whether the expression tree embeds a Subplan.
+// The batch lowering pass refuses such expressions: subplans carry their
+// own iterator state and stay on the row path.
+func ExprHasSubplan(e Expr) bool { return containsSubplan(e) }
+
 type cloner struct {
 	plans map[Plan]Plan
 }
@@ -68,6 +91,8 @@ func (c *cloner) plan(p Plan) Plan {
 			aggs[i] = AggSpec{Name: a.Name, Star: a.Star, Distinct: a.Distinct, Arg: c.expr(a.Arg)}
 		}
 		dup = &AggPlan{Child: c.plan(n.Child), Groups: c.exprs(n.Groups), Aggs: aggs, Cols: n.Cols}
+	case SelfCloner:
+		dup = n.CloneWith(c.plan)
 	default:
 		panic(fmt.Sprintf("exec: ClonePlan: unknown plan type %T", p))
 	}

@@ -22,11 +22,12 @@ type Options struct {
 	HashedSubplans bool // evaluate uncorrelated subqueries as hash semijoins
 	Spool          bool // materialize shared QGM boxes once
 	JoinOrdering   bool // greedy cost-based join ordering (else syntax order)
+	Vectorize      bool // lower pipeline prefixes to the vexec batch engine
 }
 
 // DefaultOptions enables everything.
 func DefaultOptions() Options {
-	return Options{HashJoin: true, IndexNL: true, HashedSubplans: true, Spool: true, JoinOrdering: true}
+	return Options{HashJoin: true, IndexNL: true, HashedSubplans: true, Spool: true, JoinOrdering: true, Vectorize: true}
 }
 
 // NaiveOptions disables every optimization: syntax-order nested-loop joins
@@ -86,6 +87,25 @@ func (c *Compiler) CompileTop() (exec.Plan, error) {
 	}
 	if top.Limit >= 0 {
 		plan = &exec.LimitPlan{Child: plan, N: top.Limit}
+	}
+	if c.opts.Vectorize {
+		plan = vectorizePlan(plan)
+	}
+	return plan, nil
+}
+
+// CompileOutput compiles a top-level output box — the CO extraction legs
+// core drives one plan per TAKEn output — applying the same batch lowering
+// as CompileTop. Callers that compile boxes as subtrees of a larger plan
+// keep using CompileBox, which leaves lowering to the enclosing entry
+// point so pipelines fuse maximally.
+func (c *Compiler) CompileOutput(box *qgm.Box) (exec.Plan, error) {
+	plan, _, err := c.CompileBox(box, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.Vectorize {
+		plan = vectorizePlan(plan)
 	}
 	return plan, nil
 }

@@ -1,0 +1,145 @@
+package opt
+
+import (
+	"xnf/internal/exec"
+	"xnf/internal/vexec"
+)
+
+// vectorizePlan lowers maximal pipeline prefixes of a compiled row plan
+// into the batch engine: scan → filter → project → aggregate/limit chains
+// whose expressions the vectorized interpreter supports become one batch
+// pipeline under a BatchToRow bridge; everything else (joins, sorts,
+// distinct, unions, spools, subplan-carrying expressions) stays on the row
+// path, with the pass recursing into children so lowered fragments appear
+// wherever they help — including under hash-join build sides and spooled
+// shared fragments. The right side of a nested-loop join is deliberately
+// left alone: it is re-Opened once per driving row, where batching buys
+// nothing and the bridge would only add overhead.
+func vectorizePlan(p exec.Plan) exec.Plan {
+	if bp, ok := lowerPlan(p); ok {
+		return &vexec.BatchToRow{Child: bp}
+	}
+	switch n := p.(type) {
+	case *exec.FilterPlan:
+		n.Child = vectorizePlan(n.Child)
+	case *exec.ProjectPlan:
+		n.Child = vectorizePlan(n.Child)
+	case *exec.DistinctPlan:
+		n.Child = vectorizePlan(n.Child)
+	case *exec.SortPlan:
+		n.Child = vectorizePlan(n.Child)
+	case *exec.LimitPlan:
+		n.Child = vectorizePlan(n.Child)
+	case *exec.SpoolPlan:
+		n.Child = vectorizePlan(n.Child)
+	case *exec.UnionPlan:
+		for i, c := range n.Children {
+			n.Children[i] = vectorizePlan(c)
+		}
+	case *exec.NLJoinPlan:
+		n.Left = vectorizePlan(n.Left)
+	case *exec.HashJoinPlan:
+		n.Left = vectorizePlan(n.Left)
+		n.Right = vectorizePlan(n.Right)
+	case *exec.AggPlan:
+		n.Child = vectorizePlan(n.Child)
+	}
+	return p
+}
+
+// lowerPlan translates a row operator subtree into a batch pipeline. ok is
+// false when the operator (or one of its expressions) is not vectorizable;
+// the caller then recurses into children instead.
+func lowerPlan(p exec.Plan) (vexec.BatchPlan, bool) {
+	switch n := p.(type) {
+	case *exec.ScanPlan:
+		pred, ok := vexec.CompileExpr(n.Filter)
+		if !ok {
+			return nil, false
+		}
+		return &vexec.ScanBatch{Table: n.Table, Pred: pred, Cols: n.Cols}, true
+	case *exec.IndexLookupPlan:
+		for _, k := range n.Keys {
+			if exec.ExprHasSubplan(k) {
+				return nil, false
+			}
+		}
+		pred, ok := vexec.CompileExpr(n.Filter)
+		if !ok {
+			return nil, false
+		}
+		return &vexec.IndexLookupBatch{Table: n.Table, Index: n.Index, Keys: n.Keys, Pred: pred, Cols: n.Cols}, true
+	case *exec.FilterPlan:
+		child, ok := lowerPlan(n.Child)
+		if !ok {
+			return nil, false
+		}
+		pred, ok := vexec.CompileExpr(n.Pred)
+		if !ok {
+			return nil, false
+		}
+		return &vexec.FilterBatch{Child: child, Pred: pred}, true
+	case *exec.ProjectPlan:
+		child, ok := lowerPlan(n.Child)
+		if !ok {
+			return nil, false
+		}
+		exprs, ok := vexec.CompileExprs(n.Exprs)
+		if !ok {
+			return nil, false
+		}
+		return &vexec.ProjectBatch{Child: child, Exprs: exprs, Cols: n.Cols}, true
+	case *exec.LimitPlan:
+		// Push the limit beneath a projection: Project is 1:1, so
+		// truncating first is equivalent — and it keeps the row executor's
+		// laziness for projection expressions (a LIMIT 1 must not surface
+		// an evaluation error from row 2, which eager whole-batch
+		// projection would otherwise do).
+		if proj, ok := n.Child.(*exec.ProjectPlan); ok {
+			inner, ok := lowerPlan(proj.Child)
+			if !ok {
+				return nil, false
+			}
+			exprs, ok := vexec.CompileExprs(proj.Exprs)
+			if !ok {
+				return nil, false
+			}
+			return &vexec.ProjectBatch{
+				Child: &vexec.LimitBatch{Child: inner, N: n.N},
+				Exprs: exprs, Cols: proj.Cols,
+			}, true
+		}
+		child, ok := lowerPlan(n.Child)
+		if !ok {
+			return nil, false
+		}
+		return &vexec.LimitBatch{Child: child, N: n.N}, true
+	case *exec.AggPlan:
+		groups, ok := vexec.CompileExprs(n.Groups)
+		if !ok {
+			return nil, false
+		}
+		aggs := make([]vexec.AggSpec, len(n.Aggs))
+		for i, s := range n.Aggs {
+			spec := vexec.AggSpec{Name: s.Name, Star: s.Star, Distinct: s.Distinct}
+			if !s.Star {
+				arg, ok := vexec.CompileExpr(s.Arg)
+				if !ok {
+					return nil, false
+				}
+				spec.Arg = arg
+			}
+			aggs[i] = spec
+		}
+		child, ok := lowerPlan(n.Child)
+		if !ok {
+			// The aggregate itself vectorizes; feed it through the row →
+			// batch bridge so join and spool outputs still aggregate in
+			// batch form.
+			child = &vexec.RowSource{Plan: vectorizePlan(n.Child)}
+		}
+		return &vexec.HashAggBatch{Child: child, Groups: groups, Aggs: aggs, Cols: n.Cols}, true
+	default:
+		return nil, false
+	}
+}

@@ -168,9 +168,26 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		return p.parseUpdate()
 	case p.atKeyword("DELETE"):
 		return p.parseDelete()
+	case p.atKeyword("ANALYZE"):
+		return p.parseAnalyze()
 	default:
 		return nil, p.errf("expected a statement, got %q", p.cur().Text)
 	}
+}
+
+func (p *Parser) parseAnalyze() (ast.Statement, error) {
+	if err := p.expectKeyword("ANALYZE"); err != nil {
+		return nil, err
+	}
+	stmt := &ast.AnalyzeStmt{}
+	if p.at(lexer.Ident, "") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Table = name
+	}
+	return stmt, nil
 }
 
 func (p *Parser) parseCreate() (ast.Statement, error) {

@@ -1,0 +1,240 @@
+package vexec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"xnf/internal/exec"
+	"xnf/internal/types"
+)
+
+// valHash hashes one value without the per-call allocation of
+// types.Value.Hash, producing the same byte sequence (integral floats hash
+// like the equivalent integer, so cross-type group keys that compare equal
+// land in the same bucket).
+func valHash(v types.Value) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	switch v.T {
+	case types.NullType:
+		h ^= 0
+		h *= prime
+	case types.StringType:
+		h ^= 2
+		h *= prime
+		for i := 0; i < len(v.S); i++ {
+			h ^= uint64(v.S[i])
+			h *= prime
+		}
+	default:
+		u := uint64(v.I)
+		if v.T == types.FloatType {
+			f := v.F
+			if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+				u = uint64(int64(f))
+			} else {
+				u = math.Float64bits(f)
+			}
+		}
+		h ^= 1
+		h *= prime
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime
+			u >>= 8
+		}
+	}
+	return h
+}
+
+// groupHash combines the group-key values of physical row i.
+func groupHash(vecs []Vector, i int) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range vecs {
+		u := valHash(v[i])
+		for b := 0; b < 8; b++ {
+			h ^= u & 0xff
+			h *= prime
+			u >>= 8
+		}
+	}
+	return h
+}
+
+// AggSpec describes one aggregate computed by a HashAggBatch; semantics
+// mirror exec.AggSpec exactly (NULL-skipping, DISTINCT, AVG as SUM/COUNT).
+type AggSpec struct {
+	Name     string // COUNT, SUM, AVG, MIN, MAX
+	Star     bool   // COUNT(*)
+	Distinct bool
+	Arg      VExpr // nil for COUNT(*)
+}
+
+// HashAggBatch is the batch-native hash aggregation: group keys and
+// aggregate arguments are evaluated one vector at a time, then folded into
+// per-group states. With no group expressions it is a global aggregate
+// producing exactly one row even for empty input (SQL semantics). Output
+// order is first appearance, matching exec.AggPlan.
+type HashAggBatch struct {
+	Child  BatchPlan
+	Groups []VExpr
+	Aggs   []AggSpec
+	Cols   []exec.Column
+
+	env env
+	out []types.Row
+	pos int
+	ob  Batch
+}
+
+// Open implements BatchPlan; the aggregation is computed eagerly.
+func (a *HashAggBatch) Open(ctx *exec.Ctx, params types.Row) error {
+	if err := a.Child.Open(ctx, params); err != nil {
+		return err
+	}
+	a.env.open(params)
+	type group struct {
+		key    types.Row
+		states []*exec.AggState
+	}
+	groups := make(map[uint64][]*group)
+	var order []*group
+	newStates := func() []*exec.AggState {
+		states := make([]*exec.AggState, len(a.Aggs))
+		for i := range a.Aggs {
+			states[i] = exec.NewAggState(a.Aggs[i].Name, a.Aggs[i].Star, a.Aggs[i].Distinct)
+		}
+		return states
+	}
+	groupVecs := make([]Vector, len(a.Groups))
+	argVecs := make([]Vector, len(a.Aggs))
+	for {
+		b, err := a.Child.NextBatch(ctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		sel := b.Sel
+		if sel == nil {
+			sel = a.env.identity(b.N)
+		}
+		a.env.reset()
+		for gi, g := range a.Groups {
+			v, err := g.eval(&a.env, b, sel)
+			if err != nil {
+				return err
+			}
+			groupVecs[gi] = v
+		}
+		for ai := range a.Aggs {
+			if a.Aggs[ai].Star {
+				continue
+			}
+			v, err := a.Aggs[ai].Arg.eval(&a.env, b, sel)
+			if err != nil {
+				return err
+			}
+			argVecs[ai] = v
+		}
+		for _, i := range sel {
+			h := groupHash(groupVecs, i)
+			var grp *group
+		probe:
+			for _, g := range groups[h] {
+				for gi := range a.Groups {
+					if !types.Equal(g.key[gi], groupVecs[gi][i]) {
+						continue probe
+					}
+				}
+				grp = g
+				break
+			}
+			if grp == nil {
+				key := make(types.Row, len(a.Groups))
+				for gi := range a.Groups {
+					key[gi] = groupVecs[gi][i]
+				}
+				grp = &group{key: key, states: newStates()}
+				groups[h] = append(groups[h], grp)
+				order = append(order, grp)
+			}
+			for ai := range a.Aggs {
+				var v types.Value
+				if !a.Aggs[ai].Star {
+					v = argVecs[ai][i]
+				}
+				grp.states[ai].Add(v)
+			}
+		}
+	}
+	if err := a.Child.Close(ctx); err != nil {
+		return err
+	}
+	if len(order) == 0 && len(a.Groups) == 0 {
+		order = append(order, &group{states: newStates()})
+	}
+	a.out = a.out[:0]
+	for _, g := range order {
+		row := make(types.Row, 0, len(g.key)+len(g.states))
+		row = append(row, g.key...)
+		for _, st := range g.states {
+			row = append(row, st.Result())
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+// NextBatch implements BatchPlan.
+func (a *HashAggBatch) NextBatch(*exec.Ctx) (*Batch, error) {
+	if a.pos >= len(a.out) {
+		return nil, nil
+	}
+	n := len(a.out) - a.pos
+	if n > BatchSize {
+		n = BatchSize
+	}
+	a.ob.fromRows(a.out[a.pos:a.pos+n], len(a.Cols))
+	a.pos += n
+	return &a.ob, nil
+}
+
+// Close implements BatchPlan.
+func (a *HashAggBatch) Close(*exec.Ctx) error {
+	a.out = nil
+	return nil
+}
+
+// Columns implements BatchPlan.
+func (a *HashAggBatch) Columns() []exec.Column { return a.Cols }
+
+// Explain implements BatchPlan.
+func (a *HashAggBatch) Explain(indent int) string {
+	gs := make([]string, len(a.Groups))
+	for i, g := range a.Groups {
+		gs[i] = g.String()
+	}
+	as := make([]string, len(a.Aggs))
+	for i, s := range a.Aggs {
+		switch {
+		case s.Star:
+			as[i] = s.Name + "(*)"
+		case s.Distinct:
+			as[i] = fmt.Sprintf("%s(DISTINCT %s)", s.Name, s.Arg.String())
+		default:
+			as[i] = fmt.Sprintf("%s(%s)", s.Name, s.Arg.String())
+		}
+	}
+	return fmt.Sprintf("%sBatchAgg groups=(%s) aggs=(%s)\n%s", pad(indent),
+		strings.Join(gs, ", "), strings.Join(as, ", "), a.Child.Explain(indent+1))
+}
+
+// Clone implements BatchPlan.
+func (a *HashAggBatch) Clone(cloneRow func(exec.Plan) exec.Plan) BatchPlan {
+	return &HashAggBatch{Child: a.Child.Clone(cloneRow), Groups: a.Groups, Aggs: a.Aggs, Cols: a.Cols}
+}

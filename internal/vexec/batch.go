@@ -1,0 +1,136 @@
+// Package vexec is the vectorized batch execution engine that sits under
+// the row executor: operators exchange column-major chunks of ~1024 rows
+// instead of single tuples, amortizing the per-row interface dispatch and
+// expression interpretation that dominates the row path once plans come
+// precompiled from the shared plan cache. The optimizer lowers maximal
+// scan→filter→project→aggregate/limit pipeline prefixes into this engine
+// and bridges back to the row iterators (BatchToRow) for everything else,
+// so every plan shape keeps working.
+//
+// Evaluation granularity: expressions are evaluated a batch at a time.
+// Boolean connectives mask their lazy side exactly like the row evaluator
+// (AND's right side runs only where the left is not false), and LIMIT is
+// pushed beneath projections so projection expressions are never evaluated
+// for cut-off rows — but a filter predicate still runs over every row of
+// the current batch, so a runtime error (division by zero) in a row the
+// row executor would not have reached before satisfying a LIMIT surfaces
+// here. This batch-granular error behavior is shared by all vectorized
+// engines.
+package vexec
+
+import (
+	"xnf/internal/exec"
+	"xnf/internal/types"
+)
+
+// BatchSize is the target number of rows per batch: large enough to
+// amortize dispatch, small enough to keep a batch's columns in cache.
+const BatchSize = 1024
+
+// Vector is one column of a batch.
+type Vector []types.Value
+
+// Batch is a column-major chunk of rows. N is the physical row count
+// (every column holds N values); Sel, when non-nil, lists the physical row
+// indexes that are logically present, in ascending order — filters qualify
+// rows by shrinking the selection instead of copying the survivors.
+type Batch struct {
+	Cols []Vector
+	Sel  []int
+	N    int
+}
+
+// Len returns the logical (selected) row count.
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// Row gathers physical row i into a freshly allocated row.
+func (b *Batch) Row(i int) types.Row {
+	row := make(types.Row, len(b.Cols))
+	for c := range b.Cols {
+		row[c] = b.Cols[c][i]
+	}
+	return row
+}
+
+// resize readies the batch to hold n physical rows of the given width,
+// reusing column storage across NextBatch calls.
+func (b *Batch) resize(width, n int) {
+	if cap(b.Cols) < width {
+		b.Cols = make([]Vector, width)
+	}
+	b.Cols = b.Cols[:width]
+	for c := range b.Cols {
+		if cap(b.Cols[c]) < n {
+			b.Cols[c] = make(Vector, n)
+		}
+		b.Cols[c] = b.Cols[c][:n]
+	}
+	b.N = n
+	b.Sel = nil
+}
+
+// fromRows transposes rows into the batch.
+func (b *Batch) fromRows(rows []types.Row, width int) {
+	b.resize(width, len(rows))
+	for i, r := range rows {
+		for c := 0; c < width; c++ {
+			b.Cols[c][i] = r[c]
+		}
+	}
+}
+
+// BatchPlan is a physical operator of the batch engine: a pull-based
+// iterator over batches. Like exec.Plan, a node carries its iterator state
+// in struct fields — a compiled batch plan is reusable but not shareable
+// between executions in flight; Clone gives each execution a private copy.
+type BatchPlan interface {
+	// Open prepares the iterator; params is the statement/correlation
+	// parameter frame, constant for the whole execution.
+	Open(ctx *exec.Ctx, params types.Row) error
+	// NextBatch returns the next non-empty batch, or nil at end of stream.
+	// The batch (and its selection) is valid until the next NextBatch or
+	// Close call on the same plan.
+	NextBatch(ctx *exec.Ctx) (*Batch, error)
+	// Close releases resources; the plan may be re-Opened afterwards.
+	Close(ctx *exec.Ctx) error
+	// Columns describes the output row.
+	Columns() []exec.Column
+	// Explain renders the subtree, one node per line with indent.
+	Explain(indent int) string
+	// Clone deep-copies the operator tree for an independent execution;
+	// cloneRow clones any embedded row plans (RowSource children) through
+	// the caller's exec.ClonePlan memo.
+	Clone(cloneRow func(exec.Plan) exec.Plan) BatchPlan
+}
+
+// Collect drains a batch plan into rows (tests and benchmarks).
+func Collect(ctx *exec.Ctx, p BatchPlan, params types.Row) ([]types.Row, error) {
+	if err := p.Open(ctx, params); err != nil {
+		return nil, err
+	}
+	defer p.Close(ctx)
+	var out []types.Row
+	for {
+		b, err := p.NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if b.Sel != nil {
+			for _, i := range b.Sel {
+				out = append(out, b.Row(i))
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				out = append(out, b.Row(i))
+			}
+		}
+	}
+}

@@ -1,0 +1,674 @@
+package vexec
+
+import (
+	"fmt"
+
+	"xnf/internal/exec"
+	"xnf/internal/types"
+)
+
+// env is the per-execution evaluation context of the vectorized expression
+// interpreter: the parameter frame, plus a small vector arena so operator
+// trees reuse result storage across batches. One env belongs to exactly one
+// operator instance (plans are cloned per execution), so no synchronization
+// is needed.
+type env struct {
+	params types.Row
+
+	scratch []Vector
+	used    int
+	tris    [][]types.TriBool
+	triUsed int
+	sels    [][]int
+	selUsed int
+	ident   []int
+}
+
+func (e *env) open(params types.Row) {
+	e.params = params
+	e.used = 0
+	e.triUsed = 0
+	e.selUsed = 0
+}
+
+// reset recycles the arena; operators call it once per batch before
+// evaluating their expressions.
+func (e *env) reset() {
+	e.used = 0
+	e.triUsed = 0
+	e.selUsed = 0
+}
+
+// get returns an arena vector of length n.
+func (e *env) get(n int) Vector {
+	if e.used < len(e.scratch) {
+		v := e.scratch[e.used]
+		e.used++
+		if cap(v) < n {
+			v = make(Vector, n)
+			e.scratch[e.used-1] = v
+		}
+		return v[:n]
+	}
+	v := make(Vector, n)
+	e.scratch = append(e.scratch, v)
+	e.used++
+	return v
+}
+
+// getTri returns an arena truth-value vector of length n.
+func (e *env) getTri(n int) []types.TriBool {
+	if e.triUsed < len(e.tris) {
+		v := e.tris[e.triUsed]
+		e.triUsed++
+		if cap(v) < n {
+			v = make([]types.TriBool, n)
+			e.tris[e.triUsed-1] = v
+		}
+		return v[:n]
+	}
+	v := make([]types.TriBool, n)
+	e.tris = append(e.tris, v)
+	e.triUsed++
+	return v
+}
+
+// getSel returns an empty arena selection buffer with capacity n.
+func (e *env) getSel(n int) []int {
+	if e.selUsed < len(e.sels) {
+		v := e.sels[e.selUsed]
+		e.selUsed++
+		if cap(v) < n {
+			v = make([]int, 0, n)
+			e.sels[e.selUsed-1] = v
+		}
+		return v[:0]
+	}
+	v := make([]int, 0, n)
+	e.sels = append(e.sels, v)
+	e.selUsed++
+	return v
+}
+
+// identity returns the cached selection [0, n).
+func (e *env) identity(n int) []int {
+	for len(e.ident) < n {
+		e.ident = append(e.ident, len(e.ident))
+	}
+	return e.ident[:n]
+}
+
+// VExpr is a compiled vectorized expression. eval computes the expression
+// for the physical batch positions listed in sel and returns a vector
+// indexed by physical position (entries outside sel are unspecified). The
+// returned vector is owned by the evaluator — callers must not retain it
+// across batches or mutate it.
+type VExpr interface {
+	eval(e *env, b *Batch, sel []int) (Vector, error)
+	String() string
+}
+
+// triEvaluator is the masked-evaluation protocol behind the boolean
+// connectives: it fills out (indexed by physical position) with the
+// three-valued truth of the expression for the rows in sel. AND/OR need
+// the full truth value — not just the qualifying subset — so their right
+// sides run exactly where the row evaluator would run them (left not
+// false for AND, left not true for OR), which keeps error behavior of
+// guard predicates identical between the two executors.
+type triEvaluator interface {
+	evalTri(e *env, b *Batch, sel []int, out []types.TriBool) error
+}
+
+// evalTriOf fills out with the truth values of any expression.
+func evalTriOf(x VExpr, e *env, b *Batch, sel []int, out []types.TriBool) error {
+	if t, ok := x.(triEvaluator); ok {
+		return t.evalTri(e, b, sel, out)
+	}
+	v, err := x.eval(e, b, sel)
+	if err != nil {
+		return err
+	}
+	for _, i := range sel {
+		out[i] = types.TruthOf(v[i])
+	}
+	return nil
+}
+
+// selectWith filters sel through any expression: comparisons and boolean
+// connectives go through the truth-vector protocol (no Value
+// materialization), everything else through eval plus TruthOf.
+func selectWith(x VExpr, e *env, b *Batch, sel []int, dst []int) ([]int, error) {
+	if t, ok := x.(triEvaluator); ok {
+		out := e.getTri(b.N)
+		if err := t.evalTri(e, b, sel, out); err != nil {
+			return nil, err
+		}
+		for _, i := range sel {
+			if out[i] == types.True {
+				dst = append(dst, i)
+			}
+		}
+		return dst, nil
+	}
+	v, err := x.eval(e, b, sel)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range sel {
+		if types.TruthOf(v[i]) == types.True {
+			dst = append(dst, i)
+		}
+	}
+	return dst, nil
+}
+
+// CompileExpr lowers a row expression to a vectorized one. ok is false
+// when the expression uses a feature the batch engine keeps on the row
+// path (subplans, scalar functions, CASE) — callers then skip lowering the
+// surrounding operator.
+func CompileExpr(x exec.Expr) (VExpr, bool) {
+	switch n := x.(type) {
+	case nil:
+		return nil, true
+	case *exec.Slot:
+		return &vSlot{idx: n.Idx, name: n.String()}, true
+	case *exec.Const:
+		return &vConst{v: n.V, str: n.String()}, true
+	case *exec.Param:
+		return &vParam{idx: n.Idx, str: n.String()}, true
+	case *exec.TailParam:
+		return &vTail{back: n.Back, str: n.String()}, true
+	case *exec.Bin:
+		l, ok := CompileExpr(n.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := CompileExpr(n.R)
+		if !ok {
+			return nil, false
+		}
+		switch n.Op {
+		case "AND":
+			return &vAnd{l: l, r: r}, true
+		case "OR":
+			return &vOr{l: l, r: r}, true
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			return newCmp(n.Op, l, r), true
+		case "LIKE":
+			return &vLike{l: l, r: r}, true
+		case "+", "-", "*", "/", "%", "||":
+			return &vArith{op: n.Op, l: l, r: r}, true
+		default:
+			return nil, false
+		}
+	case *exec.Un:
+		sub, ok := CompileExpr(n.X)
+		if !ok {
+			return nil, false
+		}
+		switch n.Op {
+		case "NOT", "-", "ISNULL", "ISNOTNULL":
+			return &vUn{op: n.Op, x: sub}, true
+		default:
+			return nil, false
+		}
+	default:
+		// ScalarFunc, CaseExpr, Subplan: row path only.
+		return nil, false
+	}
+}
+
+// CompileExprs lowers a list; ok is false if any element fails.
+func CompileExprs(xs []exec.Expr) ([]VExpr, bool) {
+	out := make([]VExpr, len(xs))
+	for i, x := range xs {
+		v, ok := CompileExpr(x)
+		if !ok {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// --- leaves ---
+
+type vSlot struct {
+	idx  int
+	name string
+}
+
+func (s *vSlot) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	if s.idx >= len(b.Cols) {
+		return nil, fmt.Errorf("vexec: slot %d out of range (batch width %d)", s.idx, len(b.Cols))
+	}
+	return b.Cols[s.idx], nil
+}
+
+func (s *vSlot) String() string { return s.name }
+
+type vConst struct {
+	v   types.Value
+	str string
+}
+
+func (c *vConst) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	out := e.get(b.N)
+	for _, i := range sel {
+		out[i] = c.v
+	}
+	return out, nil
+}
+
+func (c *vConst) String() string { return c.str }
+
+type vParam struct {
+	idx int
+	str string
+}
+
+func (p *vParam) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	if p.idx >= len(e.params) {
+		return nil, fmt.Errorf("vexec: parameter %d out of range (frame width %d)", p.idx, len(e.params))
+	}
+	v := e.params[p.idx]
+	out := e.get(b.N)
+	for _, i := range sel {
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *vParam) String() string { return p.str }
+
+type vTail struct {
+	back int
+	str  string
+}
+
+func (p *vTail) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	idx := len(e.params) - 1 - p.back
+	if idx < 0 {
+		return nil, fmt.Errorf("vexec: tail parameter %d out of range (frame width %d)", p.back, len(e.params))
+	}
+	v := e.params[idx]
+	out := e.get(b.N)
+	for _, i := range sel {
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *vTail) String() string { return p.str }
+
+// constOf reports whether x is a constant (literal only — parameters vary
+// per execution) and returns its value.
+func constOf(x VExpr) (types.Value, bool) {
+	if c, ok := x.(*vConst); ok {
+		return c.v, true
+	}
+	return types.Value{}, false
+}
+
+// --- comparison ---
+
+// cmp opcode: index into the comparison dispatch.
+const (
+	opEq = iota
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+)
+
+var cmpName = [...]string{"=", "<>", "<", "<=", ">", ">="}
+
+func cmpHolds(opc int, c int) bool {
+	switch opc {
+	case opEq:
+		return c == 0
+	case opNe:
+		return c != 0
+	case opLt:
+		return c < 0
+	case opLe:
+		return c <= 0
+	case opGt:
+		return c > 0
+	default: // opGe
+		return c >= 0
+	}
+}
+
+// vCmp compares two vectors under three-valued logic. When one side is a
+// literal of a scalar type the per-element loop specializes: the common
+// `col <op> constant` filter runs without per-element type dispatch.
+type vCmp struct {
+	opc  int
+	l, r VExpr
+}
+
+func newCmp(op string, l, r VExpr) *vCmp {
+	opc := opEq
+	switch op {
+	case "<>", "!=":
+		opc = opNe
+	case "<":
+		opc = opLt
+	case "<=":
+		opc = opLe
+	case ">":
+		opc = opGt
+	case ">=":
+		opc = opGe
+	}
+	return &vCmp{opc: opc, l: l, r: r}
+}
+
+func (c *vCmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.l.String(), cmpName[c.opc], c.r.String())
+}
+
+// tri computes one element.
+func (c *vCmp) tri(a, b types.Value) (types.TriBool, error) {
+	return types.CompareTri(cmpName[c.opc], a, b)
+}
+
+func (c *vCmp) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	out := e.get(b.N)
+	tri := e.getTri(b.N)
+	if err := c.evalTri(e, b, sel, tri); err != nil {
+		return nil, err
+	}
+	for _, i := range sel {
+		out[i] = tri[i].ToValue()
+	}
+	return out, nil
+}
+
+func (c *vCmp) evalTri(e *env, b *Batch, sel []int, out []types.TriBool) error {
+	lv, err := c.l.eval(e, b, sel)
+	if err != nil {
+		return err
+	}
+	if rc, ok := constOf(c.r); ok {
+		if rc.T == types.IntType {
+			k := rc.I
+			opc := c.opc
+			for _, i := range sel {
+				v := lv[i]
+				if v.T == types.IntType {
+					d := 0
+					if v.I < k {
+						d = -1
+					} else if v.I > k {
+						d = 1
+					}
+					out[i] = types.Tri(cmpHolds(opc, d))
+					continue
+				}
+				t, err := c.tri(v, rc)
+				if err != nil {
+					return err
+				}
+				out[i] = t
+			}
+			return nil
+		}
+		for _, i := range sel {
+			t, err := c.tri(lv[i], rc)
+			if err != nil {
+				return err
+			}
+			out[i] = t
+		}
+		return nil
+	}
+	rv, err := c.r.eval(e, b, sel)
+	if err != nil {
+		return err
+	}
+	for _, i := range sel {
+		t, err := c.tri(lv[i], rv[i])
+		if err != nil {
+			return err
+		}
+		out[i] = t
+	}
+	return nil
+}
+
+// --- boolean connectives ---
+
+// vAnd short-circuits per row exactly like the row evaluator's Bin AND:
+// the right side is evaluated wherever the left is not false (true OR
+// unknown), so row-level guards (x <> 0 AND y/x > 1) keep their
+// protective semantics and error behavior matches the row executor even
+// for NULL left operands.
+type vAnd struct {
+	l, r VExpr
+}
+
+func (a *vAnd) String() string { return fmt.Sprintf("(%s AND %s)", a.l.String(), a.r.String()) }
+
+func (a *vAnd) evalTri(e *env, b *Batch, sel []int, out []types.TriBool) error {
+	if err := evalTriOf(a.l, e, b, sel, out); err != nil {
+		return err
+	}
+	need := e.getSel(len(sel))
+	for _, i := range sel {
+		if out[i] != types.False {
+			need = append(need, i)
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	rt := e.getTri(b.N)
+	if err := evalTriOf(a.r, e, b, need, rt); err != nil {
+		return err
+	}
+	for _, i := range need {
+		out[i] = out[i].And(rt[i])
+	}
+	return nil
+}
+
+func (a *vAnd) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	tri := e.getTri(b.N)
+	if err := a.evalTri(e, b, sel, tri); err != nil {
+		return nil, err
+	}
+	out := e.get(b.N)
+	for _, i := range sel {
+		out[i] = tri[i].ToValue()
+	}
+	return out, nil
+}
+
+// vOr mirrors vAnd: the right side is evaluated wherever the left is not
+// already true.
+type vOr struct {
+	l, r VExpr
+}
+
+func (o *vOr) String() string { return fmt.Sprintf("(%s OR %s)", o.l.String(), o.r.String()) }
+
+func (o *vOr) evalTri(e *env, b *Batch, sel []int, out []types.TriBool) error {
+	if err := evalTriOf(o.l, e, b, sel, out); err != nil {
+		return err
+	}
+	need := e.getSel(len(sel))
+	for _, i := range sel {
+		if out[i] != types.True {
+			need = append(need, i)
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	rt := e.getTri(b.N)
+	if err := evalTriOf(o.r, e, b, need, rt); err != nil {
+		return err
+	}
+	for _, i := range need {
+		out[i] = out[i].Or(rt[i])
+	}
+	return nil
+}
+
+func (o *vOr) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	tri := e.getTri(b.N)
+	if err := o.evalTri(e, b, sel, tri); err != nil {
+		return nil, err
+	}
+	out := e.get(b.N)
+	for _, i := range sel {
+		out[i] = tri[i].ToValue()
+	}
+	return out, nil
+}
+
+// --- LIKE ---
+
+type vLike struct {
+	l, r VExpr
+}
+
+func (k *vLike) String() string { return fmt.Sprintf("(%s LIKE %s)", k.l.String(), k.r.String()) }
+
+func (k *vLike) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	lv, err := k.l.eval(e, b, sel)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := k.r.eval(e, b, sel)
+	if err != nil {
+		return nil, err
+	}
+	out := e.get(b.N)
+	for _, i := range sel {
+		t, err := types.Like(lv[i], rv[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t.ToValue()
+	}
+	return out, nil
+}
+
+// --- arithmetic ---
+
+type vArith struct {
+	op   string
+	l, r VExpr
+}
+
+func (a *vArith) String() string { return fmt.Sprintf("(%s %s %s)", a.l.String(), a.op, a.r.String()) }
+
+func (a *vArith) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	lv, err := a.l.eval(e, b, sel)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := a.r.eval(e, b, sel)
+	if err != nil {
+		return nil, err
+	}
+	out := e.get(b.N)
+	// Integer fast paths for the three total operators; everything else
+	// (division, mixed types, NULLs, strings) goes through types.Arith.
+	switch a.op {
+	case "+":
+		for _, i := range sel {
+			l, r := lv[i], rv[i]
+			if l.T == types.IntType && r.T == types.IntType {
+				out[i] = types.NewInt(l.I + r.I)
+				continue
+			}
+			v, err := types.Arith("+", l, r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+	case "-":
+		for _, i := range sel {
+			l, r := lv[i], rv[i]
+			if l.T == types.IntType && r.T == types.IntType {
+				out[i] = types.NewInt(l.I - r.I)
+				continue
+			}
+			v, err := types.Arith("-", l, r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+	case "*":
+		for _, i := range sel {
+			l, r := lv[i], rv[i]
+			if l.T == types.IntType && r.T == types.IntType {
+				out[i] = types.NewInt(l.I * r.I)
+				continue
+			}
+			v, err := types.Arith("*", l, r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+	default:
+		for _, i := range sel {
+			v, err := types.Arith(a.op, lv[i], rv[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// --- unary ---
+
+type vUn struct {
+	op string
+	x  VExpr
+}
+
+func (u *vUn) String() string { return fmt.Sprintf("%s(%s)", u.op, u.x.String()) }
+
+func (u *vUn) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	xv, err := u.x.eval(e, b, sel)
+	if err != nil {
+		return nil, err
+	}
+	out := e.get(b.N)
+	switch u.op {
+	case "NOT":
+		for _, i := range sel {
+			out[i] = types.TruthOf(xv[i]).Not().ToValue()
+		}
+	case "-":
+		for _, i := range sel {
+			v, err := types.Neg(xv[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+	case "ISNULL":
+		for _, i := range sel {
+			out[i] = types.NewBool(xv[i].IsNull())
+		}
+	case "ISNOTNULL":
+		for _, i := range sel {
+			out[i] = types.NewBool(!xv[i].IsNull())
+		}
+	default:
+		return nil, fmt.Errorf("vexec: unknown unary operator %q", u.op)
+	}
+	return out, nil
+}

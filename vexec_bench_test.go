@@ -1,0 +1,80 @@
+package xnf
+
+import (
+	"fmt"
+	"testing"
+
+	"xnf/internal/engine"
+	"xnf/internal/types"
+)
+
+// vexecBenchDB builds a single wide table of n rows for the batch-vs-row
+// comparison: integer key, low-cardinality group, float measure, string tag.
+func vexecBenchDB(b *testing.B, n int) *engine.Database {
+	b.Helper()
+	db := engine.Open()
+	if err := db.ExecScript(`CREATE TABLE M (id INT NOT NULL, grp INT, val FLOAT, tag VARCHAR, PRIMARY KEY (id))`); err != nil {
+		b.Fatal(err)
+	}
+	td, err := db.Store().Table("M")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 97)),
+			types.NewFloat(float64(i%1000) / 10),
+			types.NewString(fmt.Sprintf("tag%d", i%13)),
+		}
+		if _, err := td.Insert(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Analyze(); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkVectorizedPipeline compares the row executor against the vexec
+// batch engine on the scan → filter → aggregate shape the ROADMAP names as
+// the post-plan-cache bottleneck. Both sides run fully cached prepared
+// plans, so the measured difference is pure execution, not compilation.
+// BENCH_vectorized.json records the results.
+func BenchmarkVectorizedPipeline(b *testing.B) {
+	const rows = 100_000
+	const q = "SELECT grp, COUNT(*), SUM(val) FROM M WHERE val > 20 AND grp < 90 GROUP BY grp"
+
+	run := func(b *testing.B, vectorize bool, sql string) {
+		db := vexecBenchDB(b, rows)
+		db.OptOptions.Vectorize = vectorize
+		stmt, err := db.Prepare(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := stmt.Query()
+		if err != nil {
+			b.Fatal(err)
+		}
+		nres := len(res.Rows)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := stmt.Query()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != nres {
+				b.Fatalf("result drifted: %d vs %d rows", len(res.Rows), nres)
+			}
+		}
+		b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+	}
+
+	b.Run("scan-filter-agg-row", func(b *testing.B) { run(b, false, q) })
+	b.Run("scan-filter-agg-batch", func(b *testing.B) { run(b, true, q) })
+
+	const filterQ = "SELECT id, val FROM M WHERE grp = 13 AND val > 50"
+	b.Run("scan-filter-project-row", func(b *testing.B) { run(b, false, filterQ) })
+	b.Run("scan-filter-project-batch", func(b *testing.B) { run(b, true, filterQ) })
+}

@@ -31,8 +31,14 @@
 //	}
 //
 // Plans are invalidated automatically by DDL and ANALYZE (the catalog
-// version is part of cache validity). Compiled CO views are cached the
-// same way, so repeated QueryCO of a stored view skips the XNF rewrite:
+// version is part of cache validity; ANALYZE is available both as the Go
+// API Analyze and as a SQL statement). Execution is vectorized where it
+// pays: the optimizer lowers scan→filter→project→aggregate pipeline
+// prefixes into the internal/vexec batch engine (column-major ~1024-row
+// chunks), falling back to row iterators for joins, sorts and subqueries.
+// Compiled CO views are cached the same way — including their per-output
+// physical plans — so repeated QueryCO of a stored view skips both the
+// XNF rewrite and plan optimization:
 //
 //	cache, err := db.QueryCO(`OUT OF d AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
 //	                                 e AS EMP,
@@ -177,23 +183,31 @@ func (db *DB) QueryCO(query string) (*Cache, error) {
 }
 
 // ExtractCO runs the set-oriented extraction without building the cache.
+// Stored views execute cloned cached plan templates (compiled once per
+// catalog version); inline queries compile their plans per call.
 func (db *DB) ExtractCO(query string) (*COResult, error) {
-	compiled, err := db.CompileCO(query)
-	if err != nil {
-		return nil, err
-	}
-	return compiled.Execute(db.eng.Store(), db.eng.OptOptions)
+	return db.extractCO(query, false)
 }
 
 // ExtractCOParallel extracts with one goroutine per CO output (the
 // parallelism extension of the paper's Sect. 6 outlook); results are
 // identical to ExtractCO.
 func (db *DB) ExtractCOParallel(query string) (*COResult, error) {
+	return db.extractCO(query, true)
+}
+
+func (db *DB) extractCO(query string, parallel bool) (*COResult, error) {
+	if v, ok := db.eng.Catalog().View(query); ok && v.IsXNF {
+		return db.eng.ExtractCOView(query, parallel)
+	}
 	compiled, err := db.CompileCO(query)
 	if err != nil {
 		return nil, err
 	}
-	return compiled.ExecuteParallel(db.eng.Store(), db.eng.OptOptions)
+	if parallel {
+		return compiled.ExecuteParallel(db.eng.Store(), db.eng.OptOptions)
+	}
+	return compiled.Execute(db.eng.Store(), db.eng.OptOptions)
 }
 
 // SaveChanges applies a cache's pending write-back operations to this
