@@ -6,6 +6,7 @@
 // Besides SQL and XNF statements it understands:
 //
 //	\d               list tables and views
+//	\storage         per-table storage kind (row vs column) and segments
 //	\co VIEW         extract a CO view and summarize the cache
 //	\explain SELECT  show the physical plan
 //	\table1 VIEW     derivation-cost analysis (paper Table 1)
@@ -162,6 +163,21 @@ func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 			}
 			fmt.Printf("  %6d hit(s)  %s\n", e.Hits, sql)
 		}
+	case `\storage`:
+		for _, t := range db.Engine().Catalog().Tables() {
+			td, err := db.Engine().Store().Table(t.Name)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			kind := td.StorageKind().String()
+			if kind == "COLUMN" {
+				fmt.Printf("%-16s %-6s %8d rows  %d segment(s)\n", t.Name, kind, t.RowCount(), td.Segments())
+			} else {
+				fmt.Printf("%-16s %-6s %8d rows\n", t.Name, kind, t.RowCount())
+			}
+		}
+		fmt.Println("switch with: ALTER TABLE name SET STORAGE COLUMN (or ROW)")
 	case `\d`:
 		for _, t := range db.Engine().Catalog().Tables() {
 			fmt.Printf("table %-16s %d rows, %d columns\n", t.Name, t.RowCount(), len(t.Columns))
@@ -199,7 +215,7 @@ func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 		}
 		fmt.Print(t.Format())
 	default:
-		fmt.Println(`commands: \d  \co VIEW  \explain SELECT…  \table1 VIEW  \prepare NAME SQL…  \run NAME ARG…  \cache  \q`)
+		fmt.Println(`commands: \d  \storage  \co VIEW  \explain SELECT…  \table1 VIEW  \prepare NAME SQL…  \run NAME ARG…  \cache  \q`)
 	}
 	return true
 }

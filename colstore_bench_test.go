@@ -1,0 +1,175 @@
+package xnf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"xnf/internal/engine"
+	"xnf/internal/types"
+)
+
+// colstoreBenchDB builds the same 150k-row wide table for row and column
+// storage: integer key, low-cardinality group, float measure, string tag.
+func colstoreBenchDB(tb testing.TB, n int, columnar bool) *engine.Database {
+	tb.Helper()
+	db := engine.Open()
+	if err := db.ExecScript(`CREATE TABLE M (id INT NOT NULL, grp INT, val FLOAT, tag VARCHAR, PRIMARY KEY (id))`); err != nil {
+		tb.Fatal(err)
+	}
+	td, err := db.Store().Table("M")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 97)),
+			types.NewFloat(float64(i%1000) / 10),
+			types.NewString(fmt.Sprintf("tag%d", i%13)),
+		}
+		if _, err := td.Insert(row); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := db.Analyze(); err != nil {
+		tb.Fatal(err)
+	}
+	if columnar {
+		if _, err := db.Exec("ALTER TABLE M SET STORAGE COLUMN"); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return db
+}
+
+// The two scan→filter→aggregate shapes the colstore work targets: aggQ is
+// scan-dominated (selective integer filter — the transpose the columnar
+// path deletes is most of the row path's work), broadQ folds most of the
+// table (aggregation-dominated, the PR 2 benchmark query).
+const (
+	colstoreRows = 150_000
+	aggQ         = "SELECT grp, COUNT(*), SUM(val) FROM M WHERE grp >= 90 GROUP BY grp"
+	broadQ       = "SELECT grp, COUNT(*), SUM(val) FROM M WHERE val > 20 AND grp < 90 GROUP BY grp"
+)
+
+func runColstoreBench(b *testing.B, q string, columnar bool, workers int) {
+	db := colstoreBenchDB(b, colstoreRows, columnar)
+	db.OptOptions.ParallelScan = workers > 1
+	db.OptOptions.ParallelWorkers = workers
+	stmt, err := db.Prepare(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := stmt.Query()
+	if err != nil {
+		b.Fatal(err)
+	}
+	nres := len(res.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := stmt.Query()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != nres {
+			b.Fatalf("result drifted: %d vs %d rows", len(res.Rows), nres)
+		}
+	}
+	b.ReportMetric(float64(colstoreRows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+}
+
+// BenchmarkColstorePipeline compares row vs column storage (and 1 vs N
+// morsel workers) on cached prepared scan→filter→agg plans — pure
+// execution, no compilation. BENCH_colstore.json records the results; the
+// CI gate (TestColstoreBenchGate) fails when the columnar path loses.
+func BenchmarkColstorePipeline(b *testing.B) {
+	b.Run("agg-row-storage", func(b *testing.B) { runColstoreBench(b, aggQ, false, 1) })
+	b.Run("agg-col-storage", func(b *testing.B) { runColstoreBench(b, aggQ, true, 1) })
+	b.Run("agg-col-parallel", func(b *testing.B) { runColstoreBench(b, aggQ, true, runtime.GOMAXPROCS(0)) })
+	b.Run("broad-row-storage", func(b *testing.B) { runColstoreBench(b, broadQ, false, 1) })
+	b.Run("broad-col-storage", func(b *testing.B) { runColstoreBench(b, broadQ, true, 1) })
+	b.Run("broad-col-parallel", func(b *testing.B) { runColstoreBench(b, broadQ, true, runtime.GOMAXPROCS(0)) })
+}
+
+// colstoreBenchResult is one measured configuration in BENCH_colstore.json.
+type colstoreBenchResult struct {
+	Query    string  `json:"query"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	MRowsPS  float64 `json:"mrows_per_s"`
+	Workers  int     `json:"workers"`
+	Columnar bool    `json:"columnar"`
+}
+
+// TestColstoreBenchGate measures the row-vs-column matrix, writes
+// BENCH_colstore.json and fails when columnar storage is slower than row
+// storage on the aggregate benchmark. Guarded by COLSTORE_BENCH_GATE=1 so
+// ordinary `go test ./...` stays fast; CI runs it as a dedicated step and
+// uploads the JSON as an artifact.
+func TestColstoreBenchGate(t *testing.T) {
+	if os.Getenv("COLSTORE_BENCH_GATE") == "" {
+		t.Skip("set COLSTORE_BENCH_GATE=1 to run the benchmark gate")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	measure := func(q string, columnar bool, w int) colstoreBenchResult {
+		r := testing.Benchmark(func(b *testing.B) { runColstoreBench(b, q, columnar, w) })
+		return colstoreBenchResult{
+			Query:    q,
+			NsPerOp:  r.NsPerOp(),
+			MRowsPS:  float64(colstoreRows) / (float64(r.NsPerOp()) / 1e9) / 1e6,
+			Workers:  w,
+			Columnar: columnar,
+		}
+	}
+
+	aggRow := measure(aggQ, false, 1)
+	aggCol := measure(aggQ, true, 1)
+	aggPar := measure(aggQ, true, workers)
+	broadRow := measure(broadQ, false, 1)
+	broadCol := measure(broadQ, true, 1)
+	broadPar := measure(broadQ, true, workers)
+
+	speedup := func(base, fast colstoreBenchResult) float64 {
+		return float64(base.NsPerOp) / float64(fast.NsPerOp)
+	}
+	report := map[string]any{
+		"benchmark":   "BenchmarkColstorePipeline / TestColstoreBenchGate (colstore_bench_test.go)",
+		"description": fmt.Sprintf("Row vs column storage on %d-row M(id,grp,val,tag); cached prepared plans, pure execution. agg = scan-dominated selective aggregate, broad = PR 2's aggregation-heavy query. Parallel rows use morsel workers over colstore segments.", colstoreRows),
+		"machine":     fmt.Sprintf("GOMAXPROCS=%d, %s/%s, %s", workers, runtime.GOOS, runtime.GOARCH, runtime.Version()),
+		"results": map[string]any{
+			"agg_row_storage":    aggRow,
+			"agg_col_storage":    aggCol,
+			"agg_col_parallel":   aggPar,
+			"broad_row_storage":  broadRow,
+			"broad_col_storage":  broadCol,
+			"broad_col_parallel": broadPar,
+		},
+		"speedups": map[string]float64{
+			"agg_col_over_row":        speedup(aggRow, aggCol),
+			"agg_parallel_over_col":   speedup(aggCol, aggPar),
+			"broad_col_over_row":      speedup(broadRow, broadCol),
+			"broad_parallel_over_col": speedup(broadCol, broadPar),
+		},
+		"notes": "worker scaling requires GOMAXPROCS > 1; on a single-CPU host the parallel rows measure dispatch overhead only",
+	}
+	gatePass := aggCol.NsPerOp <= aggRow.NsPerOp
+	report["acceptance"] = fmt.Sprintf("columnar agg not slower than row agg: %s (%.2fx)",
+		map[bool]string{true: "PASS", false: "FAIL"}[gatePass], speedup(aggRow, aggCol))
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_colstore.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("agg: row %v, col %v (%.2fx), parallel(%d) %v (%.2fx over col)",
+		aggRow.NsPerOp, aggCol.NsPerOp, speedup(aggRow, aggCol), workers, aggPar.NsPerOp, speedup(aggCol, aggPar))
+	t.Logf("broad: row %v, col %v (%.2fx), parallel(%d) %v (%.2fx over col)",
+		broadRow.NsPerOp, broadCol.NsPerOp, speedup(broadRow, broadCol), workers, broadPar.NsPerOp, speedup(broadCol, broadPar))
+	if !gatePass {
+		t.Fatalf("columnar aggregate scan is slower than the row path: %d ns/op vs %d ns/op", aggCol.NsPerOp, aggRow.NsPerOp)
+	}
+}

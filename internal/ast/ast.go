@@ -69,6 +69,14 @@ type AnalyzeStmt struct {
 	Table string
 }
 
+// AlterTableStmt is ALTER TABLE … SET STORAGE ROW/COLUMN: switch the
+// table's physical representation between the row-major slot heap and the
+// column-major colstore segments. Storage is the uppercased keyword.
+type AlterTableStmt struct {
+	Table   string
+	Storage string // "ROW" or "COLUMN"
+}
+
 // InsertStmt is INSERT INTO … VALUES / SELECT.
 type InsertStmt struct {
 	Table   string
@@ -190,6 +198,7 @@ func (*CreateIndexStmt) stmtNode() {}
 func (*CreateViewStmt) stmtNode()  {}
 func (*DropStmt) stmtNode()        {}
 func (*AnalyzeStmt) stmtNode()     {}
+func (*AlterTableStmt) stmtNode()  {}
 func (*InsertStmt) stmtNode()      {}
 func (*UpdateStmt) stmtNode()      {}
 func (*DeleteStmt) stmtNode()      {}

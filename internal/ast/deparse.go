@@ -63,6 +63,10 @@ func (s *AnalyzeStmt) String() string {
 	return "ANALYZE " + quoteIdent(s.Table)
 }
 
+func (s *AlterTableStmt) String() string {
+	return fmt.Sprintf("ALTER TABLE %s SET STORAGE %s", quoteIdent(s.Table), s.Storage)
+}
+
 func (s *InsertStmt) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "INSERT INTO %s", quoteIdent(s.Table))

@@ -49,6 +49,24 @@ type Index struct {
 	Unique  bool
 }
 
+// StorageKind selects the physical row representation of a table.
+type StorageKind uint8
+
+// The storage kinds. RowStore (the zero value) is the slot-array heap;
+// ColumnStore keeps the table column-major in colstore segments.
+const (
+	RowStore StorageKind = iota
+	ColumnStore
+)
+
+// String returns the SQL spelling used by ALTER TABLE … SET STORAGE.
+func (k StorageKind) String() string {
+	if k == ColumnStore {
+		return "COLUMN"
+	}
+	return "ROW"
+}
+
 // Table is the catalog entry for a base table.
 type Table struct {
 	Name        string
@@ -63,7 +81,18 @@ type Table struct {
 	// through RowCount/SetRowCount/Cardinality/SetColCard.
 	statsMu sync.RWMutex
 	Stats   Stats
+
+	// storage is the physical representation kind, maintained by the
+	// storage engine (ALTER TABLE … SET STORAGE, ANALYZE auto-promotion).
+	// Changing it bumps the catalog version like any DDL.
+	storage atomic.Uint32
 }
+
+// StorageKind returns the table's physical representation.
+func (t *Table) StorageKind() StorageKind { return StorageKind(t.storage.Load()) }
+
+// SetStorageKind records the physical representation (storage engine only).
+func (t *Table) SetStorageKind(k StorageKind) { t.storage.Store(uint32(k)) }
 
 // RowCount returns the table's current row-count statistic.
 func (t *Table) RowCount() int64 {

@@ -1,0 +1,27 @@
+package colstore
+
+import "math/bits"
+
+// Bitmap is a fixed-capacity bit set sized for one segment (SegRows bits).
+type Bitmap []uint64
+
+// newBitmap returns an all-zero bitmap with capacity for n bits.
+func newBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Get reports bit i.
+func (b Bitmap) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Count returns the number of set bits.
+func (b Bitmap) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+// Package colstore is the column-major table representation that lives
+// beneath storage.TableData: the storage-engine analog of the batch
+// executor's column-at-a-time evaluation, so hot analytical tables feed
+// vexec pipelines without a per-scan row→column transpose.
+//
+// # Layout
+//
+// A Table is a sequence of fixed-capacity segments of SegRows (4096) slots.
+// Slot numbers are global and stable: slot s lives at offset s%SegRows of
+// segment s/SegRows, so the storage layer's RIDs survive a row↔column
+// representation switch and secondary indexes keep working unchanged.
+//
+// Each segment stores one typed vector per column — []int64 for INTEGER and
+// BOOLEAN, []float64 for FLOAT, []string for VARCHAR — plus one null Bitmap
+// per column (bit set = SQL NULL; the typed slot then holds the zero value)
+// and one deleted Bitmap for the whole segment (bit set = the slot is a
+// hole left by DELETE, or padding created by a rollback restore past the
+// end of the heap). A live row therefore never materializes a types.Value
+// until something reads it.
+//
+// # Views and zero-copy scans
+//
+// Scans do not gather rows. Segment.view materializes each column of a
+// segment into a []types.Value exactly once per segment version and hands
+// out View{Cols, Sel, N}: the batch executor slices those vectors directly
+// into Batch columns (zero copy, no per-scan work beyond a pointer copy).
+// Views are immutable once built; every mutation bumps the segment version
+// so the next scan rebuilds. Full segments (n == SegRows) cache their view
+// in an atomic pointer — the common case for loaded analytical tables,
+// where repeated scans touch no per-row code at all. The mutable tail
+// segment rebuilds its view per scan, which bounds staleness without
+// locking writers out.
+//
+// Sel lists the live slot offsets when the segment has holes and is nil
+// when every slot is live, matching the batch engine's selection-vector
+// convention.
+//
+// # Promotion
+//
+// Tables switch representation explicitly (ALTER TABLE … SET STORAGE
+// COLUMN/ROW) or automatically: ANALYZE consults AutoPromote with the fresh
+// live row count and promotes row tables that crossed the configured
+// threshold (SetAutoPromoteRows; 0, the default, disables the heuristic).
+package colstore

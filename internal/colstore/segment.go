@@ -1,0 +1,257 @@
+package colstore
+
+import (
+	"sync/atomic"
+
+	"xnf/internal/types"
+)
+
+// SegRows is the slot capacity of one segment: large enough that a segment
+// view amortizes over several executor batches, small enough that one
+// segment is a natural morsel for parallel scans.
+const SegRows = 4096
+
+// colVec is one column of one segment: a typed vector selected by the
+// column's declared type. INTEGER and BOOLEAN share the int64 payload
+// (exactly like types.Value), FLOAT uses float64, VARCHAR uses string.
+// NULLs live in the segment's per-column bitmap; the typed slot of a NULL
+// holds the zero value.
+type colVec struct {
+	typ    types.Type
+	ints   []int64
+	floats []float64
+	strs   []string
+}
+
+func newColVec(typ types.Type) colVec {
+	v := colVec{typ: typ}
+	switch typ {
+	case types.FloatType:
+		v.floats = make([]float64, 0, SegRows)
+	case types.StringType:
+		v.strs = make([]string, 0, SegRows)
+	default: // IntType, BoolType and anything value-coerced to them
+		v.ints = make([]int64, 0, SegRows)
+	}
+	return v
+}
+
+// grow appends one zero slot.
+func (v *colVec) grow() {
+	switch v.typ {
+	case types.FloatType:
+		v.floats = append(v.floats, 0)
+	case types.StringType:
+		v.strs = append(v.strs, "")
+	default:
+		v.ints = append(v.ints, 0)
+	}
+}
+
+// store encodes a non-NULL value into slot i. The storage layer coerces
+// values to the declared column type before they reach the heap, so the
+// value's runtime type matches the vector's.
+func (v *colVec) store(i int, val types.Value) {
+	switch v.typ {
+	case types.FloatType:
+		v.floats[i] = val.F
+	case types.StringType:
+		v.strs[i] = val.S
+	default:
+		v.ints[i] = val.I
+	}
+}
+
+// zero clears slot i (deleted slots must not pin old strings).
+func (v *colVec) zero(i int) {
+	switch v.typ {
+	case types.FloatType:
+		v.floats[i] = 0
+	case types.StringType:
+		v.strs[i] = ""
+	default:
+		v.ints[i] = 0
+	}
+}
+
+// load decodes slot i as a non-NULL value.
+func (v *colVec) load(i int) types.Value {
+	switch v.typ {
+	case types.FloatType:
+		return types.Value{T: types.FloatType, F: v.floats[i]}
+	case types.StringType:
+		return types.Value{T: types.StringType, S: v.strs[i]}
+	default:
+		return types.Value{T: v.typ, I: v.ints[i]}
+	}
+}
+
+// View is the scan-facing snapshot of one segment: fully decoded column
+// vectors the batch executor slices with zero copy, plus the selection of
+// live slots (nil when every slot of the segment is live). A View is
+// immutable; mutations to the segment after the view was built are not
+// visible through it (snapshot semantics, exactly like the row heap's
+// Snapshot of row pointers).
+type View struct {
+	Cols [][]types.Value
+	Sel  []int // live slot offsets; nil = all N slots live
+	N    int   // physical slots covered
+}
+
+// Rows returns the live row count of the view.
+func (v View) Rows() int {
+	if v.Sel != nil {
+		return len(v.Sel)
+	}
+	return v.N
+}
+
+// segment is one SegRows-slot chunk of a Table.
+type segment struct {
+	n       int // physical slots in use
+	cols    []colVec
+	nulls   []Bitmap // per column; bit set = NULL
+	deleted Bitmap
+	dead    int    // number of deleted slots
+	version uint64 // bumped on every mutation; invalidates cached views
+
+	// view caches the decoded snapshot of a full segment, stamped with the
+	// version it was built at. Readers build-and-publish racily (last write
+	// wins — both candidates are equivalent), writers invalidate by bumping
+	// version under the owning table's write lock.
+	view atomic.Pointer[stampedView]
+}
+
+type stampedView struct {
+	version uint64
+	v       View
+}
+
+func newSegment(typs []types.Type) *segment {
+	s := &segment{
+		cols:    make([]colVec, len(typs)),
+		nulls:   make([]Bitmap, len(typs)),
+		deleted: newBitmap(SegRows),
+	}
+	for i, t := range typs {
+		s.cols[i] = newColVec(t)
+		s.nulls[i] = newBitmap(SegRows)
+	}
+	return s
+}
+
+// grow extends the segment by one zero, non-deleted slot; the caller fills
+// it via write or marks it deleted (rollback padding).
+func (s *segment) grow() int {
+	i := s.n
+	for c := range s.cols {
+		s.cols[c].grow()
+	}
+	s.n++
+	return i
+}
+
+// write stores row into slot i, which must exist.
+func (s *segment) write(i int, row types.Row) {
+	for c := range s.cols {
+		if row[c].IsNull() {
+			s.nulls[c].Set(i)
+			s.cols[c].zero(i)
+		} else {
+			s.nulls[c].Clear(i)
+			s.cols[c].store(i, row[c])
+		}
+	}
+	s.version++
+}
+
+// get decodes slot i; ok is false for deleted slots.
+func (s *segment) get(i int) (types.Row, bool) {
+	if i >= s.n || s.deleted.Get(i) {
+		return nil, false
+	}
+	row := make(types.Row, len(s.cols))
+	for c := range s.cols {
+		if s.nulls[c].Get(i) {
+			row[c] = types.Null
+		} else {
+			row[c] = s.cols[c].load(i)
+		}
+	}
+	return row, true
+}
+
+// markDeleted tombstones slot i and drops its payload.
+func (s *segment) markDeleted(i int) {
+	s.deleted.Set(i)
+	s.dead++
+	for c := range s.cols {
+		s.nulls[c].Set(i)
+		s.cols[c].zero(i)
+	}
+	s.version++
+}
+
+// revive restores row into the previously deleted slot i (undo of delete).
+func (s *segment) revive(i int, row types.Row) {
+	s.deleted.Clear(i)
+	s.dead--
+	s.write(i, row) // bumps version
+}
+
+// snapshot returns the current view of the segment, reusing the cached
+// decode when the segment is full and unchanged since the cache was built.
+// Callers must hold at least the owning table's read lock.
+func (s *segment) snapshot() View {
+	if s.n == SegRows {
+		if sv := s.view.Load(); sv != nil && sv.version == s.version {
+			return sv.v
+		}
+		v := s.decode()
+		s.view.Store(&stampedView{version: s.version, v: v})
+		return v
+	}
+	return s.decode()
+}
+
+// decode materializes every column (and the live selection) of the segment.
+func (s *segment) decode() View {
+	v := View{Cols: make([][]types.Value, len(s.cols)), N: s.n}
+	for c := range s.cols {
+		out := make([]types.Value, s.n)
+		vec := &s.cols[c]
+		nulls := s.nulls[c]
+		switch vec.typ {
+		case types.FloatType:
+			for i := 0; i < s.n; i++ {
+				if !nulls.Get(i) {
+					out[i] = types.Value{T: types.FloatType, F: vec.floats[i]}
+				}
+			}
+		case types.StringType:
+			for i := 0; i < s.n; i++ {
+				if !nulls.Get(i) {
+					out[i] = types.Value{T: types.StringType, S: vec.strs[i]}
+				}
+			}
+		default:
+			typ := vec.typ
+			for i := 0; i < s.n; i++ {
+				if !nulls.Get(i) {
+					out[i] = types.Value{T: typ, I: vec.ints[i]}
+				}
+			}
+		}
+		v.Cols[c] = out
+	}
+	if s.dead > 0 {
+		sel := make([]int, 0, s.n-s.dead)
+		for i := 0; i < s.n; i++ {
+			if !s.deleted.Get(i) {
+				sel = append(sel, i)
+			}
+		}
+		v.Sel = sel
+	}
+	return v
+}

@@ -1,0 +1,181 @@
+package colstore
+
+import (
+	"sync/atomic"
+
+	"xnf/internal/types"
+)
+
+// Table is the column-major heap of one table: a sequence of segments
+// addressed by global slot number. It performs no locking and no schema
+// validation of its own — storage.TableData owns the lock and coerces rows
+// to the declared column types before they get here.
+type Table struct {
+	typs []types.Type
+	segs []*segment
+}
+
+// New returns an empty column-major heap for columns of the given types.
+func New(typs []types.Type) *Table {
+	return &Table{typs: typs}
+}
+
+// FromRows builds a column-major heap from a slot array, preserving slot
+// numbers: nil entries become deleted slots so existing RIDs and secondary
+// indexes stay valid across a representation switch.
+func FromRows(typs []types.Type, rows []types.Row) *Table {
+	t := New(typs)
+	for _, r := range rows {
+		if r == nil {
+			t.appendDeleted()
+		} else {
+			t.Append(r)
+		}
+	}
+	return t
+}
+
+// Slots returns the total number of physical slots (live + deleted).
+func (t *Table) Slots() int {
+	if len(t.segs) == 0 {
+		return 0
+	}
+	return (len(t.segs)-1)*SegRows + t.segs[len(t.segs)-1].n
+}
+
+// Segments returns the number of segments.
+func (t *Table) Segments() int { return len(t.segs) }
+
+// tail returns the last segment, allocating if none has free capacity.
+func (t *Table) tail() *segment {
+	if len(t.segs) == 0 || t.segs[len(t.segs)-1].n == SegRows {
+		t.segs = append(t.segs, newSegment(t.typs))
+	}
+	return t.segs[len(t.segs)-1]
+}
+
+// Append stores row in a fresh slot and returns its global slot number.
+func (t *Table) Append(row types.Row) int {
+	seg := t.tail()
+	i := seg.grow()
+	seg.write(i, row)
+	return (len(t.segs)-1)*SegRows + i
+}
+
+// appendDeleted extends the heap by one tombstoned slot.
+func (t *Table) appendDeleted() {
+	seg := t.tail()
+	i := seg.grow()
+	seg.deleted.Set(i)
+	seg.dead++
+	for c := range seg.nulls {
+		seg.nulls[c].Set(i)
+	}
+	seg.version++
+}
+
+// locate splits a global slot number.
+func (t *Table) locate(slot int) (*segment, int, bool) {
+	si := slot / SegRows
+	if si >= len(t.segs) {
+		return nil, 0, false
+	}
+	return t.segs[si], slot % SegRows, true
+}
+
+// Get decodes the row at slot; ok is false for deleted or out-of-range slots.
+func (t *Table) Get(slot int) (types.Row, bool) {
+	if slot < 0 {
+		return nil, false
+	}
+	seg, off, ok := t.locate(slot)
+	if !ok {
+		return nil, false
+	}
+	return seg.get(off)
+}
+
+// Live reports whether slot holds a live row, without decoding it.
+func (t *Table) Live(slot int) bool {
+	seg, off, ok := t.locate(slot)
+	if !ok {
+		return false
+	}
+	return off < seg.n && !seg.deleted.Get(off)
+}
+
+// Set overwrites the live row at slot.
+func (t *Table) Set(slot int, row types.Row) {
+	seg, off, ok := t.locate(slot)
+	if !ok {
+		return
+	}
+	seg.write(off, row)
+}
+
+// Delete tombstones the slot.
+func (t *Table) Delete(slot int) {
+	seg, off, ok := t.locate(slot)
+	if !ok {
+		return
+	}
+	seg.markDeleted(off)
+}
+
+// Restore revives a deleted slot with the given row, extending the heap
+// with tombstoned padding if the slot lies past the end (transaction
+// rollback of a delete).
+func (t *Table) Restore(slot int, row types.Row) {
+	for t.Slots() <= slot {
+		t.appendDeleted()
+	}
+	seg, off, _ := t.locate(slot)
+	seg.revive(off, row)
+}
+
+// Scan decodes every live row in slot order; returning false stops early.
+func (t *Table) Scan(fn func(slot int, row types.Row) bool) {
+	for si, seg := range t.segs {
+		base := si * SegRows
+		for i := 0; i < seg.n; i++ {
+			if seg.deleted.Get(i) {
+				continue
+			}
+			row, _ := seg.get(i)
+			if !fn(base+i, row) {
+				return
+			}
+		}
+	}
+}
+
+// Views snapshots every segment for a batch scan. The returned views are
+// immutable; concurrent DML after the call is not visible through them.
+func (t *Table) Views() []View {
+	out := make([]View, 0, len(t.segs))
+	for _, seg := range t.segs {
+		if seg.n == 0 {
+			continue
+		}
+		out = append(out, seg.snapshot())
+	}
+	return out
+}
+
+// --- auto-promotion heuristic ---
+
+// autoPromoteRows is the ANALYZE-driven promotion threshold; 0 disables.
+var autoPromoteRows atomic.Int64
+
+// SetAutoPromoteRows configures the auto-promotion heuristic: ANALYZE
+// switches row-major tables whose live row count is at least n to columnar
+// storage. n = 0 (the default) disables promotion. Returns the previous
+// threshold so tests can restore it.
+func SetAutoPromoteRows(n int64) int64 { return autoPromoteRows.Swap(n) }
+
+// AutoPromote reports whether a row-major table with the given live row
+// count should be promoted to columnar storage.
+func AutoPromote(rows int64) bool {
+	n := autoPromoteRows.Load()
+	return n > 0 && rows >= n
+}

@@ -33,6 +33,10 @@ type Database struct {
 	OptOptions     opt.Options
 	RewriteOptions rewrite.Options
 
+	// Options collects engine-level tuning knobs that do not affect plan
+	// semantics (flipping them never invalidates cached plans).
+	Options Options
+
 	// Metrics counts compiles and plan-cache traffic.
 	Metrics Metrics
 
@@ -111,6 +115,12 @@ func (db *Database) ExecStmt(stmt ast.Statement) (int64, error) {
 			return 0, db.store.AnalyzeAll()
 		}
 		return 0, db.store.Analyze(s.Table)
+	case *ast.AlterTableStmt:
+		kind := catalog.RowStore
+		if s.Storage == "COLUMN" {
+			kind = catalog.ColumnStore
+		}
+		return 0, db.store.SetTableStorage(s.Table, kind)
 	case *ast.InsertStmt:
 		return db.execInsert(s, nil)
 	case *ast.UpdateStmt:

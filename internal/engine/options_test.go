@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// floodCache prepares n distinct one-shot statements, each entering the
+// plan cache with zero hits.
+func floodCache(t *testing.T, db *Database, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := db.Query(fmt.Sprintf("SELECT ename FROM EMP WHERE eno = %d", 1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWeightedEvictionKeepsHotPlans contrasts the two eviction policies on
+// the same workload: a hot statement followed by a flood of one-shot
+// statements. Pure LRU pushes the hot plan out; weighted eviction keeps it
+// because its hit count dominates the weight of the zero-hit flood entries.
+func TestWeightedEvictionKeepsHotPlans(t *testing.T) {
+	const hot = "SELECT ename FROM EMP WHERE eno = 1"
+
+	run := func(weighted bool) bool {
+		db := orgDB(t)
+		db.SetPlanCacheCapacity(4)
+		db.Options.WeightedEviction = weighted
+		for i := 0; i < 50; i++ {
+			if _, err := db.Query(hot); err != nil {
+				t.Fatal(err)
+			}
+		}
+		floodCache(t, db, 16)
+		before := db.Metrics.CacheHits.Load()
+		if _, err := db.Query(hot); err != nil {
+			t.Fatal(err)
+		}
+		return db.Metrics.CacheHits.Load() == before+1 // still cached?
+	}
+
+	if run(false) {
+		t.Fatal("pure LRU unexpectedly kept the hot plan through the flood (test premise broken)")
+	}
+	if !run(true) {
+		t.Fatal("weighted eviction dropped the hot plan despite 49 recorded hits")
+	}
+}
+
+// TestWeightedEvictionStillBounds checks that the weighted policy respects
+// the capacity bound.
+func TestWeightedEvictionStillBounds(t *testing.T) {
+	db := orgDB(t)
+	db.SetPlanCacheCapacity(4)
+	db.Options.WeightedEviction = true
+	floodCache(t, db, 32)
+	if n := db.PlanCacheLen(); n > 4 {
+		t.Fatalf("cache grew to %d entries with capacity 4", n)
+	}
+}
+
+// TestCacheStatsExposeCost verifies CacheStats carries the compile-cost
+// input of the weighted policy.
+func TestCacheStatsExposeCost(t *testing.T) {
+	db := orgDB(t)
+	if _, err := db.Query("SELECT ename FROM EMP WHERE sal > 100"); err != nil {
+		t.Fatal(err)
+	}
+	stats := db.CacheStats()
+	if len(stats) == 0 {
+		t.Fatal("no cache entries")
+	}
+	if stats[0].CostNs <= 0 {
+		t.Fatalf("entry cost = %d, want > 0", stats[0].CostNs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xnf/internal/ast"
 	"xnf/internal/core"
@@ -16,6 +17,24 @@ import (
 	"xnf/internal/rewrite"
 	"xnf/internal/types"
 )
+
+// Options collects engine-level tuning knobs that do not affect plan
+// semantics — unlike OptOptions, flipping them never invalidates a cached
+// plan, so they can change between executions without recompiles.
+type Options struct {
+	// WeightedEviction switches the plan cache from pure LRU to weighted
+	// eviction: the victim is the entry in the LRU tail window with the
+	// smallest compile-cost × hit-count weight, so an expensive or hot
+	// plan survives a sweep of cheap one-shot statements. Recency still
+	// matters — only the coldest EvictionWindow entries compete.
+	WeightedEviction bool
+	// EvictionWindow bounds how many LRU-tail entries compete when
+	// WeightedEviction is set. 0 means the default (8).
+	EvictionWindow int
+}
+
+// defaultEvictionWindow is the LRU tail window weighted eviction examines.
+const defaultEvictionWindow = 8
 
 // Metrics counts compilation and cache activity. The prepared-statement
 // tests and the bench harness read them to verify that repeated executions
@@ -56,6 +75,7 @@ type Stmt struct {
 	mut        *compiledMutation // compiled UPDATE/DELETE predicate+assignments
 	insertRows [][]exec.Expr     // compiled INSERT VALUES expressions
 	cacheable  bool
+	cost       int64 // compile wall time in nanoseconds (eviction weight)
 
 	// hits counts cache servings of this entry (CacheStats observability).
 	hits atomic.Int64
@@ -159,6 +179,7 @@ func (db *Database) Prepare(sql string) (*Stmt, error) {
 }
 
 func (db *Database) prepareMiss(sql, norm string) (*Stmt, error) {
+	start := time.Now()
 	parsed, err := parser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -233,7 +254,8 @@ func (db *Database) prepareMiss(sql, norm string) (*Stmt, error) {
 		st.other = parsed
 	}
 	if st.cacheable {
-		db.plans.put(st)
+		st.cost = int64(time.Since(start))
+		db.plans.put(st, db.Options)
 	}
 	return st, nil
 }
@@ -315,12 +337,12 @@ func (pc *planCache) stats() []CacheEntryStats {
 	out := make([]CacheEntryStats, 0, pc.lru.Len())
 	for el := pc.lru.Front(); el != nil; el = el.Next() {
 		st := el.Value.(*Stmt)
-		out = append(out, CacheEntryStats{SQL: st.norm, Hits: st.hits.Load()})
+		out = append(out, CacheEntryStats{SQL: st.norm, Hits: st.hits.Load(), CostNs: st.cost})
 	}
 	return out
 }
 
-func (pc *planCache) put(st *Stmt) {
+func (pc *planCache) put(st *Stmt, opts Options) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.cap <= 0 {
@@ -333,10 +355,48 @@ func (pc *planCache) put(st *Stmt) {
 	}
 	pc.byKey[st.norm] = pc.lru.PushFront(st)
 	for pc.lru.Len() > pc.cap {
-		oldest := pc.lru.Back()
-		pc.lru.Remove(oldest)
-		delete(pc.byKey, oldest.Value.(*Stmt).norm)
+		victim := pc.lru.Back()
+		if opts.WeightedEviction {
+			victim = pc.weightedVictim(opts.EvictionWindow)
+		}
+		pc.lru.Remove(victim)
+		delete(pc.byKey, victim.Value.(*Stmt).norm)
 	}
+}
+
+// weightedVictim picks the eviction victim among the window coldest
+// entries: the one whose compile cost × servings is smallest. Cheap
+// statements that never hit again go first; a plan that took long to
+// compile — or that the cache serves constantly — survives even from the
+// LRU tail. Recency stays in the policy through the window bound, and the
+// front (MRU) entry is never a candidate — it is the statement just
+// inserted, which must get a chance to accumulate hits before competing.
+func (pc *planCache) weightedVictim(window int) *list.Element {
+	if window <= 0 {
+		window = defaultEvictionWindow
+	}
+	front := pc.lru.Front()
+	victim := pc.lru.Back()
+	best := victim.Value.(*Stmt).weight()
+	el := victim.Prev()
+	for i := 1; i < window && el != nil && el != front; i++ {
+		if w := el.Value.(*Stmt).weight(); w < best {
+			victim, best = el, w
+		}
+		el = el.Prev()
+	}
+	return victim
+}
+
+// weight is the retention score of a cached statement: compile cost scaled
+// by how many executions the entry has served (+1 so a never-hit entry
+// still ranks by its cost).
+func (s *Stmt) weight() int64 {
+	cost := s.cost
+	if cost <= 0 {
+		cost = 1
+	}
+	return cost * (s.hits.Load() + 1)
 }
 
 func (pc *planCache) reset(capacity int) {
@@ -362,12 +422,13 @@ func (db *Database) SetPlanCacheCapacity(n int) { db.plans.reset(n) }
 func (db *Database) PlanCacheLen() int { return db.plans.len() }
 
 // CacheEntryStats describes one cached plan for observability: the
-// normalized statement text and how many executions it has served. The
-// hit distribution is the input eviction tuning needs — a future weighted
-// policy (compile cost × recency) reads the same counters.
+// normalized statement text, how many executions it has served, and what
+// it cost to compile. Hits and CostNs are exactly the inputs of the
+// weighted eviction policy (Options.WeightedEviction).
 type CacheEntryStats struct {
-	SQL  string
-	Hits int64
+	SQL    string
+	Hits   int64
+	CostNs int64
 }
 
 // CacheStats snapshots the plan cache's per-entry hit counters, most

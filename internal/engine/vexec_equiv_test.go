@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 
+	"xnf/internal/catalog"
+	"xnf/internal/colstore"
 	"xnf/internal/types"
 )
 
@@ -75,9 +77,15 @@ var equivCorpus = []string{
 	// Unions.
 	"SELECT ename FROM EMP WHERE sal < 200 UNION SELECT ename FROM EMP WHERE sal > 400",
 	"SELECT edno FROM EMP UNION ALL SELECT dno FROM DEPT",
-	// Scalar functions and CASE stay on the row path but sit above scans.
+	// Scalar functions and CASE lower to per-element batch kernels
+	// (vFunc/vCase); these queries exercise them against the row path.
 	"SELECT UPPER(ename), LENGTH(ename) FROM EMP WHERE sal > 100",
+	"SELECT LOWER(ename), ABS(-sal) FROM EMP",
 	"SELECT CASE WHEN sal > 300 THEN 'hi' ELSE 'lo' END FROM EMP",
+	"SELECT CASE WHEN edno IS NULL THEN 0 WHEN edno > 1 THEN edno ELSE -1 END FROM EMP",
+	// CASE arms must stay lazy per mask: the division runs only where its
+	// guard matched, exactly like the row executor.
+	"SELECT CASE WHEN sal - sal <> 0 THEN sal / (sal - sal) ELSE -1 END FROM EMP",
 }
 
 // runBoth executes one query under the row executor and the batch engine
@@ -249,6 +257,305 @@ func TestRowBatchLimitLaziness(t *testing.T) {
 		if len(res.Rows) != 1 || res.Rows[0][0].I != 2 {
 			t.Fatalf("vectorize=%v: rows = %v, want [2]", vec, res.Rows)
 		}
+	}
+}
+
+// orgTables is every base table of the Fig. 1 schema.
+var orgTables = []string{"DEPT", "EMP", "PROJ", "SKILLS", "EMPSKILLS", "PROJSKILLS"}
+
+// toColumnStorage flips every base table of the org schema to columnar.
+func toColumnStorage(t testing.TB, db *Database) {
+	t.Helper()
+	for _, tbl := range orgTables {
+		if _, err := db.Exec("ALTER TABLE " + tbl + " SET STORAGE COLUMN"); err != nil {
+			t.Fatalf("ALTER %s: %v", tbl, err)
+		}
+	}
+}
+
+// TestRowColumnStorageEquivalence runs the full corpus against both storage
+// kinds: the row-stored database (row executor) is ground truth; the
+// column-stored database must agree under both executors — including the
+// zero-copy segment-view scan path and all fallback bridges.
+func TestRowColumnStorageEquivalence(t *testing.T) {
+	ref := orgDB(t)
+	ref.OptOptions.Vectorize = false
+	col := orgDB(t)
+	toColumnStorage(t, col)
+	for _, tbl := range orgTables {
+		td, err := col.Store().Table(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if td.StorageKind() != catalog.ColumnStore {
+			t.Fatalf("%s not column-stored after ALTER", tbl)
+		}
+	}
+	for _, q := range equivCorpus {
+		want := queryStrings(t, ref, q)
+		rowRes, batchRes, ordered := runBoth(t, col, q)
+		if ordered {
+			if fmt.Sprint(want) != fmt.Sprint(rowRes) || fmt.Sprint(want) != fmt.Sprint(batchRes) {
+				t.Errorf("%q: ordered results differ\nrow-store:  %v\ncol row:    %v\ncol batch:  %v", q, want, rowRes, batchRes)
+			}
+			continue
+		}
+		sortedEqual(t, rowRes, want)
+		sortedEqual(t, batchRes, want)
+	}
+}
+
+// TestColumnStorageDML interleaves INSERT/UPDATE/DELETE with scans on a
+// column-stored database, mirroring every statement on a row-stored twin:
+// after each mutation both databases must agree on a set of probe queries
+// under both executors. A multi-row INSERT with a duplicate key checks that
+// transaction rollback restores column segments exactly.
+func TestColumnStorageDML(t *testing.T) {
+	rowDB := orgDB(t)
+	colDB := orgDB(t)
+	toColumnStorage(t, colDB)
+
+	probes := []string{
+		"SELECT * FROM EMP",
+		"SELECT ename FROM EMP WHERE sal > 250",
+		"SELECT edno, COUNT(*), SUM(sal) FROM EMP GROUP BY edno",
+		"SELECT ename FROM EMP WHERE eno = 3",
+		"SELECT ename FROM EMP WHERE edno IS NULL",
+		"SELECT e.ename, d.dname FROM EMP e, DEPT d WHERE e.edno = d.dno",
+	}
+	check := func(step string) {
+		t.Helper()
+		for _, q := range probes {
+			want := queryStrings(t, rowDB, q)
+			rowRes, batchRes, _ := runBoth(t, colDB, q)
+			sortedEqual(t, rowRes, want)
+			sortedEqual(t, batchRes, want)
+		}
+		_ = step
+	}
+
+	dml := []string{
+		"INSERT INTO EMP VALUES (6, 'e6', 2, 150)",
+		"UPDATE EMP SET sal = sal + 50 WHERE edno = 1",
+		"DELETE FROM EMP WHERE eno = 2",
+		"INSERT INTO EMP VALUES (7, 'e7', NULL, 700), (8, 'e8', 3, 80)",
+		"UPDATE EMP SET edno = 3 WHERE edno IS NULL",
+		"DELETE FROM EMP WHERE sal > 600",
+		"INSERT INTO EMP VALUES (9, 'e9', 1, 90)",
+	}
+	check("initial")
+	for _, stmt := range dml {
+		nRow, err := rowDB.Exec(stmt)
+		if err != nil {
+			t.Fatalf("row db %q: %v", stmt, err)
+		}
+		nCol, err := colDB.Exec(stmt)
+		if err != nil {
+			t.Fatalf("col db %q: %v", stmt, err)
+		}
+		if nRow != nCol {
+			t.Fatalf("%q affected %d rows on row storage, %d on column storage", stmt, nRow, nCol)
+		}
+		check(stmt)
+	}
+	// A failing multi-row INSERT (duplicate PK in the second row) must roll
+	// back the first row on both storage kinds.
+	const bad = "INSERT INTO EMP VALUES (50, 'x', 1, 1), (9, 'dup', 1, 1)"
+	if _, err := rowDB.Exec(bad); err == nil {
+		t.Fatal("row db accepted duplicate key")
+	}
+	if _, err := colDB.Exec(bad); err == nil {
+		t.Fatal("col db accepted duplicate key")
+	}
+	check("after rollback")
+}
+
+// TestAutoPromoteOnAnalyze drives the colstore.AutoPromote heuristic:
+// ANALYZE of a row table at/above the threshold switches it to columnar,
+// with identical query results before and after.
+func TestAutoPromoteOnAnalyze(t *testing.T) {
+	db := orgDB(t) // orgDB's own Analyze runs with promotion still disabled
+	prev := colstore.SetAutoPromoteRows(4)
+	defer colstore.SetAutoPromoteRows(prev)
+	td, err := db.Store().Table("EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.StorageKind() != catalog.RowStore {
+		t.Fatal("EMP should start row-stored")
+	}
+	before := queryStrings(t, db, "SELECT edno, COUNT(*) FROM EMP GROUP BY edno")
+	if err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if td.StorageKind() != catalog.ColumnStore {
+		t.Fatal("ANALYZE did not promote EMP (5 rows ≥ threshold 4)")
+	}
+	dept, _ := db.Store().Table("DEPT")
+	if dept.StorageKind() != catalog.RowStore {
+		t.Fatal("ANALYZE promoted DEPT below the threshold (3 rows < 4)")
+	}
+	sortedEqual(t, queryStrings(t, db, "SELECT edno, COUNT(*) FROM EMP GROUP BY edno"), before)
+}
+
+// TestMorselParallelDeterminism pins the parallel aggregate's output
+// against the sequential fold on a multi-segment table: integer aggregates
+// are exact, so the results (including group order) must match bit for bit.
+func TestMorselParallelDeterminism(t *testing.T) {
+	db := Open()
+	db.OptOptions.ParallelMinRows = 1
+	if err := db.ExecScript("CREATE TABLE T (id INT NOT NULL, g INT, v INT, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	td, err := db.Store().Table("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := types.NewInt(int64(i % 23))
+		if i%41 == 0 {
+			g = types.Null
+		}
+		if _, err := td.Insert(types.Row{types.NewInt(int64(i)), g, types.NewInt(int64(i % 100))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec("ALTER TABLE T SET STORAGE COLUMN"); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v), COUNT(DISTINCT v) FROM T WHERE v > 3 GROUP BY g"
+
+	db.OptOptions.ParallelScan = false
+	seq, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.OptOptions.ParallelScan = true
+	if plan, err := db.Explain(q); err != nil || !strings.Contains(plan, "BatchParallelAggScan") {
+		t.Fatalf("query did not lower to the parallel operator (err=%v):\n%s", err, plan)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		db.OptOptions.ParallelScan = true
+		db.OptOptions.ParallelWorkers = workers
+		par, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par.Rows) != len(seq.Rows) {
+			t.Fatalf("workers=%d: %d groups vs %d sequential", workers, len(par.Rows), len(seq.Rows))
+		}
+		for i := range seq.Rows {
+			if par.Rows[i].String() != seq.Rows[i].String() {
+				t.Fatalf("workers=%d: row %d = %q, sequential %q", workers, i, par.Rows[i], seq.Rows[i])
+			}
+		}
+	}
+	// Float aggregates: parallel FP reduction reorders additions, so the
+	// result may differ from the sequential fold by an ulp — but the static
+	// morsel striding makes it bit-reproducible for a fixed worker count.
+	const fq = "SELECT g, SUM(v * 0.1), AVG(v * 0.1) FROM T GROUP BY g"
+	db.OptOptions.ParallelWorkers = 4
+	first, err := db.Query(fq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := db.Query(fq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Rows {
+		if first.Rows[i].String() != second.Rows[i].String() {
+			t.Fatalf("float aggregate not reproducible: run 1 row %d = %q, run 2 = %q", i, first.Rows[i], second.Rows[i])
+		}
+	}
+}
+
+// TestMorselParallelScanRace hammers one cached parallel-aggregate plan
+// from many goroutines while a writer mutates the column-stored table —
+// the race detector proves segment views, per-worker states and the merge
+// are properly isolated. Results are only sanity-checked (the table is a
+// moving target); exactness is TestMorselParallelDeterminism's job.
+func TestMorselParallelScanRace(t *testing.T) {
+	db := Open()
+	db.OptOptions.ParallelMinRows = 1
+	if err := db.ExecScript("CREATE TABLE T (id INT NOT NULL, g INT, v INT, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	td, err := db.Store().Table("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12000
+	for i := 0; i < n; i++ {
+		if _, err := td.Insert(types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 7)), types.NewInt(int64(i % 100))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec("ALTER TABLE T SET STORAGE COLUMN"); err != nil {
+		t.Fatal(err)
+	}
+	db.OptOptions.ParallelWorkers = 4
+	stmt, err := db.Prepare("SELECT g, COUNT(*), SUM(v) FROM T WHERE v >= ? GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, 32)
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() { // writer: updates, deletes and inserts against live scans
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				if _, err := db.Exec("UPDATE T SET v = v + 1 WHERE id = ?", types.NewInt(int64(i%n))); err != nil {
+					errs <- err
+					return
+				}
+			case 1:
+				if _, err := db.Exec("DELETE FROM T WHERE id = ?", types.NewInt(int64(n+i))); err != nil {
+					errs <- err
+					return
+				}
+			default:
+				if _, err := db.Exec("INSERT INTO T VALUES (?, 1, 1)", types.NewInt(int64(n+i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for i := 0; i < 30; i++ {
+				res, err := stmt.Query(types.NewInt(int64(g % 3)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) == 0 {
+					errs <- fmt.Errorf("goroutine %d: empty aggregate result", g)
+					return
+				}
+			}
+		}(g)
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

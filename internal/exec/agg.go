@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"xnf/internal/types"
@@ -86,6 +87,50 @@ func (s *AggState) Add(v types.Value) {
 	}
 	if types.Compare(v, s.max) > 0 {
 		s.max = v
+	}
+}
+
+// Merge folds another accumulator of the same aggregate spec into s — the
+// combine step of morsel-parallel aggregation, where each worker folds its
+// morsels into private states that are merged at the end. DISTINCT states
+// merge by re-adding the other side's distinct values, which unions the
+// dedup sets and recomputes the derived count/sum/min/max in one pass.
+func (s *AggState) Merge(o *AggState) {
+	if s.star {
+		s.count += o.count
+		return
+	}
+	if s.distinct {
+		// Map iteration order is nondeterministic; fold the other side's
+		// distinct values in sorted order so floating-point sums stay
+		// bit-reproducible across runs (the parallel scan's guarantee).
+		vals := make([]types.Value, 0, len(o.seen))
+		for _, vs := range o.seen {
+			vals = append(vals, vs...)
+		}
+		sort.Slice(vals, func(i, j int) bool { return types.Compare(vals[i], vals[j]) < 0 })
+		for _, v := range vals {
+			s.Add(v)
+		}
+		return
+	}
+	s.count += o.count
+	if !o.started {
+		return
+	}
+	if !s.started {
+		s.sum, s.min, s.max = o.sum, o.min, o.max
+		s.started = true
+		return
+	}
+	if sum, err := types.Arith("+", s.sum, o.sum); err == nil {
+		s.sum = sum
+	}
+	if types.Compare(o.min, s.min) < 0 {
+		s.min = o.min
+	}
+	if types.Compare(o.max, s.max) > 0 {
+		s.max = o.max
 	}
 }
 

@@ -42,7 +42,7 @@ var keywords = map[string]bool{
 	"FOREIGN": true, "REFERENCES": true, "INSERT": true, "INTO": true,
 	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
 	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
-	"JOIN": true, "INNER": true, "ANALYZE": true,
+	"JOIN": true, "INNER": true, "ANALYZE": true, "ALTER": true,
 	// XNF extension keywords (Sect. 2 of the paper).
 	"OUT": true, "OF": true, "TAKE": true, "RELATE": true, "VIA": true,
 	"USING": true,

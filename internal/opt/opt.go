@@ -23,11 +23,18 @@ type Options struct {
 	Spool          bool // materialize shared QGM boxes once
 	JoinOrdering   bool // greedy cost-based join ordering (else syntax order)
 	Vectorize      bool // lower pipeline prefixes to the vexec batch engine
+	ParallelScan   bool // morsel-parallel scan→filter→aggregate pipelines
+	// ParallelWorkers bounds the morsel worker pool; 0 means GOMAXPROCS.
+	// Only consulted when ParallelScan is set.
+	ParallelWorkers int
+	// ParallelMinRows is the live row count below which a parallel scan
+	// folds sequentially; 0 means vexec.DefaultParallelMinRows.
+	ParallelMinRows int64
 }
 
 // DefaultOptions enables everything.
 func DefaultOptions() Options {
-	return Options{HashJoin: true, IndexNL: true, HashedSubplans: true, Spool: true, JoinOrdering: true, Vectorize: true}
+	return Options{HashJoin: true, IndexNL: true, HashedSubplans: true, Spool: true, JoinOrdering: true, Vectorize: true, ParallelScan: true}
 }
 
 // NaiveOptions disables every optimization: syntax-order nested-loop joins
@@ -89,7 +96,7 @@ func (c *Compiler) CompileTop() (exec.Plan, error) {
 		plan = &exec.LimitPlan{Child: plan, N: top.Limit}
 	}
 	if c.opts.Vectorize {
-		plan = vectorizePlan(plan)
+		plan = vectorizePlan(plan, c.opts)
 	}
 	return plan, nil
 }
@@ -105,7 +112,7 @@ func (c *Compiler) CompileOutput(box *qgm.Box) (exec.Plan, error) {
 		return nil, err
 	}
 	if c.opts.Vectorize {
-		plan = vectorizePlan(plan)
+		plan = vectorizePlan(plan, c.opts)
 	}
 	return plan, nil
 }

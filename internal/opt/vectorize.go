@@ -15,34 +15,34 @@ import (
 // shared fragments. The right side of a nested-loop join is deliberately
 // left alone: it is re-Opened once per driving row, where batching buys
 // nothing and the bridge would only add overhead.
-func vectorizePlan(p exec.Plan) exec.Plan {
-	if bp, ok := lowerPlan(p); ok {
+func vectorizePlan(p exec.Plan, opts Options) exec.Plan {
+	if bp, ok := lowerPlan(p, opts); ok {
 		return &vexec.BatchToRow{Child: bp}
 	}
 	switch n := p.(type) {
 	case *exec.FilterPlan:
-		n.Child = vectorizePlan(n.Child)
+		n.Child = vectorizePlan(n.Child, opts)
 	case *exec.ProjectPlan:
-		n.Child = vectorizePlan(n.Child)
+		n.Child = vectorizePlan(n.Child, opts)
 	case *exec.DistinctPlan:
-		n.Child = vectorizePlan(n.Child)
+		n.Child = vectorizePlan(n.Child, opts)
 	case *exec.SortPlan:
-		n.Child = vectorizePlan(n.Child)
+		n.Child = vectorizePlan(n.Child, opts)
 	case *exec.LimitPlan:
-		n.Child = vectorizePlan(n.Child)
+		n.Child = vectorizePlan(n.Child, opts)
 	case *exec.SpoolPlan:
-		n.Child = vectorizePlan(n.Child)
+		n.Child = vectorizePlan(n.Child, opts)
 	case *exec.UnionPlan:
 		for i, c := range n.Children {
-			n.Children[i] = vectorizePlan(c)
+			n.Children[i] = vectorizePlan(c, opts)
 		}
 	case *exec.NLJoinPlan:
-		n.Left = vectorizePlan(n.Left)
+		n.Left = vectorizePlan(n.Left, opts)
 	case *exec.HashJoinPlan:
-		n.Left = vectorizePlan(n.Left)
-		n.Right = vectorizePlan(n.Right)
+		n.Left = vectorizePlan(n.Left, opts)
+		n.Right = vectorizePlan(n.Right, opts)
 	case *exec.AggPlan:
-		n.Child = vectorizePlan(n.Child)
+		n.Child = vectorizePlan(n.Child, opts)
 	}
 	return p
 }
@@ -50,7 +50,7 @@ func vectorizePlan(p exec.Plan) exec.Plan {
 // lowerPlan translates a row operator subtree into a batch pipeline. ok is
 // false when the operator (or one of its expressions) is not vectorizable;
 // the caller then recurses into children instead.
-func lowerPlan(p exec.Plan) (vexec.BatchPlan, bool) {
+func lowerPlan(p exec.Plan, opts Options) (vexec.BatchPlan, bool) {
 	switch n := p.(type) {
 	case *exec.ScanPlan:
 		pred, ok := vexec.CompileExpr(n.Filter)
@@ -70,7 +70,7 @@ func lowerPlan(p exec.Plan) (vexec.BatchPlan, bool) {
 		}
 		return &vexec.IndexLookupBatch{Table: n.Table, Index: n.Index, Keys: n.Keys, Pred: pred, Cols: n.Cols}, true
 	case *exec.FilterPlan:
-		child, ok := lowerPlan(n.Child)
+		child, ok := lowerPlan(n.Child, opts)
 		if !ok {
 			return nil, false
 		}
@@ -80,7 +80,7 @@ func lowerPlan(p exec.Plan) (vexec.BatchPlan, bool) {
 		}
 		return &vexec.FilterBatch{Child: child, Pred: pred}, true
 	case *exec.ProjectPlan:
-		child, ok := lowerPlan(n.Child)
+		child, ok := lowerPlan(n.Child, opts)
 		if !ok {
 			return nil, false
 		}
@@ -96,7 +96,7 @@ func lowerPlan(p exec.Plan) (vexec.BatchPlan, bool) {
 		// an evaluation error from row 2, which eager whole-batch
 		// projection would otherwise do).
 		if proj, ok := n.Child.(*exec.ProjectPlan); ok {
-			inner, ok := lowerPlan(proj.Child)
+			inner, ok := lowerPlan(proj.Child, opts)
 			if !ok {
 				return nil, false
 			}
@@ -109,7 +109,7 @@ func lowerPlan(p exec.Plan) (vexec.BatchPlan, bool) {
 				Exprs: exprs, Cols: proj.Cols,
 			}, true
 		}
-		child, ok := lowerPlan(n.Child)
+		child, ok := lowerPlan(n.Child, opts)
 		if !ok {
 			return nil, false
 		}
@@ -131,14 +131,23 @@ func lowerPlan(p exec.Plan) (vexec.BatchPlan, bool) {
 			}
 			aggs[i] = spec
 		}
-		child, ok := lowerPlan(n.Child)
+		child, ok := lowerPlan(n.Child, opts)
 		if !ok {
 			// The aggregate itself vectorizes; feed it through the row →
 			// batch bridge so join and spool outputs still aggregate in
 			// batch form.
-			child = &vexec.RowSource{Plan: vectorizePlan(n.Child)}
+			child = &vexec.RowSource{Plan: vectorizePlan(n.Child, opts)}
 		}
-		return &vexec.HashAggBatch{Child: child, Groups: groups, Aggs: aggs, Cols: n.Cols}, true
+		agg := &vexec.HashAggBatch{Child: child, Groups: groups, Aggs: aggs, Cols: n.Cols}
+		if opts.ParallelScan {
+			// A scan→filter→aggregate pipeline over a base table splits
+			// into morsels; the operator still folds sequentially below
+			// vexec.ParallelMinRows, so small tables pay no pool overhead.
+			if par, ok := vexec.ParallelizeAgg(agg, opts.ParallelWorkers, opts.ParallelMinRows); ok {
+				return par, true
+			}
+		}
+		return agg, true
 	default:
 		return nil, false
 	}

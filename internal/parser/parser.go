@@ -7,6 +7,7 @@ package parser
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"xnf/internal/ast"
 	"xnf/internal/lexer"
@@ -170,9 +171,46 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		return p.parseDelete()
 	case p.atKeyword("ANALYZE"):
 		return p.parseAnalyze()
+	case p.atKeyword("ALTER"):
+		return p.parseAlter()
 	default:
 		return nil, p.errf("expected a statement, got %q", p.cur().Text)
 	}
+}
+
+// parseAlter parses ALTER TABLE name SET STORAGE ROW|COLUMN. STORAGE, ROW
+// and COLUMN are deliberately not reserved words — they arrive as plain
+// identifiers and are matched by text, so columns named "row" keep working.
+func (p *Parser) parseAlter() (ast.Statement, error) {
+	if err := p.expectKeyword("ALTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	word, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(word, "STORAGE") {
+		return nil, p.errf("expected STORAGE after ALTER TABLE … SET, got %q", word)
+	}
+	kind, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	up := strings.ToUpper(kind)
+	if up != "ROW" && up != "COLUMN" {
+		return nil, p.errf("expected ROW or COLUMN storage, got %q", kind)
+	}
+	return &ast.AlterTableStmt{Table: name, Storage: up}, nil
 }
 
 func (p *Parser) parseAnalyze() (ast.Statement, error) {

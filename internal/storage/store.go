@@ -10,6 +10,8 @@ import (
 	"sync"
 
 	"xnf/internal/catalog"
+	"xnf/internal/colstore"
+	"xnf/internal/types"
 )
 
 // RID identifies a row within its table (slot number in the heap).
@@ -92,24 +94,49 @@ func (s *Store) CreateIndex(idx *catalog.Index) error {
 }
 
 // Analyze recomputes the distinct-value statistics for a table's columns.
+// It also drives the colstore auto-promotion heuristic: a row-major table
+// whose fresh live row count crosses the configured threshold is switched
+// to columnar storage in the same pass (the row count that justifies
+// columnar scans is exactly what ANALYZE just measured).
 func (s *Store) Analyze(name string) error {
 	td, err := s.Table(name)
 	if err != nil {
 		return err
 	}
 	td.mu.Lock()
-	defer td.mu.Unlock()
-	for i, col := range td.def.Columns {
-		seen := make(map[uint64]struct{})
-		for _, r := range td.rows {
-			if r != nil {
-				seen[r[i].Hash()] = struct{}{}
-			}
+	seen := make([]map[uint64]struct{}, len(td.def.Columns))
+	for i := range seen {
+		seen[i] = make(map[uint64]struct{})
+	}
+	td.heap.scan(func(_ RID, r types.Row) bool {
+		for i := range seen {
+			seen[i][r[i].Hash()] = struct{}{}
 		}
-		td.def.SetColCard(col.Name, int64(len(seen)))
+		return true
+	})
+	for i, col := range td.def.Columns {
+		td.def.SetColCard(col.Name, int64(len(seen[i])))
+	}
+	promote := td.heap.kind() == catalog.RowStore && colstore.AutoPromote(td.live)
+	td.mu.Unlock()
+	if promote {
+		td.SetStorage(catalog.ColumnStore)
 	}
 	// Fresh statistics can change plan choices; stale compiled plans must
 	// not outlive them.
+	s.cat.BumpVersion()
+	return nil
+}
+
+// SetTableStorage switches a table's physical representation (ALTER TABLE
+// … SET STORAGE). RIDs and indexes are preserved; the catalog version is
+// bumped so compiled plans re-decide their scan strategy.
+func (s *Store) SetTableStorage(name string, kind catalog.StorageKind) error {
+	td, err := s.Table(name)
+	if err != nil {
+		return err
+	}
+	td.SetStorage(kind)
 	s.cat.BumpVersion()
 	return nil
 }

@@ -5,22 +5,24 @@ import (
 	"sync"
 
 	"xnf/internal/catalog"
+	"xnf/internal/colstore"
 	"xnf/internal/types"
 )
 
-// TableData is the heap for one table: a slot array of rows where deleted
-// slots are nil. Slot order is insertion order, which gives deterministic
-// scans for tests and reproducible benchmarks.
+// TableData is the physical table handle: a heap of rows (row-major slot
+// array or column-major colstore segments, see SetStorage) plus secondary
+// indexes. Slot order is insertion order in both representations, which
+// gives deterministic scans for tests and reproducible benchmarks.
 type TableData struct {
 	mu      sync.RWMutex
 	def     *catalog.Table
-	rows    []types.Row
+	heap    rowHeap
 	live    int64
 	indexes map[string]index
 }
 
 func newTableData(def *catalog.Table) *TableData {
-	return &TableData{def: def, indexes: make(map[string]index)}
+	return &TableData{def: def, heap: newHeap(def, def.StorageKind()), indexes: make(map[string]index)}
 }
 
 // Def returns the catalog definition.
@@ -31,6 +33,48 @@ func (t *TableData) RowCount() int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.live
+}
+
+// StorageKind reports the current physical representation.
+func (t *TableData) StorageKind() catalog.StorageKind {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap.kind()
+}
+
+// SetStorage switches the physical representation, preserving RIDs (and
+// therefore indexes). It is idempotent; the caller (Store) is responsible
+// for bumping the catalog version afterwards.
+func (t *TableData) SetStorage(kind catalog.StorageKind) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.heap = convertHeap(t.def, t.heap, kind)
+	t.def.SetStorageKind(kind)
+}
+
+// Segments reports the number of column-store segments (0 for row tables);
+// the xnfsql \storage command surfaces it.
+func (t *TableData) Segments() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if ch, ok := t.heap.(*colHeap); ok {
+		return ch.t.Segments()
+	}
+	return 0
+}
+
+// ColumnViews snapshots the column-store segments for a zero-copy batch
+// scan; ok is false when the table is row-major (callers then fall back to
+// Snapshot). The views are immutable — DML after the call is not visible
+// through them, exactly like Snapshot's row pointers.
+func (t *TableData) ColumnViews() ([]colstore.View, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ch, ok := t.heap.(*colHeap)
+	if !ok {
+		return nil, false
+	}
+	return ch.t.Views(), true
 }
 
 // Insert validates the row against the schema (arity, types, NOT NULL,
@@ -63,8 +107,7 @@ func (t *TableData) insertLocked(row types.Row) (RID, error) {
 				coerced.Key(pk), t.def.Name, rid)
 		}
 	}
-	rid := RID(len(t.rows))
-	t.rows = append(t.rows, coerced)
+	rid := t.heap.append(coerced)
 	t.live++
 	t.def.SetRowCount(t.live)
 	for _, idx := range t.indexes {
@@ -81,29 +124,30 @@ func (t *TableData) lookupUniqueLocked(cols []string, row types.Row, ords []int)
 				keyVals[i] = row[o]
 			}
 			for _, rid := range in.lookup(keyVals) {
-				if t.rows[rid] != nil && t.rows[rid].EqualOn(row, ords) {
+				if stored, ok := t.heap.get(rid); ok && stored.EqualOn(row, ords) {
 					return rid, true
 				}
 			}
 			return 0, false
 		}
 	}
-	for rid, r := range t.rows {
-		if r != nil && r.EqualOn(row, ords) {
-			return RID(rid), true
+	found := RID(0)
+	ok := false
+	t.heap.scan(func(rid RID, r types.Row) bool {
+		if r.EqualOn(row, ords) {
+			found, ok = rid, true
+			return false
 		}
-	}
-	return 0, false
+		return true
+	})
+	return found, ok
 }
 
 // Get fetches a row by RID. Returned rows must not be mutated.
 func (t *TableData) Get(rid RID) (types.Row, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if rid < 0 || int(rid) >= len(t.rows) || t.rows[rid] == nil {
-		return nil, false
-	}
-	return t.rows[rid], true
+	return t.heap.get(rid)
 }
 
 // Update replaces the row at rid, re-validating constraints and maintaining
@@ -111,7 +155,8 @@ func (t *TableData) Get(rid RID) (types.Row, bool) {
 func (t *TableData) Update(rid RID, row types.Row) (types.Row, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if rid < 0 || int(rid) >= len(t.rows) || t.rows[rid] == nil {
+	old, ok := t.heap.get(rid)
+	if !ok {
 		return nil, fmt.Errorf("storage: rid %d not found in table %s", rid, t.def.Name)
 	}
 	if len(row) != len(t.def.Columns) {
@@ -129,7 +174,6 @@ func (t *TableData) Update(rid RID, row types.Row) (types.Row, error) {
 		}
 		coerced[i] = v
 	}
-	old := t.rows[rid]
 	if pk := t.def.PKOrdinals(); len(pk) > 0 && !old.EqualOn(coerced, pk) {
 		if other, ok := t.lookupUniqueLocked(t.def.PrimaryKey, coerced, pk); ok && other != rid {
 			return nil, fmt.Errorf("storage: duplicate primary key %v in table %s", coerced.Key(pk), t.def.Name)
@@ -138,7 +182,7 @@ func (t *TableData) Update(rid RID, row types.Row) (types.Row, error) {
 	for _, idx := range t.indexes {
 		idx.remove(old, rid)
 	}
-	t.rows[rid] = coerced
+	t.heap.set(rid, coerced)
 	for _, idx := range t.indexes {
 		idx.insert(coerced, rid)
 	}
@@ -149,14 +193,14 @@ func (t *TableData) Update(rid RID, row types.Row) (types.Row, error) {
 func (t *TableData) Delete(rid RID) (types.Row, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if rid < 0 || int(rid) >= len(t.rows) || t.rows[rid] == nil {
+	old, ok := t.heap.get(rid)
+	if !ok {
 		return nil, fmt.Errorf("storage: rid %d not found in table %s", rid, t.def.Name)
 	}
-	old := t.rows[rid]
 	for _, idx := range t.indexes {
 		idx.remove(old, rid)
 	}
-	t.rows[rid] = nil
+	t.heap.clear(rid)
 	t.live--
 	t.def.SetRowCount(t.live)
 	return old, nil
@@ -167,10 +211,7 @@ func (t *TableData) Delete(rid RID) (types.Row, error) {
 func (t *TableData) insertAt(rid RID, row types.Row) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for int(rid) >= len(t.rows) {
-		t.rows = append(t.rows, nil)
-	}
-	t.rows[rid] = row
+	t.heap.restore(rid, row)
 	t.live++
 	t.def.SetRowCount(t.live)
 	for _, idx := range t.indexes {
@@ -183,27 +224,21 @@ func (t *TableData) insertAt(rid RID, row types.Row) {
 func (t *TableData) Scan(fn func(rid RID, row types.Row) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for i, r := range t.rows {
-		if r == nil {
-			continue
-		}
-		if !fn(RID(i), r) {
-			return
-		}
-	}
+	t.heap.scan(fn)
 }
 
 // Snapshot returns all live rows as a slice; operators that need stable
-// input (e.g. while the same table is being updated) use it.
+// input (e.g. while the same table is being updated) use it. Column-major
+// tables materialize rows here — the batch engine avoids this path via
+// ColumnViews.
 func (t *TableData) Snapshot() []types.Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	out := make([]types.Row, 0, t.live)
-	for _, r := range t.rows {
-		if r != nil {
-			out = append(out, r)
-		}
-	}
+	t.heap.scan(func(_ RID, r types.Row) bool {
+		out = append(out, r)
+		return true
+	})
 	return out
 }
 
@@ -212,11 +247,10 @@ func (t *TableData) SnapshotRIDs() []RID {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	out := make([]RID, 0, t.live)
-	for i, r := range t.rows {
-		if r != nil {
-			out = append(out, RID(i))
-		}
-	}
+	t.heap.scan(func(rid RID, _ types.Row) bool {
+		out = append(out, rid)
+		return true
+	})
 	return out
 }
 
@@ -238,11 +272,10 @@ func (t *TableData) buildIndex(def *catalog.Index) error {
 	default:
 		return fmt.Errorf("storage: unknown index kind %d", def.Kind)
 	}
-	for rid, r := range t.rows {
-		if r != nil {
-			idx.insert(r, RID(rid))
-		}
-	}
+	t.heap.scan(func(rid RID, r types.Row) bool {
+		idx.insert(r, rid)
+		return true
+	})
 	t.indexes[key(def.Name)] = idx
 	return nil
 }
@@ -259,7 +292,7 @@ func (t *TableData) IndexLookup(indexName string, keyVals types.Row) ([]RID, err
 	rids := idx.lookup(keyVals)
 	out := make([]RID, 0, len(rids))
 	for _, rid := range rids {
-		if t.rows[rid] != nil {
+		if t.heap.live(rid) {
 			out = append(out, rid)
 		}
 	}

@@ -48,17 +48,25 @@ func valHash(v types.Value) uint64 {
 	return h
 }
 
+// mixHash folds one value hash into a running FNV-1a state. groupHash and
+// rowHash must mix identically — merge-time probing relies on it.
+func mixHash(h, u uint64) uint64 {
+	const prime = 1099511628211
+	for b := 0; b < 8; b++ {
+		h ^= u & 0xff
+		h *= prime
+		u >>= 8
+	}
+	return h
+}
+
+const fnvOffset = 14695981039346656037
+
 // groupHash combines the group-key values of physical row i.
 func groupHash(vecs []Vector, i int) uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
+	h := uint64(fnvOffset)
 	for _, v := range vecs {
-		u := valHash(v[i])
-		for b := 0; b < 8; b++ {
-			h ^= u & 0xff
-			h *= prime
-			u >>= 8
-		}
+		h = mixHash(h, valHash(v[i]))
 	}
 	return h
 }
@@ -70,6 +78,141 @@ type AggSpec struct {
 	Star     bool   // COUNT(*)
 	Distinct bool
 	Arg      VExpr // nil for COUNT(*)
+}
+
+// rowHash combines the hashes of a materialized group key (merge-time
+// probing of parallel partial aggregates); consistent with groupHash.
+func rowHash(key types.Row) uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range key {
+		h = mixHash(h, valHash(v))
+	}
+	return h
+}
+
+// aggGroup is one group's accumulator. morsel/seq record where the group
+// first appeared (morsel index, appearance position within the folding
+// stream); the parallel merge sorts on them to reproduce the sequential
+// first-appearance output order.
+type aggGroup struct {
+	key    types.Row
+	states []*exec.AggState
+	morsel int
+	seq    int
+}
+
+// groupTable is the hash-aggregation state shared by the single-threaded
+// HashAggBatch and the per-worker partials of ParallelAggScan: group keys
+// and aggregate arguments are evaluated one vector at a time, then folded
+// into per-group states.
+type groupTable struct {
+	groupExprs []VExpr
+	specs      []AggSpec
+	groups     map[uint64][]*aggGroup
+	order      []*aggGroup
+	morsel     int // current morsel index, stamped onto new groups
+	seq        int
+
+	groupVecs []Vector
+	argVecs   []Vector
+}
+
+func newGroupTable(groupExprs []VExpr, specs []AggSpec) *groupTable {
+	return &groupTable{
+		groupExprs: groupExprs,
+		specs:      specs,
+		groups:     make(map[uint64][]*aggGroup),
+		groupVecs:  make([]Vector, len(groupExprs)),
+		argVecs:    make([]Vector, len(specs)),
+	}
+}
+
+func (g *groupTable) newStates() []*exec.AggState {
+	states := make([]*exec.AggState, len(g.specs))
+	for i := range g.specs {
+		states[i] = exec.NewAggState(g.specs[i].Name, g.specs[i].Star, g.specs[i].Distinct)
+	}
+	return states
+}
+
+// fold accumulates one batch. It resets the expression arena, so the
+// batch's selection must not live in it (operator-owned buffers only —
+// the invariant every batch operator already maintains).
+func (g *groupTable) fold(e *env, b *Batch) error {
+	sel := b.Sel
+	if sel == nil {
+		sel = e.identity(b.N)
+	}
+	e.reset()
+	for gi, ge := range g.groupExprs {
+		v, err := ge.eval(e, b, sel)
+		if err != nil {
+			return err
+		}
+		g.groupVecs[gi] = v
+	}
+	for ai := range g.specs {
+		if g.specs[ai].Star {
+			continue
+		}
+		v, err := g.specs[ai].Arg.eval(e, b, sel)
+		if err != nil {
+			return err
+		}
+		g.argVecs[ai] = v
+	}
+	for _, i := range sel {
+		h := groupHash(g.groupVecs, i)
+		var grp *aggGroup
+	probe:
+		for _, cand := range g.groups[h] {
+			for gi := range g.groupExprs {
+				if !types.Equal(cand.key[gi], g.groupVecs[gi][i]) {
+					continue probe
+				}
+			}
+			grp = cand
+			break
+		}
+		if grp == nil {
+			key := make(types.Row, len(g.groupExprs))
+			for gi := range g.groupExprs {
+				key[gi] = g.groupVecs[gi][i]
+			}
+			grp = &aggGroup{key: key, states: g.newStates(), morsel: g.morsel, seq: g.seq}
+			g.seq++
+			g.groups[h] = append(g.groups[h], grp)
+			g.order = append(g.order, grp)
+		}
+		for ai := range g.specs {
+			var v types.Value
+			if !g.specs[ai].Star {
+				v = g.argVecs[ai][i]
+			}
+			grp.states[ai].Add(v)
+		}
+	}
+	return nil
+}
+
+// emit materializes the result rows in first-appearance order. A global
+// aggregate (no group expressions) over empty input yields exactly one row
+// (SQL semantics).
+func (g *groupTable) emit() []types.Row {
+	order := g.order
+	if len(order) == 0 && len(g.groupExprs) == 0 {
+		order = []*aggGroup{{states: g.newStates()}}
+	}
+	out := make([]types.Row, 0, len(order))
+	for _, grp := range order {
+		row := make(types.Row, 0, len(grp.key)+len(grp.states))
+		row = append(row, grp.key...)
+		for _, st := range grp.states {
+			row = append(row, st.Result())
+		}
+		out = append(out, row)
+	}
+	return out
 }
 
 // HashAggBatch is the batch-native hash aggregation: group keys and
@@ -95,21 +238,7 @@ func (a *HashAggBatch) Open(ctx *exec.Ctx, params types.Row) error {
 		return err
 	}
 	a.env.open(params)
-	type group struct {
-		key    types.Row
-		states []*exec.AggState
-	}
-	groups := make(map[uint64][]*group)
-	var order []*group
-	newStates := func() []*exec.AggState {
-		states := make([]*exec.AggState, len(a.Aggs))
-		for i := range a.Aggs {
-			states[i] = exec.NewAggState(a.Aggs[i].Name, a.Aggs[i].Star, a.Aggs[i].Distinct)
-		}
-		return states
-	}
-	groupVecs := make([]Vector, len(a.Groups))
-	argVecs := make([]Vector, len(a.Aggs))
+	gt := newGroupTable(a.Groups, a.Aggs)
 	for {
 		b, err := a.Child.NextBatch(ctx)
 		if err != nil {
@@ -118,74 +247,14 @@ func (a *HashAggBatch) Open(ctx *exec.Ctx, params types.Row) error {
 		if b == nil {
 			break
 		}
-		sel := b.Sel
-		if sel == nil {
-			sel = a.env.identity(b.N)
-		}
-		a.env.reset()
-		for gi, g := range a.Groups {
-			v, err := g.eval(&a.env, b, sel)
-			if err != nil {
-				return err
-			}
-			groupVecs[gi] = v
-		}
-		for ai := range a.Aggs {
-			if a.Aggs[ai].Star {
-				continue
-			}
-			v, err := a.Aggs[ai].Arg.eval(&a.env, b, sel)
-			if err != nil {
-				return err
-			}
-			argVecs[ai] = v
-		}
-		for _, i := range sel {
-			h := groupHash(groupVecs, i)
-			var grp *group
-		probe:
-			for _, g := range groups[h] {
-				for gi := range a.Groups {
-					if !types.Equal(g.key[gi], groupVecs[gi][i]) {
-						continue probe
-					}
-				}
-				grp = g
-				break
-			}
-			if grp == nil {
-				key := make(types.Row, len(a.Groups))
-				for gi := range a.Groups {
-					key[gi] = groupVecs[gi][i]
-				}
-				grp = &group{key: key, states: newStates()}
-				groups[h] = append(groups[h], grp)
-				order = append(order, grp)
-			}
-			for ai := range a.Aggs {
-				var v types.Value
-				if !a.Aggs[ai].Star {
-					v = argVecs[ai][i]
-				}
-				grp.states[ai].Add(v)
-			}
+		if err := gt.fold(&a.env, b); err != nil {
+			return err
 		}
 	}
 	if err := a.Child.Close(ctx); err != nil {
 		return err
 	}
-	if len(order) == 0 && len(a.Groups) == 0 {
-		order = append(order, &group{states: newStates()})
-	}
-	a.out = a.out[:0]
-	for _, g := range order {
-		row := make(types.Row, 0, len(g.key)+len(g.states))
-		row = append(row, g.key...)
-		for _, st := range g.states {
-			row = append(row, st.Result())
-		}
-		a.out = append(a.out, row)
-	}
+	a.out = gt.emit()
 	a.pos = 0
 	return nil
 }

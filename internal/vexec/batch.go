@@ -19,6 +19,7 @@
 package vexec
 
 import (
+	"xnf/internal/colstore"
 	"xnf/internal/exec"
 	"xnf/internal/types"
 )
@@ -82,6 +83,18 @@ func (b *Batch) fromRows(rows []types.Row, width int) {
 			b.Cols[c][i] = r[c]
 		}
 	}
+}
+
+// fromView aliases a colstore segment view: the batch's columns become the
+// view's vectors (zero copy) and the view's live selection carries over.
+// The view is immutable, so the batch must never write through Cols.
+func (b *Batch) fromView(v colstore.View) {
+	b.Cols = b.Cols[:0]
+	for _, col := range v.Cols {
+		b.Cols = append(b.Cols, Vector(col))
+	}
+	b.N = v.N
+	b.Sel = v.Sel
 }
 
 // BatchPlan is a physical operator of the batch engine: a pull-based

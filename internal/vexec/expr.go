@@ -2,6 +2,7 @@ package vexec
 
 import (
 	"fmt"
+	"strings"
 
 	"xnf/internal/exec"
 	"xnf/internal/types"
@@ -162,6 +163,29 @@ func selectWith(x VExpr, e *env, b *Batch, sel []int, dst []int) ([]int, error) 
 	return dst, nil
 }
 
+// applyPred narrows b.Sel through an optional predicate, using the
+// operator-owned arena and selection buffer (the buffer must not live in
+// the arena — the arena is reset here; every batch operator maintains this
+// invariant). It returns the possibly-regrown buffer for reuse and whether
+// any rows survived. The scan, morsel and filter operators all funnel
+// through it so the selection-lifetime rules live in one place.
+func applyPred(pred VExpr, e *env, b *Batch, buf []int) ([]int, bool, error) {
+	if pred == nil {
+		return buf, b.Len() > 0, nil
+	}
+	sel := b.Sel
+	if sel == nil {
+		sel = e.identity(b.N)
+	}
+	e.reset()
+	out, err := selectWith(pred, e, b, sel, buf[:0])
+	if err != nil {
+		return buf, false, err
+	}
+	b.Sel = out
+	return out, len(out) > 0, nil
+}
+
 // CompileExpr lowers a row expression to a vectorized one. ok is false
 // when the expression uses a feature the batch engine keeps on the row
 // path (subplans, scalar functions, CASE) — callers then skip lowering the
@@ -212,8 +236,45 @@ func CompileExpr(x exec.Expr) (VExpr, bool) {
 		default:
 			return nil, false
 		}
+	case *exec.ScalarFunc:
+		name := strings.ToUpper(n.Name)
+		switch name {
+		case "UPPER", "LOWER", "LENGTH", "ABS":
+		default:
+			return nil, false
+		}
+		if len(n.Args) != 1 {
+			return nil, false
+		}
+		arg, ok := CompileExpr(n.Args[0])
+		if !ok {
+			return nil, false
+		}
+		return &vFunc{name: name, x: arg}, true
+	case *exec.CaseExpr:
+		whens := make([]vWhen, len(n.Whens))
+		for i, w := range n.Whens {
+			cond, ok := CompileExpr(w.Cond)
+			if !ok {
+				return nil, false
+			}
+			res, ok := CompileExpr(w.Result)
+			if !ok {
+				return nil, false
+			}
+			whens[i] = vWhen{cond: cond, result: res}
+		}
+		var els VExpr
+		if n.Else != nil {
+			e, ok := CompileExpr(n.Else)
+			if !ok {
+				return nil, false
+			}
+			els = e
+		}
+		return &vCase{whens: whens, els: els}, true
 	default:
-		// ScalarFunc, CaseExpr, Subplan: row path only.
+		// Subplan-carrying expressions: row path only.
 		return nil, false
 	}
 }
@@ -626,6 +687,126 @@ func (a *vArith) eval(e *env, b *Batch, sel []int) (Vector, error) {
 				return nil, err
 			}
 			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// --- scalar functions ---
+
+// vFunc is the per-element kernel for the built-in scalar functions; the
+// dispatch on the function name happens once per batch, not per row.
+type vFunc struct {
+	name string // uppercased: UPPER, LOWER, LENGTH, ABS
+	x    VExpr
+}
+
+func (f *vFunc) String() string { return fmt.Sprintf("%s(%s)", f.name, f.x.String()) }
+
+func (f *vFunc) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	xv, err := f.x.eval(e, b, sel)
+	if err != nil {
+		return nil, err
+	}
+	out := e.get(b.N)
+	var fn func(types.Value) (types.Value, error)
+	switch f.name {
+	case "UPPER":
+		fn = types.Upper
+	case "LOWER":
+		fn = types.Lower
+	case "LENGTH":
+		fn = types.Length
+	case "ABS":
+		fn = types.Abs
+	default:
+		return nil, fmt.Errorf("vexec: unknown scalar function %s", f.name)
+	}
+	for _, i := range sel {
+		v, err := fn(xv[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// --- CASE ---
+
+// vWhen is one WHEN cond THEN result arm of a vectorized CASE.
+type vWhen struct {
+	cond   VExpr
+	result VExpr
+}
+
+// vCase evaluates a searched CASE with the row evaluator's laziness
+// translated to masks: each arm's condition runs only on the rows no
+// earlier arm matched, and each arm's result runs only on the rows its
+// condition selected — so a division that a row at a time CASE would have
+// guarded stays guarded here, and error behavior matches the row executor.
+type vCase struct {
+	whens []vWhen
+	els   VExpr // nil = ELSE NULL
+}
+
+func (c *vCase) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range c.whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.cond.String(), w.result.String())
+	}
+	if c.els != nil {
+		fmt.Fprintf(&b, " ELSE %s", c.els.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+func (c *vCase) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	out := e.get(b.N)
+	remaining := append(e.getSel(len(sel)), sel...)
+	for _, w := range c.whens {
+		if len(remaining) == 0 {
+			break
+		}
+		tri := e.getTri(b.N)
+		if err := evalTriOf(w.cond, e, b, remaining, tri); err != nil {
+			return nil, err
+		}
+		matched := e.getSel(len(remaining))
+		rest := e.getSel(len(remaining))
+		for _, i := range remaining {
+			if tri[i] == types.True {
+				matched = append(matched, i)
+			} else {
+				rest = append(rest, i)
+			}
+		}
+		if len(matched) > 0 {
+			rv, err := w.result.eval(e, b, matched)
+			if err != nil {
+				return nil, err
+			}
+			for _, i := range matched {
+				out[i] = rv[i]
+			}
+		}
+		remaining = rest
+	}
+	if len(remaining) > 0 {
+		if c.els != nil {
+			ev, err := c.els.eval(e, b, remaining)
+			if err != nil {
+				return nil, err
+			}
+			for _, i := range remaining {
+				out[i] = ev[i]
+			}
+		} else {
+			for _, i := range remaining {
+				out[i] = types.Null
+			}
 		}
 	}
 	return out, nil

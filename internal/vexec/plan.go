@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"xnf/internal/colstore"
 	"xnf/internal/exec"
 	"xnf/internal/types"
 )
@@ -44,19 +45,57 @@ func (c *chunker) next(width int, pred VExpr, scanned *int64) (*Batch, error) {
 		if scanned != nil {
 			add(scanned, int64(n))
 		}
-		if pred == nil {
-			return &c.batch, nil
-		}
-		c.env.reset()
-		sel, err := selectWith(pred, &c.env, &c.batch, c.env.identity(n), c.selBuf[:0])
+		buf, ok, err := applyPred(pred, &c.env, &c.batch, c.selBuf)
 		if err != nil {
 			return nil, err
 		}
-		c.selBuf = sel
-		if len(sel) == 0 {
+		c.selBuf = buf
+		if !ok {
 			continue
 		}
-		c.batch.Sel = sel
+		return &c.batch, nil
+	}
+	return nil, nil
+}
+
+// colChunker streams colstore segment views as filtered batches: each view
+// becomes one batch whose column vectors are direct slices of the view (no
+// copy, no transpose), with the segment's live selection as the base
+// selection vector.
+type colChunker struct {
+	views  []colstore.View
+	pos    int
+	env    env
+	batch  Batch
+	selBuf []int
+}
+
+func (c *colChunker) open(views []colstore.View, params types.Row) {
+	c.views = views
+	c.pos = 0
+	c.env.open(params)
+}
+
+func (c *colChunker) next(pred VExpr, scanned *int64) (*Batch, error) {
+	for c.pos < len(c.views) {
+		v := c.views[c.pos]
+		c.pos++
+		c.batch.fromView(v)
+		live := v.Rows()
+		if live == 0 {
+			continue
+		}
+		if scanned != nil {
+			add(scanned, int64(live))
+		}
+		buf, ok, err := applyPred(pred, &c.env, &c.batch, c.selBuf)
+		if err != nil {
+			return nil, err
+		}
+		c.selBuf = buf
+		if !ok {
+			continue
+		}
 		return &c.batch, nil
 	}
 	return nil, nil
@@ -65,13 +104,19 @@ func (c *chunker) next(width int, pred VExpr, scanned *int64) (*Batch, error) {
 // --- ScanBatch ---
 
 // ScanBatch scans a stored table a chunk at a time, applying an optional
-// vectorized filter as a selection vector.
+// vectorized filter as a selection vector. Column-major tables take the
+// zero-copy fast path: segment views are sliced straight into batches
+// (one batch per segment) with no row materialization or transpose; the
+// choice is made per execution at Open, so a cached plan follows the
+// table's current representation.
 type ScanBatch struct {
 	Table string
 	Pred  VExpr // nil = no filter
 	Cols  []exec.Column
 
-	ch chunker
+	ch      chunker
+	cc      colChunker
+	colMode bool
 }
 
 // Open implements BatchPlan.
@@ -80,18 +125,28 @@ func (s *ScanBatch) Open(ctx *exec.Ctx, params types.Row) error {
 	if err != nil {
 		return err
 	}
+	if views, ok := td.ColumnViews(); ok {
+		s.colMode = true
+		s.cc.open(views, params)
+		return nil
+	}
+	s.colMode = false
 	s.ch.open(td.Snapshot(), params)
 	return nil
 }
 
 // NextBatch implements BatchPlan.
 func (s *ScanBatch) NextBatch(ctx *exec.Ctx) (*Batch, error) {
+	if s.colMode {
+		return s.cc.next(s.Pred, &ctx.Counters.RowsScanned)
+	}
 	return s.ch.next(len(s.Cols), s.Pred, &ctx.Counters.RowsScanned)
 }
 
 // Close implements BatchPlan.
 func (s *ScanBatch) Close(*exec.Ctx) error {
 	s.ch.rows = nil
+	s.cc.views = nil
 	return nil
 }
 
@@ -211,20 +266,14 @@ func (f *FilterBatch) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 		if err != nil || b == nil {
 			return b, err
 		}
-		sel := b.Sel
-		if sel == nil {
-			sel = f.env.identity(b.N)
-		}
-		f.env.reset()
-		out, err := selectWith(f.Pred, &f.env, b, sel, f.selBuf[:0])
+		buf, ok, err := applyPred(f.Pred, &f.env, b, f.selBuf)
 		if err != nil {
 			return nil, err
 		}
-		f.selBuf = out
-		if len(out) == 0 {
+		f.selBuf = buf
+		if !ok {
 			continue
 		}
-		b.Sel = out
 		return b, nil
 	}
 }
