@@ -25,3 +25,10 @@ func (b Bitmap) Count() int {
 	}
 	return n
 }
+
+// clone returns an independent copy of the bitmap.
+func (b Bitmap) clone() Bitmap {
+	out := make(Bitmap, len(b))
+	copy(out, b)
+	return out
+}

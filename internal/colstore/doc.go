@@ -20,20 +20,45 @@
 //
 // # Views and zero-copy scans
 //
-// Scans do not gather rows. Segment.view materializes each column of a
-// segment into a []types.Value exactly once per segment version and hands
-// out View{Cols, Sel, N}: the batch executor slices those vectors directly
-// into Batch columns (zero copy, no per-scan work beyond a pointer copy).
-// Views are immutable once built; every mutation bumps the segment version
-// so the next scan rebuilds. Full segments (n == SegRows) cache their view
-// in an atomic pointer — the common case for loaded analytical tables,
-// where repeated scans touch no per-row code at all. The mutable tail
-// segment rebuilds its view per scan, which bounds staleness without
-// locking writers out.
+// Scans do not gather rows. The primary scan interface is the typed view:
+// TypedViews snapshots each segment as TypedCol payload arrays plus null
+// bitmaps (a copy of the raw arrays — never boxed), and the batch engine's
+// typed kernels run comparisons, arithmetic and aggregation directly over
+// them, boxing a types.Value only at projection/row boundaries. The legacy
+// boxed View (each column materialized as []types.Value) remains as the
+// measurement baseline and for callers that want boxed vectors up front.
+//
+// Views of either kind are immutable once built; every mutation bumps the
+// segment version so the next scan rebuilds. Full segments (n == SegRows)
+// cache both snapshots in atomic pointers — the common case for loaded
+// analytical tables, where repeated scans touch no per-row code at all.
+// The mutable tail segment rebuilds its view per scan, which bounds
+// staleness without locking writers out.
 //
 // Sel lists the live slot offsets when the segment has holes and is nil
 // when every slot is live, matching the batch engine's selection-vector
-// convention.
+// convention. Segments whose every slot is deleted are skipped outright.
+//
+// # Zone maps and segment pruning
+//
+// Every segment keeps a per-column min/max summary (zone) of its non-NULL
+// values. Writes widen the bounds incrementally — they never shrink on
+// UPDATE or DELETE, so the zones stay conservative — and ANALYZE
+// (Table.Maintain) recomputes them exactly. TypedViews accepts ColBound
+// conjuncts derived from `col <op> constant` scan predicates and skips
+// segments whose zones prove no row can qualify, before the segment is
+// even decoded; an all-NULL (or empty) column prunes under any comparison,
+// and a NULL comparison constant prunes everything. Pruning is refused for
+// type pairings whose comparison could raise an error, so it can only skip
+// work, never change semantics.
+//
+// # Compaction
+//
+// ANALYZE also hollows segments whose every slot is deleted: their payload
+// vectors are freed while the slot space (and the deleted bitmap) is
+// preserved, so RIDs, secondary indexes and undo-log restores stay valid.
+// A hollow segment re-materializes zeroed storage on demand when a
+// rollback restore or a tail append writes into it.
 //
 // # Promotion
 //

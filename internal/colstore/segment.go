@@ -114,12 +114,20 @@ type segment struct {
 	deleted Bitmap
 	dead    int    // number of deleted slots
 	version uint64 // bumped on every mutation; invalidates cached views
+	hollow  bool   // all-deleted payload freed; rebuilt on demand
+
+	// zones holds the per-column min/max summary used for scan pruning.
+	// Bounds widen on every write (conservative across overwrites and
+	// deletes) and are recomputed exactly by ANALYZE.
+	zones []zone
 
 	// view caches the decoded snapshot of a full segment, stamped with the
 	// version it was built at. Readers build-and-publish racily (last write
 	// wins — both candidates are equivalent), writers invalidate by bumping
-	// version under the owning table's write lock.
-	view atomic.Pointer[stampedView]
+	// version under the owning table's write lock. tview is the same cache
+	// for the typed (unboxed) snapshot.
+	view  atomic.Pointer[stampedView]
+	tview atomic.Pointer[stampedTypedView]
 }
 
 type stampedView struct {
@@ -127,11 +135,17 @@ type stampedView struct {
 	v       View
 }
 
+type stampedTypedView struct {
+	version uint64
+	v       TypedView
+}
+
 func newSegment(typs []types.Type) *segment {
 	s := &segment{
 		cols:    make([]colVec, len(typs)),
 		nulls:   make([]Bitmap, len(typs)),
 		deleted: newBitmap(SegRows),
+		zones:   make([]zone, len(typs)),
 	}
 	for i, t := range typs {
 		s.cols[i] = newColVec(t)
@@ -143,6 +157,7 @@ func newSegment(typs []types.Type) *segment {
 // grow extends the segment by one zero, non-deleted slot; the caller fills
 // it via write or marks it deleted (rollback padding).
 func (s *segment) grow() int {
+	s.ensureStorage()
 	i := s.n
 	for c := range s.cols {
 		s.cols[c].grow()
@@ -160,6 +175,7 @@ func (s *segment) write(i int, row types.Row) {
 		} else {
 			s.nulls[c].Clear(i)
 			s.cols[c].store(i, row[c])
+			s.zones[c].widen(row[c])
 		}
 	}
 	s.version++
@@ -194,9 +210,68 @@ func (s *segment) markDeleted(i int) {
 
 // revive restores row into the previously deleted slot i (undo of delete).
 func (s *segment) revive(i int, row types.Row) {
+	s.ensureStorage()
 	s.deleted.Clear(i)
 	s.dead--
 	s.write(i, row) // bumps version
+}
+
+// hollowOut frees the payload of an all-deleted segment while preserving
+// its slot space, so RIDs stay stable and an undo-log restore of one of its
+// slots keeps working (ensureStorage rebuilds zeroed vectors on demand).
+// ANALYZE-driven compaction calls it; callers hold the table's write lock.
+func (s *segment) hollowOut() {
+	if s.hollow || s.n == 0 || s.dead != s.n {
+		return
+	}
+	for c := range s.cols {
+		s.cols[c].ints, s.cols[c].floats, s.cols[c].strs = nil, nil, nil
+	}
+	s.hollow = true
+	s.zones = make([]zone, len(s.cols))
+	s.view.Store(nil)
+	s.tview.Store(nil)
+	s.version++
+}
+
+// ensureStorage rebuilds the zeroed payload vectors of a hollowed segment
+// before a write can land in it again (rollback restore, or appends into a
+// hollow tail segment).
+func (s *segment) ensureStorage() {
+	if !s.hollow {
+		return
+	}
+	for c := range s.cols {
+		vec := &s.cols[c]
+		switch vec.typ {
+		case types.FloatType:
+			vec.floats = make([]float64, s.n, SegRows)
+		case types.StringType:
+			vec.strs = make([]string, s.n, SegRows)
+		default:
+			vec.ints = make([]int64, s.n, SegRows)
+		}
+	}
+	s.hollow = false
+}
+
+// recomputeZones rebuilds the exact per-column min/max over live, non-NULL
+// slots (the ANALYZE pass; incremental widening only ever over-approximates).
+func (s *segment) recomputeZones() {
+	zs := make([]zone, len(s.cols))
+	if !s.hollow {
+		for c := range s.cols {
+			vec := &s.cols[c]
+			nulls := s.nulls[c]
+			for i := 0; i < s.n; i++ {
+				if s.deleted.Get(i) || nulls.Get(i) {
+					continue
+				}
+				zs[c].widen(vec.load(i))
+			}
+		}
+	}
+	s.zones = zs
 }
 
 // snapshot returns the current view of the segment, reusing the cached
@@ -212,6 +287,59 @@ func (s *segment) snapshot() View {
 		return v
 	}
 	return s.decode()
+}
+
+// typedSnapshot is snapshot's unboxed counterpart: the typed payload and
+// null bitmaps are copied (snapshot isolation — later in-place writes must
+// not show through), never boxed. Full segments cache the copy per version,
+// so steady-state scans of loaded tables touch no per-row code at all.
+func (s *segment) typedSnapshot() TypedView {
+	if s.n == SegRows {
+		if sv := s.tview.Load(); sv != nil && sv.version == s.version {
+			return sv.v
+		}
+		v := s.decodeTyped()
+		s.tview.Store(&stampedTypedView{version: s.version, v: v})
+		return v
+	}
+	return s.decodeTyped()
+}
+
+// decodeTyped snapshots every column of the segment in typed form.
+func (s *segment) decodeTyped() TypedView {
+	v := TypedView{Cols: make([]TypedCol, len(s.cols)), N: s.n}
+	for c := range s.cols {
+		vec := &s.cols[c]
+		tc := TypedCol{Typ: vec.typ}
+		switch vec.typ {
+		case types.FloatType:
+			tc.Floats = append([]float64(nil), vec.floats...)
+		case types.StringType:
+			tc.Strs = append([]string(nil), vec.strs...)
+		default:
+			tc.Ints = append([]int64(nil), vec.ints...)
+		}
+		if s.nulls[c].Count() > 0 {
+			tc.Nulls = s.nulls[c].clone()
+		}
+		v.Cols[c] = tc
+	}
+	v.Sel = s.liveSel()
+	return v
+}
+
+// liveSel returns the live slot selection, or nil when every slot is live.
+func (s *segment) liveSel() []int {
+	if s.dead == 0 {
+		return nil
+	}
+	sel := make([]int, 0, s.n-s.dead)
+	for i := 0; i < s.n; i++ {
+		if !s.deleted.Get(i) {
+			sel = append(sel, i)
+		}
+	}
+	return sel
 }
 
 // decode materializes every column (and the live selection) of the segment.
@@ -244,14 +372,6 @@ func (s *segment) decode() View {
 		}
 		v.Cols[c] = out
 	}
-	if s.dead > 0 {
-		sel := make([]int, 0, s.n-s.dead)
-		for i := 0; i < s.n; i++ {
-			if !s.deleted.Get(i) {
-				sel = append(sel, i)
-			}
-		}
-		v.Sel = sel
-	}
+	v.Sel = s.liveSel()
 	return v
 }

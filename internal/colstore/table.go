@@ -149,17 +149,67 @@ func (t *Table) Scan(fn func(slot int, row types.Row) bool) {
 	}
 }
 
-// Views snapshots every segment for a batch scan. The returned views are
-// immutable; concurrent DML after the call is not visible through them.
+// Views snapshots every segment for a boxed batch scan, skipping segments
+// with no live rows. The returned views are immutable; concurrent DML after
+// the call is not visible through them.
 func (t *Table) Views() []View {
 	out := make([]View, 0, len(t.segs))
 	for _, seg := range t.segs {
-		if seg.n == 0 {
+		if seg.n == 0 || seg.dead == seg.n {
 			continue
 		}
 		out = append(out, seg.snapshot())
 	}
 	return out
+}
+
+// TypedViews snapshots the segments for an unboxed batch scan, skipping
+// segments with no live rows and — when bounds are given — segments whose
+// zone maps prove no row can satisfy the scan predicate. pruned counts the
+// zone-map skips (fully-deleted segments are not scans avoided by pruning
+// and are not counted).
+func (t *Table) TypedViews(bounds []ColBound) (views []TypedView, pruned int) {
+	views = make([]TypedView, 0, len(t.segs))
+	for _, seg := range t.segs {
+		if seg.n == 0 || seg.dead == seg.n {
+			continue
+		}
+		if len(bounds) > 0 && seg.prunable(t.typs, bounds) {
+			pruned++
+			continue
+		}
+		views = append(views, seg.typedSnapshot())
+	}
+	return views, pruned
+}
+
+// Maintain is the ANALYZE hook: it recomputes exact zone maps for every
+// segment and hollows all-deleted segments — their payload vectors are
+// freed while the slot space is preserved, so RIDs, secondary indexes and
+// undo-log restores stay valid. Returns the number of segments hollowed by
+// this call. Callers hold the owning table's write lock.
+func (t *Table) Maintain() int {
+	hollowed := 0
+	for _, seg := range t.segs {
+		if !seg.hollow && seg.n > 0 && seg.dead == seg.n {
+			seg.hollowOut()
+			hollowed++
+		}
+		seg.recomputeZones()
+	}
+	return hollowed
+}
+
+// HollowSegments reports how many segments currently have their payload
+// freed (observability and tests).
+func (t *Table) HollowSegments() int {
+	n := 0
+	for _, seg := range t.segs {
+		if seg.hollow {
+			n++
+		}
+	}
+	return n
 }
 
 // --- auto-promotion heuristic ---

@@ -90,6 +90,96 @@ func (s *AggState) Add(v types.Value) {
 	}
 }
 
+// AddInt folds one non-NULL INTEGER without boxing — the batch engine's
+// typed aggregate kernels call it per element. Semantics are exactly
+// Add(types.NewInt(v)): the inline sum matches types.Arith's int+int and
+// float+int rules, and min/max keep the total order of types.Compare.
+func (s *AggState) AddInt(v int64) {
+	if s.star {
+		s.count++
+		return
+	}
+	if s.distinct {
+		s.Add(types.NewInt(v))
+		return
+	}
+	s.count++
+	if !s.started {
+		val := types.NewInt(v)
+		s.sum, s.min, s.max = val, val, val
+		s.started = true
+		return
+	}
+	switch s.sum.T {
+	case types.IntType:
+		s.sum.I += v
+	case types.FloatType:
+		s.sum.F += float64(v)
+	default:
+		if sum, err := types.Arith("+", s.sum, types.NewInt(v)); err == nil {
+			s.sum = sum
+		}
+	}
+	if s.min.T == types.IntType {
+		if v < s.min.I {
+			s.min.I = v
+		}
+	} else if types.Compare(types.NewInt(v), s.min) < 0 {
+		s.min = types.NewInt(v)
+	}
+	if s.max.T == types.IntType {
+		if v > s.max.I {
+			s.max.I = v
+		}
+	} else if types.Compare(types.NewInt(v), s.max) > 0 {
+		s.max = types.NewInt(v)
+	}
+}
+
+// AddFloat is AddInt's FLOAT counterpart: exactly Add(types.NewFloat(f)).
+func (s *AggState) AddFloat(f float64) {
+	if s.star {
+		s.count++
+		return
+	}
+	if s.distinct {
+		s.Add(types.NewFloat(f))
+		return
+	}
+	s.count++
+	if !s.started {
+		val := types.NewFloat(f)
+		s.sum, s.min, s.max = val, val, val
+		s.started = true
+		return
+	}
+	switch s.sum.T {
+	case types.FloatType:
+		s.sum.F += f
+	case types.IntType:
+		// Arith promotes int+float to FLOAT; mirror it.
+		s.sum = types.NewFloat(float64(s.sum.I) + f)
+	default:
+		if sum, err := types.Arith("+", s.sum, types.NewFloat(f)); err == nil {
+			s.sum = sum
+		}
+	}
+	if s.min.T == types.FloatType {
+		if f < s.min.F {
+			s.min.F = f
+		}
+	} else if types.Compare(types.NewFloat(f), s.min) < 0 {
+		s.min = types.NewFloat(f)
+	}
+	if s.max.T == types.FloatType {
+		if f > s.max.F {
+			s.max.F = f
+		}
+	} else if types.Compare(types.NewFloat(f), s.max) > 0 {
+		s.max = types.NewFloat(f)
+	}
+}
+
 // Merge folds another accumulator of the same aggregate spec into s — the
 // combine step of morsel-parallel aggregation, where each worker folds its
 // morsels into private states that are merged at the end. DISTINCT states

@@ -22,6 +22,8 @@ type Counters struct {
 	HashBuilds    int64
 	RowsProduced  int64
 	SpoolMaterial int64
+	// SegmentsPruned counts column-store segments skipped by zone maps.
+	SegmentsPruned int64
 }
 
 func add(c *int64, n int64) { atomic.AddInt64(c, n) }

@@ -57,7 +57,14 @@ func lowerPlan(p exec.Plan, opts Options) (vexec.BatchPlan, bool) {
 		if !ok {
 			return nil, false
 		}
-		return &vexec.ScanBatch{Table: n.Table, Pred: pred, Cols: n.Cols}, true
+		sb := &vexec.ScanBatch{Table: n.Table, Pred: pred, Cols: n.Cols, Boxed: !opts.TypedKernels}
+		if opts.ZonePruning {
+			// Zone-map pruning: conjuncts of the form `col <op> constant`
+			// are extracted once at compile time and resolved against the
+			// parameter frame at Open.
+			sb.Prune = vexec.ExtractPruneTerms(pred)
+		}
+		return sb, true
 	case *exec.IndexLookupPlan:
 		for _, k := range n.Keys {
 			if exec.ExprHasSubplan(k) {
@@ -144,6 +151,12 @@ func lowerPlan(p exec.Plan, opts Options) (vexec.BatchPlan, bool) {
 			// into morsels; the operator still folds sequentially below
 			// vexec.ParallelMinRows, so small tables pay no pool overhead.
 			if par, ok := vexec.ParallelizeAgg(agg, opts.ParallelWorkers, opts.ParallelMinRows); ok {
+				if ps, isPar := par.(*vexec.ParallelAggScan); isPar && opts.ZonePruning {
+					// The fused predicate folds downstream filters into the
+					// scan, so re-extract — it can prune more than the
+					// scan's own conjuncts alone.
+					ps.Prune = vexec.ExtractPruneTerms(ps.Pred)
+				}
 				return par, true
 			}
 		}

@@ -117,6 +117,12 @@ func (s *Store) Analyze(name string) error {
 	for i, col := range td.def.Columns {
 		td.def.SetColCard(col.Name, int64(len(seen[i])))
 	}
+	if ch, ok := td.heap.(*colHeap); ok {
+		// Column tables piggyback physical maintenance on the stats walk:
+		// exact zone maps for segment pruning, and compaction of segments
+		// whose every slot is deleted (payload freed, slot space kept).
+		ch.t.Maintain()
+	}
 	promote := td.heap.kind() == catalog.RowStore && colstore.AutoPromote(td.live)
 	td.mu.Unlock()
 	if promote {

@@ -63,6 +63,18 @@ func (t *TableData) Segments() int {
 	return 0
 }
 
+// HollowSegments reports how many column-store segments currently have
+// their payload freed by compaction (0 for row tables); observability and
+// tests read it.
+func (t *TableData) HollowSegments() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if ch, ok := t.heap.(*colHeap); ok {
+		return ch.t.HollowSegments()
+	}
+	return 0
+}
+
 // ColumnViews snapshots the column-store segments for a zero-copy batch
 // scan; ok is false when the table is row-major (callers then fall back to
 // Snapshot). The views are immutable — DML after the call is not visible
@@ -75,6 +87,21 @@ func (t *TableData) ColumnViews() ([]colstore.View, bool) {
 		return nil, false
 	}
 	return ch.t.Views(), true
+}
+
+// TypedColumnViews snapshots the column-store segments as typed (unboxed)
+// views for the typed batch kernels, skipping segments whose zone maps
+// refute one of the bounds; pruned counts the skipped segments. ok is false
+// when the table is row-major. Snapshot semantics match ColumnViews.
+func (t *TableData) TypedColumnViews(bounds []colstore.ColBound) (views []colstore.TypedView, pruned int, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ch, isCol := t.heap.(*colHeap)
+	if !isCol {
+		return nil, 0, false
+	}
+	views, pruned = ch.t.TypedViews(bounds)
+	return views, pruned, true
 }
 
 // Insert validates the row against the schema (arity, types, NOT NULL,

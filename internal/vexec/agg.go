@@ -48,6 +48,47 @@ func valHash(v types.Value) uint64 {
 	return h
 }
 
+// typedHashAt hashes element i of a typed vector without boxing it,
+// producing exactly valHash's byte sequence for the boxed equivalent —
+// typed and boxed group columns must land in the same buckets.
+func typedHashAt(tv *TypedVec, i int) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	if tv.IsNull(i) {
+		h ^= 0
+		h *= prime
+		return h
+	}
+	switch tv.Typ {
+	case types.StringType:
+		h ^= 2
+		h *= prime
+		s := tv.Strs[i]
+		for j := 0; j < len(s); j++ {
+			h ^= uint64(s[j])
+			h *= prime
+		}
+	default:
+		u := uint64(tv.Ints[i])
+		if tv.Typ == types.FloatType {
+			f := tv.Floats[i]
+			if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+				u = uint64(int64(f))
+			} else {
+				u = math.Float64bits(f)
+			}
+		}
+		h ^= 1
+		h *= prime
+		for j := 0; j < 8; j++ {
+			h ^= u & 0xff
+			h *= prime
+			u >>= 8
+		}
+	}
+	return h
+}
+
 // mixHash folds one value hash into a running FNV-1a state. groupHash and
 // rowHash must mix identically — merge-time probing relies on it.
 func mixHash(h, u uint64) uint64 {
@@ -61,15 +102,6 @@ func mixHash(h, u uint64) uint64 {
 }
 
 const fnvOffset = 14695981039346656037
-
-// groupHash combines the group-key values of physical row i.
-func groupHash(vecs []Vector, i int) uint64 {
-	h := uint64(fnvOffset)
-	for _, v := range vecs {
-		h = mixHash(h, valHash(v[i]))
-	}
-	return h
-}
 
 // AggSpec describes one aggregate computed by a HashAggBatch; semantics
 // mirror exec.AggSpec exactly (NULL-skipping, DISTINCT, AVG as SUM/COUNT).
@@ -103,8 +135,10 @@ type aggGroup struct {
 
 // groupTable is the hash-aggregation state shared by the single-threaded
 // HashAggBatch and the per-worker partials of ParallelAggScan: group keys
-// and aggregate arguments are evaluated one vector at a time, then folded
-// into per-group states.
+// and aggregate arguments are evaluated one vector at a time — in typed
+// form whenever the expression supports it, boxed otherwise — then folded
+// into per-group states without boxing typed elements (hashing reads the
+// payload arrays, aggregate folding goes through AggState.AddInt/AddFloat).
 type groupTable struct {
 	groupExprs []VExpr
 	specs      []AggSpec
@@ -113,17 +147,94 @@ type groupTable struct {
 	morsel     int // current morsel index, stamped onto new groups
 	seq        int
 
-	groupVecs []Vector
-	argVecs   []Vector
+	groupVecs  []Vector
+	argVecs    []Vector
+	groupTyped []*TypedVec
+	argTyped   []*TypedVec
+
+	// intGroups is the single-INTEGER-group fast path: one map[int64]
+	// lookup replaces the FNV hash chain and the equality probe. It is
+	// maintained alongside groups (every group lives in both), and shut
+	// off the moment a non-integer key appears — cross-type numeric
+	// equality (2 = 2.0) is only safe under the generic probe.
+	intGroups map[int64]*aggGroup
+	nullGroup *aggGroup
+	global    *aggGroup // the one group of a global aggregate
 }
 
 func newGroupTable(groupExprs []VExpr, specs []AggSpec) *groupTable {
-	return &groupTable{
+	g := &groupTable{
 		groupExprs: groupExprs,
 		specs:      specs,
 		groups:     make(map[uint64][]*aggGroup),
 		groupVecs:  make([]Vector, len(groupExprs)),
 		argVecs:    make([]Vector, len(specs)),
+		groupTyped: make([]*TypedVec, len(groupExprs)),
+		argTyped:   make([]*TypedVec, len(specs)),
+	}
+	if len(groupExprs) == 1 {
+		g.intGroups = make(map[int64]*aggGroup)
+	}
+	return g
+}
+
+// groupValAt boxes the group-key value of column gi at physical row i.
+func (g *groupTable) groupValAt(gi, i int) types.Value {
+	if tv := g.groupTyped[gi]; tv != nil {
+		return tv.Value(i)
+	}
+	return g.groupVecs[gi][i]
+}
+
+// addGroup registers a new group under hash h, keeping the int fast-path
+// index consistent with the generic table.
+func (g *groupTable) addGroup(key types.Row, h uint64) *aggGroup {
+	grp := &aggGroup{key: key, states: g.newStates(), morsel: g.morsel, seq: g.seq}
+	g.seq++
+	g.groups[h] = append(g.groups[h], grp)
+	g.order = append(g.order, grp)
+	if g.intGroups != nil {
+		switch {
+		case key[0].T == types.IntType:
+			g.intGroups[key[0].I] = grp
+		case key[0].IsNull():
+			g.nullGroup = grp
+		default:
+			// A non-integer key joined the table; integer-keyed probing can
+			// no longer see every group that compares equal (2 = 2.0), so
+			// the fast path retires for this table's lifetime.
+			g.intGroups = nil
+			g.nullGroup = nil
+		}
+	}
+	return grp
+}
+
+// foldRow folds the aggregate arguments of physical row i into grp.
+func (g *groupTable) foldRow(grp *aggGroup, i int) {
+	for ai := range g.specs {
+		st := grp.states[ai]
+		if g.specs[ai].Star {
+			st.Add(types.Value{})
+			continue
+		}
+		if tv := g.argTyped[ai]; tv != nil {
+			// Typed fold: NULLs skip (exactly Add's rule), INTEGER and
+			// FLOAT fold unboxed, BOOLEAN/VARCHAR box per element.
+			if tv.IsNull(i) {
+				continue
+			}
+			switch tv.Typ {
+			case types.IntType:
+				st.AddInt(tv.Ints[i])
+			case types.FloatType:
+				st.AddFloat(tv.Floats[i])
+			default:
+				st.Add(tv.Value(i))
+			}
+			continue
+		}
+		st.Add(g.argVecs[ai][i])
 	}
 }
 
@@ -145,29 +256,85 @@ func (g *groupTable) fold(e *env, b *Batch) error {
 	}
 	e.reset()
 	for gi, ge := range g.groupExprs {
+		tv, err := evalTypedOf(ge, e, b, sel)
+		if err != nil {
+			return err
+		}
+		if tv != nil {
+			g.groupTyped[gi], g.groupVecs[gi] = tv, nil
+			continue
+		}
 		v, err := ge.eval(e, b, sel)
 		if err != nil {
 			return err
 		}
-		g.groupVecs[gi] = v
+		g.groupVecs[gi], g.groupTyped[gi] = v, nil
 	}
 	for ai := range g.specs {
 		if g.specs[ai].Star {
+			continue
+		}
+		tv, err := evalTypedOf(g.specs[ai].Arg, e, b, sel)
+		if err != nil {
+			return err
+		}
+		if tv != nil {
+			g.argTyped[ai], g.argVecs[ai] = tv, nil
 			continue
 		}
 		v, err := g.specs[ai].Arg.eval(e, b, sel)
 		if err != nil {
 			return err
 		}
-		g.argVecs[ai] = v
+		g.argVecs[ai], g.argTyped[ai] = v, nil
+	}
+	// Global aggregate: one group serves every row.
+	if len(g.groupExprs) == 0 {
+		grp := g.global
+		if grp == nil {
+			grp = g.addGroup(types.Row{}, rowHash(nil))
+			g.global = grp
+		}
+		for _, i := range sel {
+			g.foldRow(grp, i)
+		}
+		return nil
+	}
+	// Single integer group column: probe by payload, no FNV chain, no
+	// boxed equality. NULL keys get their own cached group.
+	if g.intGroups != nil && g.groupTyped[0] != nil && g.groupTyped[0].Typ == types.IntType {
+		tv := g.groupTyped[0]
+		for _, i := range sel {
+			var grp *aggGroup
+			if tv.IsNull(i) {
+				if grp = g.nullGroup; grp == nil {
+					grp = g.addGroup(types.Row{types.Null}, rowHash(types.Row{types.Null}))
+				}
+			} else {
+				k := tv.Ints[i]
+				if grp = g.intGroups[k]; grp == nil {
+					key := types.Row{types.NewInt(k)}
+					grp = g.addGroup(key, rowHash(key))
+				}
+			}
+			g.foldRow(grp, i)
+		}
+		return nil
 	}
 	for _, i := range sel {
-		h := groupHash(g.groupVecs, i)
+		h := uint64(fnvOffset)
+		for gi := range g.groupExprs {
+			if tv := g.groupTyped[gi]; tv != nil {
+				h = mixHash(h, typedHashAt(tv, i))
+			} else {
+				h = mixHash(h, valHash(g.groupVecs[gi][i]))
+			}
+		}
 		var grp *aggGroup
 	probe:
 		for _, cand := range g.groups[h] {
 			for gi := range g.groupExprs {
-				if !types.Equal(cand.key[gi], g.groupVecs[gi][i]) {
+				if !types.Equal(cand.key[gi], g.groupValAt(gi, i)) {
 					continue probe
 				}
 			}
@@ -177,20 +344,11 @@ func (g *groupTable) fold(e *env, b *Batch) error {
 		if grp == nil {
 			key := make(types.Row, len(g.groupExprs))
 			for gi := range g.groupExprs {
-				key[gi] = g.groupVecs[gi][i]
+				key[gi] = g.groupValAt(gi, i)
 			}
-			grp = &aggGroup{key: key, states: g.newStates(), morsel: g.morsel, seq: g.seq}
-			g.seq++
-			g.groups[h] = append(g.groups[h], grp)
-			g.order = append(g.order, grp)
+			grp = g.addGroup(key, h)
 		}
-		for ai := range g.specs {
-			var v types.Value
-			if !g.specs[ai].Star {
-				v = g.argVecs[ai][i]
-			}
-			grp.states[ai].Add(v)
-		}
+		g.foldRow(grp, i)
 	}
 	return nil
 }
@@ -276,6 +434,8 @@ func (a *HashAggBatch) NextBatch(*exec.Ctx) (*Batch, error) {
 // Close implements BatchPlan.
 func (a *HashAggBatch) Close(*exec.Ctx) error {
 	a.out = nil
+	a.ob.release()
+	a.env.close()
 	return nil
 }
 

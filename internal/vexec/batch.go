@@ -7,6 +7,13 @@
 // and bridges back to the row iterators (BatchToRow) for everything else,
 // so every plan shape keeps working.
 //
+// Column-store scans feed batches in typed form: a column is an []int64,
+// []float64 or []string payload plus a null bitmap (TypedVec), and the
+// comparison/arithmetic/boolean/aggregate kernels run directly on those
+// arrays — values are boxed into types.Value only on demand, at projection
+// and row-bridge boundaries (Batch.Boxed, Batch.Row). Row-major sources and
+// computed columns keep the boxed Vector representation.
+//
 // Evaluation granularity: expressions are evaluated a batch at a time.
 // Boolean connectives mask their lazy side exactly like the row evaluator
 // (AND's right side runs only where the left is not false), and LIMIT is
@@ -19,6 +26,8 @@
 package vexec
 
 import (
+	"sync"
+
 	"xnf/internal/colstore"
 	"xnf/internal/exec"
 	"xnf/internal/types"
@@ -28,17 +37,74 @@ import (
 // amortize dispatch, small enough to keep a batch's columns in cache.
 const BatchSize = 1024
 
-// Vector is one column of a batch.
+// Vector is one boxed column of a batch.
 type Vector []types.Value
 
-// Batch is a column-major chunk of rows. N is the physical row count
-// (every column holds N values); Sel, when non-nil, lists the physical row
-// indexes that are logically present, in ascending order — filters qualify
-// rows by shrinking the selection instead of copying the survivors.
+// TypedVec is one typed column of a batch: a colstore segment column, or a
+// kernel result allocated from the expression arena.
+type TypedVec = colstore.TypedCol
+
+// --- allocation pools ---
+
+// slicePool recycles slices of one element type across executions, so
+// steady-state scans stop churning the garbage collector. put resets every
+// element before the slice re-enters the pool: pooled memory never carries
+// values (or string references) from one execution into another.
+type slicePool[T any] struct{ p sync.Pool }
+
+func (sp *slicePool[T]) get(n int) []T {
+	if v := sp.p.Get(); v != nil {
+		s := *(v.(*[]T))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	c := n
+	if c < BatchSize {
+		// Round small requests up so one pooled slice serves any batch.
+		c = BatchSize
+	}
+	return make([]T, n, c)
+}
+
+func (sp *slicePool[T]) put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s) // reset-on-put
+	sp.p.Put(&s)
+}
+
+var (
+	vecPool   slicePool[types.Value]
+	triPool   slicePool[types.TriBool]
+	selPool   slicePool[int]
+	intPool   slicePool[int64]
+	floatPool slicePool[float64]
+	strPool   slicePool[string]
+	wordPool  slicePool[uint64]
+)
+
+// Batch is a column-major chunk of rows. N is the physical row count; Sel,
+// when non-nil, lists the physical row indexes that are logically present,
+// in ascending order — filters qualify rows by shrinking the selection
+// instead of copying the survivors.
+//
+// A column is present in boxed form (Cols[c] non-nil), typed form
+// (Typed[c] non-nil), or both: typed-only columns come from column-store
+// segment views and are boxed lazily by Boxed/value, so a pipeline that
+// never leaves the typed kernels materializes no types.Value at all.
 type Batch struct {
-	Cols []Vector
-	Sel  []int
-	N    int
+	Cols  []Vector
+	Typed []*TypedVec
+	Sel   []int
+	N     int
+
+	// own is the pool-acquired boxed column storage, reused across
+	// NextBatch calls and returned to the pool by release. Cols entries
+	// either alias own entries or an immutable segment view.
+	own []Vector
 }
 
 // Len returns the logical (selected) row count.
@@ -49,28 +115,76 @@ func (b *Batch) Len() int {
 	return b.N
 }
 
+// value reads physical row i of column c, boxing typed-only entries.
+func (b *Batch) value(c, i int) types.Value {
+	if v := b.Cols[c]; v != nil {
+		return v[i]
+	}
+	return b.Typed[c].Value(i)
+}
+
 // Row gathers physical row i into a freshly allocated row.
 func (b *Batch) Row(i int) types.Row {
 	row := make(types.Row, len(b.Cols))
 	for c := range b.Cols {
-		row[c] = b.Cols[c][i]
+		row[c] = b.value(c, i)
 	}
 	return row
 }
 
-// resize readies the batch to hold n physical rows of the given width,
-// reusing column storage across NextBatch calls.
+// Boxed returns the boxed form of column c, materializing it from the
+// typed form on first use (box-on-demand at projection and row-bridge
+// boundaries). Only currently selected positions are filled — entries
+// outside the selection are unspecified, matching the expression
+// evaluator's vector contract — and the selection only ever narrows, so
+// the cached boxing stays valid for the rest of the batch's lifetime.
+func (b *Batch) Boxed(c int) Vector {
+	if v := b.Cols[c]; v != nil {
+		return v
+	}
+	tv := b.Typed[c]
+	b.ensureOwn(len(b.Cols))
+	out := b.ownCol(c, b.N)
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			out[i] = tv.Value(i)
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			out[i] = tv.Value(i)
+		}
+	}
+	b.Cols[c] = out
+	return out
+}
+
+func (b *Batch) ensureOwn(width int) {
+	for len(b.own) < width {
+		b.own = append(b.own, nil)
+	}
+}
+
+// ownCol returns owned storage for column c with room for n rows.
+func (b *Batch) ownCol(c, n int) Vector {
+	if cap(b.own[c]) < n {
+		vecPool.put(b.own[c])
+		b.own[c] = vecPool.get(n)
+	}
+	return b.own[c][:n]
+}
+
+// resize readies the batch to hold n physical rows of the given width in
+// boxed form, reusing pooled column storage across NextBatch calls.
 func (b *Batch) resize(width, n int) {
 	if cap(b.Cols) < width {
 		b.Cols = make([]Vector, width)
 	}
 	b.Cols = b.Cols[:width]
+	b.ensureOwn(width)
 	for c := range b.Cols {
-		if cap(b.Cols[c]) < n {
-			b.Cols[c] = make(Vector, n)
-		}
-		b.Cols[c] = b.Cols[c][:n]
+		b.Cols[c] = b.ownCol(c, n)
 	}
+	b.Typed = b.Typed[:0]
 	b.N = n
 	b.Sel = nil
 }
@@ -85,16 +199,65 @@ func (b *Batch) fromRows(rows []types.Row, width int) {
 	}
 }
 
-// fromView aliases a colstore segment view: the batch's columns become the
-// view's vectors (zero copy) and the view's live selection carries over.
-// The view is immutable, so the batch must never write through Cols.
+// fromView aliases a boxed colstore segment view: the batch's columns
+// become the view's vectors (zero copy) and the view's live selection
+// carries over. The view is immutable, so the batch must never write
+// through Cols.
 func (b *Batch) fromView(v colstore.View) {
 	b.Cols = b.Cols[:0]
 	for _, col := range v.Cols {
 		b.Cols = append(b.Cols, Vector(col))
 	}
+	b.Typed = b.Typed[:0]
 	b.N = v.N
 	b.Sel = v.Sel
+}
+
+// fromTypedView aliases a typed colstore segment view: the batch's columns
+// become the view's typed vectors (zero copy, nothing boxed) and the
+// view's live selection carries over. The view is immutable.
+func (b *Batch) fromTypedView(v *colstore.TypedView) {
+	width := len(v.Cols)
+	if cap(b.Cols) < width {
+		b.Cols = make([]Vector, width)
+	}
+	b.Cols = b.Cols[:width]
+	if cap(b.Typed) < width {
+		b.Typed = make([]*TypedVec, width)
+	}
+	b.Typed = b.Typed[:width]
+	for c := range v.Cols {
+		b.Cols[c] = nil
+		b.Typed[c] = &v.Cols[c]
+	}
+	b.N = v.N
+	b.Sel = v.Sel
+}
+
+// setTyped marks column c as typed-only (after resize), growing the typed
+// column list on demand.
+func (b *Batch) setTyped(c int, tv *TypedVec) {
+	for len(b.Typed) < len(b.Cols) {
+		b.Typed = append(b.Typed, nil)
+	}
+	b.Typed[c] = tv
+	b.Cols[c] = nil
+}
+
+// release returns the batch's pooled column storage; operators call it from
+// Close. The batch must be re-filled (resize/fromRows/fromView) before its
+// next use.
+func (b *Batch) release() {
+	for c := range b.own {
+		vecPool.put(b.own[c])
+		b.own[c] = nil
+	}
+	for c := range b.Cols {
+		b.Cols[c] = nil
+	}
+	b.Typed = b.Typed[:0]
+	b.Sel = nil
+	b.N = 0
 }
 
 // BatchPlan is a physical operator of the batch engine: a pull-based
@@ -109,7 +272,8 @@ type BatchPlan interface {
 	// The batch (and its selection) is valid until the next NextBatch or
 	// Close call on the same plan.
 	NextBatch(ctx *exec.Ctx) (*Batch, error)
-	// Close releases resources; the plan may be re-Opened afterwards.
+	// Close releases resources (pooled vectors return to the arena pools);
+	// the plan may be re-Opened afterwards.
 	Close(ctx *exec.Ctx) error
 	// Columns describes the output row.
 	Columns() []exec.Column

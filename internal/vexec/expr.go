@@ -4,15 +4,17 @@ import (
 	"fmt"
 	"strings"
 
+	"xnf/internal/colstore"
 	"xnf/internal/exec"
 	"xnf/internal/types"
 )
 
 // env is the per-execution evaluation context of the vectorized expression
 // interpreter: the parameter frame, plus a small vector arena so operator
-// trees reuse result storage across batches. One env belongs to exactly one
-// operator instance (plans are cloned per execution), so no synchronization
-// is needed.
+// trees reuse result storage across batches. Arena slices are acquired from
+// the shared slice pools and returned by close, so steady-state executions
+// allocate nothing. One env belongs to exactly one operator instance (plans
+// are cloned per execution), so no synchronization is needed.
 type env struct {
 	params types.Row
 
@@ -22,6 +24,8 @@ type env struct {
 	triUsed int
 	sels    [][]int
 	selUsed int
+	tvs     []*TypedVec
+	tvUsed  int
 	ident   []int
 }
 
@@ -30,6 +34,7 @@ func (e *env) open(params types.Row) {
 	e.used = 0
 	e.triUsed = 0
 	e.selUsed = 0
+	e.tvUsed = 0
 }
 
 // reset recycles the arena; operators call it once per batch before
@@ -38,6 +43,33 @@ func (e *env) reset() {
 	e.used = 0
 	e.triUsed = 0
 	e.selUsed = 0
+	e.tvUsed = 0
+}
+
+// close returns every arena slice to the shared pools; operators call it
+// from Close. The env may be re-opened afterwards.
+func (e *env) close() {
+	for _, v := range e.scratch {
+		vecPool.put(v)
+	}
+	e.scratch = e.scratch[:0]
+	for _, v := range e.tris {
+		triPool.put(v)
+	}
+	e.tris = e.tris[:0]
+	for _, v := range e.sels {
+		selPool.put(v)
+	}
+	e.sels = e.sels[:0]
+	for _, tv := range e.tvs {
+		intPool.put(tv.Ints)
+		floatPool.put(tv.Floats)
+		strPool.put(tv.Strs)
+		wordPool.put(tv.Nulls)
+		*tv = TypedVec{}
+	}
+	e.tvs = e.tvs[:0]
+	e.used, e.triUsed, e.selUsed, e.tvUsed = 0, 0, 0, 0
 }
 
 // get returns an arena vector of length n.
@@ -46,12 +78,13 @@ func (e *env) get(n int) Vector {
 		v := e.scratch[e.used]
 		e.used++
 		if cap(v) < n {
-			v = make(Vector, n)
+			vecPool.put(v)
+			v = vecPool.get(n)
 			e.scratch[e.used-1] = v
 		}
 		return v[:n]
 	}
-	v := make(Vector, n)
+	v := vecPool.get(n)
 	e.scratch = append(e.scratch, v)
 	e.used++
 	return v
@@ -63,12 +96,13 @@ func (e *env) getTri(n int) []types.TriBool {
 		v := e.tris[e.triUsed]
 		e.triUsed++
 		if cap(v) < n {
-			v = make([]types.TriBool, n)
+			triPool.put(v)
+			v = triPool.get(n)
 			e.tris[e.triUsed-1] = v
 		}
 		return v[:n]
 	}
-	v := make([]types.TriBool, n)
+	v := triPool.get(n)
 	e.tris = append(e.tris, v)
 	e.triUsed++
 	return v
@@ -80,15 +114,64 @@ func (e *env) getSel(n int) []int {
 		v := e.sels[e.selUsed]
 		e.selUsed++
 		if cap(v) < n {
-			v = make([]int, 0, n)
+			selPool.put(v)
+			v = selPool.get(n)
 			e.sels[e.selUsed-1] = v
 		}
 		return v[:0]
 	}
-	v := make([]int, 0, n)
+	v := selPool.get(n)
 	e.sels = append(e.sels, v)
 	e.selUsed++
-	return v
+	return v[:0]
+}
+
+// getTyped returns an arena typed vector of length n with no nulls; typed
+// kernels attach a bitmap via getNulls when they produce NULLs.
+func (e *env) getTyped(typ types.Type, n int) *TypedVec {
+	var tv *TypedVec
+	if e.tvUsed < len(e.tvs) {
+		tv = e.tvs[e.tvUsed]
+		e.tvUsed++
+	} else {
+		tv = &TypedVec{}
+		e.tvs = append(e.tvs, tv)
+		e.tvUsed++
+	}
+	if tv.Nulls != nil {
+		wordPool.put(tv.Nulls)
+		tv.Nulls = nil
+	}
+	tv.Typ = typ
+	switch typ {
+	case types.FloatType:
+		if cap(tv.Floats) < n {
+			floatPool.put(tv.Floats)
+			tv.Floats = floatPool.get(n)
+		}
+		tv.Floats = tv.Floats[:n]
+	case types.StringType:
+		if cap(tv.Strs) < n {
+			strPool.put(tv.Strs)
+			tv.Strs = strPool.get(n)
+		}
+		tv.Strs = tv.Strs[:n]
+	default:
+		if cap(tv.Ints) < n {
+			intPool.put(tv.Ints)
+			tv.Ints = intPool.get(n)
+		}
+		tv.Ints = tv.Ints[:n]
+	}
+	return tv
+}
+
+// getNulls returns a zeroed arena null bitmap covering n slots. The caller
+// attaches it to an arena typed vector, whose lifecycle returns it.
+func (e *env) getNulls(n int) colstore.Bitmap {
+	w := wordPool.get((n + 63) / 64)
+	clear(w)
+	return colstore.Bitmap(w)
 }
 
 // identity returns the cached selection [0, n).
@@ -303,7 +386,9 @@ func (s *vSlot) eval(e *env, b *Batch, sel []int) (Vector, error) {
 	if s.idx >= len(b.Cols) {
 		return nil, fmt.Errorf("vexec: slot %d out of range (batch width %d)", s.idx, len(b.Cols))
 	}
-	return b.Cols[s.idx], nil
+	// Boxed may materialize a typed column on demand — the box-on-demand
+	// boundary for expressions the typed kernels do not cover.
+	return b.Boxed(s.idx), nil
 }
 
 func (s *vSlot) String() string { return s.name }
@@ -449,6 +534,10 @@ func (c *vCmp) eval(e *env, b *Batch, sel []int) (Vector, error) {
 }
 
 func (c *vCmp) evalTri(e *env, b *Batch, sel []int, out []types.TriBool) error {
+	// Typed fast path: unboxed loops over segment arrays (typed.go).
+	if done, err := c.evalTriTyped(e, b, sel, out); done || err != nil {
+		return err
+	}
 	lv, err := c.l.eval(e, b, sel)
 	if err != nil {
 		return err
@@ -821,7 +910,81 @@ type vUn struct {
 
 func (u *vUn) String() string { return fmt.Sprintf("%s(%s)", u.op, u.x.String()) }
 
+// evalTri lets NOT and the null tests participate in the truth-vector
+// protocol. IS NULL / IS NOT NULL over a typed column read the null bitmap
+// directly — no value is ever boxed; NOT negates its child's truth vector.
+// Both reproduce the eval+TruthOf result exactly (the null tests yield only
+// True/False; NOT's ToValue/TruthOf round-trip is the identity).
+func (u *vUn) evalTri(e *env, b *Batch, sel []int, out []types.TriBool) error {
+	switch u.op {
+	case "NOT":
+		if err := evalTriOf(u.x, e, b, sel, out); err != nil {
+			return err
+		}
+		for _, i := range sel {
+			out[i] = out[i].Not()
+		}
+		return nil
+	case "ISNULL", "ISNOTNULL":
+		want := u.op == "ISNULL"
+		tv, err := evalTypedOf(u.x, e, b, sel)
+		if err != nil {
+			return err
+		}
+		if tv != nil {
+			if tv.Nulls == nil {
+				for _, i := range sel {
+					out[i] = types.Tri(!want)
+				}
+			} else {
+				for _, i := range sel {
+					out[i] = types.Tri(tv.Nulls.Get(i) == want)
+				}
+			}
+			return nil
+		}
+		xv, err := u.x.eval(e, b, sel)
+		if err != nil {
+			return err
+		}
+		for _, i := range sel {
+			out[i] = types.Tri(xv[i].IsNull() == want)
+		}
+		return nil
+	default:
+		v, err := u.eval(e, b, sel)
+		if err != nil {
+			return err
+		}
+		for _, i := range sel {
+			out[i] = types.TruthOf(v[i])
+		}
+		return nil
+	}
+}
+
 func (u *vUn) eval(e *env, b *Batch, sel []int) (Vector, error) {
+	switch u.op {
+	case "ISNULL", "ISNOTNULL":
+		want := u.op == "ISNULL"
+		tv, err := evalTypedOf(u.x, e, b, sel)
+		if err != nil {
+			return nil, err
+		}
+		if tv != nil {
+			out := e.get(b.N)
+			if tv.Nulls == nil {
+				for _, i := range sel {
+					out[i] = types.NewBool(!want)
+				}
+			} else {
+				for _, i := range sel {
+					out[i] = types.NewBool(tv.Nulls.Get(i) == want)
+				}
+			}
+			return out, nil
+		}
+	}
 	xv, err := u.x.eval(e, b, sel)
 	if err != nil {
 		return nil, err

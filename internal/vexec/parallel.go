@@ -22,18 +22,23 @@ const DefaultParallelMinRows = 16384
 // tables use one segment per morsel).
 const rowMorselRows = 2 * colstore.SegRows
 
-// morsel is one unit of parallel scan work: a colstore segment view or a
-// slice of a row snapshot.
+// morsel is one unit of parallel scan work: a typed colstore segment view,
+// a boxed segment view (baseline mode), or a slice of a row snapshot.
 type morsel struct {
-	view colstore.View
-	rows []types.Row
+	view  *colstore.TypedView
+	bview *colstore.View
+	rows  []types.Row
 }
 
 func (m morsel) liveRows() int {
-	if m.rows != nil {
+	switch {
+	case m.rows != nil:
 		return len(m.rows)
+	case m.bview != nil:
+		return m.bview.Rows()
+	default:
+		return m.view.Rows()
 	}
-	return m.view.Rows()
 }
 
 // ParallelAggScan is the morsel-parallel fusion of scan → filter →
@@ -59,6 +64,8 @@ type ParallelAggScan struct {
 	Width   int           // scanned table width (Pred/Groups/Aggs slot space)
 	Workers int           // worker pool bound; 0 = GOMAXPROCS
 	MinRows int64         // sequential below this; 0 = DefaultParallelMinRows
+	Boxed   bool          // boxed segment views (measurement baseline)
+	Prune   []PruneTerm   // zone-map pruning conjuncts over the fused Pred
 
 	out []types.Row
 	pos int
@@ -80,13 +87,26 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 		return err
 	}
 	var morsels []morsel
-	if views, ok := td.ColumnViews(); ok {
-		for _, v := range views {
-			if v.Rows() > 0 {
-				morsels = append(morsels, morsel{view: v})
+	colMode := false
+	if p.Boxed {
+		if views, ok := td.ColumnViews(); ok {
+			colMode = true
+			for i := range views {
+				if views[i].Rows() > 0 {
+					morsels = append(morsels, morsel{bview: &views[i]})
+				}
 			}
 		}
-	} else {
+	} else if views, pruned, ok := td.TypedColumnViews(ResolveBounds(p.Prune, params)); ok {
+		colMode = true
+		add(&ctx.Counters.SegmentsPruned, int64(pruned))
+		for i := range views {
+			if views[i].Rows() > 0 {
+				morsels = append(morsels, morsel{view: &views[i]})
+			}
+		}
+	}
+	if !colMode {
 		rows := td.Snapshot()
 		for lo := 0; lo < len(rows); lo += rowMorselRows {
 			hi := lo + rowMorselRows
@@ -117,6 +137,7 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 	if int64(total) < minRows || workers <= 1 {
 		// Sequential fold: same code path, one worker inline.
 		w := newAggWorker(p, params)
+		defer w.close()
 		for i := range morsels {
 			if err := w.foldMorsel(i, morsels[i]); err != nil {
 				return err
@@ -135,6 +156,7 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 		go func(wi int) {
 			defer wg.Done()
 			w := newAggWorker(p, params)
+			defer w.close()
 			tables[wi] = w.gt
 			// Static strided assignment keeps the row→partial-state
 			// partition deterministic (see the type comment).
@@ -177,6 +199,15 @@ func newAggWorker(p *ParallelAggScan, params types.Row) *aggWorker {
 	return w
 }
 
+// close returns the worker's pooled storage once its morsels are folded
+// (group keys and states are boxed copies, so nothing dangles).
+func (w *aggWorker) close() {
+	w.batch.release()
+	selPool.put(w.selBuf)
+	w.selBuf = nil
+	w.env.close()
+}
+
 // foldMorsel filters and folds one morsel into the worker's group table.
 func (w *aggWorker) foldMorsel(mi int, m morsel) error {
 	w.gt.morsel = mi
@@ -193,7 +224,11 @@ func (w *aggWorker) foldMorsel(mi int, m morsel) error {
 		}
 		return nil
 	}
-	w.batch.fromView(m.view)
+	if m.bview != nil {
+		w.batch.fromView(*m.bview)
+	} else {
+		w.batch.fromTypedView(m.view)
+	}
 	return w.foldBatch()
 }
 
@@ -274,6 +309,7 @@ func (p *ParallelAggScan) NextBatch(*exec.Ctx) (*Batch, error) {
 // Close implements BatchPlan.
 func (p *ParallelAggScan) Close(*exec.Ctx) error {
 	p.out = nil
+	p.ob.release()
 	return nil
 }
 
@@ -301,6 +337,12 @@ func (p *ParallelAggScan) Explain(indent int) string {
 	if p.Pred != nil {
 		f = " filter=" + p.Pred.String()
 	}
+	if len(p.Prune) > 0 {
+		f += " zonemap=(" + PruneTermsString(p.Prune) + ")"
+	}
+	if p.Boxed {
+		f += " boxed"
+	}
 	w := "GOMAXPROCS"
 	if p.Workers > 0 {
 		w = fmt.Sprintf("%d", p.Workers)
@@ -311,7 +353,7 @@ func (p *ParallelAggScan) Explain(indent int) string {
 
 // Clone implements BatchPlan.
 func (p *ParallelAggScan) Clone(func(exec.Plan) exec.Plan) BatchPlan {
-	return &ParallelAggScan{Table: p.Table, Pred: p.Pred, Groups: p.Groups, Aggs: p.Aggs, Cols: p.Cols, Width: p.Width, Workers: p.Workers, MinRows: p.MinRows}
+	return &ParallelAggScan{Table: p.Table, Pred: p.Pred, Groups: p.Groups, Aggs: p.Aggs, Cols: p.Cols, Width: p.Width, Workers: p.Workers, MinRows: p.MinRows, Boxed: p.Boxed, Prune: p.Prune}
 }
 
 // andSeq conjoins two optional predicates with filter-chain semantics: the
@@ -562,5 +604,5 @@ walk:
 		}
 		aggs[i] = spec
 	}
-	return &ParallelAggScan{Table: scan.Table, Pred: pred, Groups: groups, Aggs: aggs, Cols: a.Cols, Width: len(scan.Cols), Workers: workers, MinRows: minRows}, true
+	return &ParallelAggScan{Table: scan.Table, Pred: pred, Groups: groups, Aggs: aggs, Cols: a.Cols, Width: len(scan.Cols), Workers: workers, MinRows: minRows, Boxed: scan.Boxed}, true
 }

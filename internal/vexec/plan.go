@@ -58,30 +58,59 @@ func (c *chunker) next(width int, pred VExpr, scanned *int64) (*Batch, error) {
 	return nil, nil
 }
 
+// close returns the chunker's pooled storage.
+func (c *chunker) close() {
+	c.rows = nil
+	c.batch.release()
+	selPool.put(c.selBuf)
+	c.selBuf = nil
+	c.env.close()
+}
+
 // colChunker streams colstore segment views as filtered batches: each view
-// becomes one batch whose column vectors are direct slices of the view (no
+// becomes one batch whose columns alias the view directly (no per-batch
 // copy, no transpose), with the segment's live selection as the base
-// selection vector.
+// selection vector. The default feed is typed views — immutable
+// []int64/[]float64/[]string snapshots (copied once per segment version by
+// the column store, cached for full segments) that the typed kernels read
+// without ever boxing a value; bviews is the boxed baseline used when
+// typed kernels are disabled.
 type colChunker struct {
-	views  []colstore.View
+	views  []colstore.TypedView
+	bviews []colstore.View
 	pos    int
 	env    env
 	batch  Batch
 	selBuf []int
 }
 
-func (c *colChunker) open(views []colstore.View, params types.Row) {
+func (c *colChunker) open(views []colstore.TypedView, bviews []colstore.View, params types.Row) {
 	c.views = views
+	c.bviews = bviews
 	c.pos = 0
 	c.env.open(params)
 }
 
 func (c *colChunker) next(pred VExpr, scanned *int64) (*Batch, error) {
-	for c.pos < len(c.views) {
-		v := c.views[c.pos]
-		c.pos++
-		c.batch.fromView(v)
-		live := v.Rows()
+	for {
+		var live int
+		if c.bviews != nil {
+			if c.pos >= len(c.bviews) {
+				return nil, nil
+			}
+			v := c.bviews[c.pos]
+			c.pos++
+			c.batch.fromView(v)
+			live = v.Rows()
+		} else {
+			if c.pos >= len(c.views) {
+				return nil, nil
+			}
+			v := &c.views[c.pos]
+			c.pos++
+			c.batch.fromTypedView(v)
+			live = v.Rows()
+		}
 		if live == 0 {
 			continue
 		}
@@ -98,21 +127,36 @@ func (c *colChunker) next(pred VExpr, scanned *int64) (*Batch, error) {
 		}
 		return &c.batch, nil
 	}
-	return nil, nil
+}
+
+// close returns the chunker's pooled storage.
+func (c *colChunker) close() {
+	c.views = nil
+	c.bviews = nil
+	c.batch.release()
+	selPool.put(c.selBuf)
+	c.selBuf = nil
+	c.env.close()
 }
 
 // --- ScanBatch ---
 
 // ScanBatch scans a stored table a chunk at a time, applying an optional
 // vectorized filter as a selection vector. Column-major tables take the
-// zero-copy fast path: segment views are sliced straight into batches
-// (one batch per segment) with no row materialization or transpose; the
-// choice is made per execution at Open, so a cached plan follows the
-// table's current representation.
+// zero-copy fast path: typed segment views are sliced straight into batches
+// (one batch per segment) with no row materialization, no transpose and no
+// boxing; the choice is made per execution at Open, so a cached plan
+// follows the table's current representation. Prune carries the zone-map
+// conjuncts the optimizer extracted from Pred — segments whose min/max
+// refute one of them are skipped before they are even decoded. Boxed is the
+// measurement baseline: segment views are materialized as boxed vectors and
+// the typed kernels stay out of play.
 type ScanBatch struct {
 	Table string
 	Pred  VExpr // nil = no filter
 	Cols  []exec.Column
+	Boxed bool
+	Prune []PruneTerm
 
 	ch      chunker
 	cc      colChunker
@@ -125,9 +169,16 @@ func (s *ScanBatch) Open(ctx *exec.Ctx, params types.Row) error {
 	if err != nil {
 		return err
 	}
-	if views, ok := td.ColumnViews(); ok {
+	if s.Boxed {
+		if views, ok := td.ColumnViews(); ok {
+			s.colMode = true
+			s.cc.open(nil, views, params)
+			return nil
+		}
+	} else if views, pruned, ok := td.TypedColumnViews(ResolveBounds(s.Prune, params)); ok {
 		s.colMode = true
-		s.cc.open(views, params)
+		add(&ctx.Counters.SegmentsPruned, int64(pruned))
+		s.cc.open(views, nil, params)
 		return nil
 	}
 	s.colMode = false
@@ -145,8 +196,8 @@ func (s *ScanBatch) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 
 // Close implements BatchPlan.
 func (s *ScanBatch) Close(*exec.Ctx) error {
-	s.ch.rows = nil
-	s.cc.views = nil
+	s.ch.close()
+	s.cc.close()
 	return nil
 }
 
@@ -159,13 +210,19 @@ func (s *ScanBatch) Explain(indent int) string {
 	if s.Pred != nil {
 		f = " filter=" + s.Pred.String()
 	}
+	if len(s.Prune) > 0 {
+		f += " zonemap=(" + PruneTermsString(s.Prune) + ")"
+	}
+	if s.Boxed {
+		f += " boxed"
+	}
 	return fmt.Sprintf("%sBatchScan %s%s\n", pad(indent), s.Table, f)
 }
 
 // Clone implements BatchPlan. Vectorized expressions are stateless and
 // shared; only iterator state is per-instance.
 func (s *ScanBatch) Clone(func(exec.Plan) exec.Plan) BatchPlan {
-	return &ScanBatch{Table: s.Table, Pred: s.Pred, Cols: s.Cols}
+	return &ScanBatch{Table: s.Table, Pred: s.Pred, Cols: s.Cols, Boxed: s.Boxed, Prune: s.Prune}
 }
 
 // --- IndexLookupBatch ---
@@ -219,7 +276,10 @@ func (p *IndexLookupBatch) NextBatch(*exec.Ctx) (*Batch, error) {
 }
 
 // Close implements BatchPlan.
-func (p *IndexLookupBatch) Close(*exec.Ctx) error { return nil }
+func (p *IndexLookupBatch) Close(*exec.Ctx) error {
+	p.ch.close()
+	return nil
+}
 
 // Columns implements BatchPlan.
 func (p *IndexLookupBatch) Columns() []exec.Column { return p.Cols }
@@ -279,7 +339,12 @@ func (f *FilterBatch) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 }
 
 // Close implements BatchPlan.
-func (f *FilterBatch) Close(ctx *exec.Ctx) error { return f.Child.Close(ctx) }
+func (f *FilterBatch) Close(ctx *exec.Ctx) error {
+	selPool.put(f.selBuf)
+	f.selBuf = nil
+	f.env.close()
+	return f.Child.Close(ctx)
+}
 
 // Columns implements BatchPlan.
 func (f *FilterBatch) Columns() []exec.Column { return f.Child.Columns() }
@@ -326,6 +391,19 @@ func (p *ProjectBatch) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 	p.env.reset()
 	p.out.resize(len(p.Exprs), len(sel))
 	for c, ex := range p.Exprs {
+		// Typed expressions stay typed across the projection: the gather
+		// compacts payload arrays and null bits instead of boxing, so a
+		// downstream aggregate keeps its unboxed fold. The gathered vector
+		// lives in the operator arena, which is reset on the next
+		// NextBatch — exactly the output batch's validity window.
+		tv, err := evalTypedOf(ex, &p.env, b, sel)
+		if err != nil {
+			return nil, err
+		}
+		if tv != nil {
+			p.out.setTyped(c, gatherTyped(&p.env, tv, sel))
+			continue
+		}
 		v, err := ex.eval(&p.env, b, sel)
 		if err != nil {
 			return nil, err
@@ -339,7 +417,11 @@ func (p *ProjectBatch) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 }
 
 // Close implements BatchPlan.
-func (p *ProjectBatch) Close(ctx *exec.Ctx) error { return p.Child.Close(ctx) }
+func (p *ProjectBatch) Close(ctx *exec.Ctx) error {
+	p.out.release()
+	p.env.close()
+	return p.Child.Close(ctx)
+}
 
 // Columns implements BatchPlan.
 func (p *ProjectBatch) Columns() []exec.Column { return p.Cols }
@@ -461,7 +543,10 @@ func (r *RowSource) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 }
 
 // Close implements BatchPlan.
-func (r *RowSource) Close(ctx *exec.Ctx) error { return r.Plan.Close(ctx) }
+func (r *RowSource) Close(ctx *exec.Ctx) error {
+	r.batch.release()
+	return r.Plan.Close(ctx)
+}
 
 // Columns implements BatchPlan.
 func (r *RowSource) Columns() []exec.Column { return r.Plan.Columns() }

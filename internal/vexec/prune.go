@@ -1,0 +1,118 @@
+package vexec
+
+import (
+	"fmt"
+	"strings"
+
+	"xnf/internal/colstore"
+	"xnf/internal/types"
+)
+
+// PruneTerm is one conjunct of a scan predicate usable for zone-map
+// pruning: table column Col compared against an execution-time scalar (a
+// literal or a parameter). The optimizer extracts terms at compile time;
+// scans resolve them against the parameter frame at Open and hand the
+// resulting bounds to the column store, which skips whole segments whose
+// per-segment min/max refute a bound.
+type PruneTerm struct {
+	Col int
+	Opc int   // comparison opcode (opEq … opGe); <> never generates a term
+	Val VExpr // *vConst, *vParam or *vTail
+}
+
+// String renders the term for EXPLAIN output.
+func (t PruneTerm) String() string {
+	return fmt.Sprintf("#%d %s %s", t.Col, cmpName[t.Opc], t.Val.String())
+}
+
+// PruneTermsString renders a term list for EXPLAIN output.
+func PruneTermsString(terms []PruneTerm) string {
+	parts := make([]string, len(terms))
+	for i, t := range terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// ExtractPruneTerms collects the prunable conjuncts of a compiled scan
+// predicate: it descends AND-shaped connectives (a selected row needs every
+// conjunct true, so each conjunct prunes independently) and keeps
+// comparisons between a bare scan column and an execution-time scalar. OR
+// branches and computed operands contribute nothing — pruning is purely an
+// optimization, so missing terms only cost speed, never correctness.
+func ExtractPruneTerms(pred VExpr) []PruneTerm {
+	var out []PruneTerm
+	var walk func(x VExpr)
+	walk = func(x VExpr) {
+		switch n := x.(type) {
+		case *vAnd:
+			walk(n.l)
+			walk(n.r)
+		case *vSeqAnd:
+			walk(n.l)
+			walk(n.r)
+		case *vCmp:
+			if n.opc == opNe {
+				return
+			}
+			if s, ok := n.l.(*vSlot); ok && isScalarExpr(n.r) {
+				out = append(out, PruneTerm{Col: s.idx, Opc: n.opc, Val: n.r})
+				return
+			}
+			if s, ok := n.r.(*vSlot); ok && isScalarExpr(n.l) {
+				out = append(out, PruneTerm{Col: s.idx, Opc: flipOpc(n.opc), Val: n.l})
+			}
+		}
+	}
+	walk(pred)
+	return out
+}
+
+func isScalarExpr(x VExpr) bool {
+	switch x.(type) {
+	case *vConst, *vParam, *vTail:
+		return true
+	}
+	return false
+}
+
+// ResolveBounds evaluates the terms against the parameter frame. Terms
+// whose scalar cannot be resolved are dropped (the filter still applies the
+// full predicate — pruning is only ever a subset of it). A NULL comparison
+// value yields a Never bound: the conjunct is Unknown on every row, so
+// every segment prunes.
+func ResolveBounds(terms []PruneTerm, params types.Row) []colstore.ColBound {
+	if len(terms) == 0 {
+		return nil
+	}
+	e := env{params: params}
+	out := make([]colstore.ColBound, 0, len(terms))
+	for _, t := range terms {
+		v, ok := scalarOf(t.Val, &e)
+		if !ok {
+			continue
+		}
+		b := colstore.ColBound{Col: t.Col}
+		if v.IsNull() {
+			b.Never = true
+			out = append(out, b)
+			continue
+		}
+		switch t.Opc {
+		case opEq:
+			b.Lo, b.Hi, b.HasLo, b.HasHi = v, v, true, true
+		case opLt:
+			b.Hi, b.HasHi, b.HiStrict = v, true, true
+		case opLe:
+			b.Hi, b.HasHi = v, true
+		case opGt:
+			b.Lo, b.HasLo, b.LoStrict = v, true, true
+		case opGe:
+			b.Lo, b.HasLo = v, true
+		default:
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
