@@ -21,6 +21,8 @@ func main() {
 	load := flag.String("load", "org", "workload to preload: org, parts, oo1, none")
 	depts := flag.Int("depts", 20, "org: number of departments")
 	parts := flag.Int("parts", 20000, "oo1/parts: number of parts")
+	cursors := flag.Int("cursors", 0, "max open cursors per session (0 = default)")
+	block := flag.Int("block", 0, "default rows per cursor fetch block (0 = default)")
 	flag.Parse()
 
 	db := xnf.Open()
@@ -48,8 +50,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	srv := db.NewServer()
+	// Cursor limits: per-session open-cursor bound and the block size the
+	// streaming result path ships per fetch round trip.
+	srv.MaxCursorsPerSession = *cursors
+	srv.CursorBlockRows = *block
 	fmt.Printf("xnfserver: %s workload, listening on %s\n", *load, l.Addr())
-	if err := db.NewServer().Serve(l); err != nil {
+	if err := srv.Serve(l); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

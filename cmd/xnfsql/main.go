@@ -6,14 +6,20 @@
 // Besides SQL and XNF statements it understands:
 //
 //	\d               list tables and views
-//	\storage         per-table storage kind (row vs column) and segments
+//	\storage         per-table storage kind, segments and session scan/prune stats
 //	\co VIEW         extract a CO view and summarize the cache
 //	\explain SELECT  show the physical plan
+//	\explain ANALYZE SELECT  run it and show the plan with runtime counters
+//	\fetchsize N     rows per output flush of the streaming printer
 //	\table1 VIEW     derivation-cost analysis (paper Table 1)
 //	\prepare N SQL   prepare a statement (use ? placeholders) under name N
 //	\run N ARG…      execute prepared statement N with bound arguments
 //	\cache           plan-cache and compile statistics
 //	\q               quit
+//
+// SELECT results stream through the pull-based cursor API (xnf.DB.QueryRows):
+// rows print incrementally as the plan produces them, so a huge result never
+// materializes in the shell.
 package main
 
 import (
@@ -85,24 +91,34 @@ func check(err error) {
 	}
 }
 
+// fetchSize is the row count between output flushes of the streaming
+// printer (\fetchsize).
+var fetchSize = 1000
+
+// sessionCounters accumulates the execution counters of every statement the
+// shell ran; \storage reports them so zone-map effectiveness is visible.
+var sessionCounters xnf.Counters
+
+func addCounters(c xnf.Counters) {
+	sessionCounters.RowsScanned += c.RowsScanned
+	sessionCounters.RowsProduced += c.RowsProduced
+	sessionCounters.IndexLookups += c.IndexLookups
+	sessionCounters.SegmentsPruned += c.SegmentsPruned
+	sessionCounters.SubplanRuns += c.SubplanRuns
+	sessionCounters.SpoolMaterial += c.SpoolMaterial
+	sessionCounters.HashBuilds += c.HashBuilds
+}
+
 func run(db *xnf.DB, stmt string) {
 	upper := strings.ToUpper(strings.TrimSpace(stmt))
 	switch {
 	case strings.HasPrefix(upper, "SELECT"):
-		res, err := db.Query(stmt)
+		rows, err := db.QueryRows(stmt)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
-		names := make([]string, len(res.Cols))
-		for i, c := range res.Cols {
-			names[i] = c.Name
-		}
-		fmt.Println(strings.Join(names, " | "))
-		for _, r := range res.Rows {
-			fmt.Println(strings.ReplaceAll(r.String(), "|", " | "))
-		}
-		fmt.Printf("(%d rows)\n", len(res.Rows))
+		printRows(rows)
 	case strings.HasPrefix(upper, "OUT"):
 		summarizeCO(db, stmt)
 	default:
@@ -172,12 +188,31 @@ func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 			}
 			kind := td.StorageKind().String()
 			if kind == "COLUMN" {
-				fmt.Printf("%-16s %-6s %8d rows  %d segment(s)\n", t.Name, kind, t.RowCount(), td.Segments())
+				extra := ""
+				if h := td.HollowSegments(); h > 0 {
+					extra = fmt.Sprintf(" (%d hollow)", h)
+				}
+				fmt.Printf("%-16s %-6s %8d rows  %d segment(s)%s\n", t.Name, kind, t.RowCount(), td.Segments(), extra)
 			} else {
 				fmt.Printf("%-16s %-6s %8d rows\n", t.Name, kind, t.RowCount())
 			}
 		}
+		c := sessionCounters
+		fmt.Printf("session: %d rows scanned, %d index lookups, %d segments pruned by zone maps\n",
+			c.RowsScanned, c.IndexLookups, c.SegmentsPruned)
 		fmt.Println("switch with: ALTER TABLE name SET STORAGE COLUMN (or ROW)")
+	case `\fetchsize`:
+		if len(fields) < 2 {
+			fmt.Printf("fetch size: %d\n", fetchSize)
+			return true
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			fmt.Println("usage: \\fetchsize N (N >= 1)")
+			return true
+		}
+		fetchSize = n
+		fmt.Printf("fetch size set to %d\n", n)
 	case `\d`:
 		for _, t := range db.Engine().Catalog().Tables() {
 			fmt.Printf("table %-16s %d rows, %d columns\n", t.Name, t.RowCount(), len(t.Columns))
@@ -197,7 +232,15 @@ func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 		summarizeCO(db, fields[1])
 	case `\explain`:
 		sql := strings.TrimSpace(strings.TrimPrefix(cmd, `\explain`))
-		plan, err := db.Explain(sql)
+		// \explain ANALYZE SELECT… also executes the plan and appends the
+		// runtime counters (rows scanned, segments pruned by zone maps).
+		var plan string
+		var err error
+		if rest, ok := cutKeyword(sql, "ANALYZE"); ok {
+			plan, err = db.ExplainAnalyze(rest)
+		} else {
+			plan, err = db.Explain(sql)
+		}
 		if err != nil {
 			fmt.Println("error:", err)
 			return true
@@ -215,9 +258,18 @@ func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 		}
 		fmt.Print(t.Format())
 	default:
-		fmt.Println(`commands: \d  \storage  \co VIEW  \explain SELECT…  \table1 VIEW  \prepare NAME SQL…  \run NAME ARG…  \cache  \q`)
+		fmt.Println(`commands: \d  \storage  \co VIEW  \explain [ANALYZE] SELECT…  \fetchsize N  \table1 VIEW  \prepare NAME SQL…  \run NAME ARG…  \cache  \q`)
 	}
 	return true
+}
+
+// cutKeyword strips a leading keyword (case-insensitive, followed by a
+// space) from s; ok reports whether it was present.
+func cutKeyword(s, kw string) (string, bool) {
+	if len(s) > len(kw) && strings.EqualFold(s[:len(kw)], kw) && s[len(kw)] == ' ' {
+		return strings.TrimSpace(s[len(kw):]), true
+	}
+	return s, false
 }
 
 // parseArgs converts shell words to SQL values: integers, floats, NULL,
@@ -246,22 +298,47 @@ func parseArgs(words []string) []xnf.Value {
 	return out
 }
 
+// printRows streams a result to stdout: rows print as the plan produces
+// them, flushed every fetchSize rows, so a huge result never materializes
+// in the shell. The execution counters are folded into the session totals.
+func printRows(rows *xnf.Rows) {
+	defer rows.Close()
+	names := make([]string, len(rows.Columns()))
+	for i, c := range rows.Columns() {
+		names[i] = c.Name
+	}
+	out := bufio.NewWriter(os.Stdout)
+	fmt.Fprintln(out, strings.Join(names, " | "))
+	n := 0
+	for {
+		r, err := rows.Next()
+		if err != nil {
+			out.Flush()
+			fmt.Println("error:", err)
+			return
+		}
+		if r == nil {
+			break
+		}
+		fmt.Fprintln(out, strings.ReplaceAll(r.String(), "|", " | "))
+		n++
+		if n%fetchSize == 0 {
+			out.Flush()
+		}
+	}
+	fmt.Fprintf(out, "(%d rows)\n", n)
+	out.Flush()
+	addCounters(rows.Counters())
+}
+
 func runPrepared(stmt *xnf.Stmt, args []xnf.Value) {
 	if stmt.IsQuery() {
-		res, err := stmt.Query(args...)
+		rows, err := stmt.QueryRows(args...)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
-		names := make([]string, len(res.Cols))
-		for i, c := range res.Cols {
-			names[i] = c.Name
-		}
-		fmt.Println(strings.Join(names, " | "))
-		for _, r := range res.Rows {
-			fmt.Println(strings.ReplaceAll(r.String(), "|", " | "))
-		}
-		fmt.Printf("(%d rows)\n", len(res.Rows))
+		printRows(rows)
 		return
 	}
 	n, err := stmt.Exec(args...)

@@ -56,6 +56,27 @@ TAKE *`)
 	}
 	fmt.Printf("independent cursor visited %d employees\n", count)
 
+	// Streaming relational results: QueryRows is a pull-based cursor — the
+	// plan runs lazily as rows are pulled, so a result of any size is
+	// iterated in bounded memory. (Over the wire, ClientStmt.QueryRows has
+	// the same shape with one block shipped per round trip.)
+	rows, err := db.QueryRows("SELECT ename, sal FROM EMP WHERE sal > ? ORDER BY sal DESC", xnf.NewFloat(90000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("well-paid employees (streamed):")
+	for {
+		row, err := rows.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if row == nil {
+			break
+		}
+		fmt.Printf("  %-8s $%.0f\n", row[0].S, row[1].F)
+	}
+	rows.Close()
+
 	// Local update + write-back: the cache turns it into an UPDATE against
 	// the base table.
 	emps, _ := cache.Component("e")

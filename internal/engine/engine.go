@@ -2,6 +2,12 @@
 // storage engine and drives the full compilation pipeline of Fig. 2
 // (parse → semantic checking → rewrite → plan optimization → execution)
 // for SQL statements. XNF queries are delegated to internal/core.
+//
+// Query results come in two shapes: Query materializes the whole result
+// into a Result, and QueryRows returns a streaming Rows cursor that drives
+// the plan lazily in bounded memory (see the Rows type for the full
+// contract: Next until nil, check Err, always Close). Query is implemented
+// on top of QueryRows.
 package engine
 
 import (
@@ -67,7 +73,10 @@ func (db *Database) Catalog() *catalog.Catalog { return db.cat }
 // Store exposes the storage engine.
 func (db *Database) Store() *storage.Store { return db.store }
 
-// Result is a fully materialized query result.
+// Result is a fully materialized query result. For large results prefer
+// the streaming cursor (Database.QueryRows / Stmt.QueryRows), which holds
+// one batch in memory instead of every row; Query is a materializing
+// wrapper over it.
 type Result struct {
 	Cols []exec.Column
 	Rows []types.Row
@@ -221,6 +230,40 @@ func (db *Database) Explain(sql string) (string, error) {
 		return "", err
 	}
 	return plan.Explain(0), nil
+}
+
+// ExplainAnalyze compiles and executes a SELECT (streaming, the result is
+// discarded) and returns the physical plan text followed by the runtime
+// counters of the execution — rows produced and scanned, index probes, and
+// zone-map pruning effectiveness (segments skipped before decoding). Args
+// bind `?` placeholders.
+func (db *Database) ExplainAnalyze(sql string, args ...types.Value) (string, error) {
+	stmt, err := db.Prepare(sql)
+	if err != nil {
+		return "", err
+	}
+	if !stmt.IsQuery() {
+		return "", fmt.Errorf("engine: EXPLAIN ANALYZE requires a SELECT statement")
+	}
+	rows, err := stmt.QueryRows(args...)
+	if err != nil {
+		return "", err
+	}
+	defer rows.Close()
+	n := 0
+	for {
+		row, err := rows.Next()
+		if err != nil {
+			return "", err
+		}
+		if row == nil {
+			break
+		}
+		n++
+	}
+	c := rows.Counters()
+	return fmt.Sprintf("%s-- %d row(s); rows_scanned=%d index_lookups=%d segments_pruned=%d spools=%d subplan_runs=%d\n",
+		stmt.plan.Explain(0), n, c.RowsScanned, c.IndexLookups, c.SegmentsPruned, c.SpoolMaterial, c.SubplanRuns), nil
 }
 
 func (db *Database) createTable(s *ast.CreateTableStmt) error {

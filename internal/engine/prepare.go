@@ -94,28 +94,31 @@ func (s *Stmt) SQL() string { return s.text }
 // Columns describes the output of a prepared SELECT (nil otherwise).
 func (s *Stmt) Columns() []exec.Column { return s.cols }
 
-// Query executes a prepared SELECT with the given placeholder arguments.
-// The statement revalidates itself against the catalog version first (a
-// few atomic loads while nothing changed), so a handle retained across
-// DDL/ANALYZE re-prepares instead of silently running a stale plan.
+// Query executes a prepared SELECT with the given placeholder arguments and
+// materializes the whole result. It is a thin wrapper over QueryRows — the
+// streaming cursor is the primary execution path; use it directly when the
+// result may be large. The statement revalidates itself against the catalog
+// version first (a few atomic loads while nothing changed), so a handle
+// retained across DDL/ANALYZE re-prepares instead of silently running a
+// stale plan.
 func (s *Stmt) Query(args ...types.Value) (*Result, error) {
-	s, err := s.Revalidate()
+	rows, err := s.QueryRows(args...)
 	if err != nil {
 		return nil, err
 	}
-	if s.sel == nil {
-		return nil, fmt.Errorf("engine: Query requires a SELECT statement")
+	defer rows.Close()
+	var out []types.Row
+	for {
+		row, err := rows.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		out = append(out, row)
 	}
-	if len(args) != s.nparams {
-		return nil, fmt.Errorf("engine: statement wants %d arguments, got %d", s.nparams, len(args))
-	}
-	plan := exec.ClonePlan(s.plan)
-	ctx := exec.NewCtx(s.db.store)
-	rows, err := exec.CollectWith(ctx, plan, types.Row(args))
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Cols: s.cols, Rows: rows, Counters: ctx.Counters}, nil
+	return &Result{Cols: rows.Columns(), Rows: out, Counters: rows.Counters()}, nil
 }
 
 // Exec executes a prepared DML or DDL statement with the given placeholder

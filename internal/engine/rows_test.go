@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"xnf/internal/types"
+)
+
+// drainRows pulls a Rows to the end, returning the rendered rows.
+func drainRows(t *testing.T, rows *Rows) []string {
+	t.Helper()
+	var out []string
+	for {
+		row, err := rows.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if row == nil {
+			return out
+		}
+		out = append(out, row.String())
+	}
+}
+
+// TestQueryRowsEquivalence drives the full row-vs-batch corpus through the
+// streaming cursor and diffs it row for row against the materialized Query
+// path. Both run the same compiled plan, so even hash orders must agree.
+func TestQueryRowsEquivalence(t *testing.T) {
+	db := orgDB(t)
+	for _, q := range equivCorpus {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", q, err)
+		}
+		rows, err := db.QueryRows(q)
+		if err != nil {
+			t.Fatalf("QueryRows(%q): %v", q, err)
+		}
+		got := drainRows(t, rows)
+		if err := rows.Err(); err != nil {
+			t.Fatalf("%q: Err after drain: %v", q, err)
+		}
+		if len(got) != len(res.Rows) {
+			t.Errorf("%q: QueryRows returned %d rows, Query %d", q, len(got), len(res.Rows))
+			continue
+		}
+		for i, r := range res.Rows {
+			if got[i] != r.String() {
+				t.Errorf("%q row %d: QueryRows %s, Query %s", q, i, got[i], r.String())
+				break
+			}
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatalf("%q: Close after drain: %v", q, err)
+		}
+	}
+}
+
+// TestQueryRowsContract pins the Rows API contract: Next after end of
+// stream and after Close keeps returning (nil, nil), Err stays nil on a
+// clean stream, Close is idempotent, and non-SELECT statements are
+// rejected up front.
+func TestQueryRowsContract(t *testing.T) {
+	db := orgDB(t)
+	rows, err := db.QueryRows("SELECT eno FROM EMP WHERE eno <= ?", types.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rows.Columns()); got != 1 {
+		t.Fatalf("Columns() = %d, want 1", got)
+	}
+	n := len(drainRows(t, rows))
+	if n != 2 {
+		t.Fatalf("drained %d rows, want 2", n)
+	}
+	// End of stream is sticky and clean.
+	for i := 0; i < 3; i++ {
+		row, err := rows.Next()
+		if row != nil || err != nil {
+			t.Fatalf("Next after EOF = (%v, %v)", row, err)
+		}
+	}
+	if rows.Err() != nil {
+		t.Fatalf("Err after clean drain: %v", rows.Err())
+	}
+	if rows.Counters().RowsScanned == 0 {
+		t.Fatal("Counters() empty after drain")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal("double Close should be a no-op")
+	}
+
+	// Close mid-stream, then Next returns (nil, nil).
+	rows, err = db.QueryRows("SELECT eno FROM EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if row, err := rows.Next(); row != nil || err != nil {
+		t.Fatalf("Next after Close = (%v, %v)", row, err)
+	}
+
+	if _, err := db.QueryRows("INSERT INTO DEPT VALUES (9, 'x', 'y')"); err == nil {
+		t.Fatal("QueryRows on DML should fail")
+	}
+	if _, err := db.QueryRows("SELECT eno FROM EMP WHERE eno = ?"); err == nil {
+		t.Fatal("argument-count mismatch should fail")
+	}
+}
+
+// TestQueryRowsLazy asserts that the cursor drives the plan incrementally:
+// after pulling a handful of rows of a large scan, only a small prefix of
+// the table has been scanned — the property that bounds server memory when
+// the cursor is exposed over the wire.
+func TestQueryRowsLazy(t *testing.T) {
+	db := Open()
+	if err := db.ExecScript("CREATE TABLE BIG (a INT NOT NULL, b INT, PRIMARY KEY (a))"); err != nil {
+		t.Fatal(err)
+	}
+	td, err := db.Store().Table("BIG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if _, err := td.Insert(types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 7))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := db.QueryRows("SELECT a, b FROM BIG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := rows.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if scanned := rows.Counters().RowsScanned; scanned > n/4 {
+		t.Fatalf("after 10 rows the plan already scanned %d of %d rows — not lazy", scanned, n)
+	}
+}
+
+// TestQueryRowsCancellation cancels a context mid-stream: Next must surface
+// the context error, close the plan (returning pooled batches), and stay in
+// the error state.
+func TestQueryRowsCancellation(t *testing.T) {
+	db := orgDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := db.QueryRowsContext(ctx, "SELECT eno, ename FROM EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := rows.Next(); err != context.Canceled {
+		t.Fatalf("Next after cancel = %v, want context.Canceled", err)
+	}
+	if rows.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", rows.Err())
+	}
+	if _, err := rows.Next(); err != context.Canceled {
+		t.Fatal("error must be sticky")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("Close after cancel: %v", err)
+	}
+
+	// A context canceled before the query starts fails fast.
+	if _, err := db.QueryRowsContext(ctx, "SELECT eno FROM EMP"); err != context.Canceled {
+		t.Fatalf("QueryRowsContext on canceled ctx = %v", err)
+	}
+}
+
+// TestQueryRowsConcurrentCancelRace hammers the cursor from many goroutines
+// — partial drains, mid-stream cancellations, full drains — under -race,
+// verifying that pooled batch storage returns cleanly and executions never
+// share state.
+func TestQueryRowsConcurrentCancelRace(t *testing.T) {
+	db := typedDB(t, 20_000)
+	if err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare("SELECT v, g, f FROM TT WHERE v >= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				rows, err := stmt.QueryRowsContext(ctx, types.NewInt(int64(i*100)))
+				if err != nil {
+					cancel()
+					errc <- err
+					return
+				}
+				stop := (g + i) % 3 // 0: cancel early, 1: close early, 2: drain
+				for k := 0; ; k++ {
+					row, err := rows.Next()
+					if err != nil || row == nil {
+						break
+					}
+					if stop == 0 && k == 5 {
+						cancel()
+					}
+					if stop == 1 && k == 9 {
+						rows.Close()
+						break
+					}
+				}
+				rows.Close()
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryRowsDMLBetweenPulls interleaves DML with an open cursor: the
+// stream keeps iterating the snapshot it opened on, and a new cursor sees
+// the new data.
+func TestQueryRowsDMLBetweenPulls(t *testing.T) {
+	db := orgDB(t)
+	before, err := db.Query("SELECT COUNT(*) FROM EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := before.Rows[0][0].I
+
+	rows, err := db.QueryRows("SELECT eno FROM EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if _, err := rows.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("DELETE FROM EMP WHERE eno >= 0"); err != nil {
+		t.Fatal(err)
+	}
+	got := int64(1 + len(drainRows(t, rows)))
+	if got != want {
+		t.Fatalf("open cursor saw %d rows after concurrent DELETE, want the %d-row snapshot", got, want)
+	}
+	after, err := db.Query("SELECT COUNT(*) FROM EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Rows[0][0].I != 0 {
+		t.Fatalf("new query sees %d rows, want 0", after.Rows[0][0].I)
+	}
+}
+
+// TestExplainAnalyzeCounters checks the EXPLAIN ANALYZE footer carries the
+// runtime counters (rows scanned; zone-map pruning shows up on column
+// tables).
+func TestExplainAnalyzeCounters(t *testing.T) {
+	db := typedDB(t, 20_000)
+	if err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.ExplainAnalyze("SELECT COUNT(*) FROM TT WHERE v >= 19000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rows_scanned=") || !strings.Contains(out, "segments_pruned=") {
+		t.Fatalf("ExplainAnalyze output missing counters:\n%s", out)
+	}
+	if strings.Contains(out, "segments_pruned=0") {
+		t.Fatalf("expected pruned segments on the selective range scan:\n%s", out)
+	}
+	if _, err := db.ExplainAnalyze("DELETE FROM TT"); err == nil {
+		t.Fatal("ExplainAnalyze on DML should fail")
+	}
+}

@@ -37,9 +37,14 @@ func PruneTermsString(terms []PruneTerm) string {
 // ExtractPruneTerms collects the prunable conjuncts of a compiled scan
 // predicate: it descends AND-shaped connectives (a selected row needs every
 // conjunct true, so each conjunct prunes independently) and keeps
-// comparisons between a bare scan column and an execution-time scalar. OR
-// branches and computed operands contribute nothing — pruning is purely an
-// optimization, so missing terms only cost speed, never correctness.
+// comparisons between a bare scan column and an execution-time scalar.
+// OR-shaped conjuncts contribute their bounding hull when every branch
+// constrains the same column with literal bounds — this covers small IN
+// lists (desugared to `col = k1 OR col = k2 …`, hull [min k, max k]) and
+// OR-of-BETWEEN double bounds (each branch desugars to `col >= lo AND
+// col <= hi`, hull [min lo, max hi]). Everything else contributes nothing —
+// pruning is purely an optimization, so missing terms only cost speed,
+// never correctness.
 func ExtractPruneTerms(pred VExpr) []PruneTerm {
 	var out []PruneTerm
 	var walk func(x VExpr)
@@ -51,6 +56,8 @@ func ExtractPruneTerms(pred VExpr) []PruneTerm {
 		case *vSeqAnd:
 			walk(n.l)
 			walk(n.r)
+		case *vOr:
+			out = append(out, orHullTerms(n)...)
 		case *vCmp:
 			if n.opc == opNe {
 				return
@@ -74,6 +81,180 @@ func isScalarExpr(x VExpr) bool {
 		return true
 	}
 	return false
+}
+
+// orHullMaxBranches bounds hull extraction to small disjunctions (IN lists
+// and a few OR'd ranges); a huge OR chain is not worth the compile-time
+// walk.
+const orHullMaxBranches = 16
+
+// colRange is the literal bound interval one OR branch places on one
+// column. Only non-strict reasoning is kept: a strict branch bound widens
+// to its non-strict hull, which is conservative (it can only prune less).
+type colRange struct {
+	lo, hi       types.Value
+	hasLo, hasHi bool
+}
+
+// orHullTerms computes the bounding hull of an OR-shaped conjunct: for each
+// column that every satisfiable branch bounds with literals, the union of
+// the branch intervals yields `col >= min(lo)` and/or `col <= max(hi)`
+// terms. If the OR holds for a row, some branch holds, so the row's value
+// lies inside that branch's interval and hence inside the hull — the hull
+// conjuncts are implied, and pruning on them is sound. Branches that can
+// never be true (a comparison against a NULL literal is Unknown everywhere)
+// drop out of the union. Any branch that fails to bound a column — or uses
+// parameters, whose hull cannot be folded at compile time — disqualifies
+// that column.
+func orHullTerms(o *vOr) []PruneTerm {
+	var branches []VExpr
+	var flatten func(x VExpr) bool
+	flatten = func(x VExpr) bool {
+		if or, ok := x.(*vOr); ok {
+			return flatten(or.l) && flatten(or.r)
+		}
+		branches = append(branches, x)
+		return len(branches) <= orHullMaxBranches
+	}
+	if !flatten(o) {
+		return nil
+	}
+	// hull is the running union; nil until the first contributing branch.
+	var hull map[int]*colRange
+	for _, br := range branches {
+		ranges, never := branchRanges(br)
+		if never {
+			continue // branch is always false: it cannot widen the hull
+		}
+		if len(ranges) == 0 {
+			return nil // unconstrained branch: no column survives
+		}
+		if hull == nil {
+			hull = ranges
+			continue
+		}
+		for col, hr := range hull {
+			br, ok := ranges[col]
+			if !ok {
+				delete(hull, col) // this branch leaves col unbounded
+				continue
+			}
+			if hr.hasLo {
+				switch {
+				case !br.hasLo || !hullComparable(br.lo, hr.lo):
+					hr.hasLo = false // unbounded or untrusted ordering: widen
+				case types.Compare(br.lo, hr.lo) < 0:
+					hr.lo = br.lo
+				}
+			}
+			if hr.hasHi {
+				switch {
+				case !br.hasHi || !hullComparable(br.hi, hr.hi):
+					hr.hasHi = false
+				case types.Compare(br.hi, hr.hi) > 0:
+					hr.hi = br.hi
+				}
+			}
+		}
+	}
+	var out []PruneTerm
+	for col, r := range hull {
+		if r.hasLo {
+			out = append(out, PruneTerm{Col: col, Opc: opGe, Val: &vConst{v: r.lo, str: r.lo.String()}})
+		}
+		if r.hasHi {
+			out = append(out, PruneTerm{Col: col, Opc: opLe, Val: &vConst{v: r.hi, str: r.hi.String()}})
+		}
+	}
+	return out
+}
+
+// hullComparable reports whether two literals have a trustworthy value
+// order for hull reasoning: both numeric (INT and FLOAT compare cross-type)
+// or the same type. types.Compare's type-tag ranking for anything else is a
+// sort order, not a value order.
+func hullComparable(a, b types.Value) bool {
+	return (a.IsNumeric() && b.IsNumeric()) || a.T == b.T
+}
+
+// branchRanges folds the literal column bounds of one OR branch (descending
+// its AND-shaped conjuncts) into per-column intervals. never reports a
+// branch that cannot be true — a comparison against a NULL literal is
+// Unknown on every row. Bounds of incomparable literal types (a string and
+// a number on the same column) abandon that column rather than rely on the
+// sort-order type ranking.
+func branchRanges(x VExpr) (ranges map[int]*colRange, never bool) {
+	ranges = make(map[int]*colRange)
+	var walk func(x VExpr)
+	walk = func(x VExpr) {
+		if never {
+			return
+		}
+		switch n := x.(type) {
+		case *vAnd:
+			walk(n.l)
+			walk(n.r)
+		case *vSeqAnd:
+			walk(n.l)
+			walk(n.r)
+		case *vCmp:
+			col, opc := -1, n.opc
+			var k types.Value
+			if s, ok := n.l.(*vSlot); ok {
+				if c, isConst := constOf(n.r); isConst {
+					col, k = s.idx, c
+				}
+			} else if s, ok := n.r.(*vSlot); ok {
+				if c, isConst := constOf(n.l); isConst {
+					col, k, opc = s.idx, c, flipOpc(n.opc)
+				}
+			}
+			if col < 0 || opc == opNe {
+				return
+			}
+			if k.IsNull() {
+				never = true
+				return
+			}
+			r, ok := ranges[col]
+			if !ok {
+				r = &colRange{}
+				ranges[col] = r
+			}
+			// Intersect within the branch: conjuncts narrow the interval.
+			switch opc {
+			case opEq:
+				walk(&vCmp{opc: opGe, l: n.l, r: n.r})
+				walk(&vCmp{opc: opLe, l: n.l, r: n.r})
+				return
+			case opGt, opGe:
+				if !r.hasLo || (hullComparable(r.lo, k) && types.Compare(k, r.lo) > 0) {
+					r.lo, r.hasLo = k, true
+				} else if !hullComparable(r.lo, k) {
+					delete(ranges, col)
+				}
+			case opLt, opLe:
+				if !r.hasHi || (hullComparable(r.hi, k) && types.Compare(k, r.hi) < 0) {
+					r.hi, r.hasHi = k, true
+				} else if !hullComparable(r.hi, k) {
+					delete(ranges, col)
+				}
+			}
+		}
+	}
+	walk(x)
+	if never {
+		return nil, true
+	}
+	// Mixed-type lo/hi on one column (comparable individually but not with
+	// each other) cannot happen after the comparable checks above; drop any
+	// columns that ended with no bound at all.
+	for col, r := range ranges {
+		if !r.hasLo && !r.hasHi {
+			delete(ranges, col)
+		}
+	}
+	return ranges, false
 }
 
 // ResolveBounds evaluates the terms against the parameter frame. Terms

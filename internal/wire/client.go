@@ -43,12 +43,22 @@ type ClientStats struct {
 
 // Client talks to a Server. Latency, when non-zero, is added per round
 // trip to model the network/process-boundary cost the paper discusses.
+// A Client is not safe for concurrent use; one request/response exchange
+// runs at a time (an open Rows holds the connection only while fetching a
+// block, so other requests may interleave between fetches).
 type Client struct {
 	conn    net.Conn
 	r       *bufio.Reader
 	w       *bufio.Writer
 	Latency time.Duration
 	Stats   ClientStats
+
+	// FetchSize is the rows-per-round-trip block size QueryRows asks the
+	// server for (0 = the server's default).
+	FetchSize int
+
+	closed bool
+	broken error // first transport-level failure; the connection is dead
 }
 
 // Dial connects to a server address.
@@ -65,22 +75,50 @@ func NewClient(conn net.Conn) *Client {
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 }
 
-// Close says goodbye and closes the connection.
+// Close says goodbye and closes the connection. It is idempotent, and safe
+// after a connection error (the goodbye is skipped on a dead transport).
 func (c *Client) Close() error {
-	writeFrame(c.w, FrameClose, nil)
-	c.w.Flush()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.broken == nil {
+		writeFrame(c.w, FrameClose, nil)
+		c.w.Flush()
+	}
 	return c.conn.Close()
 }
 
+// usable reports whether the connection can still carry a request; the
+// returned error explains why not.
+func (c *Client) usable() error {
+	if c.closed {
+		return fmt.Errorf("wire: client is closed")
+	}
+	return c.broken
+}
+
+// fail records the first transport-level failure. Server-reported errors
+// (FrameError) do not go through here — they leave the connection usable.
+func (c *Client) fail(err error) error {
+	if c.broken == nil {
+		c.broken = err
+	}
+	return err
+}
+
 func (c *Client) send(t FrameType, payload []byte) error {
+	if err := c.usable(); err != nil {
+		return err
+	}
 	n, err := writeFrame(c.w, t, payload)
 	if err != nil {
-		return err
+		return c.fail(err)
 	}
 	c.Stats.Messages++
 	c.Stats.BytesSent += n
 	if err := c.w.Flush(); err != nil {
-		return err
+		return c.fail(err)
 	}
 	c.Stats.RoundTrips++
 	if c.Latency > 0 {
@@ -92,7 +130,7 @@ func (c *Client) send(t FrameType, payload []byte) error {
 func (c *Client) recv() (FrameType, []byte, error) {
 	t, payload, n, err := readFrame(c.r)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, c.fail(err)
 	}
 	c.Stats.Messages++
 	c.Stats.BytesRecv += n
@@ -313,13 +351,19 @@ func (st *ClientStmt) Exec(args ...types.Value) (int64, error) {
 	}
 }
 
-// Close releases the server-side statement entry.
+// Close releases the server-side statement entry. It is idempotent, and
+// safe after a connection error: once the transport is gone the server's
+// session teardown releases the entry, so Close quietly succeeds without
+// touching the network.
 func (st *ClientStmt) Close() error {
 	if st.closed {
 		return nil
 	}
 	st.closed = true
 	c := st.c
+	if c.usable() != nil {
+		return nil
+	}
 	if err := c.send(FrameCloseStmt, binary.AppendUvarint(nil, st.ID)); err != nil {
 		return err
 	}
@@ -331,6 +375,180 @@ func (st *ClientStmt) Close() error {
 		return fmt.Errorf("wire: unexpected frame %d", t)
 	}
 	return nil
+}
+
+// Rows is a streaming result of a prepared SELECT executed through the
+// cursor protocol: the server holds an open engine cursor and ships one
+// block of rows per round trip, so neither side ever materializes the whole
+// result. At most one block is buffered client-side. Between fetches the
+// connection is idle, so other requests (including DML) may interleave with
+// an open Rows; the snapshot the cursor iterates was taken when it opened.
+//
+// The contract mirrors engine.Rows: Next returns (nil, nil) at end of
+// stream, Err reports the first stream error, and Close — idempotent, safe
+// after connection errors — releases the server-side cursor.
+type Rows struct {
+	c     *Client
+	id    uint64
+	cols  []string
+	stmt  *ClientStmt // owned auto-prepared statement (Client.QueryRows)
+	buf   []types.Row
+	pos   int
+	done  bool
+	close bool
+	err   error
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Err returns the first error encountered by Next (nil after a clean end
+// of stream).
+func (r *Rows) Err() error { return r.err }
+
+// Next returns the next row, fetching the next block from the server when
+// the buffered one is drained, or (nil, nil) at the end of the stream.
+func (r *Rows) Next() (types.Row, error) {
+	for {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.pos < len(r.buf) {
+			row := r.buf[r.pos]
+			r.pos++
+			return row, nil
+		}
+		if r.done || r.close {
+			return nil, nil
+		}
+		if err := r.c.send(FrameFetchRows, encodeFetchRows(r.id, 0)); err != nil {
+			r.err = err
+			return nil, err
+		}
+		if err := r.readBlock(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// readBlock consumes one block response: FrameRows frames terminated by
+// FrameMore, FrameDone or an error frame.
+func (r *Rows) readBlock() error {
+	r.buf = r.buf[:0]
+	r.pos = 0
+	for {
+		t, payload, err := r.c.recv()
+		if err != nil {
+			// Server execution errors close the cursor server-side;
+			// transport errors kill the connection. Either way the stream
+			// is over.
+			r.err = err
+			r.done = true
+			return err
+		}
+		switch t {
+		case FrameRows:
+			rows, err := decodeRows(payload)
+			if err != nil {
+				r.err = err
+				r.done = true
+				return err
+			}
+			for _, tr := range rows {
+				r.buf = append(r.buf, tr.Row)
+				r.c.Stats.TuplesRecv++
+			}
+		case FrameMore:
+			return nil
+		case FrameDone:
+			r.done = true
+			return nil
+		default:
+			r.err = fmt.Errorf("wire: unexpected frame %d during fetch", t)
+			r.done = true
+			return r.err
+		}
+	}
+}
+
+// Close releases the server-side cursor (and the auto-prepared statement of
+// Client.QueryRows). It is idempotent and safe after a connection error; a
+// stream already drained to FrameDone needs no round trip because the
+// server closed the cursor itself.
+func (r *Rows) Close() error {
+	if r.close {
+		return nil
+	}
+	r.close = true
+	// Drop the client-side buffer: like engine.Rows, Next after Close
+	// returns (nil, nil) rather than leftover rows of a dead cursor.
+	r.buf = nil
+	r.pos = 0
+	var first error
+	if !r.done && r.c.usable() == nil {
+		if err := r.c.send(FrameCloseCursor, binary.AppendUvarint(nil, r.id)); err != nil {
+			first = err
+		} else if t, _, err := r.c.recv(); err != nil {
+			first = err
+		} else if t != FrameDone {
+			first = fmt.Errorf("wire: unexpected frame %d", t)
+		}
+	}
+	if r.stmt != nil {
+		if err := r.stmt.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// QueryRows executes a prepared SELECT through the cursor protocol and
+// returns a streaming iterator over its rows. The server ships
+// Client.FetchSize rows per round trip (0 = its default block size) and
+// never buffers more than one block, so arbitrarily large results run in
+// bounded memory on both ends. The caller must drain or Close the Rows.
+func (st *ClientStmt) QueryRows(args ...types.Value) (*Rows, error) {
+	if st.closed {
+		return nil, fmt.Errorf("wire: statement is closed")
+	}
+	c := st.c
+	if err := c.send(FrameExecCursor, encodeExecCursor(st.ID, c.FetchSize, args)); err != nil {
+		return nil, err
+	}
+	t, payload, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	if t != FrameCursor {
+		return nil, fmt.Errorf("wire: expected cursor frame, got %d", t)
+	}
+	id, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return nil, fmt.Errorf("wire: bad cursor id")
+	}
+	r := &Rows{c: c, id: id, cols: st.Cols}
+	// The first block rides on the open response.
+	if err := r.readBlock(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// QueryRows runs a SELECT through the cursor protocol: the statement is
+// prepared on the fly and released when the returned Rows is closed. Args
+// bind `?` placeholders.
+func (c *Client) QueryRows(sql string, args ...types.Value) (*Rows, error) {
+	st, err := c.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := st.QueryRows(args...)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	rows.stmt = st
+	return rows, nil
 }
 
 // Exec runs DML/DDL on the server (the cache's write-back path).

@@ -6,6 +6,40 @@
 // trip latency, which is how the benchmarks reproduce the paper's
 // process-boundary-crossing arguments (one call per tuple vs few calls per
 // CO).
+//
+// # Frame reference
+//
+// Every frame is [len u32][type u8][payload]; the payload layouts below use
+// uvarint/varint for integers and the tagged value codec for SQL values.
+//
+//	Frame            Dir  Payload                       Purpose
+//	FrameQueryCO     C→S  view name (text)              extract a CO view; answered by FrameSchema
+//	FrameSQL         C→S  SQL text                      run a SELECT; rows + FrameDone
+//	FrameExec        C→S  SQL text                      run DML/DDL; FrameDone(affected)
+//	FrameFetch       C→S  varint n (-1 = all)           demand n CO tuples of the pending stream
+//	FrameSchema      S→C  gob []OutputMeta              CO output metadata
+//	FrameRows        S→C  uvarint count, tagged rows    one batch of (CompID, row) tuples
+//	FrameDone        S→C  varint count                  end of stream / statement (row or affected count)
+//	FrameMore        S→C  (empty)                       batch complete, stream continues
+//	FrameError       S→C  error text                    request failed; connection stays usable
+//	FrameClose       C→S  (empty)                       goodbye
+//	FramePrepare     C→S  SQL text                      compile a statement; answered by FramePrepared
+//	FramePrepared    S→C  uvarint id, nparams, cols     statement handle + output columns
+//	FrameExecute     C→S  uvarint id, nargs, args       run a prepared statement, whole result at once
+//	FrameCloseStmt   C→S  uvarint id                    forget a prepared statement; FrameDone(0)
+//	FrameExecCursor  C→S  uvarint id, block, nargs, args  open a server-side cursor over a prepared SELECT
+//	FrameCursor      S→C  uvarint cursor id             cursor handle; first block of rows follows
+//	FrameFetchRows   C→S  uvarint cursor id, varint n   demand the next n rows (n <= 0: cursor default)
+//	FrameCloseCursor C→S  uvarint cursor id             close the cursor early; FrameDone(served)
+//
+// The cursor frames are the streaming result path: FrameExecCursor opens a
+// session-scoped cursor whose engine-side plan is drained lazily, and each
+// FrameExecCursor/FrameFetchRows exchange ships one block of rows —
+// FrameRows frames terminated by FrameMore (more rows remain) or FrameDone
+// (stream exhausted; the server closed the cursor). Server memory per
+// cursor is bounded by the block size, never the result size. A FrameError
+// terminator mid-stream reports an execution error; the server closes the
+// cursor and the connection stays usable.
 package wire
 
 import (
@@ -22,20 +56,24 @@ type FrameType byte
 
 // The frame types.
 const (
-	FrameQueryCO   FrameType = iota + 1 // client → server: CO view name
-	FrameSQL                            // client → server: SQL query text
-	FrameExec                           // client → server: SQL DML/DDL
-	FrameFetch                          // client → server: demand n tuples (-1 = all)
-	FrameSchema                         // server → client: gob-encoded output metadata
-	FrameRows                           // server → client: batch of tagged rows
-	FrameDone                           // server → client: end of stream (+ rowcount for exec)
-	FrameMore                           // server → client: batch complete, stream continues
-	FrameError                          // server → client: error text
-	FrameClose                          // client → server: goodbye
-	FramePrepare                        // client → server: SQL text to prepare
-	FramePrepared                       // server → client: statement id + metadata
-	FrameExecute                        // client → server: statement id + bound args
-	FrameCloseStmt                      // client → server: forget a prepared statement
+	FrameQueryCO     FrameType = iota + 1 // client → server: CO view name
+	FrameSQL                              // client → server: SQL query text
+	FrameExec                             // client → server: SQL DML/DDL
+	FrameFetch                            // client → server: demand n tuples (-1 = all)
+	FrameSchema                           // server → client: gob-encoded output metadata
+	FrameRows                             // server → client: batch of tagged rows
+	FrameDone                             // server → client: end of stream (+ rowcount for exec)
+	FrameMore                             // server → client: batch complete, stream continues
+	FrameError                            // server → client: error text
+	FrameClose                            // client → server: goodbye
+	FramePrepare                          // client → server: SQL text to prepare
+	FramePrepared                         // server → client: statement id + metadata
+	FrameExecute                          // client → server: statement id + bound args
+	FrameCloseStmt                        // client → server: forget a prepared statement
+	FrameExecCursor                       // client → server: open a cursor over a prepared SELECT
+	FrameCursor                           // server → client: cursor id (first row block follows)
+	FrameFetchRows                        // client → server: demand the next block of cursor rows
+	FrameCloseCursor                      // client → server: close a cursor early
 )
 
 // maxFrame bounds a frame payload (defense against corrupt or hostile
@@ -202,6 +240,74 @@ func decodeExecute(buf []byte) (uint64, []types.Value, error) {
 		}
 	}
 	return id, args, nil
+}
+
+// encodeExecCursor packs a FrameExecCursor payload: statement id, requested
+// block size (0 = server default) and bound args.
+func encodeExecCursor(id uint64, block int, args []types.Value) []byte {
+	buf := binary.AppendUvarint(nil, id)
+	if block < 0 {
+		block = 0
+	}
+	buf = binary.AppendUvarint(buf, uint64(block))
+	buf = binary.AppendUvarint(buf, uint64(len(args)))
+	for _, v := range args {
+		buf = appendValue(buf, v)
+	}
+	return buf
+}
+
+// decodeExecCursor unpacks a FrameExecCursor payload.
+func decodeExecCursor(buf []byte) (uint64, int, []types.Value, error) {
+	id, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, 0, nil, fmt.Errorf("wire: bad statement id")
+	}
+	buf = buf[k:]
+	block, k := binary.Uvarint(buf)
+	if k <= 0 || block > maxFrame {
+		return 0, 0, nil, fmt.Errorf("wire: bad cursor block size")
+	}
+	buf = buf[k:]
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, 0, nil, fmt.Errorf("wire: bad argument count")
+	}
+	buf = buf[k:]
+	// Same allocation-amplification bound as decodeExecute: the count is
+	// peer-controlled.
+	if n > maxStmtArgs || n > uint64(len(buf)) {
+		return 0, 0, nil, fmt.Errorf("wire: argument count %d exceeds limit", n)
+	}
+	args := make([]types.Value, n)
+	var err error
+	for i := range args {
+		args[i], buf, err = decodeValue(buf)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return id, int(block), args, nil
+}
+
+// encodeFetchRows packs a FrameFetchRows payload: cursor id and row demand
+// (n <= 0 means the cursor's default block size).
+func encodeFetchRows(id uint64, n int) []byte {
+	buf := binary.AppendUvarint(nil, id)
+	return binary.AppendVarint(buf, int64(n))
+}
+
+// decodeFetchRows unpacks a FrameFetchRows payload.
+func decodeFetchRows(buf []byte) (uint64, int, error) {
+	id, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, 0, fmt.Errorf("wire: bad cursor id")
+	}
+	n, k2 := binary.Varint(buf[k:])
+	if k2 <= 0 {
+		return 0, 0, fmt.Errorf("wire: bad fetch count")
+	}
+	return id, int(n), nil
 }
 
 // encodePrepared packs a FramePrepared payload: id, parameter count and

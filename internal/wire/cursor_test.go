@@ -1,0 +1,430 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"xnf/internal/types"
+)
+
+// bigServer starts a server whose BIG table has n rows (two int columns),
+// so cursor streams span many blocks.
+func bigServer(t testing.TB, n int) (*Server, string) {
+	t.Helper()
+	srv, addr := testServer(t)
+	if err := srv.DB.ExecScript("CREATE TABLE BIG (a INT NOT NULL, b INT, PRIMARY KEY (a))"); err != nil {
+		t.Fatal(err)
+	}
+	td, err := srv.DB.Store().Table("BIG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := td.Insert(types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 13))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv, addr
+}
+
+// drainClientRows pulls a wire Rows to the end.
+func drainClientRows(t *testing.T, r *Rows) []types.Row {
+	t.Helper()
+	var out []types.Row
+	for {
+		row, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if row == nil {
+			return out
+		}
+		out = append(out, row)
+	}
+}
+
+// TestCursorStreamsLargerThanOneBlock fetches a result much larger than the
+// block size and checks (a) row-for-row equivalence with the materialized
+// Execute path, (b) that rows arrive one block per round trip — the wire
+// evidence that neither side materialized the result.
+func TestCursorStreamsLargerThanOneBlock(t *testing.T) {
+	const rows, block = 10_000, 512
+	_, addr := bigServer(t, rows)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.FetchSize = block
+
+	stmt, err := client.Prepare("SELECT a, b FROM BIG WHERE a >= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := stmt.Query(types.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rtBefore := client.Stats.RoundTrips
+	r, err := stmt.QueryRows(types.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Columns()) != 2 || r.Columns()[0] != "a" {
+		t.Fatalf("Columns = %v", r.Columns())
+	}
+	// The open response carries exactly the first block.
+	if got := client.Stats.RoundTrips - rtBefore; got != 1 {
+		t.Fatalf("open cost %d round trips, want 1", got)
+	}
+	// Draining the first block costs nothing; the next row costs a fetch.
+	for i := 0; i < block; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := client.Stats.RoundTrips - rtBefore; got != 1 {
+		t.Fatalf("first block took %d round trips, want 1", got)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if got := client.Stats.RoundTrips - rtBefore; got != 2 {
+		t.Fatalf("row %d took %d round trips, want 2", block+1, got)
+	}
+
+	rest := drainClientRows(t, r)
+	total := block + 1 + len(rest)
+	if total != rows || len(want) != rows {
+		t.Fatalf("streamed %d rows, materialized %d, want %d", total, len(want), rows)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close after drain: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal("double Close should be a no-op")
+	}
+
+	// Full equivalence on a second pass.
+	r2, err := stmt.QueryRows(types.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := drainClientRows(t, r2)
+	if len(streamed) != len(want) {
+		t.Fatalf("streamed %d rows, want %d", len(streamed), len(want))
+	}
+	for i := range want {
+		if !types.EqualRows(streamed[i], want[i]) {
+			t.Fatalf("row %d: streamed %v, materialized %v", i, streamed[i], want[i])
+		}
+	}
+}
+
+// TestCursorDMLInterleavedBetweenFetches runs DML on the same connection
+// while a cursor is open: the cursor keeps iterating its snapshot, the DML
+// applies, and the connection never desynchronizes.
+func TestCursorDMLInterleavedBetweenFetches(t *testing.T) {
+	const rows, block = 2_000, 100
+	_, addr := bigServer(t, rows)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.FetchSize = block
+
+	r, err := client.QueryRows("SELECT a FROM BIG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for i := 0; i < block+10; i++ { // cross one block boundary
+		row, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row == nil {
+			break
+		}
+		seen++
+	}
+	// Interleave DML and another query between fetches.
+	if _, err := client.Exec("DELETE FROM BIG WHERE a >= 1000"); err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := client.Query("SELECT COUNT(*) FROM BIG")
+	if err != nil || cnt[0][0].I != 1000 {
+		t.Fatalf("count after delete = %v, %v", cnt, err)
+	}
+	// The open cursor still drains its full snapshot.
+	seen += len(drainClientRows(t, r))
+	if seen != rows {
+		t.Fatalf("cursor saw %d rows across interleaved DML, want the %d-row snapshot", seen, rows)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCursorLimitEnforced checks the per-session open-cursor bound: the
+// limit rejects the next open with a clean error, closing a cursor frees
+// its slot, and the connection stays usable throughout.
+func TestCursorLimitEnforced(t *testing.T) {
+	srv, addr := bigServer(t, 5_000)
+	srv.MaxCursorsPerSession = 2
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.FetchSize = 10
+
+	stmt, err := client.Prepare("SELECT a FROM BIG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := stmt.QueryRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := stmt.QueryRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.QueryRows(); err == nil || !strings.Contains(err.Error(), "too many open cursors") {
+		t.Fatalf("third cursor: %v, want cursor-limit error", err)
+	}
+	// Closing one frees a slot.
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := stmt.QueryRows()
+	if err != nil {
+		t.Fatalf("cursor after close: %v", err)
+	}
+	// A fully drained cursor is auto-closed by the server: its slot frees
+	// without an explicit Close round trip.
+	drainClientRows(t, r3)
+	r4, err := stmt.QueryRows()
+	if err != nil {
+		t.Fatalf("cursor after drain: %v", err)
+	}
+	r4.Close()
+	// Close with rows still buffered client-side: Next must return
+	// (nil, nil) afterwards, like engine.Rows — never leftover rows of a
+	// dead cursor.
+	r2.Close()
+	if row, err := r2.Next(); row != nil || err != nil {
+		t.Fatalf("Next after Close = (%v, %v), want (nil, nil)", row, err)
+	}
+}
+
+// TestCursorTeardownOnVanishedClient drops a connection with open cursors
+// and prepared statements mid-fetch; the server session teardown must
+// release everything and keep serving other connections.
+func TestCursorTeardownOnVanishedClient(t *testing.T) {
+	_, addr := bigServer(t, 20_000)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.FetchSize = 100
+	if _, err := client.Prepare("SELECT a FROM BIG"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := client.QueryRows("SELECT a, b FROM BIG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// Vanish without goodbye, mid-cursor.
+	if err := client.conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server keeps serving fresh connections.
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rows, err := c2.Query("SELECT COUNT(*) FROM BIG")
+	if err != nil || rows[0][0].I != 20_000 {
+		t.Fatalf("server unusable after client vanished: %v, %v", rows, err)
+	}
+}
+
+// TestClientCloseIdempotentAfterConnectionError forces a transport failure
+// and checks every Close in the client API stays idempotent and quiet: the
+// server-side state is released by session teardown, not by the client.
+func TestClientCloseIdempotentAfterConnectionError(t *testing.T) {
+	_, addr := bigServer(t, 3_000)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.FetchSize = 50
+	stmt, err := client.Prepare("SELECT a FROM BIG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := stmt.QueryRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the transport under the client.
+	client.conn.Close()
+	if _, err := client.Query("SELECT 1"); err == nil {
+		t.Fatal("query on dead connection should fail")
+	}
+	// Rows.Next past the buffered block surfaces the failure once…
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		if _, lastErr = r.Next(); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("Next on dead connection should eventually fail")
+	}
+	// …and every Close is a quiet no-op from here on.
+	if err := r.Close(); err != nil {
+		t.Fatalf("Rows.Close after connection error: %v", err)
+	}
+	if err := stmt.Close(); err != nil {
+		t.Fatalf("ClientStmt.Close after connection error: %v", err)
+	}
+	if err := stmt.Close(); err != nil {
+		t.Fatal("double ClientStmt.Close should be a no-op")
+	}
+	// Client.Close on the dead transport must not hang or write the
+	// goodbye; the underlying close error (already closed) is tolerated.
+	client.Close()
+	if err := client.Close(); err != nil {
+		t.Fatal("double Client.Close should be a no-op")
+	}
+	if err := stmt.Close(); err != nil {
+		t.Fatal("ClientStmt.Close after Client.Close should be a no-op")
+	}
+}
+
+// TestCursorExecutionErrorMidStream opens a cursor whose plan fails during
+// execution (division by zero past the first block): the error surfaces
+// through Next, the server closes the cursor, and the connection stays
+// usable.
+func TestCursorExecutionErrorMidStream(t *testing.T) {
+	srv, addr := bigServer(t, 5_000)
+	// Row 4000 divides by zero; everything before it streams fine.
+	if err := srv.DB.ExecScript("CREATE TABLE DIV (a INT NOT NULL, d INT, PRIMARY KEY (a))"); err != nil {
+		t.Fatal(err)
+	}
+	td, err := srv.DB.Store().Table("DIV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5_000; i++ {
+		d := int64(1)
+		if i == 4_000 {
+			d = 0
+		}
+		if _, err := td.Insert(types.Row{types.NewInt(int64(i)), types.NewInt(d)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.FetchSize = 256
+
+	r, err := client.QueryRows("SELECT a / d FROM DIV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, sawErr := 0, false
+	for {
+		row, err := r.Next()
+		if err != nil {
+			sawErr = true
+			break
+		}
+		if row == nil {
+			break
+		}
+		n++
+	}
+	if !sawErr || r.Err() == nil {
+		t.Fatalf("mid-stream execution error not surfaced (streamed %d rows)", n)
+	}
+	if n == 0 {
+		t.Fatal("expected rows before the failure point")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close after stream error: %v", err)
+	}
+	// Connection stays in sync.
+	rows, err := client.Query("SELECT COUNT(*) FROM BIG")
+	if err != nil || rows[0][0].I != 5_000 {
+		t.Fatalf("connection desynchronized after stream error: %v, %v", rows, err)
+	}
+}
+
+// TestWireStreamEquivalenceCorpus runs a corpus of shapes through both the
+// materialized prepared path and the cursor path on the same connection.
+func TestWireStreamEquivalenceCorpus(t *testing.T) {
+	_, addr := testServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.FetchSize = 3 // force multi-block streams even on small results
+
+	queries := []string{
+		"SELECT eno, ename FROM EMP",
+		"SELECT dno, dname FROM DEPT WHERE loc = 'ARC' ORDER BY dno",
+		"SELECT edno, COUNT(*), SUM(sal) FROM EMP GROUP BY edno",
+		"SELECT e.ename, d.dname FROM EMP e, DEPT d WHERE e.edno = d.dno",
+		"SELECT COUNT(*) FROM EMP WHERE sal > 100000",
+		"SELECT eno FROM EMP WHERE eno < 0", // empty result
+	}
+	for _, q := range queries {
+		stmt, err := client.Prepare(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		want, err := stmt.Query()
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		r, err := stmt.QueryRows()
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		got := drainClientRows(t, r)
+		if len(got) != len(want) {
+			t.Errorf("%q: streamed %d rows, materialized %d", q, len(got), len(want))
+		} else {
+			for i := range want {
+				if !types.EqualRows(got[i], want[i]) {
+					t.Errorf("%q row %d: %v vs %v", q, i, got[i], want[i])
+					break
+				}
+			}
+		}
+		if err := r.Close(); err != nil {
+			t.Fatalf("%q: Close: %v", q, err)
+		}
+		if err := stmt.Close(); err != nil {
+			t.Fatalf("%q: stmt Close: %v", q, err)
+		}
+	}
+}

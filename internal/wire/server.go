@@ -81,9 +81,27 @@ type Server struct {
 	// Opts control the extraction plans (benchmarks flip them).
 	Opts opt.Options
 
+	// MaxCursorsPerSession bounds each session's open-cursor table
+	// (0 = DefaultMaxCursors). A client that opens cursors without closing
+	// them gets a per-request error, never unbounded server state.
+	MaxCursorsPerSession int
+	// CursorBlockRows is the rows-per-fetch block size used when the
+	// client does not choose one (0 = DefaultCursorBlockRows). It bounds
+	// the server's per-cursor result buffering: rows are pulled lazily
+	// from the engine and at most one block is encoded at a time.
+	CursorBlockRows int
+
 	mu       sync.Mutex
 	listener net.Listener
 }
+
+// DefaultMaxCursors is the per-session open-cursor bound when the server
+// does not configure one.
+const DefaultMaxCursors = 64
+
+// DefaultCursorBlockRows is the default rows-per-fetch block of the cursor
+// protocol.
+const DefaultCursorBlockRows = 1024
 
 // NewServer wraps a database.
 func NewServer(db *engine.Database) *Server {
@@ -114,17 +132,42 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// session is the per-connection state: a pending CO stream being fetched
-// and the connection's prepared statements. Statement ids are
-// session-scoped — two connections never see each other's ids — while the
-// compiled plans behind them live in the engine's shared plan cache, so
-// the same SQL prepared on many connections is compiled once.
+// session is the per-connection state: a pending CO stream being fetched,
+// the connection's prepared statements and its open cursors. Statement and
+// cursor ids are session-scoped — two connections never see each other's
+// ids — while the compiled plans behind statements live in the engine's
+// shared plan cache, so the same SQL prepared on many connections is
+// compiled once.
 type session struct {
 	pending []TaggedRow
 	pos     int
 
 	stmts  map[uint64]*engine.Stmt
 	nextID uint64
+
+	cursors    map[uint64]*cursor
+	nextCursor uint64
+}
+
+// cursor is one open server-side result stream: a lazily driven
+// engine.Rows plus the fetch block size chosen at open time.
+type cursor struct {
+	rows   *engine.Rows
+	block  int
+	served int64
+}
+
+// teardown releases everything the session holds: open cursors close their
+// engine plans (returning pooled batches), and the statement table is
+// dropped. handle defers it, so a client that vanishes mid-fetch leaks
+// nothing.
+func (sess *session) teardown() {
+	for id, cur := range sess.cursors {
+		cur.rows.Close()
+		delete(sess.cursors, id)
+	}
+	sess.stmts = nil
+	sess.pending = nil
 }
 
 // maxSessionStmts bounds the per-connection statement table (defense
@@ -136,6 +179,7 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	sess := &session{}
+	defer sess.teardown()
 	for {
 		t, payload, _, err := readFrame(r)
 		if err != nil {
@@ -159,6 +203,12 @@ func (s *Server) handle(conn net.Conn) {
 			err = s.handleExecute(w, sess, payload)
 		case FrameCloseStmt:
 			err = s.handleCloseStmt(w, sess, payload)
+		case FrameExecCursor:
+			err = s.handleExecCursor(w, sess, payload)
+		case FrameFetchRows:
+			err = s.handleFetchRows(w, sess, payload)
+		case FrameCloseCursor:
+			err = s.handleCloseCursor(w, sess, payload)
 		default:
 			err = s.sendError(w, fmt.Sprintf("unexpected frame %d", t))
 		}
@@ -319,6 +369,138 @@ func (s *Server) handleCloseStmt(w *bufio.Writer, sess *session, payload []byte)
 	}
 	delete(sess.stmts, id)
 	_, err := writeFrame(w, FrameDone, binary.AppendVarint(nil, 0))
+	return err
+}
+
+// handleExecCursor opens a server-side cursor over a prepared SELECT: the
+// engine plan starts executing but no row is produced yet; blocks are
+// pulled lazily per fetch, so server memory per cursor is O(block), not
+// O(result). The response is FrameCursor(id) followed by the first block.
+func (s *Server) handleExecCursor(w *bufio.Writer, sess *session, payload []byte) error {
+	id, block, args, err := decodeExecCursor(payload)
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	st, ok := sess.stmts[id]
+	if !ok {
+		return s.sendError(w, fmt.Sprintf("unknown statement id %d", id))
+	}
+	st, err = st.Revalidate()
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	sess.stmts[id] = st
+	if !st.IsQuery() {
+		return s.sendError(w, "cursor requires a prepared SELECT")
+	}
+	limit := s.MaxCursorsPerSession
+	if limit <= 0 {
+		limit = DefaultMaxCursors
+	}
+	if len(sess.cursors) >= limit {
+		return s.sendError(w, fmt.Sprintf("too many open cursors (limit %d)", limit))
+	}
+	rows, err := st.QueryRows(args...)
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	if block <= 0 {
+		block = s.CursorBlockRows
+	}
+	if block <= 0 {
+		block = DefaultCursorBlockRows
+	}
+	if sess.cursors == nil {
+		sess.cursors = make(map[uint64]*cursor)
+	}
+	sess.nextCursor++
+	cid := sess.nextCursor
+	cur := &cursor{rows: rows, block: block}
+	sess.cursors[cid] = cur
+	if _, err := writeFrame(w, FrameCursor, binary.AppendUvarint(nil, cid)); err != nil {
+		return err
+	}
+	return s.streamBlock(w, sess, cid, cur, block)
+}
+
+// handleFetchRows ships the next block of an open cursor.
+func (s *Server) handleFetchRows(w *bufio.Writer, sess *session, payload []byte) error {
+	cid, n, err := decodeFetchRows(payload)
+	if err != nil {
+		return s.sendError(w, err.Error())
+	}
+	cur, ok := sess.cursors[cid]
+	if !ok {
+		return s.sendError(w, fmt.Sprintf("unknown cursor id %d", cid))
+	}
+	if n <= 0 {
+		n = cur.block
+	}
+	return s.streamBlock(w, sess, cid, cur, n)
+}
+
+// handleCloseCursor closes a cursor early, releasing its engine resources.
+// Closing an unknown id is a no-op (the server auto-closes a cursor on
+// FrameDone, so a drained client's close must stay idempotent).
+func (s *Server) handleCloseCursor(w *bufio.Writer, sess *session, payload []byte) error {
+	cid, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return s.sendError(w, "bad cursor id")
+	}
+	var served int64
+	if cur, ok := sess.cursors[cid]; ok {
+		served = cur.served
+		cur.rows.Close()
+		delete(sess.cursors, cid)
+	}
+	_, err := writeFrame(w, FrameDone, binary.AppendVarint(nil, served))
+	return err
+}
+
+// cursorChunkRows caps the rows encoded into one FrameRows frame of a
+// cursor block, so even a huge requested block never builds a frame larger
+// than one chunk's worth of rows at a time.
+const cursorChunkRows = 1024
+
+// streamBlock pulls up to n rows from the cursor's engine stream and ships
+// them, then terminates the exchange with FrameMore (rows remain), FrameDone
+// (stream exhausted — the cursor is closed and forgotten) or FrameError (the
+// plan failed mid-stream — likewise closed). At most cursorChunkRows rows
+// are held in memory between pulls.
+func (s *Server) streamBlock(w *bufio.Writer, sess *session, cid uint64, cur *cursor, n int) error {
+	buf := make([]TaggedRow, 0, min(n, cursorChunkRows))
+	for n > 0 {
+		buf = buf[:0]
+		want := min(n, cursorChunkRows)
+		eof := false
+		for len(buf) < want {
+			row, err := cur.rows.Next()
+			if err != nil {
+				cur.rows.Close()
+				delete(sess.cursors, cid)
+				return s.sendError(w, err.Error())
+			}
+			if row == nil {
+				eof = true
+				break
+			}
+			buf = append(buf, TaggedRow{CompID: 0, Row: row})
+		}
+		if len(buf) > 0 {
+			cur.served += int64(len(buf))
+			n -= len(buf)
+			if _, err := writeFrame(w, FrameRows, encodeRows(buf)); err != nil {
+				return err
+			}
+		}
+		if eof {
+			cur.rows.Close()
+			delete(sess.cursors, cid)
+			_, err := writeFrame(w, FrameDone, binary.AppendVarint(nil, cur.served))
+			return err
+		}
+	}
+	_, err := writeFrame(w, FrameMore, nil)
 	return err
 }
 

@@ -1,0 +1,282 @@
+package xnf
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"xnf/internal/engine"
+	"xnf/internal/types"
+	"xnf/internal/wire"
+)
+
+// streamBenchRows is the result size of the streamed-vs-materialized wire
+// comparison: large enough that materializing it dominates both heap and
+// latency-to-first-row.
+const streamBenchRows = 1_000_000
+
+// streamBenchFetch is the cursor block size (rows per fetch round trip).
+const streamBenchFetch = 4096
+
+// streamBenchServer starts a wire server over TCP loopback whose S table
+// holds streamBenchRows two-int rows in column storage.
+func streamBenchServer(tb testing.TB) (*wire.Server, string) {
+	tb.Helper()
+	db := engine.Open()
+	if err := db.ExecScript("CREATE TABLE S (a INT NOT NULL, b INT, PRIMARY KEY (a))"); err != nil {
+		tb.Fatal(err)
+	}
+	td, err := db.Store().Table("S")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < streamBenchRows; i++ {
+		if _, err := td.Insert(types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 1000))}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := db.Analyze(); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := db.Exec("ALTER TABLE S SET STORAGE COLUMN"); err != nil {
+		tb.Fatal(err)
+	}
+	srv := wire.NewServer(db)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	go srv.Serve(l)
+	tb.Cleanup(func() { srv.Close() })
+	return srv, l.Addr().String()
+}
+
+// liveHeap forces a collection and returns the live heap bytes.
+func liveHeap() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// streamBenchResult is one measured path in BENCH_stream.json.
+type streamBenchResult struct {
+	Rows         int     `json:"rows"`
+	FirstRowNs   int64   `json:"first_row_ns"`
+	TotalNs      int64   `json:"total_ns"`
+	LiveHeapMB   float64 `json:"live_heap_mb"`
+	MRowsPS      float64 `json:"mrows_per_s"`
+	RoundTrips   int     `json:"round_trips"`
+	BytesOnWire  int     `json:"bytes_recv"`
+	FetchRows    int     `json:"fetch_block_rows,omitempty"`
+	Materialized bool    `json:"materialized"`
+}
+
+// measureMaterialized drains the prepared SELECT through the one-frame
+// Execute path. The full result is referenced while the live heap is
+// sampled — that is exactly the memory a materializing client must hold.
+func measureMaterialized(tb testing.TB, stmt *wire.ClientStmt, c *wire.Client) streamBenchResult {
+	tb.Helper()
+	base := liveHeap()
+	rt0, by0 := c.Stats.RoundTrips, c.Stats.BytesRecv
+	t0 := time.Now()
+	rows, err := stmt.Query()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// The first row is usable only once the whole result has arrived.
+	first := time.Since(t0)
+	total := time.Since(t0)
+	heap := liveHeap()
+	runtime.KeepAlive(rows)
+	if len(rows) != streamBenchRows {
+		tb.Fatalf("materialized %d rows, want %d", len(rows), streamBenchRows)
+	}
+	return streamBenchResult{
+		Rows:         len(rows),
+		FirstRowNs:   first.Nanoseconds(),
+		TotalNs:      total.Nanoseconds(),
+		LiveHeapMB:   float64(heap-min(heap, base)) / (1 << 20),
+		MRowsPS:      float64(len(rows)) / total.Seconds() / 1e6,
+		RoundTrips:   c.Stats.RoundTrips - rt0,
+		BytesOnWire:  c.Stats.BytesRecv - by0,
+		Materialized: true,
+	}
+}
+
+// measureStreamed drains the same SELECT through the cursor path; no more
+// than one block is ever referenced, so the sampled live heap is the
+// bounded-memory claim of the streaming API.
+func measureStreamed(tb testing.TB, stmt *wire.ClientStmt, c *wire.Client) streamBenchResult {
+	tb.Helper()
+	base := liveHeap()
+	rt0, by0 := c.Stats.RoundTrips, c.Stats.BytesRecv
+	t0 := time.Now()
+	r, err := stmt.QueryRows()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	row, err := r.Next()
+	if err != nil || row == nil {
+		tb.Fatalf("first row: %v, %v", row, err)
+	}
+	first := time.Since(t0)
+	n := 1
+	for {
+		row, err := r.Next()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if row == nil {
+			break
+		}
+		n++
+	}
+	total := time.Since(t0)
+	heap := liveHeap()
+	runtime.KeepAlive(r)
+	if err := r.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	if n != streamBenchRows {
+		tb.Fatalf("streamed %d rows, want %d", n, streamBenchRows)
+	}
+	return streamBenchResult{
+		Rows:         n,
+		FirstRowNs:   first.Nanoseconds(),
+		TotalNs:      total.Nanoseconds(),
+		LiveHeapMB:   float64(heap-min(heap, base)) / (1 << 20),
+		MRowsPS:      float64(n) / total.Seconds() / 1e6,
+		RoundTrips:   c.Stats.RoundTrips - rt0,
+		BytesOnWire:  c.Stats.BytesRecv - by0,
+		FetchRows:    streamBenchFetch,
+		Materialized: false,
+	}
+}
+
+// BenchmarkStreamWire compares full-drain throughput of the two result
+// paths over the wire (manual runs; the CI gate is TestStreamBenchGate).
+func BenchmarkStreamWire(b *testing.B) {
+	_, addr := streamBenchServer(b)
+	client, err := wire.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	client.FetchSize = streamBenchFetch
+	stmt, err := client.Prepare("SELECT a, b FROM S")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := stmt.Query()
+			if err != nil || len(rows) != streamBenchRows {
+				b.Fatalf("%d rows, %v", len(rows), err)
+			}
+		}
+	})
+	b.Run("streamed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := stmt.QueryRows()
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for {
+				row, err := r.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if row == nil {
+					break
+				}
+				n++
+			}
+			if n != streamBenchRows {
+				b.Fatalf("%d rows", n)
+			}
+		}
+	})
+}
+
+// TestStreamBenchGate ships a 1M-row prepared SELECT over the wire through
+// the materialized Execute path and the streaming cursor path, writes
+// BENCH_stream.json, and fails when streaming does not deliver its two
+// claims: latency-to-first-row well below the materialized path, and live
+// heap bounded by the fetch block instead of the result. Guarded by
+// STREAM_BENCH_GATE=1; CI runs it as a dedicated step and uploads the JSON.
+func TestStreamBenchGate(t *testing.T) {
+	if os.Getenv("STREAM_BENCH_GATE") == "" {
+		t.Skip("set STREAM_BENCH_GATE=1 to run the benchmark gate")
+	}
+	_, addr := streamBenchServer(t)
+	client, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.FetchSize = streamBenchFetch
+	stmt, err := client.Prepare("SELECT a, b FROM S")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm both paths once (plan cache, TCP windows), then measure.
+	if _, err := stmt.Query(); err != nil {
+		t.Fatal(err)
+	}
+	mat := measureMaterialized(t, stmt, client)
+	stream := measureStreamed(t, stmt, client)
+
+	firstRowSpeedup := float64(mat.FirstRowNs) / float64(stream.FirstRowNs)
+	heapRatio := 0.0
+	if mat.LiveHeapMB > 0 {
+		heapRatio = stream.LiveHeapMB / mat.LiveHeapMB
+	}
+	firstPass := stream.FirstRowNs*2 < mat.FirstRowNs
+	heapPass := stream.LiveHeapMB < mat.LiveHeapMB/4
+
+	report := map[string]any{
+		"benchmark": "BenchmarkStreamWire / TestStreamBenchGate (stream_bench_test.go)",
+		"description": fmt.Sprintf(
+			"Streamed (cursor frames, %d-row blocks) vs materialized (single FrameExecute result) delivery of a %d-row prepared SELECT over TCP loopback. first_row = latency until the first row is usable on the client; live_heap = GC-settled heap while the result is held (the whole result for the materialized path, one block for the cursor).",
+			streamBenchFetch, streamBenchRows),
+		"machine": fmt.Sprintf("GOMAXPROCS=%d, %s/%s, %s", runtime.GOMAXPROCS(0), runtime.GOOS, runtime.GOARCH, runtime.Version()),
+		"results": map[string]any{
+			"materialized": mat,
+			"streamed":     stream,
+		},
+		"speedups": map[string]float64{
+			"first_row_latency": firstRowSpeedup,
+			"live_heap_ratio":   heapRatio,
+		},
+	}
+	report["acceptance"] = fmt.Sprintf(
+		"first row >=2x sooner than materialized: %s (%.0fx); live heap < 1/4 of materialized: %s (%.1f MB vs %.1f MB)",
+		pass(firstPass), firstRowSpeedup, pass(heapPass), stream.LiveHeapMB, mat.LiveHeapMB)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_stream.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("first row: materialized %v, streamed %v (%.0fx)",
+		time.Duration(mat.FirstRowNs), time.Duration(stream.FirstRowNs), firstRowSpeedup)
+	t.Logf("live heap: materialized %.1f MB, streamed %.1f MB; total: %v vs %v",
+		mat.LiveHeapMB, stream.LiveHeapMB, time.Duration(mat.TotalNs), time.Duration(stream.TotalNs))
+	if !firstPass {
+		t.Errorf("streamed first row not measurably sooner: %v vs %v",
+			time.Duration(stream.FirstRowNs), time.Duration(mat.FirstRowNs))
+	}
+	if !heapPass {
+		t.Errorf("streamed live heap not bounded: %.1f MB vs materialized %.1f MB",
+			stream.LiveHeapMB, mat.LiveHeapMB)
+	}
+}

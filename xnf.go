@@ -51,6 +51,7 @@
 package xnf
 
 import (
+	"context"
 	"fmt"
 
 	"xnf/internal/ast"
@@ -82,6 +83,13 @@ type (
 	Cursor = cocache.Cursor
 	// Result is a materialized SQL query result.
 	Result = engine.Result
+	// Rows is a streaming query result: a pull-based cursor that drives
+	// the plan lazily, so memory stays bounded by one batch. Callers must
+	// drain or Close it.
+	Rows = engine.Rows
+	// ClientRows is the wire-protocol counterpart of Rows: a server-side
+	// cursor fetched one block per round trip.
+	ClientRows = wire.Rows
 	// Stmt is a prepared statement (compile once, execute many).
 	Stmt = engine.Stmt
 	// COResult is a materialized composite object before caching.
@@ -149,8 +157,29 @@ func (db *DB) ExecScript(sql string) error { return db.eng.ExecScript(sql) }
 // placeholders; plans come from the shared plan cache.
 func (db *DB) Query(sql string, args ...Value) (*Result, error) { return db.eng.Query(sql, args...) }
 
+// QueryRows runs a SELECT and returns a streaming cursor over its result:
+// rows are produced as they are pulled, so the peak memory of the query is
+// one batch rather than the whole result. The caller must drain or Close
+// the returned Rows.
+func (db *DB) QueryRows(sql string, args ...Value) (*Rows, error) {
+	return db.eng.QueryRows(sql, args...)
+}
+
+// QueryRowsContext is QueryRows with cancellation: once ctx is done, Next
+// aborts the stream and releases the plan's resources.
+func (db *DB) QueryRowsContext(ctx context.Context, sql string, args ...Value) (*Rows, error) {
+	return db.eng.QueryRowsContext(ctx, sql, args...)
+}
+
 // Explain returns the physical plan of a SELECT.
 func (db *DB) Explain(sql string) (string, error) { return db.eng.Explain(sql) }
+
+// ExplainAnalyze executes a SELECT and returns the physical plan annotated
+// with runtime counters (rows scanned, index probes, zone-map segments
+// pruned).
+func (db *DB) ExplainAnalyze(sql string, args ...Value) (string, error) {
+	return db.eng.ExplainAnalyze(sql, args...)
+}
 
 // Analyze refreshes optimizer statistics.
 func (db *DB) Analyze() error { return db.eng.Analyze() }
