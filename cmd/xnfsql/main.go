@@ -107,6 +107,10 @@ func addCounters(c xnf.Counters) {
 	sessionCounters.SubplanRuns += c.SubplanRuns
 	sessionCounters.SpoolMaterial += c.SpoolMaterial
 	sessionCounters.HashBuilds += c.HashBuilds
+	sessionCounters.JoinBuildRows += c.JoinBuildRows
+	sessionCounters.JoinProbeRows += c.JoinProbeRows
+	sessionCounters.PoolWorkers += c.PoolWorkers
+	sessionCounters.PoolFallbacks += c.PoolFallbacks
 }
 
 func run(db *xnf.DB, stmt string) {
@@ -200,6 +204,11 @@ func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 		c := sessionCounters
 		fmt.Printf("session: %d rows scanned, %d index lookups, %d segments pruned by zone maps\n",
 			c.RowsScanned, c.IndexLookups, c.SegmentsPruned)
+		fmt.Printf("session: %d join build rows, %d join probe rows, %d pool workers granted, %d pool fallbacks\n",
+			c.JoinBuildRows, c.JoinProbeRows, c.PoolWorkers, c.PoolFallbacks)
+		ps := xnf.PoolStats()
+		fmt.Printf("worker pool: %d/%d in use (peak %d), %d admissions, %d sequential fallbacks\n",
+			ps.InUse, ps.Workers, ps.Peak, ps.Admits, ps.Fallbacks)
 		fmt.Println("switch with: ALTER TABLE name SET STORAGE COLUMN (or ROW)")
 	case `\fetchsize`:
 		if len(fields) < 2 {

@@ -262,8 +262,9 @@ func (db *Database) ExplainAnalyze(sql string, args ...types.Value) (string, err
 		n++
 	}
 	c := rows.Counters()
-	return fmt.Sprintf("%s-- %d row(s); rows_scanned=%d index_lookups=%d segments_pruned=%d spools=%d subplan_runs=%d\n",
-		stmt.plan.Explain(0), n, c.RowsScanned, c.IndexLookups, c.SegmentsPruned, c.SpoolMaterial, c.SubplanRuns), nil
+	return fmt.Sprintf("%s-- %d row(s); rows_scanned=%d index_lookups=%d segments_pruned=%d spools=%d subplan_runs=%d join_build=%d join_probe=%d pool_workers=%d pool_fallbacks=%d\n",
+		stmt.plan.Explain(0), n, c.RowsScanned, c.IndexLookups, c.SegmentsPruned, c.SpoolMaterial, c.SubplanRuns,
+		c.JoinBuildRows, c.JoinProbeRows, c.PoolWorkers, c.PoolFallbacks), nil
 }
 
 func (db *Database) createTable(s *ast.CreateTableStmt) error {

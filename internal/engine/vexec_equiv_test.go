@@ -15,8 +15,9 @@ import (
 // through both executors and the results must agree exactly. It leans on
 // the shapes the lowering pass touches — scans, filters (including NULL
 // three-valued logic and selection-vector edge cases), projections,
-// aggregates, limits — plus shapes that must fall back (joins, sorts,
-// subqueries, unions, functions) so bridge boundaries are exercised too.
+// aggregates, limits, joins, sorts, unions — plus shapes that must fall
+// back (correlated subqueries, spools) so bridge boundaries are exercised
+// too. joinEquivCorpus extends this with the join/sort/distinct shapes.
 var equivCorpus = []string{
 	// Plain scans and projections.
 	"SELECT * FROM EMP",
@@ -61,10 +62,10 @@ var equivCorpus = []string{
 	"SELECT ename FROM EMP WHERE sal > 150 LIMIT 2",
 	"SELECT ename FROM EMP ORDER BY sal DESC LIMIT 3",
 	"SELECT ename FROM EMP LIMIT 0",
-	// DISTINCT, ORDER BY (row fallbacks above batched scans).
+	// DISTINCT, ORDER BY (batch operators since the join/sort lowering).
 	"SELECT DISTINCT edno FROM EMP",
 	"SELECT ename FROM EMP ORDER BY ename DESC",
-	// Joins and derived tables: batch legs under row join operators.
+	// Joins and derived tables.
 	"SELECT e.ename, d.dname FROM EMP e, DEPT d WHERE e.edno = d.dno",
 	"SELECT e.ename FROM EMP e, DEPT d WHERE e.edno = d.dno AND d.loc = 'ARC'",
 	"SELECT d.dname, COUNT(*) FROM EMP e, DEPT d WHERE e.edno = d.dno GROUP BY d.dname",

@@ -154,6 +154,7 @@ func (j *HashJoinPlan) Open(ctx *Ctx, params types.Row) error {
 		return err
 	}
 	env := Env{Params: params, Ctx: ctx}
+	built := int64(0)
 	for {
 		row, err := j.Right.Next(ctx)
 		if err != nil {
@@ -180,8 +181,10 @@ func (j *HashJoinPlan) Open(ctx *Ctx, params types.Row) error {
 		}
 		h := hashKey(key)
 		j.table[h] = append(j.table[h], append(key, row...))
+		built++
 	}
 	add(&ctx.Counters.HashBuilds, 1)
+	add(&ctx.Counters.JoinBuildRows, built)
 	if err := j.Right.Close(ctx); err != nil {
 		return err
 	}
@@ -241,6 +244,7 @@ func (j *HashJoinPlan) Next(ctx *Ctx) (types.Row, error) {
 		if null {
 			continue
 		}
+		add(&ctx.Counters.JoinProbeRows, 1)
 		j.curLeft = left
 		j.curKey = key
 		j.bucket = j.table[hashKey(key)]

@@ -24,6 +24,16 @@ type Counters struct {
 	SpoolMaterial int64
 	// SegmentsPruned counts column-store segments skipped by zone maps.
 	SegmentsPruned int64
+	// JoinBuildRows / JoinProbeRows count hash-join build rows inserted
+	// into the table and probe rows that probed it (NULL-key rows, which
+	// never join, count on neither side). Both executors maintain them.
+	JoinBuildRows int64
+	JoinProbeRows int64
+	// PoolWorkers counts extra workers granted by the shared vexec worker
+	// pool; PoolFallbacks counts parallel operators that ran sequentially
+	// because the pool was saturated.
+	PoolWorkers   int64
+	PoolFallbacks int64
 }
 
 func add(c *int64, n int64) { atomic.AddInt64(c, n) }

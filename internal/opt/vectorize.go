@@ -6,15 +6,14 @@ import (
 )
 
 // vectorizePlan lowers maximal pipeline prefixes of a compiled row plan
-// into the batch engine: scan → filter → project → aggregate/limit chains
-// whose expressions the vectorized interpreter supports become one batch
-// pipeline under a BatchToRow bridge; everything else (joins, sorts,
-// distinct, unions, spools, subplan-carrying expressions) stays on the row
-// path, with the pass recursing into children so lowered fragments appear
-// wherever they help — including under hash-join build sides and spooled
-// shared fragments. The right side of a nested-loop join is deliberately
-// left alone: it is re-Opened once per driving row, where batching buys
-// nothing and the bridge would only add overhead.
+// into the batch engine: scan → filter → project → join → sort/distinct →
+// aggregate/limit chains whose expressions the vectorized interpreter
+// supports become one batch pipeline under a BatchToRow bridge; everything
+// else (spools, subplan-carrying expressions, nested-loop joins) stays on
+// the row path, with the pass recursing into children so lowered fragments
+// appear wherever they help. The right side of a nested-loop join is
+// deliberately left alone: it is re-Opened once per driving row, where
+// batching buys nothing and the bridge would only add overhead.
 func vectorizePlan(p exec.Plan, opts Options) exec.Plan {
 	if bp, ok := lowerPlan(p, opts); ok {
 		return &vexec.BatchToRow{Child: bp}
@@ -45,6 +44,18 @@ func vectorizePlan(p exec.Plan, opts Options) exec.Plan {
 		n.Child = vectorizePlan(n.Child, opts)
 	}
 	return p
+}
+
+// lowerOrBridge lowers a subtree natively when it can, and otherwise wraps
+// the (recursively vectorized) row subtree in a row → batch bridge. Used by
+// operators like hash join whose own work vectorizes regardless of how its
+// inputs arrive — a bridged input is still far cheaper than bridging the
+// join output row by row.
+func lowerOrBridge(p exec.Plan, opts Options) vexec.BatchPlan {
+	if bp, ok := lowerPlan(p, opts); ok {
+		return bp
+	}
+	return &vexec.RowSource{Plan: vectorizePlan(p, opts)}
 }
 
 // lowerPlan translates a row operator subtree into a batch pipeline. ok is
@@ -121,6 +132,63 @@ func lowerPlan(p exec.Plan, opts Options) (vexec.BatchPlan, bool) {
 			return nil, false
 		}
 		return &vexec.LimitBatch{Child: child, N: n.N}, true
+	case *exec.HashJoinPlan:
+		lk, ok := vexec.CompileExprs(n.LeftKeys)
+		if !ok {
+			return nil, false
+		}
+		rk, ok := vexec.CompileExprs(n.RightKeys)
+		if !ok {
+			return nil, false
+		}
+		res, ok := vexec.CompileExpr(n.Residual)
+		if !ok {
+			return nil, false
+		}
+		return &vexec.BatchHashJoin{
+			Left:      lowerOrBridge(n.Left, opts),
+			Right:     lowerOrBridge(n.Right, opts),
+			LeftKeys:  lk,
+			RightKeys: rk,
+			Residual:  res,
+			Parallel:  opts.ParallelScan,
+			Workers:   opts.ParallelWorkers,
+			MinRows:   opts.ParallelMinRows,
+		}, true
+	case *exec.SortPlan:
+		// Sort only lowers when its input lowers natively: a bridged input
+		// would mean row → batch → rows-again with the sort's own batching
+		// buying nothing over the row sort.
+		child, ok := lowerPlan(n.Child, opts)
+		if !ok {
+			return nil, false
+		}
+		keys, ok := vexec.CompileExprs(n.Keys)
+		if !ok {
+			return nil, false
+		}
+		return &vexec.BatchSort{
+			Child: child, Keys: keys, Desc: n.Desc,
+			Parallel: opts.ParallelScan,
+			Workers:  opts.ParallelWorkers,
+			MinRows:  opts.ParallelMinRows,
+		}, true
+	case *exec.DistinctPlan:
+		child, ok := lowerPlan(n.Child, opts)
+		if !ok {
+			return nil, false
+		}
+		return &vexec.BatchDistinct{Child: child}, true
+	case *exec.UnionPlan:
+		children := make([]vexec.BatchPlan, len(n.Children))
+		for i, c := range n.Children {
+			child, ok := lowerPlan(c, opts)
+			if !ok {
+				return nil, false
+			}
+			children[i] = child
+		}
+		return &vexec.BatchUnion{Children: children, Distinct: n.Distinct}, true
 	case *exec.AggPlan:
 		groups, ok := vexec.CompileExprs(n.Groups)
 		if !ok {

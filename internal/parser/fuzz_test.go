@@ -1,0 +1,42 @@
+package parser
+
+import "testing"
+
+// FuzzParse asserts the parser never panics on arbitrary input: every
+// input must either produce a statement whose String rendering also does
+// not panic, or a clean error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT 1",
+		"SELECT * FROM EMP WHERE edno = ?",
+		"SELECT e.ename, d.dname FROM EMP e, DEPT d WHERE e.edno = d.dno ORDER BY 1 DESC LIMIT 3",
+		"SELECT DISTINCT region FROM CUST",
+		"SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v",
+		"SELECT COUNT(*), SUM(sal + 1) FROM EMP GROUP BY edno HAVING COUNT(*) > 1",
+		"SELECT * FROM EMP WHERE edno IN (SELECT dno FROM DEPT WHERE loc = 'ARC')",
+		"SELECT (SELECT MAX(sal) FROM EMP e2 WHERE e2.edno = e.edno) FROM EMP e",
+		"CREATE TABLE T (a INT NOT NULL, b TEXT, c FLOAT, PRIMARY KEY (a))",
+		"CREATE INDEX idx ON T (a, b)",
+		"INSERT INTO T VALUES (1, 'x', 2.5), (2, NULL, NULL)",
+		"UPDATE T SET b = 'y' WHERE a = 1",
+		"DELETE FROM T WHERE a IS NOT NULL",
+		"OUT OF d AS (SELECT * FROM DEPT), e AS EMP, r AS (RELATE d, e WHERE d.dno = e.edno) TAKE *",
+		"SELECT CASE WHEN a = 1 THEN 'one' ELSE 'many' END FROM T",
+		"SELECT * FROM ((((((((((t))))))))))",
+		"SELECT",
+		"((((((((((",
+		"SELECT * FROM t WHERE a = 'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if stmt != nil {
+			_ = stmt.String()
+		}
+	})
+}

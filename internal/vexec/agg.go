@@ -69,14 +69,16 @@ func typedHashAt(tv *TypedVec, i int) uint64 {
 			h *= prime
 		}
 	default:
-		u := uint64(tv.Ints[i])
-		if tv.Typ == types.FloatType {
+		var u uint64
+		if tv.Typ == types.FloatType { // float vectors carry no Ints payload
 			f := tv.Floats[i]
 			if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
 				u = uint64(int64(f))
 			} else {
 				u = math.Float64bits(f)
 			}
+		} else {
+			u = uint64(tv.Ints[i])
 		}
 		h ^= 1
 		h *= prime

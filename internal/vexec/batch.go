@@ -2,10 +2,40 @@
 // the row executor: operators exchange column-major chunks of ~1024 rows
 // instead of single tuples, amortizing the per-row interface dispatch and
 // expression interpretation that dominates the row path once plans come
-// precompiled from the shared plan cache. The optimizer lowers maximal
-// scan→filter→project→aggregate/limit pipeline prefixes into this engine
-// and bridges back to the row iterators (BatchToRow) for everything else,
-// so every plan shape keeps working.
+// precompiled from the shared plan cache.
+//
+// # Operator set and lowering
+//
+// The batch operators are scan (ScanBatch, IndexLookupBatch), filter,
+// project, limit, hash aggregation (HashAggBatch and its morsel-parallel
+// fusion ParallelAggScan), hash join (BatchHashJoin), sort (BatchSort),
+// duplicate elimination (BatchDistinct) and union (BatchUnion). The
+// optimizer lowers maximal pipelines of these shapes into this engine —
+// multi-table equi-join queries with sorts, DISTINCT and grouped
+// aggregates on top stay batched end to end — and bridges at the
+// boundaries for everything else, in both directions: BatchToRow adapts a
+// batch pipeline to the row iterator protocol at the plan root or under a
+// row-only operator, and RowSource feeds a row subtree (a spool, a
+// correlated subquery, a nested-loop join) into a batch operator such as a
+// hash join input or an aggregate. Operators whose own work does not
+// vectorize — notably the re-Opened right side of a correlated nested-loop
+// join — stay on the row path entirely.
+//
+// # Worker pool and admission control
+//
+// Parallel operators (the morsel-parallel aggregate scan, hash-join build
+// and sort) do not spawn goroutines freely: they request extra workers
+// from one process-wide pool (Shared, resized with SetWorkers, default
+// GOMAXPROCS). Admission is non-blocking — a request is clipped to the
+// requester's fair share (pool size divided by currently active parallel
+// operators, at least 1) and to the pool's free capacity, and whatever is
+// granted is released when the operator finishes. A zero grant means the
+// pool is saturated; the operator then runs sequentially on its own
+// goroutine rather than queueing, so the process-wide extra-goroutine
+// count stays bounded by the pool size no matter how many statements run
+// concurrently, and every statement always makes progress. Tables below
+// opt.Options.ParallelMinRows never request workers at all — for small
+// inputs the handoff costs more than the scan.
 //
 // Column-store scans feed batches in typed form: a column is an []int64,
 // []float64 or []string payload plus a null bitmap (TypedVec), and the

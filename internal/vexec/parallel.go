@@ -9,6 +9,7 @@ import (
 
 	"xnf/internal/colstore"
 	"xnf/internal/exec"
+	"xnf/internal/storage"
 	"xnf/internal/types"
 )
 
@@ -41,6 +42,48 @@ func (m morsel) liveRows() int {
 	}
 }
 
+// tableMorsels splits a stored table into parallel scan units — one
+// colstore segment per morsel (typed by default, boxed for the
+// measurement baseline), or fixed-size row ranges for row-major tables —
+// and reports the total live row count plus the number of typed segments
+// the zone-map bounds pruned. Shared by ParallelAggScan and the
+// morsel-parallel hash-join build.
+func tableMorsels(td *storage.TableData, boxed bool, bounds []colstore.ColBound) (morsels []morsel, total, pruned int) {
+	colMode := false
+	if boxed {
+		if views, ok := td.ColumnViews(); ok {
+			colMode = true
+			for i := range views {
+				if views[i].Rows() > 0 {
+					morsels = append(morsels, morsel{bview: &views[i]})
+				}
+			}
+		}
+	} else if views, p, ok := td.TypedColumnViews(bounds); ok {
+		colMode = true
+		pruned = p
+		for i := range views {
+			if views[i].Rows() > 0 {
+				morsels = append(morsels, morsel{view: &views[i]})
+			}
+		}
+	}
+	if !colMode {
+		rows := td.Snapshot()
+		for lo := 0; lo < len(rows); lo += rowMorselRows {
+			hi := lo + rowMorselRows
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			morsels = append(morsels, morsel{rows: rows[lo:hi]})
+		}
+	}
+	for _, m := range morsels {
+		total += m.liveRows()
+	}
+	return morsels, total, pruned
+}
+
 // ParallelAggScan is the morsel-parallel fusion of scan → filter →
 // aggregate: the table is split into morsels (one per colstore segment, or
 // fixed-size row ranges), a bounded worker pool folds each morsel into
@@ -52,9 +95,13 @@ func (m morsel) liveRows() int {
 // Morsels are assigned statically (worker w takes morsels w, w+N, w+2N …),
 // not through a racing work queue, so the partition of rows into partial
 // states is a pure function of the morsel count and the worker count:
-// repeated executions return bit-identical results, including floating-
-// point aggregates. (Changing the worker count may still move a float SUM
-// by an ulp — parallel FP reduction reorders additions by construction.)
+// executions with the same worker count return bit-identical results,
+// including floating-point aggregates. Workers are admitted by the shared
+// process-wide pool (Shared), so the effective count can shrink under
+// concurrent load — which, like changing Workers, may move a float SUM by
+// an ulp (parallel FP reduction reorders additions by construction).
+// Isolated executions always receive their full request and stay
+// bit-identical run to run.
 type ParallelAggScan struct {
 	Table   string
 	Pred    VExpr // nil = no filter
@@ -86,40 +133,8 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 	if err != nil {
 		return err
 	}
-	var morsels []morsel
-	colMode := false
-	if p.Boxed {
-		if views, ok := td.ColumnViews(); ok {
-			colMode = true
-			for i := range views {
-				if views[i].Rows() > 0 {
-					morsels = append(morsels, morsel{bview: &views[i]})
-				}
-			}
-		}
-	} else if views, pruned, ok := td.TypedColumnViews(ResolveBounds(p.Prune, params)); ok {
-		colMode = true
-		add(&ctx.Counters.SegmentsPruned, int64(pruned))
-		for i := range views {
-			if views[i].Rows() > 0 {
-				morsels = append(morsels, morsel{view: &views[i]})
-			}
-		}
-	}
-	if !colMode {
-		rows := td.Snapshot()
-		for lo := 0; lo < len(rows); lo += rowMorselRows {
-			hi := lo + rowMorselRows
-			if hi > len(rows) {
-				hi = len(rows)
-			}
-			morsels = append(morsels, morsel{rows: rows[lo:hi]})
-		}
-	}
-	total := 0
-	for _, m := range morsels {
-		total += m.liveRows()
-	}
+	morsels, total, pruned := tableMorsels(td, p.Boxed, ResolveBounds(p.Prune, params))
+	add(&ctx.Counters.SegmentsPruned, int64(pruned))
 	add(&ctx.Counters.RowsScanned, int64(total))
 
 	workers := p.Workers
@@ -134,7 +149,17 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 	if minRows <= 0 {
 		minRows = DefaultParallelMinRows
 	}
-	if int64(total) < minRows || workers <= 1 {
+	// Admission: extra workers come from the process-wide pool, so total
+	// fan-out stays bounded no matter how many statements run at once. A
+	// zero grant (pool saturated) degrades to the sequential fold.
+	var grant Grant
+	if int64(total) >= minRows && workers > 1 {
+		grant = Shared.Acquire(workers - 1)
+		if grant.N() == 0 {
+			add(&ctx.Counters.PoolFallbacks, 1)
+		}
+	}
+	if grant.N() == 0 {
 		// Sequential fold: same code path, one worker inline.
 		w := newAggWorker(p, params)
 		defer w.close()
@@ -147,27 +172,34 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 		p.pos = 0
 		return nil
 	}
+	defer grant.Release()
+	workers = grant.N() + 1
+	add(&ctx.Counters.PoolWorkers, int64(grant.N()))
 
 	tables := make([]*groupTable, workers)
 	werrs := make([]*workerErr, workers)
+	run := func(wi int) {
+		w := newAggWorker(p, params)
+		defer w.close()
+		tables[wi] = w.gt
+		// Static strided assignment keeps the row→partial-state
+		// partition deterministic (see the type comment).
+		for mi := wi; mi < len(morsels); mi += workers {
+			if err := w.foldMorsel(mi, morsels[mi]); err != nil {
+				werrs[wi] = &workerErr{morsel: mi, err: err}
+				return
+			}
+		}
+	}
 	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
+	for wi := 1; wi < workers; wi++ {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w := newAggWorker(p, params)
-			defer w.close()
-			tables[wi] = w.gt
-			// Static strided assignment keeps the row→partial-state
-			// partition deterministic (see the type comment).
-			for mi := wi; mi < len(morsels); mi += workers {
-				if err := w.foldMorsel(mi, morsels[mi]); err != nil {
-					werrs[wi] = &workerErr{morsel: mi, err: err}
-					return
-				}
-			}
+			run(wi)
 		}(wi)
 	}
+	run(0)
 	wg.Wait()
 	var firstErr *workerErr
 	for _, we := range werrs {

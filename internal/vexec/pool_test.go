@@ -1,0 +1,131 @@
+package vexec
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolAcquireBasic(t *testing.T) {
+	p := NewPool(4)
+	g := p.Acquire(3)
+	if g.N() != 3 {
+		t.Fatalf("want 3 workers, got %d", g.N())
+	}
+	st := p.Stats()
+	if st.InUse != 3 || st.Active != 1 || st.Workers != 4 {
+		t.Fatalf("unexpected stats after acquire: %+v", st)
+	}
+	g.Release()
+	st = p.Stats()
+	if st.InUse != 0 || st.Active != 0 {
+		t.Fatalf("unexpected stats after release: %+v", st)
+	}
+	if st.Peak != 3 {
+		t.Fatalf("want peak 3, got %d", st.Peak)
+	}
+}
+
+func TestPoolClipsToCapacity(t *testing.T) {
+	p := NewPool(4)
+	g := p.Acquire(100)
+	if g.N() != 4 {
+		t.Fatalf("want grant clipped to pool size 4, got %d", g.N())
+	}
+	defer g.Release()
+	// Pool exhausted: the next requester must fall back to sequential.
+	g2 := p.Acquire(2)
+	if g2.N() != 0 {
+		t.Fatalf("want zero grant from exhausted pool, got %d", g2.N())
+	}
+	g2.Release() // zero-grant release must be a safe no-op
+	if st := p.Stats(); st.Fallbacks != 1 {
+		t.Fatalf("want 1 fallback, got %d", st.Fallbacks)
+	}
+}
+
+func TestPoolFairShare(t *testing.T) {
+	p := NewPool(8)
+	// First query in: full pool is its fair share.
+	g1 := p.Acquire(8)
+	if g1.N() != 8 {
+		t.Fatalf("first acquirer should get all 8, got %d", g1.N())
+	}
+	g1.Release()
+
+	// Hold half the pool with one active query, then ask for everything:
+	// the second query's fair share is cap/active = 8/2 = 4, and only 4
+	// slots are free anyway.
+	g1 = p.Acquire(4)
+	g2 := p.Acquire(100)
+	if g2.N() != 4 {
+		t.Fatalf("second acquirer should be clipped to fair share 4, got %d", g2.N())
+	}
+	// A third query's share drops to 8/3 = 2, but nothing is free.
+	g3 := p.Acquire(2)
+	if g3.N() != 0 {
+		t.Fatalf("third acquirer should fall back, got %d", g3.N())
+	}
+	g3.Release()
+	g2.Release()
+	g1.Release()
+	if st := p.Stats(); st.InUse != 0 || st.Active != 0 {
+		t.Fatalf("pool not drained: %+v", st)
+	}
+}
+
+func TestPoolNeverExceedsBound(t *testing.T) {
+	const cap = 4
+	p := NewPool(cap)
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := p.Acquire(3)
+			if st := p.Stats(); st.InUse > cap {
+				t.Errorf("in-use %d exceeds bound %d", st.InUse, cap)
+			}
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Peak > cap {
+		t.Fatalf("peak %d exceeds bound %d", st.Peak, cap)
+	}
+	if st.InUse != 0 || st.Active != 0 {
+		t.Fatalf("pool not drained: %+v", st)
+	}
+}
+
+func TestPoolResetStats(t *testing.T) {
+	p := NewPool(2)
+	g := p.Acquire(2)
+	p.ResetStats()
+	st := p.Stats()
+	if st.Granted != 0 || st.Admits != 0 || st.Fallbacks != 0 {
+		t.Fatalf("counters not cleared: %+v", st)
+	}
+	if st.Peak != 2 {
+		t.Fatalf("peak should reset to current in-use 2, got %d", st.Peak)
+	}
+	g.Release()
+}
+
+func TestSetWorkers(t *testing.T) {
+	p := NewPool(2)
+	if st := p.Stats(); st.Workers != 2 {
+		t.Fatalf("want 2 workers, got %d", st.Workers)
+	}
+	// Shared pool rebound round-trips and defaults on n <= 0.
+	orig := Shared.Stats().Workers
+	SetWorkers(3)
+	if st := Shared.Stats(); st.Workers != 3 {
+		t.Fatalf("want shared pool of 3, got %d", st.Workers)
+	}
+	SetWorkers(0)
+	if st := Shared.Stats(); st.Workers < 1 {
+		t.Fatalf("default pool size must be positive, got %d", st.Workers)
+	}
+	_ = orig
+}

@@ -1,0 +1,422 @@
+package vexec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"xnf/internal/exec"
+	"xnf/internal/types"
+)
+
+// BatchSort fully materializes its child and sorts on the key
+// expressions. Keys are evaluated a batch at a time — typed (unboxed)
+// whenever the expression supports it — and boxed into per-row key tuples;
+// the comparison is types.CompareRows, so ordering (NULLs first,
+// cross-type numeric comparison) and stability match exec.SortPlan
+// exactly.
+//
+// Inputs of at least MinRows rows sort in parallel when Parallel is set:
+// pool-admitted workers stable-sort contiguous index chunks and a stable
+// k-way merge (ties resolve to the earlier chunk) recombines them, which
+// reproduces the sequential stable sort bit for bit.
+type BatchSort struct {
+	Child    BatchPlan
+	Keys     []VExpr
+	Desc     []bool
+	Parallel bool
+	Workers  int   // desired worker count; 0 = GOMAXPROCS
+	MinRows  int64 // sequential below this; 0 = DefaultParallelMinRows
+
+	env   env
+	keys  keyCols
+	rows  []types.Row
+	kr    []types.Row // key tuple per row
+	pos   int
+	width int
+	ob    Batch
+}
+
+// Open implements BatchPlan; the sort is computed eagerly.
+func (s *BatchSort) Open(ctx *exec.Ctx, params types.Row) error {
+	if err := s.Child.Open(ctx, params); err != nil {
+		return err
+	}
+	s.env.open(params)
+	s.rows = s.rows[:0]
+	s.kr = s.kr[:0]
+	s.pos = 0
+	s.width = len(s.Child.Columns())
+	nk := len(s.Keys)
+	for {
+		b, err := s.Child.NextBatch(ctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		sel := b.Sel
+		if sel == nil {
+			sel = s.env.identity(b.N)
+		}
+		s.env.reset()
+		if err := s.keys.eval(s.Keys, &s.env, b, sel); err != nil {
+			return err
+		}
+		for _, i := range sel {
+			s.rows = append(s.rows, b.Row(i))
+			key := make(types.Row, nk)
+			for k := 0; k < nk; k++ {
+				key[k] = s.keys.valueAt(k, i)
+			}
+			s.kr = append(s.kr, key)
+		}
+	}
+	if err := s.Child.Close(ctx); err != nil {
+		return err
+	}
+	s.sortRows(ctx)
+	return nil
+}
+
+// sortRows orders s.rows by s.kr, stable, splitting across pool workers
+// for large inputs.
+func (s *BatchSort) sortRows(ctx *exec.Ctx) {
+	n := len(s.rows)
+	if n < 2 {
+		return
+	}
+	ords := make([]int, len(s.Keys))
+	for i := range ords {
+		ords[i] = i
+	}
+	less := func(a, b int) bool {
+		return types.CompareRows(s.kr[a], s.kr[b], ords, s.Desc) < 0
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+
+	minRows := s.MinRows
+	if minRows <= 0 {
+		minRows = DefaultParallelMinRows
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var grant Grant
+	if s.Parallel && int64(n) >= minRows && workers > 1 {
+		grant = Shared.Acquire(workers - 1)
+		if grant.N() == 0 {
+			add(&ctx.Counters.PoolFallbacks, 1)
+		}
+	}
+	if grant.N() == 0 {
+		sort.SliceStable(perm, func(i, j int) bool { return less(perm[i], perm[j]) })
+		s.apply(perm)
+		return
+	}
+	defer grant.Release()
+	w := grant.N() + 1
+	add(&ctx.Counters.PoolWorkers, int64(grant.N()))
+
+	// Contiguous chunks keep each chunk internally in input order, so a
+	// chunk-stable merge reproduces the global stable sort.
+	bounds := make([]int, w+1)
+	for i := 0; i <= w; i++ {
+		bounds[i] = i * n / w
+	}
+	var wg sync.WaitGroup
+	sortChunk := func(c int) {
+		chunk := perm[bounds[c]:bounds[c+1]]
+		sort.SliceStable(chunk, func(i, j int) bool { return less(chunk[i], chunk[j]) })
+	}
+	for c := 1; c < w; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sortChunk(c)
+		}(c)
+	}
+	sortChunk(0)
+	wg.Wait()
+
+	// Stable k-way merge: among the chunk heads, take the smallest key,
+	// ties to the earliest chunk (earlier chunks hold earlier input rows).
+	heads := make([]int, w)
+	copy(heads, bounds[:w])
+	merged := make([]int, 0, n)
+	for len(merged) < n {
+		best := -1
+		for c := 0; c < w; c++ {
+			if heads[c] >= bounds[c+1] {
+				continue
+			}
+			if best < 0 || less(perm[heads[c]], perm[heads[best]]) {
+				best = c
+			}
+		}
+		merged = append(merged, perm[heads[best]])
+		heads[best]++
+	}
+	s.apply(merged)
+}
+
+// apply reorders rows (and drops the key tuples) per the sorted
+// permutation.
+func (s *BatchSort) apply(perm []int) {
+	out := make([]types.Row, len(perm))
+	for o, i := range perm {
+		out[o] = s.rows[i]
+	}
+	s.rows = out
+	s.kr = nil
+}
+
+// NextBatch implements BatchPlan.
+func (s *BatchSort) NextBatch(*exec.Ctx) (*Batch, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	n := len(s.rows) - s.pos
+	if n > BatchSize {
+		n = BatchSize
+	}
+	s.ob.fromRows(s.rows[s.pos:s.pos+n], s.width)
+	s.pos += n
+	return &s.ob, nil
+}
+
+// Close implements BatchPlan.
+func (s *BatchSort) Close(*exec.Ctx) error {
+	s.rows = nil
+	s.kr = nil
+	s.ob.release()
+	s.env.close()
+	return nil
+}
+
+// Columns implements BatchPlan.
+func (s *BatchSort) Columns() []exec.Column { return s.Child.Columns() }
+
+// Explain implements BatchPlan.
+func (s *BatchSort) Explain(indent int) string {
+	keys := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		keys[i] = k.String()
+		if i < len(s.Desc) && s.Desc[i] {
+			keys[i] += " DESC"
+		}
+	}
+	return fmt.Sprintf("%sBatchSort %s\n%s", pad(indent), strings.Join(keys, ", "), s.Child.Explain(indent+1))
+}
+
+// Clone implements BatchPlan.
+func (s *BatchSort) Clone(cloneRow func(exec.Plan) exec.Plan) BatchPlan {
+	return &BatchSort{Child: s.Child.Clone(cloneRow), Keys: s.Keys, Desc: s.Desc,
+		Parallel: s.Parallel, Workers: s.Workers, MinRows: s.MinRows}
+}
+
+// batchRowHash combines the column hashes of physical row i without boxing
+// typed columns; consistent with rowHash over the boxed row.
+func batchRowHash(b *Batch, i int) uint64 {
+	h := uint64(fnvOffset)
+	for c := range b.Cols {
+		if b.Cols[c] == nil {
+			h = mixHash(h, typedHashAt(b.Typed[c], i))
+		} else {
+			h = mixHash(h, valHash(b.Cols[c][i]))
+		}
+	}
+	return h
+}
+
+// dedup is the shared duplicate-elimination state of BatchDistinct and
+// BatchUnion: first occurrences are kept (boxed copies — they outlive the
+// batch), duplicates are dropped by narrowing the selection.
+type dedup struct {
+	seen map[uint64][]types.Row
+}
+
+func (d *dedup) init() { d.seen = make(map[uint64][]types.Row) }
+
+// filter appends the physical indexes of b's first-occurrence rows to
+// buf[:0] and returns it.
+func (d *dedup) filter(b *Batch, buf []int) []int {
+	buf = buf[:0]
+	keep := func(i int) {
+		h := batchRowHash(b, i)
+		for _, prev := range d.seen[h] {
+			eq := true
+			for c := range prev {
+				if !types.Equal(prev[c], b.value(c, i)) {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				return
+			}
+		}
+		d.seen[h] = append(d.seen[h], b.Row(i))
+		buf = append(buf, i)
+	}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			keep(i)
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			keep(i)
+		}
+	}
+	return buf
+}
+
+// BatchDistinct drops duplicate rows by narrowing each batch's selection
+// to first occurrences — zero-copy for the surviving rows. Semantics
+// match exec.DistinctPlan: whole-row equality under types.Equal, first
+// occurrence wins, child order preserved.
+type BatchDistinct struct {
+	Child BatchPlan
+
+	dd     dedup
+	selBuf []int
+}
+
+// Open implements BatchPlan.
+func (d *BatchDistinct) Open(ctx *exec.Ctx, params types.Row) error {
+	d.dd.init()
+	return d.Child.Open(ctx, params)
+}
+
+// NextBatch implements BatchPlan.
+func (d *BatchDistinct) NextBatch(ctx *exec.Ctx) (*Batch, error) {
+	for {
+		b, err := d.Child.NextBatch(ctx)
+		if err != nil || b == nil {
+			return b, err
+		}
+		d.selBuf = d.dd.filter(b, d.selBuf)
+		if len(d.selBuf) == 0 {
+			continue
+		}
+		b.Sel = d.selBuf
+		return b, nil
+	}
+}
+
+// Close implements BatchPlan.
+func (d *BatchDistinct) Close(ctx *exec.Ctx) error {
+	d.dd.seen = nil
+	selPool.put(d.selBuf)
+	d.selBuf = nil
+	return d.Child.Close(ctx)
+}
+
+// Columns implements BatchPlan.
+func (d *BatchDistinct) Columns() []exec.Column { return d.Child.Columns() }
+
+// Explain implements BatchPlan.
+func (d *BatchDistinct) Explain(indent int) string {
+	return fmt.Sprintf("%sBatchDistinct\n%s", pad(indent), d.Child.Explain(indent+1))
+}
+
+// Clone implements BatchPlan.
+func (d *BatchDistinct) Clone(cloneRow func(exec.Plan) exec.Plan) BatchPlan {
+	return &BatchDistinct{Child: d.Child.Clone(cloneRow)}
+}
+
+// BatchUnion concatenates branch streams; Distinct adds set semantics with
+// the dedup state shared across branches. Like exec.UnionPlan, every
+// branch is opened at Open and the branches drain in order.
+type BatchUnion struct {
+	Children []BatchPlan
+	Distinct bool
+
+	cur    int
+	dd     dedup
+	selBuf []int
+}
+
+// Open implements BatchPlan.
+func (u *BatchUnion) Open(ctx *exec.Ctx, params types.Row) error {
+	u.cur = 0
+	if u.Distinct {
+		u.dd.init()
+	}
+	for _, c := range u.Children {
+		if err := c.Open(ctx, params); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NextBatch implements BatchPlan.
+func (u *BatchUnion) NextBatch(ctx *exec.Ctx) (*Batch, error) {
+	for u.cur < len(u.Children) {
+		b, err := u.Children[u.cur].NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			u.cur++
+			continue
+		}
+		if u.Distinct {
+			u.selBuf = u.dd.filter(b, u.selBuf)
+			if len(u.selBuf) == 0 {
+				continue
+			}
+			b.Sel = u.selBuf
+		}
+		return b, nil
+	}
+	return nil, nil
+}
+
+// Close implements BatchPlan.
+func (u *BatchUnion) Close(ctx *exec.Ctx) error {
+	u.dd.seen = nil
+	selPool.put(u.selBuf)
+	u.selBuf = nil
+	var first error
+	for _, c := range u.Children {
+		if err := c.Close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Columns implements BatchPlan.
+func (u *BatchUnion) Columns() []exec.Column { return u.Children[0].Columns() }
+
+// Explain implements BatchPlan.
+func (u *BatchUnion) Explain(indent int) string {
+	kind := "BatchUnionAll"
+	if u.Distinct {
+		kind = "BatchUnion"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s\n", pad(indent), kind)
+	for _, c := range u.Children {
+		b.WriteString(c.Explain(indent + 1))
+	}
+	return b.String()
+}
+
+// Clone implements BatchPlan.
+func (u *BatchUnion) Clone(cloneRow func(exec.Plan) exec.Plan) BatchPlan {
+	cs := make([]BatchPlan, len(u.Children))
+	for i, c := range u.Children {
+		cs[i] = c.Clone(cloneRow)
+	}
+	return &BatchUnion{Children: cs, Distinct: u.Distinct}
+}

@@ -33,9 +33,11 @@
 // Plans are invalidated automatically by DDL and ANALYZE (the catalog
 // version is part of cache validity; ANALYZE is available both as the Go
 // API Analyze and as a SQL statement). Execution is vectorized where it
-// pays: the optimizer lowers scan→filter→project→aggregate pipeline
-// prefixes into the internal/vexec batch engine (column-major ~1024-row
-// chunks), falling back to row iterators for joins, sorts and subqueries.
+// pays: the optimizer lowers scan→filter→project→join→sort/distinct→
+// aggregate pipelines into the internal/vexec batch engine (column-major
+// ~1024-row chunks), falling back to row iterators for subqueries and
+// correlated nested-loop joins. Parallel operators draw workers from a
+// process-wide admission-controlled pool (see SetPoolWorkers/PoolStats).
 // Compiled CO views are cached the same way — including their per-output
 // physical plans — so repeated QueryCO of a stored view skips both the
 // XNF rewrite and plan optimization:
@@ -63,6 +65,7 @@ import (
 	"xnf/internal/parser"
 	"xnf/internal/rewrite"
 	"xnf/internal/types"
+	"xnf/internal/vexec"
 	"xnf/internal/wire"
 )
 
@@ -278,6 +281,18 @@ func Dial(addr string) (*Client, error) { return wire.Dial(addr) }
 
 // Counters re-exports the execution counters type.
 type Counters = exec.Counters
+
+// PoolStatsSnapshot re-exports the shared worker pool's statistics type.
+type PoolStatsSnapshot = vexec.PoolStats
+
+// PoolStats returns a snapshot of the process-wide worker pool that
+// parallel batch operators (parallel aggregation, hash-join builds,
+// sorts) draw extra goroutines from.
+func PoolStats() PoolStatsSnapshot { return vexec.Shared.Stats() }
+
+// SetPoolWorkers rebounds the process-wide worker pool. n <= 0 restores
+// the default bound of GOMAXPROCS.
+func SetPoolWorkers(n int) { vexec.SetWorkers(n) }
 
 // Optimizer mode helpers for experiments: Naive disables every
 // optimization (syntax-order nested-loop joins, re-executed subqueries, no
