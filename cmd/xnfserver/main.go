@@ -2,8 +2,12 @@
 // of the paper's workstation/server architecture, Fig. 7).
 //
 //	xnfserver -addr :7070 -load org
+//	xnfserver -addr :7070 -load none -data /var/lib/xnf
 //
-// Clients connect with xnf.Dial and extract CO views with QueryCO.
+// With -data the database is durable: state under the directory is
+// recovered on startup (write-ahead log + checkpoints) and every commit is
+// fsync'd before acknowledgment. Clients connect with xnf.Dial and extract
+// CO views with QueryCO.
 package main
 
 import (
@@ -23,10 +27,28 @@ func main() {
 	parts := flag.Int("parts", 20000, "oo1/parts: number of parts")
 	cursors := flag.Int("cursors", 0, "max open cursors per session (0 = default)")
 	block := flag.Int("block", 0, "default rows per cursor fetch block (0 = default)")
+	data := flag.String("data", "", "durable data directory (empty = in-memory)")
 	flag.Parse()
 
-	db := xnf.Open()
+	var db *xnf.DB
 	var err error
+	if *data != "" {
+		db, err = xnf.OpenDir(*data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		// A recovered database already holds its data; don't reload a
+		// workload on top of it.
+		if st := db.WALStats(); st.RecoveredRecords > 0 || len(db.Engine().Catalog().Tables()) > 0 {
+			*load = "none"
+			fmt.Printf("xnfserver: recovered %d record(s) from %s in %dms\n",
+				st.RecoveredRecords, *data, st.RecoveryMillis)
+		}
+	} else {
+		db = xnf.Open()
+	}
 	switch *load {
 	case "none":
 	case "org":

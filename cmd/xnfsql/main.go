@@ -2,6 +2,8 @@
 //
 //	xnfsql            — empty database
 //	xnfsql -load org  — pre-loaded Fig. 1 organization workload
+//	xnfsql -data DIR  — durable database rooted at DIR (recovered on start,
+//	                    every commit write-ahead-logged and fsync'd)
 //
 // Besides SQL and XNF statements it understands:
 //
@@ -36,9 +38,21 @@ import (
 
 func main() {
 	load := flag.String("load", "", "preload a workload: org, parts, oo1")
+	data := flag.String("data", "", "durable data directory (empty = in-memory)")
 	flag.Parse()
 
-	db := xnf.Open()
+	var db *xnf.DB
+	if *data != "" {
+		d, err := xnf.OpenDir(*data)
+		check(err)
+		defer d.Close()
+		db = d
+		if st := d.WALStats(); st.RecoveredRecords > 0 {
+			fmt.Printf("recovered %d record(s) from %s in %dms\n", st.RecoveredRecords, *data, st.RecoveryMillis)
+		}
+	} else {
+		db = xnf.Open()
+	}
 	switch *load {
 	case "":
 	case "org":
@@ -209,6 +223,18 @@ func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 		ps := xnf.PoolStats()
 		fmt.Printf("worker pool: %d/%d in use (peak %d), %d admissions, %d sequential fallbacks\n",
 			ps.InUse, ps.Workers, ps.Peak, ps.Admits, ps.Fallbacks)
+		if ws := db.WALStats(); ws.Attached {
+			group := float64(0)
+			if ws.Fsyncs > 0 {
+				group = float64(ws.GroupSum) / float64(ws.Fsyncs)
+			}
+			fmt.Printf("wal: %s — %d records (%d bytes), %d commits over %d fsyncs (mean group %.1f, max %d), %d checkpoint(s)\n",
+				ws.Dir, ws.Records, ws.Bytes, ws.Commits, ws.Fsyncs, group, ws.MaxGroup, ws.Checkpoints)
+			if ws.RecoveredRecords > 0 {
+				fmt.Printf("wal: recovered %d record(s) / %d transaction(s) in %dms at startup\n",
+					ws.RecoveredRecords, ws.RecoveredTx, ws.RecoveryMillis)
+			}
+		}
 		fmt.Println("switch with: ALTER TABLE name SET STORAGE COLUMN (or ROW)")
 	case `\fetchsize`:
 		if len(fields) < 2 {

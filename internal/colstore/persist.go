@@ -1,0 +1,206 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"xnf/internal/types"
+)
+
+// Checkpoint serialization of a column-major heap. The encoding is
+// slot-exact: deleted slots, hollow segments and physical slot order all
+// survive a round trip, so RIDs and secondary indexes built over the
+// decoded heap are identical to the originals. Integrity is the
+// checkpoint file's job (CRC over the whole payload in internal/wal);
+// this codec still validates every length it reads so a corrupt prefix
+// fails cleanly instead of allocating wildly.
+
+// EncodeTable appends the binary encoding of t to buf.
+func EncodeTable(buf []byte, t *Table) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(t.typs)))
+	for _, typ := range t.typs {
+		buf = append(buf, byte(typ))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(t.segs)))
+	for _, seg := range t.segs {
+		buf = encodeSegment(buf, seg)
+	}
+	return buf
+}
+
+func encodeSegment(buf []byte, s *segment) []byte {
+	buf = binary.AppendUvarint(buf, uint64(s.n))
+	buf = binary.AppendUvarint(buf, uint64(s.dead))
+	buf = append(buf, boolByte(s.hollow))
+	buf = appendBitmap(buf, s.deleted, s.n)
+	if s.hollow {
+		return buf
+	}
+	for c := range s.cols {
+		buf = appendBitmap(buf, s.nulls[c], s.n)
+		vec := &s.cols[c]
+		switch vec.typ {
+		case types.FloatType:
+			for i := 0; i < s.n; i++ {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(vec.floats[i]))
+			}
+		case types.StringType:
+			for i := 0; i < s.n; i++ {
+				buf = binary.AppendUvarint(buf, uint64(len(vec.strs[i])))
+				buf = append(buf, vec.strs[i]...)
+			}
+		default:
+			for i := 0; i < s.n; i++ {
+				buf = binary.AppendVarint(buf, vec.ints[i])
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeTable decodes a heap encoded by EncodeTable, returning the table
+// and the remaining bytes. Zone maps (including live null counts) are
+// recomputed exactly rather than persisted.
+func DecodeTable(buf []byte) (*Table, []byte, error) {
+	nc, k := binary.Uvarint(buf)
+	if k <= 0 || nc > uint64(len(buf[k:])) {
+		return nil, nil, fmt.Errorf("colstore: bad column count")
+	}
+	buf = buf[k:]
+	typs := make([]types.Type, nc)
+	for i := range typs {
+		typs[i] = types.Type(buf[i])
+	}
+	buf = buf[nc:]
+	ns, k := binary.Uvarint(buf)
+	if k <= 0 || ns > uint64(len(buf[k:]))+1 {
+		return nil, nil, fmt.Errorf("colstore: bad segment count")
+	}
+	buf = buf[k:]
+	t := New(typs)
+	t.segs = make([]*segment, 0, ns)
+	var err error
+	for i := uint64(0); i < ns; i++ {
+		var seg *segment
+		if seg, buf, err = decodeSegment(typs, buf); err != nil {
+			return nil, nil, err
+		}
+		seg.recomputeZones()
+		t.segs = append(t.segs, seg)
+	}
+	return t, buf, nil
+}
+
+func decodeSegment(typs []types.Type, buf []byte) (*segment, []byte, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 || n > SegRows {
+		return nil, nil, fmt.Errorf("colstore: bad segment size")
+	}
+	buf = buf[k:]
+	dead, k := binary.Uvarint(buf)
+	if k <= 0 || dead > n {
+		return nil, nil, fmt.Errorf("colstore: bad dead count")
+	}
+	buf = buf[k:]
+	if len(buf) < 1 {
+		return nil, nil, fmt.Errorf("colstore: short segment header")
+	}
+	hollow := buf[0] != 0
+	buf = buf[1:]
+
+	s := newSegment(typs)
+	s.n = int(n)
+	s.dead = int(dead)
+	var err error
+	if s.deleted, buf, err = decodeBitmap(buf, int(n)); err != nil {
+		return nil, nil, err
+	}
+	if hollow {
+		// hollowOut leaves every null bit of the tombstoned slots set and
+		// the payload vectors nil; reproduce that state exactly.
+		if s.dead != s.n {
+			return nil, nil, fmt.Errorf("colstore: hollow segment with live slots")
+		}
+		for c := range s.nulls {
+			for i := 0; i < s.n; i++ {
+				s.nulls[c].Set(i)
+			}
+			s.cols[c].ints, s.cols[c].floats, s.cols[c].strs = nil, nil, nil
+		}
+		s.hollow = true
+		return s, buf, nil
+	}
+	for c := range s.cols {
+		if s.nulls[c], buf, err = decodeBitmap(buf, int(n)); err != nil {
+			return nil, nil, err
+		}
+		vec := &s.cols[c]
+		switch vec.typ {
+		case types.FloatType:
+			vec.floats = make([]float64, n, SegRows)
+			for i := 0; i < int(n); i++ {
+				if len(buf) < 8 {
+					return nil, nil, fmt.Errorf("colstore: short float payload")
+				}
+				vec.floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+				buf = buf[8:]
+			}
+		case types.StringType:
+			vec.strs = make([]string, n, SegRows)
+			for i := 0; i < int(n); i++ {
+				sl, k := binary.Uvarint(buf)
+				if k <= 0 || sl > uint64(len(buf[k:])) {
+					return nil, nil, fmt.Errorf("colstore: bad string payload")
+				}
+				vec.strs[i] = string(buf[k : k+int(sl)])
+				buf = buf[k+int(sl):]
+			}
+		default:
+			vec.ints = make([]int64, n, SegRows)
+			for i := 0; i < int(n); i++ {
+				v, k := binary.Varint(buf)
+				if k <= 0 {
+					return nil, nil, fmt.Errorf("colstore: bad int payload")
+				}
+				vec.ints[i] = v
+				buf = buf[k:]
+			}
+		}
+	}
+	return s, buf, nil
+}
+
+// appendBitmap encodes the words of b covering the first n slots.
+func appendBitmap(buf []byte, b Bitmap, n int) []byte {
+	nw := (n + 63) / 64
+	buf = binary.AppendUvarint(buf, uint64(nw))
+	for i := 0; i < nw; i++ {
+		buf = binary.LittleEndian.AppendUint64(buf, b[i])
+	}
+	return buf
+}
+
+// decodeBitmap decodes a bitmap into a fresh SegRows-sized Bitmap.
+func decodeBitmap(buf []byte, n int) (Bitmap, []byte, error) {
+	nw, k := binary.Uvarint(buf)
+	if k <= 0 || nw > uint64(SegRows/64) || int(nw) < (n+63)/64 {
+		return nil, nil, fmt.Errorf("colstore: bad bitmap size")
+	}
+	buf = buf[k:]
+	if len(buf) < int(nw)*8 {
+		return nil, nil, fmt.Errorf("colstore: short bitmap")
+	}
+	b := newBitmap(SegRows)
+	for i := 0; i < int(nw); i++ {
+		b[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return b, buf[nw*8:], nil
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}

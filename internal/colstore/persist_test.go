@@ -1,0 +1,118 @@
+package colstore
+
+import (
+	"fmt"
+	"testing"
+
+	"xnf/internal/types"
+)
+
+// buildMessy returns a table exercising every persisted shape: multiple
+// segments, NULLs, tombstones, revived slots and a hollowed-out segment.
+func buildMessy() *Table {
+	t := New([]types.Type{types.IntType, types.FloatType, types.StringType, types.BoolType})
+	n := 2*SegRows + 500
+	for i := 0; i < n; i++ {
+		row := types.Row{
+			types.NewInt(int64(i)),
+			types.NewFloat(float64(i) / 3),
+			types.NewString(fmt.Sprintf("s%d", i%37)),
+			types.NewBool(i%2 == 0),
+		}
+		if i%5 == 0 {
+			row[1] = types.Null
+		}
+		if i%11 == 0 {
+			row[2] = types.Null
+		}
+		t.Append(row)
+	}
+	// Hollow out segment 0, scatter deletes in segment 1, revive a slot.
+	for i := 0; i < SegRows; i++ {
+		t.Delete(i)
+	}
+	t.Maintain()
+	for i := SegRows; i < SegRows+200; i += 3 {
+		t.Delete(i)
+	}
+	t.Restore(SegRows+3, types.Row{types.NewInt(-1), types.Null, types.NewString("revived"), types.NewBool(false)})
+	return t
+}
+
+func tableDump(t *Table) string {
+	var out string
+	t.Scan(func(slot int, row types.Row) bool {
+		out += fmt.Sprintf("%d:%s\n", slot, row.String())
+		return true
+	})
+	return out
+}
+
+// TestEncodeDecodeTable round-trips a messy table through the checkpoint
+// codec and checks contents, slot numbering, zone maps (via pruning
+// behavior) and null counts all survive.
+func TestEncodeDecodeTable(t *testing.T) {
+	src := buildMessy()
+	buf := EncodeTable(nil, src)
+	got, rest, err := DecodeTable(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if got.Slots() != src.Slots() || got.Segments() != src.Segments() {
+		t.Fatalf("shape: %d/%d slots, %d/%d segments", got.Slots(), src.Slots(), got.Segments(), src.Segments())
+	}
+	if got.HollowSegments() != src.HollowSegments() {
+		t.Fatalf("hollow: %d vs %d", got.HollowSegments(), src.HollowSegments())
+	}
+	if tableDump(got) != tableDump(src) {
+		t.Fatal("decoded table contents differ from source")
+	}
+	// Zone maps must be rebuilt: the same bounds must prune the same
+	// segments on both sides.
+	for _, b := range [][]ColBound{
+		{{Col: 0, Lo: types.NewInt(int64(2*SegRows + 100)), HasLo: true}},
+		{{Col: 1, NullOnly: true}},
+		{{Col: 1, NotNull: true}},
+		{{Col: 2, NullOnly: true}},
+	} {
+		_, p1 := src.TypedViews(b)
+		_, p2 := got.TypedViews(b)
+		if p1 != p2 {
+			t.Errorf("bounds %+v: source prunes %d, decoded prunes %d", b, p1, p2)
+		}
+	}
+	// The decoded table must accept further writes.
+	slot := got.Append(types.Row{types.NewInt(9999), types.Null, types.Null, types.NewBool(true)})
+	if row, ok := got.Get(slot); !ok || row[0].I != 9999 {
+		t.Fatalf("append after decode: %v %v", row, ok)
+	}
+}
+
+// TestDecodeTableRejectsCorruption flips every byte of a small encoded
+// table and asserts the decoder fails cleanly or yields a structurally
+// valid table — never panics.
+func TestDecodeTableRejectsCorruption(t *testing.T) {
+	src := New([]types.Type{types.IntType, types.StringType})
+	for i := 0; i < 100; i++ {
+		src.Append(types.Row{types.NewInt(int64(i)), types.NewString("x")})
+	}
+	buf := EncodeTable(nil, src)
+	for i := range buf {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x55
+		tab, _, err := DecodeTable(bad)
+		if err != nil {
+			continue
+		}
+		// Structurally valid: scanning must not panic.
+		tab.Scan(func(int, types.Row) bool { return true })
+	}
+	for n := 0; n < len(buf); n += 7 {
+		if _, _, err := DecodeTable(buf[:n]); err == nil && n < len(buf) {
+			t.Fatalf("truncation to %d bytes decoded", n)
+		}
+	}
+}

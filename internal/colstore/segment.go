@@ -166,13 +166,22 @@ func (s *segment) grow() int {
 	return i
 }
 
-// write stores row into slot i, which must exist.
+// write stores row into slot i, which must exist and not be deleted (revive
+// clears the tombstone and its null bits before calling write, so wasNull
+// below always reflects a live slot's prior state).
 func (s *segment) write(i int, row types.Row) {
 	for c := range s.cols {
+		wasNull := s.nulls[c].Get(i)
 		if row[c].IsNull() {
+			if !wasNull {
+				s.zones[c].nulls++
+			}
 			s.nulls[c].Set(i)
 			s.cols[c].zero(i)
 		} else {
+			if wasNull {
+				s.zones[c].nulls--
+			}
 			s.nulls[c].Clear(i)
 			s.cols[c].store(i, row[c])
 			s.zones[c].widen(row[c])
@@ -197,11 +206,17 @@ func (s *segment) get(i int) (types.Row, bool) {
 	return row, true
 }
 
-// markDeleted tombstones slot i and drops its payload.
+// markDeleted tombstones slot i and drops its payload. The null bits it
+// sets are tombstone markers, not live NULLs: any slot that was counted as
+// a live NULL leaves the count here, and revive clears the bits again
+// before rewriting.
 func (s *segment) markDeleted(i int) {
 	s.deleted.Set(i)
 	s.dead++
 	for c := range s.cols {
+		if s.nulls[c].Get(i) {
+			s.zones[c].nulls--
+		}
 		s.nulls[c].Set(i)
 		s.cols[c].zero(i)
 	}
@@ -213,6 +228,11 @@ func (s *segment) revive(i int, row types.Row) {
 	s.ensureStorage()
 	s.deleted.Clear(i)
 	s.dead--
+	// Clear the tombstone null bits so write's wasNull bookkeeping sees the
+	// slot as freshly live (markDeleted already uncounted the old NULLs).
+	for c := range s.nulls {
+		s.nulls[c].Clear(i)
+	}
 	s.write(i, row) // bumps version
 }
 
@@ -255,8 +275,10 @@ func (s *segment) ensureStorage() {
 	s.hollow = false
 }
 
-// recomputeZones rebuilds the exact per-column min/max over live, non-NULL
-// slots (the ANALYZE pass; incremental widening only ever over-approximates).
+// recomputeZones rebuilds the exact per-column min/max and live null count
+// over live slots (the ANALYZE pass; incremental widening only ever
+// over-approximates min/max, and this re-derives the null counts from
+// scratch as a self-check against drift).
 func (s *segment) recomputeZones() {
 	zs := make([]zone, len(s.cols))
 	if !s.hollow {
@@ -264,7 +286,11 @@ func (s *segment) recomputeZones() {
 			vec := &s.cols[c]
 			nulls := s.nulls[c]
 			for i := 0; i < s.n; i++ {
-				if s.deleted.Get(i) || nulls.Get(i) {
+				if s.deleted.Get(i) {
+					continue
+				}
+				if nulls.Get(i) {
+					zs[c].nulls++
 					continue
 				}
 				zs[c].widen(vec.load(i))

@@ -65,15 +65,20 @@ type ColBound struct {
 	HasLo, HasHi       bool
 	LoStrict, HiStrict bool // strict = exclusive bound (<, > rather than <=, >=)
 	Never              bool
+	NullOnly           bool // IS NULL: prune segments with zero live NULL slots
+	NotNull            bool // IS NOT NULL: prune segments with no live non-NULL value
 }
 
 // zone is the min/max summary of the non-NULL values of one column of one
-// segment. min is the NULL value while no non-NULL value has ever been
-// recorded (an all-NULL or empty column prunes under any comparison, which
-// is Unknown on every row). Bounds widen on every write and never shrink
-// between ANALYZE passes, so they stay conservative across UPDATE/DELETE.
+// segment, plus the exact count of live NULL slots. min is the NULL value
+// while no non-NULL value has ever been recorded (an all-NULL or empty
+// column prunes under any comparison, which is Unknown on every row).
+// Bounds widen on every write and never shrink between ANALYZE passes, so
+// they stay conservative across UPDATE/DELETE; nulls is maintained exactly
+// at every write/delete/revive, so IS [NOT] NULL pruning needs no ANALYZE.
 type zone struct {
 	min, max types.Value
+	nulls    int // live slots holding SQL NULL in this column
 }
 
 func (z *zone) empty() bool { return z.min.IsNull() }
@@ -115,6 +120,23 @@ func (s *segment) prunable(typs []types.Type, bounds []ColBound) bool {
 			continue
 		}
 		z := &s.zones[b.Col]
+		if b.NullOnly {
+			// IS NULL qualifies exactly the live NULL slots; the min/max
+			// emptiness rule below must NOT apply (an all-NULL segment is
+			// empty by that test yet satisfies IS NULL everywhere).
+			if z.nulls == 0 {
+				return true
+			}
+			continue
+		}
+		if b.NotNull {
+			// IS NOT NULL needs a live non-NULL value; an empty zone proves
+			// none exists (every non-NULL write widens the zone).
+			if z.empty() {
+				return true
+			}
+			continue
+		}
 		if z.empty() {
 			// No non-NULL value recorded: the comparison is Unknown (or the
 			// column empty) on every row, so nothing can qualify.

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"time"
+
+	"xnf/internal/storage"
+	"xnf/internal/wal"
+)
+
+// DurabilityOptions tunes the durable variant of the engine.
+type DurabilityOptions struct {
+	// GroupCommit batches the fsyncs of concurrent committers (default
+	// true — see wal.Options).
+	GroupCommit bool
+	// NoSync skips fsync entirely; tests only.
+	NoSync bool
+	// CheckpointInterval is the cadence of the background checkpoint
+	// loop; 0 disables the loop (manual Checkpoint still works). A
+	// checkpoint is skipped when nothing was committed since the last.
+	CheckpointInterval time.Duration
+}
+
+// DefaultDurabilityOptions returns the production defaults: group
+// commit on, fsync on, checkpoints every 30 seconds.
+func DefaultDurabilityOptions() DurabilityOptions {
+	return DurabilityOptions{GroupCommit: true, CheckpointInterval: 30 * time.Second}
+}
+
+// OpenDir opens a durable database rooted at dir: existing state there
+// is recovered (checkpoint + log suffix), and every later commit is
+// written ahead to the log. dir is created if missing. Close flushes
+// and detaches the log; a killed process recovers on the next OpenDir.
+func OpenDir(dir string) (*Database, error) {
+	return OpenDirOptions(dir, DefaultDurabilityOptions())
+}
+
+// OpenDirOptions is OpenDir with explicit durability tuning.
+func OpenDirOptions(dir string, opts DurabilityOptions) (*Database, error) {
+	db := Open()
+	if err := db.store.OpenDurable(dir, wal.Options{GroupCommit: opts.GroupCommit, NoSync: opts.NoSync}); err != nil {
+		return nil, err
+	}
+	// Recovery replayed DDL through the store, bumping the catalog
+	// version as it went; plans compiled from here on see fresh state.
+	if opts.CheckpointInterval > 0 {
+		db.ckptStop = make(chan struct{})
+		db.ckptWG.Add(1)
+		go db.checkpointLoop(opts.CheckpointInterval)
+	}
+	return db, nil
+}
+
+// checkpointLoop periodically cuts the log. A tick with no new commits
+// since the last checkpoint is a no-op, so an idle database does not
+// rewrite its snapshot forever.
+func (db *Database) checkpointLoop(every time.Duration) {
+	defer db.ckptWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	var lastCommits uint64
+	for {
+		select {
+		case <-db.ckptStop:
+			return
+		case <-t.C:
+			st := db.store.WALStats()
+			if !st.Attached || st.Commits == lastCommits {
+				continue
+			}
+			if err := db.Checkpoint(); err == nil {
+				lastCommits = st.Commits
+			}
+		}
+	}
+}
+
+// Checkpoint persists the full store image and truncates the log (see
+// storage.Store.Checkpoint for the protocol). It is an error on a
+// purely in-memory database.
+func (db *Database) Checkpoint() error { return db.store.Checkpoint() }
+
+// WALStats reports the durability counters; Attached is false for an
+// in-memory database.
+func (db *Database) WALStats() storage.WALStats { return db.store.WALStats() }
+
+// Close stops the checkpoint loop and flushes + detaches the WAL. It is
+// a no-op (returning nil) on an in-memory database, and idempotent.
+func (db *Database) Close() error {
+	db.closeOnce.Do(func() {
+		if db.ckptStop != nil {
+			close(db.ckptStop)
+			db.ckptWG.Wait()
+		}
+		db.closeErr = db.store.CloseDurability()
+	})
+	return db.closeErr
+}

@@ -52,6 +52,13 @@ type Database struct {
 	plans   *planCache
 	coMu    sync.Mutex
 	coViews map[string]*coEntry
+
+	// Durable-database state (see durability.go): background checkpoint
+	// loop lifecycle and idempotent Close.
+	ckptStop  chan struct{}
+	ckptWG    sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Open creates an empty database.
@@ -116,7 +123,7 @@ func (db *Database) ExecStmt(stmt ast.Statement) (int64, error) {
 		if s.Kind == "TABLE" {
 			return 0, db.store.DropTable(s.Name)
 		}
-		return 0, db.cat.DropView(s.Name)
+		return 0, db.store.DropView(s.Name)
 	case *ast.AnalyzeStmt:
 		// Statistics refresh bumps the catalog version inside the store,
 		// exactly like the Go API Database.Analyze.
@@ -262,9 +269,18 @@ func (db *Database) ExplainAnalyze(sql string, args ...types.Value) (string, err
 		n++
 	}
 	c := rows.Counters()
-	return fmt.Sprintf("%s-- %d row(s); rows_scanned=%d index_lookups=%d segments_pruned=%d spools=%d subplan_runs=%d join_build=%d join_probe=%d pool_workers=%d pool_fallbacks=%d\n",
+	out := fmt.Sprintf("%s-- %d row(s); rows_scanned=%d index_lookups=%d segments_pruned=%d spools=%d subplan_runs=%d join_build=%d join_probe=%d pool_workers=%d pool_fallbacks=%d\n",
 		stmt.plan.Explain(0), n, c.RowsScanned, c.IndexLookups, c.SegmentsPruned, c.SpoolMaterial, c.SubplanRuns,
-		c.JoinBuildRows, c.JoinProbeRows, c.PoolWorkers, c.PoolFallbacks), nil
+		c.JoinBuildRows, c.JoinProbeRows, c.PoolWorkers, c.PoolFallbacks)
+	if ws := db.store.WALStats(); ws.Attached {
+		group := float64(0)
+		if ws.Fsyncs > 0 {
+			group = float64(ws.GroupSum) / float64(ws.Fsyncs)
+		}
+		out += fmt.Sprintf("-- wal: records=%d bytes=%d fsyncs=%d commits=%d group_mean=%.1f group_max=%d checkpoints=%d recovery_ms=%d\n",
+			ws.Records, ws.Bytes, ws.Fsyncs, ws.Commits, group, ws.MaxGroup, ws.Checkpoints, ws.RecoveryMillis)
+	}
+	return out, nil
 }
 
 func (db *Database) createTable(s *ast.CreateTableStmt) error {
@@ -289,12 +305,12 @@ func (db *Database) createView(s *ast.CreateViewStmt) error {
 		if _, err := semantics.BuildXNF(db.cat, s.XNF); err != nil {
 			return err
 		}
-		return db.cat.CreateView(&catalog.View{Name: s.Name, Text: s.String(), IsXNF: true})
+		return db.store.CreateView(&catalog.View{Name: s.Name, Text: s.String(), IsXNF: true})
 	}
 	if _, err := semantics.BuildSelect(db.cat, s.Select); err != nil {
 		return err
 	}
-	return db.cat.CreateView(&catalog.View{Name: s.Name, Text: s.String()})
+	return db.store.CreateView(&catalog.View{Name: s.Name, Text: s.String()})
 }
 
 // Analyze refreshes optimizer statistics for all tables.

@@ -1,0 +1,596 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"xnf/internal/catalog"
+	"xnf/internal/colstore"
+	"xnf/internal/types"
+	"xnf/internal/wal"
+)
+
+// Durability glue: this file is where WAL records get meaning. The wal
+// package owns files, framing and fsync; here the store produces records
+// from transactions and DDL, replays them on startup, and encodes/decodes
+// the full store image for checkpoints.
+//
+// The engine applies changes to the in-memory heaps eagerly and keeps an
+// undo log for rollback, so nothing uncommitted ever reaches the durable
+// state (no-steal): the WAL is redo-only. A transaction's records are
+// buffered in memory and written as one contiguous [begin][ops][commit]
+// run at Commit, holding the store's transaction gate in read mode; DDL
+// and checkpoints take the gate exclusively, so the log never interleaves
+// a transaction with a DDL record or a checkpoint cut.
+
+// durability carries the attached WAL state of a Store.
+type durability struct {
+	dir string
+	log *wal.Log
+
+	ckptMu      sync.Mutex // single-flight checkpoints
+	checkpoints uint64     // completed checkpoints (guarded by ckptMu)
+
+	// recovery stats, written once during OpenDurable.
+	recoveredRecords uint64
+	recoveredTx      uint64
+	recoveryDuration time.Duration
+}
+
+// WALStats is the observability snapshot of the durability layer.
+type WALStats struct {
+	Attached         bool
+	Dir              string
+	Records          uint64 // WAL records appended since open
+	Bytes            uint64 // WAL bytes appended since open
+	Fsyncs           uint64 // fsyncs issued
+	Commits          uint64 // transactions made durable
+	MaxGroup         uint64 // largest commit group retired by one fsync
+	GroupSum         uint64 // sum of commit group sizes
+	Checkpoints      uint64 // checkpoints completed since open
+	RecoveredRecords uint64 // records replayed by recovery at open
+	RecoveredTx      uint64 // transactions replayed by recovery at open
+	RecoveryMillis   int64  // wall time recovery took at open
+}
+
+// WALStats reports the durability counters; Attached is false (and the
+// rest zero) for a purely in-memory store.
+func (s *Store) WALStats() WALStats {
+	d := s.dur.Load()
+	if d == nil {
+		return WALStats{}
+	}
+	ls := d.log.Stats()
+	d.ckptMu.Lock()
+	ckpts := d.checkpoints
+	d.ckptMu.Unlock()
+	return WALStats{
+		Attached:         true,
+		Dir:              d.dir,
+		Records:          ls.Records,
+		Bytes:            ls.Bytes,
+		Fsyncs:           ls.Fsyncs,
+		Commits:          ls.Commits,
+		MaxGroup:         ls.MaxGroup,
+		GroupSum:         ls.GroupSum,
+		Checkpoints:      ckpts,
+		RecoveredRecords: d.recoveredRecords,
+		RecoveredTx:      d.recoveredTx,
+		RecoveryMillis:   d.recoveryDuration.Milliseconds(),
+	}
+}
+
+// OpenDurable attaches a write-ahead log under dir to the store,
+// recovering any existing state there first: the newest valid checkpoint
+// is loaded, the log suffix replayed (uncommitted tails and torn records
+// discarded), torn files truncated to their intact prefix, and only then
+// does the log accept new appends. The store must be empty (fresh) when
+// OpenDurable is called.
+func (s *Store) OpenDurable(dir string, opts wal.Options) error {
+	if s.dur.Load() != nil {
+		return fmt.Errorf("storage: durability already attached")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	d := &durability{dir: dir}
+	start := time.Now()
+
+	// 1. Load the newest checkpoint that validates.
+	payload, ckptSeq, haveCkpt, err := wal.LatestCheckpoint(dir)
+	if err != nil {
+		return err
+	}
+	if haveCkpt {
+		if err := s.loadImage(payload); err != nil {
+			return fmt.Errorf("storage: checkpoint %d: %w", ckptSeq, err)
+		}
+	}
+
+	// 2. Replay the log suffix. Files below the checkpoint sequence are
+	// fully contained in the snapshot; files at or above it are redo.
+	seqs, err := wal.ListLogs(dir)
+	if err != nil {
+		return err
+	}
+	openSeq := uint64(1)
+	if haveCkpt {
+		openSeq = ckptSeq
+	}
+	for _, seq := range seqs {
+		if seq < openSeq {
+			continue
+		}
+		recs, validLen, torn, err := wal.ReadLog(dir, seq)
+		if err != nil {
+			return err
+		}
+		if err := s.replay(d, recs); err != nil {
+			return err
+		}
+		openSeq = seq
+		if torn {
+			// Crash wreckage: cut the file back to its intact prefix and
+			// drop any later files (unreachable by replay).
+			if err := wal.TruncateLog(dir, seq, validLen); err != nil {
+				return err
+			}
+			if err := wal.RemoveLogsAbove(dir, seq); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	d.recoveryDuration = time.Since(start)
+
+	// 3. Open the live log and publish.
+	log, err := wal.OpenLog(dir, openSeq, opts)
+	if err != nil {
+		return err
+	}
+	d.log = log
+	s.dur.Store(d)
+	return nil
+}
+
+// CloseDurability detaches and closes the WAL (final fsync included).
+// The in-memory state stays usable; new writes are no longer logged.
+func (s *Store) CloseDurability() error {
+	d := s.dur.Swap(nil)
+	if d == nil {
+		return nil
+	}
+	// Let in-flight transactions drain before the log goes away.
+	s.txGate.Lock()
+	defer s.txGate.Unlock()
+	return d.log.Close()
+}
+
+// Durable reports whether a WAL is attached.
+func (s *Store) Durable() bool { return s.dur.Load() != nil }
+
+// logDDL appends a self-committing DDL record. Callers hold the
+// transaction gate exclusively, so the record's position in the log
+// matches its position in the apply order.
+func (s *Store) logDDL(r *wal.Record) error {
+	d := s.dur.Load()
+	if d == nil {
+		return nil
+	}
+	return d.log.Append(r)
+}
+
+// --- replay ---
+
+// replay applies a decoded record stream: DDL records apply immediately,
+// DML records buffer per transaction and apply in log order when the
+// transaction's commit marker arrives. Transactions with no commit
+// marker in the stream evaporate — exactly the uncommitted tail a crash
+// leaves behind.
+func (s *Store) replay(d *durability, recs []*wal.Record) error {
+	pending := make(map[uint64][]*wal.Record)
+	for _, r := range recs {
+		d.recoveredRecords++
+		if r.TxID > s.nextTx.Load() {
+			s.nextTx.Store(r.TxID)
+		}
+		switch r.Op {
+		case wal.OpBegin:
+			pending[r.TxID] = nil
+		case wal.OpInsert, wal.OpUpdate, wal.OpDelete:
+			pending[r.TxID] = append(pending[r.TxID], r)
+		case wal.OpCommit:
+			for _, op := range pending[r.TxID] {
+				if err := s.applyDML(op); err != nil {
+					return fmt.Errorf("storage: replay tx %d: %w", r.TxID, err)
+				}
+			}
+			delete(pending, r.TxID)
+			d.recoveredTx++
+		default:
+			if err := s.applyDDL(r); err != nil {
+				return fmt.Errorf("storage: replay %s: %w", r.Op, err)
+			}
+			d.recoveredTx++
+		}
+	}
+	return nil
+}
+
+// applyDML redoes one committed DML record. Rows in the log are the
+// coerced images the heap stored originally, and committed history can
+// hold no constraint violation, so inserts restore straight into their
+// recorded slot (append would renumber around rolled-back slots' holes).
+func (s *Store) applyDML(r *wal.Record) error {
+	td, err := s.Table(r.Table)
+	if err != nil {
+		return err
+	}
+	switch r.Op {
+	case wal.OpInsert:
+		td.insertAt(RID(r.RID), r.Row)
+		return nil
+	case wal.OpUpdate:
+		_, err := td.Update(RID(r.RID), r.Row)
+		return err
+	case wal.OpDelete:
+		_, err := td.Delete(RID(r.RID))
+		return err
+	}
+	return fmt.Errorf("storage: unexpected DML op %s", r.Op)
+}
+
+// applyDDL redoes one DDL record through the normal store entry points
+// (durability is not yet attached during recovery, so nothing re-logs).
+func (s *Store) applyDDL(r *wal.Record) error {
+	switch r.Op {
+	case wal.OpCreateTable:
+		return s.CreateTable(defFromWAL(r.TableDef))
+	case wal.OpDropTable:
+		return s.DropTable(r.Name)
+	case wal.OpCreateIndex:
+		return s.CreateIndex(&catalog.Index{
+			Name:    r.IndexDef.Name,
+			Table:   r.IndexDef.Table,
+			Columns: r.IndexDef.Columns,
+			Kind:    catalog.IndexKind(r.IndexDef.Kind),
+			Unique:  r.IndexDef.Unique,
+		})
+	case wal.OpSetStorage:
+		return s.SetTableStorage(r.Table, catalog.StorageKind(r.Storage))
+	case wal.OpCreateView:
+		return s.CreateView(&catalog.View{Name: r.Name, Text: r.Text, IsXNF: r.IsXNF})
+	case wal.OpDropView:
+		return s.DropView(r.Name)
+	}
+	return fmt.Errorf("storage: unexpected DDL op %s", r.Op)
+}
+
+// --- catalog <-> WAL definitions ---
+
+// defToWAL converts a catalog table to its WAL image. Secondary indexes
+// are excluded: they have their own OpCreateIndex records, and the
+// primary-key index is recreated implicitly by CreateTable.
+func defToWAL(def *catalog.Table) *wal.TableDef {
+	d := &wal.TableDef{
+		Name:       def.Name,
+		PrimaryKey: def.PrimaryKey,
+		Storage:    uint8(def.StorageKind()),
+	}
+	for _, c := range def.Columns {
+		d.Columns = append(d.Columns, wal.ColumnDef{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
+	}
+	for _, fk := range def.ForeignKeys {
+		d.ForeignKeys = append(d.ForeignKeys, wal.FKDef{
+			Columns: fk.Columns, RefTable: fk.RefTable, RefColumns: fk.RefColumns,
+		})
+	}
+	return d
+}
+
+func defFromWAL(d *wal.TableDef) *catalog.Table {
+	def := &catalog.Table{
+		Name:       d.Name,
+		PrimaryKey: d.PrimaryKey,
+	}
+	for _, c := range d.Columns {
+		def.Columns = append(def.Columns, catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
+	}
+	for _, fk := range d.ForeignKeys {
+		def.ForeignKeys = append(def.ForeignKeys, catalog.ForeignKey{
+			Columns: fk.Columns, RefTable: fk.RefTable, RefColumns: fk.RefColumns,
+		})
+	}
+	def.SetStorageKind(catalog.StorageKind(d.Storage))
+	return def
+}
+
+// isAutoPKIndex reports whether idx is the implicit primary-key index
+// CreateTable builds: those are recreated by replaying OpCreateTable and
+// must not get their own OpCreateIndex record.
+func isAutoPKIndex(def *catalog.Table, idx *catalog.Index) bool {
+	if idx.Name != def.Name+"_PK" || !idx.Unique || len(idx.Columns) != len(def.PrimaryKey) {
+		return false
+	}
+	for i, c := range idx.Columns {
+		if c != def.PrimaryKey[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- checkpoints ---
+
+// Checkpoint cuts the log and persists the full store image:
+//
+//  1. quiesce transactions (exclusive gate — per-statement transactions
+//     make this a short wait),
+//  2. rotate the log to a fresh sequence S,
+//  3. encode the store image (still quiesced, so it equals replaying
+//     every log file below S),
+//  4. release the gate, durably write checkpoint-S,
+//  5. delete log files and checkpoints below S.
+//
+// Readers never touch the gate: streaming cursors opened before the
+// checkpoint keep draining their immutable snapshots throughout.
+func (s *Store) Checkpoint() error {
+	d := s.dur.Load()
+	if d == nil {
+		return fmt.Errorf("storage: no durability attached")
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+
+	s.txGate.Lock()
+	newSeq := d.log.Seq() + 1
+	if err := d.log.Rotate(newSeq); err != nil {
+		s.txGate.Unlock()
+		return err
+	}
+	payload := s.encodeImage()
+	s.txGate.Unlock()
+
+	if err := wal.WriteCheckpoint(d.dir, newSeq, payload); err != nil {
+		return err
+	}
+	if err := wal.RemoveLogsBelow(d.dir, newSeq); err != nil {
+		return err
+	}
+	if err := wal.RemoveCheckpointsBelow(d.dir, newSeq); err != nil {
+		return err
+	}
+	d.checkpoints++
+	return nil
+}
+
+// imageVersion versions the checkpoint payload format. v2 added persisted
+// index payloads after each table's statistics.
+const imageVersion = 2
+
+// encodeImage serializes the whole store: a DDL section of framed WAL
+// records (tables, secondary indexes, views) followed by each table's
+// heap and statistics, in sorted table order. Callers hold the
+// transaction gate exclusively.
+func (s *Store) encodeImage() []byte {
+	buf := []byte{imageVersion}
+	buf = binary.AppendUvarint(buf, s.nextTx.Load())
+
+	tables := s.cat.Tables()
+	views := s.cat.Views()
+
+	// DDL section.
+	var ddl []byte
+	nddl := 0
+	for _, def := range tables {
+		ddl = wal.AppendRecord(ddl, &wal.Record{Op: wal.OpCreateTable, TableDef: defToWAL(def)})
+		nddl++
+		for _, idx := range def.Indexes {
+			if isAutoPKIndex(def, idx) {
+				continue
+			}
+			ddl = wal.AppendRecord(ddl, &wal.Record{Op: wal.OpCreateIndex, IndexDef: &wal.IndexDef{
+				Name: idx.Name, Table: idx.Table, Columns: idx.Columns,
+				Kind: uint8(idx.Kind), Unique: idx.Unique,
+			}})
+			nddl++
+		}
+	}
+	for _, v := range views {
+		ddl = wal.AppendRecord(ddl, &wal.Record{Op: wal.OpCreateView, Name: v.Name, Text: v.Text, IsXNF: v.IsXNF})
+		nddl++
+	}
+	buf = binary.AppendUvarint(buf, uint64(nddl))
+	buf = append(buf, ddl...)
+
+	// Heap section, in the same sorted order as the DDL section's tables.
+	for _, def := range tables {
+		s.mu.RLock()
+		td := s.tables[key(def.Name)]
+		s.mu.RUnlock()
+		buf = td.encodeHeap(buf)
+	}
+	return buf
+}
+
+// loadImage rebuilds the store from a checkpoint payload: the DDL
+// section replays through the normal entry points, then each table's
+// heap replaces the empty one and its indexes decode in bulk.
+func (s *Store) loadImage(payload []byte) error {
+	if len(payload) < 1 || payload[0] != imageVersion {
+		return fmt.Errorf("storage: unsupported checkpoint image version")
+	}
+	buf := payload[1:]
+	nextTx, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return fmt.Errorf("storage: bad checkpoint header")
+	}
+	buf = buf[k:]
+	s.nextTx.Store(nextTx)
+
+	nddl, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return fmt.Errorf("storage: bad checkpoint DDL count")
+	}
+	buf = buf[k:]
+	for i := uint64(0); i < nddl; i++ {
+		r, rest, err := wal.DecodeRecord(buf)
+		if err != nil {
+			return err
+		}
+		if err := s.applyDDL(r); err != nil {
+			return err
+		}
+		buf = rest
+	}
+
+	for _, def := range s.cat.Tables() {
+		td, err := s.Table(def.Name)
+		if err != nil {
+			return err
+		}
+		if buf, err = td.decodeHeap(buf); err != nil {
+			return fmt.Errorf("storage: table %s heap: %w", def.Name, err)
+		}
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("storage: %d trailing bytes in checkpoint image", len(buf))
+	}
+	return nil
+}
+
+// encodeHeap appends the table's physical heap and statistics.
+func (t *TableData) encodeHeap(buf []byte) []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	buf = append(buf, byte(t.heap.kind()))
+	switch h := t.heap.(type) {
+	case *colHeap:
+		buf = colstore.EncodeTable(buf, h.t)
+	case *slotHeap:
+		buf = binary.AppendUvarint(buf, uint64(len(h.rows)))
+		for _, r := range h.rows {
+			if r == nil {
+				buf = append(buf, 0)
+			} else {
+				buf = append(buf, 1)
+				buf = types.AppendBinaryRow(buf, r)
+			}
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(t.live))
+	cards := make([]uint64, len(t.def.Columns))
+	for i, c := range t.def.Columns {
+		cards[i] = uint64(t.def.Cardinality(c.Name))
+	}
+	for _, card := range cards {
+		buf = binary.AppendUvarint(buf, card)
+	}
+
+	// Index payloads, in catalog definition order. Persisting them makes
+	// restore a bulk decode; rebuilding by scanning the heap boxed every
+	// row and dominated recovery time on large tables.
+	buf = binary.AppendUvarint(buf, uint64(len(t.def.Indexes)))
+	for _, idef := range t.def.Indexes {
+		buf = appendIndex(buf, t.indexes[key(idef.Name)])
+	}
+	return buf
+}
+
+// decodeHeap replaces the table's (empty) heap with the checkpointed one
+// and restores its persisted index payloads.
+func (t *TableData) decodeHeap(buf []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("short heap header")
+	}
+	kind := catalog.StorageKind(buf[0])
+	buf = buf[1:]
+	switch kind {
+	case catalog.ColumnStore:
+		ct, rest, err := colstore.DecodeTable(buf)
+		if err != nil {
+			return nil, err
+		}
+		t.heap = &colHeap{t: ct}
+		buf = rest
+	case catalog.RowStore:
+		n, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, fmt.Errorf("bad slot count")
+		}
+		buf = buf[k:]
+		rows := make([]types.Row, n)
+		for i := range rows {
+			if len(buf) < 1 {
+				return nil, fmt.Errorf("short slot")
+			}
+			present := buf[0] != 0
+			buf = buf[1:]
+			if !present {
+				continue
+			}
+			var err error
+			if rows[i], buf, err = types.DecodeBinaryRow(buf); err != nil {
+				return nil, err
+			}
+		}
+		t.heap = &slotHeap{rows: rows}
+	default:
+		return nil, fmt.Errorf("unknown heap kind %d", kind)
+	}
+	t.def.SetStorageKind(kind)
+
+	live, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, fmt.Errorf("bad live count")
+	}
+	buf = buf[k:]
+	t.live = int64(live)
+	t.def.SetRowCount(t.live)
+	for _, c := range t.def.Columns {
+		card, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, fmt.Errorf("bad column cardinality")
+		}
+		buf = buf[k:]
+		t.def.SetColCard(c.Name, int64(card))
+	}
+
+	// Restore the persisted index payloads (the DDL section built every
+	// index over an empty heap; those throwaways are replaced here). The
+	// absent marker — or a count mismatch against the replayed catalog —
+	// falls back to rebuilding from the heap.
+	nidx, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, fmt.Errorf("bad index count")
+	}
+	buf = buf[k:]
+	if nidx != uint64(len(t.def.Indexes)) {
+		return nil, fmt.Errorf("checkpoint has %d indexes, catalog has %d", nidx, len(t.def.Indexes))
+	}
+	t.indexes = make(map[string]index, nidx)
+	for _, idef := range t.def.Indexes {
+		ords, err := t.indexOrds(idef)
+		if err != nil {
+			return nil, err
+		}
+		idx, rest, err := decodeIndex(buf, ords)
+		if err != nil {
+			return nil, fmt.Errorf("index %s: %w", idef.Name, err)
+		}
+		buf = rest
+		if idx == nil {
+			if err := t.buildIndex(idef); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		t.indexes[key(idef.Name)] = idx
+	}
+	return buf, nil
+}

@@ -8,10 +8,11 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xnf/internal/catalog"
 	"xnf/internal/colstore"
-	"xnf/internal/types"
+	"xnf/internal/wal"
 )
 
 // RID identifies a row within its table (slot number in the heap).
@@ -22,6 +23,16 @@ type Store struct {
 	mu     sync.RWMutex
 	cat    *catalog.Catalog
 	tables map[string]*TableData
+
+	// txGate linearizes transactions against DDL and checkpoints when a
+	// WAL is attached: transactions hold it in read mode from Begin
+	// through Commit/Rollback (so their memory effects and log records
+	// are one atomic unit from the gate's perspective), DDL and
+	// checkpoints take it exclusively. Without a WAL the gate is unused —
+	// in-memory behavior is unchanged.
+	txGate sync.RWMutex
+	dur    atomic.Pointer[durability]
+	nextTx atomic.Uint64
 }
 
 // NewStore creates an empty store bound to a catalog.
@@ -32,13 +43,25 @@ func NewStore(cat *catalog.Catalog) *Store {
 // Catalog returns the catalog the store is bound to.
 func (s *Store) Catalog() *catalog.Catalog { return s.cat }
 
+// ddlGate takes the transaction gate exclusively while a WAL is
+// attached, so a DDL record's log position matches its apply position
+// relative to every transaction. It returns the matching release func
+// (a no-op for in-memory stores).
+func (s *Store) ddlGate() func() {
+	if s.dur.Load() == nil {
+		return func() {}
+	}
+	s.txGate.Lock()
+	return s.txGate.Unlock
+}
+
 // CreateTable registers the definition in the catalog and allocates the heap.
 func (s *Store) CreateTable(def *catalog.Table) error {
+	defer s.ddlGate()()
 	if err := s.cat.CreateTable(def); err != nil {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	td := newTableData(def)
 	// A primary key implies a unique hash index for constraint checking
 	// and optimizer use.
@@ -54,18 +77,39 @@ func (s *Store) CreateTable(def *catalog.Table) error {
 		td.buildIndex(idx)
 	}
 	s.tables[key(def.Name)] = td
-	return nil
+	s.mu.Unlock()
+	return s.logDDL(&wal.Record{Op: wal.OpCreateTable, TableDef: defToWAL(def)})
 }
 
 // DropTable removes a table and its data.
 func (s *Store) DropTable(name string) error {
+	defer s.ddlGate()()
 	if err := s.cat.DropTable(name); err != nil {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.tables, key(name))
-	return nil
+	s.mu.Unlock()
+	return s.logDDL(&wal.Record{Op: wal.OpDropTable, Name: name})
+}
+
+// CreateView registers a view. Views live purely in the catalog; the
+// store-level wrapper exists so the definition reaches the WAL.
+func (s *Store) CreateView(v *catalog.View) error {
+	defer s.ddlGate()()
+	if err := s.cat.CreateView(v); err != nil {
+		return err
+	}
+	return s.logDDL(&wal.Record{Op: wal.OpCreateView, Name: v.Name, Text: v.Text, IsXNF: v.IsXNF})
+}
+
+// DropView removes a view.
+func (s *Store) DropView(name string) error {
+	defer s.ddlGate()()
+	if err := s.cat.DropView(name); err != nil {
+		return err
+	}
+	return s.logDDL(&wal.Record{Op: wal.OpDropView, Name: name})
 }
 
 // Table returns the physical table handle.
@@ -81,6 +125,7 @@ func (s *Store) Table(name string) (*TableData, error) {
 
 // CreateIndex builds a secondary index over existing data.
 func (s *Store) CreateIndex(idx *catalog.Index) error {
+	defer s.ddlGate()()
 	td, err := s.Table(idx.Table)
 	if err != nil {
 		return err
@@ -89,36 +134,63 @@ func (s *Store) CreateIndex(idx *catalog.Index) error {
 		return err
 	}
 	td.mu.Lock()
-	defer td.mu.Unlock()
-	return td.buildIndex(idx)
+	if err := td.buildIndex(idx); err != nil {
+		td.mu.Unlock()
+		return err
+	}
+	td.mu.Unlock()
+	return s.logDDL(&wal.Record{Op: wal.OpCreateIndex, IndexDef: &wal.IndexDef{
+		Name: idx.Name, Table: idx.Table, Columns: idx.Columns,
+		Kind: uint8(idx.Kind), Unique: idx.Unique,
+	}})
 }
 
 // Analyze recomputes the distinct-value statistics for a table's columns.
-// It also drives the colstore auto-promotion heuristic: a row-major table
-// whose fresh live row count crosses the configured threshold is switched
-// to columnar storage in the same pass (the row count that justifies
-// columnar scans is exactly what ANALYZE just measured).
+// The stats walk runs over an immutable snapshot — segment views for
+// column tables, row pointers for row tables — so writers are blocked
+// only for the instant the snapshot is captured, never for the duration
+// of the walk. Analyze also drives the colstore auto-promotion heuristic:
+// a row-major table whose fresh live row count crosses the configured
+// threshold is switched to columnar storage in the same pass (the row
+// count that justifies columnar scans is exactly what ANALYZE just
+// measured).
 func (s *Store) Analyze(name string) error {
 	td, err := s.Table(name)
 	if err != nil {
 		return err
 	}
-	td.mu.Lock()
 	seen := make([]map[uint64]struct{}, len(td.def.Columns))
 	for i := range seen {
 		seen[i] = make(map[uint64]struct{})
 	}
-	td.heap.scan(func(_ RID, r types.Row) bool {
-		for i := range seen {
-			seen[i][r[i].Hash()] = struct{}{}
+	if views, ok := td.ColumnViews(); ok {
+		for _, v := range views {
+			for c := range seen {
+				col := v.Cols[c]
+				if v.Sel != nil {
+					for _, i := range v.Sel {
+						seen[c][col[i].Hash()] = struct{}{}
+					}
+				} else {
+					for i := 0; i < v.N; i++ {
+						seen[c][col[i].Hash()] = struct{}{}
+					}
+				}
+			}
 		}
-		return true
-	})
+	} else {
+		for _, r := range td.Snapshot() {
+			for c := range seen {
+				seen[c][r[c].Hash()] = struct{}{}
+			}
+		}
+	}
 	for i, col := range td.def.Columns {
 		td.def.SetColCard(col.Name, int64(len(seen[i])))
 	}
+	td.mu.Lock()
 	if ch, ok := td.heap.(*colHeap); ok {
-		// Column tables piggyback physical maintenance on the stats walk:
+		// Column tables piggyback physical maintenance on the stats pass:
 		// exact zone maps for segment pruning, and compaction of segments
 		// whose every slot is deleted (payload freed, slot space kept).
 		ch.t.Maintain()
@@ -126,7 +198,9 @@ func (s *Store) Analyze(name string) error {
 	promote := td.heap.kind() == catalog.RowStore && colstore.AutoPromote(td.live)
 	td.mu.Unlock()
 	if promote {
-		td.SetStorage(catalog.ColumnStore)
+		// Route through SetTableStorage so the representation switch is
+		// WAL-logged and survives a crash (it also bumps the version).
+		return s.SetTableStorage(name, catalog.ColumnStore)
 	}
 	// Fresh statistics can change plan choices; stale compiled plans must
 	// not outlive them.
@@ -138,13 +212,14 @@ func (s *Store) Analyze(name string) error {
 // … SET STORAGE). RIDs and indexes are preserved; the catalog version is
 // bumped so compiled plans re-decide their scan strategy.
 func (s *Store) SetTableStorage(name string, kind catalog.StorageKind) error {
+	defer s.ddlGate()()
 	td, err := s.Table(name)
 	if err != nil {
 		return err
 	}
 	td.SetStorage(kind)
 	s.cat.BumpVersion()
-	return nil
+	return s.logDDL(&wal.Record{Op: wal.OpSetStorage, Table: name, Storage: uint8(kind)})
 }
 
 // AnalyzeAll runs Analyze over every table. A table dropped concurrently

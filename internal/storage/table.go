@@ -281,19 +281,28 @@ func (t *TableData) SnapshotRIDs() []RID {
 	return out
 }
 
-func (t *TableData) buildIndex(def *catalog.Index) error {
+// indexOrds resolves an index definition's columns to table ordinals.
+func (t *TableData) indexOrds(def *catalog.Index) ([]int, error) {
 	ords := make([]int, len(def.Columns))
 	for i, col := range def.Columns {
 		o, ok := t.def.ColumnIndex(col)
 		if !ok {
-			return fmt.Errorf("storage: index column %s not in table %s", col, t.def.Name)
+			return nil, fmt.Errorf("storage: index column %s not in table %s", col, t.def.Name)
 		}
 		ords[i] = o
+	}
+	return ords, nil
+}
+
+func (t *TableData) buildIndex(def *catalog.Index) error {
+	ords, err := t.indexOrds(def)
+	if err != nil {
+		return err
 	}
 	var idx index
 	switch def.Kind {
 	case catalog.HashIndex:
-		idx = newHashIndex(ords)
+		idx = newHashIndexCap(ords, int(t.live))
 	case catalog.OrderedIndex:
 		idx = newOrderedIndex(ords)
 	default:

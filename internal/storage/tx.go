@@ -4,15 +4,26 @@ import (
 	"fmt"
 
 	"xnf/internal/types"
+	"xnf/internal/wal"
 )
 
 // Tx is a transaction over the store. The engine logs every DML operation
 // and can roll the store back to the state at Begin. The paper leaves
 // transaction management entirely to the unchanged relational substrate;
 // this undo-log design mirrors that: the XNF layer never sees it.
+//
+// With a WAL attached, the transaction additionally buffers redo records
+// (the coerced after-images the heap actually stored) and writes them as
+// one contiguous [begin][ops][commit] run at Commit, fsync'd — possibly
+// sharing the fsync with concurrent committers (group commit). Changes
+// are applied to memory eagerly and undone on rollback, so nothing
+// uncommitted ever needs undo at recovery time: the log is redo-only.
 type Tx struct {
 	store *Store
 	undo  []undoRec
+	redo  []wal.Record
+	id    uint64
+	gated bool // holding store.txGate in read mode until Commit/Rollback
 	done  bool
 }
 
@@ -31,8 +42,33 @@ type undoRec struct {
 	row   types.Row // old image for delete/update
 }
 
-// Begin starts a transaction.
-func (s *Store) Begin() *Tx { return &Tx{store: s} }
+// Begin starts a transaction. While a WAL is attached, the transaction
+// holds the store's gate in read mode until it finishes, so DDL and
+// checkpoints (which take the gate exclusively) never observe — or cut
+// the log across — a half-applied transaction.
+func (s *Store) Begin() *Tx {
+	tx := &Tx{store: s}
+	if s.dur.Load() != nil {
+		s.txGate.RLock()
+		tx.gated = true
+		tx.id = s.nextTx.Add(1)
+	}
+	return tx
+}
+
+// logRedo buffers the redo record for one applied operation. The row
+// stored in the heap (post-coercion) is fetched back so replay can
+// restore byte-identical images without re-running validation.
+func (tx *Tx) logRedo(op wal.Op, td *TableData, table string, rid RID) {
+	if !tx.gated {
+		return
+	}
+	rec := wal.Record{Op: op, TxID: tx.id, Table: table, RID: int64(rid)}
+	if op != wal.OpDelete {
+		rec.Row, _ = td.Get(rid)
+	}
+	tx.redo = append(tx.redo, rec)
+}
 
 // Insert inserts through the transaction, logging the compensation.
 func (tx *Tx) Insert(table string, row types.Row) (RID, error) {
@@ -48,6 +84,7 @@ func (tx *Tx) Insert(table string, row types.Row) (RID, error) {
 		return 0, err
 	}
 	tx.undo = append(tx.undo, undoRec{kind: undoInsert, table: table, rid: rid})
+	tx.logRedo(wal.OpInsert, td, table, rid)
 	return rid, nil
 }
 
@@ -65,6 +102,7 @@ func (tx *Tx) Update(table string, rid RID, row types.Row) error {
 		return err
 	}
 	tx.undo = append(tx.undo, undoRec{kind: undoUpdate, table: table, rid: rid, row: old})
+	tx.logRedo(wal.OpUpdate, td, table, rid)
 	return nil
 }
 
@@ -82,16 +120,45 @@ func (tx *Tx) Delete(table string, rid RID) error {
 		return err
 	}
 	tx.undo = append(tx.undo, undoRec{kind: undoDelete, table: table, rid: rid, row: old})
+	tx.logRedo(wal.OpDelete, td, table, rid)
 	return nil
 }
 
-// Commit makes the transaction's effects permanent.
+// Commit makes the transaction's effects permanent. With a WAL attached,
+// the redo records are written and fsync'd before Commit returns; if the
+// log rejects them (disk failure), the in-memory effects are rolled back
+// so memory never claims a durability the log cannot honor, and the
+// error is returned.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return fmt.Errorf("storage: transaction already finished")
 	}
 	tx.done = true
-	tx.undo = nil
+	if !tx.gated {
+		tx.undo = nil
+		return nil
+	}
+	var err error
+	if len(tx.redo) > 0 {
+		if d := tx.store.dur.Load(); d != nil {
+			buf := wal.AppendRecord(nil, &wal.Record{Op: wal.OpBegin, TxID: tx.id})
+			for i := range tx.redo {
+				buf = wal.AppendRecord(buf, &tx.redo[i])
+			}
+			buf = wal.AppendRecord(buf, &wal.Record{Op: wal.OpCommit, TxID: tx.id})
+			err = d.log.Commit(buf, len(tx.redo)+2)
+		}
+	}
+	if err != nil {
+		uerr := tx.undoAll()
+		tx.store.txGate.RUnlock()
+		if uerr != nil {
+			return fmt.Errorf("storage: commit not durable (%v) and rollback failed: %v", err, uerr)
+		}
+		return fmt.Errorf("storage: commit not durable, rolled back: %w", err)
+	}
+	tx.store.txGate.RUnlock()
+	tx.undo, tx.redo = nil, nil
 	return nil
 }
 
@@ -101,6 +168,17 @@ func (tx *Tx) Rollback() error {
 		return fmt.Errorf("storage: transaction already finished")
 	}
 	tx.done = true
+	err := tx.undoAll()
+	if tx.gated {
+		tx.store.txGate.RUnlock()
+	}
+	return err
+}
+
+// undoAll applies the undo log in reverse. The redo buffer is discarded:
+// nothing was (or will be) written to the WAL for this transaction, so
+// recovery sees none of its effects — matching the restored memory state.
+func (tx *Tx) undoAll() error {
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		rec := tx.undo[i]
 		td, err := tx.store.Table(rec.table)
@@ -120,6 +198,6 @@ func (tx *Tx) Rollback() error {
 			}
 		}
 	}
-	tx.undo = nil
+	tx.undo, tx.redo = nil, nil
 	return nil
 }

@@ -16,12 +16,27 @@ import (
 // per-segment min/max refute a bound.
 type PruneTerm struct {
 	Col int
-	Opc int   // comparison opcode (opEq … opGe); <> never generates a term
-	Val VExpr // *vConst, *vParam or *vTail
+	Opc int   // comparison opcode (opEq … opGe, opIsNull, opIsNotNull)
+	Val VExpr // *vConst, *vParam or *vTail; nil for IS [NOT] NULL terms
 }
+
+// Pseudo-opcodes for the nullness conjuncts `col IS NULL` / `col IS NOT
+// NULL`, which prune against the segment's live null count instead of its
+// min/max. Numbered past the comparison opcodes so the two ranges never
+// collide.
+const (
+	opIsNull = iota + len(cmpName)
+	opIsNotNull
+)
 
 // String renders the term for EXPLAIN output.
 func (t PruneTerm) String() string {
+	switch t.Opc {
+	case opIsNull:
+		return fmt.Sprintf("#%d IS NULL", t.Col)
+	case opIsNotNull:
+		return fmt.Sprintf("#%d IS NOT NULL", t.Col)
+	}
 	return fmt.Sprintf("#%d %s %s", t.Col, cmpName[t.Opc], t.Val.String())
 }
 
@@ -58,6 +73,17 @@ func ExtractPruneTerms(pred VExpr) []PruneTerm {
 			walk(n.r)
 		case *vOr:
 			out = append(out, orHullTerms(n)...)
+		case *vUn:
+			// IS [NOT] NULL over a bare scan column prunes on the segment's
+			// live null count. NOT and unary minus contribute nothing.
+			if s, ok := n.x.(*vSlot); ok {
+				switch n.op {
+				case "ISNULL":
+					out = append(out, PruneTerm{Col: s.idx, Opc: opIsNull})
+				case "ISNOTNULL":
+					out = append(out, PruneTerm{Col: s.idx, Opc: opIsNotNull})
+				}
+			}
 		case *vCmp:
 			if n.opc == opNe {
 				return
@@ -269,6 +295,14 @@ func ResolveBounds(terms []PruneTerm, params types.Row) []colstore.ColBound {
 	e := env{params: params}
 	out := make([]colstore.ColBound, 0, len(terms))
 	for _, t := range terms {
+		if t.Opc == opIsNull || t.Opc == opIsNotNull {
+			out = append(out, colstore.ColBound{
+				Col:      t.Col,
+				NullOnly: t.Opc == opIsNull,
+				NotNull:  t.Opc == opIsNotNull,
+			})
+			continue
+		}
 		v, ok := scalarOf(t.Val, &e)
 		if !ok {
 			continue

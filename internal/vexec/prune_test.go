@@ -114,3 +114,39 @@ func TestExtractPruneTermsORHull(t *testing.T) {
 		t.Fatalf("AND(cmp, OR-hull) = %v, want bounds on both columns", byCol)
 	}
 }
+
+// TestExtractPruneTermsNullness covers the IS [NOT] NULL prune terms: bare
+// scan columns extract a nullness bound, anything else contributes nothing,
+// and the resolved ColBound carries the right flag.
+func TestExtractPruneTermsNullness(t *testing.T) {
+	un := func(op string, x exec.Expr) exec.Expr { return &exec.Un{Op: op, X: x} }
+
+	terms := extract(t, bin("AND", un("ISNULL", slot(2)), un("ISNOTNULL", slot(3))))
+	if len(terms) != 2 {
+		t.Fatalf("extracted %d terms, want 2: %v", len(terms), terms)
+	}
+	bounds := ResolveBounds(terms, nil)
+	if len(bounds) != 2 {
+		t.Fatalf("resolved %d bounds, want 2", len(bounds))
+	}
+	if bounds[0].Col != 2 || !bounds[0].NullOnly || bounds[0].NotNull {
+		t.Fatalf("bound 0 = %+v, want Col=2 NullOnly", bounds[0])
+	}
+	if bounds[1].Col != 3 || !bounds[1].NotNull || bounds[1].NullOnly {
+		t.Fatalf("bound 1 = %+v, want Col=3 NotNull", bounds[1])
+	}
+	if s := terms[0].String(); s != "#2 IS NULL" {
+		t.Fatalf("term 0 renders %q", s)
+	}
+	if s := terms[1].String(); s != "#3 IS NOT NULL" {
+		t.Fatalf("term 1 renders %q", s)
+	}
+
+	// NOT over a column, and IS NULL over a non-column, extract nothing.
+	if terms := extract(t, un("NOT", slot(0))); len(terms) != 0 {
+		t.Fatalf("NOT extracted %v", terms)
+	}
+	if terms := extract(t, un("ISNULL", bin("+", slot(0), lit(types.NewInt(1))))); len(terms) != 0 {
+		t.Fatalf("ISNULL over expression extracted %v", terms)
+	}
+}

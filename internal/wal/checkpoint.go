@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Checkpoint files hold an opaque snapshot payload (encoded by the
+// storage layer — the wal package never interprets it) framed exactly
+// like a log record: [len u32][crc32c u32][payload]. A checkpoint is
+// written to a temp file, fsync'd, then renamed into place, so a crash
+// mid-write leaves either the old checkpoint set or a complete new file
+// — never a half-written one that validates.
+
+// ckptName returns the checkpoint file name for log sequence seq: the
+// snapshot captures all state up to (excluding) log file seq.
+func ckptName(seq uint64) string { return fmt.Sprintf("checkpoint-%016d.ckpt", seq) }
+
+// WriteCheckpoint durably writes payload as the checkpoint for log
+// sequence seq.
+func WriteCheckpoint(dir string, seq uint64, payload []byte) error {
+	var hdr [recHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+
+	tmp := filepath.Join(dir, ckptName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ckptName(seq))); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ReadCheckpoint reads and validates the checkpoint for sequence seq.
+func ReadCheckpoint(dir string, seq uint64) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ckptName(seq)))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < recHeader {
+		return nil, fmt.Errorf("wal: short checkpoint file")
+	}
+	n := binary.LittleEndian.Uint32(data[:4])
+	sum := binary.LittleEndian.Uint32(data[4:8])
+	if uint64(n) != uint64(len(data)-recHeader) {
+		return nil, fmt.Errorf("wal: checkpoint length mismatch: header %d, file %d", n, len(data)-recHeader)
+	}
+	payload := data[recHeader:]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("wal: checkpoint CRC mismatch")
+	}
+	return payload, nil
+}
+
+// ListCheckpoints returns the checkpoint sequence numbers in dir,
+// ascending.
+func ListCheckpoints(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if filepath.Ext(name) == ".tmp" {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "checkpoint-%d.ckpt", &seq); err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// LatestCheckpoint returns the payload and sequence of the newest
+// checkpoint in dir that validates, skipping corrupt ones (a crash
+// cannot corrupt a renamed checkpoint, but disks can). ok is false when
+// no usable checkpoint exists.
+func LatestCheckpoint(dir string) (payload []byte, seq uint64, ok bool, err error) {
+	seqs, err := ListCheckpoints(dir)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		p, rerr := ReadCheckpoint(dir, seqs[i])
+		if rerr == nil {
+			return p, seqs[i], true, nil
+		}
+	}
+	return nil, 0, false, nil
+}
+
+// RemoveCheckpointsBelow deletes checkpoint files with sequence < seq.
+func RemoveCheckpointsBelow(dir string, seq uint64) error {
+	seqs, err := ListCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range seqs {
+		if s < seq {
+			if err := os.Remove(filepath.Join(dir, ckptName(s))); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(dir)
+}

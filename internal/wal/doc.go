@@ -1,0 +1,81 @@
+// Package wal is the durability layer: an append-only, CRC-framed,
+// group-committed write-ahead log plus atomic checkpoint files. It owns
+// the on-disk formats and the fsync discipline; what the records *mean*
+// — how they are produced by transactions and replayed into heaps and
+// the catalog — lives in internal/storage, which keeps this package
+// free of storage imports (and vice versa free of import cycles).
+//
+// # Record format
+//
+// Every record is framed as
+//
+//	[len u32][crc32c u32][payload]
+//
+// with little-endian integers and a Castagnoli CRC over the payload.
+// The payload starts with a one-byte Op and the transaction id as a
+// uvarint, followed by op-specific fields encoded with the shared
+// binary value codec in internal/types (tagged values, varint ints,
+// fixed64 floats, length-prefixed strings).
+//
+// DML ops (OpInsert, OpUpdate, OpDelete) carry table name, RID, and —
+// for insert/update — the full new row image. The engine applies
+// changes to the in-memory heaps eagerly and keeps an undo log for
+// rollback (no-steal: uncommitted changes never reach disk), so the
+// WAL is redo-only: recovery never needs before-images.
+//
+// Transactions are bracketed by OpBegin/OpCommit markers. A whole
+// transaction is encoded into one contiguous buffer
+// ([begin][ops...][commit]) and handed to Log.Commit, so a transaction
+// is either entirely in the durable log or entirely absent from it.
+// DDL ops (OpCreateTable, OpDropTable, OpCreateIndex, OpSetStorage,
+// OpCreateView, OpDropView) are self-committing single-record
+// transactions.
+//
+// # Group commit
+//
+// Log.Commit appends the transaction's buffer to a pending queue and
+// then either becomes the flusher — writing every queued buffer with
+// one write and one fsync, then waking the others — or waits for a
+// flusher to carry it. Under N concurrent committers the fsync cost is
+// amortized across the whole group; the Stats counters (Fsyncs,
+// Commits, MaxGroup, GroupSum) expose the achieved batching. With
+// Options.GroupCommit off, every commit pays its own write+fsync under
+// the log mutex — the benchmark baseline. A failed write or fsync
+// poisons the log permanently: the on-disk tail is in an unknown state
+// and accepting more appends could reorder commits around the hole.
+//
+// # Checkpoints, rotation, truncation
+//
+// The log is a sequence of files wal-<seq>.log. A checkpoint at
+// sequence S captures the entire store image (catalog + heaps +
+// index payloads, encoded by internal/storage) as of the moment log
+// file S was started:
+//
+//  1. quiesce transactions (storage's transaction gate),
+//  2. rotate the log to a new sequence S,
+//  3. encode the store snapshot in memory, release the gate,
+//  4. write checkpoint-<S>.ckpt via temp file + fsync + rename +
+//     directory fsync,
+//  5. delete log files and checkpoints with sequence < S.
+//
+// Because the snapshot is taken with no transaction in flight and the
+// log rotated first, the checkpoint plus the records in files ≥ S is
+// exactly the committed state: replaying the suffix on top of the
+// snapshot is idempotent-free redo. A crash between any two steps is
+// safe — the old checkpoint and the full log survive until the new
+// checkpoint file is durably renamed into place.
+//
+// # Recovery invariants
+//
+// Recovery loads the newest checkpoint that validates (corrupt or
+// half-written ones are skipped; the rename protocol means at most the
+// newest can be bad), then replays log files with sequence ≥ the
+// checkpoint's, in order. Within a file, records are applied in log
+// order; a transaction's DML is buffered until its OpCommit marker is
+// seen, so uncommitted tails vanish. The first torn or CRC-failing
+// record ends replay for that file — everything before it was durable
+// and everything after it is the crash wreckage. Since commits are
+// single contiguous writes retired by fsync in queue order, a valid
+// prefix of the log always contains a prefix of the commit order:
+// recovery can never surface transaction B but lose an earlier A.
+package wal

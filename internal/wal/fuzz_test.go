@@ -1,0 +1,51 @@
+package wal
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzWALRecord asserts the record codec never panics on arbitrary bytes:
+// every input either fails cleanly or decodes to a record that re-encodes
+// and decodes to the same value (the decoder validates enough that anything
+// it accepts is a faithful WAL record).
+func FuzzWALRecord(f *testing.F) {
+	for _, r := range sampleRecords() {
+		f.Add(AppendRecord(nil, r))
+	}
+	var all []byte
+	for _, r := range sampleRecords() {
+		all = AppendRecord(all, r)
+	}
+	f.Add(all)
+	// Hostile seeds: truncated header, absurd length, zeroed CRC, garbage.
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 1})
+	f.Add(all[:len(all)/2])
+	f.Add([]byte{8, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for len(rest) > 0 {
+			rec, tail, err := DecodeRecord(rest)
+			if err != nil {
+				return
+			}
+			if len(tail) >= len(rest) {
+				t.Fatalf("decode consumed no bytes (%d -> %d)", len(rest), len(tail))
+			}
+			_ = rec.Op.String()
+			re := AppendRecord(nil, rec)
+			rec2, tail2, err := DecodeRecord(re)
+			if err != nil {
+				t.Fatalf("re-encode of accepted record failed to decode: %v", err)
+			}
+			if len(tail2) != 0 {
+				t.Fatalf("re-encode left %d trailing bytes", len(tail2))
+			}
+			if !reflect.DeepEqual(rec, rec2) {
+				t.Fatalf("round trip changed record: %+v -> %+v", rec, rec2)
+			}
+			rest = tail
+		}
+	})
+}

@@ -1,0 +1,328 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Options configures a Log.
+type Options struct {
+	// GroupCommit batches the fsyncs of concurrent committers: the first
+	// committer to reach the disk becomes the flusher for every buffer
+	// queued behind it, and one fsync makes them all durable. Off, every
+	// commit pays its own write+fsync under the log mutex — the baseline
+	// the WAL benchmark measures group commit against.
+	GroupCommit bool
+	// NoSync skips fsync entirely (tests that only need replay coverage).
+	NoSync bool
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	Records   uint64 // records appended
+	Bytes     uint64 // bytes appended
+	Fsyncs    uint64 // fsync calls issued
+	Commits   uint64 // transaction commits made durable
+	MaxGroup  uint64 // largest number of commits retired by one fsync
+	GroupSum  uint64 // sum of group sizes (GroupSum/Fsyncs = mean group)
+	Rotations uint64 // log file rotations (checkpoints)
+}
+
+// Log is an append-only, CRC-framed, group-committed write-ahead log.
+// One Log owns a sequence of files wal-<seq>.log inside a directory;
+// rotation to a new sequence number happens at checkpoint time.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        *os.File
+	seq      uint64
+	pending  []byte // encoded buffers queued behind the current flusher
+	npending uint64 // commits represented by pending
+	appended uint64 // logical offset of everything handed to the log
+	durable  uint64 // logical offset known to be on disk
+	flushing bool
+	err      error // sticky: a failed write/fsync poisons the log
+
+	stats Stats
+}
+
+// logName returns the file name for log sequence seq.
+func logName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
+
+// OpenLog opens (creating if needed) the log file for sequence seq in
+// dir, appending to any existing contents.
+func OpenLog(dir string, seq uint64, opts Options) (*Log, error) {
+	f, err := os.OpenFile(filepath.Join(dir, logName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, f: f, seq: seq}
+	l.cond = sync.NewCond(&l.mu)
+	return l, nil
+}
+
+// Seq returns the current log file's sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Stats returns a snapshot of the counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Commit makes buf — the complete framed encoding of one transaction
+// ([begin][ops...][commit], built with AppendRecord) — durable. records
+// is the number of framed records in buf, for the counters. Commit
+// returns once every byte of buf has been written and fsync'd; with
+// group commit enabled the fsync may be shared with other committers.
+func (l *Log) Commit(buf []byte, records int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	l.stats.Records += uint64(records)
+	l.stats.Bytes += uint64(len(buf))
+	l.stats.Commits++
+
+	if !l.opts.GroupCommit {
+		if _, err := l.f.Write(buf); err != nil {
+			l.fail(err)
+			return err
+		}
+		if err := l.sync(); err != nil {
+			l.fail(err)
+			return err
+		}
+		l.stats.GroupSum++
+		if l.stats.MaxGroup < 1 {
+			l.stats.MaxGroup = 1
+		}
+		return nil
+	}
+
+	l.pending = append(l.pending, buf...)
+	l.npending++
+	l.appended += uint64(len(buf))
+	target := l.appended
+
+	for l.durable < target {
+		if l.err != nil {
+			return l.err
+		}
+		if !l.flushing {
+			// Become the flusher for everything queued so far.
+			l.flushing = true
+			batch := l.pending
+			n := l.npending
+			l.pending = nil
+			l.npending = 0
+			flushed := l.appended
+			l.mu.Unlock()
+			_, werr := l.f.Write(batch)
+			if werr == nil {
+				werr = l.sync()
+			}
+			l.mu.Lock()
+			l.flushing = false
+			if werr != nil {
+				l.fail(werr)
+				return werr
+			}
+			l.durable = flushed
+			l.stats.GroupSum += n
+			if n > l.stats.MaxGroup {
+				l.stats.MaxGroup = n
+			}
+			l.cond.Broadcast()
+		} else {
+			l.cond.Wait()
+		}
+	}
+	return l.err
+}
+
+// Append writes a single self-committing record (DDL) and makes it
+// durable before returning.
+func (l *Log) Append(r *Record) error {
+	return l.Commit(AppendRecord(nil, r), 1)
+}
+
+// Rotate closes the current log file and starts a fresh one with
+// sequence seq. The caller must guarantee no Commit is in flight
+// (the storage layer quiesces transactions around checkpoints).
+func (l *Log) Rotate(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if len(l.pending) != 0 || l.flushing {
+		return fmt.Errorf("wal: rotate with commits in flight")
+	}
+	if err := l.sync(); err != nil {
+		l.fail(err)
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		l.fail(err)
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, logName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.fail(err)
+		return err
+	}
+	l.f = f
+	l.seq = seq
+	l.stats.Rotations++
+	return syncDir(l.dir)
+}
+
+// Close fsyncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	serr := l.sync()
+	cerr := l.f.Close()
+	l.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// fail poisons the log: a write or fsync that failed part-way leaves the
+// on-disk tail in an unknown state, so no further appends are accepted.
+func (l *Log) fail(err error) {
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: log failed: %w", err)
+	}
+	l.cond.Broadcast()
+}
+
+func (l *Log) sync() error {
+	if l.opts.NoSync {
+		return nil
+	}
+	l.stats.Fsyncs++
+	return l.f.Sync()
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable. Best-effort on platforms where directories reject fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return nil // some filesystems refuse directory fsync; not fatal
+	}
+	return nil
+}
+
+// ListLogs returns the log sequence numbers present in dir, ascending.
+func ListLogs(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.log", &seq); err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// ReadLog reads every intact record from log file seq in dir, in order.
+// It stops silently at the first torn or corrupt record — that is the
+// crash point — and reports via torn whether anything was dropped.
+// validLen is the byte length of the intact prefix: recovery truncates
+// the file to it before appending again, so crash wreckage never sits in
+// the middle of a live log.
+func ReadLog(dir string, seq uint64) (recs []*Record, validLen int64, torn bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, logName(seq)))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	buf := data
+	for len(buf) > 0 {
+		r, rest, derr := DecodeRecord(buf)
+		if derr != nil {
+			return recs, int64(len(data) - len(buf)), true, nil
+		}
+		recs = append(recs, r)
+		buf = rest
+	}
+	return recs, int64(len(data)), false, nil
+}
+
+// TruncateLog durably cuts log file seq down to n bytes — the intact
+// prefix ReadLog found — so appends resume cleanly after the crash point.
+func TruncateLog(dir string, seq uint64, n int64) error {
+	path := filepath.Join(dir, logName(seq))
+	if err := os.Truncate(path, n); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// RemoveLogsAbove deletes log files with sequence > seq: when a file in
+// the middle of the sequence is corrupt, everything after it is
+// unreachable by replay and must not survive into the next log cycle.
+func RemoveLogsAbove(dir string, seq uint64) error {
+	seqs, err := ListLogs(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range seqs {
+		if s > seq {
+			if err := os.Remove(filepath.Join(dir, logName(s))); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(dir)
+}
+
+// RemoveLogsBelow deletes log files with sequence < seq (after a
+// checkpoint at seq has been made durable).
+func RemoveLogsBelow(dir string, seq uint64) error {
+	seqs, err := ListLogs(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range seqs {
+		if s < seq {
+			if err := os.Remove(filepath.Join(dir, logName(s))); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(dir)
+}

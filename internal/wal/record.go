@@ -1,0 +1,397 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"xnf/internal/types"
+)
+
+// Op tags a log record.
+type Op uint8
+
+// The record kinds. DML records carry the transaction id that produced
+// them and are bracketed by OpBegin/OpCommit markers; recovery applies a
+// transaction's records only once its commit marker has been read intact.
+// DDL records are self-committing: each one is the entire transaction.
+const (
+	OpBegin Op = iota + 1
+	OpCommit
+	OpInsert
+	OpUpdate
+	OpDelete
+	OpCreateTable
+	OpDropTable
+	OpCreateIndex
+	OpSetStorage
+	OpCreateView
+	OpDropView
+)
+
+// String names the op for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpBegin:
+		return "BEGIN"
+	case OpCommit:
+		return "COMMIT"
+	case OpInsert:
+		return "INSERT"
+	case OpUpdate:
+		return "UPDATE"
+	case OpDelete:
+		return "DELETE"
+	case OpCreateTable:
+		return "CREATE-TABLE"
+	case OpDropTable:
+		return "DROP-TABLE"
+	case OpCreateIndex:
+		return "CREATE-INDEX"
+	case OpSetStorage:
+		return "SET-STORAGE"
+	case OpCreateView:
+		return "CREATE-VIEW"
+	case OpDropView:
+		return "DROP-VIEW"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// TableDef is the WAL's schema image of a table: everything CreateTable
+// needs to recreate it. Secondary indexes are not part of it — they have
+// their own OpCreateIndex records (the primary-key index is implied).
+type TableDef struct {
+	Name        string
+	Columns     []ColumnDef
+	PrimaryKey  []string
+	ForeignKeys []FKDef
+	Storage     uint8
+}
+
+// ColumnDef is one column of a TableDef.
+type ColumnDef struct {
+	Name    string
+	Type    types.Type
+	NotNull bool
+}
+
+// FKDef is one foreign key of a TableDef.
+type FKDef struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// IndexDef is the WAL image of a secondary index.
+type IndexDef struct {
+	Name    string
+	Table   string
+	Columns []string
+	Kind    uint8
+	Unique  bool
+}
+
+// Record is one decoded log record. Which fields are meaningful depends on
+// Op: DML records use TxID/Table/RID/Row, DDL records use the Def fields.
+type Record struct {
+	Op    Op
+	TxID  uint64
+	Table string
+	RID   int64
+	Row   types.Row
+
+	TableDef *TableDef // OpCreateTable
+	IndexDef *IndexDef // OpCreateIndex
+	Name     string    // OpDropTable/OpDropView: object name; OpCreateView: view name
+	Text     string    // OpCreateView: view text
+	IsXNF    bool      // OpCreateView
+	Storage  uint8     // OpSetStorage
+}
+
+// crcTable is the Castagnoli polynomial — hardware-accelerated on the
+// platforms this runs on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecord bounds one record's payload; a corrupt length prefix must not
+// translate into a giant allocation during recovery.
+const maxRecord = 64 << 20
+
+// recHeader is the per-record frame: payload length + payload CRC.
+const recHeader = 8
+
+// AppendRecord appends the framed encoding of r to buf:
+// [len u32][crc32c u32][payload]. The CRC covers the payload only; the
+// length is validated against the remaining file size during recovery, so
+// a torn length prefix is detected before the CRC is even read.
+func AppendRecord(buf []byte, r *Record) []byte {
+	payload := appendPayload(nil, r)
+	var hdr [recHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+func appendPayload(buf []byte, r *Record) []byte {
+	buf = append(buf, byte(r.Op))
+	buf = binary.AppendUvarint(buf, r.TxID)
+	switch r.Op {
+	case OpBegin, OpCommit:
+	case OpInsert, OpUpdate:
+		buf = appendString(buf, r.Table)
+		buf = binary.AppendUvarint(buf, uint64(r.RID))
+		buf = types.AppendBinaryRow(buf, r.Row)
+	case OpDelete:
+		buf = appendString(buf, r.Table)
+		buf = binary.AppendUvarint(buf, uint64(r.RID))
+	case OpCreateTable:
+		d := r.TableDef
+		buf = appendString(buf, d.Name)
+		buf = binary.AppendUvarint(buf, uint64(len(d.Columns)))
+		for _, c := range d.Columns {
+			buf = appendString(buf, c.Name)
+			buf = append(buf, byte(c.Type), boolByte(c.NotNull))
+		}
+		buf = appendStrings(buf, d.PrimaryKey)
+		buf = binary.AppendUvarint(buf, uint64(len(d.ForeignKeys)))
+		for _, fk := range d.ForeignKeys {
+			buf = appendStrings(buf, fk.Columns)
+			buf = appendString(buf, fk.RefTable)
+			buf = appendStrings(buf, fk.RefColumns)
+		}
+		buf = append(buf, d.Storage)
+	case OpDropTable, OpDropView:
+		buf = appendString(buf, r.Name)
+	case OpCreateIndex:
+		d := r.IndexDef
+		buf = appendString(buf, d.Name)
+		buf = appendString(buf, d.Table)
+		buf = appendStrings(buf, d.Columns)
+		buf = append(buf, d.Kind, boolByte(d.Unique))
+	case OpSetStorage:
+		buf = appendString(buf, r.Table)
+		buf = append(buf, r.Storage)
+	case OpCreateView:
+		buf = appendString(buf, r.Name)
+		buf = appendString(buf, r.Text)
+		buf = append(buf, boolByte(r.IsXNF))
+	}
+	return buf
+}
+
+// DecodeRecord decodes one framed record from buf, returning the record
+// and the remaining bytes. Any truncation, length overrun or CRC mismatch
+// yields an error — the recovery loop treats the first such error as the
+// end of the durable log.
+func DecodeRecord(buf []byte) (*Record, []byte, error) {
+	if len(buf) < recHeader {
+		return nil, nil, fmt.Errorf("wal: short record header (%d bytes)", len(buf))
+	}
+	n := binary.LittleEndian.Uint32(buf[:4])
+	sum := binary.LittleEndian.Uint32(buf[4:8])
+	if n > maxRecord {
+		return nil, nil, fmt.Errorf("wal: record of %d bytes exceeds %d-byte limit", n, maxRecord)
+	}
+	if uint32(len(buf)-recHeader) < n {
+		return nil, nil, fmt.Errorf("wal: torn record: %d payload bytes of %d", len(buf)-recHeader, n)
+	}
+	payload := buf[recHeader : recHeader+int(n)]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, nil, fmt.Errorf("wal: record CRC mismatch")
+	}
+	r, err := decodePayload(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, buf[recHeader+int(n):], nil
+}
+
+func decodePayload(buf []byte) (*Record, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("wal: empty record payload")
+	}
+	r := &Record{Op: Op(buf[0])}
+	buf = buf[1:]
+	var k int
+	r.TxID, k = decodeUvarint(buf)
+	if k <= 0 {
+		return nil, fmt.Errorf("wal: bad txid")
+	}
+	buf = buf[k:]
+	var err error
+	switch r.Op {
+	case OpBegin, OpCommit:
+	case OpInsert, OpUpdate:
+		if r.Table, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if r.RID, buf, err = decodeUvarintInt64(buf); err != nil {
+			return nil, err
+		}
+		if r.Row, buf, err = types.DecodeBinaryRow(buf); err != nil {
+			return nil, err
+		}
+	case OpDelete:
+		if r.Table, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if r.RID, buf, err = decodeUvarintInt64(buf); err != nil {
+			return nil, err
+		}
+	case OpCreateTable:
+		d := &TableDef{}
+		if d.Name, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		nc, k := decodeUvarint(buf)
+		if k <= 0 || nc > uint64(len(buf)) {
+			return nil, fmt.Errorf("wal: bad column count")
+		}
+		buf = buf[k:]
+		d.Columns = make([]ColumnDef, nc)
+		for i := range d.Columns {
+			if d.Columns[i].Name, buf, err = decodeString(buf); err != nil {
+				return nil, err
+			}
+			if len(buf) < 2 {
+				return nil, fmt.Errorf("wal: short column def")
+			}
+			d.Columns[i].Type = types.Type(buf[0])
+			d.Columns[i].NotNull = buf[1] != 0
+			buf = buf[2:]
+		}
+		if d.PrimaryKey, buf, err = decodeStrings(buf); err != nil {
+			return nil, err
+		}
+		nfk, k := decodeUvarint(buf)
+		if k <= 0 || nfk > uint64(len(buf)) {
+			return nil, fmt.Errorf("wal: bad foreign key count")
+		}
+		buf = buf[k:]
+		d.ForeignKeys = make([]FKDef, nfk)
+		for i := range d.ForeignKeys {
+			if d.ForeignKeys[i].Columns, buf, err = decodeStrings(buf); err != nil {
+				return nil, err
+			}
+			if d.ForeignKeys[i].RefTable, buf, err = decodeString(buf); err != nil {
+				return nil, err
+			}
+			if d.ForeignKeys[i].RefColumns, buf, err = decodeStrings(buf); err != nil {
+				return nil, err
+			}
+		}
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("wal: short table def")
+		}
+		d.Storage = buf[0]
+		buf = buf[1:]
+		r.TableDef = d
+	case OpDropTable, OpDropView:
+		if r.Name, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+	case OpCreateIndex:
+		d := &IndexDef{}
+		if d.Name, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if d.Table, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if d.Columns, buf, err = decodeStrings(buf); err != nil {
+			return nil, err
+		}
+		if len(buf) < 2 {
+			return nil, fmt.Errorf("wal: short index def")
+		}
+		d.Kind = buf[0]
+		d.Unique = buf[1] != 0
+		buf = buf[2:]
+		r.IndexDef = d
+	case OpSetStorage:
+		if r.Table, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("wal: short storage record")
+		}
+		r.Storage = buf[0]
+		buf = buf[1:]
+	case OpCreateView:
+		if r.Name, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if r.Text, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("wal: short view record")
+		}
+		r.IsXNF = buf[0] != 0
+		buf = buf[1:]
+	default:
+		return nil, fmt.Errorf("wal: unknown record op %d", uint8(r.Op))
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes after %s record", len(buf), r.Op)
+	}
+	return r, nil
+}
+
+// --- small codec helpers ---
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func decodeString(buf []byte) (string, []byte, error) {
+	n, k := decodeUvarint(buf)
+	if k <= 0 || n > uint64(len(buf[k:])) {
+		return "", nil, fmt.Errorf("wal: bad string length")
+	}
+	return string(buf[k : k+int(n)]), buf[k+int(n):], nil
+}
+
+func appendStrings(buf []byte, ss []string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ss)))
+	for _, s := range ss {
+		buf = appendString(buf, s)
+	}
+	return buf
+}
+
+func decodeStrings(buf []byte) ([]string, []byte, error) {
+	n, k := decodeUvarint(buf)
+	if k <= 0 || n > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("wal: bad string list length")
+	}
+	buf = buf[k:]
+	out := make([]string, n)
+	var err error
+	for i := range out {
+		if out[i], buf, err = decodeString(buf); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, buf, nil
+}
+
+func decodeUvarint(buf []byte) (uint64, int) { return binary.Uvarint(buf) }
+
+func decodeUvarintInt64(buf []byte) (int64, []byte, error) {
+	v, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("wal: bad varint")
+	}
+	return int64(v), buf[k:], nil
+}

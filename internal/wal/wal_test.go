@@ -1,0 +1,331 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"xnf/internal/types"
+)
+
+// sampleRecords covers every op with every optional field populated.
+func sampleRecords() []*Record {
+	return []*Record{
+		{Op: OpBegin, TxID: 7},
+		{Op: OpInsert, TxID: 7, Table: "EMP", RID: 3,
+			Row: types.Row{types.NewInt(1), types.NewString("anne"), types.Null, types.NewFloat(2.5), types.NewBool(true)}},
+		{Op: OpUpdate, TxID: 7, Table: "EMP", RID: 3,
+			Row: types.Row{types.NewInt(1), types.NewString("bob"), types.NewBool(false), types.NewFloat(-1), types.Null}},
+		{Op: OpDelete, TxID: 7, Table: "EMP", RID: 3},
+		{Op: OpCommit, TxID: 7},
+		{Op: OpCreateTable, TableDef: &TableDef{
+			Name: "DEPT",
+			Columns: []ColumnDef{
+				{Name: "dno", Type: types.IntType, NotNull: true},
+				{Name: "dname", Type: types.StringType},
+			},
+			PrimaryKey: []string{"dno"},
+			ForeignKeys: []FKDef{
+				{Columns: []string{"dno"}, RefTable: "ORG", RefColumns: []string{"ono"}},
+			},
+			Storage: 1,
+		}},
+		{Op: OpDropTable, Name: "DEPT"},
+		{Op: OpCreateIndex, IndexDef: &IndexDef{
+			Name: "EMP_dno", Table: "EMP", Columns: []string{"dno", "ename"}, Kind: 1, Unique: true,
+		}},
+		{Op: OpSetStorage, Table: "EMP", Storage: 1},
+		{Op: OpCreateView, Name: "v", Text: "CREATE VIEW v AS SELECT 1", IsXNF: true},
+		{Op: OpDropView, Name: "v"},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf []byte
+	recs := sampleRecords()
+	for _, r := range recs {
+		buf = AppendRecord(buf, r)
+	}
+	rest := buf
+	for i, want := range recs {
+		got, tail, err := DecodeRecord(rest)
+		if err != nil {
+			t.Fatalf("record %d (%s): decode: %v", i, want.Op, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d (%s): got %+v, want %+v", i, want.Op, got, want)
+		}
+		rest = tail
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after last record", len(rest))
+	}
+}
+
+// TestRecordTornAndCorrupt asserts that truncation at any byte boundary and
+// single-bit corruption both fail cleanly (no panic, no bogus record).
+func TestRecordTornAndCorrupt(t *testing.T) {
+	full := AppendRecord(nil, sampleRecords()[1])
+	for n := 0; n < len(full); n++ {
+		if _, _, err := DecodeRecord(full[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded successfully", n, len(full))
+		}
+	}
+	for i := range full {
+		bad := bytes.Clone(full)
+		bad[i] ^= 0x40
+		rec, rest, err := DecodeRecord(bad)
+		if err != nil {
+			continue
+		}
+		// A flipped length byte can legally shift the frame boundary; the
+		// CRC must still reject the framed payload itself.
+		if len(rest) == 0 && reflect.DeepEqual(rec, sampleRecords()[1]) {
+			t.Fatalf("bit flip at offset %d went undetected", i)
+		}
+	}
+}
+
+func TestLogAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, torn, err := ReadLog(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("clean log reported torn")
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(got[i], recs[i]) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestLogTornTail verifies ReadLog stops at the intact prefix and reports
+// validLen for the truncate-on-recovery path.
+func TestLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, logName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record: keep the first record intact plus half the second.
+	first := AppendRecord(nil, recs[0])
+	cut := len(first) + 3
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, validLen, torn, err := ReadLog(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Fatal("torn log not reported torn")
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], recs[0]) {
+		t.Fatalf("torn read returned %d records, want the 1 intact prefix record", len(got))
+	}
+	if validLen != int64(len(first)) {
+		t.Fatalf("validLen = %d, want %d", validLen, len(first))
+	}
+	if err := TruncateLog(dir, 1, validLen); err != nil {
+		t.Fatal(err)
+	}
+	got, _, torn, err = ReadLog(dir, 1)
+	if err != nil || torn || len(got) != 1 {
+		t.Fatalf("after truncate: %d records, torn=%v, err=%v", len(got), torn, err)
+	}
+}
+
+// TestGroupCommit runs concurrent committers against one log and checks
+// every record survives and the fsync count reflects batching.
+func TestGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{GroupCommit: true, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, commits = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < commits; i++ {
+				txid := uint64(w*commits + i + 1)
+				buf := AppendRecord(nil, &Record{Op: OpBegin, TxID: txid})
+				buf = AppendRecord(buf, &Record{Op: OpInsert, TxID: txid, Table: "T", RID: int64(txid),
+					Row: types.Row{types.NewInt(int64(txid))}})
+				buf = AppendRecord(buf, &Record{Op: OpCommit, TxID: txid})
+				if err := l.Commit(buf, 3); err != nil {
+					t.Errorf("commit %d: %v", txid, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits != writers*commits {
+		t.Fatalf("stats report %d commits, want %d", st.Commits, writers*commits)
+	}
+	if st.Records != writers*commits*3 {
+		t.Fatalf("stats report %d records, want %d", st.Records, writers*commits*3)
+	}
+	recs, _, torn, err := ReadLog(dir, 1)
+	if err != nil || torn {
+		t.Fatalf("read back: torn=%v err=%v", torn, err)
+	}
+	if len(recs) != writers*commits*3 {
+		t.Fatalf("read %d records, want %d", len(recs), writers*commits*3)
+	}
+	// Whole transactions must be contiguous: scan for interleaving.
+	var open uint64
+	seen := make(map[uint64]bool)
+	for _, r := range recs {
+		switch r.Op {
+		case OpBegin:
+			if open != 0 {
+				t.Fatalf("tx %d began inside tx %d", r.TxID, open)
+			}
+			if seen[r.TxID] {
+				t.Fatalf("tx %d appears twice", r.TxID)
+			}
+			open, seen[r.TxID] = r.TxID, true
+		case OpCommit:
+			if open != r.TxID {
+				t.Fatalf("commit of %d while %d open", r.TxID, open)
+			}
+			open = 0
+		default:
+			if open != r.TxID {
+				t.Fatalf("record of tx %d inside tx %d", r.TxID, open)
+			}
+		}
+	}
+}
+
+func TestRotateAndList(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Op: OpDropView, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(2); err != nil {
+		t.Fatal(err)
+	}
+	if l.Seq() != 2 {
+		t.Fatalf("Seq after rotate = %d, want 2", l.Seq())
+	}
+	if err := l.Append(&Record{Op: OpDropView, Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := ListLogs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqs, []uint64{1, 2}) {
+		t.Fatalf("ListLogs = %v, want [1 2]", seqs)
+	}
+	if err := RemoveLogsBelow(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ = ListLogs(dir)
+	if !reflect.DeepEqual(seqs, []uint64{2}) {
+		t.Fatalf("after RemoveLogsBelow: %v, want [2]", seqs)
+	}
+}
+
+func TestCheckpointRoundTripAndCorruptSkip(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, 3, []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, 5, []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	payload, seq, ok, err := LatestCheckpoint(dir)
+	if err != nil || !ok || seq != 5 || string(payload) != "beta" {
+		t.Fatalf("LatestCheckpoint = %q seq=%d ok=%v err=%v", payload, seq, ok, err)
+	}
+	// Corrupt the newest checkpoint: recovery must fall back to seq 3.
+	path := filepath.Join(dir, ckptName(5))
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload, seq, ok, err = LatestCheckpoint(dir)
+	if err != nil || !ok || seq != 3 || string(payload) != "alpha" {
+		t.Fatalf("after corruption: %q seq=%d ok=%v err=%v", payload, seq, ok, err)
+	}
+	if err := RemoveCheckpointsBelow(dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := ListCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqs, []uint64{5}) {
+		t.Fatalf("after RemoveCheckpointsBelow: %v, want [5]", seqs)
+	}
+}
+
+// TestCommitAfterFailureIsSticky simulates a closed file: once the log
+// errors, every later commit must fail rather than silently drop records.
+func TestCommitAfterFailureIsSticky(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Op: OpDropView, Name: "x"}); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+}

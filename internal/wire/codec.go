@@ -381,6 +381,12 @@ func decodeRows(buf []byte) ([]TaggedRow, error) {
 		return nil, fmt.Errorf("wire: bad row count")
 	}
 	buf = buf[k:]
+	// Bound before allocating (as in decodeExecute): the counts are
+	// peer-controlled and each claimed row/value costs at least one payload
+	// byte, so a count beyond the remaining bytes is certainly corrupt.
+	if n > uint64(len(buf)) {
+		return nil, fmt.Errorf("wire: row count %d exceeds payload", n)
+	}
 	out := make([]TaggedRow, 0, n)
 	for i := uint64(0); i < n; i++ {
 		comp, k := binary.Uvarint(buf)
@@ -393,6 +399,9 @@ func decodeRows(buf []byte) ([]TaggedRow, error) {
 			return nil, fmt.Errorf("wire: bad row width")
 		}
 		buf = buf[k:]
+		if width > uint64(len(buf)) {
+			return nil, fmt.Errorf("wire: row width %d exceeds payload", width)
+		}
 		row := make(types.Row, width)
 		var err error
 		for j := uint64(0); j < width; j++ {

@@ -64,6 +64,7 @@ import (
 	"xnf/internal/opt"
 	"xnf/internal/parser"
 	"xnf/internal/rewrite"
+	"xnf/internal/storage"
 	"xnf/internal/types"
 	"xnf/internal/vexec"
 	"xnf/internal/wire"
@@ -130,6 +131,37 @@ type DB struct {
 
 // Open creates an empty database.
 func Open() *DB { return &DB{eng: engine.Open()} }
+
+// OpenDir opens a durable database rooted at dir: existing state there is
+// recovered (newest checkpoint plus write-ahead-log suffix, with
+// uncommitted tails discarded), and every later commit is logged and
+// fsync'd before it is acknowledged — group-committed across concurrent
+// writers. A background loop checkpoints the store periodically so
+// recovery replays only a short log suffix. Call Close before exit for a
+// clean shutdown; a killed process recovers on the next OpenDir.
+func OpenDir(dir string) (*DB, error) {
+	eng, err := engine.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Close stops the checkpoint loop and flushes + detaches the write-ahead
+// log. It is a no-op on an in-memory database, and idempotent.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Checkpoint forces a checkpoint: the full store image is persisted and
+// the log truncated. Errors on an in-memory database.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// WALStats re-exports the durability counters type.
+type WALStats = storage.WALStats
+
+// WALStats reports durability counters (records, bytes, fsyncs, commit
+// group sizes, checkpoints, recovery work); Attached is false for an
+// in-memory database.
+func (db *DB) WALStats() WALStats { return db.eng.WALStats() }
 
 // Engine exposes the underlying engine for advanced use (optimizer
 // options, direct storage access).
