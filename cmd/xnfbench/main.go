@@ -8,21 +8,26 @@
 //	xnfbench -exp extraction  — Sect. 1: set-oriented vs fragmented
 //	xnfbench -exp traversal   — Sect. 5.2: cache traversal rate
 //	xnfbench -exp shipping    — Sect. 5.1/5.3: shipping strategies
+//	xnfbench -exp concurrency — mixed wire workload, server-side latency quantiles
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
+	"xnf"
 	"xnf/internal/bench"
 	"xnf/internal/workload"
+	"xnf/internal/workload/loadgen"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig3, extraction, traversal, shipping, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig3, extraction, traversal, shipping, concurrency, all")
 	latency := flag.Duration("latency", 100*time.Microsecond, "simulated per-round-trip latency")
+	clients := flag.Int("clients", 64, "concurrency: concurrent wire sessions")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -99,6 +104,36 @@ func main() {
 			fmt.Printf("%8d %12d %12v %10d %14.0f\n", r.Parts, r.Connections,
 				r.LoadTime.Round(time.Millisecond), r.Visited, r.TuplesPerSecond)
 		}
+		return nil
+	})
+
+	run("concurrency", func() error {
+		fmt.Printf("Mixed wire workload: %d concurrent sessions (OLTP lookups / analytics cursors / DDL churn / vanish mid-fetch)\n", *clients)
+		db := xnf.Open()
+		p := workload.DefaultOrg()
+		p.Depts = 64
+		p.EmpsPerDept = 16
+		if err := workload.LoadOrg(db.Engine(), p); err != nil {
+			return err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		go db.NewServer().Serve(l)
+		rep, err := loadgen.Run(loadgen.Params{
+			Addr:    l.Addr().String(),
+			Clients: *clients,
+			Ops:     15,
+			MaxEno:  p.Depts * p.EmpsPerDept,
+			Seed:    1,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Format())
+		fmt.Println("(latency quantiles and rows/s are the server's own metrics, read over the wire)")
 		return nil
 	})
 

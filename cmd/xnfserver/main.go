@@ -3,6 +3,12 @@
 //
 //	xnfserver -addr :7070 -load org
 //	xnfserver -addr :7070 -load none -data /var/lib/xnf
+//	xnfserver -addr :7070 -load org -http :7071 -stats 10s -slow 100ms
+//
+// With -http an observability listener serves /metrics (Prometheus text),
+// /debug/vars (JSON including the slow-query log) and /debug/pprof. With
+// -stats a one-line health summary is logged at the given interval; -slow
+// sets the slow-query log threshold.
 //
 // With -data the database is durable: state under the directory is
 // recovered on startup (write-ahead log + checkpoints) and every commit is
@@ -14,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 
 	"xnf"
@@ -28,6 +35,9 @@ func main() {
 	cursors := flag.Int("cursors", 0, "max open cursors per session (0 = default)")
 	block := flag.Int("block", 0, "default rows per cursor fetch block (0 = default)")
 	data := flag.String("data", "", "durable data directory (empty = in-memory)")
+	httpAddr := flag.String("http", "", "observability HTTP listener: /metrics (Prometheus), /debug/vars, /debug/pprof (empty = off)")
+	statsEvery := flag.Duration("stats", 0, "log a one-line stats summary at this interval (0 = off)")
+	slow := flag.Duration("slow", xnf.DefaultSlowQueryThreshold, "slow-query log threshold (0 disables the log)")
 	flag.Parse()
 
 	var db *xnf.DB
@@ -65,6 +75,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	db.SetSlowQueryThreshold(*slow)
+	if *httpAddr != "" {
+		// Observability on its own listener so profiling and scrapes never
+		// contend with the wire protocol.
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("xnfserver: metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", hl.Addr())
+		go http.Serve(hl, db.MetricsHandler())
+	}
+	if *statsEvery > 0 {
+		go db.LogStats(os.Stderr, *statsEvery, nil)
 	}
 
 	l, err := net.Listen("tcp", *addr)

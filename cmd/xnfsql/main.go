@@ -17,6 +17,9 @@
 //	\prepare N SQL   prepare a statement (use ? placeholders) under name N
 //	\run N ARG…      execute prepared statement N with bound arguments
 //	\cache           plan-cache and compile statistics
+//	\metrics [ADDR]  metrics snapshot — of this shell's database, or of a
+//	                 remote xnfserver at ADDR (over the wire protocol)
+//	\slow            the slow-query log (see xnf.DB.SetSlowQueryThreshold)
 //	\q               quit
 //
 // SELECT results stream through the pull-based cursor API (xnf.DB.QueryRows):
@@ -31,6 +34,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"xnf"
 	"xnf/internal/workload"
@@ -117,6 +121,7 @@ func addCounters(c xnf.Counters) {
 	sessionCounters.RowsScanned += c.RowsScanned
 	sessionCounters.RowsProduced += c.RowsProduced
 	sessionCounters.IndexLookups += c.IndexLookups
+	sessionCounters.SegmentsScanned += c.SegmentsScanned
 	sessionCounters.SegmentsPruned += c.SegmentsPruned
 	sessionCounters.SubplanRuns += c.SubplanRuns
 	sessionCounters.SpoolMaterial += c.SpoolMaterial
@@ -292,8 +297,37 @@ func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 			return true
 		}
 		fmt.Print(t.Format())
+	case `\metrics`:
+		var samples []xnf.MetricsSample
+		if len(fields) >= 2 {
+			c, err := xnf.Dial(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				return true
+			}
+			defer c.Close()
+			samples, err = c.ServerStats()
+			if err != nil {
+				fmt.Println("error:", err)
+				return true
+			}
+		} else {
+			samples = db.Metrics().Snapshot()
+		}
+		for _, s := range samples {
+			fmt.Printf("%-44s %v\n", s.Name, s.Value)
+		}
+	case `\slow`:
+		slow := db.SlowQueries()
+		if len(slow) == 0 {
+			fmt.Println("slow-query log is empty")
+			return true
+		}
+		for _, q := range slow {
+			fmt.Printf("%v  %8v  %6d rows  %s\n", q.When.Format("15:04:05"), q.Duration.Round(time.Microsecond), q.Rows, q.SQL)
+		}
 	default:
-		fmt.Println(`commands: \d  \storage  \co VIEW  \explain [ANALYZE] SELECT…  \fetchsize N  \table1 VIEW  \prepare NAME SQL…  \run NAME ARG…  \cache  \q`)
+		fmt.Println(`commands: \d  \storage  \co VIEW  \explain [ANALYZE] SELECT…  \fetchsize N  \table1 VIEW  \prepare NAME SQL…  \run NAME ARG…  \cache  \metrics [ADDR]  \slow  \q`)
 	}
 	return true
 }

@@ -1,0 +1,134 @@
+package xnf
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"xnf/internal/workload"
+	"xnf/internal/workload/loadgen"
+)
+
+// concurrencyClients is the wire-session count of the gate: 256 concurrent
+// clients in four behavior classes (prepared OLTP lookups, streamed
+// analytics cursors, DDL churn, vanishing mid-fetch).
+const concurrencyClients = 256
+
+// concurrencyOps is the per-client operation count.
+const concurrencyOps = 15
+
+// runConcurrency starts an in-process server preloaded with the
+// organization workload and drives the mixed load against it over real TCP
+// connections.
+func runConcurrency(tb testing.TB, clients, ops int) *loadgen.Report {
+	tb.Helper()
+	db := Open()
+	p := workload.DefaultOrg()
+	p.Depts = 64
+	p.EmpsPerDept = 16
+	if err := workload.LoadOrg(db.Engine(), p); err != nil {
+		tb.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer l.Close()
+	srv := db.NewServer()
+	go srv.Serve(l)
+
+	rep, err := loadgen.Run(loadgen.Params{
+		Addr:    l.Addr().String(),
+		Clients: clients,
+		Ops:     ops,
+		MaxEno:  p.Depts * p.EmpsPerDept,
+		Seed:    1,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkConcurrency is the manual-run variant; the CI gate is
+// TestConcurrencyBenchGate.
+func BenchmarkConcurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := runConcurrency(b, 64, 10)
+		b.ReportMetric(rep.RowsPerSec, "rows/s")
+		b.ReportMetric(float64(rep.P99.Nanoseconds()), "p99-ns")
+	}
+}
+
+// TestConcurrencyBenchGate drives the mixed workload at 256 concurrent
+// wire sessions — a quarter of them vanishing mid-fetch every operation —
+// and writes BENCH_concurrency.json with the server-side p50/p99 statement
+// latency and rows/s read from the server's own metrics registry. The gate
+// fails on any client error or if the server leaks a single session,
+// cursor or statement. Guarded by CONCURRENCY_BENCH_GATE=1; CI runs it as
+// a dedicated step and uploads the JSON.
+func TestConcurrencyBenchGate(t *testing.T) {
+	if os.Getenv("CONCURRENCY_BENCH_GATE") == "" {
+		t.Skip("set CONCURRENCY_BENCH_GATE=1 to run the benchmark gate")
+	}
+
+	start := time.Now()
+	rep := runConcurrency(t, concurrencyClients, concurrencyOps)
+	t.Logf("%s", rep.Format())
+
+	leakFree := rep.LeakedSessions == 0 && rep.LeakedCursors == 0 && rep.LeakedStatements == 0
+	errorFree := rep.Errors == 0
+	measured := rep.Rows > 0 && rep.P99 > 0 && rep.Vanishes > 0
+
+	report := map[string]any{
+		"benchmark": "BenchmarkConcurrency / TestConcurrencyBenchGate (concurrency_bench_test.go)",
+		"description": fmt.Sprintf(
+			"Mixed wire workload at %d concurrent TCP sessions against one in-process server (organization database, 64 depts x 16 emps): per client, %d operations of prepared OLTP point lookups, streamed analytics cursors (64-row fetch blocks), CREATE/INSERT/SELECT/DROP churn on a scratch table, or vanish-mid-fetch (connection severed with a cursor and statement open). Latency quantiles and rows/s come from the server's metrics registry over the wire (FrameStats), so they are the server's view of every statement in the run.",
+			concurrencyClients, concurrencyOps),
+		"machine": fmt.Sprintf("GOMAXPROCS=%d, %s/%s, %s", runtime.GOMAXPROCS(0), runtime.GOOS, runtime.GOARCH, runtime.Version()),
+		"results": map[string]any{
+			"clients":           rep.Clients,
+			"ops":               rep.Ops,
+			"errors":            rep.Errors,
+			"elapsed_ns":        rep.Elapsed.Nanoseconds(),
+			"statements":        rep.Statements,
+			"rows":              rep.Rows,
+			"rows_per_s":        rep.RowsPerSec,
+			"latency_p50_ns":    rep.P50.Nanoseconds(),
+			"latency_p99_ns":    rep.P99.Nanoseconds(),
+			"vanishes":          rep.Vanishes,
+			"leaked_sessions":   rep.LeakedSessions,
+			"leaked_cursors":    rep.LeakedCursors,
+			"leaked_statements": rep.LeakedStatements,
+			"wall_clock_ns":     time.Since(start).Nanoseconds(),
+		},
+	}
+	report["acceptance"] = fmt.Sprintf(
+		"zero client errors: %s (%d); zero leaked sessions/cursors/statements after %d vanishes: %s (%d/%d/%d); latency and throughput measured server-side: %s (p99=%v, %.0f rows/s)",
+		pass(errorFree), rep.Errors,
+		rep.Vanishes, pass(leakFree), rep.LeakedSessions, rep.LeakedCursors, rep.LeakedStatements,
+		pass(measured), rep.P99, rep.RowsPerSec)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_concurrency.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !errorFree {
+		t.Errorf("client errors = %d, want 0", rep.Errors)
+	}
+	if !leakFree {
+		t.Errorf("leaks after run: sessions=%d cursors=%d statements=%d, want all 0",
+			rep.LeakedSessions, rep.LeakedCursors, rep.LeakedStatements)
+	}
+	if !measured {
+		t.Errorf("measurement incomplete: rows=%d p99=%v vanishes=%d, want all > 0",
+			rep.Rows, rep.P99, rep.Vanishes)
+	}
+}

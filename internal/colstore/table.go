@@ -46,6 +46,29 @@ func (t *Table) Slots() int {
 // Segments returns the number of segments.
 func (t *Table) Segments() int { return len(t.segs) }
 
+// BytesResident reports the approximate heap bytes held by the table's
+// column vectors: typed payload capacity plus string headers and bytes.
+// Hollow segments (payload freed) contribute nothing; bitmaps and zone
+// maps are negligible and ignored. Snapshot-time observability only —
+// it walks every string of every VARCHAR column.
+func (t *Table) BytesResident() int64 {
+	var total int64
+	for _, seg := range t.segs {
+		if seg.hollow {
+			continue
+		}
+		for c := range seg.cols {
+			v := &seg.cols[c]
+			total += int64(cap(v.ints))*8 + int64(cap(v.floats))*8
+			total += int64(cap(v.strs)) * 16 // string headers
+			for _, s := range v.strs {
+				total += int64(len(s))
+			}
+		}
+	}
+	return total
+}
+
 // tail returns the last segment, allocating if none has free capacity.
 func (t *Table) tail() *segment {
 	if len(t.segs) == 0 || t.segs[len(t.segs)-1].n == SegRows {

@@ -46,6 +46,10 @@ type Database struct {
 	// Metrics counts compiles and plan-cache traffic.
 	Metrics Metrics
 
+	// stats is the per-database observability state: the metric registry
+	// plus statement-path recording handles (see stats.go).
+	stats *dbStats
+
 	// plans caches prepared statements keyed by normalized SQL; coViews
 	// caches compiled CO views by name. Both are validated against the
 	// catalog version (DDL and ANALYZE invalidate by bumping it).
@@ -64,7 +68,7 @@ type Database struct {
 // Open creates an empty database.
 func Open() *Database {
 	cat := catalog.New()
-	return &Database{
+	db := &Database{
 		cat:            cat,
 		store:          storage.NewStore(cat),
 		OptOptions:     opt.DefaultOptions(),
@@ -72,6 +76,8 @@ func Open() *Database {
 		plans:          newPlanCache(defaultPlanCacheCap),
 		coViews:        make(map[string]*coEntry),
 	}
+	db.stats = newDBStats(db)
+	return db
 }
 
 // Catalog exposes the catalog (read-mostly).
@@ -269,9 +275,9 @@ func (db *Database) ExplainAnalyze(sql string, args ...types.Value) (string, err
 		n++
 	}
 	c := rows.Counters()
-	out := fmt.Sprintf("%s-- %d row(s); rows_scanned=%d index_lookups=%d segments_pruned=%d spools=%d subplan_runs=%d join_build=%d join_probe=%d pool_workers=%d pool_fallbacks=%d\n",
+	out := fmt.Sprintf("%s-- %d row(s); rows_scanned=%d index_lookups=%d segments_pruned=%d spools=%d subplan_runs=%d join_build=%d join_probe=%d pool_workers=%d pool_fallbacks=%d segments_scanned=%d\n",
 		stmt.plan.Explain(0), n, c.RowsScanned, c.IndexLookups, c.SegmentsPruned, c.SpoolMaterial, c.SubplanRuns,
-		c.JoinBuildRows, c.JoinProbeRows, c.PoolWorkers, c.PoolFallbacks)
+		c.JoinBuildRows, c.JoinProbeRows, c.PoolWorkers, c.PoolFallbacks, c.SegmentsScanned)
 	if ws := db.store.WALStats(); ws.Attached {
 		group := float64(0)
 		if ws.Fsyncs > 0 {

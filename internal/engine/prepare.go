@@ -135,19 +135,27 @@ func (s *Stmt) Exec(args ...types.Value) (int64, error) {
 	if len(args) != s.nparams {
 		return 0, fmt.Errorf("engine: statement wants %d arguments, got %d", s.nparams, len(args))
 	}
+	start := time.Now()
+	var n int64
+	verb := byte(0)
 	switch st := s.other.(type) {
 	case *ast.InsertStmt:
-		return s.db.execInsertWith(st, types.Row(args), s.plan, s.insertRows)
+		verb = 'I'
+		n, err = s.db.execInsertWith(st, types.Row(args), s.plan, s.insertRows)
 	case *ast.UpdateStmt:
 		// The mutation was compiled at Prepare; Revalidate guarantees it
 		// matches the current catalog version.
-		return s.db.runUpdate(st, s.mut, types.Row(args))
+		verb = 'U'
+		n, err = s.db.runUpdate(st, s.mut, types.Row(args))
 	case *ast.DeleteStmt:
-		return s.db.runDelete(st, s.mut, types.Row(args))
+		verb = 'D'
+		n, err = s.db.runDelete(st, s.mut, types.Row(args))
 	default:
 		// DDL never carries placeholders (Prepare rejects it); run as-is.
-		return s.db.ExecStmt(s.other)
+		n, err = s.db.ExecStmt(s.other)
 	}
+	s.db.stats.observeStatement(verb, s.text, start, n, exec.Counters{}, err)
+	return n, err
 }
 
 // Revalidate returns a statement that is fresh against the current catalog
@@ -171,6 +179,7 @@ func (s *Stmt) Revalidate() (*Stmt, error) {
 func (db *Database) Prepare(sql string) (*Stmt, error) {
 	norm, err := normalizeSQL(sql)
 	if err != nil {
+		db.stats.stmtErrors.Inc()
 		return nil, err
 	}
 	if st := db.plans.get(norm, db.cat.Version(), db.OptOptions, db.RewriteOptions); st != nil {
@@ -178,7 +187,11 @@ func (db *Database) Prepare(sql string) (*Stmt, error) {
 		return st, nil
 	}
 	db.Metrics.CacheMisses.Add(1)
-	return db.prepareMiss(sql, norm)
+	st, err := db.prepareMiss(sql, norm)
+	if err != nil {
+		db.stats.stmtErrors.Inc()
+	}
+	return st, err
 }
 
 func (db *Database) prepareMiss(sql, norm string) (*Stmt, error) {
@@ -305,10 +318,19 @@ const defaultPlanCacheCap = 256
 // options they were compiled under; a stale entry is evicted on lookup
 // (DDL and ANALYZE invalidate by bumping the version).
 type planCache struct {
-	mu    sync.Mutex
-	cap   int
-	lru   *list.List // of *Stmt, front = most recently used
-	byKey map[string]*list.Element
+	mu        sync.Mutex
+	cap       int
+	lru       *list.List // of *Stmt, front = most recently used
+	byKey     map[string]*list.Element
+	evictions atomic.Int64 // entries evicted to make room
+}
+
+// metrics snapshots the cache size and cumulative eviction count.
+func (pc *planCache) metrics() (size, evictions int64) {
+	pc.mu.Lock()
+	size = int64(pc.lru.Len())
+	pc.mu.Unlock()
+	return size, pc.evictions.Load()
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -364,6 +386,7 @@ func (pc *planCache) put(st *Stmt, opts Options) {
 		}
 		pc.lru.Remove(victim)
 		delete(pc.byKey, victim.Value.(*Stmt).norm)
+		pc.evictions.Add(1)
 	}
 }
 

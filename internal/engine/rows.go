@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"xnf/internal/exec"
 	"xnf/internal/types"
@@ -35,6 +36,14 @@ type Rows struct {
 	cctx context.Context
 	open bool
 	err  error
+
+	// Observability: the statement is observed exactly once, when the
+	// stream finishes (drained, failed, or abandoned via Close).
+	db       *Database
+	sql      string
+	start    time.Time
+	returned int64
+	observed bool
 }
 
 // Columns describes the output row.
@@ -65,6 +74,7 @@ func (r *Rows) Next() (types.Row, error) {
 		r.closePlan()
 		return nil, nil
 	}
+	r.returned++
 	return row, nil
 }
 
@@ -86,6 +96,7 @@ func (r *Rows) Close() error {
 	if err != nil && r.err == nil {
 		r.err = err
 	}
+	r.observe()
 	return err
 }
 
@@ -102,7 +113,18 @@ func (r *Rows) closePlan() {
 		if cerr := r.plan.Close(r.ectx); cerr != nil && r.err == nil {
 			r.err = cerr
 		}
+		r.observe()
 	}
+}
+
+// observe records the finished statement in the database's registry —
+// once per Rows, on whichever close path ran first.
+func (r *Rows) observe() {
+	if r.observed || r.db == nil {
+		return
+	}
+	r.observed = true
+	r.db.stats.observeStatement('S', r.sql, r.start, r.returned, r.ectx.Counters, r.err)
 }
 
 // QueryRows compiles (or fetches from the plan cache) a SELECT and returns
@@ -137,6 +159,7 @@ func (s *Stmt) QueryRows(args ...types.Value) (*Rows, error) {
 // QueryRowsContext is QueryRows with cancellation (see
 // Database.QueryRowsContext).
 func (s *Stmt) QueryRowsContext(ctx context.Context, args ...types.Value) (*Rows, error) {
+	start := time.Now()
 	s, err := s.Revalidate()
 	if err != nil {
 		return nil, err
@@ -155,5 +178,8 @@ func (s *Stmt) QueryRowsContext(ctx context.Context, args ...types.Value) (*Rows
 	if err := plan.Open(ectx, types.Row(args)); err != nil {
 		return nil, err
 	}
-	return &Rows{cols: s.cols, plan: plan, ectx: ectx, cctx: ctx, open: true}, nil
+	return &Rows{
+		cols: s.cols, plan: plan, ectx: ectx, cctx: ctx, open: true,
+		db: s.db, sql: s.text, start: start,
+	}, nil
 }

@@ -22,8 +22,10 @@ type Counters struct {
 	HashBuilds    int64
 	RowsProduced  int64
 	SpoolMaterial int64
-	// SegmentsPruned counts column-store segments skipped by zone maps.
-	SegmentsPruned int64
+	// SegmentsScanned / SegmentsPruned count column-store segments the
+	// scan actually read versus segments skipped by zone maps.
+	SegmentsScanned int64
+	SegmentsPruned  int64
 	// JoinBuildRows / JoinProbeRows count hash-join build rows inserted
 	// into the table and probe rows that probed it (NULL-key rows, which
 	// never join, count on neither side). Both executors maintain them.

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// Handler returns the observability HTTP mux for a registry:
+//
+//	/metrics       Prometheus text exposition of every registered metric
+//	/debug/vars    expvar-style JSON snapshot: metrics, runtime.MemStats
+//	               highlights, goroutine count and whatever extra returns
+//	/debug/pprof/  the standard net/http/pprof profile endpoints
+//	               (heap, goroutine, profile, trace, …)
+//
+// extra, when non-nil, is evaluated per /debug/vars request and merged
+// into the JSON document (the engine uses it to expose the slow-query
+// log). Mount the handler on its own listener (xnfserver -http) so
+// profiling traffic never contends with the wire protocol.
+func Handler(r *Registry, extra func() map[string]any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(r.Vars(extra))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Vars renders the /debug/vars JSON document: every metric (histograms
+// flattened like Snapshot), a MemStats digest and the goroutine count,
+// merged with the extra callback's entries.
+func (r *Registry) Vars(extra func() map[string]any) []byte {
+	doc := make(map[string]any)
+	vals := make(map[string]float64, 64)
+	for _, s := range r.Snapshot() {
+		vals[s.Name] = s.Value
+	}
+	doc["metrics"] = vals
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	doc["memstats"] = map[string]uint64{
+		"heap_alloc":    m.HeapAlloc,
+		"heap_sys":      m.HeapSys,
+		"heap_idle":     m.HeapIdle,
+		"heap_released": m.HeapReleased,
+		"total_alloc":   m.TotalAlloc,
+		"num_gc":        uint64(m.NumGC),
+	}
+	doc["goroutines"] = runtime.NumGoroutine()
+	if extra != nil {
+		for k, v := range extra() {
+			doc[k] = v
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return []byte("{}")
+	}
+	return append(out, '\n')
+}

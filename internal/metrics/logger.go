@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StatsLine renders one periodic stats line: for each selected metric its
+// current value — with the per-second rate since prev for cumulative
+// counters — followed by a heap/goroutine digest. names selects and orders
+// the metrics; nil means every registered counter and gauge, name-sorted.
+// The returned map is the snapshot to pass as prev on the next call.
+func (r *Registry) StatsLine(names []string, prev map[string]int64, elapsed time.Duration) (string, map[string]int64) {
+	entries := r.sorted()
+	byName := make(map[string]*entry, len(entries))
+	for _, e := range entries {
+		byName[e.name] = e
+	}
+	if names == nil {
+		names = make([]string, 0, len(entries))
+		for _, e := range entries {
+			if e.kind != kindHistogram {
+				names = append(names, e.name)
+			}
+		}
+		sort.Strings(names)
+	}
+	next := make(map[string]int64, len(names))
+	var b strings.Builder
+	for _, name := range names {
+		e, ok := byName[name]
+		if !ok {
+			continue
+		}
+		v := e.value()
+		next[name] = v
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		if e.cumulative() && elapsed > 0 {
+			rate := float64(v-prev[name]) / elapsed.Seconds()
+			fmt.Fprintf(&b, "%s=%d(%.0f/s)", strings.TrimPrefix(name, "xnf_"), v, rate)
+		} else {
+			fmt.Fprintf(&b, "%s=%d", strings.TrimPrefix(name, "xnf_"), v)
+		}
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	fmt.Fprintf(&b, " heap=%dMB goroutines=%d", m.HeapAlloc>>20, runtime.NumGoroutine())
+	return b.String(), next
+}
+
+// LogLoop writes a timestamped one-line health log to w every interval
+// until stop closes. names selects the
+// reported metrics (nil = all counters and gauges). Run it on its own
+// goroutine; it never blocks metric recording.
+func (r *Registry) LogLoop(w io.Writer, every time.Duration, names []string, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	prev := make(map[string]int64)
+	last := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			var line string
+			line, prev = r.StatsLine(names, prev, now.Sub(last))
+			last = now
+			fmt.Fprintf(w, "%s stats: %s\n", now.Format("2006/01/02 15:04:05"), line)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package metrics is the runtime observability layer: a registry of named
+// counters, gauges and latency histograms that every other layer (wire
+// server, engine, worker pool, WAL, column store) threads its counters
+// through. The hot path is lock-free — recording is one or two atomic adds
+// with zero allocation — while snapshots (the /metrics endpoint, the
+// FrameStats wire frame, the periodic stats line) walk the registry under a
+// read lock.
+//
+// Registration is get-or-create: asking for an existing name returns the
+// existing metric, so two servers over one database share counters instead
+// of colliding. Derived metrics (plan-cache hit rate, pool occupancy, WAL
+// commit counts owned by other subsystems) register as CounterFunc/
+// GaugeFunc callbacks and are evaluated at snapshot time.
+//
+// Exposure paths, all reading the same registry:
+//
+//   - WritePrometheus: the Prometheus text format, served at /metrics.
+//   - WriteVars: an expvar-style JSON snapshot (plus MemStats and the
+//     goroutine count), served at /debug/vars.
+//   - Snapshot: a flat, sorted []Sample — the payload of the FrameStats
+//     wire frame and of xnfsql's \metrics.
+//   - LogLoop: a periodic one-line stats logger with per-interval rates.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is a programming error; it is
+// applied as-is to keep Add branch-free).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc moves the gauge up by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec moves the gauge down by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the number of histogram buckets. Bucket i counts
+// observations v with UpperBound(i-1) < v <= UpperBound(i), where
+// UpperBound(i) = 2^i; the last bucket is unbounded. With nanosecond
+// observations the range spans 1ns to ~9 minutes before the overflow
+// bucket, which covers any statement latency worth histogramming.
+const HistBuckets = 40
+
+// Histogram is a fixed log-scale (power-of-two bounds) latency histogram.
+// Observe is wait-free: two atomic adds and one atomic bucket increment,
+// no allocation. Quantiles are extracted from the bucket counts and
+// reported as the upper bound of the bucket holding the requested rank —
+// exact whenever observations fall on bucket bounds, otherwise within one
+// power of two.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// UpperBound returns the inclusive upper bound of bucket i (2^i), or
+// math.MaxInt64 for the final overflow bucket.
+func UpperBound(i int) int64 {
+	if i >= HistBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// bucketOf returns the index of the bucket counting v: the smallest i with
+// v <= 2^i, clamped to the overflow bucket.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1)) // ceil(log2(v))
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile returns the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket containing the ceil(q*count)-th smallest observation, or 0 for an
+// empty histogram. Concurrent Observes may make the snapshot approximate
+// by a few observations; bounds never regress.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < HistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return UpperBound(i)
+		}
+	}
+	return UpperBound(HistBuckets - 1)
+}
+
+// Buckets returns a snapshot of the per-bucket counts.
+func (h *Histogram) Buckets() [HistBuckets]int64 {
+	var out [HistBuckets]int64
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// kind tags what a registry entry holds.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind kind
+	c    *Counter
+	g    *Gauge
+	f    func() int64
+	h    *Histogram
+}
+
+// value evaluates the entry's current scalar (histograms report count).
+func (e *entry) value() int64 {
+	switch e.kind {
+	case kindCounter:
+		return e.c.Load()
+	case kindGauge:
+		return e.g.Load()
+	case kindCounterFunc, kindGaugeFunc:
+		return e.f()
+	case kindHistogram:
+		return e.h.Count()
+	}
+	return 0
+}
+
+// cumulative reports whether the entry is a counter (rates make sense).
+func (e *entry) cumulative() bool {
+	return e.kind == kindCounter || e.kind == kindCounterFunc
+}
+
+// Registry holds named metrics. All registration methods are get-or-create
+// and safe for concurrent use; recording through the returned handles is
+// lock-free.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+// register returns the existing entry for name (validating its kind) or
+// installs the given one.
+func (r *Registry) register(e *entry) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byName[e.name]; ok {
+		if old.kind != e.kind {
+			panic(fmt.Sprintf("metrics: %q re-registered as a different kind", e.name))
+		}
+		return old
+	}
+	r.byName[e.name] = e
+	return e
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(&entry{name: name, help: help, kind: kindCounter, c: &Counter{}}).c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(&entry{name: name, help: help, kind: kindGauge, g: &Gauge{}}).g
+}
+
+// CounterFunc registers a callback evaluated at snapshot time as a
+// cumulative counter (a subsystem that already keeps its own totals).
+func (r *Registry) CounterFunc(name, help string, f func() int64) {
+	r.register(&entry{name: name, help: help, kind: kindCounterFunc, f: f})
+}
+
+// GaugeFunc registers a callback evaluated at snapshot time as an
+// instantaneous gauge.
+func (r *Registry) GaugeFunc(name, help string, f func() int64) {
+	r.register(&entry{name: name, help: help, kind: kindGaugeFunc, f: f})
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(&entry{name: name, help: help, kind: kindHistogram, h: &Histogram{}}).h
+}
+
+// Sample is one snapshot entry. Histograms flatten into four samples:
+// name_count, name_sum, name_p50 and name_p99.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// sorted returns the entries sorted by name (stable output everywhere).
+func (r *Registry) sorted() []*entry {
+	r.mu.RLock()
+	out := make([]*entry, 0, len(r.byName))
+	for _, e := range r.byName {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Snapshot returns every metric as a flat, name-sorted sample list — the
+// payload of the FrameStats wire frame and of xnfsql's \metrics.
+func (r *Registry) Snapshot() []Sample {
+	entries := r.sorted()
+	out := make([]Sample, 0, len(entries)+8)
+	for _, e := range entries {
+		if e.kind == kindHistogram {
+			out = append(out,
+				Sample{Name: e.name + "_count", Value: float64(e.h.Count())},
+				Sample{Name: e.name + "_sum", Value: float64(e.h.Sum())},
+				Sample{Name: e.name + "_p50", Value: float64(e.h.Quantile(0.50))},
+				Sample{Name: e.name + "_p99", Value: float64(e.h.Quantile(0.99))},
+			)
+			continue
+		}
+		out = append(out, Sample{Name: e.name, Value: float64(e.value())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Value returns the current scalar value of the named metric (histogram
+// names report their observation count); ok is false for unknown names.
+func (r *Registry) Value(name string) (int64, bool) {
+	r.mu.RLock()
+	e, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	return e.value(), true
+}

@@ -1,0 +1,279 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Bucket i covers (2^(i-1), 2^i]; values on the bound land in bucket i,
+	// values one past it in bucket i+1.
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{1024, 10}, {1025, 11},
+		{1 << 38, 38}, {1<<38 + 1, 39},
+		{math.MaxInt64, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		got := -1
+		for i, n := range h.Buckets() {
+			if n != 0 {
+				got = i
+			}
+		}
+		if got != c.want {
+			t.Errorf("Observe(%d) landed in bucket %d, want %d", c.v, got, c.want)
+		}
+	}
+	if UpperBound(0) != 1 || UpperBound(10) != 1024 || UpperBound(HistBuckets-1) != math.MaxInt64 {
+		t.Fatalf("UpperBound wrong: %d %d %d", UpperBound(0), UpperBound(10), UpperBound(HistBuckets-1))
+	}
+}
+
+func TestHistogramQuantileExact(t *testing.T) {
+	// Observations placed exactly on bucket upper bounds make quantiles
+	// exact: 90 at 128ns, 9 at 1024ns, 1 at 65536ns.
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(128)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(1024)
+	}
+	h.Observe(65536)
+	if got := h.Quantile(0.50); got != 128 {
+		t.Errorf("p50 = %d, want 128", got)
+	}
+	if got := h.Quantile(0.90); got != 128 {
+		t.Errorf("p90 = %d, want 128 (rank 90 of 100 is the last 128)", got)
+	}
+	if got := h.Quantile(0.99); got != 1024 {
+		t.Errorf("p99 = %d, want 1024", got)
+	}
+	if got := h.Quantile(1.0); got != 65536 {
+		t.Errorf("p100 = %d, want 65536", got)
+	}
+	if h.Count() != 100 || h.Sum() != 90*128+9*1024+65536 {
+		t.Errorf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 {
+		t.Errorf("empty histogram p99 = %d, want 0", empty.Quantile(0.99))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	// Concurrent recording (run under -race in CI): counts must balance.
+	var h Histogram
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var total int64
+	for _, n := range h.Buckets() {
+		total += n
+	}
+	if total != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", total, workers*per)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("xnf_test_total", "help")
+	b := r.Counter("xnf_test_total", "help")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Add(3)
+	if v, ok := r.Value("xnf_test_total"); !ok || v != 3 {
+		t.Fatalf("Value = %d, %v", v, ok)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("xnf_test_total", "help")
+}
+
+// promLine matches one Prometheus sample line: name{labels} value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{le="(\+Inf|\d+)"\})? -?\d+(\.\d+)?(e[+-]\d+)?$`)
+
+func TestPrometheusOutputParseable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("xnf_frames_in_total", "Frames received.").Add(7)
+	r.Gauge("xnf_sessions_active", "Connected sessions.").Set(2)
+	r.GaugeFunc("xnf_pool_in_use", "Pool tokens out.", func() int64 { return 1 })
+	r.CounterFunc("xnf_wal_commits_total", "Commits.", func() int64 { return 9 })
+	h := r.Histogram("xnf_statement_latency_ns", "Latency.")
+	h.Observe(100)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Every non-comment line must parse; TYPE lines must precede samples.
+	seenType := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("bad TYPE %q", f[3])
+			}
+			seenType[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) && seenType[strings.TrimSuffix(name, suf)] {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if !seenType[base] {
+			t.Fatalf("sample %q has no preceding TYPE", name)
+		}
+	}
+
+	// Stable metric names: the families the scrape contract promises.
+	for _, want := range []string{
+		"xnf_frames_in_total 7",
+		"xnf_sessions_active 2",
+		"xnf_pool_in_use 1",
+		"xnf_wal_commits_total 9",
+		`xnf_statement_latency_ns_bucket{le="+Inf"} 2`,
+		"xnf_statement_latency_ns_count 2",
+		"xnf_statement_latency_ns_sum 5100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+	// Histogram buckets must be cumulative: the 5000 observation is
+	// included in every le >= 8192 bucket.
+	if !strings.Contains(out, `xnf_statement_latency_ns_bucket{le="8192"} 2`) {
+		t.Error("histogram buckets not cumulative")
+	}
+
+	// Output must be deterministic (sorted by name).
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("prometheus output not stable across calls")
+	}
+}
+
+func TestSnapshotFlattensHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("xnf_lat_ns", "")
+	for i := 0; i < 100; i++ {
+		h.Observe(128)
+	}
+	r.Counter("xnf_ops_total", "").Add(5)
+	snap := r.Snapshot()
+	got := map[string]float64{}
+	for _, s := range snap {
+		got[s.Name] = s.Value
+	}
+	for name, want := range map[string]float64{
+		"xnf_lat_ns_count": 100, "xnf_lat_ns_sum": 12800,
+		"xnf_lat_ns_p50": 128, "xnf_lat_ns_p99": 128,
+		"xnf_ops_total": 5,
+	} {
+		if got[name] != want {
+			t.Errorf("%s = %v, want %v", name, got[name], want)
+		}
+	}
+	// Sorted by name.
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q >= %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+}
+
+func TestVarsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("xnf_ops_total", "").Add(2)
+	data := r.Vars(func() map[string]any { return map[string]any{"slow_queries": []string{"SELECT 1"}} })
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("vars not valid JSON: %v", err)
+	}
+	m, ok := doc["metrics"].(map[string]any)
+	if !ok || m["xnf_ops_total"] != float64(2) {
+		t.Fatalf("metrics section wrong: %v", doc["metrics"])
+	}
+	if _, ok := doc["memstats"]; !ok {
+		t.Fatal("memstats missing")
+	}
+	if _, ok := doc["goroutines"]; !ok {
+		t.Fatal("goroutines missing")
+	}
+	if _, ok := doc["slow_queries"]; !ok {
+		t.Fatal("extra vars not merged")
+	}
+}
+
+func TestStatsLineRates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("xnf_ops_total", "")
+	g := r.Gauge("xnf_open", "")
+	c.Add(10)
+	g.Set(3)
+	line, snap := r.StatsLine(nil, nil, 0)
+	if !strings.Contains(line, "ops_total=10") || !strings.Contains(line, "open=3") {
+		t.Fatalf("line = %q", line)
+	}
+	if !strings.Contains(line, "goroutines=") {
+		t.Fatalf("line missing runtime digest: %q", line)
+	}
+	c.Add(20)
+	line, _ = r.StatsLine([]string{"xnf_ops_total"}, snap, 2*time.Second)
+	if !strings.Contains(line, "ops_total=30(10/s)") {
+		t.Fatalf("rate line = %q", line)
+	}
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers followed by samples, metrics
+// sorted by name, histograms as cumulative _bucket series with le labels
+// plus _sum and _count. Counter-func and gauge-func callbacks are
+// evaluated inline.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, e := range r.sorted() {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		typ := "gauge"
+		if e.cumulative() {
+			typ = "counter"
+		}
+		if e.kind == kindHistogram {
+			typ = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, typ); err != nil {
+			return err
+		}
+		if e.kind != kindHistogram {
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, e.value()); err != nil {
+				return err
+			}
+			continue
+		}
+		counts := e.h.Buckets()
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < HistBuckets-1 {
+				le = fmt.Sprintf("%d", UpperBound(i))
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", e.name, e.h.Sum(), e.name, e.h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -31,8 +31,9 @@ type durability struct {
 	dir string
 	log *wal.Log
 
-	ckptMu      sync.Mutex // single-flight checkpoints
-	checkpoints uint64     // completed checkpoints (guarded by ckptMu)
+	ckptMu       sync.Mutex    // single-flight checkpoints
+	checkpoints  uint64        // completed checkpoints (guarded by ckptMu)
+	lastCkptTime time.Duration // wall time of the latest checkpoint (guarded by ckptMu)
 
 	// recovery stats, written once during OpenDurable.
 	recoveredRecords uint64
@@ -51,6 +52,7 @@ type WALStats struct {
 	MaxGroup         uint64 // largest commit group retired by one fsync
 	GroupSum         uint64 // sum of commit group sizes
 	Checkpoints      uint64 // checkpoints completed since open
+	LastCkptMillis   int64  // wall time the latest checkpoint took
 	RecoveredRecords uint64 // records replayed by recovery at open
 	RecoveredTx      uint64 // transactions replayed by recovery at open
 	RecoveryMillis   int64  // wall time recovery took at open
@@ -66,6 +68,7 @@ func (s *Store) WALStats() WALStats {
 	ls := d.log.Stats()
 	d.ckptMu.Lock()
 	ckpts := d.checkpoints
+	lastCkpt := d.lastCkptTime
 	d.ckptMu.Unlock()
 	return WALStats{
 		Attached:         true,
@@ -77,6 +80,7 @@ func (s *Store) WALStats() WALStats {
 		MaxGroup:         ls.MaxGroup,
 		GroupSum:         ls.GroupSum,
 		Checkpoints:      ckpts,
+		LastCkptMillis:   lastCkpt.Milliseconds(),
 		RecoveredRecords: d.recoveredRecords,
 		RecoveredTx:      d.recoveredTx,
 		RecoveryMillis:   d.recoveryDuration.Milliseconds(),
@@ -344,6 +348,7 @@ func (s *Store) Checkpoint() error {
 	}
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	start := time.Now()
 
 	s.txGate.Lock()
 	newSeq := d.log.Seq() + 1
@@ -364,6 +369,7 @@ func (s *Store) Checkpoint() error {
 		return err
 	}
 	d.checkpoints++
+	d.lastCkptTime = time.Since(start)
 	return nil
 }
 

@@ -123,6 +123,25 @@ func (s *Store) Table(name string) (*TableData, error) {
 	return td, nil
 }
 
+// ColStoreStats sums the column-store footprint over every table:
+// total segments and approximate resident heap bytes. Row-major tables
+// contribute nothing. Snapshot-time observability only.
+func (s *Store) ColStoreStats() (segments int, bytes int64) {
+	s.mu.RLock()
+	tds := make([]*TableData, 0, len(s.tables))
+	for _, td := range s.tables {
+		tds = append(tds, td)
+	}
+	s.mu.RUnlock()
+	for _, td := range tds {
+		if segs, b, ok := td.ColStats(); ok {
+			segments += segs
+			bytes += b
+		}
+	}
+	return segments, bytes
+}
+
 // CreateIndex builds a secondary index over existing data.
 func (s *Store) CreateIndex(idx *catalog.Index) error {
 	defer s.ddlGate()()

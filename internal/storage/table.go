@@ -104,6 +104,19 @@ func (t *TableData) TypedColumnViews(bounds []colstore.ColBound) (views []colsto
 	return views, pruned, true
 }
 
+// ColStats reports the column-store footprint of the table — segment
+// count and approximate resident heap bytes — or ok=false for a
+// row-major heap.
+func (t *TableData) ColStats() (segments int, bytes int64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ch, isCol := t.heap.(*colHeap)
+	if !isCol {
+		return 0, 0, false
+	}
+	return ch.t.Segments(), ch.t.BytesResident(), true
+}
+
 // Insert validates the row against the schema (arity, types, NOT NULL,
 // primary-key uniqueness), appends it and maintains indexes and stats.
 func (t *TableData) Insert(row types.Row) (RID, error) {

@@ -239,7 +239,7 @@ func (j *BatchHashJoin) parallelBuild(ctx *exec.Ctx, params types.Row, scan *Sca
 	if err != nil {
 		return false, err
 	}
-	morsels, total, pruned := tableMorsels(td, scan.Boxed, ResolveBounds(scan.Prune, params))
+	morsels, total, scanned, pruned := tableMorsels(td, scan.Boxed, ResolveBounds(scan.Prune, params))
 	minRows := j.MinRows
 	if minRows <= 0 {
 		minRows = DefaultParallelMinRows
@@ -263,6 +263,7 @@ func (j *BatchHashJoin) parallelBuild(ctx *exec.Ctx, params types.Row, scan *Sca
 	w := grant.N() + 1
 	add(&ctx.Counters.PoolWorkers, int64(grant.N()))
 	add(&ctx.Counters.RowsScanned, int64(total))
+	add(&ctx.Counters.SegmentsScanned, int64(scanned))
 	add(&ctx.Counters.SegmentsPruned, int64(pruned))
 
 	// Workers hash disjoint morsel stripes into private entry runs; the

@@ -45,14 +45,15 @@ func (m morsel) liveRows() int {
 // tableMorsels splits a stored table into parallel scan units — one
 // colstore segment per morsel (typed by default, boxed for the
 // measurement baseline), or fixed-size row ranges for row-major tables —
-// and reports the total live row count plus the number of typed segments
-// the zone-map bounds pruned. Shared by ParallelAggScan and the
-// morsel-parallel hash-join build.
-func tableMorsels(td *storage.TableData, boxed bool, bounds []colstore.ColBound) (morsels []morsel, total, pruned int) {
+// and reports the total live row count plus the number of column-store
+// segments actually read and the number the zone-map bounds pruned.
+// Shared by ParallelAggScan and the morsel-parallel hash-join build.
+func tableMorsels(td *storage.TableData, boxed bool, bounds []colstore.ColBound) (morsels []morsel, total, scanned, pruned int) {
 	colMode := false
 	if boxed {
 		if views, ok := td.ColumnViews(); ok {
 			colMode = true
+			scanned = len(views)
 			for i := range views {
 				if views[i].Rows() > 0 {
 					morsels = append(morsels, morsel{bview: &views[i]})
@@ -61,6 +62,7 @@ func tableMorsels(td *storage.TableData, boxed bool, bounds []colstore.ColBound)
 		}
 	} else if views, p, ok := td.TypedColumnViews(bounds); ok {
 		colMode = true
+		scanned = len(views)
 		pruned = p
 		for i := range views {
 			if views[i].Rows() > 0 {
@@ -81,7 +83,7 @@ func tableMorsels(td *storage.TableData, boxed bool, bounds []colstore.ColBound)
 	for _, m := range morsels {
 		total += m.liveRows()
 	}
-	return morsels, total, pruned
+	return morsels, total, scanned, pruned
 }
 
 // ParallelAggScan is the morsel-parallel fusion of scan → filter →
@@ -133,7 +135,8 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 	if err != nil {
 		return err
 	}
-	morsels, total, pruned := tableMorsels(td, p.Boxed, ResolveBounds(p.Prune, params))
+	morsels, total, scanned, pruned := tableMorsels(td, p.Boxed, ResolveBounds(p.Prune, params))
+	add(&ctx.Counters.SegmentsScanned, int64(scanned))
 	add(&ctx.Counters.SegmentsPruned, int64(pruned))
 	add(&ctx.Counters.RowsScanned, int64(total))
 

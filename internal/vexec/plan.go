@@ -172,11 +172,13 @@ func (s *ScanBatch) Open(ctx *exec.Ctx, params types.Row) error {
 	if s.Boxed {
 		if views, ok := td.ColumnViews(); ok {
 			s.colMode = true
+			add(&ctx.Counters.SegmentsScanned, int64(len(views)))
 			s.cc.open(nil, views, params)
 			return nil
 		}
 	} else if views, pruned, ok := td.TypedColumnViews(ResolveBounds(s.Prune, params)); ok {
 		s.colMode = true
+		add(&ctx.Counters.SegmentsScanned, int64(len(views)))
 		add(&ctx.Counters.SegmentsPruned, int64(pruned))
 		s.cc.open(views, nil, params)
 		return nil

@@ -11,6 +11,7 @@ import (
 
 	"xnf/internal/cocache"
 	"xnf/internal/core"
+	"xnf/internal/metrics"
 	"xnf/internal/types"
 )
 
@@ -86,6 +87,18 @@ func (c *Client) Close() error {
 		writeFrame(c.w, FrameClose, nil)
 		c.w.Flush()
 	}
+	return c.conn.Close()
+}
+
+// Abandon severs the connection without the protocol goodbye, as a
+// crashed or vanished client would. The server must tear the session down
+// (cursors, statements, goroutine) on its own; load generators and leak
+// tests use this to exercise that path. Idempotent.
+func (c *Client) Abandon() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	return c.conn.Close()
 }
 
@@ -549,6 +562,24 @@ func (c *Client) QueryRows(sql string, args ...types.Value) (*Rows, error) {
 	}
 	rows.stmt = st
 	return rows, nil
+}
+
+// ServerStats fetches a snapshot of the server's metric registry over the
+// native protocol (FrameStats): every counter, gauge and flattened
+// histogram as name-sorted samples — the same data the server's /metrics
+// endpoint exposes over HTTP. xnfsql's \metrics is built on this.
+func (c *Client) ServerStats() ([]metrics.Sample, error) {
+	if err := c.send(FrameStats, nil); err != nil {
+		return nil, err
+	}
+	t, payload, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	if t != FrameStats {
+		return nil, fmt.Errorf("wire: unexpected frame %d", t)
+	}
+	return decodeStats(payload)
 }
 
 // Exec runs DML/DDL on the server (the cache's write-back path).

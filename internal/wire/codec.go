@@ -31,6 +31,8 @@
 //	FrameCursor      S→C  uvarint cursor id             cursor handle; first block of rows follows
 //	FrameFetchRows   C→S  uvarint cursor id, varint n   demand the next n rows (n <= 0: cursor default)
 //	FrameCloseCursor C→S  uvarint cursor id             close the cursor early; FrameDone(served)
+//	FrameStats       C→S  (empty)                       request a metrics snapshot
+//	FrameStats       S→C  uvarint count, samples        name/value samples (see encodeStats)
 //
 // The cursor frames are the streaming result path: FrameExecCursor opens a
 // session-scoped cursor whose engine-side plan is drained lazily, and each
@@ -44,10 +46,12 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 
+	"xnf/internal/metrics"
 	"xnf/internal/types"
 )
 
@@ -74,6 +78,7 @@ const (
 	FrameCursor                           // server → client: cursor id (first row block follows)
 	FrameFetchRows                        // client → server: demand the next block of cursor rows
 	FrameCloseCursor                      // client → server: close a cursor early
+	FrameStats                            // both: request (empty) / metrics snapshot response
 )
 
 // maxFrame bounds a frame payload (defense against corrupt or hostile
@@ -104,6 +109,12 @@ func writeFrame(w io.Writer, t FrameType, payload []byte) (int, error) {
 	return len(payload) + 5, nil
 }
 
+// errProtocol marks stream-corruption errors (as opposed to I/O errors
+// from a dropped connection). The server uses it to classify disconnects:
+// errors.Is(err, errProtocol) means the peer sent garbage, anything else
+// means the peer vanished.
+var errProtocol = errors.New("wire: protocol error")
+
 // readFrame reads one frame.
 func readFrame(r io.Reader) (FrameType, []byte, int, error) {
 	var hdr [5]byte
@@ -112,7 +123,7 @@ func readFrame(r io.Reader) (FrameType, []byte, int, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxFrame {
-		return 0, nil, 0, fmt.Errorf("wire: protocol error: frame of %d bytes exceeds %d-byte limit", n, maxFrame)
+		return 0, nil, 0, fmt.Errorf("%w: frame of %d bytes exceeds %d-byte limit", errProtocol, n, maxFrame)
 	}
 	// Read in bounded chunks: allocation tracks delivery, so a peer that
 	// claims a large frame and hangs up costs one chunk, not the claim.
@@ -353,6 +364,51 @@ func decodePrepared(buf []byte) (uint64, int, []string, error) {
 		buf = buf[k+int(n):]
 	}
 	return id, int(np), cols, nil
+}
+
+// --- metrics snapshot codec ---
+
+// encodeStats packs a FrameStats response: uvarint sample count, then per
+// sample a uvarint-length-prefixed name and the value as 8 little-endian
+// float64 bits.
+func encodeStats(samples []metrics.Sample) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(samples)))
+	for _, s := range samples {
+		buf = binary.AppendUvarint(buf, uint64(len(s.Name)))
+		buf = append(buf, s.Name...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Value))
+	}
+	return buf
+}
+
+// decodeStats unpacks a FrameStats response.
+func decodeStats(buf []byte) ([]metrics.Sample, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, fmt.Errorf("wire: bad sample count")
+	}
+	buf = buf[k:]
+	// Bound before allocating (as in decodeRows): each claimed sample needs
+	// at least 9 payload bytes, so a count beyond that is certainly corrupt.
+	if n > uint64(len(buf))/9 {
+		return nil, fmt.Errorf("wire: sample count %d exceeds payload", n)
+	}
+	out := make([]metrics.Sample, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, k := binary.Uvarint(buf)
+		if k <= 0 || l > uint64(len(buf[k:])) {
+			return nil, fmt.Errorf("wire: bad sample name length")
+		}
+		name := string(buf[k : k+int(l)])
+		buf = buf[k+int(l):]
+		if len(buf) < 8 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+		buf = buf[8:]
+		out = append(out, metrics.Sample{Name: name, Value: v})
+	}
+	return out, nil
 }
 
 // TaggedRow is one tuple of the heterogeneous stream.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"xnf/internal/metrics"
 	"xnf/internal/types"
 )
 
@@ -28,6 +29,10 @@ func FuzzFrame(f *testing.F) {
 	seed(FramePrepared, encodePrepared(3, 2, []string{"a", "b"}))
 	seed(FrameRows, encodeRows([]TaggedRow{{CompID: 1, Row: row}, {CompID: 2, Row: nil}}))
 	seed(FrameDone, nil)
+	seed(FrameStats, encodeStats([]metrics.Sample{
+		{Name: "xnf_sessions_active", Value: 3},
+		{Name: "xnf_statement_latency_ns_p99", Value: 1048576},
+	}))
 	// Hostile seeds: oversized length claim, truncated header, garbage.
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
 	f.Add([]byte{5, 0, 0})
@@ -72,6 +77,12 @@ func FuzzFrame(f *testing.F) {
 			re := encodeRows(rows)
 			if rows2, err := decodeRows(re); err != nil || len(rows2) != len(rows) {
 				t.Fatalf("rows round trip changed %d -> %d (err=%v)", len(rows), len(rows2), err)
+			}
+		}
+		if samples, err := decodeStats(data); err == nil {
+			re := encodeStats(samples)
+			if samples2, err := decodeStats(re); err != nil || len(samples2) != len(samples) {
+				t.Fatalf("stats round trip changed %d -> %d (err=%v)", len(samples), len(samples2), err)
 			}
 		}
 	})

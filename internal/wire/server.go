@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -93,6 +94,19 @@ type Server struct {
 
 	mu       sync.Mutex
 	listener net.Listener
+
+	// st holds the server's metric handles, registered lazily in the
+	// database's registry (get-or-create: two servers over one database
+	// share the counters).
+	st       *serverStats
+	statOnce sync.Once
+}
+
+// stats returns the server's metric handles, registering them on first
+// use so a zero-value Server literal works without NewServer.
+func (s *Server) stats() *serverStats {
+	s.statOnce.Do(func() { s.st = newServerStats(s.DB.Registry()) })
+	return s.st
 }
 
 // DefaultMaxCursors is the per-session open-cursor bound when the server
@@ -105,7 +119,9 @@ const DefaultCursorBlockRows = 1024
 
 // NewServer wraps a database.
 func NewServer(db *engine.Database) *Server {
-	return &Server{DB: db, Opts: opt.DefaultOptions()}
+	s := &Server{DB: db, Opts: opt.DefaultOptions()}
+	s.stats() // register the wire metric families up front, so scrapes see them before the first connection
+	return s
 }
 
 // Serve accepts connections until the listener closes.
@@ -147,6 +163,11 @@ type session struct {
 
 	cursors    map[uint64]*cursor
 	nextCursor uint64
+
+	// st mirrors the session's statement/cursor tables into the server's
+	// open-statement/open-cursor gauges, so leaks show up as nonzero
+	// gauges after every session is gone.
+	st *serverStats
 }
 
 // cursor is one open server-side result stream: a lazily driven
@@ -162,12 +183,26 @@ type cursor struct {
 // dropped. handle defers it, so a client that vanishes mid-fetch leaks
 // nothing.
 func (sess *session) teardown() {
-	for id, cur := range sess.cursors {
-		cur.rows.Close()
-		delete(sess.cursors, id)
+	for id := range sess.cursors {
+		sess.closeCursor(id)
 	}
+	sess.st.openStmts.Add(-int64(len(sess.stmts)))
 	sess.stmts = nil
 	sess.pending = nil
+}
+
+// closeCursor releases one cursor: the engine stream closes (returning
+// pooled batches) and the open-cursor gauge drops. Every path that
+// forgets a cursor — explicit close, end of stream, mid-stream error,
+// session teardown — funnels through here so the gauge never drifts.
+func (sess *session) closeCursor(id uint64) {
+	cur, ok := sess.cursors[id]
+	if !ok {
+		return
+	}
+	cur.rows.Close()
+	delete(sess.cursors, id)
+	sess.st.openCursors.Dec()
 }
 
 // maxSessionStmts bounds the per-connection statement table (defense
@@ -176,17 +211,36 @@ const maxSessionStmts = 1024
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	st := s.stats()
+	st.sessionsTotal.Inc()
+	st.sessionsActive.Inc()
+	defer st.sessionsActive.Dec()
 	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
-	sess := &session{}
+	w := &srvWriter{w: bufio.NewWriter(conn), st: st}
+	sess := &session{st: st}
 	defer sess.teardown()
 	for {
-		t, payload, _, err := readFrame(r)
+		t, payload, nread, err := readFrame(r)
 		if err != nil {
+			if errors.Is(err, errProtocol) {
+				// An undecodable frame, not a dropped connection: report
+				// the cause to the peer (best effort — the stream is
+				// already suspect) instead of silently hanging up.
+				st.discDecode.Inc()
+				s.sendError(w, err.Error())
+				w.flush()
+			} else {
+				// EOF or a network error: the client vanished without a
+				// FrameClose. Teardown reclaims its cursors/statements.
+				st.discVanish.Inc()
+			}
 			return
 		}
+		st.framesIn.Inc()
+		st.bytesIn.Add(int64(nread))
 		switch t {
 		case FrameClose:
+			st.discClean.Inc()
 			return
 		case FrameQueryCO:
 			err = s.handleQueryCO(w, sess, string(payload))
@@ -209,28 +263,39 @@ func (s *Server) handle(conn net.Conn) {
 			err = s.handleFetchRows(w, sess, payload)
 		case FrameCloseCursor:
 			err = s.handleCloseCursor(w, sess, payload)
+		case FrameStats:
+			err = s.handleStats(w)
 		default:
 			err = s.sendError(w, fmt.Sprintf("unexpected frame %d", t))
 		}
-		if err != nil {
-			return
+		if err == nil {
+			err = w.flush()
 		}
-		if err := w.Flush(); err != nil {
+		if err != nil {
+			// Handlers only fail when a response write fails (request
+			// decode problems are answered with FrameError instead).
+			st.discWrite.Inc()
 			return
 		}
 	}
 }
 
-func (s *Server) sendError(w *bufio.Writer, msg string) error {
-	_, err := writeFrame(w, FrameError, []byte(msg))
-	return err
+func (s *Server) sendError(w *srvWriter, msg string) error {
+	return w.writeFrame(FrameError, []byte(msg))
+}
+
+// handleStats answers a FrameStats request with a snapshot of the
+// database registry — engine, pool, WAL, colstore and wire families in
+// one flat sample list, the same data /metrics exposes over HTTP.
+func (s *Server) handleStats(w *srvWriter) error {
+	return w.writeFrame(FrameStats, encodeStats(s.DB.Registry().Snapshot()))
 }
 
 // handleQueryCO compiles and extracts the CO set-oriented, sends the
 // schema frame and keeps the tuple stream for subsequent FETCHes. The
 // compilation comes from the engine's CO view cache, so only the first
 // request for a view (per catalog version) pays the XNF rewrite.
-func (s *Server) handleQueryCO(w *bufio.Writer, sess *session, view string) error {
+func (s *Server) handleQueryCO(w *srvWriter, sess *session, view string) error {
 	var res *core.COResult
 	var err error
 	if s.Opts == s.DB.OptOptions {
@@ -261,14 +326,14 @@ func (s *Server) handleQueryCO(w *bufio.Writer, sess *session, view string) erro
 	if err := gob.NewEncoder(&buf).Encode(metas); err != nil {
 		return s.sendError(w, err.Error())
 	}
-	_, err = writeFrame(w, FrameSchema, buf.Bytes())
+	err = w.writeFrame(FrameSchema, buf.Bytes())
 	return err
 }
 
 // handleFetch ships up to n pending tuples (n < 0 = everything, chunked).
 // Every response ends with FrameMore (stream continues — issue another
 // FETCH) or FrameDone (exhausted), so the exchange is deterministic.
-func (s *Server) handleFetch(w *bufio.Writer, sess *session, n int) error {
+func (s *Server) handleFetch(w *srvWriter, sess *session, n int) error {
 	const chunk = 1024
 	remaining := len(sess.pending) - sess.pos
 	want := n
@@ -281,23 +346,23 @@ func (s *Server) handleFetch(w *bufio.Writer, sess *session, n int) error {
 			batch = chunk
 		}
 		rows := sess.pending[sess.pos : sess.pos+batch]
-		if _, err := writeFrame(w, FrameRows, encodeRows(rows)); err != nil {
+		if err := w.writeFrame(FrameRows, encodeRows(rows)); err != nil {
 			return err
 		}
 		sess.pos += batch
 		want -= batch
 	}
 	if sess.pos >= len(sess.pending) {
-		_, err := writeFrame(w, FrameDone, binary.AppendVarint(nil, int64(len(sess.pending))))
+		err := w.writeFrame(FrameDone, binary.AppendVarint(nil, int64(len(sess.pending))))
 		return err
 	}
-	_, err := writeFrame(w, FrameMore, nil)
+	err := w.writeFrame(FrameMore, nil)
 	return err
 }
 
 // handlePrepare compiles (or fetches from the shared plan cache) a
 // statement and registers it in the session's statement table.
-func (s *Server) handlePrepare(w *bufio.Writer, sess *session, sql string) error {
+func (s *Server) handlePrepare(w *srvWriter, sess *session, sql string) error {
 	if sess.stmts == nil {
 		sess.stmts = make(map[uint64]*engine.Stmt)
 	}
@@ -311,17 +376,18 @@ func (s *Server) handlePrepare(w *bufio.Writer, sess *session, sql string) error
 	sess.nextID++
 	id := sess.nextID
 	sess.stmts[id] = st
+	sess.st.openStmts.Inc()
 	var cols []string
 	for _, c := range st.Columns() {
 		cols = append(cols, c.Name)
 	}
-	_, err = writeFrame(w, FramePrepared, encodePrepared(id, st.NumParams(), cols))
+	err = w.writeFrame(FramePrepared, encodePrepared(id, st.NumParams(), cols))
 	return err
 }
 
 // handleExecute runs a session statement with bound arguments: SELECTs
 // ship rows + Done(count), DML ships Done(affected).
-func (s *Server) handleExecute(w *bufio.Writer, sess *session, payload []byte) error {
+func (s *Server) handleExecute(w *srvWriter, sess *session, payload []byte) error {
 	id, args, err := decodeExecute(payload)
 	if err != nil {
 		return s.sendError(w, err.Error())
@@ -339,36 +405,31 @@ func (s *Server) handleExecute(w *bufio.Writer, sess *session, payload []byte) e
 	}
 	sess.stmts[id] = st
 	if st.IsQuery() {
-		res, err := st.Query(args...)
+		rows, err := st.QueryRows(args...)
 		if err != nil {
 			return s.sendError(w, err.Error())
 		}
-		rows := make([]TaggedRow, len(res.Rows))
-		for i, r := range res.Rows {
-			rows[i] = TaggedRow{CompID: 0, Row: r}
-		}
-		if _, err := writeFrame(w, FrameRows, encodeRows(rows)); err != nil {
-			return err
-		}
-		_, err = writeFrame(w, FrameDone, binary.AppendVarint(nil, int64(len(rows))))
-		return err
+		return s.streamRows(w, rows)
 	}
 	n, err := st.Exec(args...)
 	if err != nil {
 		return s.sendError(w, err.Error())
 	}
-	_, err = writeFrame(w, FrameDone, binary.AppendVarint(nil, n))
+	err = w.writeFrame(FrameDone, binary.AppendVarint(nil, n))
 	return err
 }
 
 // handleCloseStmt drops a statement from the session table.
-func (s *Server) handleCloseStmt(w *bufio.Writer, sess *session, payload []byte) error {
+func (s *Server) handleCloseStmt(w *srvWriter, sess *session, payload []byte) error {
 	id, k := binary.Uvarint(payload)
 	if k <= 0 {
 		return s.sendError(w, "bad statement id")
 	}
-	delete(sess.stmts, id)
-	_, err := writeFrame(w, FrameDone, binary.AppendVarint(nil, 0))
+	if _, ok := sess.stmts[id]; ok {
+		delete(sess.stmts, id)
+		sess.st.openStmts.Dec()
+	}
+	err := w.writeFrame(FrameDone, binary.AppendVarint(nil, 0))
 	return err
 }
 
@@ -376,7 +437,7 @@ func (s *Server) handleCloseStmt(w *bufio.Writer, sess *session, payload []byte)
 // engine plan starts executing but no row is produced yet; blocks are
 // pulled lazily per fetch, so server memory per cursor is O(block), not
 // O(result). The response is FrameCursor(id) followed by the first block.
-func (s *Server) handleExecCursor(w *bufio.Writer, sess *session, payload []byte) error {
+func (s *Server) handleExecCursor(w *srvWriter, sess *session, payload []byte) error {
 	id, block, args, err := decodeExecCursor(payload)
 	if err != nil {
 		return s.sendError(w, err.Error())
@@ -417,14 +478,15 @@ func (s *Server) handleExecCursor(w *bufio.Writer, sess *session, payload []byte
 	cid := sess.nextCursor
 	cur := &cursor{rows: rows, block: block}
 	sess.cursors[cid] = cur
-	if _, err := writeFrame(w, FrameCursor, binary.AppendUvarint(nil, cid)); err != nil {
+	sess.st.openCursors.Inc()
+	if err := w.writeFrame(FrameCursor, binary.AppendUvarint(nil, cid)); err != nil {
 		return err
 	}
 	return s.streamBlock(w, sess, cid, cur, block)
 }
 
 // handleFetchRows ships the next block of an open cursor.
-func (s *Server) handleFetchRows(w *bufio.Writer, sess *session, payload []byte) error {
+func (s *Server) handleFetchRows(w *srvWriter, sess *session, payload []byte) error {
 	cid, n, err := decodeFetchRows(payload)
 	if err != nil {
 		return s.sendError(w, err.Error())
@@ -442,7 +504,7 @@ func (s *Server) handleFetchRows(w *bufio.Writer, sess *session, payload []byte)
 // handleCloseCursor closes a cursor early, releasing its engine resources.
 // Closing an unknown id is a no-op (the server auto-closes a cursor on
 // FrameDone, so a drained client's close must stay idempotent).
-func (s *Server) handleCloseCursor(w *bufio.Writer, sess *session, payload []byte) error {
+func (s *Server) handleCloseCursor(w *srvWriter, sess *session, payload []byte) error {
 	cid, k := binary.Uvarint(payload)
 	if k <= 0 {
 		return s.sendError(w, "bad cursor id")
@@ -450,10 +512,9 @@ func (s *Server) handleCloseCursor(w *bufio.Writer, sess *session, payload []byt
 	var served int64
 	if cur, ok := sess.cursors[cid]; ok {
 		served = cur.served
-		cur.rows.Close()
-		delete(sess.cursors, cid)
+		sess.closeCursor(cid)
 	}
-	_, err := writeFrame(w, FrameDone, binary.AppendVarint(nil, served))
+	err := w.writeFrame(FrameDone, binary.AppendVarint(nil, served))
 	return err
 }
 
@@ -467,7 +528,7 @@ const cursorChunkRows = 1024
 // (stream exhausted — the cursor is closed and forgotten) or FrameError (the
 // plan failed mid-stream — likewise closed). At most cursorChunkRows rows
 // are held in memory between pulls.
-func (s *Server) streamBlock(w *bufio.Writer, sess *session, cid uint64, cur *cursor, n int) error {
+func (s *Server) streamBlock(w *srvWriter, sess *session, cid uint64, cur *cursor, n int) error {
 	buf := make([]TaggedRow, 0, min(n, cursorChunkRows))
 	for n > 0 {
 		buf = buf[:0]
@@ -476,8 +537,7 @@ func (s *Server) streamBlock(w *bufio.Writer, sess *session, cid uint64, cur *cu
 		for len(buf) < want {
 			row, err := cur.rows.Next()
 			if err != nil {
-				cur.rows.Close()
-				delete(sess.cursors, cid)
+				sess.closeCursor(cid)
 				return s.sendError(w, err.Error())
 			}
 			if row == nil {
@@ -489,44 +549,72 @@ func (s *Server) streamBlock(w *bufio.Writer, sess *session, cid uint64, cur *cu
 		if len(buf) > 0 {
 			cur.served += int64(len(buf))
 			n -= len(buf)
-			if _, err := writeFrame(w, FrameRows, encodeRows(buf)); err != nil {
+			if err := w.writeFrame(FrameRows, encodeRows(buf)); err != nil {
 				return err
 			}
 		}
 		if eof {
-			cur.rows.Close()
-			delete(sess.cursors, cid)
-			_, err := writeFrame(w, FrameDone, binary.AppendVarint(nil, cur.served))
+			sess.closeCursor(cid)
+			err := w.writeFrame(FrameDone, binary.AppendVarint(nil, cur.served))
 			return err
 		}
 	}
-	_, err := writeFrame(w, FrameMore, nil)
+	err := w.writeFrame(FrameMore, nil)
 	return err
 }
 
-// handleSQL runs a plain SELECT and ships the rows (component 0).
-func (s *Server) handleSQL(w *bufio.Writer, sql string) error {
-	res, err := s.DB.Query(sql)
+// handleSQL runs a plain SELECT and streams the rows (component 0).
+func (s *Server) handleSQL(w *srvWriter, sql string) error {
+	rows, err := s.DB.QueryRows(sql)
 	if err != nil {
 		return s.sendError(w, err.Error())
 	}
-	rows := make([]TaggedRow, len(res.Rows))
-	for i, r := range res.Rows {
-		rows[i] = TaggedRow{CompID: 0, Row: r}
+	return s.streamRows(w, rows)
+}
+
+// streamRows drains an engine cursor into chunked FrameRows frames
+// terminated by FrameDone(count) — the bounded-memory result path shared
+// by handleSQL and handleExecute. Like the cursor protocol's streamBlock,
+// at most cursorChunkRows rows are held between pulls, so the server
+// never materializes a result set; unlike it, the whole stream ships in
+// one exchange. A mid-stream plan failure turns into FrameError and the
+// connection stays usable.
+func (s *Server) streamRows(w *srvWriter, rows *engine.Rows) error {
+	defer rows.Close()
+	buf := make([]TaggedRow, 0, cursorChunkRows)
+	var served int64
+	for {
+		buf = buf[:0]
+		eof := false
+		for len(buf) < cursorChunkRows {
+			row, err := rows.Next()
+			if err != nil {
+				return s.sendError(w, err.Error())
+			}
+			if row == nil {
+				eof = true
+				break
+			}
+			buf = append(buf, TaggedRow{CompID: 0, Row: row})
+		}
+		if len(buf) > 0 {
+			served += int64(len(buf))
+			if err := w.writeFrame(FrameRows, encodeRows(buf)); err != nil {
+				return err
+			}
+		}
+		if eof {
+			return w.writeFrame(FrameDone, binary.AppendVarint(nil, served))
+		}
 	}
-	if _, err := writeFrame(w, FrameRows, encodeRows(rows)); err != nil {
-		return err
-	}
-	_, err = writeFrame(w, FrameDone, binary.AppendVarint(nil, int64(len(rows))))
-	return err
 }
 
 // handleExec runs DML/DDL and returns the affected-row count.
-func (s *Server) handleExec(w *bufio.Writer, sql string) error {
+func (s *Server) handleExec(w *srvWriter, sql string) error {
 	n, err := s.DB.Exec(sql)
 	if err != nil {
 		return s.sendError(w, err.Error())
 	}
-	_, err = writeFrame(w, FrameDone, binary.AppendVarint(nil, n))
+	err = w.writeFrame(FrameDone, binary.AppendVarint(nil, n))
 	return err
 }

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bufio"
+
+	"xnf/internal/metrics"
+)
+
+// serverStats holds the wire server's metric handles, registered in the
+// database's registry so one snapshot covers both layers. Registration is
+// get-or-create, so several servers over one database share the counters.
+type serverStats struct {
+	sessionsActive *metrics.Gauge
+	sessionsTotal  *metrics.Counter
+	openStmts      *metrics.Gauge
+	openCursors    *metrics.Gauge
+
+	framesIn  *metrics.Counter
+	framesOut *metrics.Counter
+	bytesIn   *metrics.Counter
+	bytesOut  *metrics.Counter
+	errors    *metrics.Counter
+
+	// Disconnect reasons, one counter per way a session can end: the
+	// client said goodbye (FrameClose), the connection dropped without one
+	// (vanished mid-stream), an undecodable frame killed the session, or a
+	// response write failed.
+	discClean  *metrics.Counter
+	discVanish *metrics.Counter
+	discDecode *metrics.Counter
+	discWrite  *metrics.Counter
+}
+
+func newServerStats(reg *metrics.Registry) *serverStats {
+	return &serverStats{
+		sessionsActive: reg.Gauge("xnf_sessions_active", "Wire sessions currently connected."),
+		sessionsTotal:  reg.Counter("xnf_sessions_total", "Wire sessions accepted."),
+		openStmts:      reg.Gauge("xnf_open_statements", "Prepared statements held by live sessions."),
+		openCursors:    reg.Gauge("xnf_open_cursors", "Server-side cursors held by live sessions."),
+		framesIn:       reg.Counter("xnf_frames_in_total", "Protocol frames received."),
+		framesOut:      reg.Counter("xnf_frames_out_total", "Protocol frames sent."),
+		bytesIn:        reg.Counter("xnf_bytes_in_total", "Protocol bytes received (headers included)."),
+		bytesOut:       reg.Counter("xnf_bytes_out_total", "Protocol bytes sent (headers included)."),
+		errors:         reg.Counter("xnf_wire_errors_total", "FrameError responses sent."),
+		discClean:      reg.Counter("xnf_disconnects_clean_total", "Sessions ended by FrameClose."),
+		discVanish:     reg.Counter("xnf_disconnects_vanish_total", "Sessions whose connection dropped without FrameClose."),
+		discDecode:     reg.Counter("xnf_disconnects_decode_error_total", "Sessions ended by an undecodable frame."),
+		discWrite:      reg.Counter("xnf_disconnects_write_error_total", "Sessions ended by a failed response write."),
+	}
+}
+
+// srvWriter wraps a session's buffered writer so every outgoing frame is
+// counted (frames, bytes, FrameError responses) at the single point it is
+// written.
+type srvWriter struct {
+	w  *bufio.Writer
+	st *serverStats
+}
+
+func (sw *srvWriter) writeFrame(t FrameType, payload []byte) error {
+	n, err := writeFrame(sw.w, t, payload)
+	sw.st.framesOut.Inc()
+	sw.st.bytesOut.Add(int64(n))
+	if t == FrameError {
+		sw.st.errors.Inc()
+	}
+	return err
+}
+
+func (sw *srvWriter) flush() error { return sw.w.Flush() }

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"encoding/binary"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"xnf/internal/metrics"
+	"xnf/internal/types"
+)
+
+// statValue finds one sample by name in a ServerStats snapshot.
+func statValue(t *testing.T, samples []metrics.Sample, name string) float64 {
+	t.Helper()
+	for _, s := range samples {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("snapshot has no sample %q", name)
+	return 0
+}
+
+// waitGauge polls a registry gauge until it reaches want or the deadline
+// passes (session teardown runs on the server's connection goroutines,
+// asynchronously to the client's close).
+func waitGauge(t *testing.T, srv *Server, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, ok := srv.DB.Registry().Value(name); ok && v == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			v, _ := srv.DB.Registry().Value(name)
+			t.Fatalf("%s = %d, want %d (timeout)", name, v, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestServerStatsFrame(t *testing.T) {
+	srv, addr := testServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Query("SELECT ENO FROM EMP"); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statValue(t, samples, "xnf_sessions_active") < 1 {
+		t.Error("sessions_active < 1 while connected")
+	}
+	if statValue(t, samples, "xnf_frames_in_total") < 2 {
+		t.Error("frames_in_total < 2 after a query")
+	}
+	if statValue(t, samples, "xnf_statements_select_total") < 1 {
+		t.Error("statements_select_total < 1 after a SELECT")
+	}
+	if statValue(t, samples, "xnf_rows_returned_total") < 1 {
+		t.Error("rows_returned_total < 1 after a SELECT")
+	}
+	// Histograms flatten into _count/_sum/_p50/_p99 samples.
+	if statValue(t, samples, "xnf_statement_latency_ns_p99") <= 0 {
+		t.Error("latency p99 missing or zero")
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i-1].Name >= samples[i].Name {
+			t.Fatalf("snapshot not name-sorted: %q >= %q", samples[i-1].Name, samples[i].Name)
+		}
+	}
+	_ = srv
+}
+
+func TestDisconnectReasons(t *testing.T) {
+	srv, addr := testServer(t)
+	reg := srv.DB.Registry()
+	base := func(name string) int64 { v, _ := reg.Value(name); return v }
+	clean0 := base("xnf_disconnects_clean_total")
+	vanish0 := base("xnf_disconnects_vanish_total")
+	decode0 := base("xnf_disconnects_decode_error_total")
+
+	// Clean close: FrameClose then hangup.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	waitGauge(t, srv, "xnf_disconnects_clean_total", clean0+1)
+
+	// Vanish: drop the TCP connection without a goodbye. (No frame is sent
+	// first — a reply to a half-dead peer would count as a write error, not
+	// a vanish.)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitGauge(t, srv, "xnf_disconnects_vanish_total", vanish0+1)
+
+	// Decode error: a frame whose length claim exceeds the limit. The
+	// server must answer with the cause (FrameError) before hanging up,
+	// not silently drop the session.
+	conn, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], maxFrame+1)
+	hdr[4] = byte(FrameSQL)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, _, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("no error frame before hangup: %v", err)
+	}
+	if ft != FrameError || len(payload) == 0 {
+		t.Fatalf("expected FrameError with cause, got frame %d %q", ft, payload)
+	}
+	waitGauge(t, srv, "xnf_disconnects_decode_error_total", decode0+1)
+}
+
+// TestSessionTeardownAudit is the leak audit of the issue: many
+// connect/vanish cycles, each abandoning an open cursor and a prepared
+// statement mid-fetch, must leave zero open cursors, zero open statements,
+// zero active sessions and no goroutine growth. Run under -race in CI.
+func TestSessionTeardownAudit(t *testing.T) {
+	srv, addr := testServer(t)
+
+	cycles := 1000
+	if testing.Short() {
+		cycles = 100
+	}
+	for i := 0; i < cycles; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Prepare("SELECT ENO, ENAME FROM EMP WHERE ENO >= ?")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Open a streaming cursor with a tiny block so rows remain
+		// server-side, then vanish without closing anything.
+		c.FetchSize = 2
+		rows, err := st.QueryRows(types.NewInt(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rows.Next(); err != nil {
+			t.Fatal(err)
+		}
+		c.conn.Close() // abrupt: no FrameCloseCursor, no FrameClose
+	}
+
+	waitGauge(t, srv, "xnf_sessions_active", 0)
+	waitGauge(t, srv, "xnf_open_cursors", 0)
+	waitGauge(t, srv, "xnf_open_statements", 0)
+
+	// Goroutines: the per-connection handlers must all have exited.
+	// Allow a small slack for runtime background goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	base := runtime.NumGoroutine()
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	reg := srv.DB.Registry()
+	if v, _ := reg.Value("xnf_disconnects_vanish_total"); v < int64(cycles) {
+		t.Errorf("vanish disconnects = %d, want >= %d", v, cycles)
+	}
+	if v, _ := reg.Value("xnf_sessions_total"); v < int64(cycles) {
+		t.Errorf("sessions_total = %d, want >= %d", v, cycles)
+	}
+}
+
+func TestStatsCodecRoundTrip(t *testing.T) {
+	in := []metrics.Sample{
+		{Name: "xnf_a", Value: 0},
+		{Name: "xnf_b_p99", Value: 1.5},
+		{Name: "", Value: -3},
+	}
+	out, err := decodeStats(encodeStats(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("sample %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+	// Hostile: truncated payloads must error, not panic.
+	enc := encodeStats(in)
+	for cut := 0; cut < len(enc); cut++ {
+		decodeStats(enc[:cut])
+	}
+}

@@ -1,0 +1,287 @@
+// Package loadgen is the mixed-scenario wire load generator: N concurrent
+// client sessions in four behavior classes (prepared OLTP point lookups,
+// streamed analytics cursors, DDL churn, clients vanishing mid-fetch)
+// against a server preloaded with the organization workload. The report is
+// built from the server's own metrics registry, read over the wire, so
+// throughput and latency quantiles are the server's view, not the
+// client's.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xnf/internal/metrics"
+	"xnf/internal/types"
+	"xnf/internal/wire"
+)
+
+// Params configures Run against a server preloaded with
+// the organization workload.
+type Params struct {
+	Addr    string // server address
+	Clients int    // concurrent wire sessions
+	Ops     int    // operations per client
+	MaxEno  int    // highest employee number (Depts * EmpsPerDept)
+	Seed    int64
+}
+
+// Report is the outcome of one Run: client-side op and
+// error counts plus the server's own view of the run, read from its
+// metrics registry over the wire (FrameStats). Leak fields are the
+// post-run values of the server gauges after every load session ended —
+// all three must be zero for a clean run.
+type Report struct {
+	Clients    int           `json:"clients"`
+	Ops        int64         `json:"ops"`
+	Errors     int64         `json:"errors"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Rows       int64         `json:"rows"`       // server rows returned during the run
+	RowsPerSec float64       `json:"rows_per_s"` // Rows / Elapsed
+	Statements int64         `json:"statements"` // server statements during the run
+	P50        time.Duration `json:"p50_ns"`     // server-side statement latency
+	P99        time.Duration `json:"p99_ns"`     // server-side statement latency
+	Vanishes   int64         `json:"vanishes"`   // abrupt disconnects during the run
+
+	LeakedSessions   int64 `json:"leaked_sessions"`
+	LeakedCursors    int64 `json:"leaked_cursors"`
+	LeakedStatements int64 `json:"leaked_statements"`
+}
+
+// Format renders the report for humans.
+func (r *Report) Format() string {
+	return fmt.Sprintf(
+		"%d clients, %d ops (%d errors) in %v\n"+
+			"server: %d statements, %d rows (%.0f rows/s), latency p50=%v p99=%v, %d vanishes\n"+
+			"leaks:  %d sessions, %d cursors, %d statements\n",
+		r.Clients, r.Ops, r.Errors, r.Elapsed.Round(time.Millisecond),
+		r.Statements, r.Rows, r.RowsPerSec, r.P50, r.P99, r.Vanishes,
+		r.LeakedSessions, r.LeakedCursors, r.LeakedStatements)
+}
+
+func sampleValue(samples []metrics.Sample, name string) float64 {
+	for _, s := range samples {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// Run drives a mixed scenario against a running server: client i
+// runs one of four loops chosen by i mod 4 — prepared OLTP point lookups,
+// streamed analytics cursors, DDL churn on a scratch table, and clients
+// that vanish mid-fetch without closing anything. It then reads the
+// server's metrics over the wire and reports throughput, server-side
+// latency quantiles, and whether the vanished sessions leaked cursors,
+// statements or sessions.
+func Run(p Params) (*Report, error) {
+	if p.Clients <= 0 {
+		p.Clients = 8
+	}
+	if p.Ops <= 0 {
+		p.Ops = 50
+	}
+	if p.MaxEno <= 0 {
+		p.MaxEno = 1
+	}
+
+	// Baseline snapshot, over the same wire path the load will use.
+	stats, err := wire.Dial(p.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer stats.Close()
+	before, err := stats.ServerStats()
+	if err != nil {
+		return nil, err
+	}
+
+	var ops, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < p.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(p.Seed + int64(id)))
+			var err error
+			switch id % 4 {
+			case 0:
+				err = loadOLTP(p, r)
+			case 1:
+				err = loadAnalytics(p, r)
+			case 2:
+				err = loadDDL(p, id)
+			case 3:
+				err = loadVanish(p, r)
+			}
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			ops.Add(int64(p.Ops))
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Session teardown for vanished clients is asynchronous on the server;
+	// give the gauges a moment to settle before auditing for leaks. The
+	// stats connection itself counts as one active session.
+	var after []metrics.Sample
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		after, err = stats.ServerStats()
+		if err != nil {
+			return nil, err
+		}
+		if sampleValue(after, "xnf_sessions_active") <= 1 &&
+			sampleValue(after, "xnf_open_cursors") == 0 &&
+			sampleValue(after, "xnf_open_statements") == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	delta := func(name string) int64 {
+		return int64(sampleValue(after, name) - sampleValue(before, name))
+	}
+	rep := &Report{
+		Clients:    p.Clients,
+		Ops:        ops.Load(),
+		Errors:     errs.Load(),
+		Elapsed:    elapsed,
+		Rows:       delta("xnf_rows_returned_total"),
+		Statements: delta("xnf_statements_select_total") + delta("xnf_statements_insert_total") + delta("xnf_statements_ddl_total"),
+		P50:        time.Duration(sampleValue(after, "xnf_statement_latency_ns_p50")),
+		P99:        time.Duration(sampleValue(after, "xnf_statement_latency_ns_p99")),
+		Vanishes:   delta("xnf_disconnects_vanish_total"),
+
+		LeakedSessions:   int64(sampleValue(after, "xnf_sessions_active")) - 1,
+		LeakedCursors:    int64(sampleValue(after, "xnf_open_cursors")),
+		LeakedStatements: int64(sampleValue(after, "xnf_open_statements")),
+	}
+	if elapsed > 0 {
+		rep.RowsPerSec = float64(rep.Rows) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// loadOLTP is the point-lookup loop: one prepared statement, executed Ops
+// times with random employee numbers.
+func loadOLTP(p Params, r *rand.Rand) error {
+	c, err := wire.Dial(p.Addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.Prepare("SELECT ENAME, SAL FROM EMP WHERE ENO = ?")
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	for i := 0; i < p.Ops; i++ {
+		if _, err := st.Query(types.NewInt(int64(1 + r.Intn(p.MaxEno)))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadAnalytics drains a streamed cursor per op: a range scan fetched in
+// small blocks so rows stay server-side between round trips.
+func loadAnalytics(p Params, r *rand.Rand) error {
+	c, err := wire.Dial(p.Addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.FetchSize = 64
+	for i := 0; i < p.Ops; i++ {
+		rows, err := c.QueryRows("SELECT ENO, ENAME, SAL FROM EMP WHERE SAL >= ?",
+			types.NewFloat(30000+float64(r.Intn(50000))))
+		if err != nil {
+			return err
+		}
+		for {
+			row, err := rows.Next()
+			if err != nil {
+				rows.Close()
+				return err
+			}
+			if row == nil {
+				break
+			}
+		}
+		if err := rows.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadDDL churns a scratch table: create, fill, query, drop — every op
+// invalidates cached plans, exercising compile and eviction paths under
+// concurrent load.
+func loadDDL(p Params, id int) error {
+	c, err := wire.Dial(p.Addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	name := fmt.Sprintf("SCRATCH_%d", id)
+	for i := 0; i < p.Ops; i++ {
+		if _, err := c.Exec(fmt.Sprintf(
+			"CREATE TABLE %s (id INT NOT NULL, v VARCHAR, PRIMARY KEY (id))", name)); err != nil {
+			return err
+		}
+		for j := 0; j < 4; j++ {
+			if _, err := c.Exec(fmt.Sprintf("INSERT INTO %s VALUES (%d, 'v%d')", name, j, j)); err != nil {
+				return err
+			}
+		}
+		if _, err := c.Query(fmt.Sprintf("SELECT id, v FROM %s WHERE id >= 1", name)); err != nil {
+			return err
+		}
+		if _, err := c.Exec("DROP TABLE " + name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadVanish is the misbehaving client: per op it dials, opens a streamed
+// cursor, reads one row, and severs the TCP connection with the cursor and
+// statement still open. The server must reap all of it.
+func loadVanish(p Params, r *rand.Rand) error {
+	for i := 0; i < p.Ops; i++ {
+		c, err := wire.Dial(p.Addr)
+		if err != nil {
+			return err
+		}
+		c.FetchSize = 2
+		st, err := c.Prepare("SELECT ENO, ENAME FROM EMP WHERE ENO >= ?")
+		if err != nil {
+			c.Abandon()
+			return err
+		}
+		rows, err := st.QueryRows(types.NewInt(int64(1 + r.Intn(p.MaxEno))))
+		if err != nil {
+			c.Abandon()
+			return err
+		}
+		if _, err := rows.Next(); err != nil {
+			c.Abandon()
+			return err
+		}
+		c.Abandon() // no cursor close, no statement close, no goodbye
+	}
+	return nil
+}

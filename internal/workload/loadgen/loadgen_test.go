@@ -1,0 +1,63 @@
+package loadgen
+
+import (
+	"net"
+	"testing"
+
+	"xnf/internal/engine"
+	"xnf/internal/wire"
+	"xnf/internal/workload"
+)
+
+func TestMixedLoad(t *testing.T) {
+	db := engine.Open()
+	p := workload.DefaultOrg()
+	p.Depts = 8
+	if err := workload.LoadOrg(db, p); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv := wire.NewServer(db)
+	go srv.Serve(l)
+
+	rep, err := Run(Params{
+		Addr:    l.Addr().String(),
+		Clients: 8,
+		Ops:     5,
+		MaxEno:  p.Depts * p.EmpsPerDept,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+	if rep.Ops != 8*5 {
+		t.Errorf("ops = %d, want 40", rep.Ops)
+	}
+	if rep.Rows <= 0 {
+		t.Errorf("server rows returned = %d, want > 0", rep.Rows)
+	}
+	if rep.Statements <= 0 {
+		t.Errorf("server statements = %d, want > 0", rep.Statements)
+	}
+	if rep.P99 <= 0 {
+		t.Errorf("p99 = %v, want > 0", rep.P99)
+	}
+	// Two of the eight clients (id%4 == 3) vanish once per op.
+	if rep.Vanishes < 10 {
+		t.Errorf("vanishes = %d, want >= 10", rep.Vanishes)
+	}
+	if rep.LeakedSessions != 0 || rep.LeakedCursors != 0 || rep.LeakedStatements != 0 {
+		t.Errorf("leaks: sessions=%d cursors=%d statements=%d, want all 0",
+			rep.LeakedSessions, rep.LeakedCursors, rep.LeakedStatements)
+	}
+	if rep.Format() == "" {
+		t.Error("empty Format()")
+	}
+}

@@ -55,12 +55,16 @@ package xnf
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"time"
 
 	"xnf/internal/ast"
 	"xnf/internal/cocache"
 	"xnf/internal/core"
 	"xnf/internal/engine"
 	"xnf/internal/exec"
+	"xnf/internal/metrics"
 	"xnf/internal/opt"
 	"xnf/internal/parser"
 	"xnf/internal/rewrite"
@@ -106,7 +110,19 @@ type (
 	Server = wire.Server
 	// ShipMode selects tuple/block/whole-CO shipping.
 	ShipMode = wire.ShipMode
+	// MetricsRegistry is a database's registry of named counters, gauges
+	// and latency histograms; every subsystem (wire server, engine, worker
+	// pool, WAL, column store) registers into it.
+	MetricsRegistry = metrics.Registry
+	// MetricsSample is one flattened metric value in a snapshot.
+	MetricsSample = metrics.Sample
+	// SlowQuery is one entry of the engine's slow-query log.
+	SlowQuery = engine.SlowQuery
 )
+
+// DefaultSlowQueryThreshold is the slow-query log threshold a fresh
+// database starts with; change it per database with SetSlowQueryThreshold.
+const DefaultSlowQueryThreshold = engine.DefaultSlowQueryThreshold
 
 // Value constructors, re-exported.
 var (
@@ -302,6 +318,33 @@ func (db *DB) AnalyzeTable1(query string) (*Table1, error) {
 		return nil, fmt.Errorf("xnf: AnalyzeTable1 requires an XNF query or CO view name")
 	}
 	return core.AnalyzeTable1(db.eng.Catalog(), xq, db.eng.RewriteOptions)
+}
+
+// Metrics returns the database's metrics registry: counters, gauges and
+// histograms for the engine, worker pool, WAL, column store and — when the
+// database backs a Server — the wire layer. Snapshot, Value and
+// WritePrometheus read it without blocking writers.
+func (db *DB) Metrics() *MetricsRegistry { return db.eng.Registry() }
+
+// MetricsHandler returns the observability HTTP handler for this database:
+// /metrics (Prometheus text), /debug/vars (JSON, including the slow-query
+// log) and /debug/pprof/. Serve it on its own listener (xnfserver -http).
+func (db *DB) MetricsHandler() http.Handler {
+	return metrics.Handler(db.eng.Registry(), db.eng.DebugVars)
+}
+
+// SetSlowQueryThreshold rebinds the slow-query log threshold: statements
+// at or above d land in SlowQueries. d <= 0 disables the log.
+func (db *DB) SetSlowQueryThreshold(d time.Duration) { db.eng.SetSlowQueryThreshold(d) }
+
+// SlowQueries returns the retained slow statements, newest first.
+func (db *DB) SlowQueries() []SlowQuery { return db.eng.SlowQueries() }
+
+// LogStats writes a one-line stats summary (selected counters with rates,
+// heap, goroutines) to w every interval until stop closes. Run it on its
+// own goroutine.
+func (db *DB) LogStats(w io.Writer, every time.Duration, stop <-chan struct{}) {
+	db.eng.Registry().LogLoop(w, every, nil, stop)
 }
 
 // NewServer wraps the database in a CO protocol server; use Serve with a
