@@ -14,6 +14,12 @@
 // recovered on startup (write-ahead log + checkpoints) and every commit is
 // fsync'd before acknowledgment. Clients connect with xnf.Dial and extract
 // CO views with QueryCO.
+//
+// Resource governance: -mem caps the process memory budget (statements
+// over it fail with a retryable error instead of taking the server down),
+// -timeout sets the default statement timeout (per-session SET
+// STATEMENT_TIMEOUT overrides it), and -cursor-idle reclaims server-side
+// cursors abandoned by slow or vanished readers.
 package main
 
 import (
@@ -38,6 +44,9 @@ func main() {
 	httpAddr := flag.String("http", "", "observability HTTP listener: /metrics (Prometheus), /debug/vars, /debug/pprof (empty = off)")
 	statsEvery := flag.Duration("stats", 0, "log a one-line stats summary at this interval (0 = off)")
 	slow := flag.Duration("slow", xnf.DefaultSlowQueryThreshold, "slow-query log threshold (0 disables the log)")
+	mem := flag.Int64("mem", 0, "process memory budget in bytes (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "default statement timeout (0 = none; SET STATEMENT_TIMEOUT overrides per session)")
+	cursorIdle := flag.Duration("cursor-idle", 0, "close server-side cursors idle for this long (0 = never)")
 	flag.Parse()
 
 	var db *xnf.DB
@@ -78,6 +87,10 @@ func main() {
 	}
 
 	db.SetSlowQueryThreshold(*slow)
+	// Resource governance: budget and default deadline live on the engine;
+	// the idle sweeper below lives on the wire server.
+	db.Engine().SetMemBudget(*mem)
+	db.Engine().Options.StatementTimeout = *timeout
 	if *httpAddr != "" {
 		// Observability on its own listener so profiling and scrapes never
 		// contend with the wire protocol.
@@ -103,6 +116,7 @@ func main() {
 	// streaming result path ships per fetch round trip.
 	srv.MaxCursorsPerSession = *cursors
 	srv.CursorBlockRows = *block
+	srv.CursorIdleTimeout = *cursorIdle
 	fmt.Printf("xnfserver: %s workload, listening on %s\n", *load, l.Addr())
 	if err := srv.Serve(l); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"xnf/internal/types"
+	"xnf/internal/wire"
+)
+
+// buildServer compiles the xnfserver binary once per test run.
+func buildServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "xnfserver")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServer launches the binary against dataDir and returns its process
+// and the address it reports on stdout.
+func startServer(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-load", "none", "-data", dataDir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+len("listening on "):])
+				break
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server never reported its address")
+		return nil, ""
+	}
+}
+
+// TestKillNineRecovery is the end-to-end crash audit: a durable xnfserver
+// child takes acknowledged commits over the wire, dies by SIGKILL with no
+// chance to flush, is restarted on the same directory, and must serve
+// every acknowledged row back. Two kill cycles, with a checkpoint-free
+// first recovery and a log-replay second one.
+func TestKillNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := buildServer(t)
+	dataDir := t.TempDir()
+
+	var acked []int64
+	next := int64(0)
+
+	runCycle := func(cycle int, rows int) {
+		cmd, addr := startServer(t, bin, dataDir)
+		defer cmd.Process.Kill()
+		c, err := wire.Dial(addr)
+		if err != nil {
+			t.Fatalf("cycle %d: dial: %v", cycle, err)
+		}
+		if cycle == 0 {
+			if _, err := c.Exec("CREATE TABLE audit (k INT NOT NULL, v INT, PRIMARY KEY (k))"); err != nil {
+				t.Fatalf("create: %v", err)
+			}
+		} else {
+			// Integrity audit: every commit acknowledged before the kill
+			// must have survived it.
+			st, err := c.Prepare("SELECT v FROM audit WHERE k = ?")
+			if err != nil {
+				t.Fatalf("cycle %d: prepare: %v", cycle, err)
+			}
+			for _, k := range acked {
+				rows, err := st.Query(types.NewInt(k))
+				if err != nil {
+					t.Fatalf("cycle %d: audit k=%d: %v", cycle, k, err)
+				}
+				if len(rows) != 1 || rows[0][0].Int() != k*2 {
+					t.Fatalf("cycle %d: k=%d recovered %v, want [%d]", cycle, k, rows, k*2)
+				}
+			}
+			st.Close()
+		}
+		st, err := c.Prepare("INSERT INTO audit VALUES (?, ?)")
+		if err != nil {
+			t.Fatalf("cycle %d: prepare insert: %v", cycle, err)
+		}
+		for i := 0; i < rows; i++ {
+			if _, err := st.Exec(types.NewInt(next), types.NewInt(next*2)); err != nil {
+				t.Fatalf("cycle %d: insert %d: %v", cycle, next, err)
+			}
+			acked = append(acked, next)
+			next++
+		}
+		// kill -9: no goodbye, no flush, no Close.
+		if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+			t.Fatal(err)
+		}
+		cmd.Wait()
+	}
+
+	runCycle(0, 25)
+	runCycle(1, 25)
+
+	// Final restart: full audit, then a clean shutdown path check.
+	cmd, addr := startServer(t, bin, dataDir)
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rows, err := c.Query("SELECT COUNT(*) FROM audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows[0][0].Int(); got != int64(len(acked)) {
+		t.Fatalf("recovered %d rows, want %d acknowledged", got, len(acked))
+	}
+	sum, err := c.Query("SELECT k, v FROM audit ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range sum {
+		if r[0].Int() != int64(i) || r[1].Int() != int64(i*2) {
+			t.Fatalf("row %d: %v, want [%d %d]", i, r, i, i*2)
+		}
+	}
+	fmt.Printf("kill-9 audit: %d acknowledged commits survived 2 SIGKILLs\n", len(acked))
+}

@@ -131,24 +131,58 @@ type Catalog struct {
 	views  map[string]*View
 
 	// version counts schema- and statistics-changing events (DDL, index
-	// creation, ANALYZE). Compiled plans are valid for exactly one version;
-	// the plan cache compares it to decide whether a cached plan is stale.
+	// creation, ANALYZE). Compiled plans snapshot it as a cheap freshness
+	// check: an equal version means nothing in the catalog changed.
 	version atomic.Uint64
+
+	// nameVers counts changes per table/view name. A plan that recorded
+	// the versions of the names it depends on stays valid while those are
+	// unchanged, even when unrelated DDL/ANALYZE bumped the global
+	// version — the fix for eviction storms where one hot table's ANALYZE
+	// used to invalidate every cached plan.
+	nameVers map[string]uint64
 }
 
 // Version returns the current schema/statistics version.
 func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // BumpVersion invalidates every plan compiled against the current version.
-// DDL entry points call it internally; the storage engine calls it when
-// ANALYZE refreshes optimizer statistics.
+// Prefer BumpName when the change is scoped to one table or view; this
+// whole-catalog bump remains for events without a single name.
 func (c *Catalog) BumpVersion() { c.version.Add(1) }
+
+// NameVersion returns the change counter of one table or view name (0 if
+// the name has never changed). Plan revalidation compares it per
+// dependency.
+func (c *Catalog) NameVersion(name string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nameVers[norm(name)]
+}
+
+// BumpName records a change to one table or view (DDL, index creation,
+// ANALYZE statistics refresh, storage switch): its per-name counter and
+// the global version both advance, so plans depending on the name go
+// stale while plans over other tables survive.
+func (c *Catalog) BumpName(name string) {
+	c.mu.Lock()
+	c.nameVers[norm(name)]++
+	c.mu.Unlock()
+	c.version.Add(1)
+}
+
+// bumpNameLocked is BumpName for callers already holding mu.
+func (c *Catalog) bumpNameLocked(name string) {
+	c.nameVers[norm(name)]++
+	c.version.Add(1)
+}
 
 // New returns an empty catalog.
 func New() *Catalog {
 	return &Catalog{
-		tables: make(map[string]*Table),
-		views:  make(map[string]*View),
+		tables:   make(map[string]*Table),
+		views:    make(map[string]*View),
+		nameVers: make(map[string]uint64),
 	}
 }
 
@@ -197,7 +231,7 @@ func (c *Catalog) CreateTable(t *Table) error {
 		t.Stats.ColCard = make(map[string]int64)
 	}
 	c.tables[k] = t
-	c.version.Add(1)
+	c.bumpNameLocked(t.Name)
 	return nil
 }
 
@@ -210,7 +244,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: table %s does not exist", name)
 	}
 	delete(c.tables, k)
-	c.version.Add(1)
+	c.bumpNameLocked(name)
 	return nil
 }
 
@@ -246,7 +280,7 @@ func (c *Catalog) CreateView(v *View) error {
 		return fmt.Errorf("catalog: view %s already exists", v.Name)
 	}
 	c.views[k] = v
-	c.version.Add(1)
+	c.bumpNameLocked(v.Name)
 	return nil
 }
 
@@ -259,7 +293,7 @@ func (c *Catalog) DropView(name string) error {
 		return fmt.Errorf("catalog: view %s does not exist", name)
 	}
 	delete(c.views, k)
-	c.version.Add(1)
+	c.bumpNameLocked(name)
 	return nil
 }
 
@@ -302,7 +336,7 @@ func (c *Catalog) AddIndex(idx *Index) error {
 		}
 	}
 	t.Indexes = append(t.Indexes, idx)
-	c.version.Add(1)
+	c.bumpNameLocked(idx.Table)
 	return nil
 }
 

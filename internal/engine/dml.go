@@ -18,20 +18,24 @@ func (db *Database) execInsert(s *ast.InsertStmt, args types.Row) (int64, error)
 // compileInsertRows compiles the VALUES expressions of an INSERT once; the
 // prepared-statement path caches the result so repeated executions skip
 // per-row semantic analysis.
-func (db *Database) compileInsertRows(s *ast.InsertStmt) ([][]exec.Expr, error) {
+func (db *Database) compileInsertRows(s *ast.InsertStmt) ([][]exec.Expr, []string, error) {
 	rows := make([][]exec.Expr, len(s.Rows))
+	var deps []string
 	for ri, exprRow := range s.Rows {
 		row := make([]exec.Expr, len(exprRow))
 		for i, e := range exprRow {
-			ce, err := db.compileConstExpr(e)
+			ce, exprDeps, err := db.compileConstExpr(e)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			row[i] = ce
+			for _, d := range exprDeps {
+				deps = mergeDep(deps, d)
+			}
 		}
 		rows[ri] = row
 	}
-	return rows, nil
+	return rows, deps, nil
 }
 
 // execInsertWith runs an INSERT; plan, when non-nil, is the prepared
@@ -76,7 +80,7 @@ func (db *Database) execInsertWith(s *ast.InsertStmt, args types.Row, plan exec.
 		sourceRows = rows
 	} else {
 		if valueRows == nil {
-			compiled, err := db.compileInsertRows(s)
+			compiled, _, err := db.compileInsertRows(s)
 			if err != nil {
 				return 0, err
 			}
@@ -125,17 +129,21 @@ func (db *Database) execInsertWith(s *ast.InsertStmt, args types.Row, plan exec.
 
 // compileConstExpr compiles an expression with no table context (INSERT
 // VALUES items; scalar subqueries are allowed).
-func (db *Database) compileConstExpr(e ast.Expr) (exec.Expr, error) {
+func (db *Database) compileConstExpr(e ast.Expr) (exec.Expr, []string, error) {
 	rc, err := semantics.NewRowContextEmpty(db.cat)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	qe, err := rc.Build(e)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	comp := opt.NewCompiler(db.store, rc.Graph(), db.OptOptions)
-	return comp.CompileRowExpr(rc.Quant(), qe)
+	ce, err := comp.CompileRowExpr(rc.Quant(), qe)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ce, rc.Graph().Deps, nil
 }
 
 // compiledMutation is the compiled form of an UPDATE/DELETE: the WHERE
@@ -148,6 +156,10 @@ func (db *Database) compileConstExpr(e ast.Expr) (exec.Expr, error) {
 type compiledMutation struct {
 	pred exec.Expr // nil = every row qualifies
 	sets []compiledSet
+	// deps are the catalog names the mutation resolved against (the target
+	// table plus any tables reached through WHERE/SET subqueries), for
+	// per-dependency plan-cache invalidation.
+	deps []string
 }
 
 // compiledSet is one compiled UPDATE assignment.
@@ -196,6 +208,9 @@ func (db *Database) compileMutation(table, alias string, where ast.Expr, set []a
 			mut.sets = append(mut.sets, compiledSet{ord: ord, expr: ce})
 		}
 	}
+	g := rc.Graph()
+	g.AddDep(table)
+	mut.deps = g.Deps
 	return mut, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"xnf/internal/exec"
 	"xnf/internal/opt"
 	"xnf/internal/parser"
+	"xnf/internal/resource"
 	"xnf/internal/rewrite"
 	"xnf/internal/semantics"
 	"xnf/internal/storage"
@@ -50,6 +51,10 @@ type Database struct {
 	// plus statement-path recording handles (see stats.go).
 	stats *dbStats
 
+	// mem is the process-level memory accountant; sessions and
+	// statements derive children from it (see resource.go).
+	mem *resource.Accountant
+
 	// plans caches prepared statements keyed by normalized SQL; coViews
 	// caches compiled CO views by name. Both are validated against the
 	// catalog version (DDL and ANALYZE invalidate by bumping it).
@@ -75,6 +80,7 @@ func Open() *Database {
 		RewriteOptions: rewrite.DefaultOptions(),
 		plans:          newPlanCache(defaultPlanCacheCap),
 		coViews:        make(map[string]*coEntry),
+		mem:            resource.NewRoot("process", 0),
 	}
 	db.stats = newDBStats(db)
 	return db
@@ -215,17 +221,29 @@ func (db *Database) QueryStmt(sel *ast.SelectStmt) (*Result, error) {
 // CompileSelect runs the full compile pipeline for a SELECT and returns
 // the physical plan.
 func (db *Database) CompileSelect(sel *ast.SelectStmt) (exec.Plan, error) {
+	plan, _, err := db.compileSelectDeps(sel)
+	return plan, err
+}
+
+// compileSelectDeps is CompileSelect plus the catalog names (tables and
+// views) the query resolved against, which the plan cache uses for
+// per-dependency invalidation.
+func (db *Database) compileSelectDeps(sel *ast.SelectStmt) (exec.Plan, []string, error) {
 	db.Metrics.Compiles.Add(1)
 	g, err := semantics.BuildSelect(db.cat, sel)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rewrite.Apply(g, db.RewriteOptions)
 	if errs := g.Validate(); len(errs) > 0 {
-		return nil, fmt.Errorf("engine: invalid QGM after rewrite: %s", strings.Join(errs, "; "))
+		return nil, nil, fmt.Errorf("engine: invalid QGM after rewrite: %s", strings.Join(errs, "; "))
 	}
 	comp := opt.NewCompiler(db.store, g, db.OptOptions)
-	return comp.CompileTop()
+	plan, err := comp.CompileTop()
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, g.Deps, nil
 }
 
 // Explain returns the physical plan text for a SELECT.
@@ -275,9 +293,9 @@ func (db *Database) ExplainAnalyze(sql string, args ...types.Value) (string, err
 		n++
 	}
 	c := rows.Counters()
-	out := fmt.Sprintf("%s-- %d row(s); rows_scanned=%d index_lookups=%d segments_pruned=%d spools=%d subplan_runs=%d join_build=%d join_probe=%d pool_workers=%d pool_fallbacks=%d segments_scanned=%d\n",
+	out := fmt.Sprintf("%s-- %d row(s); rows_scanned=%d index_lookups=%d segments_pruned=%d spools=%d subplan_runs=%d join_build=%d join_probe=%d pool_workers=%d pool_fallbacks=%d segments_scanned=%d mem_reserved=%d mem_fallbacks=%d\n",
 		stmt.plan.Explain(0), n, c.RowsScanned, c.IndexLookups, c.SegmentsPruned, c.SpoolMaterial, c.SubplanRuns,
-		c.JoinBuildRows, c.JoinProbeRows, c.PoolWorkers, c.PoolFallbacks, c.SegmentsScanned)
+		c.JoinBuildRows, c.JoinProbeRows, c.PoolWorkers, c.PoolFallbacks, c.SegmentsScanned, c.MemReserved, c.MemFallbacks)
 	if ws := db.store.WALStats(); ws.Attached {
 		group := float64(0)
 		if ws.Fsyncs > 0 {

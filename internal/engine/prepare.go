@@ -31,6 +31,13 @@ type Options struct {
 	// EvictionWindow bounds how many LRU-tail entries compete when
 	// WeightedEviction is set. 0 means the default (8).
 	EvictionWindow int
+	// StatementTimeout bounds the wall time of a streaming statement
+	// execution (0 = none). It applies only when the caller's context
+	// carries no deadline of its own, so per-session SET overrides —
+	// delivered as context deadlines — replace it in either direction.
+	// The deadline is checked between rows and at batch boundaries
+	// inside blocking operators (sort, hash build, aggregation).
+	StatementTimeout time.Duration
 }
 
 // defaultEvictionWindow is the LRU tail window weighted eviction examines.
@@ -65,7 +72,7 @@ type Stmt struct {
 	text       string // original SQL
 	norm       string // normalized cache key
 	nparams    int
-	version    uint64
+	version    atomic.Uint64 // catalog version the plan is known fresh at
 	optOpts    opt.Options
 	rwOpts     rewrite.Options
 	sel        *ast.SelectStmt // non-nil for SELECT
@@ -76,6 +83,18 @@ type Stmt struct {
 	insertRows [][]exec.Expr     // compiled INSERT VALUES expressions
 	cacheable  bool
 	cost       int64 // compile wall time in nanoseconds (eviction weight)
+
+	// deps / depVers record the catalog names (tables and views) the plan
+	// was compiled against and the per-name versions observed then. When the
+	// global catalog version moves but every dep is unchanged, the statement
+	// is re-stamped fresh instead of recompiled — DDL/ANALYZE on unrelated
+	// tables no longer evicts it. depsKnown=false disables the fast path
+	// (DDL raced the compile, or the dependency set is not tracked). The
+	// slices are immutable after prepareMiss; freshness is re-stamped by
+	// storing the current catalog version into the atomic version field.
+	deps      []string
+	depVers   []uint64
+	depsKnown bool
 
 	// hits counts cache servings of this entry (CacheStats observability).
 	hits atomic.Int64
@@ -163,11 +182,58 @@ func (s *Stmt) Exec(args ...types.Value) (int64, error) {
 // (a few atomic loads — the hot path), or a re-Prepare of its text after
 // DDL/ANALYZE/option changes. Query and Exec call it automatically; the
 // wire server also calls it to refresh its session statement tables.
+//
+// A version mismatch alone no longer forces the recompile: if every catalog
+// name the plan depends on is at the version recorded at compile time, the
+// change was unrelated DDL and the statement is re-stamped fresh. The
+// global version is read BEFORE the per-dep checks, so a dependency bumped
+// concurrently leaves the stored version behind the catalog's and the
+// statement detectably stale on the next call.
 func (s *Stmt) Revalidate() (*Stmt, error) {
-	if s.version == s.db.cat.Version() && s.optOpts == s.db.OptOptions && s.rwOpts == s.db.RewriteOptions {
-		return s, nil
+	if s.optOpts == s.db.OptOptions && s.rwOpts == s.db.RewriteOptions {
+		cur := s.db.cat.Version()
+		if s.version.Load() == cur {
+			return s, nil
+		}
+		if s.depsKnown && s.depsFresh() {
+			s.version.Store(cur)
+			return s, nil
+		}
 	}
 	return s.db.Prepare(s.text)
+}
+
+// depsFresh reports whether every recorded dependency is still at the
+// version observed at compile time.
+func (s *Stmt) depsFresh() bool {
+	for i, d := range s.deps {
+		if s.db.cat.NameVersion(d) != s.depVers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recordDeps snapshots the per-name catalog versions for the given
+// dependency names (already upper-cased by the semantic layer).
+func (s *Stmt) recordDeps(deps []string) {
+	s.deps = deps
+	s.depVers = make([]uint64, len(deps))
+	for i, d := range deps {
+		s.depVers[i] = s.db.cat.NameVersion(d)
+	}
+	s.depsKnown = true
+}
+
+// mergeDep appends a catalog name (upper-cased, deduped) to a dep list.
+func mergeDep(deps []string, name string) []string {
+	key := strings.ToUpper(name)
+	for _, d := range deps {
+		if d == key {
+			return deps
+		}
+	}
+	return append(deps, key)
 }
 
 // Prepare compiles a statement against the current catalog, consulting and
@@ -200,18 +266,19 @@ func (db *Database) prepareMiss(sql, norm string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	ver := db.cat.Version()
 	st := &Stmt{
 		db:      db,
 		text:    sql,
 		norm:    norm,
 		nparams: ast.NumPlaceholders(parsed),
-		version: db.cat.Version(),
 		optOpts: db.OptOptions,
 		rwOpts:  db.RewriteOptions,
 	}
+	st.version.Store(ver)
 	switch s := parsed.(type) {
 	case *ast.SelectStmt:
-		plan, err := db.CompileSelect(s)
+		plan, deps, err := db.compileSelectDeps(s)
 		if err != nil {
 			return nil, err
 		}
@@ -219,6 +286,7 @@ func (db *Database) prepareMiss(sql, norm string) (*Stmt, error) {
 		st.plan = plan
 		st.cols = plan.Columns()
 		st.cacheable = true
+		st.recordDeps(deps)
 	case *ast.InsertStmt:
 		// INSERT … SELECT precompiles the source query (the expensive
 		// pipeline) and plain VALUES precompiles its expressions; only
@@ -226,17 +294,19 @@ func (db *Database) prepareMiss(sql, norm string) (*Stmt, error) {
 		// Like UPDATE/DELETE, unparameterized VALUES inserts are not
 		// admitted to the cache (see below).
 		if s.Select != nil {
-			plan, err := db.CompileSelect(s.Select)
+			plan, deps, err := db.compileSelectDeps(s.Select)
 			if err != nil {
 				return nil, err
 			}
 			st.plan = plan
+			st.recordDeps(mergeDep(deps, s.Table))
 		} else {
-			rows, err := db.compileInsertRows(s)
+			rows, deps, err := db.compileInsertRows(s)
 			if err != nil {
 				return nil, err
 			}
 			st.insertRows = rows
+			st.recordDeps(mergeDep(deps, s.Table))
 		}
 		st.other = parsed
 		st.cacheable = st.nparams > 0 || s.Select != nil
@@ -253,6 +323,7 @@ func (db *Database) prepareMiss(sql, norm string) (*Stmt, error) {
 		st.mut = mut
 		st.other = parsed
 		st.cacheable = st.nparams > 0
+		st.recordDeps(mut.deps)
 	case *ast.DeleteStmt:
 		mut, err := db.compileMutation(s.Table, s.Alias, s.Where, nil)
 		if err != nil {
@@ -261,6 +332,7 @@ func (db *Database) prepareMiss(sql, norm string) (*Stmt, error) {
 		st.mut = mut
 		st.other = parsed
 		st.cacheable = st.nparams > 0
+		st.recordDeps(mut.deps)
 	default:
 		if st.nparams > 0 {
 			return nil, fmt.Errorf("engine: placeholders are only allowed in SELECT, INSERT, UPDATE and DELETE statements")
@@ -268,6 +340,12 @@ func (db *Database) prepareMiss(sql, norm string) (*Stmt, error) {
 		// DDL is never cached: it self-invalidates by bumping the catalog
 		// version, so caching it would only churn the LRU.
 		st.other = parsed
+	}
+	if db.cat.Version() != ver {
+		// DDL overtook the compile: the per-name versions read by
+		// recordDeps may postdate the plan, so the dep fast path could
+		// wrongly vouch for it. Fall back to whole-version invalidation.
+		st.deps, st.depVers, st.depsKnown = nil, nil, false
 	}
 	if st.cacheable {
 		st.cost = int64(time.Since(start))
@@ -315,8 +393,11 @@ const defaultPlanCacheCap = 256
 
 // planCache is a concurrent LRU of prepared statements keyed by normalized
 // SQL. Entries are validated against the catalog version and the optimizer
-// options they were compiled under; a stale entry is evicted on lookup
-// (DDL and ANALYZE invalidate by bumping the version).
+// options they were compiled under; a stale entry is evicted on lookup.
+// Invalidation is per dependency: DDL and ANALYZE bump both the global
+// catalog version and the changed name's own version, and an entry whose
+// dependencies are all unchanged survives a global bump (it is merely
+// re-stamped), so churn on one table does not flush plans over others.
 type planCache struct {
 	mu        sync.Mutex
 	cap       int
@@ -345,10 +426,23 @@ func (pc *planCache) get(key string, version uint64, optOpts opt.Options, rwOpts
 		return nil
 	}
 	st := el.Value.(*Stmt)
-	if st.version != version || st.optOpts != optOpts || st.rwOpts != rwOpts {
+	if st.optOpts != optOpts || st.rwOpts != rwOpts {
 		pc.lru.Remove(el)
 		delete(pc.byKey, key)
 		return nil
+	}
+	if st.version.Load() != version {
+		// The catalog moved since the plan was stamped. If none of the
+		// plan's own dependencies changed, the DDL was unrelated — re-stamp
+		// and serve; otherwise evict. `version` was read by the caller
+		// before the dep checks, so a dep bumped concurrently leaves the
+		// entry stale relative to the catalog and caught on the next get.
+		if !st.depsKnown || !st.depsFresh() {
+			pc.lru.Remove(el)
+			delete(pc.byKey, key)
+			return nil
+		}
+		st.version.Store(version)
 	}
 	pc.lru.MoveToFront(el)
 	st.hits.Add(1)

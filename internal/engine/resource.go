@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"context"
+
+	"xnf/internal/resource"
+)
+
+// memKey carries a session-level accountant through a statement context.
+type memKey struct{}
+
+// WithMem returns a context whose statement executions charge their
+// memory reservations to mem (typically a per-session child of the
+// database's process accountant). Without it, statements charge the
+// process accountant directly.
+func WithMem(ctx context.Context, mem *resource.Accountant) context.Context {
+	if mem == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, memKey{}, mem)
+}
+
+func memFromContext(ctx context.Context) *resource.Accountant {
+	if ctx == nil {
+		return nil
+	}
+	mem, _ := ctx.Value(memKey{}).(*resource.Accountant)
+	return mem
+}
+
+// MemRoot returns the process-level memory accountant. The wire server
+// derives one child per session from it; SetMemBudget arms the budget.
+func (db *Database) MemRoot() *resource.Accountant { return db.mem }
+
+// SetMemBudget caps the bytes the engine's governed allocators (hash
+// joins, sorts, distinct/aggregate tables, cursor blocks) may hold at
+// once, process-wide. 0 disables enforcement; accounting always runs.
+// Statements that would exceed the budget fail with an error wrapping
+// resource.ErrResourceExhausted after degrading where possible.
+func (db *Database) SetMemBudget(n int64) { db.mem.SetLimit(n) }
+
+// MemBudget reports the process budget (0 = unlimited).
+func (db *Database) MemBudget() int64 { return db.mem.Limit() }
+
+// MemUsed reports the bytes currently reserved process-wide.
+func (db *Database) MemUsed() int64 { return db.mem.Used() }

@@ -30,12 +30,13 @@ import (
 //     the stream is drained it covers the whole execution.
 //   - A Rows is bound to one execution and is not safe for concurrent use.
 type Rows struct {
-	cols []exec.Column
-	plan exec.Plan
-	ectx *exec.Ctx
-	cctx context.Context
-	open bool
-	err  error
+	cols   []exec.Column
+	plan   exec.Plan
+	ectx   *exec.Ctx
+	cctx   context.Context
+	cancel context.CancelFunc // non-nil when a statement timeout armed the context
+	open   bool
+	err    error
 
 	// Observability: the statement is observed exactly once, when the
 	// stream finishes (drained, failed, or abandoned via Close).
@@ -117,14 +118,24 @@ func (r *Rows) closePlan() {
 	}
 }
 
-// observe records the finished statement in the database's registry —
-// once per Rows, on whichever close path ran first.
+// observe records the finished statement in the database's registry and
+// returns its memory reservations — once per Rows, on whichever close
+// path ran first.
 func (r *Rows) observe() {
-	if r.observed || r.db == nil {
+	if r.observed {
 		return
 	}
 	r.observed = true
-	r.db.stats.observeStatement('S', r.sql, r.start, r.returned, r.ectx.Counters, r.err)
+	if r.cancel != nil {
+		r.cancel()
+	}
+	// Closing the statement accountant releases anything an operator
+	// still held (a failed Open, an abandoned stream), so the session
+	// and process accountants read zero after drain.
+	r.ectx.Mem.Close()
+	if r.db != nil {
+		r.db.stats.observeStatement('S', r.sql, r.start, r.returned, r.ectx.Counters, r.err)
+	}
 }
 
 // QueryRows compiles (or fetches from the plan cache) a SELECT and returns
@@ -173,13 +184,33 @@ func (s *Stmt) QueryRowsContext(ctx context.Context, args ...types.Value) (*Rows
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Default statement timeout: applied only when the caller's context
+	// has no deadline of its own, so a per-session SET override (which
+	// arrives as a context deadline) fully replaces it.
+	var cancel context.CancelFunc
+	if d := s.db.Options.StatementTimeout; d > 0 {
+		if _, has := ctx.Deadline(); !has {
+			ctx, cancel = context.WithTimeout(ctx, d)
+		}
+	}
+	// The statement's reservations charge a session accountant when the
+	// context carries one, the process accountant otherwise.
+	parent := memFromContext(ctx)
+	if parent == nil {
+		parent = s.db.mem
+	}
 	plan := exec.ClonePlan(s.plan)
 	ectx := exec.NewCtx(s.db.store)
+	ectx.Mem = parent.Child("statement", 0)
+	ectx.Interrupt = ctx.Err
+	r := &Rows{
+		cols: s.cols, plan: plan, ectx: ectx, cctx: ctx, cancel: cancel, open: true,
+		db: s.db, sql: s.text, start: start,
+	}
 	if err := plan.Open(ectx, types.Row(args)); err != nil {
+		r.err = err
+		r.observe()
 		return nil, err
 	}
-	return &Rows{
-		cols: s.cols, plan: plan, ectx: ectx, cctx: ctx, open: true,
-		db: s.db, sql: s.text, start: start,
-	}, nil
+	return r, nil
 }

@@ -1,12 +1,15 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xnf/internal/exec"
 	"xnf/internal/metrics"
+	"xnf/internal/resource"
 	"xnf/internal/vexec"
 )
 
@@ -41,6 +44,14 @@ type dbStats struct {
 	stmtDelete *metrics.Counter
 	stmtDDL    *metrics.Counter
 	stmtErrors *metrics.Counter
+
+	// Resource governance: statements rejected over budget, statements
+	// that hit their deadline, and operators that degraded to a cheaper
+	// strategy instead of failing.
+	stmtExhausted *metrics.Counter
+	stmtTimeout   *metrics.Counter
+	memFallbacks  *metrics.Counter
+	memReserved   *metrics.Counter
 
 	rowsReturned *metrics.Counter
 	rowsAffected *metrics.Counter
@@ -78,8 +89,21 @@ func newDBStats(db *Database) *dbStats {
 		segsPruned:   reg.Counter("xnf_segments_pruned_total", "Column-store segments skipped by zone maps."),
 		latency:      reg.Histogram("xnf_statement_latency_ns", "Statement wall time in nanoseconds."),
 		slowTotal:    reg.Counter("xnf_slow_queries_total", "Statements slower than the slow-query threshold."),
+
+		stmtExhausted: reg.Counter("xnf_statements_exhausted_total", "Statements rejected over memory budget (retryable)."),
+		stmtTimeout:   reg.Counter("xnf_statements_timeout_total", "Statements canceled by deadline or caller."),
+		memFallbacks:  reg.Counter("xnf_mem_fallbacks_total", "Operators degraded to a cheaper strategy under memory pressure."),
+		memReserved:   reg.Counter("xnf_mem_reserved_bytes_total", "Bytes reserved by governed allocators (cumulative demand)."),
 	}
 	st.slowThreshold.Store(int64(DefaultSlowQueryThreshold))
+
+	// Memory accountant (instantaneous; budget 0 = unlimited).
+	reg.GaugeFunc("xnf_mem_used_bytes", "Bytes currently reserved process-wide.",
+		func() int64 { return db.mem.Used() })
+	reg.GaugeFunc("xnf_mem_budget_bytes", "Process memory budget (0 = unlimited).",
+		func() int64 { return db.mem.Limit() })
+	reg.CounterFunc("xnf_mem_denied_total", "Reservations rejected by the process budget.",
+		func() int64 { return db.mem.Denied() })
 
 	// Plan cache (totals owned by db.Metrics / planCache).
 	reg.CounterFunc("xnf_plan_cache_hits_total", "Plan-cache hits.",
@@ -184,6 +208,12 @@ func (s *dbStats) observeStatement(verb byte, sql string, start time.Time, rows 
 	}
 	if err != nil {
 		s.stmtErrors.Inc()
+		switch {
+		case errors.Is(err, resource.ErrResourceExhausted):
+			s.stmtExhausted.Inc()
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.stmtTimeout.Inc()
+		}
 	}
 	s.latency.Observe(int64(elapsed))
 	if verb == 'S' {
@@ -194,6 +224,8 @@ func (s *dbStats) observeStatement(verb byte, sql string, start time.Time, rows 
 	s.rowsScanned.Add(c.RowsScanned)
 	s.segsScanned.Add(c.SegmentsScanned)
 	s.segsPruned.Add(c.SegmentsPruned)
+	s.memFallbacks.Add(c.MemFallbacks)
+	s.memReserved.Add(c.MemReserved)
 
 	thresh := s.slowThreshold.Load()
 	if thresh <= 0 || int64(elapsed) < thresh || err != nil {

@@ -23,6 +23,7 @@ type NLJoinPlan struct {
 	params  types.Row
 	curLeft types.Row
 	opened  bool
+	iter    int
 }
 
 // Open implements Plan.
@@ -30,6 +31,7 @@ func (j *NLJoinPlan) Open(ctx *Ctx, params types.Row) error {
 	j.params = params
 	j.curLeft = nil
 	j.opened = false
+	j.iter = 0
 	return j.Left.Open(ctx, params)
 }
 
@@ -37,6 +39,16 @@ func (j *NLJoinPlan) Open(ctx *Ctx, params types.Row) error {
 func (j *NLJoinPlan) Next(ctx *Ctx) (types.Row, error) {
 	env := Env{Params: j.params, Ctx: ctx}
 	for {
+		// The scans under a cross join are often spooled (materialized
+		// once, replayed from memory), so the scan-level interrupt poll
+		// never fires during the quadratic replay. Poll here too: this
+		// loop is the hot path of every nested-loop shape.
+		j.iter++
+		if j.iter&1023 == 0 {
+			if err := ctx.Interrupted(); err != nil {
+				return nil, err
+			}
+		}
 		if j.curLeft == nil {
 			left, err := j.Left.Next(ctx)
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"xnf/internal/resource"
 	"xnf/internal/storage"
 	"xnf/internal/types"
 )
@@ -36,6 +37,12 @@ type Counters struct {
 	// because the pool was saturated.
 	PoolWorkers   int64
 	PoolFallbacks int64
+	// MemReserved is the total bytes this statement reserved from its
+	// memory accountant (a high-water of demand, not of residency);
+	// MemFallbacks counts operators that degraded to a cheaper strategy
+	// (chunked sort merge, sequential build) under memory pressure.
+	MemReserved  int64
+	MemFallbacks int64
 }
 
 func add(c *int64, n int64) { atomic.AddInt64(c, n) }
@@ -55,6 +62,17 @@ type spoolEntry struct {
 type Ctx struct {
 	Store    *storage.Store
 	Counters Counters
+
+	// Mem is the statement's memory accountant; nil accounts nothing.
+	// Operators that materialize (hash tables, sort runs, distinct sets)
+	// reserve their estimates through Ctx.Reserve so one statement
+	// cannot exceed its budget chain.
+	Mem *resource.Accountant
+
+	// Interrupt, when set, reports why the statement should stop
+	// (deadline exceeded, cancellation). Blocking operators poll it at
+	// batch boundaries via Interrupted.
+	Interrupt func() error
 
 	mu sync.Mutex
 	// spool holds materialized results of shared plan fragments, keyed by
@@ -77,6 +95,36 @@ func NewCtx(store *storage.Store) *Ctx {
 		spool:        make(map[int]*spoolEntry),
 		subplanCache: make(map[int]*spoolSubplan),
 	}
+}
+
+// Reserve charges n bytes against the statement's memory accountant.
+// The typed failure wraps resource.ErrResourceExhausted; operators with
+// a cheaper strategy fall back on it, everything else propagates it.
+func (c *Ctx) Reserve(n int64) error {
+	if c.Mem == nil || n <= 0 {
+		return nil
+	}
+	if err := c.Mem.Reserve(n); err != nil {
+		return err
+	}
+	add(&c.Counters.MemReserved, n)
+	return nil
+}
+
+// Release returns n bytes to the accountant chain.
+func (c *Ctx) Release(n int64) {
+	if c.Mem != nil && n > 0 {
+		c.Mem.Release(n)
+	}
+}
+
+// Interrupted reports the statement's cancellation state (nil when the
+// statement may keep running). Cheap enough to poll per batch.
+func (c *Ctx) Interrupted() error {
+	if c.Interrupt == nil {
+		return nil
+	}
+	return c.Interrupt()
 }
 
 // Plan is a physical operator: a pull-based iterator.
@@ -164,6 +212,15 @@ func (s *ScanPlan) Open(ctx *Ctx, params types.Row) error {
 func (s *ScanPlan) Next(ctx *Ctx) (types.Row, error) {
 	env := Env{Params: s.params, Ctx: ctx}
 	for s.pos < len(s.rows) {
+		// Every row-engine plan pulls from scans, so polling the
+		// statement's cancellation here bounds how long any plan shape —
+		// including a cross join re-scanning its inner — outlives its
+		// deadline, without each operator polling individually.
+		if s.pos&1023 == 0 {
+			if err := ctx.Interrupted(); err != nil {
+				return nil, err
+			}
+		}
 		row := s.rows[s.pos]
 		s.pos++
 		add(&ctx.Counters.RowsScanned, 1)

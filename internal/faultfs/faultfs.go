@@ -1,0 +1,349 @@
+// Package faultfs is a failpoint layer between the durability subsystem
+// and the operating system. The WAL and checkpoint writers perform every
+// file operation through the FS interface; production uses the passthrough
+// OS implementation, while crash-torture tests wrap it in an Injector that
+// makes chosen operations fail, stall, write short, or report a full disk —
+// deterministically (trigger the Nth matching op) or probabilistically from
+// a fixed seed, so every torture run is replayable.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// File is the slice of *os.File the durability layer needs.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the file operations the WAL and checkpoint code performs.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory so renames and creates inside it are
+	// durable; best-effort on filesystems that refuse directory fsync.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error {
+	return os.Truncate(name, size)
+}
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return nil // some filesystems refuse directory fsync; not fatal
+	}
+	return nil
+}
+
+// Op identifies one class of file operation a rule can target.
+type Op uint8
+
+// The fault-injectable operations.
+const (
+	OpOpen Op = iota
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpSyncDir
+	opCount
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpSyncDir:
+		return "syncdir"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Mode is what happens when a rule fires.
+type Mode uint8
+
+// The failure modes. Fail returns the rule's error (ErrInjected by
+// default). Partial writes a prefix of the buffer, then fails — the torn
+// tail the WAL's CRC framing must detect on replay. NoSpace reports
+// ENOSPC. Slow delays the operation, then lets it through — the stall that
+// statement timeouts and group commit must tolerate.
+const (
+	Fail Mode = iota
+	Partial
+	NoSpace
+	Slow
+)
+
+// ErrInjected is the default error returned by fired Fail/Partial rules.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Rule arms one failpoint. Zero values mean: match any path, fire on the
+// first matching operation, fire every time after that, Fail with
+// ErrInjected.
+type Rule struct {
+	Op   Op     // operation class to match
+	Path string // substring the path must contain ("" = any)
+
+	After int     // skip this many matching ops before firing
+	Count int     // fire at most this many times (0 = unlimited)
+	Prob  float64 // fire with this probability (0 = always)
+
+	Mode  Mode
+	Err   error         // overrides the mode's default error
+	Delay time.Duration // Slow: how long to stall
+}
+
+type armedRule struct {
+	Rule
+	matched int // matching ops seen
+	fired   int // times fired
+}
+
+// Injector wraps a base FS and applies armed rules to matching
+// operations. All decisions that involve chance draw from one seeded
+// generator, so a failing torture run replays exactly from its seed.
+type Injector struct {
+	base FS
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []*armedRule
+	injected uint64
+}
+
+// New wraps base with an injector whose probabilistic rules draw from
+// seed.
+func New(base FS, seed int64) *Injector {
+	return &Injector{base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add arms a rule.
+func (in *Injector) Add(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &armedRule{Rule: r})
+}
+
+// Reset disarms every rule (already-failed files stay failed — the WAL is
+// poisoned by its first error by design).
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Injected reports how many faults have fired.
+func (in *Injector) Injected() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// verdict is the outcome of consulting the rules for one operation.
+type verdict struct {
+	err     error
+	partial int           // Partial write: bytes to let through first
+	delay   time.Duration // Slow: stall before proceeding
+}
+
+func (in *Injector) check(op Op, path string, size int) verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.matched++
+		if r.matched <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && in.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fired++
+		in.injected++
+		switch r.Mode {
+		case Slow:
+			return verdict{delay: r.Delay}
+		case Partial:
+			n := 0
+			if size > 0 {
+				n = in.rng.Intn(size) // strictly short: [0, size)
+			}
+			return verdict{err: ruleErr(r), partial: n}
+		case NoSpace:
+			err := r.Err
+			if err == nil {
+				err = syscall.ENOSPC
+			}
+			return verdict{err: fmt.Errorf("faultfs: injected %s on %s: %w", r.Mode.modeName(), path, err)}
+		default:
+			return verdict{err: ruleErr(r)}
+		}
+	}
+	return verdict{}
+}
+
+func ruleErr(r *armedRule) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+func (m Mode) modeName() string {
+	switch m {
+	case Partial:
+		return "partial-write"
+	case NoSpace:
+		return "enospc"
+	case Slow:
+		return "latency"
+	default:
+		return "fail"
+	}
+}
+
+func (in *Injector) apply(op Op, path string) error {
+	v := in.check(op, path, 0)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	return v.err
+}
+
+// OpenFile implements FS.
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := in.apply(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, path: name}, nil
+}
+
+// Rename implements FS.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.apply(OpRename, newpath); err != nil {
+		return err
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	if err := in.apply(OpRemove, name); err != nil {
+		return err
+	}
+	return in.base.Remove(name)
+}
+
+// Truncate implements FS.
+func (in *Injector) Truncate(name string, size int64) error {
+	if err := in.apply(OpTruncate, name); err != nil {
+		return err
+	}
+	return in.base.Truncate(name, size)
+}
+
+// ReadFile implements FS (never faulted: torture targets the write path).
+func (in *Injector) ReadFile(name string) ([]byte, error) { return in.base.ReadFile(name) }
+
+// ReadDir implements FS (never faulted).
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return in.base.ReadDir(name) }
+
+// SyncDir implements FS.
+func (in *Injector) SyncDir(dir string) error {
+	if err := in.apply(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return in.base.SyncDir(dir)
+}
+
+// injFile applies write/sync rules to one open file.
+type injFile struct {
+	in   *Injector
+	f    File
+	path string
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	v := f.in.check(OpWrite, f.path, len(p))
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		n := 0
+		if v.partial > 0 {
+			// A torn write: part of the buffer reaches the disk before the
+			// failure. Recovery must stop at the intact prefix.
+			n, _ = f.f.Write(p[:v.partial])
+		}
+		return n, v.err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	v := f.in.check(OpSync, f.path, 0)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		return v.err
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Close() error { return f.f.Close() }

@@ -1,0 +1,149 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func writeThrough(t *testing.T, fs FS, path string, data []byte) error {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func TestNthOpTrigger(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(OS, 1)
+	inj.Add(Rule{Op: OpWrite, After: 2, Count: 1})
+
+	path := filepath.Join(dir, "f")
+	for i := 0; i < 2; i++ {
+		if err := writeThrough(t, inj, path, []byte("ok")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := writeThrough(t, inj, path, []byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("3rd write: got %v, want ErrInjected", err)
+	}
+	// Count=1: the rule is spent, writes succeed again.
+	if err := writeThrough(t, inj, path, []byte("ok")); err != nil {
+		t.Fatalf("4th write: %v", err)
+	}
+	if got := inj.Injected(); got != 1 {
+		t.Fatalf("injected = %d, want 1", got)
+	}
+}
+
+func TestPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(OS, 1)
+	inj.Add(Rule{Op: OpWrite, Path: "wal-"})
+
+	if err := writeThrough(t, inj, filepath.Join(dir, "other.log"), []byte("x")); err != nil {
+		t.Fatalf("non-matching path failed: %v", err)
+	}
+	if err := writeThrough(t, inj, filepath.Join(dir, "wal-1.log"), []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching path: got %v, want ErrInjected", err)
+	}
+}
+
+func TestPartialWriteLeavesShortPrefix(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(OS, 7)
+	inj.Add(Rule{Op: OpWrite, Mode: Partial, Count: 1})
+
+	path := filepath.Join(dir, "f")
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	err := writeThrough(t, inj, path, payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(data) >= len(payload) {
+		t.Fatalf("partial write persisted %d bytes, want < %d", len(data), len(payload))
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(OS, 1)
+	inj.Add(Rule{Op: OpSync, Mode: NoSpace})
+	err := writeThrough(t, inj, filepath.Join(dir, "f"), []byte("x"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("got %v, want ENOSPC", err)
+	}
+}
+
+func TestSlowDelaysButSucceeds(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(OS, 1)
+	inj.Add(Rule{Op: OpWrite, Mode: Slow, Delay: 30 * time.Millisecond, Count: 1})
+	start := time.Now()
+	if err := writeThrough(t, inj, filepath.Join(dir, "f"), []byte("x")); err != nil {
+		t.Fatalf("slow write failed: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		dir := t.TempDir()
+		inj := New(OS, seed)
+		inj.Add(Rule{Op: OpWrite, Prob: 0.5})
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			err := writeThrough(t, inj, filepath.Join(dir, "f"), []byte("x"))
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs between identically-seeded runs", i)
+		}
+	}
+}
+
+func TestRenameAndSyncDirFaults(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := New(OS, 1)
+	inj.Add(Rule{Op: OpRename, Count: 1})
+	inj.Add(Rule{Op: OpSyncDir, Count: 1})
+	if err := inj.Rename(src, filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename: got %v, want ErrInjected", err)
+	}
+	if err := inj.SyncDir(dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("syncdir: got %v, want ErrInjected", err)
+	}
+	// Spent rules: both pass through now.
+	if err := inj.Rename(src, filepath.Join(dir, "b")); err != nil {
+		t.Fatalf("rename passthrough: %v", err)
+	}
+	if err := inj.SyncDir(dir); err != nil {
+		t.Fatalf("syncdir passthrough: %v", err)
+	}
+}

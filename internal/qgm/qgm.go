@@ -9,6 +9,7 @@ package qgm
 
 import (
 	"fmt"
+	"strings"
 
 	"xnf/internal/types"
 )
@@ -182,10 +183,27 @@ type Graph struct {
 	TopBox *Box
 	boxes  []*Box
 	nextID int
+
+	// Deps are the catalog names (tables and views, upper-cased, deduped)
+	// this graph was compiled against. The plan cache revalidates cached
+	// plans per dependency: a plan stays fresh while none of its Deps
+	// changed, even when unrelated DDL bumped the global catalog version.
+	Deps []string
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph { return &Graph{} }
+
+// AddDep records a catalog-name dependency (idempotent).
+func (g *Graph) AddDep(name string) {
+	key := strings.ToUpper(name)
+	for _, d := range g.Deps {
+		if d == key {
+			return
+		}
+	}
+	g.Deps = append(g.Deps, key)
+}
 
 // NewBox allocates a box registered with the graph.
 func (g *Graph) NewBox(kind BoxKind, name string) *Box {

@@ -1,0 +1,206 @@
+// Package resource implements hierarchical memory accounting: a tree of
+// accountants (process → session → statement) where every reservation
+// charges the whole ancestor chain, so one statement cannot push the
+// process past its budget no matter how the load is distributed across
+// sessions. Reservations are advisory byte estimates made by the big
+// allocators (hash-join build slabs, sort key tuples, distinct/agg
+// tables, cursor blocks); they are cheap (one CAS per tree level) and
+// exact in aggregate: after every statement and session closes, the
+// process accountant reads zero.
+//
+// An over-budget reservation fails with ErrResourceExhausted, a typed,
+// retryable error: the statement that lost the race frees everything it
+// reserved, the server stays up, and the client may retry after
+// backoff. Operators with a cheaper execution strategy degrade first
+// (parallel → sequential, one-shot sort → chunked merge) and only fail
+// when even the degraded form does not fit.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrResourceExhausted is the sentinel matched by errors.Is on every
+// failed reservation. Callers treat it as retryable: the condition is a
+// function of concurrent load, not of the statement itself.
+var ErrResourceExhausted = errors.New("resource exhausted")
+
+// ExhaustedError reports which accountant in the chain rejected a
+// reservation and the sizes involved. It unwraps to
+// ErrResourceExhausted.
+type ExhaustedError struct {
+	Scope     string // name of the accountant that rejected
+	Requested int64  // bytes asked for
+	Used      int64  // bytes charged at rejection time
+	Limit     int64  // the scope's budget
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("%s memory budget exhausted: requested %d bytes, %d of %d in use: %v",
+		e.Scope, e.Requested, e.Used, e.Limit, ErrResourceExhausted)
+}
+
+// Unwrap makes errors.Is(err, ErrResourceExhausted) true.
+func (e *ExhaustedError) Unwrap() error { return ErrResourceExhausted }
+
+// Accountant tracks reserved bytes at one level of the hierarchy. A nil
+// *Accountant is valid everywhere and accounts nothing, so execution
+// paths thread one without caring whether budgeting is enabled. All
+// methods are safe for concurrent use.
+type Accountant struct {
+	name   string
+	parent *Accountant
+	limit  atomic.Int64 // 0 = unlimited
+	used   atomic.Int64
+	closed atomic.Bool
+
+	// denied counts reservations this accountant rejected (not ones an
+	// ancestor rejected) — the overload signal surfaced as a metric.
+	denied atomic.Int64
+}
+
+// NewRoot returns a top-level accountant. limit <= 0 means unlimited —
+// accounting still happens so Used stays meaningful.
+func NewRoot(name string, limit int64) *Accountant {
+	a := &Accountant{name: name}
+	a.SetLimit(limit)
+	return a
+}
+
+// Child derives a sub-accountant whose reservations also charge a (and
+// every ancestor of a). A nil receiver yields a usable root so callers
+// never branch.
+func (a *Accountant) Child(name string, limit int64) *Accountant {
+	if limit < 0 {
+		limit = 0
+	}
+	c := &Accountant{name: name, parent: a}
+	c.SetLimit(limit)
+	return c
+}
+
+// SetLimit changes the budget (0 or negative = unlimited). Already-held
+// reservations are never revoked; the new limit governs from the next
+// Reserve on.
+func (a *Accountant) SetLimit(limit int64) {
+	if a == nil {
+		return
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	a.limit.Store(limit)
+}
+
+// Name reports the scope label ("process", "session", "statement").
+func (a *Accountant) Name() string {
+	if a == nil {
+		return ""
+	}
+	return a.name
+}
+
+// Used reports the bytes currently reserved at this level.
+func (a *Accountant) Used() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.used.Load()
+}
+
+// Limit reports the budget (0 = unlimited).
+func (a *Accountant) Limit() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.limit.Load()
+}
+
+// Denied reports how many reservations this level rejected.
+func (a *Accountant) Denied() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.denied.Load()
+}
+
+// reserveOne charges n at this single level, failing if it would exceed
+// the limit.
+func (a *Accountant) reserveOne(n int64) error {
+	limit := a.limit.Load()
+	for {
+		cur := a.used.Load()
+		next := cur + n
+		if limit > 0 && next > limit {
+			a.denied.Add(1)
+			return &ExhaustedError{Scope: a.name, Requested: n, Used: cur, Limit: limit}
+		}
+		if a.used.CompareAndSwap(cur, next) {
+			return nil
+		}
+	}
+}
+
+// Reserve charges n bytes here and at every ancestor. On failure at any
+// level nothing stays charged and the returned error wraps
+// ErrResourceExhausted, naming the level that rejected. Reserve(n<=0)
+// is a no-op.
+func (a *Accountant) Reserve(n int64) error {
+	if a == nil || n <= 0 {
+		return nil
+	}
+	for lvl := a; lvl != nil; lvl = lvl.parent {
+		if err := lvl.reserveOne(n); err != nil {
+			for undo := a; undo != lvl; undo = undo.parent {
+				undo.used.Add(-n)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Release returns n bytes here and at every ancestor. Releasing more
+// than was reserved clamps at this level's zero (the ancestor chain is
+// still debited by the clamped amount, keeping levels consistent).
+func (a *Accountant) Release(n int64) {
+	if a == nil || n <= 0 {
+		return
+	}
+	// Clamp against this level so a double release cannot drive the
+	// chain negative.
+	for {
+		cur := a.used.Load()
+		m := n
+		if m > cur {
+			m = cur
+		}
+		if m == 0 {
+			return
+		}
+		if a.used.CompareAndSwap(cur, cur-m) {
+			for lvl := a.parent; lvl != nil; lvl = lvl.parent {
+				lvl.used.Add(-m)
+			}
+			return
+		}
+	}
+}
+
+// Close releases everything still reserved at this level back to the
+// ancestor chain — the leak-proofing step run when a statement or
+// session ends, guaranteeing Used()==0 at the root after drain. Close
+// is idempotent; the accountant must not be used afterwards.
+func (a *Accountant) Close() {
+	if a == nil || !a.closed.CompareAndSwap(false, true) {
+		return
+	}
+	rem := a.used.Swap(0)
+	if rem > 0 {
+		for lvl := a.parent; lvl != nil; lvl = lvl.parent {
+			lvl.used.Add(-rem)
+		}
+	}
+}

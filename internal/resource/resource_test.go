@@ -1,0 +1,150 @@
+package resource
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestReserveRelease(t *testing.T) {
+	root := NewRoot("process", 1000)
+	sess := root.Child("session", 500)
+	stmt := sess.Child("statement", 0)
+
+	if err := stmt.Reserve(400); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	if got := root.Used(); got != 400 {
+		t.Fatalf("root used = %d, want 400", got)
+	}
+	if got := sess.Used(); got != 400 {
+		t.Fatalf("session used = %d, want 400", got)
+	}
+
+	// Session limit rejects before the process limit.
+	err := stmt.Reserve(200)
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("want ErrResourceExhausted, got %v", err)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Scope != "session" {
+		t.Fatalf("want session scope, got %+v", ex)
+	}
+	// Failed reservation left nothing charged.
+	if root.Used() != 400 || sess.Used() != 400 || stmt.Used() != 400 {
+		t.Fatalf("leaked after failed reserve: %d/%d/%d", root.Used(), sess.Used(), stmt.Used())
+	}
+
+	stmt.Release(400)
+	if root.Used() != 0 || sess.Used() != 0 || stmt.Used() != 0 {
+		t.Fatalf("nonzero after release: %d/%d/%d", root.Used(), sess.Used(), stmt.Used())
+	}
+}
+
+func TestRootLimitRejects(t *testing.T) {
+	root := NewRoot("process", 100)
+	a := root.Child("session", 0)
+	b := root.Child("session", 0)
+	if err := a.Reserve(80); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	err := b.Reserve(40)
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("want exhausted, got %v", err)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Scope != "process" {
+		t.Fatalf("want process scope, got %+v", ex)
+	}
+	if b.Used() != 0 || root.Used() != 80 {
+		t.Fatalf("rollback failed: b=%d root=%d", b.Used(), root.Used())
+	}
+	if root.Denied() != 1 {
+		t.Fatalf("denied = %d, want 1", root.Denied())
+	}
+}
+
+func TestCloseReleasesRemainder(t *testing.T) {
+	root := NewRoot("process", 0)
+	sess := root.Child("session", 0)
+	stmt := sess.Child("statement", 0)
+	stmt.Reserve(300)
+	stmt.Release(100)
+	stmt.Close()
+	stmt.Close() // idempotent
+	if root.Used() != 0 || sess.Used() != 0 {
+		t.Fatalf("close leaked: root=%d sess=%d", root.Used(), sess.Used())
+	}
+}
+
+func TestOverRelease(t *testing.T) {
+	root := NewRoot("process", 0)
+	a := root.Child("x", 0)
+	a.Reserve(10)
+	a.Release(50) // clamps to 10
+	if a.Used() != 0 || root.Used() != 0 {
+		t.Fatalf("over-release drove negative: a=%d root=%d", a.Used(), root.Used())
+	}
+}
+
+func TestNilAccountant(t *testing.T) {
+	var a *Accountant
+	if err := a.Reserve(100); err != nil {
+		t.Fatalf("nil reserve: %v", err)
+	}
+	a.Release(100)
+	a.Close()
+	if a.Used() != 0 || a.Limit() != 0 || a.Name() != "" {
+		t.Fatal("nil accessors")
+	}
+	c := a.Child("s", 10)
+	if c == nil || c.Reserve(5) != nil {
+		t.Fatal("nil child unusable")
+	}
+}
+
+func TestConcurrentExact(t *testing.T) {
+	root := NewRoot("process", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := root.Child("session", 0)
+			for i := 0; i < 1000; i++ {
+				st := s.Child("statement", 0)
+				st.Reserve(64)
+				st.Reserve(32)
+				st.Release(16)
+				st.Close()
+			}
+			s.Close()
+		}()
+	}
+	wg.Wait()
+	if root.Used() != 0 {
+		t.Fatalf("root used = %d after drain, want 0", root.Used())
+	}
+}
+
+func TestConcurrentLimitNeverExceeded(t *testing.T) {
+	root := NewRoot("process", 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := root.Child("session", 0)
+			defer s.Close()
+			for i := 0; i < 500; i++ {
+				if err := s.Reserve(4096); err == nil {
+					if u := root.Used(); u > 1<<20 {
+						t.Errorf("limit exceeded: %d", u)
+					}
+					s.Release(4096)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -544,9 +544,11 @@ func (b *Builder) buildTableRef(tr ast.TableRef) (*qgm.Box, error) {
 		return b.buildSelect(tr.Subquery, nil, true)
 	}
 	if t, ok := b.cat.Table(tr.Table); ok {
+		b.g.AddDep(t.Name)
 		return b.baseTableBox(t), nil
 	}
 	if v, ok := b.cat.View(tr.Table); ok {
+		b.g.AddDep(v.Name)
 		if v.IsXNF {
 			return nil, fmt.Errorf("semantics: XNF view %s cannot be used as a table; query it with OUT OF or the CO API", v.Name)
 		}

@@ -221,9 +221,9 @@ func (s *Store) Analyze(name string) error {
 		// WAL-logged and survives a crash (it also bumps the version).
 		return s.SetTableStorage(name, catalog.ColumnStore)
 	}
-	// Fresh statistics can change plan choices; stale compiled plans must
-	// not outlive them.
-	s.cat.BumpVersion()
+	// Fresh statistics can change plan choices; stale compiled plans over
+	// this table must not outlive them (plans over other tables survive).
+	s.cat.BumpName(name)
 	return nil
 }
 
@@ -237,7 +237,7 @@ func (s *Store) SetTableStorage(name string, kind catalog.StorageKind) error {
 		return err
 	}
 	td.SetStorage(kind)
-	s.cat.BumpVersion()
+	s.cat.BumpName(name)
 	return s.logDDL(&wal.Record{Op: wal.OpSetStorage, Table: name, Storage: uint8(kind)})
 }
 

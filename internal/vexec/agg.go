@@ -387,19 +387,33 @@ type HashAggBatch struct {
 	Cols   []exec.Column
 
 	env env
+	mem memTracker
 	out []types.Row
 	pos int
 	ob  Batch
 }
 
-// Open implements BatchPlan; the aggregation is computed eagerly.
+// aggGroupBytes estimates the retained footprint of one hash-agg group:
+// the boxed key, the aggregate states (DISTINCT states carry a set) and
+// the bucket bookkeeping.
+func aggGroupBytes(ngroups, naggs int) int64 {
+	return int64(ngroups)*bytesPerValue + int64(naggs)*96 + bytesPerRow
+}
+
+// Open implements BatchPlan; the aggregation is computed eagerly. New
+// groups are charged against the statement accountant a batch at a
+// time; an over-budget aggregation fails with ErrResourceExhausted.
 func (a *HashAggBatch) Open(ctx *exec.Ctx, params types.Row) error {
 	if err := a.Child.Open(ctx, params); err != nil {
 		return err
 	}
 	a.env.open(params)
 	gt := newGroupTable(a.Groups, a.Aggs)
+	perGroup := aggGroupBytes(len(a.Groups), len(a.Aggs))
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		b, err := a.Child.NextBatch(ctx)
 		if err != nil {
 			return err
@@ -407,8 +421,14 @@ func (a *HashAggBatch) Open(ctx *exec.Ctx, params types.Row) error {
 		if b == nil {
 			break
 		}
+		before := len(gt.order)
 		if err := gt.fold(&a.env, b); err != nil {
 			return err
+		}
+		if grown := len(gt.order) - before; grown > 0 {
+			if err := a.mem.reserve(ctx, int64(grown)*perGroup); err != nil {
+				return err
+			}
 		}
 	}
 	if err := a.Child.Close(ctx); err != nil {
@@ -434,9 +454,10 @@ func (a *HashAggBatch) NextBatch(*exec.Ctx) (*Batch, error) {
 }
 
 // Close implements BatchPlan.
-func (a *HashAggBatch) Close(*exec.Ctx) error {
+func (a *HashAggBatch) Close(ctx *exec.Ctx) error {
 	a.out = nil
 	a.ob.release()
+	a.mem.releaseAll(ctx)
 	a.env.close()
 	return nil
 }

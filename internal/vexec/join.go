@@ -102,6 +102,7 @@ type BatchHashJoin struct {
 	MinRows     int64   // sequential build below this; 0 = DefaultParallelMinRows
 
 	table  map[uint64][]types.Row // entry = key values ++ build row
+	mem    memTracker             // build-side slab reservations
 	kenv   env                    // probe-key evaluation
 	renv   env                    // residual evaluation over the output batch
 	keys   keyCols
@@ -163,7 +164,12 @@ func (j *BatchHashJoin) seqBuild(ctx *exec.Ctx, params types.Row) error {
 	benv.open(params)
 	defer benv.close()
 	built := int64(0)
+	entryW := len(j.RightKeys) + j.rightW
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			j.Right.Close(ctx)
+			return err
+		}
 		b, err := j.Right.NextBatch(ctx)
 		if err != nil {
 			j.Right.Close(ctx)
@@ -171,6 +177,12 @@ func (j *BatchHashJoin) seqBuild(ctx *exec.Ctx, params types.Row) error {
 		}
 		if b == nil {
 			break
+		}
+		// The slab retains up to one entry per selected row for the
+		// execution's lifetime; charge it before allocating.
+		if err := j.mem.reserve(ctx, rowsBytes(selCount(b), entryW)); err != nil {
+			j.Right.Close(ctx)
+			return err
 		}
 		n, err := j.buildBatch(&benv, &bkeys, b, func(h uint64, entry types.Row) {
 			j.table[h] = append(j.table[h], entry)
@@ -254,6 +266,14 @@ func (j *BatchHashJoin) parallelBuild(ctx *exec.Ctx, params types.Row, scan *Sca
 	if int64(total) < minRows || workers <= 1 {
 		return false, nil
 	}
+	// Charge the whole build estimate up front: parallel workers must
+	// not race reservations mid-build. If it does not fit, degrade to
+	// the sequential build, which charges incrementally and so can get
+	// further before failing (probe-side batches free up as it runs).
+	if err := j.mem.reserve(ctx, rowsBytes(total, len(j.RightKeys)+j.rightW)); err != nil {
+		add(&ctx.Counters.MemFallbacks, 1)
+		return false, nil
+	}
 	grant := Shared.Acquire(workers - 1)
 	if grant.N() == 0 {
 		add(&ctx.Counters.PoolFallbacks, 1)
@@ -283,6 +303,10 @@ func (j *BatchHashJoin) parallelBuild(ctx *exec.Ctx, params types.Row, scan *Sca
 			benv.close()
 		}()
 		for mi := wi; mi < len(morsels); mi += w {
+			if err := ctx.Interrupted(); err != nil {
+				werrs[wi] = &workerErr{morsel: mi, err: err}
+				return
+			}
 			ents, err := j.buildMorsel(&benv, &bkeys, &batch, &selBuf, scan.Pred, morsels[mi])
 			if err != nil {
 				werrs[wi] = &workerErr{morsel: mi, err: err}
@@ -382,6 +406,9 @@ func (j *BatchHashJoin) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 			}
 			return &j.out, nil
 		}
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
+		}
 		b, err := j.Left.NextBatch(ctx)
 		if err != nil {
 			return nil, err
@@ -448,6 +475,7 @@ func (j *BatchHashJoin) emit(n int) {
 // Close implements BatchPlan.
 func (j *BatchHashJoin) Close(ctx *exec.Ctx) error {
 	j.table = nil
+	j.mem.releaseAll(ctx)
 	j.cur = nil
 	j.pairL = j.pairL[:0]
 	j.pairR = j.pairR[:0]

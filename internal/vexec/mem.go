@@ -1,0 +1,63 @@
+package vexec
+
+import "xnf/internal/exec"
+
+// bytesPerValue is the accounting estimate for one boxed types.Value
+// held long-term: the 40-byte struct plus an amortized share of string
+// payloads and map/slice bookkeeping. Budgets govern aggregate demand,
+// not exact residency, so a uniform per-value figure keeps the hot
+// paths free of per-string measurement.
+const bytesPerValue = 48
+
+// bytesPerRow is the per-row overhead on top of the values: the slice
+// header plus hash-bucket/permutation bookkeeping.
+const bytesPerRow = 32
+
+// rowsBytes estimates the retained footprint of nrows materialized rows
+// of the given value width.
+func rowsBytes(nrows, width int) int64 {
+	return int64(nrows) * (int64(width)*bytesPerValue + bytesPerRow)
+}
+
+// memTracker accumulates one operator's reservations so Close can
+// return exactly what was taken, no matter where the operator stopped.
+// Not safe for concurrent use — parallel strategies reserve their whole
+// estimate up front on the coordinating goroutine.
+type memTracker struct{ reserved int64 }
+
+// reserve charges n bytes to the statement accountant and records it.
+func (m *memTracker) reserve(ctx *exec.Ctx, n int64) error {
+	if err := ctx.Reserve(n); err != nil {
+		return err
+	}
+	m.reserved += n
+	return nil
+}
+
+// releaseN returns n bytes early (an operator dropping an intermediate
+// structure before Close), clamped to what is still held.
+func (m *memTracker) releaseN(ctx *exec.Ctx, n int64) {
+	if n > m.reserved {
+		n = m.reserved
+	}
+	if n > 0 {
+		ctx.Release(n)
+		m.reserved -= n
+	}
+}
+
+// releaseAll returns everything still held; safe to call repeatedly.
+func (m *memTracker) releaseAll(ctx *exec.Ctx) {
+	if m.reserved > 0 {
+		ctx.Release(m.reserved)
+		m.reserved = 0
+	}
+}
+
+// selCount returns the logical row count of a batch.
+func selCount(b *Batch) int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}

@@ -117,6 +117,7 @@ type ParallelAggScan struct {
 	Prune   []PruneTerm   // zone-map pruning conjuncts over the fused Pred
 
 	out []types.Row
+	mem memTracker
 	pos int
 	ob  Batch
 }
@@ -167,13 +168,16 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 		w := newAggWorker(p, params)
 		defer w.close()
 		for i := range morsels {
+			if err := ctx.Interrupted(); err != nil {
+				return err
+			}
 			if err := w.foldMorsel(i, morsels[i]); err != nil {
 				return err
 			}
 		}
 		p.out = w.gt.emit()
 		p.pos = 0
-		return nil
+		return p.mem.reserve(ctx, rowsBytes(len(p.out), len(p.Cols)))
 	}
 	defer grant.Release()
 	workers = grant.N() + 1
@@ -188,6 +192,10 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 		// Static strided assignment keeps the row→partial-state
 		// partition deterministic (see the type comment).
 		for mi := wi; mi < len(morsels); mi += workers {
+			if err := ctx.Interrupted(); err != nil {
+				werrs[wi] = &workerErr{morsel: mi, err: err}
+				return
+			}
 			if err := w.foldMorsel(mi, morsels[mi]); err != nil {
 				werrs[wi] = &workerErr{morsel: mi, err: err}
 				return
@@ -215,7 +223,7 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 	}
 	p.out = mergeGroupTables(tables, p.Groups, p.Aggs).emit()
 	p.pos = 0
-	return nil
+	return p.mem.reserve(ctx, rowsBytes(len(p.out), len(p.Cols)))
 }
 
 // aggWorker is the per-worker fold state: a private expression arena,
@@ -342,8 +350,9 @@ func (p *ParallelAggScan) NextBatch(*exec.Ctx) (*Batch, error) {
 }
 
 // Close implements BatchPlan.
-func (p *ParallelAggScan) Close(*exec.Ctx) error {
+func (p *ParallelAggScan) Close(ctx *exec.Ctx) error {
 	p.out = nil
+	p.mem.releaseAll(ctx)
 	p.ob.release()
 	return nil
 }

@@ -22,6 +22,16 @@ import (
 // pool-admitted workers stable-sort contiguous index chunks and a stable
 // k-way merge (ties resolve to the earlier chunk) recombines them, which
 // reproduces the sequential stable sort bit for bit.
+//
+// Memory governance: rows and key tuples are charged against the
+// statement's accountant as they accumulate. The rows themselves are
+// mandatory (no spill path), but the O(n) key tuples are not — when a
+// key reservation is denied, the sort degrades to chunked mode: the
+// chunk accumulated so far is stable-sorted and its key memory
+// released, and the finished chunks are recombined by a stable k-way
+// merge that re-evaluates keys lazily at the chunk heads (O(#chunks)
+// key tuples live instead of O(n)). Only when even one batch of keys
+// does not fit does the statement fail with ErrResourceExhausted.
 type BatchSort struct {
 	Child    BatchPlan
 	Keys     []VExpr
@@ -33,10 +43,18 @@ type BatchSort struct {
 	env   env
 	keys  keyCols
 	rows  []types.Row
-	kr    []types.Row // key tuple per row
+	kr    []types.Row // key tuple per row of the current chunk
 	pos   int
 	width int
 	ob    Batch
+
+	mem        memTracker
+	keyBytes   int64 // reservation held for s.kr
+	chunkStart int   // first row of the chunk s.kr describes
+	chunks     []int // start index of each finalized chunk
+	degraded   bool  // chunked mode entered (memory pressure)
+	kb         Batch // scratch batch for lazy key re-evaluation
+	krow       [1]types.Row
 }
 
 // Open implements BatchPlan; the sort is computed eagerly.
@@ -48,9 +66,16 @@ func (s *BatchSort) Open(ctx *exec.Ctx, params types.Row) error {
 	s.rows = s.rows[:0]
 	s.kr = s.kr[:0]
 	s.pos = 0
+	s.keyBytes = 0
+	s.chunkStart = 0
+	s.chunks = s.chunks[:0]
+	s.degraded = false
 	s.width = len(s.Child.Columns())
 	nk := len(s.Keys)
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		b, err := s.Child.NextBatch(ctx)
 		if err != nil {
 			return err
@@ -62,6 +87,22 @@ func (s *BatchSort) Open(ctx *exec.Ctx, params types.Row) error {
 		if sel == nil {
 			sel = s.env.identity(b.N)
 		}
+		// The rows are non-negotiable; the key tuples degrade to
+		// chunked mode under pressure (see the type comment).
+		if err := s.mem.reserve(ctx, rowsBytes(len(sel), s.width)); err != nil {
+			return err
+		}
+		kbytes := rowsBytes(len(sel), nk)
+		if err := s.mem.reserve(ctx, kbytes); err != nil {
+			if len(s.kr) == 0 {
+				return err
+			}
+			s.finalizeChunk(ctx)
+			if err := s.mem.reserve(ctx, kbytes); err != nil {
+				return err
+			}
+		}
+		s.keyBytes += kbytes
 		s.env.reset()
 		if err := s.keys.eval(s.Keys, &s.env, b, sel); err != nil {
 			return err
@@ -78,7 +119,122 @@ func (s *BatchSort) Open(ctx *exec.Ctx, params types.Row) error {
 	if err := s.Child.Close(ctx); err != nil {
 		return err
 	}
+	if s.degraded {
+		s.finalizeChunk(ctx)
+		return s.mergeChunks(ctx)
+	}
 	s.sortRows(ctx)
+	s.kr = nil
+	s.mem.releaseN(ctx, s.keyBytes)
+	s.keyBytes = 0
+	return nil
+}
+
+// finalizeChunk stable-sorts the rows accumulated since chunkStart by
+// their key tuples, records the chunk boundary, and releases the key
+// memory — the degraded-mode step taken whenever the next batch of keys
+// no longer fits the budget.
+func (s *BatchSort) finalizeChunk(ctx *exec.Ctx) {
+	if !s.degraded {
+		s.degraded = true
+		add(&ctx.Counters.MemFallbacks, 1)
+	}
+	chunk := s.rows[s.chunkStart:]
+	if len(chunk) > 1 {
+		ords := make([]int, len(s.Keys))
+		for i := range ords {
+			ords[i] = i
+		}
+		perm := make([]int, len(chunk))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(i, j int) bool {
+			return types.CompareRows(s.kr[perm[i]], s.kr[perm[j]], ords, s.Desc) < 0
+		})
+		out := make([]types.Row, len(chunk))
+		for o, i := range perm {
+			out[o] = chunk[i]
+		}
+		copy(chunk, out)
+	}
+	s.chunks = append(s.chunks, s.chunkStart)
+	s.chunkStart = len(s.rows)
+	s.kr = s.kr[:0]
+	s.mem.releaseN(ctx, s.keyBytes)
+	s.keyBytes = 0
+}
+
+// rowKey re-evaluates the sort keys of one materialized row through a
+// one-row scratch batch — the lazy per-head evaluation of the degraded
+// merge.
+func (s *BatchSort) rowKey(row types.Row) (types.Row, error) {
+	s.krow[0] = row
+	s.kb.fromRows(s.krow[:], s.width)
+	s.env.reset()
+	sel := s.env.identity(1)
+	if err := s.keys.eval(s.Keys, &s.env, &s.kb, sel); err != nil {
+		return nil, err
+	}
+	key := make(types.Row, len(s.Keys))
+	for k := range s.Keys {
+		key[k] = s.keys.valueAt(k, 0)
+	}
+	return key, nil
+}
+
+// mergeChunks recombines the sorted chunks with a stable k-way merge:
+// smallest head key wins, ties resolve to the earliest chunk (earlier
+// chunks hold earlier input rows), reproducing the one-shot stable
+// sort's order with only O(#chunks) key tuples live.
+func (s *BatchSort) mergeChunks(ctx *exec.Ctx) error {
+	k := len(s.chunks)
+	if k <= 1 {
+		return nil
+	}
+	bounds := append(append([]int{}, s.chunks...), len(s.rows))
+	heads := make([]int, k)
+	copy(heads, bounds[:k])
+	headKey := make([]types.Row, k)
+	ords := make([]int, len(s.Keys))
+	for i := range ords {
+		ords[i] = i
+	}
+	var err error
+	for c := 0; c < k; c++ {
+		if heads[c] < bounds[c+1] {
+			if headKey[c], err = s.rowKey(s.rows[heads[c]]); err != nil {
+				return err
+			}
+		}
+	}
+	out := make([]types.Row, 0, len(s.rows))
+	for len(out) < len(s.rows) {
+		if len(out)%BatchSize == 0 {
+			if err := ctx.Interrupted(); err != nil {
+				return err
+			}
+		}
+		best := -1
+		for c := 0; c < k; c++ {
+			if heads[c] >= bounds[c+1] {
+				continue
+			}
+			if best < 0 || types.CompareRows(headKey[c], headKey[best], ords, s.Desc) < 0 {
+				best = c
+			}
+		}
+		out = append(out, s.rows[heads[best]])
+		heads[best]++
+		if heads[best] < bounds[best+1] {
+			if headKey[best], err = s.rowKey(s.rows[heads[best]]); err != nil {
+				return err
+			}
+		} else {
+			headKey[best] = nil
+		}
+	}
+	s.rows = out
 	return nil
 }
 
@@ -193,10 +349,14 @@ func (s *BatchSort) NextBatch(*exec.Ctx) (*Batch, error) {
 }
 
 // Close implements BatchPlan.
-func (s *BatchSort) Close(*exec.Ctx) error {
+func (s *BatchSort) Close(ctx *exec.Ctx) error {
 	s.rows = nil
 	s.kr = nil
+	s.chunks = s.chunks[:0]
 	s.ob.release()
+	s.kb.release()
+	s.mem.releaseAll(ctx)
+	s.keyBytes = 0
 	s.env.close()
 	return nil
 }
@@ -286,6 +446,7 @@ type BatchDistinct struct {
 	Child BatchPlan
 
 	dd     dedup
+	mem    memTracker
 	selBuf []int
 }
 
@@ -298,6 +459,9 @@ func (d *BatchDistinct) Open(ctx *exec.Ctx, params types.Row) error {
 // NextBatch implements BatchPlan.
 func (d *BatchDistinct) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
+		}
 		b, err := d.Child.NextBatch(ctx)
 		if err != nil || b == nil {
 			return b, err
@@ -305,6 +469,11 @@ func (d *BatchDistinct) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 		d.selBuf = d.dd.filter(b, d.selBuf)
 		if len(d.selBuf) == 0 {
 			continue
+		}
+		// Every surviving row was boxed into the seen table and is
+		// retained for the execution's lifetime.
+		if err := d.mem.reserve(ctx, rowsBytes(len(d.selBuf), len(b.Cols))); err != nil {
+			return nil, err
 		}
 		b.Sel = d.selBuf
 		return b, nil
@@ -314,6 +483,7 @@ func (d *BatchDistinct) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 // Close implements BatchPlan.
 func (d *BatchDistinct) Close(ctx *exec.Ctx) error {
 	d.dd.seen = nil
+	d.mem.releaseAll(ctx)
 	selPool.put(d.selBuf)
 	d.selBuf = nil
 	return d.Child.Close(ctx)
@@ -341,6 +511,7 @@ type BatchUnion struct {
 
 	cur    int
 	dd     dedup
+	mem    memTracker
 	selBuf []int
 }
 
@@ -374,6 +545,9 @@ func (u *BatchUnion) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 			if len(u.selBuf) == 0 {
 				continue
 			}
+			if err := u.mem.reserve(ctx, rowsBytes(len(u.selBuf), len(b.Cols))); err != nil {
+				return nil, err
+			}
 			b.Sel = u.selBuf
 		}
 		return b, nil
@@ -384,6 +558,7 @@ func (u *BatchUnion) NextBatch(ctx *exec.Ctx) (*Batch, error) {
 // Close implements BatchPlan.
 func (u *BatchUnion) Close(ctx *exec.Ctx) error {
 	u.dd.seen = nil
+	u.mem.releaseAll(ctx)
 	selPool.put(u.selBuf)
 	u.selBuf = nil
 	var first error

@@ -27,8 +27,9 @@ func WriteCheckpoint(dir string, seq uint64, payload []byte) error {
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
 
+	fs := getFS()
 	tmp := filepath.Join(dir, ckptName(seq)+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -42,19 +43,19 @@ func WriteCheckpoint(dir string, seq uint64, payload []byte) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, ckptName(seq))); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, filepath.Join(dir, ckptName(seq))); err != nil {
+		fs.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }
 
 // ReadCheckpoint reads and validates the checkpoint for sequence seq.
 func ReadCheckpoint(dir string, seq uint64) ([]byte, error) {
-	data, err := os.ReadFile(filepath.Join(dir, ckptName(seq)))
+	data, err := getFS().ReadFile(filepath.Join(dir, ckptName(seq)))
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +77,7 @@ func ReadCheckpoint(dir string, seq uint64) ([]byte, error) {
 // ListCheckpoints returns the checkpoint sequence numbers in dir,
 // ascending.
 func ListCheckpoints(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+	ents, err := getFS().ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -115,16 +116,17 @@ func LatestCheckpoint(dir string) (payload []byte, seq uint64, ok bool, err erro
 
 // RemoveCheckpointsBelow deletes checkpoint files with sequence < seq.
 func RemoveCheckpointsBelow(dir string, seq uint64) error {
+	fs := getFS()
 	seqs, err := ListCheckpoints(dir)
 	if err != nil {
 		return err
 	}
 	for _, s := range seqs {
 		if s < seq {
-			if err := os.Remove(filepath.Join(dir, ckptName(s))); err != nil {
+			if err := fs.Remove(filepath.Join(dir, ckptName(s))); err != nil {
 				return err
 			}
 		}
 	}
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }

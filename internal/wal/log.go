@@ -6,7 +6,35 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"xnf/internal/faultfs"
 )
+
+// fsys is the filesystem every WAL and checkpoint operation goes through.
+// Production keeps the OS passthrough; crash-torture tests swap in a
+// faultfs.Injector via SetFS to make specific writes/fsyncs/renames fail.
+var (
+	fsysMu sync.RWMutex
+	fsys   faultfs.FS = faultfs.OS
+)
+
+// SetFS swaps the package's filesystem and returns the previous one, for
+// the caller to restore. It affects logs opened afterwards and all
+// package-level file operations; tests must not leave an injector
+// installed.
+func SetFS(fs faultfs.FS) faultfs.FS {
+	fsysMu.Lock()
+	defer fsysMu.Unlock()
+	prev := fsys
+	fsys = fs
+	return prev
+}
+
+func getFS() faultfs.FS {
+	fsysMu.RLock()
+	defer fsysMu.RUnlock()
+	return fsys
+}
 
 // Options configures a Log.
 type Options struct {
@@ -40,7 +68,8 @@ type Log struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	f        *os.File
+	fs       faultfs.FS // captured at open so rotation stays on one FS
+	f        faultfs.File
 	seq      uint64
 	pending  []byte // encoded buffers queued behind the current flusher
 	npending uint64 // commits represented by pending
@@ -58,11 +87,12 @@ func logName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
 // OpenLog opens (creating if needed) the log file for sequence seq in
 // dir, appending to any existing contents.
 func OpenLog(dir string, seq uint64, opts Options) (*Log, error) {
-	f, err := os.OpenFile(filepath.Join(dir, logName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	fs := getFS()
+	f, err := fs.OpenFile(filepath.Join(dir, logName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, f: f, seq: seq}
+	l := &Log{dir: dir, opts: opts, fs: fs, f: f, seq: seq}
 	l.cond = sync.NewCond(&l.mu)
 	return l, nil
 }
@@ -91,6 +121,9 @@ func (l *Log) Commit(buf []byte, records int) error {
 	defer l.mu.Unlock()
 	if l.err != nil {
 		return l.err
+	}
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
 	}
 	l.stats.Records += uint64(records)
 	l.stats.Bytes += uint64(len(buf))
@@ -171,6 +204,9 @@ func (l *Log) Rotate(seq uint64) error {
 	if len(l.pending) != 0 || l.flushing {
 		return fmt.Errorf("wal: rotate with commits in flight")
 	}
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
 	if err := l.sync(); err != nil {
 		l.fail(err)
 		return err
@@ -179,7 +215,7 @@ func (l *Log) Rotate(seq uint64) error {
 		l.fail(err)
 		return err
 	}
-	f, err := os.OpenFile(filepath.Join(l.dir, logName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, logName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		l.fail(err)
 		return err
@@ -187,7 +223,7 @@ func (l *Log) Rotate(seq uint64) error {
 	l.f = f
 	l.seq = seq
 	l.stats.Rotations++
-	return syncDir(l.dir)
+	return l.fs.SyncDir(l.dir)
 }
 
 // Close fsyncs and closes the log file.
@@ -223,23 +259,9 @@ func (l *Log) sync() error {
 	return l.f.Sync()
 }
 
-// syncDir fsyncs a directory so renames and creates inside it are
-// durable. Best-effort on platforms where directories reject fsync.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !os.IsPermission(err) {
-		return nil // some filesystems refuse directory fsync; not fatal
-	}
-	return nil
-}
-
 // ListLogs returns the log sequence numbers present in dir, ascending.
 func ListLogs(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+	ents, err := getFS().ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +283,7 @@ func ListLogs(dir string) ([]uint64, error) {
 // the file to it before appending again, so crash wreckage never sits in
 // the middle of a live log.
 func ReadLog(dir string, seq uint64) (recs []*Record, validLen int64, torn bool, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, logName(seq)))
+	data, err := getFS().ReadFile(filepath.Join(dir, logName(seq)))
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -280,11 +302,12 @@ func ReadLog(dir string, seq uint64) (recs []*Record, validLen int64, torn bool,
 // TruncateLog durably cuts log file seq down to n bytes — the intact
 // prefix ReadLog found — so appends resume cleanly after the crash point.
 func TruncateLog(dir string, seq uint64, n int64) error {
+	fs := getFS()
 	path := filepath.Join(dir, logName(seq))
-	if err := os.Truncate(path, n); err != nil {
+	if err := fs.Truncate(path, n); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	f, err := fs.OpenFile(path, os.O_WRONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -296,33 +319,35 @@ func TruncateLog(dir string, seq uint64, n int64) error {
 // the middle of the sequence is corrupt, everything after it is
 // unreachable by replay and must not survive into the next log cycle.
 func RemoveLogsAbove(dir string, seq uint64) error {
+	fs := getFS()
 	seqs, err := ListLogs(dir)
 	if err != nil {
 		return err
 	}
 	for _, s := range seqs {
 		if s > seq {
-			if err := os.Remove(filepath.Join(dir, logName(s))); err != nil {
+			if err := fs.Remove(filepath.Join(dir, logName(s))); err != nil {
 				return err
 			}
 		}
 	}
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }
 
 // RemoveLogsBelow deletes log files with sequence < seq (after a
 // checkpoint at seq has been made durable).
 func RemoveLogsBelow(dir string, seq uint64) error {
+	fs := getFS()
 	seqs, err := ListLogs(dir)
 	if err != nil {
 		return err
 	}
 	for _, s := range seqs {
 		if s < seq {
-			if err := os.Remove(filepath.Join(dir, logName(s))); err != nil {
+			if err := fs.Remove(filepath.Join(dir, logName(s))); err != nil {
 				return err
 			}
 		}
 	}
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -148,9 +149,66 @@ func (c *Client) recv() (FrameType, []byte, error) {
 	c.Stats.Messages++
 	c.Stats.BytesRecv += n
 	if t == FrameError {
-		return t, nil, fmt.Errorf("wire: server: %s", string(payload))
+		code, msg := decodeError(payload)
+		return t, nil, &ServerError{Code: code, Msg: msg}
 	}
 	return t, payload, nil
+}
+
+// ServerError is a request failure the server reported through FrameError.
+// The connection stays usable; Code says whether the same request may
+// succeed after backoff (the server shed load) or is fatal as issued.
+type ServerError struct {
+	Code ErrCode
+	Msg  string
+}
+
+// Error renders the server error with its machine-readable code.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("wire: server [%s]: %s", e.Code, e.Msg)
+}
+
+// Retryable reports whether backing off and reissuing the request may
+// succeed (resource exhaustion, per-session limits).
+func (e *ServerError) Retryable() bool { return e.Code.Retryable() }
+
+// IsRetryable reports whether err is (or wraps) a retryable server error.
+func IsRetryable(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Retryable()
+}
+
+// maxRetryBackoff caps one Retry sleep.
+const maxRetryBackoff = time.Second
+
+// Retry runs f up to attempts times, sleeping base, 2*base, 4*base … (capped
+// at one second) between tries, while f fails with a retryable server error
+// (CodeResourceExhausted, CodeBusy). The first success, non-retryable error,
+// or exhausted attempt count ends the loop; the last error is returned. It
+// is the client-side half of the server's load shedding: overloaded
+// statements fail fast on the server and the client absorbs the wait.
+func Retry(attempts int, base time.Duration, f func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = f(); err == nil || !IsRetryable(err) {
+			return err
+		}
+		if i == attempts-1 {
+			break
+		}
+		d := base << uint(i)
+		if d > maxRetryBackoff {
+			d = maxRetryBackoff
+		}
+		time.Sleep(d)
+	}
+	return err
 }
 
 // QueryCO extracts a CO view into a client-side cache using the given ship

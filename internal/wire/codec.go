@@ -21,7 +21,7 @@
 //	FrameRows        S→C  uvarint count, tagged rows    one batch of (CompID, row) tuples
 //	FrameDone        S→C  varint count                  end of stream / statement (row or affected count)
 //	FrameMore        S→C  (empty)                       batch complete, stream continues
-//	FrameError       S→C  error text                    request failed; connection stays usable
+//	FrameError       S→C  code u8, error text           request failed; connection stays usable
 //	FrameClose       C→S  (empty)                       goodbye
 //	FramePrepare     C→S  SQL text                      compile a statement; answered by FramePrepared
 //	FramePrepared    S→C  uvarint id, nparams, cols     statement handle + output columns
@@ -80,6 +80,74 @@ const (
 	FrameCloseCursor                      // client → server: close a cursor early
 	FrameStats                            // both: request (empty) / metrics snapshot response
 )
+
+// ErrCode classifies a FrameError so clients can distinguish retryable
+// overload conditions from fatal request errors without parsing text. The
+// code rides as the first payload byte of every FrameError frame.
+type ErrCode byte
+
+// The error codes. ResourceExhausted and Busy are transient overload
+// signals — the statement was rejected to protect the server, and the same
+// request can succeed after backing off. Everything else is fatal for the
+// request (though the connection stays usable).
+const (
+	CodeInternal          ErrCode = iota // unclassified execution error
+	CodeProtocol                         // malformed frame or payload
+	CodeNotFound                         // unknown statement/cursor/view id
+	CodeResourceExhausted                // over memory budget (retryable)
+	CodeTimeout                          // statement deadline exceeded
+	CodeCanceled                         // statement canceled
+	CodeBusy                             // per-session limit hit (retryable)
+)
+
+// Retryable reports whether the request may succeed if retried after
+// backoff (the server shed load rather than rejecting the request itself).
+func (c ErrCode) Retryable() bool {
+	return c == CodeResourceExhausted || c == CodeBusy
+}
+
+// String names the code for error text.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeInternal:
+		return "internal"
+	case CodeProtocol:
+		return "protocol"
+	case CodeNotFound:
+		return "not_found"
+	case CodeResourceExhausted:
+		return "resource_exhausted"
+	case CodeTimeout:
+		return "timeout"
+	case CodeCanceled:
+		return "canceled"
+	case CodeBusy:
+		return "busy"
+	default:
+		return "unknown"
+	}
+}
+
+// encodeError packs a FrameError payload: one code byte then the text.
+func encodeError(code ErrCode, msg string) []byte {
+	buf := make([]byte, 0, 1+len(msg))
+	buf = append(buf, byte(code))
+	return append(buf, msg...)
+}
+
+// decodeError unpacks a FrameError payload. Decoding is tolerant: an empty
+// payload or an out-of-range code byte degrades to CodeInternal with the
+// whole payload as text, so a mismatched peer still yields a readable error.
+func decodeError(payload []byte) (ErrCode, string) {
+	if len(payload) == 0 {
+		return CodeInternal, ""
+	}
+	code := ErrCode(payload[0])
+	if code > CodeBusy {
+		return CodeInternal, string(payload)
+	}
+	return code, string(payload[1:])
+}
 
 // maxFrame bounds a frame payload (defense against corrupt or hostile
 // streams: the length prefix is attacker-controlled, so it is validated

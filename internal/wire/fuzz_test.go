@@ -29,6 +29,11 @@ func FuzzFrame(f *testing.F) {
 	seed(FramePrepared, encodePrepared(3, 2, []string{"a", "b"}))
 	seed(FrameRows, encodeRows([]TaggedRow{{CompID: 1, Row: row}, {CompID: 2, Row: nil}}))
 	seed(FrameDone, nil)
+	seed(FrameError, encodeError(CodeBusy, "too many open cursors (limit 4)"))
+	seed(FrameError, encodeError(CodeResourceExhausted, "mem: statement over budget"))
+	seed(FrameError, encodeError(CodeTimeout, "context deadline exceeded"))
+	// Out-of-range code byte: must degrade, not panic.
+	seed(FrameError, []byte{0xEE, 'b', 'a', 'd'})
 	seed(FrameStats, encodeStats([]metrics.Sample{
 		{Name: "xnf_sessions_active", Value: 3},
 		{Name: "xnf_statement_latency_ns_p99", Value: 1048576},
@@ -68,6 +73,14 @@ func FuzzFrame(f *testing.F) {
 				t.Fatalf("value round trip changed %v -> %v (err=%v)", v, v2, err)
 			}
 			_ = rest
+		}
+		// decodeError is total: any bytes yield a code and message, and
+		// re-encoding what it returns must decode to the same pair.
+		if code, msg := decodeError(data); true {
+			c2, m2 := decodeError(encodeError(code, msg))
+			if c2 != code || m2 != msg {
+				t.Fatalf("error round trip changed (%v %q) -> (%v %q)", code, msg, c2, m2)
+			}
 		}
 		_, _, _ = decodeExecute(data)
 		_, _, _, _ = decodeExecCursor(data)

@@ -3,16 +3,21 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"xnf/internal/core"
 	"xnf/internal/engine"
 	"xnf/internal/opt"
+	"xnf/internal/resource"
 	"xnf/internal/types"
 )
 
@@ -92,6 +97,13 @@ type Server struct {
 	// from the engine and at most one block is encoded at a time.
 	CursorBlockRows int
 
+	// CursorIdleTimeout closes server-side cursors that have not been
+	// fetched for this long (0 = never). A slow or stalled reader holds
+	// engine resources (spooled batches, memory reservations) for as long
+	// as its cursor lives; the idle sweeper bounds that. A fetch on a
+	// swept cursor gets a CodeNotFound error.
+	CursorIdleTimeout time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
 
@@ -158,11 +170,31 @@ type session struct {
 	pending []TaggedRow
 	pos     int
 
+	// stream is a lazily driven CO extraction replacing pending when the
+	// streaming path is taken; streamServed counts its shipped tuples.
+	stream       *engine.COStream
+	streamCancel context.CancelFunc
+	streamServed int64
+
 	stmts  map[uint64]*engine.Stmt
 	nextID uint64
 
+	// mu guards the cursor table and the per-cursor busy/lastUsed marks:
+	// handlers run on the connection goroutine, the idle sweeper on its
+	// own. Everything else in the session is connection-goroutine-only.
+	mu         sync.Mutex
 	cursors    map[uint64]*cursor
 	nextCursor uint64
+
+	// mem is the session's memory accountant (a child of the database's
+	// process accountant): statement executions and cursor block buffers
+	// charge it, so one session's demand is visible and bounded.
+	mem *resource.Accountant
+
+	// timeout is the SET STATEMENT_TIMEOUT override (0 = engine default).
+	// It is delivered to the engine as a context deadline, which replaces
+	// the engine's own default in either direction.
+	timeout time.Duration
 
 	// st mirrors the session's statement/cursor tables into the server's
 	// open-statement/open-cursor gauges, so leaks show up as nonzero
@@ -171,38 +203,163 @@ type session struct {
 }
 
 // cursor is one open server-side result stream: a lazily driven
-// engine.Rows plus the fetch block size chosen at open time.
+// engine.Rows plus the fetch block size chosen at open time. busy and
+// lastUsed are sweeper coordination, guarded by session.mu: the sweeper
+// never touches a cursor the connection goroutine is actively streaming.
 type cursor struct {
 	rows   *engine.Rows
+	cancel context.CancelFunc // statement-timeout context, canceled on close
 	block  int
 	served int64
+
+	busy     bool
+	lastUsed time.Time
 }
 
 // teardown releases everything the session holds: open cursors close their
-// engine plans (returning pooled batches), and the statement table is
-// dropped. handle defers it, so a client that vanishes mid-fetch leaks
-// nothing.
+// engine plans (returning pooled batches), the CO stream and statement
+// table are dropped, and the session accountant releases any remainder.
+// handle defers it, so a client that vanishes mid-fetch leaks nothing.
 func (sess *session) teardown() {
+	sess.mu.Lock()
+	ids := make([]uint64, 0, len(sess.cursors))
 	for id := range sess.cursors {
+		ids = append(ids, id)
+	}
+	sess.mu.Unlock()
+	for _, id := range ids {
 		sess.closeCursor(id)
 	}
+	sess.dropStream()
 	sess.st.openStmts.Add(-int64(len(sess.stmts)))
 	sess.stmts = nil
 	sess.pending = nil
+	sess.mem.Close()
+}
+
+// dropStream releases the session's pending CO stream, if any.
+func (sess *session) dropStream() {
+	if sess.stream != nil {
+		sess.stream.Close()
+		sess.stream = nil
+		sess.streamServed = 0
+	}
+	if sess.streamCancel != nil {
+		sess.streamCancel()
+		sess.streamCancel = nil
+	}
 }
 
 // closeCursor releases one cursor: the engine stream closes (returning
-// pooled batches) and the open-cursor gauge drops. Every path that
-// forgets a cursor — explicit close, end of stream, mid-stream error,
-// session teardown — funnels through here so the gauge never drifts.
+// pooled batches and memory reservations) and the open-cursor gauge drops.
+// Every path that forgets a cursor — explicit close, end of stream,
+// mid-stream error, idle sweep, session teardown — funnels through here so
+// the gauge never drifts. Concurrent callers race on the map delete under
+// the lock, so the engine stream closes exactly once.
 func (sess *session) closeCursor(id uint64) {
+	sess.mu.Lock()
 	cur, ok := sess.cursors[id]
+	if ok {
+		delete(sess.cursors, id)
+	}
+	sess.mu.Unlock()
 	if !ok {
 		return
 	}
 	cur.rows.Close()
-	delete(sess.cursors, id)
+	if cur.cancel != nil {
+		cur.cancel()
+	}
 	sess.st.openCursors.Dec()
+}
+
+// lookupCursor finds a cursor and marks it busy so the idle sweeper leaves
+// it alone while the connection goroutine streams from it.
+func (sess *session) lookupCursor(id uint64) (*cursor, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	cur, ok := sess.cursors[id]
+	if ok {
+		cur.busy = true
+	}
+	return cur, ok
+}
+
+// releaseCursor clears the busy mark and refreshes the idle clock.
+func (sess *session) releaseCursor(cur *cursor) {
+	sess.mu.Lock()
+	cur.busy = false
+	cur.lastUsed = time.Now()
+	sess.mu.Unlock()
+}
+
+// sweepIdle closes cursors that have not been fetched within idle. It runs
+// on its own goroutine per session until stop closes.
+func (sess *session) sweepIdle(idle time.Duration, stop <-chan struct{}) {
+	period := idle / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-idle)
+		sess.mu.Lock()
+		var victims []uint64
+		for id, cur := range sess.cursors {
+			if !cur.busy && cur.lastUsed.Before(cutoff) {
+				victims = append(victims, id)
+			}
+		}
+		sess.mu.Unlock()
+		for _, id := range victims {
+			sess.closeCursor(id)
+			sess.st.cursorsIdleClosed.Inc()
+		}
+	}
+}
+
+// stmtCtx builds the context one statement runs under: the session's
+// memory accountant rides along, and the SET STATEMENT_TIMEOUT override
+// (when set) arms a deadline that replaces the engine default.
+func (sess *session) stmtCtx() (context.Context, context.CancelFunc) {
+	ctx := engine.WithMem(context.Background(), sess.mem)
+	if sess.timeout > 0 {
+		return context.WithTimeout(ctx, sess.timeout)
+	}
+	return ctx, func() {}
+}
+
+// trySet intercepts session-scoped SET commands arriving through the Exec
+// path — currently only SET STATEMENT_TIMEOUT [=] <value>, where value is
+// integer milliseconds or a Go duration string ('250ms', '2s'); 0 clears
+// the override so the engine default applies again. handled reports
+// whether sql was a SET command (successfully applied or not).
+func (sess *session) trySet(sql string) (handled bool, err error) {
+	f := strings.Fields(strings.TrimRight(strings.TrimSpace(sql), ";"))
+	if len(f) < 3 || !strings.EqualFold(f[0], "SET") || !strings.EqualFold(f[1], "STATEMENT_TIMEOUT") {
+		return false, nil
+	}
+	val := strings.TrimPrefix(strings.Join(f[2:], ""), "=")
+	val = strings.Trim(val, "'\"")
+	if ms, perr := strconv.ParseInt(val, 10, 64); perr == nil {
+		if ms < 0 {
+			return true, fmt.Errorf("STATEMENT_TIMEOUT must be >= 0, got %d", ms)
+		}
+		sess.timeout = time.Duration(ms) * time.Millisecond
+		return true, nil
+	}
+	d, perr := time.ParseDuration(val)
+	if perr != nil || d < 0 {
+		return true, fmt.Errorf("bad STATEMENT_TIMEOUT value %q (want milliseconds or a duration)", val)
+	}
+	sess.timeout = d
+	return true, nil
 }
 
 // maxSessionStmts bounds the per-connection statement table (defense
@@ -217,8 +374,13 @@ func (s *Server) handle(conn net.Conn) {
 	defer st.sessionsActive.Dec()
 	r := bufio.NewReader(conn)
 	w := &srvWriter{w: bufio.NewWriter(conn), st: st}
-	sess := &session{st: st}
+	sess := &session{st: st, mem: s.DB.MemRoot().Child("session", 0)}
 	defer sess.teardown()
+	if idle := s.CursorIdleTimeout; idle > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go sess.sweepIdle(idle, stop)
+	}
 	for {
 		t, payload, nread, err := readFrame(r)
 		if err != nil {
@@ -227,7 +389,7 @@ func (s *Server) handle(conn net.Conn) {
 				// the cause to the peer (best effort — the stream is
 				// already suspect) instead of silently hanging up.
 				st.discDecode.Inc()
-				s.sendError(w, err.Error())
+				s.sendError(w, CodeProtocol, err.Error())
 				w.flush()
 			} else {
 				// EOF or a network error: the client vanished without a
@@ -245,9 +407,9 @@ func (s *Server) handle(conn net.Conn) {
 		case FrameQueryCO:
 			err = s.handleQueryCO(w, sess, string(payload))
 		case FrameSQL:
-			err = s.handleSQL(w, string(payload))
+			err = s.handleSQL(w, sess, string(payload))
 		case FrameExec:
-			err = s.handleExec(w, string(payload))
+			err = s.handleExec(w, sess, string(payload))
 		case FrameFetch:
 			n, _ := binary.Varint(payload)
 			err = s.handleFetch(w, sess, int(n))
@@ -266,7 +428,7 @@ func (s *Server) handle(conn net.Conn) {
 		case FrameStats:
 			err = s.handleStats(w)
 		default:
-			err = s.sendError(w, fmt.Sprintf("unexpected frame %d", t))
+			err = s.sendError(w, CodeProtocol, fmt.Sprintf("unexpected frame %d", t))
 		}
 		if err == nil {
 			err = w.flush()
@@ -280,9 +442,33 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func (s *Server) sendError(w *srvWriter, msg string) error {
-	return w.writeFrame(FrameError, []byte(msg))
+func (s *Server) sendError(w *srvWriter, code ErrCode, msg string) error {
+	return w.writeFrame(FrameError, encodeError(code, msg))
 }
+
+// sendErr reports an execution error with its machine-readable class, so
+// clients can tell retryable overload rejections from fatal failures.
+func (s *Server) sendErr(w *srvWriter, err error) error {
+	return s.sendError(w, codeOf(err), err.Error())
+}
+
+// codeOf classifies an engine/runtime error for the wire.
+func codeOf(err error) ErrCode {
+	switch {
+	case errors.Is(err, resource.ErrResourceExhausted):
+		return CodeResourceExhausted
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	default:
+		return CodeInternal
+	}
+}
+
+// wireRowBytes is the per-row estimate the server reserves from the
+// session's memory budget while buffering one block of cursor or CO rows.
+const wireRowBytes = 96
 
 // handleStats answers a FrameStats request with a snapshot of the
 // database registry — engine, pool, WAL, colstore and wire families in
@@ -291,19 +477,48 @@ func (s *Server) handleStats(w *srvWriter) error {
 	return w.writeFrame(FrameStats, encodeStats(s.DB.Registry().Snapshot()))
 }
 
-// handleQueryCO compiles and extracts the CO set-oriented, sends the
-// schema frame and keeps the tuple stream for subsequent FETCHes. The
-// compilation comes from the engine's CO view cache, so only the first
-// request for a view (per catalog version) pays the XNF rewrite.
+// handleQueryCO compiles a CO view, sends the schema frame and arranges the
+// tuple stream for subsequent FETCHes. The common configuration streams:
+// per-output plans are cloned from the engine's template cache and drained
+// lazily as FETCH demand arrives, so the server never materializes the CO —
+// its memory per extraction is one fetch chunk. Recursive views (fixpoint
+// executor) and servers with overridden optimizer options fall back to the
+// materializing path.
 func (s *Server) handleQueryCO(w *srvWriter, sess *session, view string) error {
+	sess.dropStream()
+	sess.pending = sess.pending[:0]
+	sess.pos = 0
+	if s.Opts == s.DB.OptOptions {
+		ctx, cancel := sess.stmtCtx()
+		stream, err := s.DB.StreamCOView(ctx, view)
+		if err == nil {
+			sess.stream = stream
+			sess.streamCancel = cancel
+			outs := stream.Outputs()
+			metas := make([]OutputMeta, len(outs))
+			for i, out := range outs {
+				metas[i] = MetaFromOutput(out, stream.HasRows(i))
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(metas); err != nil {
+				sess.dropStream()
+				return s.sendErr(w, err)
+			}
+			return w.writeFrame(FrameSchema, buf.Bytes())
+		}
+		cancel()
+		if !errors.Is(err, engine.ErrCORecursive) {
+			return s.sendErr(w, err)
+		}
+		// Recursive views materialize below.
+	}
 	var res *core.COResult
 	var err error
 	if s.Opts == s.DB.OptOptions {
-		// The common configuration reuses the engine's cached per-output
-		// plan templates; only a server with overridden options (the bench
-		// harness flipping baselines) compiles its own plans.
 		res, err = s.DB.ExtractCOView(view, false)
 	} else {
+		// A server with overridden options (the bench harness flipping
+		// baselines) compiles its own plans instead of the cached templates.
 		var compiled *core.Compiled
 		compiled, err = s.DB.CompileCOView(view)
 		if err == nil {
@@ -311,11 +526,9 @@ func (s *Server) handleQueryCO(w *srvWriter, sess *session, view string) error {
 		}
 	}
 	if err != nil {
-		return s.sendError(w, err.Error())
+		return s.sendErr(w, err)
 	}
 	metas := make([]OutputMeta, len(res.Outputs))
-	sess.pending = sess.pending[:0]
-	sess.pos = 0
 	for i, out := range res.Outputs {
 		metas[i] = MetaFromOutput(out, res.Rows[i] != nil)
 		for _, row := range res.Rows[i] {
@@ -324,7 +537,7 @@ func (s *Server) handleQueryCO(w *srvWriter, sess *session, view string) error {
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(metas); err != nil {
-		return s.sendError(w, err.Error())
+		return s.sendErr(w, err)
 	}
 	err = w.writeFrame(FrameSchema, buf.Bytes())
 	return err
@@ -332,9 +545,14 @@ func (s *Server) handleQueryCO(w *srvWriter, sess *session, view string) error {
 
 // handleFetch ships up to n pending tuples (n < 0 = everything, chunked).
 // Every response ends with FrameMore (stream continues — issue another
-// FETCH) or FrameDone (exhausted), so the exchange is deterministic.
+// FETCH) or FrameDone (exhausted), so the exchange is deterministic. On
+// the streaming path tuples are pulled from the engine lazily, one chunk
+// buffered at a time and reserved against the session's memory budget.
 func (s *Server) handleFetch(w *srvWriter, sess *session, n int) error {
 	const chunk = 1024
+	if sess.stream != nil {
+		return s.fetchStream(w, sess, n, chunk)
+	}
 	remaining := len(sess.pending) - sess.pos
 	want := n
 	if n < 0 || want > remaining {
@@ -360,6 +578,63 @@ func (s *Server) handleFetch(w *srvWriter, sess *session, n int) error {
 	return err
 }
 
+// fetchStream serves one FETCH from the session's lazy CO stream: up to n
+// tuples (n < 0 = drain), pulled chunk by chunk. Each chunk's buffer is
+// reserved against the session budget before it is filled, so a budget
+// breach surfaces as a retryable error instead of unbounded buffering.
+func (s *Server) fetchStream(w *srvWriter, sess *session, n, chunk int) error {
+	buf := make([]TaggedRow, 0, chunk)
+	all := n < 0
+	for all || n > 0 {
+		want := chunk
+		if !all && n < want {
+			want = n
+		}
+		est := int64(want) * wireRowBytes
+		if err := sess.mem.Reserve(est); err != nil {
+			sess.dropStream()
+			return s.sendErr(w, err)
+		}
+		buf = buf[:0]
+		eof := false
+		var serr error
+		for len(buf) < want {
+			comp, row, err := sess.stream.Next()
+			if err != nil {
+				serr = err
+				break
+			}
+			if row == nil {
+				eof = true
+				break
+			}
+			buf = append(buf, TaggedRow{CompID: comp, Row: row})
+		}
+		if serr != nil {
+			sess.mem.Release(est)
+			sess.dropStream()
+			return s.sendErr(w, serr)
+		}
+		if len(buf) > 0 {
+			sess.streamServed += int64(len(buf))
+			if !all {
+				n -= len(buf)
+			}
+			if err := w.writeFrame(FrameRows, encodeRows(buf)); err != nil {
+				sess.mem.Release(est)
+				return err
+			}
+		}
+		sess.mem.Release(est)
+		if eof {
+			total := sess.streamServed
+			sess.dropStream()
+			return w.writeFrame(FrameDone, binary.AppendVarint(nil, total))
+		}
+	}
+	return w.writeFrame(FrameMore, nil)
+}
+
 // handlePrepare compiles (or fetches from the shared plan cache) a
 // statement and registers it in the session's statement table.
 func (s *Server) handlePrepare(w *srvWriter, sess *session, sql string) error {
@@ -367,11 +642,11 @@ func (s *Server) handlePrepare(w *srvWriter, sess *session, sql string) error {
 		sess.stmts = make(map[uint64]*engine.Stmt)
 	}
 	if len(sess.stmts) >= maxSessionStmts {
-		return s.sendError(w, fmt.Sprintf("too many prepared statements (limit %d)", maxSessionStmts))
+		return s.sendError(w, CodeBusy, fmt.Sprintf("too many prepared statements (limit %d)", maxSessionStmts))
 	}
 	st, err := s.DB.Prepare(sql)
 	if err != nil {
-		return s.sendError(w, err.Error())
+		return s.sendErr(w, err)
 	}
 	sess.nextID++
 	id := sess.nextID
@@ -390,30 +665,32 @@ func (s *Server) handlePrepare(w *srvWriter, sess *session, sql string) error {
 func (s *Server) handleExecute(w *srvWriter, sess *session, payload []byte) error {
 	id, args, err := decodeExecute(payload)
 	if err != nil {
-		return s.sendError(w, err.Error())
+		return s.sendError(w, CodeProtocol, err.Error())
 	}
 	st, ok := sess.stmts[id]
 	if !ok {
-		return s.sendError(w, fmt.Sprintf("unknown statement id %d", id))
+		return s.sendError(w, CodeNotFound, fmt.Sprintf("unknown statement id %d", id))
 	}
 	// Revalidate against the live catalog: a no-op while nothing changed,
 	// a recompile (or a clean error) after concurrent DDL/ANALYZE — the
 	// session must never run a stale plan against a changed schema.
 	st, err = st.Revalidate()
 	if err != nil {
-		return s.sendError(w, err.Error())
+		return s.sendErr(w, err)
 	}
 	sess.stmts[id] = st
 	if st.IsQuery() {
-		rows, err := st.QueryRows(args...)
+		ctx, cancel := sess.stmtCtx()
+		defer cancel()
+		rows, err := st.QueryRowsContext(ctx, args...)
 		if err != nil {
-			return s.sendError(w, err.Error())
+			return s.sendErr(w, err)
 		}
-		return s.streamRows(w, rows)
+		return s.streamRows(w, sess, rows)
 	}
 	n, err := st.Exec(args...)
 	if err != nil {
-		return s.sendError(w, err.Error())
+		return s.sendErr(w, err)
 	}
 	err = w.writeFrame(FrameDone, binary.AppendVarint(nil, n))
 	return err
@@ -423,7 +700,7 @@ func (s *Server) handleExecute(w *srvWriter, sess *session, payload []byte) erro
 func (s *Server) handleCloseStmt(w *srvWriter, sess *session, payload []byte) error {
 	id, k := binary.Uvarint(payload)
 	if k <= 0 {
-		return s.sendError(w, "bad statement id")
+		return s.sendError(w, CodeProtocol, "bad statement id")
 	}
 	if _, ok := sess.stmts[id]; ok {
 		delete(sess.stmts, id)
@@ -440,30 +717,35 @@ func (s *Server) handleCloseStmt(w *srvWriter, sess *session, payload []byte) er
 func (s *Server) handleExecCursor(w *srvWriter, sess *session, payload []byte) error {
 	id, block, args, err := decodeExecCursor(payload)
 	if err != nil {
-		return s.sendError(w, err.Error())
+		return s.sendError(w, CodeProtocol, err.Error())
 	}
 	st, ok := sess.stmts[id]
 	if !ok {
-		return s.sendError(w, fmt.Sprintf("unknown statement id %d", id))
+		return s.sendError(w, CodeNotFound, fmt.Sprintf("unknown statement id %d", id))
 	}
 	st, err = st.Revalidate()
 	if err != nil {
-		return s.sendError(w, err.Error())
+		return s.sendErr(w, err)
 	}
 	sess.stmts[id] = st
 	if !st.IsQuery() {
-		return s.sendError(w, "cursor requires a prepared SELECT")
+		return s.sendError(w, CodeInternal, "cursor requires a prepared SELECT")
 	}
 	limit := s.MaxCursorsPerSession
 	if limit <= 0 {
 		limit = DefaultMaxCursors
 	}
-	if len(sess.cursors) >= limit {
-		return s.sendError(w, fmt.Sprintf("too many open cursors (limit %d)", limit))
+	sess.mu.Lock()
+	ncursors := len(sess.cursors)
+	sess.mu.Unlock()
+	if ncursors >= limit {
+		return s.sendError(w, CodeBusy, fmt.Sprintf("too many open cursors (limit %d)", limit))
 	}
-	rows, err := st.QueryRows(args...)
+	ctx, cancel := sess.stmtCtx()
+	rows, err := st.QueryRowsContext(ctx, args...)
 	if err != nil {
-		return s.sendError(w, err.Error())
+		cancel()
+		return s.sendErr(w, err)
 	}
 	if block <= 0 {
 		block = s.CursorBlockRows
@@ -471,13 +753,17 @@ func (s *Server) handleExecCursor(w *srvWriter, sess *session, payload []byte) e
 	if block <= 0 {
 		block = DefaultCursorBlockRows
 	}
+	// The cursor starts busy: the sweeper leaves it alone until the first
+	// block below finishes streaming and releases it.
+	cur := &cursor{rows: rows, cancel: cancel, block: block, busy: true, lastUsed: time.Now()}
+	sess.mu.Lock()
 	if sess.cursors == nil {
 		sess.cursors = make(map[uint64]*cursor)
 	}
 	sess.nextCursor++
 	cid := sess.nextCursor
-	cur := &cursor{rows: rows, block: block}
 	sess.cursors[cid] = cur
+	sess.mu.Unlock()
 	sess.st.openCursors.Inc()
 	if err := w.writeFrame(FrameCursor, binary.AppendUvarint(nil, cid)); err != nil {
 		return err
@@ -489,11 +775,11 @@ func (s *Server) handleExecCursor(w *srvWriter, sess *session, payload []byte) e
 func (s *Server) handleFetchRows(w *srvWriter, sess *session, payload []byte) error {
 	cid, n, err := decodeFetchRows(payload)
 	if err != nil {
-		return s.sendError(w, err.Error())
+		return s.sendError(w, CodeProtocol, err.Error())
 	}
-	cur, ok := sess.cursors[cid]
+	cur, ok := sess.lookupCursor(cid)
 	if !ok {
-		return s.sendError(w, fmt.Sprintf("unknown cursor id %d", cid))
+		return s.sendError(w, CodeNotFound, fmt.Sprintf("unknown cursor id %d", cid))
 	}
 	if n <= 0 {
 		n = cur.block
@@ -507,10 +793,10 @@ func (s *Server) handleFetchRows(w *srvWriter, sess *session, payload []byte) er
 func (s *Server) handleCloseCursor(w *srvWriter, sess *session, payload []byte) error {
 	cid, k := binary.Uvarint(payload)
 	if k <= 0 {
-		return s.sendError(w, "bad cursor id")
+		return s.sendError(w, CodeProtocol, "bad cursor id")
 	}
 	var served int64
-	if cur, ok := sess.cursors[cid]; ok {
+	if cur, ok := sess.lookupCursor(cid); ok {
 		served = cur.served
 		sess.closeCursor(cid)
 	}
@@ -527,18 +813,27 @@ const cursorChunkRows = 1024
 // them, then terminates the exchange with FrameMore (rows remain), FrameDone
 // (stream exhausted — the cursor is closed and forgotten) or FrameError (the
 // plan failed mid-stream — likewise closed). At most cursorChunkRows rows
-// are held in memory between pulls.
+// are held in memory between pulls, and each chunk buffer is reserved
+// against the session's memory budget first. The cursor is busy (sweeper-
+// exempt) for the duration; the FrameMore path releases it with a fresh
+// idle clock.
 func (s *Server) streamBlock(w *srvWriter, sess *session, cid uint64, cur *cursor, n int) error {
 	buf := make([]TaggedRow, 0, min(n, cursorChunkRows))
 	for n > 0 {
 		buf = buf[:0]
 		want := min(n, cursorChunkRows)
+		est := int64(want) * wireRowBytes
+		if err := sess.mem.Reserve(est); err != nil {
+			sess.closeCursor(cid)
+			return s.sendErr(w, err)
+		}
 		eof := false
 		for len(buf) < want {
 			row, err := cur.rows.Next()
 			if err != nil {
+				sess.mem.Release(est)
 				sess.closeCursor(cid)
-				return s.sendError(w, err.Error())
+				return s.sendErr(w, err)
 			}
 			if row == nil {
 				eof = true
@@ -550,46 +845,56 @@ func (s *Server) streamBlock(w *srvWriter, sess *session, cid uint64, cur *curso
 			cur.served += int64(len(buf))
 			n -= len(buf)
 			if err := w.writeFrame(FrameRows, encodeRows(buf)); err != nil {
+				sess.mem.Release(est)
 				return err
 			}
 		}
+		sess.mem.Release(est)
 		if eof {
 			sess.closeCursor(cid)
 			err := w.writeFrame(FrameDone, binary.AppendVarint(nil, cur.served))
 			return err
 		}
 	}
+	sess.releaseCursor(cur)
 	err := w.writeFrame(FrameMore, nil)
 	return err
 }
 
 // handleSQL runs a plain SELECT and streams the rows (component 0).
-func (s *Server) handleSQL(w *srvWriter, sql string) error {
-	rows, err := s.DB.QueryRows(sql)
+func (s *Server) handleSQL(w *srvWriter, sess *session, sql string) error {
+	ctx, cancel := sess.stmtCtx()
+	defer cancel()
+	rows, err := s.DB.QueryRowsContext(ctx, sql)
 	if err != nil {
-		return s.sendError(w, err.Error())
+		return s.sendErr(w, err)
 	}
-	return s.streamRows(w, rows)
+	return s.streamRows(w, sess, rows)
 }
 
 // streamRows drains an engine cursor into chunked FrameRows frames
 // terminated by FrameDone(count) — the bounded-memory result path shared
 // by handleSQL and handleExecute. Like the cursor protocol's streamBlock,
-// at most cursorChunkRows rows are held between pulls, so the server
-// never materializes a result set; unlike it, the whole stream ships in
-// one exchange. A mid-stream plan failure turns into FrameError and the
-// connection stays usable.
-func (s *Server) streamRows(w *srvWriter, rows *engine.Rows) error {
+// at most cursorChunkRows rows are held between pulls (each chunk reserved
+// against the session budget), so the server never materializes a result
+// set; unlike it, the whole stream ships in one exchange. A mid-stream
+// plan failure turns into FrameError and the connection stays usable.
+func (s *Server) streamRows(w *srvWriter, sess *session, rows *engine.Rows) error {
 	defer rows.Close()
 	buf := make([]TaggedRow, 0, cursorChunkRows)
 	var served int64
+	const est = int64(cursorChunkRows) * wireRowBytes
 	for {
+		if err := sess.mem.Reserve(est); err != nil {
+			return s.sendErr(w, err)
+		}
 		buf = buf[:0]
 		eof := false
 		for len(buf) < cursorChunkRows {
 			row, err := rows.Next()
 			if err != nil {
-				return s.sendError(w, err.Error())
+				sess.mem.Release(est)
+				return s.sendErr(w, err)
 			}
 			if row == nil {
 				eof = true
@@ -600,20 +905,30 @@ func (s *Server) streamRows(w *srvWriter, rows *engine.Rows) error {
 		if len(buf) > 0 {
 			served += int64(len(buf))
 			if err := w.writeFrame(FrameRows, encodeRows(buf)); err != nil {
+				sess.mem.Release(est)
 				return err
 			}
 		}
+		sess.mem.Release(est)
 		if eof {
 			return w.writeFrame(FrameDone, binary.AppendVarint(nil, served))
 		}
 	}
 }
 
-// handleExec runs DML/DDL and returns the affected-row count.
-func (s *Server) handleExec(w *srvWriter, sql string) error {
+// handleExec runs DML/DDL and returns the affected-row count. Session
+// SET commands (SET STATEMENT_TIMEOUT) are intercepted here before SQL
+// parsing — they configure the session, not the database.
+func (s *Server) handleExec(w *srvWriter, sess *session, sql string) error {
+	if handled, err := sess.trySet(sql); handled {
+		if err != nil {
+			return s.sendError(w, CodeProtocol, err.Error())
+		}
+		return w.writeFrame(FrameDone, binary.AppendVarint(nil, 0))
+	}
 	n, err := s.DB.Exec(sql)
 	if err != nil {
-		return s.sendError(w, err.Error())
+		return s.sendErr(w, err)
 	}
 	err = w.writeFrame(FrameDone, binary.AppendVarint(nil, n))
 	return err

@@ -21,6 +21,10 @@ type serverStats struct {
 	bytesOut  *metrics.Counter
 	errors    *metrics.Counter
 
+	// cursorsIdleClosed counts cursors reclaimed by the idle sweeper
+	// (Server.CursorIdleTimeout) — stalled readers shed, not leaks.
+	cursorsIdleClosed *metrics.Counter
+
 	// Disconnect reasons, one counter per way a session can end: the
 	// client said goodbye (FrameClose), the connection dropped without one
 	// (vanished mid-stream), an undecodable frame killed the session, or a
@@ -42,10 +46,12 @@ func newServerStats(reg *metrics.Registry) *serverStats {
 		bytesIn:        reg.Counter("xnf_bytes_in_total", "Protocol bytes received (headers included)."),
 		bytesOut:       reg.Counter("xnf_bytes_out_total", "Protocol bytes sent (headers included)."),
 		errors:         reg.Counter("xnf_wire_errors_total", "FrameError responses sent."),
-		discClean:      reg.Counter("xnf_disconnects_clean_total", "Sessions ended by FrameClose."),
-		discVanish:     reg.Counter("xnf_disconnects_vanish_total", "Sessions whose connection dropped without FrameClose."),
-		discDecode:     reg.Counter("xnf_disconnects_decode_error_total", "Sessions ended by an undecodable frame."),
-		discWrite:      reg.Counter("xnf_disconnects_write_error_total", "Sessions ended by a failed response write."),
+		cursorsIdleClosed: reg.Counter("xnf_cursors_idle_closed_total",
+			"Server-side cursors closed by the idle sweeper."),
+		discClean:  reg.Counter("xnf_disconnects_clean_total", "Sessions ended by FrameClose."),
+		discVanish: reg.Counter("xnf_disconnects_vanish_total", "Sessions whose connection dropped without FrameClose."),
+		discDecode: reg.Counter("xnf_disconnects_decode_error_total", "Sessions ended by an undecodable frame."),
+		discWrite:  reg.Counter("xnf_disconnects_write_error_total", "Sessions ended by a failed response write."),
 	}
 }
 

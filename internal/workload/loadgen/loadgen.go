@@ -8,6 +8,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -27,6 +28,14 @@ type Params struct {
 	Ops     int    // operations per client
 	MaxEno  int    // highest employee number (Depts * EmpsPerDept)
 	Seed    int64
+
+	// Chaos adds two misbehaving client classes to the mix: slow readers
+	// that stall mid-cursor for Stall (long enough to trip the server's
+	// CursorIdleTimeout when one is set), and connect storms that slam the
+	// accept loop with short-lived sessions. Slow readers treat a
+	// sweeper-closed cursor as success — that is the degradation working.
+	Chaos bool
+	Stall time.Duration // slow-reader mid-fetch stall (default 50ms)
 }
 
 // Report is the outcome of one Run: client-side op and
@@ -39,12 +48,13 @@ type Report struct {
 	Ops        int64         `json:"ops"`
 	Errors     int64         `json:"errors"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
-	Rows       int64         `json:"rows"`       // server rows returned during the run
-	RowsPerSec float64       `json:"rows_per_s"` // Rows / Elapsed
-	Statements int64         `json:"statements"` // server statements during the run
-	P50        time.Duration `json:"p50_ns"`     // server-side statement latency
-	P99        time.Duration `json:"p99_ns"`     // server-side statement latency
-	Vanishes   int64         `json:"vanishes"`   // abrupt disconnects during the run
+	Rows       int64         `json:"rows"`        // server rows returned during the run
+	RowsPerSec float64       `json:"rows_per_s"`  // Rows / Elapsed
+	Statements int64         `json:"statements"`  // server statements during the run
+	P50        time.Duration `json:"p50_ns"`      // server-side statement latency
+	P99        time.Duration `json:"p99_ns"`      // server-side statement latency
+	Vanishes   int64         `json:"vanishes"`    // abrupt disconnects during the run
+	IdleClosed int64         `json:"idle_closed"` // cursors reclaimed by the idle sweeper
 
 	LeakedSessions   int64 `json:"leaked_sessions"`
 	LeakedCursors    int64 `json:"leaked_cursors"`
@@ -108,8 +118,12 @@ func Run(p Params) (*Report, error) {
 		go func(id int) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(p.Seed + int64(id)))
+			classes := 4
+			if p.Chaos {
+				classes = 6
+			}
 			var err error
-			switch id % 4 {
+			switch id % classes {
 			case 0:
 				err = loadOLTP(p, r)
 			case 1:
@@ -118,6 +132,10 @@ func Run(p Params) (*Report, error) {
 				err = loadDDL(p, id)
 			case 3:
 				err = loadVanish(p, r)
+			case 4:
+				err = loadSlowReader(p, r)
+			case 5:
+				err = loadStorm(p, r)
 			}
 			if err != nil {
 				errs.Add(1)
@@ -163,6 +181,7 @@ func Run(p Params) (*Report, error) {
 		P50:        time.Duration(sampleValue(after, "xnf_statement_latency_ns_p50")),
 		P99:        time.Duration(sampleValue(after, "xnf_statement_latency_ns_p99")),
 		Vanishes:   delta("xnf_disconnects_vanish_total"),
+		IdleClosed: delta("xnf_cursors_idle_closed_total"),
 
 		LeakedSessions:   int64(sampleValue(after, "xnf_sessions_active")) - 1,
 		LeakedCursors:    int64(sampleValue(after, "xnf_open_cursors")),
@@ -252,6 +271,96 @@ func loadDDL(p Params, id int) error {
 		}
 		if _, err := c.Exec("DROP TABLE " + name); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// loadSlowReader opens a streamed cursor, reads one row, then stalls long
+// past any cursor-idle timeout before reading on. When the server's idle
+// sweeper reclaimed the cursor in the meantime, the resumed fetch fails
+// with a not-found error — the intended outcome, counted as success; a
+// server without an idle timeout simply serves the rest of the rows.
+func loadSlowReader(p Params, r *rand.Rand) error {
+	stall := p.Stall
+	if stall <= 0 {
+		stall = 50 * time.Millisecond
+	}
+	c, err := wire.Dial(p.Addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.FetchSize = 2
+	for i := 0; i < p.Ops; i++ {
+		rows, err := c.QueryRows("SELECT ENO, ENAME FROM EMP WHERE ENO >= ?",
+			types.NewInt(int64(1+r.Intn(p.MaxEno))))
+		if err != nil {
+			return err
+		}
+		if _, err := rows.Next(); err != nil {
+			rows.Close()
+			return err
+		}
+		time.Sleep(stall)
+		swept := false
+		for {
+			row, err := rows.Next()
+			if err != nil {
+				var se *wire.ServerError
+				if errors.As(err, &se) && se.Code == wire.CodeNotFound {
+					swept = true // the sweeper got there first — by design
+					break
+				}
+				rows.Close()
+				return err
+			}
+			if row == nil {
+				break
+			}
+		}
+		if !swept {
+			if err := rows.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loadStorm slams the accept loop: per op it dials a burst of connections
+// back to back, runs one point query on each, and closes them all. The
+// server must absorb the churn without leaking sessions.
+func loadStorm(p Params, r *rand.Rand) error {
+	const burst = 8
+	for i := 0; i < p.Ops; i++ {
+		conns := make([]*wire.Client, 0, burst)
+		for j := 0; j < burst; j++ {
+			c, err := wire.Dial(p.Addr)
+			if err != nil {
+				for _, cc := range conns {
+					cc.Abandon()
+				}
+				return err
+			}
+			conns = append(conns, c)
+		}
+		for j, c := range conns {
+			if j%2 == 0 {
+				if _, err := c.Query(fmt.Sprintf("SELECT ENAME FROM EMP WHERE ENO = %d", 1+r.Intn(p.MaxEno))); err != nil {
+					for _, cc := range conns {
+						cc.Abandon()
+					}
+					return err
+				}
+			}
+		}
+		for j, c := range conns {
+			if j%3 == 0 {
+				c.Abandon() // a third of the storm vanishes rudely
+			} else {
+				c.Close()
+			}
 		}
 	}
 	return nil

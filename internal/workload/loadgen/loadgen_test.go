@@ -2,7 +2,12 @@ package loadgen
 
 import (
 	"net"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"xnf/internal/engine"
 	"xnf/internal/wire"
@@ -60,4 +65,134 @@ func TestMixedLoad(t *testing.T) {
 	if rep.Format() == "" {
 		t.Error("empty Format()")
 	}
+}
+
+// TestChaosLoad runs the full six-class mix — including slow readers
+// stalling past the cursor-idle timeout and connect storms — against a
+// server armed with an aggressive sweeper. The run must finish clean, the
+// sweeper must actually fire, and nothing may leak.
+func TestChaosLoad(t *testing.T) {
+	db := engine.Open()
+	p := workload.DefaultOrg()
+	p.Depts = 8
+	if err := workload.LoadOrg(db, p); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv := wire.NewServer(db)
+	srv.CursorIdleTimeout = 20 * time.Millisecond
+	go srv.Serve(l)
+
+	rep, err := Run(Params{
+		Addr:    l.Addr().String(),
+		Clients: 12,
+		Ops:     4,
+		MaxEno:  p.Depts * p.EmpsPerDept,
+		Seed:    7,
+		Chaos:   true,
+		Stall:   120 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+	if rep.IdleClosed == 0 {
+		t.Error("idle sweeper never fired under stalled readers")
+	}
+	if rep.LeakedSessions != 0 || rep.LeakedCursors != 0 || rep.LeakedStatements != 0 {
+		t.Errorf("leaks: sessions=%d cursors=%d statements=%d, want all 0",
+			rep.LeakedSessions, rep.LeakedCursors, rep.LeakedStatements)
+	}
+}
+
+// TestOverloadGate is the acceptance scenario scaled for CI: a tight
+// process memory budget with many concurrent clients running sort-heavy
+// statements. The server must stay up, shed load only with retryable
+// errors that client backoff absorbs, and hold zero reserved bytes and
+// zero leaked sessions/cursors once the load drains. Set OVERLOAD_CLIENTS
+// to run it at full acceptance scale (256).
+func TestOverloadGate(t *testing.T) {
+	clients := 64
+	if s := os.Getenv("OVERLOAD_CLIENTS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			clients = n
+		}
+	}
+	db := engine.Open()
+	p := workload.DefaultOrg()
+	p.Depts = 12
+	if err := workload.LoadOrg(db, p); err != nil {
+		t.Fatal(err)
+	}
+	// Tight enough that concurrent sort+join statements genuinely contend:
+	// each op pushes a cross join through a sort, several hundred KB of
+	// governed reservations, against a 1 MB process budget.
+	db.SetMemBudget(1 << 20)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv := wire.NewServer(db)
+	go srv.Serve(l)
+	addr := l.Addr().String()
+
+	var retried, failed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer c.Close()
+			for op := 0; op < 2; op++ {
+				attempts := 0
+				err := wire.Retry(12, time.Millisecond, func() error {
+					attempts++
+					_, err := c.Query("SELECT A.ENO, B.ENAME, A.SAL FROM EMP A, EMP B ORDER BY A.SAL DESC, B.ENAME")
+					return err
+				})
+				if attempts > 1 {
+					retried.Add(1)
+				}
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if n := failed.Load(); n != 0 {
+		t.Errorf("%d clients failed permanently, want 0 (retryable shed only)", n)
+	}
+	// The server must still answer, and the budget must fully drain once
+	// sessions are gone (statement and session accountants all closed).
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatalf("server unreachable after overload: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Query("SELECT COUNT(*) FROM EMP"); err != nil {
+		t.Fatalf("query after overload: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for db.MemUsed() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := db.MemUsed(); n != 0 {
+		t.Errorf("reserved bytes after drain = %d, want 0", n)
+	}
+	t.Logf("overload gate: %d clients, %d ops retried after shed", clients, retried.Load())
 }

@@ -1,0 +1,234 @@
+package xnf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xnf/internal/engine"
+	"xnf/internal/faultfs"
+	"xnf/internal/types"
+	"xnf/internal/wal"
+	"xnf/internal/wire"
+	"xnf/internal/workload"
+)
+
+// robustnessClients is the concurrent-session count of the overload
+// measurement; robustnessOps the statements each session runs.
+const (
+	robustnessClients = 64
+	robustnessOps     = 2
+	robustnessSeeds   = 6
+)
+
+// overloadRun serves the org workload over the wire under the given
+// process memory budget (0 = ungoverned) and pushes sort-heavy statements
+// from robustnessClients concurrent sessions, every one wrapped in the
+// client backoff helper. It reports throughput plus how the governed run
+// degraded: ops that needed a retry, ops that failed permanently, and
+// whether the budget drained back to zero afterwards.
+func overloadRun(tb testing.TB, budget int64) (opsPerSec float64, retried, failed int64, drained bool) {
+	tb.Helper()
+	db := engine.Open()
+	p := workload.DefaultOrg()
+	p.Depts = 12
+	if err := workload.LoadOrg(db, p); err != nil {
+		tb.Fatal(err)
+	}
+	db.SetMemBudget(budget)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer l.Close()
+	srv := wire.NewServer(db)
+	go srv.Serve(l)
+	defer srv.Close()
+	addr := l.Addr().String()
+
+	var nRetried, nFailed atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < robustnessClients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := wire.Dial(addr)
+			if err != nil {
+				nFailed.Add(1)
+				return
+			}
+			defer c.Close()
+			for op := 0; op < robustnessOps; op++ {
+				attempts := 0
+				err := wire.Retry(12, time.Millisecond, func() error {
+					attempts++
+					_, err := c.Query("SELECT A.ENO, B.ENAME, A.SAL FROM EMP A, EMP B ORDER BY A.SAL DESC, B.ENAME")
+					return err
+				})
+				if attempts > 1 {
+					nRetried.Add(1)
+				}
+				if err != nil {
+					nFailed.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for db.MemUsed() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	return float64(robustnessClients*robustnessOps) / elapsed.Seconds(),
+		nRetried.Load(), nFailed.Load(), db.MemUsed() == 0
+}
+
+// faultedRecoveryRun drives one seeded crash: commits against a WAL whose
+// writes (or fsyncs) fail at a random point, the database is abandoned
+// mid-flight, and recovery is timed. It returns how many commits were
+// acknowledged, how many of those recovery surfaced, and the reopen time.
+func faultedRecoveryRun(tb testing.TB, seed int64) (acked, recovered int, reopen time.Duration) {
+	tb.Helper()
+	dir := tb.TempDir()
+	inj := faultfs.New(faultfs.OS, seed)
+	prev := wal.SetFS(inj)
+	defer wal.SetFS(prev)
+
+	db, err := engine.OpenDirOptions(dir, engine.DurabilityOptions{GroupCommit: seed%2 == 0})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k))"); err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rule := faultfs.Rule{Op: faultfs.OpWrite, Path: dir, After: 5 + rng.Intn(40)}
+	if seed%2 == 1 {
+		rule.Mode = faultfs.Partial
+	}
+	if seed%3 == 0 {
+		rule.Op = faultfs.OpSync
+	}
+	inj.Add(rule)
+
+	var committed []int64
+	for i := int64(0); i < 200; i++ {
+		if _, err := db.Exec("INSERT INTO kv VALUES (?, ?)", types.NewInt(i), types.NewInt(i*i)); err != nil {
+			break
+		}
+		committed = append(committed, i)
+	}
+	// kill -9: abandon without Close, clear the fault, time the reopen.
+	inj.Reset()
+	t0 := time.Now()
+	db2, err := engine.OpenDirOptions(dir, engine.DurabilityOptions{GroupCommit: true})
+	if err != nil {
+		tb.Fatalf("seed %d: recovery: %v", seed, err)
+	}
+	reopen = time.Since(t0)
+	defer db2.Close()
+	res, err := db2.Query("SELECT k, v FROM kv ORDER BY k")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	have := make(map[int64]int64, len(res.Rows))
+	for _, r := range res.Rows {
+		have[r[0].Int()] = r[1].Int()
+	}
+	for _, k := range committed {
+		if v, ok := have[k]; ok && v == k*k {
+			recovered++
+		}
+	}
+	return len(committed), recovered, reopen
+}
+
+// TestRobustnessBenchGate measures graceful degradation under overload —
+// 64 concurrent sessions of sort-heavy statements against a 1 MB process
+// budget vs ungoverned — and recovery fidelity under injected disk faults
+// across seeded crash scenarios. It writes BENCH_robustness.json and
+// fails unless the governed run sheds load without a single permanent
+// failure (budget fully drained after) and every acknowledged commit
+// survives every faulted crash. Guarded by ROBUSTNESS_BENCH_GATE=1; CI
+// runs it as a dedicated step and uploads the JSON.
+func TestRobustnessBenchGate(t *testing.T) {
+	if os.Getenv("ROBUSTNESS_BENCH_GATE") == "" {
+		t.Skip("set ROBUSTNESS_BENCH_GATE=1 to run the benchmark gate")
+	}
+
+	basePS, _, baseFailed, _ := overloadRun(t, 0)
+	govPS, retried, failed, drained := overloadRun(t, 1<<20)
+	degradation := govPS / basePS
+	t.Logf("overload: ungoverned %.1f ops/s, governed(1MB) %.1f ops/s (%.0f%%), %d retried, %d failed, drained=%v",
+		basePS, govPS, degradation*100, retried, failed, drained)
+
+	type rec struct {
+		Seed      int64 `json:"seed"`
+		Acked     int   `json:"acknowledged_commits"`
+		Recovered int   `json:"recovered_commits"`
+		ReopenNs  int64 `json:"reopen_ns"`
+	}
+	var recs []rec
+	lost := 0
+	for seed := int64(0); seed < robustnessSeeds; seed++ {
+		acked, recovered, reopen := faultedRecoveryRun(t, seed)
+		recs = append(recs, rec{Seed: seed, Acked: acked, Recovered: recovered, ReopenNs: reopen.Nanoseconds()})
+		lost += acked - recovered
+		t.Logf("faulted crash seed=%d: %d/%d acknowledged commits recovered in %v", seed, recovered, acked, reopen)
+	}
+
+	overloadPass := failed == 0 && baseFailed == 0 && drained
+	recoveryPass := lost == 0
+
+	report := map[string]any{
+		"benchmark": "TestRobustnessBenchGate (robustness_bench_test.go)",
+		"description": fmt.Sprintf(
+			"Graceful degradation under overload: %d concurrent wire sessions each running %d sort-heavy cross-join statements with client backoff, against an ungoverned engine vs a 1 MB process memory budget (statements over budget shed with retryable errors; backoff must absorb every one). Recovery fidelity under injected disk faults: %d seeded crashes where WAL writes/fsyncs fail cleanly or tear mid-record, the process is abandoned, and reopen must surface every acknowledged commit.",
+			robustnessClients, robustnessOps, robustnessSeeds),
+		"machine": fmt.Sprintf("GOMAXPROCS=%d, %s/%s, %s", runtime.GOMAXPROCS(0), runtime.GOOS, runtime.GOARCH, runtime.Version()),
+		"results": map[string]any{
+			"overload": map[string]any{
+				"clients":                robustnessClients,
+				"ops_per_client":         robustnessOps,
+				"ungoverned_ops_per_s":   basePS,
+				"governed_1mb_ops_per_s": govPS,
+				"throughput_ratio":       degradation,
+				"ops_retried":            retried,
+				"ops_failed":             failed,
+				"budget_drained":         drained,
+			},
+			"faulted_recovery": recs,
+		},
+		"speedups": map[string]float64{
+			"governed_vs_ungoverned_throughput": degradation,
+		},
+	}
+	report["acceptance"] = fmt.Sprintf(
+		"overload sheds with zero permanent failures and a fully drained budget: %s (%d retried, %d failed, drained=%v); every acknowledged commit recovered across %d faulted crashes: %s (%d lost)",
+		pass(overloadPass), retried, failed, drained, robustnessSeeds, pass(recoveryPass), lost)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_robustness.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !overloadPass {
+		t.Errorf("overload gate: failed=%d baseFailed=%d drained=%v, want 0/0/true", failed, baseFailed, drained)
+	}
+	if !recoveryPass {
+		t.Errorf("faulted recovery lost %d acknowledged commits, want 0", lost)
+	}
+}

@@ -67,6 +67,7 @@ import (
 	"xnf/internal/metrics"
 	"xnf/internal/opt"
 	"xnf/internal/parser"
+	"xnf/internal/resource"
 	"xnf/internal/rewrite"
 	"xnf/internal/storage"
 	"xnf/internal/types"
@@ -118,6 +119,37 @@ type (
 	MetricsSample = metrics.Sample
 	// SlowQuery is one entry of the engine's slow-query log.
 	SlowQuery = engine.SlowQuery
+	// ServerError is an error frame from a Server, carrying a
+	// machine-readable ErrCode so clients can tell retryable overload
+	// rejections (resource_exhausted, busy) from fatal failures.
+	ServerError = wire.ServerError
+	// ErrCode classifies a ServerError.
+	ErrCode = wire.ErrCode
+)
+
+// ServerError codes, re-exported. CodeResourceExhausted and CodeBusy are
+// retryable; see IsRetryable and Retry.
+const (
+	CodeInternal          = wire.CodeInternal
+	CodeProtocol          = wire.CodeProtocol
+	CodeNotFound          = wire.CodeNotFound
+	CodeResourceExhausted = wire.CodeResourceExhausted
+	CodeTimeout           = wire.CodeTimeout
+	CodeCanceled          = wire.CodeCanceled
+	CodeBusy              = wire.CodeBusy
+)
+
+// Error classification and backoff helpers, re-exported.
+var (
+	// IsRetryable reports whether err is a ServerError (or an engine
+	// resource error) worth retrying after backoff.
+	IsRetryable = wire.IsRetryable
+	// Retry runs f with exponential backoff from base, retrying only
+	// retryable errors, up to attempts tries.
+	Retry = wire.Retry
+	// ErrResourceExhausted is the typed sentinel every failed memory
+	// reservation unwraps to (errors.Is-matchable).
+	ErrResourceExhausted = resource.ErrResourceExhausted
 )
 
 // DefaultSlowQueryThreshold is the slow-query log threshold a fresh
@@ -336,6 +368,15 @@ func (db *DB) MetricsHandler() http.Handler {
 // SetSlowQueryThreshold rebinds the slow-query log threshold: statements
 // at or above d land in SlowQueries. d <= 0 disables the log.
 func (db *DB) SetSlowQueryThreshold(d time.Duration) { db.eng.SetSlowQueryThreshold(d) }
+
+// SetMemBudget caps the process memory budget in bytes (0 = unlimited).
+// Statements that cannot fit even after degrading fail with a retryable
+// error that unwraps to ErrResourceExhausted; see docs/ROBUSTNESS.md.
+func (db *DB) SetMemBudget(n int64) { db.eng.SetMemBudget(n) }
+
+// MemUsed reports the bytes currently reserved process-wide; it returns
+// to zero once every statement and session has closed.
+func (db *DB) MemUsed() int64 { return db.eng.MemUsed() }
 
 // SlowQueries returns the retained slow statements, newest first.
 func (db *DB) SlowQueries() []SlowQuery { return db.eng.SlowQueries() }
