@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// headlineKey reports whether a numeric leaf at this dotted path is a
+// headline ratio — a better-when-higher quantity that is stable across
+// machines and therefore safe to gate on (the whole path is matched, so a
+// leaf under a "speedups" group qualifies by its group name). Everything
+// else (raw nanoseconds, byte counts, row totals) varies with the host and
+// is only informational.
+func headlineKey(path string) bool {
+	k := strings.ToLower(path)
+	for _, m := range []string{"speedup", "ratio", "reduction", "per_s", "fraction"} {
+		if strings.Contains(k, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// flatten walks decoded JSON and collects numeric leaves under dotted
+// paths, keeping only headline keys.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case []any:
+		for i, child := range x {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), child, out)
+		}
+	case float64:
+		if headlineKey(prefix) {
+			out[prefix] = x
+		}
+	}
+}
+
+// loadHeadlines reads one BENCH_*.json and returns its headline leaves.
+func loadHeadlines(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]float64)
+	flatten("", doc, out)
+	return out, nil
+}
+
+// Diff compares every BENCH_*.json in baseDir against currentDir and
+// returns a human-readable report plus whether any headline ratio
+// regressed by more than threshold. Zero-valued baselines never gate (a
+// ratio measured as 0 carries no signal to regress from).
+func Diff(baseDir, curDir string, threshold float64) (string, bool, error) {
+	basePaths, err := filepath.Glob(filepath.Join(baseDir, "BENCH_*.json"))
+	if err != nil {
+		return "", false, err
+	}
+	if len(basePaths) == 0 {
+		return "", false, fmt.Errorf("no BENCH_*.json baselines in %s", baseDir)
+	}
+	sort.Strings(basePaths)
+	var b strings.Builder
+	failed := false
+	for _, basePath := range basePaths {
+		name := filepath.Base(basePath)
+		curPath := filepath.Join(curDir, name)
+		base, err := loadHeadlines(basePath)
+		if err != nil {
+			return "", false, err
+		}
+		cur, err := loadHeadlines(curPath)
+		if os.IsNotExist(err) {
+			fmt.Fprintf(&b, "%s: WARNING no current report (bench gate did not run?)\n", name)
+			continue
+		}
+		if err != nil {
+			return "", false, err
+		}
+		keys := make([]string, 0, len(base))
+		for k := range base {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bv := base[k]
+			cv, ok := cur[k]
+			if !ok {
+				fmt.Fprintf(&b, "%s: WARNING %s missing from current report\n", name, k)
+				continue
+			}
+			if bv <= 0 {
+				continue
+			}
+			change := cv/bv - 1
+			mark := "ok"
+			if -change > threshold {
+				mark = "REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(&b, "%s: %-12s %-48s %12.4f -> %12.4f (%+.1f%%)\n", name, mark, k, bv, cv, change*100)
+		}
+	}
+	if failed {
+		fmt.Fprintf(&b, "FAIL: headline ratio regressed more than %.0f%%\n", threshold*100)
+	} else {
+		fmt.Fprintf(&b, "PASS: no headline ratio regressed more than %.0f%%\n", threshold*100)
+	}
+	return b.String(), failed, nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const baseReport = `{
+  "results": {
+    "kernel_typed": {"ns_per_op": 100000, "mrows_per_s": 50.0},
+    "kernel_boxed": {"ns_per_op": 200000, "mrows_per_s": 25.0}
+  },
+  "speedups": {"typed_over_boxed_kernels": 2.0},
+  "pruning": {"pruned_fraction": 0.8}
+}`
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_typed.json", baseReport)
+	// 10% slower ratio, inside the 25% budget; ns_per_op doubled but raw
+	// timings are informational, never gated.
+	writeBench(t, cur, "BENCH_typed.json", `{
+	  "results": {
+	    "kernel_typed": {"ns_per_op": 200000, "mrows_per_s": 45.0},
+	    "kernel_boxed": {"ns_per_op": 360000, "mrows_per_s": 23.0}
+	  },
+	  "speedups": {"typed_over_boxed_kernels": 1.8},
+	  "pruning": {"pruned_fraction": 0.8}
+	}`)
+	report, failed, err := Diff(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("within-threshold drift flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "PASS") {
+		t.Fatalf("missing PASS line:\n%s", report)
+	}
+}
+
+func TestDiffFailsOnHeadlineRegression(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_typed.json", baseReport)
+	// The typed-over-boxed speedup collapsed 2.0 -> 1.2 (40% down).
+	writeBench(t, cur, "BENCH_typed.json", `{
+	  "results": {
+	    "kernel_typed": {"ns_per_op": 100000, "mrows_per_s": 50.0},
+	    "kernel_boxed": {"ns_per_op": 120000, "mrows_per_s": 42.0}
+	  },
+	  "speedups": {"typed_over_boxed_kernels": 1.2},
+	  "pruning": {"pruned_fraction": 0.8}
+	}`)
+	report, failed, err := Diff(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("40%% speedup collapse not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") || !strings.Contains(report, "typed_over_boxed_kernels") {
+		t.Fatalf("report does not name the regressed ratio:\n%s", report)
+	}
+}
+
+func TestDiffWarnsOnMissingCurrentReport(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_typed.json", baseReport)
+	writeBench(t, base, "BENCH_wal.json", `{"results": {"commits_per_s": 1000.0}}`)
+	writeBench(t, cur, "BENCH_typed.json", baseReport)
+	report, failed, err := Diff(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("missing report must warn, not fail:\n%s", report)
+	}
+	if !strings.Contains(report, "BENCH_wal.json: WARNING no current report") {
+		t.Fatalf("missing-report warning absent:\n%s", report)
+	}
+}
+
+func TestDiffErrsWithoutBaselines(t *testing.T) {
+	if _, _, err := Diff(t.TempDir(), t.TempDir(), 0.25); err == nil {
+		t.Fatal("expected an error for an empty baseline directory")
+	}
+}
+
+func TestHeadlineKeySelection(t *testing.T) {
+	for key, want := range map[string]bool{
+		"typed_over_boxed_kernels":          false, // bare leaf: no marker
+		"speedups.typed_over_boxed_kernels": true,  // gated via its group name
+		"speedup":                           true,
+		"mrows_per_s":                       true,
+		"rows_per_s":                        true,
+		"pruned_fraction":                   true,
+		"bytes_reduction":                   true,
+		"compression_ratio":                 true,
+		"ns_per_op":                         false,
+		"elapsed_ns":                        false,
+		"errors":                            false,
+	} {
+		if got := headlineKey(key); got != want {
+			t.Errorf("headlineKey(%q) = %v, want %v", key, got, want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command benchdiff compares freshly produced BENCH_*.json reports against
+// the committed baselines and fails when a headline ratio regresses by more
+// than the threshold (default 25%).
+//
+//	benchdiff [-threshold 0.25] <baseline-dir> <current-dir>
+//
+// A headline ratio is any numeric leaf whose key names a better-when-higher
+// quantity — speedups, throughput (…per_s), reductions, pruned fractions.
+// Raw timings (ns_per_op and friends) are machine-sensitive and only
+// meaningful relative to a sibling configuration measured in the same run,
+// so they are reported but never gated; the ratios the gates themselves
+// compute are the cross-run stable signal.
+//
+// Reports present only in the baseline are warned about (a bench gate that
+// stopped producing output is suspicious); reports only in the current
+// directory are new and pass vacuously.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "maximum allowed fractional regression of a headline ratio")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.25] <baseline-dir> <current-dir>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	report, failed, err := Diff(flag.Arg(0), flag.Arg(1), *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}

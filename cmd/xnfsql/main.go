@@ -130,6 +130,8 @@ func addCounters(c xnf.Counters) {
 	sessionCounters.JoinProbeRows += c.JoinProbeRows
 	sessionCounters.PoolWorkers += c.PoolWorkers
 	sessionCounters.PoolFallbacks += c.PoolFallbacks
+	sessionCounters.EncodedCmpRows += c.EncodedCmpRows
+	sessionCounters.EncodedHashRows += c.EncodedHashRows
 }
 
 func run(db *xnf.DB, stmt string) {
@@ -215,6 +217,9 @@ func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 				if h := td.HollowSegments(); h > 0 {
 					extra = fmt.Sprintf(" (%d hollow)", h)
 				}
+				if d, p := td.EncodedColumns(); d > 0 || p > 0 {
+					extra += fmt.Sprintf("  encoded: %d dict, %d packed col(s)", d, p)
+				}
 				fmt.Printf("%-16s %-6s %8d rows  %d segment(s)%s\n", t.Name, kind, t.RowCount(), td.Segments(), extra)
 			} else {
 				fmt.Printf("%-16s %-6s %8d rows\n", t.Name, kind, t.RowCount())
@@ -225,6 +230,8 @@ func command(db *xnf.DB, prepared map[string]*xnf.Stmt, cmd string) bool {
 			c.RowsScanned, c.IndexLookups, c.SegmentsPruned)
 		fmt.Printf("session: %d join build rows, %d join probe rows, %d pool workers granted, %d pool fallbacks\n",
 			c.JoinBuildRows, c.JoinProbeRows, c.PoolWorkers, c.PoolFallbacks)
+		fmt.Printf("session: %d rows compared on encoded data, %d rows hashed from encoded data\n",
+			c.EncodedCmpRows, c.EncodedHashRows)
 		ps := xnf.PoolStats()
 		fmt.Printf("worker pool: %d/%d in use (peak %d), %d admissions, %d sequential fallbacks\n",
 			ps.InUse, ps.Workers, ps.Peak, ps.Admits, ps.Fallbacks)

@@ -1,0 +1,228 @@
+package xnf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"xnf/internal/colstore"
+	"xnf/internal/engine"
+	"xnf/internal/types"
+)
+
+// encBenchRows sizes the encoding benchmark table: ~48 full segments.
+const encBenchRows = 200_000
+
+// encBenchQ is the headline shape: string-equality scan→filter→agg. With
+// dictionary encoding the equality is one dictionary probe plus an integer
+// compare per row, and the group keys hash from encoded segments.
+const encBenchQ = "SELECT cat, COUNT(*), SUM(nv) FROM E WHERE tag = 'tag3' GROUP BY cat"
+
+// encBenchDB builds the low-cardinality table the encodings target: a
+// 16-value string tag, an 8-value category, and a narrow int measure.
+// ANALYZE triggers Maintain, which encodes full segments if the global
+// toggle allows it — the caller flips colstore.SetSegmentEncoding first.
+func encBenchDB(tb testing.TB, n int) *engine.Database {
+	tb.Helper()
+	db := engine.Open()
+	if err := db.ExecScript("CREATE TABLE E (id INT NOT NULL, tag VARCHAR, cat VARCHAR, nv INT, PRIMARY KEY (id))"); err != nil {
+		tb.Fatal(err)
+	}
+	td, err := db.Store().Table("E")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("tag%d", i%16)),
+			types.NewString(fmt.Sprintf("cat%d", i%8)),
+			types.NewInt(int64(i % 100)),
+		}
+		if _, err := td.Insert(row); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if _, err := db.Exec("ALTER TABLE E SET STORAGE COLUMN"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.Analyze(); err != nil {
+		tb.Fatal(err)
+	}
+	return db
+}
+
+// encBenchCkptDir builds a durable database with the same table, forces a
+// checkpoint and closes; returns the size of the newest checkpoint file.
+func encBenchCkptDir(tb testing.TB, n int) (string, int64) {
+	tb.Helper()
+	dir := tb.TempDir()
+	db, err := engine.OpenDirOptions(dir, engine.DurabilityOptions{GroupCommit: true, NoSync: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.ExecScript("CREATE TABLE E (id INT NOT NULL, tag VARCHAR, cat VARCHAR, nv INT, PRIMARY KEY (id)); ALTER TABLE E SET STORAGE COLUMN"); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i += 1000 {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO E VALUES ")
+		for j := i; j < i+1000 && j < n; j++ {
+			if j > i {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'tag%d', 'cat%d', %d)", j, j%16, j%8, j%100)
+		}
+		if _, err := db.Exec(sb.String()); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := db.Analyze(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil || len(ckpts) == 0 {
+		tb.Fatalf("no checkpoint files in %s (err=%v)", dir, err)
+	}
+	info, err := os.Stat(ckpts[len(ckpts)-1])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return dir, info.Size()
+}
+
+// TestEncBenchGate measures segment encoding on the low-cardinality string
+// table: bytes resident raw vs encoded (target >=3x reduction), the
+// string-equality scan→filter→agg raw vs encoded (target >=1.5x), and the
+// checkpoint image size raw vs encoded with recovery equivalence. Writes
+// BENCH_enc.json. Guarded by ENC_BENCH_GATE=1; CI runs it as a dedicated
+// step and uploads the JSON.
+func TestEncBenchGate(t *testing.T) {
+	if os.Getenv("ENC_BENCH_GATE") == "" {
+		t.Skip("set ENC_BENCH_GATE=1 to run the benchmark gate")
+	}
+	defer colstore.SetSegmentEncoding(colstore.SetSegmentEncoding(true))
+
+	measure := func(db *engine.Database) int64 {
+		db.OptOptions.ParallelScan = false
+		r := testing.Benchmark(func(b *testing.B) { runTypedBench(b, db, encBenchQ) })
+		return r.NsPerOp()
+	}
+
+	colstore.SetSegmentEncoding(false)
+	rawDB := encBenchDB(t, encBenchRows)
+	_, rawBytes := rawDB.Store().ColStoreStats()
+	rawNs := measure(rawDB)
+
+	colstore.SetSegmentEncoding(true)
+	encDB := encBenchDB(t, encBenchRows)
+	_, encBytes := encDB.Store().ColStoreStats()
+	encNs := measure(encDB)
+	td, err := encDB.Store().Table("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dictCols, packCols := td.EncodedColumns()
+	if dictCols == 0 || packCols == 0 {
+		t.Fatalf("encoding did not engage: dict=%d pack=%d", dictCols, packCols)
+	}
+
+	// Checkpoint image: the same data persisted raw vs encoded.
+	const ckptRows = 60_000
+	colstore.SetSegmentEncoding(false)
+	_, rawCkpt := encBenchCkptDir(t, ckptRows)
+	colstore.SetSegmentEncoding(true)
+	encDir, encCkpt := encBenchCkptDir(t, ckptRows)
+
+	// Recovery equivalence: the encoded checkpoint restores the same rows,
+	// still encoded.
+	rdb, err := engine.OpenDirOptions(encDir, engine.DurabilityOptions{GroupCommit: true, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rdb.Query("SELECT COUNT(*), COUNT(DISTINCT tag), SUM(nv) FROM E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := int64(0)
+	for i := 0; i < ckptRows; i++ {
+		wantSum += int64(i % 100)
+	}
+	if res.Rows[0][0].I != ckptRows || res.Rows[0][1].I != 16 || res.Rows[0][2].I != wantSum {
+		t.Fatalf("encoded checkpoint recovered %v, want [%d 16 %d]", res.Rows[0], ckptRows, wantSum)
+	}
+	rtd, err := rdb.Store().Table("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, rp := rtd.EncodedColumns()
+	if rd == 0 || rp == 0 {
+		t.Fatalf("recovery dropped the encoded form: dict=%d pack=%d", rd, rp)
+	}
+	if err := rdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bytesReduction := float64(rawBytes) / float64(encBytes)
+	scanSpeedup := float64(rawNs) / float64(encNs)
+	ckptReduction := float64(rawCkpt) / float64(encCkpt)
+	bytesPass := bytesReduction >= 3
+	speedPass := scanSpeedup >= 1.5
+	ckptPass := encCkpt < rawCkpt
+
+	report := map[string]any{
+		"benchmark": "TestEncBenchGate (enc_bench_test.go)",
+		"description": fmt.Sprintf(
+			"Per-segment encodings (sorted string dictionaries + bit-packed ints, chosen at ANALYZE) on the %d-row low-cardinality E(id,tag,cat,nv); raw = encoding disabled at Maintain, encoded = default. scan = string-equality scan→filter→agg on cached prepared plans, one worker. Checkpoint sizes compare the same %d rows persisted raw vs encoded (image v3 carries encoded segments verbatim); the encoded image is reopened and verified row-identical and still encoded.",
+			encBenchRows, ckptRows),
+		"machine": fmt.Sprintf("GOMAXPROCS=%d, %s/%s, %s", runtime.GOMAXPROCS(0), runtime.GOOS, runtime.GOARCH, runtime.Version()),
+		"results": map[string]any{
+			"bytes_resident_raw":     rawBytes,
+			"bytes_resident_encoded": encBytes,
+			"scan_raw_ns_per_op":     rawNs,
+			"scan_encoded_ns_per_op": encNs,
+			"checkpoint_raw_bytes":   rawCkpt,
+			"checkpoint_enc_bytes":   encCkpt,
+			"dict_columns":           dictCols,
+			"pack_columns":           packCols,
+		},
+		"speedups": map[string]float64{
+			"bytes_resident_reduction":   bytesReduction,
+			"string_eq_scan_speedup":     scanSpeedup,
+			"checkpoint_image_reduction": ckptReduction,
+		},
+	}
+	report["acceptance"] = fmt.Sprintf(
+		"bytes resident >=3x smaller encoded: %s (%.2fx); string-eq scan→filter→agg >=1.5x faster encoded: %s (%.2fx); checkpoint image smaller with recovery equivalence: %s (%.2fx)",
+		pass(bytesPass), bytesReduction, pass(speedPass), scanSpeedup, pass(ckptPass), ckptReduction)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_enc.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("bytes resident: raw %d, encoded %d (%.2fx)", rawBytes, encBytes, bytesReduction)
+	t.Logf("string-eq scan: raw %d ns/op, encoded %d ns/op (%.2fx)", rawNs, encNs, scanSpeedup)
+	t.Logf("checkpoint: raw %d bytes, encoded %d bytes (%.2fx)", rawCkpt, encCkpt, ckptReduction)
+	if !bytesPass {
+		t.Errorf("bytes-resident reduction %.2fx below the 3x target", bytesReduction)
+	}
+	if !speedPass {
+		t.Errorf("string-equality scan speedup %.2fx below the 1.5x target", scanSpeedup)
+	}
+	if !ckptPass {
+		t.Errorf("encoded checkpoint (%d bytes) not smaller than raw (%d bytes)", encCkpt, rawCkpt)
+	}
+}

@@ -189,6 +189,22 @@ func New() *Catalog {
 // norm gives the case-insensitive lookup key for SQL identifiers.
 func norm(name string) string { return strings.ToUpper(name) }
 
+// Reset drops every table and view in place, preserving the Catalog's
+// identity — the engine and storage layers share it by reference — while
+// advancing the global version so any plan compiled against the discarded
+// schema goes stale. Recovery uses it to wipe the partial state a failed
+// checkpoint load left behind before retrying with an older checkpoint.
+func (c *Catalog) Reset() {
+	c.mu.Lock()
+	c.tables = make(map[string]*Table)
+	c.views = make(map[string]*View)
+	for name := range c.nameVers {
+		c.nameVers[name]++
+	}
+	c.mu.Unlock()
+	c.version.Add(1)
+}
+
 // CreateTable registers a table definition. Column names must be unique and
 // primary-key columns must exist.
 func (c *Catalog) CreateTable(t *Table) error {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"xnf/internal/enc"
 	"xnf/internal/types"
 )
 
@@ -29,10 +30,38 @@ func EncodeTable(buf []byte, t *Table) []byte {
 	return buf
 }
 
+// Segment header flags. Old (pre-encoding) images wrote a bare 0/1 hollow
+// byte, which decodes identically under the flag reading — image version 2
+// checkpoints load without migration.
+const (
+	segHollow  = 1 << 0
+	segEncoded = 1 << 1 // at least one column persisted in compressed form
+)
+
+// Per-column payload kinds of encoded segments.
+const (
+	colRaw  = 0
+	colDict = 1
+	colPack = 2
+)
+
 func encodeSegment(buf []byte, s *segment) []byte {
 	buf = binary.AppendUvarint(buf, uint64(s.n))
 	buf = binary.AppendUvarint(buf, uint64(s.dead))
-	buf = append(buf, boolByte(s.hollow))
+	flags := byte(0)
+	if s.hollow {
+		flags |= segHollow
+	}
+	encoded := false
+	for c := range s.cols {
+		if s.cols[c].encoded() {
+			encoded = true
+		}
+	}
+	if encoded {
+		flags |= segEncoded
+	}
+	buf = append(buf, flags)
 	buf = appendBitmap(buf, s.deleted, s.n)
 	if s.hollow {
 		return buf
@@ -40,6 +69,23 @@ func encodeSegment(buf []byte, s *segment) []byte {
 	for c := range s.cols {
 		buf = appendBitmap(buf, s.nulls[c], s.n)
 		vec := &s.cols[c]
+		if encoded {
+			// Encoded segments prefix every column with its payload kind and
+			// persist compressed payloads verbatim — smaller images, and
+			// recovery re-publishes the encoded form without re-analyzing.
+			switch {
+			case vec.dict != nil:
+				buf = append(buf, colDict)
+				buf = enc.AppendStringDict(buf, vec.dict)
+				continue
+			case vec.pack != nil:
+				buf = append(buf, colPack)
+				buf = enc.AppendIntPack(buf, vec.pack)
+				continue
+			default:
+				buf = append(buf, colRaw)
+			}
+		}
 		switch vec.typ {
 		case types.FloatType:
 			for i := 0; i < s.n; i++ {
@@ -106,7 +152,12 @@ func decodeSegment(typs []types.Type, buf []byte) (*segment, []byte, error) {
 	if len(buf) < 1 {
 		return nil, nil, fmt.Errorf("colstore: short segment header")
 	}
-	hollow := buf[0] != 0
+	flags := buf[0]
+	if flags&^(segHollow|segEncoded) != 0 {
+		return nil, nil, fmt.Errorf("colstore: unknown segment flags %#x", flags)
+	}
+	hollow := flags&segHollow != 0
+	encoded := flags&segEncoded != 0
 	buf = buf[1:]
 
 	s := newSegment(typs)
@@ -136,6 +187,44 @@ func decodeSegment(typs []types.Type, buf []byte) (*segment, []byte, error) {
 			return nil, nil, err
 		}
 		vec := &s.cols[c]
+		if encoded {
+			if len(buf) < 1 {
+				return nil, nil, fmt.Errorf("colstore: short column kind")
+			}
+			kind := buf[0]
+			buf = buf[1:]
+			switch kind {
+			case colDict:
+				if vec.typ != types.StringType {
+					return nil, nil, fmt.Errorf("colstore: dictionary payload on non-string column")
+				}
+				var d *enc.StringDict
+				if d, buf, err = enc.DecodeStringDict(buf); err != nil {
+					return nil, nil, err
+				}
+				if d.Len() != int(n) {
+					return nil, nil, fmt.Errorf("colstore: dictionary covers %d of %d slots", d.Len(), n)
+				}
+				vec.dict, vec.strs = d, nil
+				continue
+			case colPack:
+				if vec.typ == types.StringType || vec.typ == types.FloatType {
+					return nil, nil, fmt.Errorf("colstore: packed payload on non-int column")
+				}
+				var p *enc.IntPack
+				if p, buf, err = enc.DecodeIntPack(buf); err != nil {
+					return nil, nil, err
+				}
+				if p.Len() != int(n) {
+					return nil, nil, fmt.Errorf("colstore: packed column covers %d of %d slots", p.Len(), n)
+				}
+				vec.pack, vec.ints = p, nil
+				continue
+			case colRaw:
+			default:
+				return nil, nil, fmt.Errorf("colstore: unknown column kind %d", kind)
+			}
+		}
 		switch vec.typ {
 		case types.FloatType:
 			vec.floats = make([]float64, n, SegRows)

@@ -3,6 +3,7 @@ package colstore
 import (
 	"sync/atomic"
 
+	"xnf/internal/enc"
 	"xnf/internal/types"
 )
 
@@ -16,12 +17,23 @@ const SegRows = 4096
 // (exactly like types.Value), FLOAT uses float64, VARCHAR uses string.
 // NULLs live in the segment's per-column bitmap; the typed slot of a NULL
 // holds the zero value.
+//
+// A column of a full, Maintain'd segment may instead hold a compressed
+// encoding — a sorted string dictionary or a frame-of-reference packed int
+// vector — with the corresponding raw slice nil. Encoded payloads are
+// immutable; any in-place write first rebuilds the raw vector (unencode).
 type colVec struct {
 	typ    types.Type
 	ints   []int64
 	floats []float64
 	strs   []string
+
+	dict *enc.StringDict
+	pack *enc.IntPack
 }
+
+// encoded reports whether the column holds a compressed payload.
+func (v *colVec) encoded() bool { return v.dict != nil || v.pack != nil }
 
 func newColVec(typ types.Type) colVec {
 	v := colVec{typ: typ}
@@ -62,8 +74,14 @@ func (v *colVec) store(i int, val types.Value) {
 	}
 }
 
-// zero clears slot i (deleted slots must not pin old strings).
+// zero clears slot i (deleted slots must not pin old strings). Encoded
+// payloads are immutable and shared with published snapshots; tombstoned
+// slots of an encoded column keep their codes and are masked by the
+// deleted/null bitmaps instead.
 func (v *colVec) zero(i int) {
+	if v.encoded() {
+		return
+	}
 	switch v.typ {
 	case types.FloatType:
 		v.floats[i] = 0
@@ -76,6 +94,12 @@ func (v *colVec) zero(i int) {
 
 // load decodes slot i as a non-NULL value.
 func (v *colVec) load(i int) types.Value {
+	if v.dict != nil {
+		return types.Value{T: types.StringType, S: v.dict.At(i)}
+	}
+	if v.pack != nil {
+		return types.Value{T: v.typ, I: v.pack.At(i)}
+	}
 	switch v.typ {
 	case types.FloatType:
 		return types.Value{T: types.FloatType, F: v.floats[i]}
@@ -170,6 +194,7 @@ func (s *segment) grow() int {
 // clears the tombstone and its null bits before calling write, so wasNull
 // below always reflects a live slot's prior state).
 func (s *segment) write(i int, row types.Row) {
+	s.unencode()
 	for c := range s.cols {
 		wasNull := s.nulls[c].Get(i)
 		if row[c].IsNull() {
@@ -246,6 +271,7 @@ func (s *segment) hollowOut() {
 	}
 	for c := range s.cols {
 		s.cols[c].ints, s.cols[c].floats, s.cols[c].strs = nil, nil, nil
+		s.cols[c].dict, s.cols[c].pack = nil, nil
 	}
 	s.hollow = true
 	s.zones = make([]zone, len(s.cols))
@@ -273,6 +299,86 @@ func (s *segment) ensureStorage() {
 		}
 	}
 	s.hollow = false
+}
+
+// encode compresses the eligible columns of a full, settled segment:
+// strings to a sorted dictionary, ints/bools to frame-of-reference packed
+// codes (enc's heuristics decide per column; floats and refused columns
+// stay raw). Only full segments encode — the tail keeps taking raw DML
+// writes until Maintain sees it full. NULL and tombstoned slots encode as
+// code zero; they are masked by the bitmaps exactly as their raw zero
+// values were. Callers hold the owning table's write lock.
+func (s *segment) encode() {
+	if s.hollow || s.n < SegRows || s.dead == s.n {
+		return
+	}
+	changed := false
+	for c := range s.cols {
+		vec := &s.cols[c]
+		if vec.encoded() {
+			continue
+		}
+		nulls := s.nulls[c]
+		skip := func(i int) bool { return nulls.Get(i) }
+		switch vec.typ {
+		case types.FloatType:
+			// No float encoding; stays raw.
+		case types.StringType:
+			if d := enc.DictStrings(vec.strs, skip); d != nil {
+				vec.dict, vec.strs = d, nil
+				changed = true
+			}
+		default:
+			if p := enc.PackInts(vec.ints, skip); p != nil {
+				vec.pack, vec.ints = p, nil
+				changed = true
+			}
+		}
+	}
+	if changed {
+		s.view.Store(nil)
+		s.tview.Store(nil)
+		s.version++
+	}
+}
+
+// unencode rebuilds raw payload vectors from any encoded columns before an
+// in-place mutation. NULL and tombstoned slots come back as zero values
+// (the raw invariant: deleted slots must not pin strings). Published
+// snapshots keep the old immutable encoded payload; the version bump here
+// invalidates the caches.
+func (s *segment) unencode() {
+	changed := false
+	for c := range s.cols {
+		vec := &s.cols[c]
+		if !vec.encoded() {
+			continue
+		}
+		nulls := s.nulls[c]
+		if vec.dict != nil {
+			strs := make([]string, s.n, SegRows)
+			for i := 0; i < s.n; i++ {
+				if !nulls.Get(i) {
+					strs[i] = vec.dict.At(i)
+				}
+			}
+			vec.strs, vec.dict = strs, nil
+		} else {
+			ints := make([]int64, s.n, SegRows)
+			for i := 0; i < s.n; i++ {
+				if !nulls.Get(i) {
+					ints[i] = vec.pack.At(i)
+				}
+			}
+			vec.ints, vec.pack = ints, nil
+		}
+		changed = true
+	}
+	if changed {
+		s.view.Store(nil)
+		s.tview.Store(nil)
+		s.version++
+	}
 }
 
 // recomputeZones rebuilds the exact per-column min/max and live null count
@@ -337,10 +443,16 @@ func (s *segment) decodeTyped() TypedView {
 	for c := range s.cols {
 		vec := &s.cols[c]
 		tc := TypedCol{Typ: vec.typ}
-		switch vec.typ {
-		case types.FloatType:
+		switch {
+		case vec.dict != nil:
+			// Encoded payloads are immutable and replaced (never mutated) by
+			// unencode/write, so sharing the pointer is snapshot-safe.
+			tc.Dict = vec.dict
+		case vec.pack != nil:
+			tc.Pack = vec.pack
+		case vec.typ == types.FloatType:
 			tc.Floats = append([]float64(nil), vec.floats...)
-		case types.StringType:
+		case vec.typ == types.StringType:
 			tc.Strs = append([]string(nil), vec.strs...)
 		default:
 			tc.Ints = append([]int64(nil), vec.ints...)
@@ -375,6 +487,15 @@ func (s *segment) decode() View {
 		out := make([]types.Value, s.n)
 		vec := &s.cols[c]
 		nulls := s.nulls[c]
+		if vec.encoded() {
+			for i := 0; i < s.n; i++ {
+				if !nulls.Get(i) {
+					out[i] = vec.load(i)
+				}
+			}
+			v.Cols[c] = out
+			continue
+		}
 		switch vec.typ {
 		case types.FloatType:
 			for i := 0; i < s.n; i++ {

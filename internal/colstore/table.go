@@ -64,6 +64,12 @@ func (t *Table) BytesResident() int64 {
 			for _, s := range v.strs {
 				total += int64(len(s))
 			}
+			if v.dict != nil {
+				total += v.dict.Bytes()
+			}
+			if v.pack != nil {
+				total += v.pack.Bytes()
+			}
 		}
 	}
 	return total
@@ -207,20 +213,43 @@ func (t *Table) TypedViews(bounds []ColBound) (views []TypedView, pruned int) {
 }
 
 // Maintain is the ANALYZE hook: it recomputes exact zone maps for every
-// segment and hollows all-deleted segments — their payload vectors are
+// segment, hollows all-deleted segments — their payload vectors are
 // freed while the slot space is preserved, so RIDs, secondary indexes and
-// undo-log restores stay valid. Returns the number of segments hollowed by
-// this call. Callers hold the owning table's write lock.
+// undo-log restores stay valid — and compresses eligible columns of full
+// segments (dictionary strings, packed ints; DML since the last pass has
+// already dropped mutated segments back to raw, so this is also the
+// re-encode step). Returns the number of segments hollowed by this call.
+// Callers hold the owning table's write lock.
 func (t *Table) Maintain() int {
 	hollowed := 0
+	encode := segmentEncoding.Load()
 	for _, seg := range t.segs {
 		if !seg.hollow && seg.n > 0 && seg.dead == seg.n {
 			seg.hollowOut()
 			hollowed++
 		}
+		if encode {
+			seg.encode()
+		}
 		seg.recomputeZones()
 	}
 	return hollowed
+}
+
+// EncodedColumns counts the segment columns currently held compressed, by
+// kind (observability and tests).
+func (t *Table) EncodedColumns() (dict, pack int) {
+	for _, seg := range t.segs {
+		for c := range seg.cols {
+			if seg.cols[c].dict != nil {
+				dict++
+			}
+			if seg.cols[c].pack != nil {
+				pack++
+			}
+		}
+	}
+	return dict, pack
 }
 
 // HollowSegments reports how many segments currently have their payload
@@ -234,6 +263,24 @@ func (t *Table) HollowSegments() int {
 	}
 	return n
 }
+
+// --- segment encoding toggle ---
+
+// segmentEncoding gates ANALYZE/Maintain-time segment compression
+// (enabled by default; benchmarks and tests flip it to measure raw vs
+// encoded).
+var segmentEncoding atomic.Bool
+
+func init() { segmentEncoding.Store(true) }
+
+// SetSegmentEncoding enables or disables compression of full segments at
+// Maintain time. Returns the previous setting so callers can restore it.
+// Disabling does not decode already-encoded segments; re-enabling lets the
+// next ANALYZE pick them up again.
+func SetSegmentEncoding(on bool) bool { return segmentEncoding.Swap(on) }
+
+// SegmentEncoding reports whether Maintain-time compression is enabled.
+func SegmentEncoding() bool { return segmentEncoding.Load() }
 
 // --- auto-promotion heuristic ---
 

@@ -1,6 +1,9 @@
 package colstore
 
-import "xnf/internal/types"
+import (
+	"xnf/internal/enc"
+	"xnf/internal/types"
+)
 
 // TypedCol is one column of a typed segment view: the payload slice
 // selected by Typ — []int64 for INTEGER and BOOLEAN, []float64 for FLOAT,
@@ -8,16 +11,44 @@ import "xnf/internal/types"
 // typed slot of a NULL holds the zero value). Nulls is nil when none of the
 // covered slots is NULL, so kernels can skip the bitmap test entirely on
 // NOT NULL data. A TypedCol is immutable once published.
+//
+// Columns of encoded segments carry Dict (VARCHAR) or Pack (INTEGER/
+// BOOLEAN) instead of a raw slice; kernels that understand the encodings
+// compare codes directly, everything else decodes per slot through
+// StrAt/IntAt/Value.
 type TypedCol struct {
 	Typ    types.Type
 	Ints   []int64
 	Floats []float64
 	Strs   []string
 	Nulls  Bitmap
+
+	Dict *enc.StringDict
+	Pack *enc.IntPack
 }
+
+// Encoded reports whether the column holds a compressed payload instead of
+// a raw slice.
+func (c *TypedCol) Encoded() bool { return c.Dict != nil || c.Pack != nil }
 
 // IsNull reports whether slot i holds SQL NULL.
 func (c *TypedCol) IsNull(i int) bool { return c.Nulls != nil && c.Nulls.Get(i) }
+
+// StrAt reads string slot i, decoding through the dictionary if encoded.
+func (c *TypedCol) StrAt(i int) string {
+	if c.Dict != nil {
+		return c.Dict.At(i)
+	}
+	return c.Strs[i]
+}
+
+// IntAt reads int/bool slot i, decoding the packed code if encoded.
+func (c *TypedCol) IntAt(i int) int64 {
+	if c.Pack != nil {
+		return c.Pack.At(i)
+	}
+	return c.Ints[i]
+}
 
 // Value boxes slot i into a types.Value — the box-on-demand escape hatch at
 // row/projection boundaries; kernels read the payload slices directly.
@@ -29,9 +60,9 @@ func (c *TypedCol) Value(i int) types.Value {
 	case types.FloatType:
 		return types.Value{T: types.FloatType, F: c.Floats[i]}
 	case types.StringType:
-		return types.Value{T: types.StringType, S: c.Strs[i]}
+		return types.Value{T: types.StringType, S: c.StrAt(i)}
 	default:
-		return types.Value{T: c.Typ, I: c.Ints[i]}
+		return types.Value{T: c.Typ, I: c.IntAt(i)}
 	}
 }
 

@@ -1,0 +1,125 @@
+package enc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Checkpoint serialization of encoded payloads. The checkpoint file's CRC
+// guards integrity end to end; this codec still validates every length,
+// width and code it reads, so a torn or corrupt payload fails with an
+// error instead of panicking or silently mis-decoding — the recovery path
+// depends on that to fall back to an older checkpoint.
+
+// AppendIntPack appends the binary encoding of p.
+func AppendIntPack(buf []byte, p *IntPack) []byte {
+	buf = binary.AppendVarint(buf, p.Min)
+	buf = append(buf, p.Codes.W)
+	buf = binary.AppendUvarint(buf, uint64(p.Codes.N))
+	for _, w := range p.Codes.Words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// DecodeIntPack decodes an IntPack, returning the remaining bytes.
+func DecodeIntPack(buf []byte) (*IntPack, []byte, error) {
+	min, k := binary.Varint(buf)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("enc: bad pack min")
+	}
+	buf = buf[k:]
+	if len(buf) < 1 {
+		return nil, nil, fmt.Errorf("enc: short pack header")
+	}
+	w := buf[0]
+	buf = buf[1:]
+	if w > MaxPackBits {
+		return nil, nil, fmt.Errorf("enc: pack width %d out of range", w)
+	}
+	bits, buf, err := decodeBits(buf, w, "pack")
+	if err != nil {
+		return nil, nil, err
+	}
+	return &IntPack{Min: min, Codes: bits}, buf, nil
+}
+
+// AppendStringDict appends the binary encoding of d.
+func AppendStringDict(buf []byte, d *StringDict) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(d.Vals)))
+	for _, v := range d.Vals {
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	buf = append(buf, d.Codes.W)
+	buf = binary.AppendUvarint(buf, uint64(d.Codes.N))
+	for _, w := range d.Codes.Words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// DecodeStringDict decodes a StringDict, validating that the dictionary is
+// strictly sorted and unique (Find depends on it) and every code is in
+// range, and returning the remaining bytes.
+func DecodeStringDict(buf []byte) (*StringDict, []byte, error) {
+	card, k := binary.Uvarint(buf)
+	if k <= 0 || card > MaxDictCard {
+		return nil, nil, fmt.Errorf("enc: bad dict cardinality")
+	}
+	buf = buf[k:]
+	vals := make([]string, card)
+	for i := range vals {
+		sl, k := binary.Uvarint(buf)
+		if k <= 0 || sl > uint64(len(buf[k:])) {
+			return nil, nil, fmt.Errorf("enc: bad dict value")
+		}
+		vals[i] = string(buf[k : k+int(sl)])
+		buf = buf[k+int(sl):]
+		if i > 0 && vals[i-1] >= vals[i] {
+			return nil, nil, fmt.Errorf("enc: dictionary not sorted/unique")
+		}
+	}
+	if len(buf) < 1 {
+		return nil, nil, fmt.Errorf("enc: short dict header")
+	}
+	w := buf[0]
+	buf = buf[1:]
+	if w != dictWidth(int(card)) {
+		return nil, nil, fmt.Errorf("enc: dict width %d does not match cardinality %d", w, card)
+	}
+	bits, buf, err := decodeBits(buf, w, "dict")
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &StringDict{Vals: vals, Codes: bits}
+	if card > 0 {
+		for i := 0; i < d.Codes.N; i++ {
+			if d.Codes.Get(i) >= card {
+				return nil, nil, fmt.Errorf("enc: dict code out of range at slot %d", i)
+			}
+		}
+	} else if d.Codes.N != 0 && d.Codes.W != 0 {
+		return nil, nil, fmt.Errorf("enc: empty dictionary with nonzero codes")
+	}
+	return d, buf, nil
+}
+
+// decodeBits decodes a [n uvarint][words] code vector of the given width,
+// checking the word count against the declared slot count exactly.
+func decodeBits(buf []byte, w uint8, what string) (BitVec, []byte, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 || n > MaxLen {
+		return BitVec{}, nil, fmt.Errorf("enc: bad %s length", what)
+	}
+	buf = buf[k:]
+	nw := bitWords(int(n), w)
+	if len(buf) < nw*8 {
+		return BitVec{}, nil, fmt.Errorf("enc: short %s payload", what)
+	}
+	b := BitVec{W: w, N: int(n), Words: make([]uint64, nw)}
+	for i := 0; i < nw; i++ {
+		b.Words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return b, buf[nw*8:], nil
+}

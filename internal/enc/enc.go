@@ -1,0 +1,233 @@
+// Package enc provides per-segment compressed column encodings for the
+// column store: dictionary encoding for strings (a sorted, unique value
+// dictionary plus a bit-packed code vector — the sort order makes code
+// order equal string order, so equality AND range predicates evaluate as
+// integer compares on codes) and frame-of-reference bit packing for
+// integers (values stored as deltas from the segment minimum, packed to
+// the minimal bit width). Encodings are chosen per column per segment at
+// ANALYZE/Maintain time by the heuristics here, with raw storage as the
+// universal fallback. Encoded payloads are immutable once built; the
+// column store drops back to raw vectors before any in-place write.
+package enc
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// MaxPackBits is the widest frame-of-reference code worth packing: above
+// it the space win shrinks below 25% and the shift/mask decode stops
+// paying for itself, so such columns stay raw.
+const MaxPackBits = 48
+
+// MaxDictCard is the largest dictionary a segment column may carry.
+// Cardinalities above it are not "low-cardinality tags" anymore; raw
+// storage keeps them.
+const MaxDictCard = 2048
+
+// MaxLen bounds the slot count a decoded payload may claim, so a corrupt
+// length prefix cannot drive a huge allocation. Segments are 4096 slots;
+// the bound leaves headroom without trusting the input.
+const MaxLen = 1 << 16
+
+// BitVec is a vector of n fixed-width codes packed least-significant-bit
+// first into 64-bit words. Width 0 means every code is zero (a constant
+// column) and no words are stored.
+type BitVec struct {
+	W     uint8 // bits per code; 0..63
+	N     int
+	Words []uint64
+}
+
+func newBitVec(n int, w uint8) BitVec {
+	return BitVec{W: w, N: n, Words: make([]uint64, bitWords(n, w))}
+}
+
+// bitWords returns the word count needed for n codes of width w.
+func bitWords(n int, w uint8) int {
+	return (n*int(w) + 63) / 64
+}
+
+// Get returns code i. Codes may straddle a word boundary.
+func (b *BitVec) Get(i int) uint64 {
+	w := uint(b.W)
+	if w == 0 {
+		return 0
+	}
+	bit := uint(i) * w
+	off := bit & 63
+	v := b.Words[bit>>6] >> off
+	if off+w > 64 {
+		v |= b.Words[(bit>>6)+1] << (64 - off)
+	}
+	return v & (1<<w - 1)
+}
+
+func (b *BitVec) set(i int, v uint64) {
+	w := uint(b.W)
+	if w == 0 {
+		return
+	}
+	bit := uint(i) * w
+	off := bit & 63
+	b.Words[bit>>6] |= v << off
+	if off+w > 64 {
+		b.Words[(bit>>6)+1] |= v >> (64 - off)
+	}
+}
+
+// IntPack is a frame-of-reference packed integer column: value i is
+// Min + code(i), with codes packed to the minimal bit width. The addition
+// wraps in uint64 space, so columns spanning the int64 limits round-trip
+// bit-exactly.
+type IntPack struct {
+	Min   int64
+	Codes BitVec
+}
+
+// Len returns the slot count.
+func (p *IntPack) Len() int { return p.Codes.N }
+
+// At decodes slot i.
+func (p *IntPack) At(i int) int64 {
+	return int64(uint64(p.Min) + p.Codes.Get(i))
+}
+
+// Bytes reports the resident size of the packed payload.
+func (p *IntPack) Bytes() int64 { return int64(len(p.Codes.Words))*8 + 16 }
+
+// PackInts packs vals to the minimal frame-of-reference width. skip marks
+// slots whose payload is meaningless (NULL or tombstoned slots hold zero
+// values); they pack as the frame minimum and are never read back through
+// the null bitmap. Returns nil when the value range needs more than
+// MaxPackBits bits — the caller keeps the raw vector.
+func PackInts(vals []int64, skip func(int) bool) *IntPack {
+	var min, max int64
+	seen := false
+	for i, v := range vals {
+		if skip != nil && skip(i) {
+			continue
+		}
+		if !seen || v < min {
+			min = v
+		}
+		if !seen || v > max {
+			max = v
+		}
+		seen = true
+	}
+	if !seen {
+		// Every slot is NULL/tombstoned: a zero-width constant column.
+		return &IntPack{Min: 0, Codes: newBitVec(len(vals), 0)}
+	}
+	urange := uint64(max) - uint64(min) // two's-complement safe across sign
+	w := uint8(bits.Len64(urange))
+	if w > MaxPackBits {
+		return nil
+	}
+	p := &IntPack{Min: min, Codes: newBitVec(len(vals), w)}
+	for i, v := range vals {
+		if skip != nil && skip(i) {
+			continue // packs as code 0 == Min
+		}
+		p.Codes.set(i, uint64(v)-uint64(min))
+	}
+	return p
+}
+
+// StringDict is a dictionary-encoded string column: Vals is the sorted,
+// unique dictionary and Codes holds one dictionary index per slot. Because
+// Vals is sorted, comparing codes compares strings.
+type StringDict struct {
+	Vals  []string
+	Codes BitVec
+}
+
+// Len returns the slot count.
+func (d *StringDict) Len() int { return d.Codes.N }
+
+// Card returns the dictionary cardinality.
+func (d *StringDict) Card() int { return len(d.Vals) }
+
+// CodeAt returns the dictionary code of slot i.
+func (d *StringDict) CodeAt(i int) int { return int(d.Codes.Get(i)) }
+
+// At decodes slot i. An empty dictionary (every slot NULL) decodes as "".
+func (d *StringDict) At(i int) string {
+	if len(d.Vals) == 0 {
+		return ""
+	}
+	return d.Vals[d.Codes.Get(i)]
+}
+
+// Find locates s in the dictionary: the insertion position in code order,
+// and whether s is present. Kernels turn any comparison against a constant
+// into integer compares on codes with this — for found constants the code
+// compares directly; otherwise codes >= pos are greater than s and codes
+// < pos are smaller.
+func (d *StringDict) Find(s string) (int, bool) {
+	pos := sort.SearchStrings(d.Vals, s)
+	return pos, pos < len(d.Vals) && d.Vals[pos] == s
+}
+
+// Bytes reports the resident size of the dictionary payload.
+func (d *StringDict) Bytes() int64 {
+	total := int64(len(d.Codes.Words))*8 + int64(len(d.Vals))*16 + 16
+	for _, s := range d.Vals {
+		total += int64(len(s))
+	}
+	return total
+}
+
+// dictWidth is the minimal code width for a dictionary of the given
+// cardinality (0 for constant or empty columns).
+func dictWidth(card int) uint8 {
+	if card <= 1 {
+		return 0
+	}
+	return uint8(bits.Len64(uint64(card - 1)))
+}
+
+// DictStrings dictionary-encodes vals if profitable: the distinct count
+// must stay within MaxDictCard and at most half the meaningful slot count
+// (above that the dictionary plus codes stop being clearly smaller than
+// raw headers, and code-compare kernels stop being clearly faster).
+// skip marks NULL/tombstoned slots; they take code 0 and are never read
+// back. Returns nil when raw storage should stay.
+func DictStrings(vals []string, skip func(int) bool) *StringDict {
+	distinct := make(map[string]struct{}, 64)
+	n := 0
+	for i, v := range vals {
+		if skip != nil && skip(i) {
+			continue
+		}
+		n++
+		distinct[v] = struct{}{}
+		if len(distinct) > MaxDictCard {
+			return nil
+		}
+	}
+	if n == 0 {
+		return &StringDict{Codes: newBitVec(len(vals), 0)}
+	}
+	if 2*len(distinct) > n {
+		return nil
+	}
+	d := &StringDict{Vals: make([]string, 0, len(distinct))}
+	for v := range distinct {
+		d.Vals = append(d.Vals, v)
+	}
+	sort.Strings(d.Vals)
+	codeOf := make(map[string]uint64, len(d.Vals))
+	for c, v := range d.Vals {
+		codeOf[v] = uint64(c)
+	}
+	d.Codes = newBitVec(len(vals), dictWidth(len(d.Vals)))
+	for i, v := range vals {
+		if skip != nil && skip(i) {
+			continue // code 0
+		}
+		d.Codes.set(i, codeOf[v])
+	}
+	return d
+}

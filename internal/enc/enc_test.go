@@ -1,0 +1,185 @@
+package enc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestPackIntsRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{0},
+		{5, 5, 5, 5},
+		{-3, -1, 0, 7, 1000},
+		{math.MinInt64, math.MinInt64 + 100}, // near the low limit
+		{math.MaxInt64 - 50, math.MaxInt64},  // near the high limit
+		{1 << 40, 1<<40 + 1<<47, 1 << 40},    // wide but packable
+		{-(1 << 46), 1 << 46},                // crosses zero, 47-48 bits
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, // dense small
+	}
+	for ci, vals := range cases {
+		p := PackInts(vals, nil)
+		if p == nil {
+			t.Fatalf("case %d: expected packable", ci)
+		}
+		if p.Len() != len(vals) {
+			t.Fatalf("case %d: len %d != %d", ci, p.Len(), len(vals))
+		}
+		for i, want := range vals {
+			if got := p.At(i); got != want {
+				t.Fatalf("case %d slot %d: %d != %d", ci, i, got, want)
+			}
+		}
+		buf := AppendIntPack(nil, p)
+		q, rest, err := DecodeIntPack(buf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("case %d: decode err=%v rest=%d", ci, err, len(rest))
+		}
+		for i, want := range vals {
+			if got := q.At(i); got != want {
+				t.Fatalf("case %d decoded slot %d: %d != %d", ci, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPackIntsRejectsWideRanges(t *testing.T) {
+	if p := PackInts([]int64{math.MinInt64, math.MaxInt64}, nil); p != nil {
+		t.Fatal("full-range column must stay raw")
+	}
+	if p := PackInts([]int64{0, 1 << 49}, nil); p != nil {
+		t.Fatal("range over MaxPackBits must stay raw")
+	}
+}
+
+func TestPackIntsSkip(t *testing.T) {
+	vals := []int64{0, 100, 0, 102, 0} // zeros are NULL payload slots
+	skip := func(i int) bool { return i%2 == 0 }
+	p := PackInts(vals, skip)
+	if p == nil {
+		t.Fatal("expected packable")
+	}
+	// Width reflects only meaningful slots: range [100,102] is 2 bits.
+	if p.Codes.W > 2 {
+		t.Fatalf("width %d, want <= 2 (skip slots must not widen the frame)", p.Codes.W)
+	}
+	if p.At(1) != 100 || p.At(3) != 102 {
+		t.Fatalf("meaningful slots corrupted: %d %d", p.At(1), p.At(3))
+	}
+	// All-skip packs as a constant column.
+	q := PackInts(vals, func(int) bool { return true })
+	if q == nil || q.Codes.W != 0 {
+		t.Fatalf("all-skip column should pack to width 0, got %+v", q)
+	}
+}
+
+func TestDictStringsRoundTripAndOrder(t *testing.T) {
+	vals := make([]string, 400)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("tag%02d", i%13)
+	}
+	d := DictStrings(vals, nil)
+	if d == nil {
+		t.Fatal("low-cardinality column must encode")
+	}
+	if d.Card() != 13 {
+		t.Fatalf("cardinality %d, want 13", d.Card())
+	}
+	for i, want := range vals {
+		if got := d.At(i); got != want {
+			t.Fatalf("slot %d: %q != %q", i, got, want)
+		}
+	}
+	// Sorted dictionary: code order is string order.
+	for i := 1; i < len(d.Vals); i++ {
+		if d.Vals[i-1] >= d.Vals[i] {
+			t.Fatalf("dictionary not sorted at %d: %q >= %q", i, d.Vals[i-1], d.Vals[i])
+		}
+	}
+	// Find: present and absent probes bracket correctly.
+	if pos, ok := d.Find("tag05"); !ok || d.Vals[pos] != "tag05" {
+		t.Fatalf("Find present: pos=%d ok=%v", pos, ok)
+	}
+	if pos, ok := d.Find("tag05x"); ok || pos != 6 {
+		t.Fatalf("Find absent: pos=%d ok=%v, want 6 false", pos, ok)
+	}
+	buf := AppendStringDict(nil, d)
+	q, rest, err := DecodeStringDict(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode err=%v rest=%d", err, len(rest))
+	}
+	for i, want := range vals {
+		if got := q.At(i); got != want {
+			t.Fatalf("decoded slot %d: %q != %q", i, got, want)
+		}
+	}
+}
+
+func TestDictStringsRejectsHighCardinality(t *testing.T) {
+	vals := make([]string, 100)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("unique-%d", i)
+	}
+	if d := DictStrings(vals, nil); d != nil {
+		t.Fatal("all-distinct column must stay raw")
+	}
+}
+
+func TestDictStringsAllNull(t *testing.T) {
+	vals := make([]string, 10)
+	d := DictStrings(vals, func(int) bool { return true })
+	if d == nil || d.Card() != 0 {
+		t.Fatalf("all-null column should carry an empty dictionary: %+v", d)
+	}
+	if d.At(3) != "" {
+		t.Fatal("empty dictionary must decode as empty string")
+	}
+	buf := AppendStringDict(nil, d)
+	if _, rest, err := DecodeStringDict(buf); err != nil || len(rest) != 0 {
+		t.Fatalf("decode err=%v rest=%d", err, len(rest))
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	vals := []string{"a", "b", "a", "c", "b", "a", "a", "b"}
+	d := DictStrings(vals, nil)
+	good := AppendStringDict(nil, d)
+	// Truncations at every boundary must error, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := DecodeStringDict(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	p := PackInts([]int64{1, 2, 3, 1 << 30}, nil)
+	goodP := AppendIntPack(nil, p)
+	for cut := 0; cut < len(goodP); cut++ {
+		if _, _, err := DecodeIntPack(goodP[:cut]); err == nil {
+			t.Fatalf("pack truncation at %d decoded successfully", cut)
+		}
+	}
+	// An unsorted dictionary must be rejected (Find would silently break).
+	bad := AppendStringDict(nil, &StringDict{Vals: []string{"b", "a"}, Codes: newBitVec(4, 1)})
+	if _, _, err := DecodeStringDict(bad); err == nil {
+		t.Fatal("unsorted dictionary accepted")
+	}
+	// Out-of-range codes must be rejected.
+	oob := &StringDict{Vals: []string{"a", "b", "c"}, Codes: newBitVec(4, 2)}
+	oob.Codes.set(2, 3) // code 3 with card 3
+	if _, _, err := DecodeStringDict(AppendStringDict(nil, oob)); err == nil {
+		t.Fatal("out-of-range code accepted")
+	}
+}
+
+func TestBitVecStraddlesWords(t *testing.T) {
+	// Width 7 codes cross every word boundary shape within 128 slots.
+	b := newBitVec(128, 7)
+	for i := 0; i < 128; i++ {
+		b.set(i, uint64(i))
+	}
+	for i := 0; i < 128; i++ {
+		if got := b.Get(i); got != uint64(i) {
+			t.Fatalf("slot %d: %d", i, got)
+		}
+	}
+}

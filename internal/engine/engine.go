@@ -293,9 +293,10 @@ func (db *Database) ExplainAnalyze(sql string, args ...types.Value) (string, err
 		n++
 	}
 	c := rows.Counters()
-	out := fmt.Sprintf("%s-- %d row(s); rows_scanned=%d index_lookups=%d segments_pruned=%d spools=%d subplan_runs=%d join_build=%d join_probe=%d pool_workers=%d pool_fallbacks=%d segments_scanned=%d mem_reserved=%d mem_fallbacks=%d\n",
+	out := fmt.Sprintf("%s-- %d row(s); rows_scanned=%d index_lookups=%d segments_pruned=%d spools=%d subplan_runs=%d join_build=%d join_probe=%d pool_workers=%d pool_fallbacks=%d segments_scanned=%d mem_reserved=%d mem_fallbacks=%d encoded_cmp_rows=%d encoded_hash_rows=%d\n",
 		stmt.plan.Explain(0), n, c.RowsScanned, c.IndexLookups, c.SegmentsPruned, c.SpoolMaterial, c.SubplanRuns,
-		c.JoinBuildRows, c.JoinProbeRows, c.PoolWorkers, c.PoolFallbacks, c.SegmentsScanned, c.MemReserved, c.MemFallbacks)
+		c.JoinBuildRows, c.JoinProbeRows, c.PoolWorkers, c.PoolFallbacks, c.SegmentsScanned, c.MemReserved, c.MemFallbacks,
+		c.EncodedCmpRows, c.EncodedHashRows)
 	if ws := db.store.WALStats(); ws.Attached {
 		group := float64(0)
 		if ws.Fsyncs > 0 {

@@ -59,6 +59,11 @@ type dbStats struct {
 	segsScanned  *metrics.Counter
 	segsPruned   *metrics.Counter
 
+	// Compressed execution: rows whose comparisons / hash-key work ran
+	// directly on encoded segment data (dictionary codes, packed ints).
+	encodedCmp  *metrics.Counter
+	encodedHash *metrics.Counter
+
 	latency *metrics.Histogram
 
 	slowTotal     *metrics.Counter
@@ -87,6 +92,8 @@ func newDBStats(db *Database) *dbStats {
 		rowsScanned:  reg.Counter("xnf_rows_scanned_total", "Rows read by scans."),
 		segsScanned:  reg.Counter("xnf_segments_scanned_total", "Column-store segments read by scans."),
 		segsPruned:   reg.Counter("xnf_segments_pruned_total", "Column-store segments skipped by zone maps."),
+		encodedCmp:   reg.Counter("xnf_encoded_cmp_rows_total", "Rows compared directly on encoded segment data."),
+		encodedHash:  reg.Counter("xnf_encoded_hash_rows_total", "Rows hashed for agg/join keys from encoded segment data."),
 		latency:      reg.Histogram("xnf_statement_latency_ns", "Statement wall time in nanoseconds."),
 		slowTotal:    reg.Counter("xnf_slow_queries_total", "Statements slower than the slow-query threshold."),
 
@@ -154,6 +161,10 @@ func newDBStats(db *Database) *dbStats {
 		func() int64 { segs, _ := db.store.ColStoreStats(); return int64(segs) })
 	reg.GaugeFunc("xnf_colstore_bytes_resident", "Approximate heap bytes held by column vectors.",
 		func() int64 { _, bytes := db.store.ColStoreStats(); return bytes })
+	reg.GaugeFunc("xnf_colstore_dict_columns", "Segment columns held dictionary-encoded.",
+		func() int64 { d, _ := db.store.EncodedColumnStats(); return int64(d) })
+	reg.GaugeFunc("xnf_colstore_pack_columns", "Segment columns held bit-packed.",
+		func() int64 { _, p := db.store.EncodedColumnStats(); return int64(p) })
 
 	return st
 }
@@ -224,6 +235,8 @@ func (s *dbStats) observeStatement(verb byte, sql string, start time.Time, rows 
 	s.rowsScanned.Add(c.RowsScanned)
 	s.segsScanned.Add(c.SegmentsScanned)
 	s.segsPruned.Add(c.SegmentsPruned)
+	s.encodedCmp.Add(c.EncodedCmpRows)
+	s.encodedHash.Add(c.EncodedHashRows)
 	s.memFallbacks.Add(c.MemFallbacks)
 	s.memReserved.Add(c.MemReserved)
 

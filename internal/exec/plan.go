@@ -43,6 +43,13 @@ type Counters struct {
 	// (chunked sort merge, sequential build) under memory pressure.
 	MemReserved  int64
 	MemFallbacks int64
+	// EncodedCmpRows counts rows whose comparison predicate ran directly
+	// on encoded segment data (dictionary code compares, packed ints);
+	// EncodedHashRows counts rows grouped or joined with at least one key
+	// column read from encoded data. Together they show how often scans
+	// stay on the compressed path instead of decoding.
+	EncodedCmpRows  int64
+	EncodedHashRows int64
 }
 
 func add(c *int64, n int64) { atomic.AddInt64(c, n) }

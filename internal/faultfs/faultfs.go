@@ -78,6 +78,7 @@ const (
 	OpRemove
 	OpTruncate
 	OpSyncDir
+	OpRead
 	opCount
 )
 
@@ -97,6 +98,8 @@ func (o Op) String() string {
 		return "truncate"
 	case OpSyncDir:
 		return "syncdir"
+	case OpRead:
+		return "read"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -297,8 +300,27 @@ func (in *Injector) Truncate(name string, size int64) error {
 	return in.base.Truncate(name, size)
 }
 
-// ReadFile implements FS (never faulted: torture targets the write path).
-func (in *Injector) ReadFile(name string) ([]byte, error) { return in.base.ReadFile(name) }
+// ReadFile implements FS. Fail rules surface a read error; Partial rules
+// hand back a strictly-short prefix of the data with no error — the
+// silently truncated checkpoint or log a recovering open must detect by
+// framing/CRC and fall back from, never trust.
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	data, err := in.base.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	v := in.check(OpRead, name, len(data))
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		if v.partial > 0 {
+			return data[:v.partial], nil
+		}
+		return nil, v.err
+	}
+	return data, nil
+}
 
 // ReadDir implements FS (never faulted).
 func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return in.base.ReadDir(name) }

@@ -103,15 +103,30 @@ func (s *Store) OpenDurable(dir string, opts wal.Options) error {
 	d := &durability{dir: dir}
 	start := time.Now()
 
-	// 1. Load the newest checkpoint that validates.
-	payload, ckptSeq, haveCkpt, err := wal.LatestCheckpoint(dir)
+	// 1. Load the newest checkpoint that both reads back and decodes.
+	// A checkpoint whose read faults, whose CRC fails, or whose image
+	// does not decode falls back to the next older one (checkpoint
+	// removal is not atomic with the write, so crash windows can leave
+	// several); with none usable, recovery degrades to a clean replay of
+	// every surviving log file. Partially applied state from a failed
+	// decode is wiped before each retry — a bad checkpoint can cost
+	// recovery time, never correctness.
+	ckptSeqs, err := wal.ListCheckpoints(dir)
 	if err != nil {
 		return err
 	}
-	if haveCkpt {
-		if err := s.loadImage(payload); err != nil {
-			return fmt.Errorf("storage: checkpoint %d: %w", ckptSeq, err)
+	haveCkpt := false
+	var ckptSeq uint64
+	for i := len(ckptSeqs) - 1; i >= 0 && !haveCkpt; i-- {
+		payload, rerr := wal.ReadCheckpoint(dir, ckptSeqs[i])
+		if rerr != nil {
+			continue
 		}
+		if lerr := s.loadImage(payload); lerr != nil {
+			s.resetState()
+			continue
+		}
+		haveCkpt, ckptSeq = true, ckptSeqs[i]
 	}
 
 	// 2. Replay the log suffix. Files below the checkpoint sequence are
@@ -374,8 +389,14 @@ func (s *Store) Checkpoint() error {
 }
 
 // imageVersion versions the checkpoint payload format. v2 added persisted
-// index payloads after each table's statistics.
-const imageVersion = 2
+// index payloads after each table's statistics; v3 persists compressed
+// column-store segments (dictionary/packed payloads) verbatim. v2 images
+// load unchanged — the colstore segment flags byte reads v2's bare 0/1
+// hollow byte — so loadImage accepts both.
+const (
+	imageVersion    = 3
+	minImageVersion = 2
+)
 
 // encodeImage serializes the whole store: a DDL section of framed WAL
 // records (tables, secondary indexes, views) followed by each table's
@@ -422,11 +443,22 @@ func (s *Store) encodeImage() []byte {
 	return buf
 }
 
+// resetState wipes the store and catalog back to empty in place (both are
+// shared by reference with the engine, so neither can be reallocated).
+// Recovery calls it between checkpoint-load attempts.
+func (s *Store) resetState() {
+	s.mu.Lock()
+	s.tables = make(map[string]*TableData)
+	s.mu.Unlock()
+	s.cat.Reset()
+	s.nextTx.Store(0)
+}
+
 // loadImage rebuilds the store from a checkpoint payload: the DDL
 // section replays through the normal entry points, then each table's
 // heap replaces the empty one and its indexes decode in bulk.
 func (s *Store) loadImage(payload []byte) error {
-	if len(payload) < 1 || payload[0] != imageVersion {
+	if len(payload) < 1 || payload[0] < minImageVersion || payload[0] > imageVersion {
 		return fmt.Errorf("storage: unsupported checkpoint image version")
 	}
 	buf := payload[1:]

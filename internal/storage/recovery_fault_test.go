@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"xnf/internal/catalog"
+	"xnf/internal/colstore"
+	"xnf/internal/faultfs"
+	"xnf/internal/types"
+	"xnf/internal/wal"
+)
+
+// buildCrashWindow builds a durable store whose directory looks like a
+// crash between writing a new checkpoint and garbage-collecting the old
+// one: two checkpoints (both with encoded column-store segments) plus the
+// log files bridging them. Returns the expected final row set keyed by id.
+func buildCrashWindow(t *testing.T, dir string, inj *faultfs.Injector) map[int64]string {
+	t.Helper()
+	want := make(map[int64]string)
+	s := NewStore(catalog.New())
+	if err := s.OpenDurable(dir, wal.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.CreateTable(&catalog.Table{
+		Name: "T",
+		Columns: []catalog.Column{
+			{Name: "ID", Type: types.IntType, NotNull: true},
+			{Name: "TAG", Type: types.StringType},
+		},
+		PrimaryKey: []string{"ID"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTableStorage("T", catalog.ColumnStore); err != nil {
+		t.Fatal(err)
+	}
+	td, _ := s.Table("T")
+	// Inserts go through committed transactions so the DML is WAL-logged:
+	// rows added after a checkpoint must be replayable from the log.
+	insert := func(lo, hi int64) {
+		tx := s.Begin()
+		for i := lo; i < hi; i++ {
+			tag := fmt.Sprintf("tag%d", i%7)
+			if _, err := tx.Insert("T", types.Row{types.NewInt(i), types.NewString(tag)}); err != nil {
+				t.Fatal(err)
+			}
+			want[i] = tag
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	insert(0, colstore.SegRows+200)
+	if err := s.Analyze("T"); err != nil { // Maintain: full segments encode
+		t.Fatal(err)
+	}
+	if d, p := td.EncodedColumns(); d == 0 || p == 0 {
+		t.Fatalf("expected encoded columns before checkpoint, dict=%d pack=%d", d, p)
+	}
+	if err := s.Checkpoint(); err != nil { // checkpoint A
+		t.Fatal(err)
+	}
+	insert(colstore.SegRows+200, colstore.SegRows+300)
+
+	// Checkpoint B: the snapshot lands, then old-file removal "crashes".
+	inj.Add(faultfs.Rule{Op: faultfs.OpRemove, Path: dir, Mode: faultfs.Fail})
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("expected checkpoint GC to fail under the remove fault")
+	}
+	inj.Reset()
+	insert(colstore.SegRows+300, colstore.SegRows+350)
+	if err := s.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpts, err := wal.ListCheckpoints(dir)
+	if err != nil || len(ckpts) != 2 {
+		t.Fatalf("want 2 checkpoints in the crash window, have %v (err=%v)", ckpts, err)
+	}
+	return want
+}
+
+// verifyRecovered reopens the directory and checks the full row set.
+func verifyRecovered(t *testing.T, dir string, want map[int64]string) {
+	t.Helper()
+	s := NewStore(catalog.New())
+	if err := s.OpenDurable(dir, wal.Options{}); err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer s.CloseDurability()
+	td, err := s.Table("T")
+	if err != nil {
+		t.Fatalf("recovery lost the table: %v", err)
+	}
+	have := make(map[int64]string)
+	td.Scan(func(rid RID, row types.Row) bool {
+		have[row[0].I] = row[1].S
+		return true
+	})
+	if len(have) != len(want) {
+		t.Fatalf("recovered %d rows, want %d", len(have), len(want))
+	}
+	for id, tag := range want {
+		if have[id] != tag {
+			t.Fatalf("row %d recovered as %q, want %q", id, have[id], tag)
+		}
+	}
+}
+
+// newestCheckpointPath returns the path of the highest-sequence checkpoint.
+func newestCheckpointPath(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no checkpoint files")
+	}
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1])
+}
+
+// TestRecoveryCheckpointReadFaultFallsBack injects a hard read error on
+// the newest checkpoint file: open must fall back to the older checkpoint
+// plus log replay and recover every committed row.
+func TestRecoveryCheckpointReadFaultFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.OS, 1)
+	prev := wal.SetFS(inj)
+	defer wal.SetFS(prev)
+
+	want := buildCrashWindow(t, dir, inj)
+	newest := filepath.Base(newestCheckpointPath(t, dir))
+	inj.Add(faultfs.Rule{Op: faultfs.OpRead, Path: newest, Mode: faultfs.Fail})
+	verifyRecovered(t, dir, want)
+	if inj.Injected() == 0 {
+		t.Fatal("read fault never fired")
+	}
+}
+
+// TestRecoveryCheckpointPartialReadFallsBack returns a silently truncated
+// prefix of the newest checkpoint: the framing must reject it and open
+// must fall back, never trust the short image.
+func TestRecoveryCheckpointPartialReadFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.OS, 7)
+	prev := wal.SetFS(inj)
+	defer wal.SetFS(prev)
+
+	want := buildCrashWindow(t, dir, inj)
+	newest := filepath.Base(newestCheckpointPath(t, dir))
+	inj.Add(faultfs.Rule{Op: faultfs.OpRead, Path: newest, Mode: faultfs.Partial})
+	verifyRecovered(t, dir, want)
+	if inj.Injected() == 0 {
+		t.Fatal("partial-read fault never fired")
+	}
+}
+
+// TestRecoveryImageDecodeFailureFallsBack corrupts the newest checkpoint
+// payload while keeping its CRC frame valid, so the failure surfaces in
+// the image decode (the colstore/segment layer), not the read: open must
+// wipe the partial load and fall back to the older checkpoint.
+func TestRecoveryImageDecodeFailureFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.OS, 3)
+	prev := wal.SetFS(inj)
+	defer wal.SetFS(prev)
+
+	want := buildCrashWindow(t, dir, inj)
+
+	// Rewrite the newest checkpoint with a poisoned version byte and a
+	// recomputed CRC: the frame validates, loadImage rejects.
+	path := newestCheckpointPath(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), data[8:]...)
+	payload[0] = 99
+	out := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	out = append(out, payload...)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	verifyRecovered(t, dir, want)
+}
+
+// TestRecoveryEncodedCheckpointRoundTrip is the no-fault baseline: a
+// checkpoint image carrying encoded segments restores them still encoded,
+// with identical rows.
+func TestRecoveryEncodedCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.OS, 5)
+	prev := wal.SetFS(inj)
+	defer wal.SetFS(prev)
+
+	want := buildCrashWindow(t, dir, inj)
+	verifyRecovered(t, dir, want)
+
+	s := NewStore(catalog.New())
+	if err := s.OpenDurable(dir, wal.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.CloseDurability()
+	td, _ := s.Table("T")
+	if d, p := td.EncodedColumns(); d == 0 || p == 0 {
+		t.Fatalf("recovery dropped the encoded form, dict=%d pack=%d", d, p)
+	}
+}

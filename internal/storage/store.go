@@ -142,6 +142,24 @@ func (s *Store) ColStoreStats() (segments int, bytes int64) {
 	return segments, bytes
 }
 
+// EncodedColumnStats counts the column-store segment columns currently
+// held compressed across every table, by encoding kind. Snapshot-time
+// observability only.
+func (s *Store) EncodedColumnStats() (dict, pack int) {
+	s.mu.RLock()
+	tds := make([]*TableData, 0, len(s.tables))
+	for _, td := range s.tables {
+		tds = append(tds, td)
+	}
+	s.mu.RUnlock()
+	for _, td := range tds {
+		d, p := td.EncodedColumns()
+		dict += d
+		pack += p
+	}
+	return dict, pack
+}
+
 // CreateIndex builds a secondary index over existing data.
 func (s *Store) CreateIndex(idx *catalog.Index) error {
 	defer s.ddlGate()()

@@ -117,6 +117,17 @@ func (t *TableData) ColStats() (segments int, bytes int64, ok bool) {
 	return ch.t.Segments(), ch.t.BytesResident(), true
 }
 
+// EncodedColumns counts the column-store segment columns currently held in
+// compressed form, by kind; zeros for row-major tables.
+func (t *TableData) EncodedColumns() (dict, pack int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if ch, ok := t.heap.(*colHeap); ok {
+		return ch.t.EncodedColumns()
+	}
+	return 0, 0
+}
+
 // Insert validates the row against the schema (arity, types, NOT NULL,
 // primary-key uniqueness), appends it and maintains indexes and stats.
 func (t *TableData) Insert(row types.Row) (RID, error) {

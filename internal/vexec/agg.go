@@ -63,7 +63,9 @@ func typedHashAt(tv *TypedVec, i int) uint64 {
 	case types.StringType:
 		h ^= 2
 		h *= prime
-		s := tv.Strs[i]
+		// Dictionary columns hash the dictionary string's bytes, not the
+		// code — hash equality with raw and boxed vectors must hold.
+		s := tv.StrAt(i)
 		for j := 0; j < len(s); j++ {
 			h ^= uint64(s[j])
 			h *= prime
@@ -78,7 +80,7 @@ func typedHashAt(tv *TypedVec, i int) uint64 {
 				u = math.Float64bits(f)
 			}
 		} else {
-			u = uint64(tv.Ints[i])
+			u = uint64(tv.IntAt(i))
 		}
 		h ^= 1
 		h *= prime
@@ -228,7 +230,7 @@ func (g *groupTable) foldRow(grp *aggGroup, i int) {
 			}
 			switch tv.Typ {
 			case types.IntType:
-				st.AddInt(tv.Ints[i])
+				st.AddInt(tv.IntAt(i))
 			case types.FloatType:
 				st.AddFloat(tv.Floats[i])
 			default:
@@ -290,6 +292,12 @@ func (g *groupTable) fold(e *env, b *Batch) error {
 		}
 		g.argVecs[ai], g.argTyped[ai] = v, nil
 	}
+	for _, tv := range g.groupTyped {
+		if tv != nil && tv.Encoded() {
+			e.encodedHash(len(sel))
+			break
+		}
+	}
 	// Global aggregate: one group serves every row.
 	if len(g.groupExprs) == 0 {
 		grp := g.global
@@ -313,7 +321,7 @@ func (g *groupTable) fold(e *env, b *Batch) error {
 					grp = g.addGroup(types.Row{types.Null}, rowHash(types.Row{types.Null}))
 				}
 			} else {
-				k := tv.Ints[i]
+				k := tv.IntAt(i)
 				if grp = g.intGroups[k]; grp == nil {
 					key := types.Row{types.NewInt(k)}
 					grp = g.addGroup(key, rowHash(key))
@@ -408,6 +416,7 @@ func (a *HashAggBatch) Open(ctx *exec.Ctx, params types.Row) error {
 		return err
 	}
 	a.env.open(params)
+	a.env.ctr = &ctx.Counters
 	gt := newGroupTable(a.Groups, a.Aggs)
 	perGroup := aggGroupBytes(len(a.Groups), len(a.Aggs))
 	for {

@@ -17,6 +17,7 @@ import (
 // are cloned per execution), so no synchronization is needed.
 type env struct {
 	params types.Row
+	ctr    *exec.Counters // statement counter sink; nil = don't count
 
 	scratch []Vector
 	used    int
@@ -143,6 +144,7 @@ func (e *env) getTyped(typ types.Type, n int) *TypedVec {
 		tv.Nulls = nil
 	}
 	tv.Typ = typ
+	tv.Dict, tv.Pack = nil, nil // arena vectors are always raw
 	switch typ {
 	case types.FloatType:
 		if cap(tv.Floats) < n {
@@ -172,6 +174,20 @@ func (e *env) getNulls(n int) colstore.Bitmap {
 	w := wordPool.get((n + 63) / 64)
 	clear(w)
 	return colstore.Bitmap(w)
+}
+
+// encodedCmp and encodedHash record rows whose comparison or hash kernel
+// ran directly on encoded payloads (dictionary codes, packed ints).
+func (e *env) encodedCmp(n int) {
+	if e.ctr != nil && n > 0 {
+		add(&e.ctr.EncodedCmpRows, int64(n))
+	}
+}
+
+func (e *env) encodedHash(n int) {
+	if e.ctr != nil && n > 0 {
+		add(&e.ctr.EncodedHashRows, int64(n))
+	}
 }
 
 // identity returns the cached selection [0, n).

@@ -45,6 +45,12 @@ func (kc *keyCols) eval(keys []VExpr, e *env, b *Batch, sel []int) error {
 		}
 		kc.vecs[k], kc.typed[k] = v, nil
 	}
+	for _, tv := range kc.typed {
+		if tv != nil && tv.Encoded() {
+			e.encodedHash(len(sel))
+			break
+		}
+	}
 	return nil
 }
 
@@ -130,6 +136,8 @@ func (j *BatchHashJoin) Open(ctx *exec.Ctx, params types.Row) error {
 	j.lOpen = false
 	j.kenv.open(params)
 	j.renv.open(params)
+	j.kenv.ctr = &ctx.Counters
+	j.renv.ctr = &ctx.Counters
 
 	built := false
 	if j.Parallel {
@@ -162,6 +170,7 @@ func (j *BatchHashJoin) seqBuild(ctx *exec.Ctx, params types.Row) error {
 	var benv env
 	var bkeys keyCols
 	benv.open(params)
+	benv.ctr = &ctx.Counters
 	defer benv.close()
 	built := int64(0)
 	entryW := len(j.RightKeys) + j.rightW
@@ -297,6 +306,7 @@ func (j *BatchHashJoin) parallelBuild(ctx *exec.Ctx, params types.Row, scan *Sca
 		var batch Batch
 		var selBuf []int
 		benv.open(params)
+		benv.ctr = &ctx.Counters
 		defer func() {
 			batch.release()
 			selPool.put(selBuf)

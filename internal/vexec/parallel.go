@@ -165,7 +165,7 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 	}
 	if grant.N() == 0 {
 		// Sequential fold: same code path, one worker inline.
-		w := newAggWorker(p, params)
+		w := newAggWorker(ctx, p, params)
 		defer w.close()
 		for i := range morsels {
 			if err := ctx.Interrupted(); err != nil {
@@ -186,7 +186,7 @@ func (p *ParallelAggScan) Open(ctx *exec.Ctx, params types.Row) error {
 	tables := make([]*groupTable, workers)
 	werrs := make([]*workerErr, workers)
 	run := func(wi int) {
-		w := newAggWorker(p, params)
+		w := newAggWorker(ctx, p, params)
 		defer w.close()
 		tables[wi] = w.gt
 		// Static strided assignment keeps the row→partial-state
@@ -236,9 +236,10 @@ type aggWorker struct {
 	selBuf []int
 }
 
-func newAggWorker(p *ParallelAggScan, params types.Row) *aggWorker {
+func newAggWorker(ctx *exec.Ctx, p *ParallelAggScan, params types.Row) *aggWorker {
 	w := &aggWorker{p: p, gt: newGroupTable(p.Groups, p.Aggs)}
 	w.env.open(params)
+	w.env.ctr = &ctx.Counters
 	return w
 }
 

@@ -169,6 +169,8 @@ func (s *ScanBatch) Open(ctx *exec.Ctx, params types.Row) error {
 	if err != nil {
 		return err
 	}
+	s.cc.env.ctr = &ctx.Counters
+	s.ch.env.ctr = &ctx.Counters
 	if s.Boxed {
 		if views, ok := td.ColumnViews(); ok {
 			s.colMode = true
@@ -269,6 +271,7 @@ func (p *IndexLookupBatch) Open(ctx *exec.Ctx, params types.Row) error {
 		}
 	}
 	p.ch.open(p.matches, params)
+	p.ch.env.ctr = &ctx.Counters
 	return nil
 }
 
@@ -318,6 +321,7 @@ type FilterBatch struct {
 // Open implements BatchPlan.
 func (f *FilterBatch) Open(ctx *exec.Ctx, params types.Row) error {
 	f.env.open(params)
+	f.env.ctr = &ctx.Counters
 	return f.Child.Open(ctx, params)
 }
 
@@ -377,6 +381,7 @@ type ProjectBatch struct {
 // Open implements BatchPlan.
 func (p *ProjectBatch) Open(ctx *exec.Ctx, params types.Row) error {
 	p.env.open(params)
+	p.env.ctr = &ctx.Counters
 	return p.Child.Open(ctx, params)
 }
 

@@ -63,6 +63,7 @@ func (s *BatchSort) Open(ctx *exec.Ctx, params types.Row) error {
 		return err
 	}
 	s.env.open(params)
+	s.env.ctr = &ctx.Counters
 	s.rows = s.rows[:0]
 	s.kr = s.kr[:0]
 	s.pos = 0

@@ -56,6 +56,33 @@ func (s *vSlot) evalTyped(e *env, b *Batch, sel []int) (*TypedVec, error) {
 	return nil, nil
 }
 
+// decodeVec materializes an encoded typed vector into a raw arena vector,
+// filling only the rows in sel (entries outside it are unspecified,
+// matching the vector contract). Raw vectors pass through untouched.
+// The null bitmap is copied: the input's belongs to an immutable segment
+// view, while arena vectors own — and pool — their bitmaps.
+func decodeVec(e *env, tv *TypedVec, sel []int, n int) *TypedVec {
+	if !tv.Encoded() {
+		return tv
+	}
+	out := e.getTyped(tv.Typ, n)
+	if tv.Dict != nil {
+		for _, i := range sel {
+			out.Strs[i] = tv.Dict.At(i)
+		}
+	} else {
+		for _, i := range sel {
+			out.Ints[i] = tv.Pack.At(i)
+		}
+	}
+	if tv.Nulls != nil {
+		nb := e.getNulls(n)
+		copy(nb, tv.Nulls)
+		out.Nulls = nb
+	}
+	return out
+}
+
 // --- typed comparison kernels ---
 
 func cmpInt(a, b int64) int {
@@ -110,13 +137,21 @@ func (c *vCmp) evalTriTyped(e *env, b *Batch, sel []int, out []types.TriBool) (d
 	}
 	if lt != nil {
 		if k, ok := scalarOf(c.r, e); ok {
-			return cmpTypedScalar(c.opc, lt, k, sel, out), nil
+			done = cmpTypedScalar(c.opc, lt, k, sel, out)
+			if done && lt.Encoded() {
+				e.encodedCmp(len(sel))
+			}
+			return done, nil
 		}
 		rt, err := evalTypedOf(c.r, e, b, sel)
 		if err != nil {
 			return false, err
 		}
 		if rt != nil {
+			// Column-vs-column compares see encoded inputs only decoded:
+			// the two sides never share a code space.
+			lt = decodeVec(e, lt, sel, b.N)
+			rt = decodeVec(e, rt, sel, b.N)
 			return cmpTypedTyped(c.opc, lt, rt, sel, out), nil
 		}
 		return false, nil
@@ -128,10 +163,76 @@ func (c *vCmp) evalTriTyped(e *env, b *Batch, sel []int, out []types.TriBool) (d
 			return false, err
 		}
 		if rt != nil {
-			return cmpTypedScalar(flipOpc(c.opc), rt, k, sel, out), nil
+			done = cmpTypedScalar(flipOpc(c.opc), rt, k, sel, out)
+			if done && rt.Encoded() {
+				e.encodedCmp(len(sel))
+			}
+			return done, nil
 		}
 	}
 	return false, nil
+}
+
+// cmpDictScalar compares a dictionary-encoded VARCHAR column against a
+// string constant without touching a single string: one binary search
+// locates the constant in the sorted dictionary, then every row is an
+// integer compare on codes. When the constant is absent, codes at or past
+// its insertion position sort after it and everything below sorts before,
+// so all six operators still reduce to the code ordering.
+func cmpDictScalar(opc int, l *TypedVec, kv string, sel []int, out []types.TriBool) {
+	d := l.Dict
+	pos, found := d.Find(kv)
+	p := uint64(pos)
+	nulls := l.Nulls
+	for _, i := range sel {
+		if nulls != nil && nulls.Get(i) {
+			out[i] = types.Unknown
+			continue
+		}
+		code := d.Codes.Get(i)
+		var c int
+		switch {
+		case found:
+			c = cmpInt(int64(code), int64(p))
+		case code >= p:
+			c = 1
+		default:
+			c = -1
+		}
+		out[i] = types.Tri(cmpHolds(opc, c))
+	}
+}
+
+// cmpPackScalar compares a bit-packed INTEGER/BOOLEAN column against a
+// constant of a covered type, decoding each code with one shift/mask;
+// false when the pairing stays on the boxed path.
+func cmpPackScalar(opc int, l *TypedVec, k types.Value, sel []int, out []types.TriBool) bool {
+	p := l.Pack
+	nulls := l.Nulls
+	switch {
+	case l.Typ == types.IntType && k.T == types.IntType,
+		l.Typ == types.BoolType && k.T == types.BoolType:
+		kv := k.I
+		for _, i := range sel {
+			if nulls != nil && nulls.Get(i) {
+				out[i] = types.Unknown
+			} else {
+				out[i] = types.Tri(cmpHolds(opc, cmpInt(p.At(i), kv)))
+			}
+		}
+		return true
+	case l.Typ == types.IntType && k.T == types.FloatType:
+		kv := k.F
+		for _, i := range sel {
+			if nulls != nil && nulls.Get(i) {
+				out[i] = types.Unknown
+			} else {
+				out[i] = types.Tri(cmpHolds(opc, cmpFloat(float64(p.At(i)), kv)))
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // cmpTypedScalar fills out with `col <opc> k` for the rows in sel; false
@@ -147,6 +248,9 @@ func cmpTypedScalar(opc int, l *TypedVec, k types.Value, sel []int, out []types.
 	nulls := l.Nulls
 	switch l.Typ {
 	case types.IntType:
+		if l.Pack != nil {
+			return cmpPackScalar(opc, l, k, sel, out)
+		}
 		switch k.T {
 		case types.IntType:
 			kv := k.I
@@ -204,6 +308,10 @@ func cmpTypedScalar(opc int, l *TypedVec, k types.Value, sel []int, out []types.
 		if k.T != types.StringType {
 			return false
 		}
+		if l.Dict != nil {
+			cmpDictScalar(opc, l, k.S, sel, out)
+			return true
+		}
 		kv := k.S
 		for _, i := range sel {
 			if nulls != nil && nulls.Get(i) {
@@ -216,6 +324,9 @@ func cmpTypedScalar(opc int, l *TypedVec, k types.Value, sel []int, out []types.
 	case types.BoolType:
 		if k.T != types.BoolType {
 			return false
+		}
+		if l.Pack != nil {
+			return cmpPackScalar(opc, l, k, sel, out)
 		}
 		kv := k.I
 		for _, i := range sel {
@@ -348,6 +459,9 @@ func numOperandOf(x VExpr, e *env, b *Batch, sel []int) (numOp, bool, error) {
 	}
 	switch tv.Typ {
 	case types.IntType:
+		if tv.Pack != nil {
+			tv = decodeVec(e, tv, sel, b.N)
+		}
 		return numOp{ints: tv.Ints, nulls: tv.Nulls}, true, nil
 	case types.FloatType:
 		return numOp{floats: tv.Floats, nulls: tv.Nulls}, true, nil
@@ -521,12 +635,25 @@ func gatherTyped(e *env, tv *TypedVec, sel []int) *TypedVec {
 			out.Floats[o] = tv.Floats[i]
 		}
 	case types.StringType:
-		for o, i := range sel {
-			out.Strs[o] = tv.Strs[i]
+		if tv.Dict != nil {
+			// Decode-on-demand: only surviving rows pay the dictionary read.
+			for o, i := range sel {
+				out.Strs[o] = tv.Dict.At(i)
+			}
+		} else {
+			for o, i := range sel {
+				out.Strs[o] = tv.Strs[i]
+			}
 		}
 	default:
-		for o, i := range sel {
-			out.Ints[o] = tv.Ints[i]
+		if tv.Pack != nil {
+			for o, i := range sel {
+				out.Ints[o] = tv.Pack.At(i)
+			}
+		} else {
+			for o, i := range sel {
+				out.Ints[o] = tv.Ints[i]
+			}
 		}
 	}
 	if tv.Nulls != nil {
@@ -550,6 +677,7 @@ func (u *vUn) evalTyped(e *env, b *Batch, sel []int) (*TypedVec, error) {
 	if err != nil || tv == nil {
 		return nil, err
 	}
+	tv = decodeVec(e, tv, sel, b.N)
 	// The input's null bitmap may belong to an immutable segment view;
 	// arena typed vectors own (and pool) their bitmaps, so copy it.
 	copyNulls := func(out *TypedVec) {

@@ -57,8 +57,7 @@ func TestCursorLimitIsBusy(t *testing.T) {
 // its next fetch with CodeNotFound — a clean protocol-level signal, not a
 // hung connection.
 func TestSweptCursorIsNotFound(t *testing.T) {
-	srv, addr := testServer(t)
-	srv.CursorIdleTimeout = 20 * time.Millisecond
+	_, addr := testServer(t, func(s *Server) { s.CursorIdleTimeout = 20 * time.Millisecond })
 	c, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)

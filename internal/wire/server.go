@@ -167,12 +167,11 @@ func (s *Server) Close() error {
 // shared plan cache, so the same SQL prepared on many connections is
 // compiled once.
 type session struct {
-	pending []TaggedRow
-	pos     int
-
-	// stream is a lazily driven CO extraction replacing pending when the
-	// streaming path is taken; streamServed counts its shipped tuples.
-	stream       *engine.COStream
+	// stream is the CO extraction FETCH frames drain: usually a lazily
+	// driven engine.COStream, or a materialized adapter for the rare
+	// shapes that cannot stream (recursive views). streamServed counts
+	// its shipped tuples.
+	stream       coStream
 	streamCancel context.CancelFunc
 	streamServed int64
 
@@ -233,9 +232,35 @@ func (sess *session) teardown() {
 	sess.dropStream()
 	sess.st.openStmts.Add(-int64(len(sess.stmts)))
 	sess.stmts = nil
-	sess.pending = nil
 	sess.mem.Close()
 }
+
+// coStream is what a session drains on FETCH: the engine's lazy COStream
+// or the materialized fallback, behind one pull contract ((0, nil, nil)
+// ends the stream; Close is idempotent).
+type coStream interface {
+	Next() (int, types.Row, error)
+	Close() error
+}
+
+// materialStream adapts an already-materialized CO extraction (recursive
+// views run the fixpoint executor, which has no streaming plans) to the
+// coStream contract, so handleFetch has exactly one serving path.
+type materialStream struct {
+	rows []TaggedRow
+	pos  int
+}
+
+func (m *materialStream) Next() (int, types.Row, error) {
+	if m.pos >= len(m.rows) {
+		return 0, nil, nil
+	}
+	r := m.rows[m.pos]
+	m.pos++
+	return r.CompID, r.Row, nil
+}
+
+func (m *materialStream) Close() error { m.rows = nil; return nil }
 
 // dropStream releases the session's pending CO stream, if any.
 func (sess *session) dropStream() {
@@ -486,39 +511,29 @@ func (s *Server) handleStats(w *srvWriter) error {
 // materializing path.
 func (s *Server) handleQueryCO(w *srvWriter, sess *session, view string) error {
 	sess.dropStream()
-	sess.pending = sess.pending[:0]
-	sess.pos = 0
-	if s.Opts == s.DB.OptOptions {
-		ctx, cancel := sess.stmtCtx()
-		stream, err := s.DB.StreamCOView(ctx, view)
-		if err == nil {
-			sess.stream = stream
-			sess.streamCancel = cancel
-			outs := stream.Outputs()
-			metas := make([]OutputMeta, len(outs))
-			for i, out := range outs {
-				metas[i] = MetaFromOutput(out, stream.HasRows(i))
-			}
-			var buf bytes.Buffer
-			if err := gob.NewEncoder(&buf).Encode(metas); err != nil {
-				sess.dropStream()
-				return s.sendErr(w, err)
-			}
-			return w.writeFrame(FrameSchema, buf.Bytes())
+	ctx, cancel := sess.stmtCtx()
+	stream, err := s.DB.StreamCOViewOpts(ctx, view, s.Opts)
+	if err == nil {
+		sess.stream = stream
+		sess.streamCancel = cancel
+		outs := stream.Outputs()
+		metas := make([]OutputMeta, len(outs))
+		for i, out := range outs {
+			metas[i] = MetaFromOutput(out, stream.HasRows(i))
 		}
-		cancel()
-		if !errors.Is(err, engine.ErrCORecursive) {
-			return s.sendErr(w, err)
-		}
-		// Recursive views materialize below.
+		return s.sendSchema(w, sess, metas)
 	}
+	cancel()
+	if !errors.Is(err, engine.ErrCORecursive) {
+		return s.sendErr(w, err)
+	}
+	// Recursive views run the fixpoint executor, which has no streaming
+	// plans: materialize once, then serve FETCHes from the adapter so the
+	// exchange looks identical on the wire.
 	var res *core.COResult
-	var err error
 	if s.Opts == s.DB.OptOptions {
 		res, err = s.DB.ExtractCOView(view, false)
 	} else {
-		// A server with overridden options (the bench harness flipping
-		// baselines) compiles its own plans instead of the cached templates.
 		var compiled *core.Compiled
 		compiled, err = s.DB.CompileCOView(view)
 		if err == nil {
@@ -528,54 +543,43 @@ func (s *Server) handleQueryCO(w *srvWriter, sess *session, view string) error {
 	if err != nil {
 		return s.sendErr(w, err)
 	}
+	mat := &materialStream{}
 	metas := make([]OutputMeta, len(res.Outputs))
 	for i, out := range res.Outputs {
 		metas[i] = MetaFromOutput(out, res.Rows[i] != nil)
 		for _, row := range res.Rows[i] {
-			sess.pending = append(sess.pending, TaggedRow{CompID: out.CompID, Row: row})
+			mat.rows = append(mat.rows, TaggedRow{CompID: out.CompID, Row: row})
 		}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(metas); err != nil {
-		return s.sendErr(w, err)
-	}
-	err = w.writeFrame(FrameSchema, buf.Bytes())
-	return err
+	sess.stream = mat
+	return s.sendSchema(w, sess, metas)
 }
 
-// handleFetch ships up to n pending tuples (n < 0 = everything, chunked).
-// Every response ends with FrameMore (stream continues — issue another
-// FETCH) or FrameDone (exhausted), so the exchange is deterministic. On
-// the streaming path tuples are pulled from the engine lazily, one chunk
-// buffered at a time and reserved against the session's memory budget.
+// sendSchema gob-encodes the output metadata and ships the schema frame;
+// on encoding failure the just-opened stream is released.
+func (s *Server) sendSchema(w *srvWriter, sess *session, metas []OutputMeta) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(metas); err != nil {
+		sess.dropStream()
+		return s.sendErr(w, err)
+	}
+	return w.writeFrame(FrameSchema, buf.Bytes())
+}
+
+// handleFetch ships up to n tuples of the session's CO stream (n < 0 =
+// everything, chunked). Every response ends with FrameMore (stream
+// continues — issue another FETCH) or FrameDone (exhausted), so the
+// exchange is deterministic. Tuples are pulled from the stream lazily,
+// one chunk buffered at a time and reserved against the session's memory
+// budget.
 func (s *Server) handleFetch(w *srvWriter, sess *session, n int) error {
 	const chunk = 1024
-	if sess.stream != nil {
-		return s.fetchStream(w, sess, n, chunk)
+	if sess.stream == nil {
+		// No extraction in flight: a FETCH with nothing pending drains to
+		// an immediate empty Done, same as the tail of a finished stream.
+		return w.writeFrame(FrameDone, binary.AppendVarint(nil, 0))
 	}
-	remaining := len(sess.pending) - sess.pos
-	want := n
-	if n < 0 || want > remaining {
-		want = remaining
-	}
-	for want > 0 {
-		batch := want
-		if batch > chunk {
-			batch = chunk
-		}
-		rows := sess.pending[sess.pos : sess.pos+batch]
-		if err := w.writeFrame(FrameRows, encodeRows(rows)); err != nil {
-			return err
-		}
-		sess.pos += batch
-		want -= batch
-	}
-	if sess.pos >= len(sess.pending) {
-		err := w.writeFrame(FrameDone, binary.AppendVarint(nil, int64(len(sess.pending))))
-		return err
-	}
-	err := w.writeFrame(FrameMore, nil)
-	return err
+	return s.fetchStream(w, sess, n, chunk)
 }
 
 // fetchStream serves one FETCH from the session's lazy CO stream: up to n

@@ -10,7 +10,10 @@ import (
 	"xnf/internal/workload"
 )
 
-func testServer(t testing.TB) (*Server, string) {
+// testServer starts an org-database server. Configure funcs run before
+// Serve starts, so tests tweaking Server fields (timeouts, options) never
+// race the connection goroutines reading them.
+func testServer(t testing.TB, configure ...func(*Server)) (*Server, string) {
 	t.Helper()
 	db := engine.Open()
 	if err := workload.LoadOrg(db, workload.OrgParams{
@@ -21,6 +24,9 @@ func testServer(t testing.TB) (*Server, string) {
 		t.Fatal(err)
 	}
 	srv := NewServer(db)
+	for _, f := range configure {
+		f(srv)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
